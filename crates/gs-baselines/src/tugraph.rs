@@ -1,0 +1,188 @@
+//! TuGraph-like interactive graph database baseline (Fig. 7f comparator).
+//!
+//! A conventional single-store graph database profile: B-tree-backed
+//! adjacency (ordered maps rather than CSR arrays), string-keyed property
+//! maps per element, a global reader-writer lock around the store, and
+//! interpreted traversal — each hop re-resolves labels and properties by
+//! name. Queries execute single-threaded (no intra-query parallelism),
+//! which is the latency profile the SNB Interactive audits show.
+
+use gs_graph::{GraphError, Result, Value};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+
+/// Internal vertex key: (label name, external id).
+pub type VKey = (String, u64);
+
+#[derive(Default)]
+struct Store {
+    /// vertex key → properties.
+    vertices: BTreeMap<VKey, HashMap<String, Value>>,
+    /// (src key, edge type) → ordered list of (dst key, properties).
+    out_edges: BTreeMap<(VKey, String), Vec<(VKey, HashMap<String, Value>)>>,
+    /// reverse adjacency.
+    in_edges: BTreeMap<(VKey, String), Vec<(VKey, HashMap<String, Value>)>>,
+}
+
+/// The baseline database.
+pub struct TuGraphDb {
+    store: RwLock<Store>,
+}
+
+impl Default for TuGraphDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TuGraphDb {
+    pub fn new() -> Self {
+        Self {
+            store: RwLock::new(Store::default()),
+        }
+    }
+
+    /// Inserts a vertex.
+    pub fn add_vertex(&self, label: &str, id: u64, props: HashMap<String, Value>) {
+        self.store
+            .write()
+            .vertices
+            .insert((label.to_string(), id), props);
+    }
+
+    /// Inserts an edge (updates both adjacency directions).
+    pub fn add_edge(
+        &self,
+        etype: &str,
+        src: VKey,
+        dst: VKey,
+        props: HashMap<String, Value>,
+    ) -> Result<()> {
+        let mut g = self.store.write();
+        if !g.vertices.contains_key(&src) || !g.vertices.contains_key(&dst) {
+            return Err(GraphError::NotFound("edge endpoint".into()));
+        }
+        g.out_edges
+            .entry((src.clone(), etype.to_string()))
+            .or_default()
+            .push((dst.clone(), props.clone()));
+        g.in_edges
+            .entry((dst, etype.to_string()))
+            .or_default()
+            .push((src, props));
+        Ok(())
+    }
+
+    /// Point lookup.
+    pub fn vertex_prop(&self, key: &VKey, prop: &str) -> Option<Value> {
+        self.store.read().vertices.get(key)?.get(prop).cloned()
+    }
+
+    /// Whether a vertex exists.
+    pub fn has_vertex(&self, key: &VKey) -> bool {
+        self.store.read().vertices.contains_key(key)
+    }
+
+    /// Out-neighbours with edge properties (whole list cloned — the
+    /// interpreted access path).
+    pub fn out_neighbors(&self, key: &VKey, etype: &str) -> Vec<(VKey, HashMap<String, Value>)> {
+        self.store
+            .read()
+            .out_edges
+            .get(&(key.clone(), etype.to_string()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// In-neighbours with edge properties.
+    pub fn in_neighbors(&self, key: &VKey, etype: &str) -> Vec<(VKey, HashMap<String, Value>)> {
+        self.store
+            .read()
+            .in_edges
+            .get(&(key.clone(), etype.to_string()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Full scan of one label with a filter.
+    pub fn scan_vertices(
+        &self,
+        label: &str,
+        mut f: impl FnMut(u64, &HashMap<String, Value>) -> bool,
+    ) -> Vec<u64> {
+        let g = self.store.read();
+        let mut out = Vec::new();
+        for ((l, id), props) in g.vertices.range((label.to_string(), 0)..) {
+            if l != label {
+                break;
+            }
+            if f(*id, props) {
+                out.push(*id);
+            }
+        }
+        out
+    }
+
+    /// Vertex count for a label.
+    pub fn vertex_count(&self, label: &str) -> usize {
+        self.scan_vertices(label, |_, _| true).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(l: &str, id: u64) -> VKey {
+        (l.to_string(), id)
+    }
+
+    #[test]
+    fn crud_round_trip() {
+        let db = TuGraphDb::new();
+        db.add_vertex(
+            "Person",
+            1,
+            HashMap::from([("name".to_string(), Value::Str("ann".into()))]),
+        );
+        db.add_vertex("Person", 2, HashMap::new());
+        db.add_edge(
+            "KNOWS",
+            key("Person", 1),
+            key("Person", 2),
+            HashMap::from([("since".to_string(), Value::Int(2020))]),
+        )
+        .unwrap();
+        assert_eq!(
+            db.vertex_prop(&key("Person", 1), "name"),
+            Some(Value::Str("ann".into()))
+        );
+        let out = db.out_neighbors(&key("Person", 1), "KNOWS");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, key("Person", 2));
+        assert_eq!(out[0].1["since"], Value::Int(2020));
+        let inn = db.in_neighbors(&key("Person", 2), "KNOWS");
+        assert_eq!(inn[0].0, key("Person", 1));
+    }
+
+    #[test]
+    fn dangling_edge_rejected() {
+        let db = TuGraphDb::new();
+        db.add_vertex("Person", 1, HashMap::new());
+        assert!(db
+            .add_edge("KNOWS", key("Person", 1), key("Person", 9), HashMap::new())
+            .is_err());
+    }
+
+    #[test]
+    fn scan_filters_by_label_range() {
+        let db = TuGraphDb::new();
+        for i in 0..5 {
+            db.add_vertex("A", i, HashMap::new());
+            db.add_vertex("B", i, HashMap::new());
+        }
+        assert_eq!(db.vertex_count("A"), 5);
+        let odd = db.scan_vertices("A", |id, _| id % 2 == 1);
+        assert_eq!(odd, vec![1, 3]);
+    }
+}

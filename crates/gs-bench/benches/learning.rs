@@ -1,0 +1,53 @@
+//! Criterion microbenchmarks for the learning stack (Fig. 7l/7m
+//! companions): sampling throughput and training step cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gs_datagen::catalog::Dataset;
+use gs_graph::{LabelId, PropertyGraphData, VId};
+use gs_learn::{GraphSage, Sampler};
+use gs_vineyard::VineyardGraph;
+
+fn sampling_and_training(c: &mut Criterion) {
+    let el = Dataset::by_abbr("PD").unwrap().edges(0.05);
+    let pairs: Vec<(u64, u64)> = el.edges().iter().map(|&(s, d)| (s.0, d.0)).collect();
+    let graph =
+        VineyardGraph::build(&PropertyGraphData::from_edge_list(el.vertex_count(), &pairs))
+            .unwrap();
+    let l0 = LabelId(0);
+    let sampler = Sampler::new(&graph, l0, l0, vec![15, 10, 5], 32);
+    let seeds: Vec<VId> = (0..128u64).map(VId).collect();
+
+    let mut group = c.benchmark_group("learning");
+    group.bench_function("sample_batch_128_fanout_15_10_5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            sampler.sample(&seeds, seed)
+        })
+    });
+    let batch = sampler.sample(&seeds, 1);
+    let labels: Vec<usize> = seeds.iter().map(|&v| sampler.label_of(v, 8)).collect();
+    group.bench_function("sage_forward_backward_step", |b| {
+        let mut model = GraphSage::new(3, 32, 64, 8, 1);
+        b.iter(|| {
+            let loss = model.forward_backward(&batch, &labels);
+            model.step(0.005);
+            loss
+        })
+    });
+    group.finish();
+}
+
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config();
+    targets = sampling_and_training
+}
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Criterion microbenchmarks for the storage layer (Fig. 7c/7d at
+//! statistical rigor; the `figures` binary prints the paper-style tables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gs_baselines::LiveGraphStore;
+use gs_datagen::catalog::Dataset;
+use gs_gart::GartStore;
+use gs_graph::{Csr, LabelId, PropertyGraphData, VId};
+
+fn edge_scan(c: &mut Criterion) {
+    let el = Dataset::by_abbr("TW").unwrap().edges(0.03);
+    let n = el.vertex_count();
+    let edges = el.edges().to_vec();
+    let m = edges.len() as u64;
+
+    let csr = Csr::from_edges(n, &edges);
+    let pairs: Vec<(u64, u64)> = edges.iter().map(|&(s, d)| (s.0, d.0)).collect();
+    let gart = GartStore::from_data(&PropertyGraphData::from_edge_list(n, &pairs)).unwrap();
+    let gv = gart.committed_version();
+    let lg = LiveGraphStore::from_edges(n, &edges);
+    let lv = lg.committed_version();
+
+    let mut group = c.benchmark_group("edge_scan");
+    group.throughput(Throughput::Elements(m));
+    group.bench_function(BenchmarkId::new("csr_static", m), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in 0..n {
+                for &w in csr.neighbors(VId(v as u64)) {
+                    acc = acc.wrapping_add(w.0);
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function(BenchmarkId::new("gart", m), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            gart.scan_edges(LabelId(0), gv, &mut |_, d, _| acc = acc.wrapping_add(d.0));
+            acc
+        })
+    });
+    group.bench_function(BenchmarkId::new("livegraph", m), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            lg.scan_edges(lv, &mut |_, d, _| acc = acc.wrapping_add(d.0));
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn graphar_codec(c: &mut Criterion) {
+    use gs_graph::{Value, ValueType};
+    let ints: Vec<Value> = (0..50_000i64).map(Value::Int).collect();
+    let chunk = gs_graphar::codec::encode_column(&ints, ValueType::Int).unwrap();
+    let mut group = c.benchmark_group("graphar_codec");
+    group.throughput(Throughput::Elements(ints.len() as u64));
+    group.bench_function("encode_int_column", |b| {
+        b.iter(|| gs_graphar::codec::encode_column(&ints, ValueType::Int).unwrap())
+    });
+    group.bench_function("decode_int_column", |b| {
+        b.iter(|| gs_graphar::codec::decode_column(&chunk).unwrap())
+    });
+    group.finish();
+}
+
+fn gart_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gart_ingest");
+    group.bench_function("add_edge_1k", |b| {
+        b.iter(|| {
+            let schema = gs_graph::GraphSchema::homogeneous(false);
+            let store = GartStore::new(schema);
+            for v in 0..100u64 {
+                store.add_vertex(LabelId(0), v, vec![]).unwrap();
+            }
+            for i in 0..1000u64 {
+                store
+                    .add_edge(LabelId(0), i % 100, (i * 7 + 1) % 100, vec![])
+                    .unwrap();
+            }
+            store.commit()
+        })
+    });
+    group.bench_function("add_edges_batched_1k", |b| {
+        b.iter(|| {
+            let schema = gs_graph::GraphSchema::homogeneous(false);
+            let store = GartStore::new(schema);
+            for v in 0..100u64 {
+                store.add_vertex(LabelId(0), v, vec![]).unwrap();
+            }
+            let batch: Vec<(u64, u64, Vec<gs_graph::Value>)> = (0..1000u64)
+                .map(|i| (i % 100, (i * 7 + 1) % 100, vec![]))
+                .collect();
+            store.add_edges(LabelId(0), &batch).unwrap();
+            store.commit()
+        })
+    });
+    group.finish();
+}
+
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config();
+    targets = edge_scan, graphar_codec, gart_ingest
+}
+criterion_main!(benches);

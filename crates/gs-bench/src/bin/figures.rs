@@ -1,0 +1,40 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures all [scale]          run every experiment
+//! figures <id> [scale]         run one (table1, fig7a..fig7m, table2, exp6..exp8)
+//! figures list                 list experiment ids
+//! ```
+//!
+//! `scale` multiplies dataset sizes (default 1.0 ≈ laptop-friendly).
+
+use gs_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let scale: f64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+
+    match which {
+        "list" => {
+            for (name, _) in experiments::EXPERIMENTS {
+                println!("{name}");
+            }
+        }
+        "all" => {
+            for (name, f) in experiments::EXPERIMENTS {
+                println!("\n################ {name} ################");
+                f(scale);
+            }
+        }
+        name => {
+            if experiments::run(name, scale).is_none() {
+                eprintln!("unknown experiment `{name}`; try `figures list`");
+                std::process::exit(1);
+            }
+        }
+    }
+}

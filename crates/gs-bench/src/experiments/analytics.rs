@@ -1,0 +1,137 @@
+//! Graph-analytics experiments: Figures 7(h)–7(k) — PageRank and BFS on
+//! GRAPE vs the CPU baselines (PowerGraph, Gemini) and the simulated-GPU
+//! baselines (Groute, Gunrock).
+
+use crate::util::{fmt_duration, time_it, TablePrinter};
+use gs_baselines::{GeminiEngine, GrouteEngine, GunrockEngine, PowerGraphEngine};
+use gs_datagen::catalog::Dataset;
+use gs_graph::csr::Csr;
+use gs_graph::VId;
+use gs_grape::{algorithms, bfs_gpu, pagerank_gpu, GpuCluster, GrapeEngine};
+
+const DATASETS: &[&str] = &["FB0", "G500", "UK", "TW", "CF"];
+const PR_ITERS: usize = 10;
+
+fn load(abbr: &str, scale: f64) -> (usize, Vec<(VId, VId)>) {
+    let el = Dataset::by_abbr(abbr).unwrap().edges(0.1 * scale);
+    (el.vertex_count(), el.edges().to_vec())
+}
+
+fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|x| x.get().min(8))
+        .unwrap_or(4)
+}
+
+/// Fig. 7(h): PageRank, CPU systems.
+pub fn fig7h(scale: f64) {
+    println!("== Fig 7(h): PageRank (CPU) — GRAPE vs PowerGraph vs Gemini ==");
+    println!("paper shape: GRAPE ≈25× PowerGraph (avg), ≈2.3× Gemini\n");
+    let k = workers();
+    let mut t = TablePrinter::new(&["dataset", "GRAPE", "PowerGraph", "Gemini"]);
+    for abbr in DATASETS {
+        let (n, edges) = load(abbr, scale);
+        let grape = GrapeEngine::from_edges(n, &edges, k);
+        let (tg, rg) = time_it(3, || algorithms::pagerank(&grape, 0.85, PR_ITERS));
+        let pg = PowerGraphEngine::new(n, &edges, k);
+        let (tp, rp) = time_it(1, || pg.pagerank(0.85, PR_ITERS));
+        let gm = GeminiEngine::new(n, &edges, k);
+        let (tm, rm) = time_it(3, || gm.pagerank(0.85, PR_ITERS));
+        // all three engines agree
+        for ((a, b), c) in rg.iter().zip(&rp).zip(&rm) {
+            assert!((a - b).abs() < 1e-9 && (a - c).abs() < 1e-9);
+        }
+        t.row(vec![
+            abbr.to_string(),
+            fmt_duration(tg),
+            fmt_duration(tp),
+            fmt_duration(tm),
+        ]);
+    }
+    t.print();
+}
+
+/// Fig. 7(i): BFS, CPU systems.
+pub fn fig7i(scale: f64) {
+    println!("== Fig 7(i): BFS (CPU) — GRAPE vs PowerGraph vs Gemini ==");
+    println!("paper shape: GRAPE fastest, up to 55.7× over PowerGraph\n");
+    let k = workers();
+    let mut t = TablePrinter::new(&["dataset", "GRAPE", "PowerGraph", "Gemini"]);
+    for abbr in DATASETS {
+        let (n, edges) = load(abbr, scale);
+        let src = VId(0);
+        let grape = GrapeEngine::from_edges(n, &edges, k);
+        let (tg, rg) = time_it(3, || algorithms::bfs(&grape, src));
+        let pg = PowerGraphEngine::new(n, &edges, k);
+        let (tp, rp) = time_it(1, || pg.bfs(src));
+        let gm = GeminiEngine::new(n, &edges, k);
+        let (tm, rm) = time_it(3, || gm.bfs(src));
+        assert_eq!(rg, rp);
+        assert_eq!(rg, rm);
+        t.row(vec![
+            abbr.to_string(),
+            fmt_duration(tg),
+            fmt_duration(tp),
+            fmt_duration(tm),
+        ]);
+    }
+    t.print();
+}
+
+/// Fig. 7(j): PageRank, simulated-GPU systems.
+pub fn fig7j(scale: f64) {
+    println!("== Fig 7(j): PageRank (GPU-sim) — GRAPE-GPU vs Groute vs Gunrock ==");
+    println!("paper shape: GRAPE ≈3.3× both on average (≤9.5×/9.9×)\n");
+    let devices = 2;
+    let lanes = workers() / 2;
+    let mut t = TablePrinter::new(&["dataset", "GRAPE-GPU", "Groute", "Gunrock"]);
+    for abbr in DATASETS {
+        let (n, edges) = load(abbr, scale);
+        let csr = Csr::from_edges(n, &edges);
+        let cluster = GpuCluster::new(devices, lanes);
+        let (tg, rg) = time_it(3, || pagerank_gpu(&cluster, n, &csr, 0.85, PR_ITERS));
+        let groute = GrouteEngine::new(devices, lanes);
+        let (tr, _) = time_it(3, || groute.pagerank(n, &csr, 0.85, 1e-10));
+        let gunrock = GunrockEngine::new(devices, lanes);
+        let (tk, rk) = time_it(3, || gunrock.pagerank(n, &csr, 0.85, PR_ITERS));
+        for (a, b) in rg.iter().zip(&rk) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        t.row(vec![
+            abbr.to_string(),
+            fmt_duration(tg),
+            fmt_duration(tr),
+            fmt_duration(tk),
+        ]);
+    }
+    t.print();
+}
+
+/// Fig. 7(k): BFS, simulated-GPU systems.
+pub fn fig7k(scale: f64) {
+    println!("== Fig 7(k): BFS (GPU-sim) — GRAPE-GPU vs Groute vs Gunrock ==");
+    println!("paper shape: GRAPE fastest via edge-balanced mapping + stealing\n");
+    let devices = 2;
+    let lanes = workers() / 2;
+    let mut t = TablePrinter::new(&["dataset", "GRAPE-GPU", "Groute", "Gunrock"]);
+    for abbr in DATASETS {
+        let (n, edges) = load(abbr, scale);
+        let csr = Csr::from_edges(n, &edges);
+        let src = VId(0);
+        let cluster = GpuCluster::new(devices, lanes);
+        let (tg, rg) = time_it(3, || bfs_gpu(&cluster, n, &csr, src));
+        let groute = GrouteEngine::new(devices, lanes);
+        let (tr, rr) = time_it(3, || groute.bfs(n, &csr, src));
+        let gunrock = GunrockEngine::new(devices, lanes);
+        let (tk, rk) = time_it(3, || gunrock.bfs(n, &csr, src));
+        assert_eq!(rg, rr);
+        assert_eq!(rg, rk);
+        t.row(vec![
+            abbr.to_string(),
+            fmt_duration(tg),
+            fmt_duration(tr),
+            fmt_duration(tk),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,78 @@
+//! Learning-stack experiments: Figures 7(l) and 7(m).
+
+use crate::util::{fmt_duration, TablePrinter};
+use gs_datagen::catalog::Dataset;
+use gs_graph::data::PropertyGraphData;
+use gs_graph::LabelId;
+use gs_learn::{train_epoch, PipelineConfig};
+use gs_vineyard::VineyardGraph;
+use std::time::Duration;
+
+fn pd_graph(scale: f64) -> VineyardGraph {
+    let el = Dataset::by_abbr("PD").unwrap().edges(0.1 * scale);
+    let pairs: Vec<(u64, u64)> = el.edges().iter().map(|&(s, d)| (s.0, d.0)).collect();
+    VineyardGraph::build(&PropertyGraphData::from_edge_list(el.vertex_count(), &pairs)).unwrap()
+}
+
+fn cfg(gpus: usize, nodes: usize, batches: usize) -> PipelineConfig {
+    PipelineConfig {
+        samplers: gpus,
+        trainers: gpus,
+        nodes,
+        batch_size: 128,
+        fanouts: vec![15, 10, 5],
+        feature_dim: 32,
+        hidden: 64,
+        classes: 8,
+        prefetch: 4,
+        batches_per_epoch: batches,
+        lr: 0.005,
+        remote_fetch_cost: Duration::from_micros(300),
+        seed: 3,
+    }
+}
+
+/// Fig. 7(l): scale-up — more simulated GPUs (sampler+trainer pairs) on one
+/// node.
+pub fn fig7l(scale: f64) {
+    println!("== Fig 7(l): GNN training scale-up (1 node, 1→4 simulated GPUs) ==");
+    println!("paper shape: epoch time decreases ≈linearly with GPUs (≤3.94× at 4)\n");
+    let g = pd_graph(scale);
+    let batches = 24;
+    let mut t = TablePrinter::new(&["GPUs", "epoch time", "speedup vs 1", "mean loss"]);
+    let mut base: Option<Duration> = None;
+    for gpus in [1usize, 2, 4] {
+        let (stats, _) = train_epoch(&g, LabelId(0), LabelId(0), &cfg(gpus, 1, batches));
+        let b = *base.get_or_insert(stats.wall);
+        t.row(vec![
+            gpus.to_string(),
+            fmt_duration(stats.wall),
+            format!("{:.2}×", b.as_secs_f64() / stats.wall.as_secs_f64()),
+            format!("{:.3}", stats.mean_loss),
+        ]);
+    }
+    t.print();
+}
+
+/// Fig. 7(m): scale-out — 2 GPUs per node, 1→4 simulated nodes, with the
+/// distributed-sampling network cost in play.
+pub fn fig7m(scale: f64) {
+    println!("== Fig 7(m): GNN training scale-out (2 GPUs/node, 1→4 nodes) ==");
+    println!("paper shape: near-linear scaling despite network costs (≤3.42× at 4)\n");
+    let g = pd_graph(scale);
+    let batches = 24;
+    let mut t = TablePrinter::new(&["nodes", "workers", "epoch time", "speedup vs 1"]);
+    let mut base: Option<Duration> = None;
+    for nodes in [1usize, 2, 4] {
+        let gpus = 2 * nodes;
+        let (stats, _) = train_epoch(&g, LabelId(0), LabelId(0), &cfg(gpus, nodes, batches));
+        let b = *base.get_or_insert(stats.wall);
+        t.row(vec![
+            nodes.to_string(),
+            format!("{gpus} (2/node)"),
+            fmt_duration(stats.wall),
+            format!("{:.2}×", b.as_secs_f64() / stats.wall.as_secs_f64()),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,41 @@
+//! Experiment registry: one entry per paper table/figure.
+
+pub mod ablations;
+pub mod analytics;
+pub mod apps;
+pub mod learning;
+pub mod query;
+pub mod storage;
+
+/// Every experiment, keyed by its paper id.
+pub const EXPERIMENTS: &[(&str, fn(f64))] = &[
+    ("table1", storage::table1),
+    ("fig7a", storage::fig7a),
+    ("fig7b", storage::fig7b),
+    ("fig7c", storage::fig7c),
+    ("fig7d", storage::fig7d),
+    ("fig7e", query::fig7e),
+    ("fig7f", query::fig7f),
+    ("fig7g", query::fig7g),
+    ("fig7h", analytics::fig7h),
+    ("fig7i", analytics::fig7i),
+    ("fig7j", analytics::fig7j),
+    ("fig7k", analytics::fig7k),
+    ("fig7l", learning::fig7l),
+    ("fig7m", learning::fig7m),
+    ("table2", apps::table2),
+    ("exp6", apps::exp6),
+    ("exp7", apps::exp7),
+    ("exp8", apps::exp8),
+    ("ablation-fence", ablations::ablation_fence),
+    ("ablation-messages", ablations::ablation_messages),
+    ("ablation-index", ablations::ablation_index),
+    ("ablation-ingress", ablations::ablation_ingress),
+];
+
+/// Runs one experiment by name; `None` if unknown.
+pub fn run(name: &str, scale: f64) -> Option<()> {
+    let (_, f) = EXPERIMENTS.iter().find(|(n, _)| *n == name)?;
+    f(scale);
+    Some(())
+}

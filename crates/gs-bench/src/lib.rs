@@ -1,0 +1,17 @@
+//! # gs-bench — the experiment harness
+//!
+//! One module per paper table/figure (see DESIGN.md's experiment index);
+//! the `figures` binary drives them:
+//!
+//! ```text
+//! cargo run --release -p gs-bench --bin figures -- all
+//! cargo run --release -p gs-bench --bin figures -- fig7c [scale]
+//! ```
+//!
+//! Each experiment prints paper-style rows plus the paper's reported
+//! shape so EXPERIMENTS.md can record expectation vs measurement.
+
+pub mod experiments;
+pub mod util;
+
+pub use util::{time_it, Row, TablePrinter};

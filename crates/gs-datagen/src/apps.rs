@@ -1,0 +1,353 @@
+//! Application graphs for the paper's §8 use cases: a transaction graph for
+//! real-time fraud detection, an equity-ownership graph for equity analysis,
+//! and a host/process/connection graph for cybersecurity monitoring.
+
+use gs_graph::data::PropertyGraphData;
+use gs_graph::schema::GraphSchema;
+use gs_graph::value::{Value, ValueType};
+use gs_graph::LabelId;
+use rand::Rng;
+use rand_pcg::Pcg64Mcg;
+
+/// Labels of the transaction (fraud) graph.
+#[derive(Clone, Copy, Debug)]
+pub struct FraudSchema {
+    pub account: LabelId,
+    pub item: LabelId,
+    pub buy: LabelId,
+    pub knows: LabelId,
+}
+
+/// A generated fraud-detection workload: the starting graph, the fraud-seed
+/// account ids, and a stream of future orders to apply online.
+pub struct FraudWorkload {
+    pub data: PropertyGraphData,
+    pub labels: FraudSchema,
+    pub accounts: usize,
+    pub items: usize,
+    /// Accounts previously identified with known frauds.
+    pub seeds: Vec<u64>,
+    /// Orders arriving online: (account, item, date).
+    pub order_stream: Vec<(u64, u64, i64)>,
+}
+
+/// Generates the fraud-detection transaction graph.
+///
+/// Fraud seeds form co-purchasing rings around a subset of "pumped" items,
+/// so the Cypher check from §8 has positives to find; everyone else buys
+/// uniformly.
+pub fn fraud_graph(
+    accounts: usize,
+    items: usize,
+    orders: usize,
+    stream_len: usize,
+    seed: u64,
+) -> FraudWorkload {
+    let mut schema = GraphSchema::new();
+    let account = schema.add_vertex_label("Account", &[("id", ValueType::Int)]);
+    let item = schema.add_vertex_label("Item", &[("popularity", ValueType::Int)]);
+    let buy = schema.add_edge_label("BUY", account, item, &[("date", ValueType::Date)]);
+    let knows = schema.add_edge_label("KNOWS", account, account, &[]);
+    let labels = FraudSchema {
+        account,
+        item,
+        buy,
+        knows,
+    };
+    let mut g = PropertyGraphData::new(schema);
+    let mut rng = Pcg64Mcg::new((seed as u128) << 64 | 0xf4a0d);
+
+    for a in 0..accounts as u64 {
+        g.add_vertex(account, a, vec![Value::Int(a as i64)]);
+    }
+    for i in 0..items as u64 {
+        g.add_vertex(item, i, vec![Value::Int(rng.gen_range(0..1000))]);
+    }
+    // fraud seeds: 1% of accounts
+    let nseeds = (accounts / 100).max(4);
+    let seeds: Vec<u64> = (0..nseeds as u64).map(|i| i * 97 % accounts as u64).collect();
+    let pumped: Vec<u64> = (0..(items / 50).max(2) as u64).collect();
+
+    // historical orders
+    for _ in 0..orders {
+        let (a, it) = if rng.gen::<f64>() < 0.05 {
+            // seed ring purchase of a pumped item
+            (
+                seeds[rng.gen_range(0..seeds.len())],
+                pumped[rng.gen_range(0..pumped.len())],
+            )
+        } else {
+            (
+                rng.gen_range(0..accounts as u64),
+                rng.gen_range(0..items as u64),
+            )
+        };
+        g.add_edge(buy, a, it, vec![Value::Date(rng.gen_range(15000..15300))]);
+    }
+    // social edges among accounts (KNOWS is symmetric)
+    for a in 0..accounts as u64 {
+        for _ in 0..rng.gen_range(0..4) {
+            let b = rng.gen_range(0..accounts as u64);
+            if a != b {
+                g.add_edge(knows, a, b, vec![]);
+                g.add_edge(knows, b, a, vec![]);
+            }
+        }
+    }
+    // online order stream; ~10% involve a pumped item (possible fraud)
+    let order_stream = (0..stream_len)
+        .map(|_| {
+            let a = rng.gen_range(0..accounts as u64);
+            let it = if rng.gen::<f64>() < 0.1 {
+                pumped[rng.gen_range(0..pumped.len())]
+            } else {
+                rng.gen_range(0..items as u64)
+            };
+            (a, it, rng.gen_range(15300..15400))
+        })
+        .collect();
+
+    FraudWorkload {
+        data: g,
+        labels,
+        accounts,
+        items,
+        seeds,
+        order_stream,
+    }
+}
+
+/// Labels of the equity-ownership graph.
+#[derive(Clone, Copy, Debug)]
+pub struct EquitySchema {
+    pub holder: LabelId,
+    pub invest: LabelId,
+}
+
+/// A generated equity graph: companies and persons as `holder` vertices,
+/// weighted `INVEST` edges carrying share percentages that sum to ~1 per
+/// company.
+pub struct EquityGraph {
+    pub data: PropertyGraphData,
+    pub labels: EquitySchema,
+    /// Number of company vertices (ids 0..companies); persons follow.
+    pub companies: usize,
+    pub persons: usize,
+}
+
+/// Generates an equity ownership graph shaped like the §8 scenario: layered
+/// corporate shareholding DAG with person ultimate owners; each company's
+/// incoming shares sum to 1.
+pub fn equity_graph(companies: usize, persons: usize, seed: u64) -> EquityGraph {
+    let mut schema = GraphSchema::new();
+    let holder = schema.add_vertex_label(
+        "Holder",
+        &[("name", ValueType::Str), ("isPerson", ValueType::Bool)],
+    );
+    let invest = schema.add_edge_label(
+        "INVEST",
+        holder,
+        holder,
+        &[("share", ValueType::Float)],
+    );
+    let labels = EquitySchema { holder, invest };
+    let mut g = PropertyGraphData::new(schema);
+    let mut rng = Pcg64Mcg::new((seed as u128) << 64 | 0xeb1);
+
+    for c in 0..companies as u64 {
+        g.add_vertex(
+            holder,
+            c,
+            vec![Value::Str(format!("Company {c}")), Value::Bool(false)],
+        );
+    }
+    for p in 0..persons as u64 {
+        g.add_vertex(
+            holder,
+            companies as u64 + p,
+            vec![Value::Str(format!("Person {p}")), Value::Bool(true)],
+        );
+    }
+    // Owners of company c come from companies with larger id (keeps the
+    // graph a DAG) or persons; 2-4 shareholders whose shares sum to 1.
+    for c in 0..companies as u64 {
+        let k = rng.gen_range(2..=4usize);
+        let mut cuts: Vec<f64> = (0..k - 1).map(|_| rng.gen::<f64>()).collect();
+        cuts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut shares = Vec::with_capacity(k);
+        let mut prev = 0.0;
+        for &cut in &cuts {
+            shares.push(cut - prev);
+            prev = cut;
+        }
+        shares.push(1.0 - prev);
+        for share in shares {
+            let owner = if rng.gen::<f64>() < 0.5 && c + 1 < companies as u64 {
+                rng.gen_range(c + 1..companies as u64)
+            } else {
+                companies as u64 + rng.gen_range(0..persons as u64)
+            };
+            g.add_edge(invest, owner, c, vec![Value::Float(share)]);
+        }
+    }
+
+    EquityGraph {
+        data: g,
+        labels,
+        companies,
+        persons,
+    }
+}
+
+/// Labels of the cybersecurity graph.
+#[derive(Clone, Copy, Debug)]
+pub struct CyberSchema {
+    pub host: LabelId,
+    pub process: LabelId,
+    pub runs: LabelId,
+    pub connects: LabelId,
+}
+
+/// A generated cyber-monitoring graph: hosts run processes; processes open
+/// network connections to hosts. Trojan detection is the 2-hop traversal
+/// host → process → remote host against a blocklist.
+pub struct CyberGraph {
+    pub data: PropertyGraphData,
+    pub labels: CyberSchema,
+    pub hosts: usize,
+    pub processes: usize,
+    /// Hosts on the threat blocklist.
+    pub blocklist: Vec<u64>,
+}
+
+/// Generates the cybersecurity graph.
+pub fn cyber_graph(hosts: usize, processes_per_host: usize, seed: u64) -> CyberGraph {
+    let mut schema = GraphSchema::new();
+    let host = schema.add_vertex_label("Host", &[("ip", ValueType::Str)]);
+    let process = schema.add_vertex_label(
+        "Process",
+        &[("name", ValueType::Str), ("suspicious", ValueType::Bool)],
+    );
+    let runs = schema.add_edge_label("RUNS", host, process, &[]);
+    let connects = schema.add_edge_label(
+        "CONNECTS",
+        process,
+        host,
+        &[("port", ValueType::Int)],
+    );
+    let labels = CyberSchema {
+        host,
+        process,
+        runs,
+        connects,
+    };
+    let mut g = PropertyGraphData::new(schema);
+    let mut rng = Pcg64Mcg::new((seed as u128) << 64 | 0xcb);
+
+    for h in 0..hosts as u64 {
+        g.add_vertex(
+            host,
+            h,
+            vec![Value::Str(format!("10.0.{}.{}", h / 256, h % 256))],
+        );
+    }
+    let mut pid = 0u64;
+    let nblock = (hosts / 50).max(2);
+    let blocklist: Vec<u64> = (0..nblock as u64).map(|i| i * 31 % hosts as u64).collect();
+    for h in 0..hosts as u64 {
+        for _ in 0..processes_per_host {
+            let suspicious = rng.gen::<f64>() < 0.02;
+            g.add_vertex(
+                process,
+                pid,
+                vec![
+                    Value::Str(format!("proc-{pid}")),
+                    Value::Bool(suspicious),
+                ],
+            );
+            g.add_edge(runs, h, pid, vec![]);
+            let conns = rng.gen_range(1..6);
+            for _ in 0..conns {
+                let target = if suspicious && rng.gen::<f64>() < 0.5 {
+                    blocklist[rng.gen_range(0..blocklist.len())]
+                } else {
+                    rng.gen_range(0..hosts as u64)
+                };
+                g.add_edge(
+                    connects,
+                    pid,
+                    target,
+                    vec![Value::Int(rng.gen_range(1..65535))],
+                );
+            }
+            pid += 1;
+        }
+    }
+
+    CyberGraph {
+        data: g,
+        labels,
+        hosts,
+        processes: pid as usize,
+        blocklist,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraud_graph_is_valid_and_has_seeds() {
+        let w = fraud_graph(500, 200, 2000, 100, 1);
+        w.data.validate().unwrap();
+        assert!(!w.seeds.is_empty());
+        assert_eq!(w.order_stream.len(), 100);
+        assert!(w.seeds.iter().all(|&s| s < 500));
+    }
+
+    #[test]
+    fn equity_shares_sum_to_one() {
+        let eq = equity_graph(100, 50, 2);
+        eq.data.validate().unwrap();
+        let edges = &eq.data.edges[eq.labels.invest.index()];
+        let mut sums = vec![0.0f64; 100];
+        for (i, &(_, dst)) in edges.endpoints.iter().enumerate() {
+            sums[dst as usize] += edges.properties[i][0].as_float().unwrap();
+        }
+        for (c, s) in sums.iter().enumerate() {
+            assert!((s - 1.0).abs() < 1e-9, "company {c} shares sum {s}");
+        }
+    }
+
+    #[test]
+    fn equity_is_dag_over_companies() {
+        let eq = equity_graph(80, 20, 3);
+        let edges = &eq.data.edges[eq.labels.invest.index()];
+        for &(owner, c) in &edges.endpoints {
+            if owner < eq.companies as u64 {
+                assert!(owner > c, "company edge {owner}->{c} breaks DAG order");
+            }
+        }
+    }
+
+    #[test]
+    fn cyber_graph_structure() {
+        let cg = cyber_graph(100, 3, 4);
+        cg.data.validate().unwrap();
+        assert_eq!(cg.processes, 300);
+        let runs = &cg.data.edges[cg.labels.runs.index()];
+        assert_eq!(runs.endpoints.len(), 300);
+        assert!(!cg.blocklist.is_empty());
+    }
+
+    #[test]
+    fn app_generators_deterministic() {
+        assert_eq!(
+            fraud_graph(100, 50, 300, 10, 7).data,
+            fraud_graph(100, 50, 300, 10, 7).data
+        );
+        assert_eq!(equity_graph(50, 20, 7).data, equity_graph(50, 20, 7).data);
+        assert_eq!(cyber_graph(50, 2, 7).data, cyber_graph(50, 2, 7).data);
+    }
+}

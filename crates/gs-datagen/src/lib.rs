@@ -1,0 +1,30 @@
+//! # gs-datagen — synthetic dataset generators
+//!
+//! The paper evaluates on billion-edge public datasets (Table 1) and
+//! production graphs that we cannot ship. This crate generates
+//! *shape-preserving, scaled-down* equivalents:
+//!
+//! * [`rmat`] — Graph500-style R-MAT graphs (G500 analogue; heavy-tailed,
+//!   community-free skew),
+//! * [`powerlaw`] — preferential-attachment power-law graphs (social-network
+//!   analogues: FB0/FB1/CF/TW) and a high-locality copying-model variant
+//!   (webgraph analogues: WB/UK/IT/AR), plus a sparse Zipf variant (ZF),
+//! * [`snb`] — an LDBC SNB-lite social network with the Person/Forum/Post/
+//!   Comment/Tag labeled-property schema used by the interactive and BI
+//!   workloads,
+//! * [`apps`] — the §8 application graphs (transactions for fraud detection,
+//!   equity ownership, cybersecurity process/connection graphs),
+//! * [`catalog`] — the Table 1 catalog mapping dataset abbreviations to
+//!   generator configurations at a configurable scale.
+//!
+//! All generators are deterministic given a seed (PCG streams), so every
+//! figure in `gs-bench` is reproducible bit-for-bit.
+
+pub mod apps;
+pub mod catalog;
+pub mod powerlaw;
+pub mod rmat;
+pub mod snb;
+
+pub use catalog::{Dataset, DatasetKind};
+pub use snb::{SnbGraph, SnbSchema};

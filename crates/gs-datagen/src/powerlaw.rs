@@ -1,0 +1,171 @@
+//! Power-law and webgraph-like generators.
+//!
+//! Three families matching Table 1's dataset shapes:
+//!
+//! * [`preferential_attachment`] — Barabási–Albert-style social graphs for
+//!   the FB0/FB1/CF/TW analogues (dense, heavy-tailed, low locality),
+//! * [`zipf_sparse`] — very sparse graphs with Zipf-distributed out-degrees
+//!   for the ZF analogue (|V| ≈ |E|/2.4, many degree-0/1 vertices),
+//! * [`copying_model`] — a copying/evolving model that produces the high
+//!   id-locality adjacency typical of crawled webgraphs (WB/UK/IT/AR),
+//!   where neighbours cluster near the source id. Locality matters for the
+//!   cache behaviour the Graphalytics experiments measure.
+
+use gs_graph::edgelist::EdgeList;
+use gs_graph::VId;
+use rand::Rng;
+use rand_pcg::Pcg64Mcg;
+
+fn rng_for(seed: u64) -> Pcg64Mcg {
+    Pcg64Mcg::new((seed as u128) << 64 | 0xda3e_39cb_94b9_5bdb)
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches `k`
+/// edges to targets sampled proportionally to current degree.
+pub fn preferential_attachment(n: usize, k: usize, seed: u64) -> EdgeList {
+    assert!(n > k && k >= 1);
+    let mut rng = rng_for(seed);
+    let mut el = EdgeList::new(n);
+    // Repeated-endpoint list gives degree-proportional sampling in O(1).
+    let mut endpoints: Vec<u64> = Vec::with_capacity(2 * n * k);
+    // seed clique among the first k+1 vertices
+    for i in 0..=k as u64 {
+        for j in 0..i {
+            el.push(VId(i), VId(j));
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    for v in (k as u64 + 1)..n as u64 {
+        for _ in 0..k {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            el.push(VId(v), VId(t));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    el
+}
+
+/// Sparse Zipf out-degree graph: out-degree of vertex `i` follows a Zipf
+/// tail; targets are uniform. Produces the ZF shape: |E| ≈ 2.4 |V|, long
+/// thin tail of low-degree vertices.
+pub fn zipf_sparse(n: usize, exponent: f64, max_degree: usize, seed: u64) -> EdgeList {
+    let mut rng = rng_for(seed ^ 0x2f);
+    let mut el = EdgeList::new(n);
+    // Inverse-CDF Zipf sampling over 1..=max_degree.
+    let norm: f64 = (1..=max_degree).map(|k| (k as f64).powf(-exponent)).sum();
+    for v in 0..n as u64 {
+        let u: f64 = rng.gen::<f64>() * norm;
+        let mut acc = 0.0;
+        let mut deg = 1;
+        for k in 1..=max_degree {
+            acc += (k as f64).powf(-exponent);
+            if u <= acc {
+                deg = k;
+                break;
+            }
+        }
+        for _ in 0..deg {
+            let t = rng.gen_range(0..n as u64);
+            el.push(VId(v), VId(t));
+        }
+    }
+    el
+}
+
+/// Copying/evolving model with id-locality: with probability `locality` a
+/// new edge copies a neighbour of a nearby vertex (producing tight id
+/// ranges, like crawl order in webgraphs); otherwise it links uniformly.
+pub fn copying_model(n: usize, k: usize, locality: f64, seed: u64) -> EdgeList {
+    assert!((0.0..=1.0).contains(&locality));
+    let mut rng = rng_for(seed ^ 0x77eb);
+    let mut el = EdgeList::new(n);
+    let mut adj: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for v in 1..n as u64 {
+        for _ in 0..k {
+            let t = if rng.gen::<f64>() < locality && v > 4 {
+                // copy a neighbour of a vertex in the recent window
+                let w = v - 1 - rng.gen_range(0..(v.min(64) - 1).max(1));
+                let nb = &adj[w as usize];
+                if nb.is_empty() {
+                    w
+                } else {
+                    nb[rng.gen_range(0..nb.len())]
+                }
+            } else {
+                rng.gen_range(0..v)
+            };
+            el.push(VId(v), VId(t));
+            adj[v as usize].push(t);
+        }
+    }
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pa_counts() {
+        let el = preferential_attachment(1000, 4, 7);
+        assert_eq!(el.vertex_count(), 1000);
+        // clique edges + k per remaining vertex
+        assert_eq!(el.edge_count(), 4 * 5 / 2 + (1000 - 5) * 4);
+    }
+
+    #[test]
+    fn pa_is_heavy_tailed() {
+        let el = preferential_attachment(5000, 4, 11);
+        let mut el2 = el.clone();
+        el2.symmetrize();
+        let g = el2.to_csr();
+        let max_deg = (0..g.vertex_count())
+            .map(|v| g.degree(VId(v as u64)))
+            .max()
+            .unwrap();
+        let avg = g.edge_count() / g.vertex_count();
+        assert!(max_deg > 10 * avg, "max {max_deg} vs avg {avg}");
+    }
+
+    #[test]
+    fn zipf_sparse_ratio() {
+        let el = zipf_sparse(10_000, 2.0, 100, 3);
+        let ratio = el.edge_count() as f64 / el.vertex_count() as f64;
+        assert!((1.0..4.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn copying_model_has_locality() {
+        let el = copying_model(10_000, 8, 0.8, 5);
+        // measure average |src - dst|: should be much smaller than uniform
+        let avg_gap: f64 = el
+            .edges()
+            .iter()
+            .map(|(s, d)| (s.0 as f64 - d.0 as f64).abs())
+            .sum::<f64>()
+            / el.edge_count() as f64;
+        let uniform_expectation = 10_000.0 / 3.0;
+        assert!(
+            avg_gap < uniform_expectation * 0.8,
+            "avg gap {avg_gap} not local"
+        );
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(
+            preferential_attachment(500, 3, 42).edges(),
+            preferential_attachment(500, 3, 42).edges()
+        );
+        assert_eq!(
+            zipf_sparse(500, 2.0, 50, 42).edges(),
+            zipf_sparse(500, 2.0, 50, 42).edges()
+        );
+        assert_eq!(
+            copying_model(500, 3, 0.7, 42).edges(),
+            copying_model(500, 3, 0.7, 42).edges()
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! R-MAT / Graph500 Kronecker generator.
+//!
+//! The Graph500 benchmark (our `G500` dataset analogue) uses the recursive
+//! matrix model with partition probabilities (a, b, c, d) = (0.57, 0.19,
+//! 0.19, 0.05). Each edge picks one quadrant per level of recursion, which
+//! yields the heavy-tailed degree distribution that stresses load balancing
+//! in the analytical engines.
+
+use gs_graph::edgelist::EdgeList;
+use rand::Rng;
+use rand_pcg::Pcg64Mcg;
+
+/// R-MAT generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatConfig {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Average edges per vertex (Graph500 uses 16).
+    pub edge_factor: u32,
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    /// Random seed; same seed → same graph.
+    pub seed: u64,
+}
+
+impl RmatConfig {
+    /// The Graph500 standard parameterisation at the given scale.
+    pub fn graph500(scale: u32) -> Self {
+        Self {
+            scale,
+            edge_factor: 16,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed: 0x6500,
+        }
+    }
+
+    /// Implied `d` quadrant probability.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates an R-MAT edge list (directed, may contain duplicates/loops —
+/// callers normalise with [`EdgeList::dedup_simple`] when they need a simple
+/// graph, exactly like Graphalytics preprocessing does).
+pub fn generate(cfg: &RmatConfig) -> EdgeList {
+    assert!(cfg.scale <= 32, "scale too large for this simulator");
+    assert!(cfg.d() >= 0.0, "quadrant probabilities exceed 1");
+    let n = 1usize << cfg.scale;
+    let m = n * cfg.edge_factor as usize;
+    let mut rng = Pcg64Mcg::new(cfg.seed as u128 | 0x5851_f42d_4c95_7f2d_0000_0000_0000_0000);
+    let mut el = EdgeList::new(n);
+    // Noise added per level ("smoothing") avoids the exact self-similar
+    // staircase, as in the Graph500 reference implementation.
+    for _ in 0..m {
+        let (mut x, mut y) = (0u64, 0u64);
+        for level in 0..cfg.scale {
+            let bit = 1u64 << (cfg.scale - 1 - level);
+            let r: f64 = rng.gen();
+            let (a, b, c) = (cfg.a, cfg.b, cfg.c);
+            if r < a {
+                // top-left: no bits set
+            } else if r < a + b {
+                y |= bit;
+            } else if r < a + b + c {
+                x |= bit;
+            } else {
+                x |= bit;
+                y |= bit;
+            }
+        }
+        el.push(gs_graph::VId(x), gs_graph::VId(y));
+    }
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_graph::VId;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = RmatConfig::graph500(8);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = RmatConfig::graph500(8);
+        let a = generate(&cfg);
+        cfg.seed = 99;
+        let b = generate(&cfg);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let cfg = RmatConfig::graph500(10);
+        let el = generate(&cfg);
+        assert_eq!(el.vertex_count(), 1024);
+        assert_eq!(el.edge_count(), 1024 * 16);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let cfg = RmatConfig::graph500(12);
+        let el = generate(&cfg);
+        let g = el.to_csr();
+        let mut degrees: Vec<usize> = (0..g.vertex_count())
+            .map(|v| g.degree(VId(v as u64)))
+            .collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        // R-MAT skew: the top 1% of vertices should own far more than 1% of
+        // edges (they own >20% at graph500 parameters).
+        let top = degrees.iter().take(degrees.len() / 100).sum::<usize>();
+        let total: usize = degrees.iter().sum();
+        assert!(
+            top * 5 > total,
+            "expected heavy skew, top1% = {top}/{total}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn invalid_probabilities_panic() {
+        let cfg = RmatConfig {
+            scale: 4,
+            edge_factor: 1,
+            a: 0.5,
+            b: 0.4,
+            c: 0.3,
+            seed: 1,
+        };
+        generate(&cfg);
+    }
+}

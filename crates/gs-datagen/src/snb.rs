@@ -1,0 +1,418 @@
+//! LDBC SNB-lite social network generator.
+//!
+//! A scaled-down analogue of the LDBC Social Network Benchmark datagen: the
+//! Person/Forum/Post/Comment/Tag labeled-property schema with the
+//! correlations the benchmark queries depend on — community-structured
+//! KNOWS, forum membership skew, reply trees, and date-ordered content
+//! creation. The interactive (Fig. 7f), BI (Fig. 7g), and storage (Fig. 7a)
+//! experiments all run over graphs from this module.
+
+use gs_graph::data::PropertyGraphData;
+use gs_graph::schema::GraphSchema;
+use gs_graph::value::{Value, ValueType};
+use gs_graph::LabelId;
+use rand::Rng;
+use rand_pcg::Pcg64Mcg;
+
+/// Label handles for the SNB-lite schema.
+#[derive(Clone, Copy, Debug)]
+pub struct SnbSchema {
+    pub person: LabelId,
+    pub forum: LabelId,
+    pub post: LabelId,
+    pub comment: LabelId,
+    pub tag: LabelId,
+    pub knows: LabelId,
+    pub has_member: LabelId,
+    pub container_of: LabelId,
+    pub reply_of: LabelId,
+    pub has_creator_post: LabelId,
+    pub has_creator_comment: LabelId,
+    pub likes_post: LabelId,
+    pub has_tag_post: LabelId,
+    pub has_interest: LabelId,
+}
+
+impl SnbSchema {
+    /// Builds the SNB-lite schema; label ids are stable across runs.
+    pub fn create() -> (GraphSchema, SnbSchema) {
+        let mut s = GraphSchema::new();
+        let person = s.add_vertex_label(
+            "Person",
+            &[
+                ("firstName", ValueType::Str),
+                ("lastName", ValueType::Str),
+                ("birthday", ValueType::Date),
+                ("creationDate", ValueType::Date),
+                ("locationIP", ValueType::Str),
+                ("browserUsed", ValueType::Str),
+            ],
+        );
+        let forum = s.add_vertex_label(
+            "Forum",
+            &[("title", ValueType::Str), ("creationDate", ValueType::Date)],
+        );
+        let post = s.add_vertex_label(
+            "Post",
+            &[
+                ("content", ValueType::Str),
+                ("creationDate", ValueType::Date),
+                ("length", ValueType::Int),
+            ],
+        );
+        let comment = s.add_vertex_label(
+            "Comment",
+            &[
+                ("content", ValueType::Str),
+                ("creationDate", ValueType::Date),
+                ("length", ValueType::Int),
+            ],
+        );
+        let tag = s.add_vertex_label("Tag", &[("name", ValueType::Str)]);
+        let knows = s.add_edge_label(
+            "KNOWS",
+            person,
+            person,
+            &[("creationDate", ValueType::Date)],
+        );
+        let has_member = s.add_edge_label(
+            "HAS_MEMBER",
+            forum,
+            person,
+            &[("joinDate", ValueType::Date)],
+        );
+        let container_of = s.add_edge_label("CONTAINER_OF", forum, post, &[]);
+        let reply_of = s.add_edge_label("REPLY_OF", comment, post, &[]);
+        let has_creator_post = s.add_edge_label("POST_HAS_CREATOR", post, person, &[]);
+        let has_creator_comment =
+            s.add_edge_label("COMMENT_HAS_CREATOR", comment, person, &[]);
+        let likes_post = s.add_edge_label(
+            "LIKES",
+            person,
+            post,
+            &[("creationDate", ValueType::Date)],
+        );
+        let has_tag_post = s.add_edge_label("HAS_TAG", post, tag, &[]);
+        let has_interest = s.add_edge_label("HAS_INTEREST", person, tag, &[]);
+        (
+            s,
+            SnbSchema {
+                person,
+                forum,
+                post,
+                comment,
+                tag,
+                knows,
+                has_member,
+                container_of,
+                reply_of,
+                has_creator_post,
+                has_creator_comment,
+                likes_post,
+                has_tag_post,
+                has_interest,
+            },
+        )
+    }
+}
+
+/// A generated SNB-lite graph plus its label handles and entity counts.
+pub struct SnbGraph {
+    pub data: PropertyGraphData,
+    pub labels: SnbSchema,
+    pub persons: usize,
+    pub forums: usize,
+    pub posts: usize,
+    pub comments: usize,
+    pub tags: usize,
+}
+
+/// SNB-lite generator configuration. `scale_persons` drives everything else
+/// with LDBC-like ratios.
+#[derive(Clone, Copy, Debug)]
+pub struct SnbConfig {
+    pub persons: usize,
+    pub seed: u64,
+}
+
+impl SnbConfig {
+    /// Paper's SNB-x datasets scaled to laptop size: SNB-30-lite by default.
+    pub fn lite(persons: usize) -> Self {
+        Self { persons, seed: 30 }
+    }
+}
+
+const FIRST_NAMES: &[&str] = &[
+    "Jan", "Wei", "Ana", "Ivan", "Meera", "Otto", "Lena", "Yusuf", "Chen", "Aiko", "Omar",
+    "Nina", "Raj", "Sara", "Tomas", "Zoe",
+];
+const LAST_NAMES: &[&str] = &[
+    "Smith", "Garcia", "Mueller", "Ivanov", "Tanaka", "Kumar", "Silva", "Chen", "Olsen",
+    "Moreau", "Rossi", "Novak",
+];
+const BROWSERS: &[&str] = &["Firefox", "Chrome", "Safari", "Opera", "IE"];
+const TAG_NAMES: &[&str] = &[
+    "rock", "jazz", "football", "chess", "physics", "history", "cooking", "travel", "ai",
+    "film", "poetry", "biking", "gaming", "fashion", "space", "gardens",
+];
+
+/// Day numbers: SNB activity window 2010-01-01 .. 2013-01-01, as days.
+const DATE_LO: i64 = 14610;
+const DATE_HI: i64 = 15706;
+
+/// Generates an SNB-lite graph. Deterministic in `cfg`.
+pub fn generate(cfg: &SnbConfig) -> SnbGraph {
+    let (schema, l) = SnbSchema::create();
+    let mut g = PropertyGraphData::new(schema);
+    let mut rng = Pcg64Mcg::new((cfg.seed as u128) << 64 | 0x51db);
+    let np = cfg.persons.max(8);
+    let nforum = (np / 10).max(2);
+    let ntag = TAG_NAMES.len();
+    // Community structure: persons are grouped into sqrt(np)-sized cities;
+    // KNOWS edges prefer the same community (drives IC-style 2-hop queries).
+    let comm = (np as f64).sqrt().ceil() as usize;
+
+    // External id spaces are disjoint per label by construction (each label
+    // numbers its entities 0..count), matching LDBC's per-type id spaces.
+    for p in 0..np {
+        let birthday = DATE_LO - rng.gen_range(6000..20000);
+        let creation = rng.gen_range(DATE_LO..DATE_HI);
+        g.add_vertex(
+            l.person,
+            p as u64,
+            vec![
+                Value::Str(FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())].to_string()),
+                Value::Str(LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())].to_string()),
+                Value::Date(birthday),
+                Value::Date(creation),
+                Value::Str(format!(
+                    "{}.{}.{}.{}",
+                    rng.gen_range(1..255),
+                    rng.gen_range(0..255),
+                    rng.gen_range(0..255),
+                    rng.gen_range(1..255)
+                )),
+                Value::Str(BROWSERS[rng.gen_range(0..BROWSERS.len())].to_string()),
+            ],
+        );
+    }
+    for t in 0..ntag {
+        g.add_vertex(l.tag, t as u64, vec![Value::Str(TAG_NAMES[t].to_string())]);
+    }
+    for f in 0..nforum {
+        g.add_vertex(
+            l.forum,
+            f as u64,
+            vec![
+                Value::Str(format!("Forum {f}")),
+                Value::Date(rng.gen_range(DATE_LO..DATE_HI)),
+            ],
+        );
+    }
+
+    // KNOWS: ~avg 18 friends at SNB shape; 70% intra-community.
+    let avg_knows = 12usize;
+    let mut knows_seen = std::collections::HashSet::new();
+    for p in 0..np {
+        let deg = rng.gen_range(1..=avg_knows * 2);
+        for _ in 0..deg {
+            let q = if rng.gen::<f64>() < 0.7 {
+                let base = (p / comm) * comm;
+                base + rng.gen_range(0..comm.min(np - base))
+            } else {
+                rng.gen_range(0..np)
+            };
+            if q == p {
+                continue;
+            }
+            let (a, b) = (p.min(q), p.max(q));
+            if knows_seen.insert((a, b)) {
+                let date = Value::Date(rng.gen_range(DATE_LO..DATE_HI));
+                // KNOWS is undirected in SNB; store both directions.
+                g.add_edge(l.knows, a as u64, b as u64, vec![date.clone()]);
+                g.add_edge(l.knows, b as u64, a as u64, vec![date]);
+            }
+        }
+    }
+
+    // Forum membership: Zipf-skewed forum popularity.
+    for p in 0..np {
+        let memberships = rng.gen_range(1..=4);
+        for _ in 0..memberships {
+            let f = zipf_index(&mut rng, nforum, 1.2);
+            g.add_edge(
+                l.has_member,
+                f as u64,
+                p as u64,
+                vec![Value::Date(rng.gen_range(DATE_LO..DATE_HI))],
+            );
+        }
+    }
+
+    // Posts: each person authors 0..6 posts into a (preferably joined) forum.
+    let mut npost = 0u64;
+    let mut post_dates: Vec<i64> = Vec::new();
+    let mut post_creator: Vec<u64> = Vec::new();
+    for p in 0..np {
+        for _ in 0..rng.gen_range(0..6) {
+            let date = rng.gen_range(DATE_LO..DATE_HI);
+            let len = rng.gen_range(5..200);
+            g.add_vertex(
+                l.post,
+                npost,
+                vec![
+                    Value::Str(format!("post {npost} about {}", TAG_NAMES[zipf_index(&mut rng, ntag, 1.0)])),
+                    Value::Date(date),
+                    Value::Int(len),
+                ],
+            );
+            let f = zipf_index(&mut rng, nforum, 1.2);
+            g.add_edge(l.container_of, f as u64, npost, vec![]);
+            g.add_edge(l.has_creator_post, npost, p as u64, vec![]);
+            let t = zipf_index(&mut rng, ntag, 1.0);
+            g.add_edge(l.has_tag_post, npost, t as u64, vec![]);
+            post_dates.push(date);
+            post_creator.push(p as u64);
+            npost += 1;
+        }
+    }
+
+    // Comments: reply trees on posts (skewed to popular posts).
+    let mut ncomment = 0u64;
+    if npost > 0 {
+        for p in 0..np {
+            for _ in 0..rng.gen_range(0..8) {
+                let target = zipf_index(&mut rng, npost as usize, 1.1) as u64;
+                let date = (post_dates[target as usize] + rng.gen_range(0..60))
+                    .min(DATE_HI - 1);
+                g.add_vertex(
+                    l.comment,
+                    ncomment,
+                    vec![
+                        Value::Str(format!("re: post {target}")),
+                        Value::Date(date),
+                        Value::Int(rng.gen_range(2..80)),
+                    ],
+                );
+                g.add_edge(l.reply_of, ncomment, target, vec![]);
+                g.add_edge(l.has_creator_comment, ncomment, p as u64, vec![]);
+                ncomment += 1;
+            }
+        }
+
+        // Likes: person → post, skewed.
+        for p in 0..np {
+            for _ in 0..rng.gen_range(0..10) {
+                let target = zipf_index(&mut rng, npost as usize, 1.1) as u64;
+                g.add_edge(
+                    l.likes_post,
+                    p as u64,
+                    target,
+                    vec![Value::Date(rng.gen_range(DATE_LO..DATE_HI))],
+                );
+            }
+        }
+    }
+
+    // Interests: person → tag.
+    for p in 0..np {
+        for _ in 0..rng.gen_range(1..4) {
+            let t = zipf_index(&mut rng, ntag, 1.0);
+            g.add_edge(l.has_interest, p as u64, t as u64, vec![]);
+        }
+    }
+
+    let _ = post_creator;
+    SnbGraph {
+        data: g,
+        labels: l,
+        persons: np,
+        forums: nforum,
+        posts: npost as usize,
+        comments: ncomment as usize,
+        tags: ntag,
+    }
+}
+
+/// Samples an index in `0..n` with Zipf(exponent) skew toward low indices.
+fn zipf_index(rng: &mut Pcg64Mcg, n: usize, exponent: f64) -> usize {
+    debug_assert!(n > 0);
+    // Approximate inverse-CDF via rejection-free power transform: fast and
+    // close enough for workload skew.
+    let u: f64 = rng.gen::<f64>();
+    let x = (1.0 - u * (1.0 - (n as f64).powf(1.0 - exponent))).powf(1.0 / (1.0 - exponent));
+    // x ∈ [1, n]; shift to a 0-based index.
+    ((x.floor() as usize).saturating_sub(1)).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_valid_payload() {
+        let g = generate(&SnbConfig::lite(200));
+        g.data.validate().unwrap();
+        assert_eq!(g.persons, 200);
+        assert!(g.posts > 0);
+        assert!(g.comments > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&SnbConfig::lite(100));
+        let b = generate(&SnbConfig::lite(100));
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn knows_is_symmetric() {
+        let g = generate(&SnbConfig::lite(150));
+        let knows = &g.data.edges[g.labels.knows.index()];
+        let set: std::collections::HashSet<_> = knows.endpoints.iter().copied().collect();
+        for &(a, b) in &knows.endpoints {
+            assert!(set.contains(&(b, a)), "KNOWS {a}->{b} missing reverse");
+        }
+    }
+
+    #[test]
+    fn replies_reference_existing_posts() {
+        let g = generate(&SnbConfig::lite(120));
+        let replies = &g.data.edges[g.labels.reply_of.index()];
+        for &(_, post) in &replies.endpoints {
+            assert!((post as usize) < g.posts);
+        }
+    }
+
+    #[test]
+    fn comment_dates_follow_post_dates() {
+        let g = generate(&SnbConfig::lite(120));
+        // build post date lookup
+        let posts = &g.data.vertices[g.labels.post.index()];
+        let post_date: Vec<i64> = posts
+            .properties
+            .iter()
+            .map(|p| p[1].as_int().unwrap())
+            .collect();
+        let comments = &g.data.vertices[g.labels.comment.index()];
+        let comment_date: Vec<i64> = comments
+            .properties
+            .iter()
+            .map(|p| p[1].as_int().unwrap())
+            .collect();
+        let replies = &g.data.edges[g.labels.reply_of.index()];
+        for &(c, p) in &replies.endpoints {
+            assert!(comment_date[c as usize] >= post_date[p as usize]);
+        }
+    }
+
+    #[test]
+    fn zipf_index_prefers_low_indices() {
+        let mut rng = Pcg64Mcg::new(9);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[zipf_index(&mut rng, 10, 1.2)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "{counts:?}");
+    }
+}

@@ -1,0 +1,360 @@
+//! flexbuild — LEGO-brick component selection and deployment composition
+//! (paper §3).
+//!
+//! Users pick numbered components (the paper's ①–㉔); flexbuild validates
+//! that the selection composes into a working stack (every engine has a
+//! storage backend whose capabilities satisfy the engine's requirements,
+//! every interface has an engine, …) and produces a [`Deployment`]
+//! manifest. The §3 examples reproduce directly: the anti-fraud engineers'
+//! `①⑤⑭⑯⑳㉒` and the BI data scientist's `②④⑧⑨⑩⑬⑳㉓`.
+
+use gs_grin::Capabilities;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Every selectable component, numbered as in the paper's Figure 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// ① language SDKs
+    Sdk = 1,
+    /// ② WebSocket / RESTful APIs
+    RestApi = 2,
+    /// ③ Gremlin front-end
+    Gremlin = 3,
+    /// ④ Cypher front-end
+    Cypher = 4,
+    /// ⑤ built-in analytical algorithm library
+    BuiltinAlgorithms = 5,
+    /// ⑥ analytics SDK interfaces (Pregel/PIE/FLASH programming APIs)
+    AnalyticsInterfaces = 6,
+    /// ⑦ GNN model library
+    GnnModels = 7,
+    /// ⑧ GraphIR abstraction
+    GraphIr = 8,
+    /// ⑨ universal query optimizer
+    Optimizer = 9,
+    /// ⑩ OLAP code generator
+    OlapCodegen = 10,
+    /// ⑪ OLTP code generator
+    OltpCodegen = 11,
+    /// ⑫ HiActor engine (OLTP)
+    HiActor = 12,
+    /// ⑬ Gaia engine (OLAP)
+    Gaia = 13,
+    /// ⑭ PIE model
+    Pie = 14,
+    /// ⑮ FLASH model
+    Flash = 15,
+    /// ⑯ GRAPE analytical engine
+    Grape = 16,
+    /// ⑰ GraphLearn sampling
+    GraphLearn = 17,
+    /// ⑱ PyTorch-style training backend
+    TorchBackend = 18,
+    /// ⑲ TensorFlow-style training backend
+    TfBackend = 19,
+    /// ⑳ GRIN unified retrieval interface
+    Grin = 20,
+    /// ㉑ Vineyard immutable in-memory store
+    Vineyard = 21,
+    /// ㉒ GART dynamic MVCC store
+    Gart = 22,
+    /// ㉓ GraphAr archive store
+    GraphAr = 23,
+    /// ㉔ other/custom storage backends
+    CustomStore = 24,
+}
+
+impl Component {
+    /// The capabilities a storage component offers through GRIN.
+    pub fn storage_capabilities(self) -> Option<Capabilities> {
+        match self {
+            Component::Vineyard => Some(Capabilities::of(&[
+                Capabilities::VERTEX_LIST_ARRAY,
+                Capabilities::VERTEX_LIST_ITER,
+                Capabilities::ADJ_LIST_ARRAY,
+                Capabilities::ADJ_LIST_ITER,
+                Capabilities::IN_ADJACENCY,
+                Capabilities::PROPERTY,
+                Capabilities::INDEX_EXTERNAL_ID,
+                Capabilities::INDEX_PROPERTY,
+                Capabilities::PREDICATE_PUSHDOWN,
+            ])),
+            Component::Gart => Some(Capabilities::of(&[
+                Capabilities::VERTEX_LIST_ITER,
+                Capabilities::ADJ_LIST_ITER,
+                Capabilities::IN_ADJACENCY,
+                Capabilities::PROPERTY,
+                Capabilities::INDEX_EXTERNAL_ID,
+                Capabilities::MVCC,
+                Capabilities::MUTABLE,
+            ])),
+            Component::GraphAr => Some(Capabilities::of(&[
+                Capabilities::VERTEX_LIST_ITER,
+                Capabilities::ADJ_LIST_ITER,
+                Capabilities::IN_ADJACENCY,
+                Capabilities::PROPERTY,
+                Capabilities::INDEX_EXTERNAL_ID,
+            ])),
+            Component::CustomStore => Some(Capabilities::of(&[
+                Capabilities::VERTEX_LIST_ITER,
+                Capabilities::ADJ_LIST_ITER,
+            ])),
+            _ => None,
+        }
+    }
+
+    /// The capabilities an engine component requires from storage.
+    pub fn engine_requirements(self) -> Option<Capabilities> {
+        match self {
+            Component::HiActor => Some(Capabilities::of(&[
+                Capabilities::VERTEX_LIST_ITER,
+                Capabilities::ADJ_LIST_ITER,
+                Capabilities::PROPERTY,
+                Capabilities::INDEX_EXTERNAL_ID,
+            ])),
+            Component::Gaia => Some(Capabilities::of(&[
+                Capabilities::VERTEX_LIST_ITER,
+                Capabilities::ADJ_LIST_ITER,
+                Capabilities::PROPERTY,
+            ])),
+            Component::Grape => Some(Capabilities::of(&[
+                Capabilities::VERTEX_LIST_ITER,
+                Capabilities::ADJ_LIST_ITER,
+            ])),
+            Component::GraphLearn => Some(Capabilities::of(&[
+                Capabilities::VERTEX_LIST_ITER,
+                Capabilities::ADJ_LIST_ITER,
+            ])),
+            _ => None,
+        }
+    }
+
+    fn is_engine(self) -> bool {
+        self.engine_requirements().is_some()
+    }
+
+    fn is_storage(self) -> bool {
+        self.storage_capabilities().is_some()
+    }
+
+    /// Direct prerequisites between components (A requires B selected).
+    pub fn prerequisites(self) -> &'static [Component] {
+        use Component::*;
+        match self {
+            Gremlin | Cypher => &[GraphIr],
+            GraphIr => &[Optimizer],
+            OlapCodegen => &[GraphIr, Gaia],
+            OltpCodegen => &[GraphIr, HiActor],
+            HiActor | Gaia | Grape | GraphLearn => &[Grin],
+            Pie | Flash | BuiltinAlgorithms | AnalyticsInterfaces => &[Grape],
+            GnnModels => &[GraphLearn],
+            TorchBackend | TfBackend => &[GraphLearn],
+            Vineyard | Gart | GraphAr | CustomStore => &[Grin],
+            _ => &[],
+        }
+    }
+}
+
+/// A validated deployment manifest.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct Deployment {
+    pub name: String,
+    pub components: BTreeSet<Component>,
+    /// Deployment target hint (binary vs. image; single node vs. cluster).
+    pub target: DeployTarget,
+}
+
+/// Deployment target.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub enum DeployTarget {
+    SingleMachineBinary,
+    ClusterImage,
+}
+
+/// Composition errors reported by flexbuild.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    MissingPrerequisite {
+        component: Component,
+        needs: Component,
+    },
+    EngineWithoutStorage(Component),
+    EngineUnsatisfied {
+        engine: Component,
+        missing: String,
+    },
+    EmptySelection,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::MissingPrerequisite { component, needs } => {
+                write!(f, "{component:?} requires {needs:?} to be selected")
+            }
+            BuildError::EngineWithoutStorage(e) => {
+                write!(f, "engine {e:?} has no storage backend selected")
+            }
+            BuildError::EngineUnsatisfied { engine, missing } => {
+                write!(f, "no selected storage satisfies {engine:?}: needs {missing}")
+            }
+            BuildError::EmptySelection => write!(f, "no components selected"),
+        }
+    }
+}
+
+/// The flexbuild composer.
+pub struct FlexBuild;
+
+impl FlexBuild {
+    /// Validates a component selection and produces a deployment.
+    pub fn compose(
+        name: &str,
+        components: &[Component],
+        target: DeployTarget,
+    ) -> Result<Deployment, BuildError> {
+        if components.is_empty() {
+            return Err(BuildError::EmptySelection);
+        }
+        let set: BTreeSet<Component> = components.iter().copied().collect();
+        for &c in &set {
+            for &need in c.prerequisites() {
+                if !set.contains(&need) {
+                    return Err(BuildError::MissingPrerequisite {
+                        component: c,
+                        needs: need,
+                    });
+                }
+            }
+        }
+        // every engine must have at least one satisfying storage backend
+        let storages: Vec<Component> = set.iter().copied().filter(|c| c.is_storage()).collect();
+        for &c in &set {
+            if c.is_engine() {
+                if storages.is_empty() {
+                    return Err(BuildError::EngineWithoutStorage(c));
+                }
+                let req = c.engine_requirements().unwrap();
+                let ok = storages
+                    .iter()
+                    .any(|s| s.storage_capabilities().unwrap().supports(req));
+                if !ok {
+                    return Err(BuildError::EngineUnsatisfied {
+                        engine: c,
+                        missing: format!("{req:?}"),
+                    });
+                }
+            }
+        }
+        Ok(Deployment {
+            name: name.to_string(),
+            components: set,
+            target,
+        })
+    }
+
+    /// The paper's Workload-2 (anti-fraud analytics) preset: ①⑤⑭⑯⑳㉒.
+    pub fn antifraud_analytics_preset() -> Result<Deployment, BuildError> {
+        use Component::*;
+        Self::compose(
+            "antifraud-analytics",
+            &[Sdk, BuiltinAlgorithms, Pie, Grape, Grin, Gart],
+            DeployTarget::ClusterImage,
+        )
+    }
+
+    /// The paper's Workload-5 (single-machine BI) preset: ②④⑧⑨⑩⑬⑳㉓.
+    pub fn bi_single_machine_preset() -> Result<Deployment, BuildError> {
+        use Component::*;
+        Self::compose(
+            "bi-analysis",
+            &[RestApi, Cypher, GraphIr, Optimizer, OlapCodegen, Gaia, Grin, GraphAr],
+            DeployTarget::SingleMachineBinary,
+        )
+    }
+
+    /// The §8 real-time fraud OLTP preset (HiActor + GART).
+    pub fn fraud_oltp_preset() -> Result<Deployment, BuildError> {
+        use Component::*;
+        Self::compose(
+            "fraud-oltp",
+            &[Sdk, Cypher, GraphIr, Optimizer, OltpCodegen, HiActor, Grin, Gart],
+            DeployTarget::ClusterImage,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Component::*;
+
+    #[test]
+    fn paper_presets_compose() {
+        for d in [
+            FlexBuild::antifraud_analytics_preset(),
+            FlexBuild::bi_single_machine_preset(),
+            FlexBuild::fraud_oltp_preset(),
+        ] {
+            let d = d.expect("preset must compose");
+            assert!(!d.components.is_empty());
+        }
+    }
+
+    #[test]
+    fn missing_prerequisite_is_rejected() {
+        // Cypher without GraphIR
+        let err = FlexBuild::compose(
+            "broken",
+            &[Cypher, Gaia, Grin, Vineyard],
+            DeployTarget::SingleMachineBinary,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::MissingPrerequisite {
+                component: Cypher,
+                needs: GraphIr
+            }
+        );
+    }
+
+    #[test]
+    fn engine_without_storage_is_rejected() {
+        let err = FlexBuild::compose("broken", &[Grape, Grin], DeployTarget::ClusterImage)
+            .unwrap_err();
+        assert_eq!(err, BuildError::EngineWithoutStorage(Grape));
+    }
+
+    #[test]
+    fn hiactor_needs_external_id_index() {
+        // CustomStore lacks INDEX_EXTERNAL_ID → HiActor unsatisfied
+        let err = FlexBuild::compose(
+            "broken",
+            &[HiActor, Grin, CustomStore],
+            DeployTarget::ClusterImage,
+        )
+        .unwrap_err();
+        assert!(matches!(err, BuildError::EngineUnsatisfied { engine: HiActor, .. }));
+        // but GRAPE is fine on a minimal store
+        FlexBuild::compose("ok", &[Grape, Grin, CustomStore], DeployTarget::ClusterImage)
+            .unwrap();
+    }
+
+    #[test]
+    fn deployment_serializes() {
+        let d = FlexBuild::fraud_oltp_preset().unwrap();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Deployment = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn empty_selection_rejected() {
+        assert_eq!(
+            FlexBuild::compose("x", &[], DeployTarget::ClusterImage).unwrap_err(),
+            BuildError::EmptySelection
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # gs-flex — the LEGO assembly layer of GraphScope Flex
+//!
+//! Everything above the individual bricks:
+//!
+//! * [`flexbuild`] — component selection and deployment composition
+//!   (paper §3's `flexbuild` utility);
+//! * [`snb`] — the LDBC SNB interactive and BI workloads over the
+//!   composable backends (Figs. 7f/7g);
+//! * the four §8 production use cases, each on its own brick selection:
+//!   [`fraud`] (HiActor + GART), [`equity`] (GRAPE + Vineyard),
+//!   [`social`] (learning stack + Vineyard), and [`cyber`]
+//!   (Gremlin → IR → Vineyard).
+
+pub mod cyber;
+pub mod equity;
+pub mod flexbuild;
+pub mod fraud;
+pub mod snb;
+pub mod social;
+
+pub use cyber::CyberApp;
+pub use equity::{equity_grape, equity_sql, Controllers};
+pub use flexbuild::{Component, DeployTarget, Deployment, FlexBuild};
+pub use fraud::{FraudApp, FraudConfig};
+pub use social::{train_social, SocialConfig};

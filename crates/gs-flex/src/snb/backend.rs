@@ -1,0 +1,775 @@
+//! The SNB storage backend abstraction and its two implementations.
+//!
+//! All interactive queries (IC/IS/IU) are written once against
+//! [`SnbBackend`]; the benchmark then runs them on:
+//!
+//! * [`FlexBackend`] — GraphScope Flex's OLTP stack: GART snapshots with
+//!   label/property ids resolved **once at startup** (like compiled stored
+//!   procedures), dense adjacency, no per-query string work;
+//! * [`TuBackend`] — the TuGraph-like baseline: B-tree adjacency,
+//!   string-keyed property maps, every hop re-resolving names — the
+//!   interpreted profile behind Fig. 7(f)'s latency gap.
+
+use gs_baselines::tugraph::{TuGraphDb, VKey};
+use gs_datagen::snb::{SnbGraph, SnbSchema};
+use gs_gart::GartStore;
+use gs_graph::{GraphError, Result, Value};
+use gs_grin::{Direction, GrinGraph, LabelId, PropId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Storage operations the SNB interactive queries need.
+pub trait SnbBackend: Send + Sync {
+    fn person_ids(&self) -> Vec<u64>;
+    fn person_prop(&self, id: u64, prop: &str) -> Value;
+    /// KNOWS neighbours (the relation is stored symmetrically).
+    fn friends(&self, id: u64) -> Vec<u64>;
+    fn knows_date(&self, a: u64, b: u64) -> Option<i64>;
+    fn posts_by(&self, person: u64) -> Vec<u64>;
+    fn comments_by(&self, person: u64) -> Vec<u64>;
+    fn post_prop(&self, id: u64, prop: &str) -> Value;
+    fn comment_prop(&self, id: u64, prop: &str) -> Value;
+    fn post_creator(&self, post: u64) -> Option<u64>;
+    fn comment_creator(&self, comment: u64) -> Option<u64>;
+    /// (liker person, like date) pairs for a post.
+    fn likes_of_post(&self, post: u64) -> Vec<(u64, i64)>;
+    fn replies_of_post(&self, post: u64) -> Vec<u64>;
+    fn reply_target(&self, comment: u64) -> Option<u64>;
+    fn forum_of_post(&self, post: u64) -> Option<u64>;
+    fn posts_in_forum(&self, forum: u64) -> Vec<u64>;
+    fn forum_prop(&self, id: u64, prop: &str) -> Value;
+    /// (forum, joinDate) memberships of a person.
+    fn forums_of_member(&self, person: u64) -> Vec<(u64, i64)>;
+    /// (person, joinDate) members of a forum.
+    fn members(&self, forum: u64) -> Vec<(u64, i64)>;
+    fn tags_of_post(&self, post: u64) -> Vec<u64>;
+    fn tag_name(&self, tag: u64) -> String;
+    fn interests(&self, person: u64) -> Vec<u64>;
+
+    // ---- updates (IU1–IU8) ----
+    fn add_person(&self, id: u64, first: &str, last: &str, birthday: i64, creation: i64)
+        -> Result<()>;
+    fn add_knows(&self, a: u64, b: u64, date: i64) -> Result<()>;
+    fn add_forum(&self, id: u64, title: &str, date: i64) -> Result<()>;
+    fn add_member(&self, forum: u64, person: u64, date: i64) -> Result<()>;
+    fn add_post(
+        &self,
+        id: u64,
+        creator: u64,
+        forum: u64,
+        content: &str,
+        date: i64,
+        length: i64,
+    ) -> Result<()>;
+    fn add_comment(&self, id: u64, creator: u64, reply_of: u64, date: i64, length: i64)
+        -> Result<()>;
+    fn add_like(&self, person: u64, post: u64, date: i64) -> Result<()>;
+    fn add_interest(&self, person: u64, tag: u64) -> Result<()>;
+}
+
+// ===================================================================== Flex
+
+/// GraphScope Flex's backend: GART + pre-resolved ids.
+pub struct FlexBackend {
+    store: Arc<GartStore>,
+    l: SnbSchema,
+    /// Pre-resolved property ids: (label, name) → PropId.
+    props: HashMap<(LabelId, &'static str), PropId>,
+}
+
+const PERSON_PROPS: &[&str] = &[
+    "firstName",
+    "lastName",
+    "birthday",
+    "creationDate",
+    "locationIP",
+    "browserUsed",
+];
+const CONTENT_PROPS: &[&str] = &["content", "creationDate", "length"];
+const FORUM_PROPS: &[&str] = &["title", "creationDate"];
+
+impl FlexBackend {
+    /// Loads the generated graph into a fresh GART store.
+    pub fn load(graph: &SnbGraph) -> Result<Self> {
+        let store = GartStore::from_data(&graph.data)?;
+        Ok(Self::over(store, graph.labels))
+    }
+
+    /// Wraps an existing GART store (shared with an updating writer).
+    pub fn over(store: Arc<GartStore>, l: SnbSchema) -> Self {
+        let snap = store.snapshot();
+        let schema = snap.schema().clone();
+        let mut props = HashMap::new();
+        for &(label, names) in &[
+            (l.person, PERSON_PROPS),
+            (l.post, CONTENT_PROPS),
+            (l.comment, CONTENT_PROPS),
+            (l.forum, FORUM_PROPS),
+        ] {
+            for &name in names {
+                if let Some(p) = schema.vertex_property(label, name) {
+                    props.insert((label, name), p.id);
+                }
+            }
+        }
+        props.insert((l.tag, "name"), schema.vertex_property(l.tag, "name").unwrap().id);
+        Self { store, l, props }
+    }
+
+    /// The underlying store (e.g. for committing update batches).
+    pub fn store(&self) -> &Arc<GartStore> {
+        &self.store
+    }
+
+    fn vprop(&self, label: LabelId, ext: u64, name: &str) -> Value {
+        let snap = self.store.snapshot();
+        let Some(v) = snap.internal_id(label, ext) else {
+            return Value::Null;
+        };
+        match self.props.iter().find(|((l, n), _)| *l == label && *n == name) {
+            Some((_, &pid)) => snap.vertex_property(label, v, pid),
+            None => Value::Null,
+        }
+    }
+
+    /// Out/in adjacency by external ids.
+    fn adj(&self, src_label: LabelId, dst_label: LabelId, elabel: LabelId, ext: u64, dir: Direction) -> Vec<u64> {
+        let snap = self.store.snapshot();
+        let Some(v) = snap.internal_id(src_label, ext) else {
+            return Vec::new();
+        };
+        snap.adjacent(v, src_label, elabel, dir)
+            .filter_map(|a| snap.external_id(dst_label, a.nbr))
+            .collect()
+    }
+
+    /// Adjacency with one edge date property.
+    fn adj_dated(
+        &self,
+        src_label: LabelId,
+        dst_label: LabelId,
+        elabel: LabelId,
+        ext: u64,
+        dir: Direction,
+    ) -> Vec<(u64, i64)> {
+        let snap = self.store.snapshot();
+        let Some(v) = snap.internal_id(src_label, ext) else {
+            return Vec::new();
+        };
+        snap.adjacent(v, src_label, elabel, dir)
+            .filter_map(|a| {
+                let ext = snap.external_id(dst_label, a.nbr)?;
+                let d = snap
+                    .edge_property(elabel, a.edge, PropId(0))
+                    .as_int()
+                    .unwrap_or(0);
+                Some((ext, d))
+            })
+            .collect()
+    }
+}
+
+impl SnbBackend for FlexBackend {
+    fn person_ids(&self) -> Vec<u64> {
+        let snap = self.store.snapshot();
+        snap.vertices(self.l.person)
+            .filter_map(|v| snap.external_id(self.l.person, v))
+            .collect()
+    }
+
+    fn person_prop(&self, id: u64, prop: &str) -> Value {
+        self.vprop(self.l.person, id, prop)
+    }
+
+    fn friends(&self, id: u64) -> Vec<u64> {
+        self.adj(self.l.person, self.l.person, self.l.knows, id, Direction::Out)
+    }
+
+    fn knows_date(&self, a: u64, b: u64) -> Option<i64> {
+        self.adj_dated(self.l.person, self.l.person, self.l.knows, a, Direction::Out)
+            .into_iter()
+            .find(|&(x, _)| x == b)
+            .map(|(_, d)| d)
+    }
+
+    fn posts_by(&self, person: u64) -> Vec<u64> {
+        self.adj(
+            self.l.person,
+            self.l.post,
+            self.l.has_creator_post,
+            person,
+            Direction::In,
+        )
+    }
+
+    fn comments_by(&self, person: u64) -> Vec<u64> {
+        self.adj(
+            self.l.person,
+            self.l.comment,
+            self.l.has_creator_comment,
+            person,
+            Direction::In,
+        )
+    }
+
+    fn post_prop(&self, id: u64, prop: &str) -> Value {
+        self.vprop(self.l.post, id, prop)
+    }
+
+    fn comment_prop(&self, id: u64, prop: &str) -> Value {
+        self.vprop(self.l.comment, id, prop)
+    }
+
+    fn post_creator(&self, post: u64) -> Option<u64> {
+        self.adj(
+            self.l.post,
+            self.l.person,
+            self.l.has_creator_post,
+            post,
+            Direction::Out,
+        )
+        .into_iter()
+        .next()
+    }
+
+    fn comment_creator(&self, comment: u64) -> Option<u64> {
+        self.adj(
+            self.l.comment,
+            self.l.person,
+            self.l.has_creator_comment,
+            comment,
+            Direction::Out,
+        )
+        .into_iter()
+        .next()
+    }
+
+    fn likes_of_post(&self, post: u64) -> Vec<(u64, i64)> {
+        self.adj_dated(self.l.post, self.l.person, self.l.likes_post, post, Direction::In)
+    }
+
+    fn replies_of_post(&self, post: u64) -> Vec<u64> {
+        self.adj(self.l.post, self.l.comment, self.l.reply_of, post, Direction::In)
+    }
+
+    fn reply_target(&self, comment: u64) -> Option<u64> {
+        self.adj(self.l.comment, self.l.post, self.l.reply_of, comment, Direction::Out)
+            .into_iter()
+            .next()
+    }
+
+    fn forum_of_post(&self, post: u64) -> Option<u64> {
+        self.adj(self.l.post, self.l.forum, self.l.container_of, post, Direction::In)
+            .into_iter()
+            .next()
+    }
+
+    fn posts_in_forum(&self, forum: u64) -> Vec<u64> {
+        self.adj(self.l.forum, self.l.post, self.l.container_of, forum, Direction::Out)
+    }
+
+    fn forum_prop(&self, id: u64, prop: &str) -> Value {
+        self.vprop(self.l.forum, id, prop)
+    }
+
+    fn forums_of_member(&self, person: u64) -> Vec<(u64, i64)> {
+        self.adj_dated(
+            self.l.person,
+            self.l.forum,
+            self.l.has_member,
+            person,
+            Direction::In,
+        )
+    }
+
+    fn members(&self, forum: u64) -> Vec<(u64, i64)> {
+        self.adj_dated(
+            self.l.forum,
+            self.l.person,
+            self.l.has_member,
+            forum,
+            Direction::Out,
+        )
+    }
+
+    fn tags_of_post(&self, post: u64) -> Vec<u64> {
+        self.adj(self.l.post, self.l.tag, self.l.has_tag_post, post, Direction::Out)
+    }
+
+    fn tag_name(&self, tag: u64) -> String {
+        self.vprop(self.l.tag, tag, "name")
+            .as_str()
+            .unwrap_or("")
+            .to_string()
+    }
+
+    fn interests(&self, person: u64) -> Vec<u64> {
+        self.adj(
+            self.l.person,
+            self.l.tag,
+            self.l.has_interest,
+            person,
+            Direction::Out,
+        )
+    }
+
+    fn add_person(
+        &self,
+        id: u64,
+        first: &str,
+        last: &str,
+        birthday: i64,
+        creation: i64,
+    ) -> Result<()> {
+        self.store.add_vertex(
+            self.l.person,
+            id,
+            vec![
+                Value::Str(first.into()),
+                Value::Str(last.into()),
+                Value::Date(birthday),
+                Value::Date(creation),
+                Value::Str("0.0.0.0".into()),
+                Value::Str("Firefox".into()),
+            ],
+        )?;
+        self.store.commit();
+        Ok(())
+    }
+
+    fn add_knows(&self, a: u64, b: u64, date: i64) -> Result<()> {
+        self.store
+            .add_edge(self.l.knows, a, b, vec![Value::Date(date)])?;
+        self.store
+            .add_edge(self.l.knows, b, a, vec![Value::Date(date)])?;
+        self.store.commit();
+        Ok(())
+    }
+
+    fn add_forum(&self, id: u64, title: &str, date: i64) -> Result<()> {
+        self.store.add_vertex(
+            self.l.forum,
+            id,
+            vec![Value::Str(title.into()), Value::Date(date)],
+        )?;
+        self.store.commit();
+        Ok(())
+    }
+
+    fn add_member(&self, forum: u64, person: u64, date: i64) -> Result<()> {
+        self.store
+            .add_edge(self.l.has_member, forum, person, vec![Value::Date(date)])?;
+        self.store.commit();
+        Ok(())
+    }
+
+    fn add_post(
+        &self,
+        id: u64,
+        creator: u64,
+        forum: u64,
+        content: &str,
+        date: i64,
+        length: i64,
+    ) -> Result<()> {
+        self.store.add_vertex(
+            self.l.post,
+            id,
+            vec![
+                Value::Str(content.into()),
+                Value::Date(date),
+                Value::Int(length),
+            ],
+        )?;
+        self.store
+            .add_edge(self.l.has_creator_post, id, creator, vec![])?;
+        self.store.add_edge(self.l.container_of, forum, id, vec![])?;
+        self.store.commit();
+        Ok(())
+    }
+
+    fn add_comment(
+        &self,
+        id: u64,
+        creator: u64,
+        reply_of: u64,
+        date: i64,
+        length: i64,
+    ) -> Result<()> {
+        self.store.add_vertex(
+            self.l.comment,
+            id,
+            vec![
+                Value::Str(format!("re: {reply_of}")),
+                Value::Date(date),
+                Value::Int(length),
+            ],
+        )?;
+        self.store
+            .add_edge(self.l.has_creator_comment, id, creator, vec![])?;
+        self.store.add_edge(self.l.reply_of, id, reply_of, vec![])?;
+        self.store.commit();
+        Ok(())
+    }
+
+    fn add_like(&self, person: u64, post: u64, date: i64) -> Result<()> {
+        self.store
+            .add_edge(self.l.likes_post, person, post, vec![Value::Date(date)])?;
+        self.store.commit();
+        Ok(())
+    }
+
+    fn add_interest(&self, person: u64, tag: u64) -> Result<()> {
+        self.store
+            .add_edge(self.l.has_interest, person, tag, vec![])?;
+        self.store.commit();
+        Ok(())
+    }
+}
+
+// ================================================================== TuGraph
+
+/// The TuGraph-like baseline backend.
+pub struct TuBackend {
+    db: TuGraphDb,
+}
+
+fn key(label: &str, id: u64) -> VKey {
+    (label.to_string(), id)
+}
+
+impl TuBackend {
+    /// Loads the generated graph into the baseline database.
+    pub fn load(graph: &SnbGraph) -> Result<Self> {
+        let db = TuGraphDb::new();
+        let data = &graph.data;
+        let schema = &data.schema;
+        for batch in &data.vertices {
+            let ldef = schema.vertex_label(batch.label)?;
+            for (ext, props) in batch.external_ids.iter().zip(&batch.properties) {
+                let map: HashMap<String, Value> = ldef
+                    .properties
+                    .iter()
+                    .zip(props)
+                    .map(|(d, v)| (d.name.clone(), v.clone()))
+                    .collect();
+                db.add_vertex(&ldef.name, *ext, map);
+            }
+        }
+        for batch in &data.edges {
+            let ldef = schema.edge_label(batch.label)?;
+            let src_name = &schema.vertex_label(ldef.src)?.name;
+            let dst_name = &schema.vertex_label(ldef.dst)?.name;
+            for (&(s, d), props) in batch.endpoints.iter().zip(&batch.properties) {
+                let map: HashMap<String, Value> = ldef
+                    .properties
+                    .iter()
+                    .zip(props)
+                    .map(|(p, v)| (p.name.clone(), v.clone()))
+                    .collect();
+                db.add_edge(&ldef.name, key(src_name, s), key(dst_name, d), map)?;
+            }
+        }
+        Ok(Self { db })
+    }
+
+    fn date_of(props: &HashMap<String, Value>, name: &str) -> i64 {
+        props.get(name).and_then(|v| v.as_int()).unwrap_or(0)
+    }
+}
+
+impl SnbBackend for TuBackend {
+    fn person_ids(&self) -> Vec<u64> {
+        self.db.scan_vertices("Person", |_, _| true)
+    }
+
+    fn person_prop(&self, id: u64, prop: &str) -> Value {
+        self.db
+            .vertex_prop(&key("Person", id), prop)
+            .unwrap_or(Value::Null)
+    }
+
+    fn friends(&self, id: u64) -> Vec<u64> {
+        self.db
+            .out_neighbors(&key("Person", id), "KNOWS")
+            .into_iter()
+            .map(|(k, _)| k.1)
+            .collect()
+    }
+
+    fn knows_date(&self, a: u64, b: u64) -> Option<i64> {
+        self.db
+            .out_neighbors(&key("Person", a), "KNOWS")
+            .into_iter()
+            .find(|(k, _)| k.1 == b)
+            .map(|(_, p)| Self::date_of(&p, "creationDate"))
+    }
+
+    fn posts_by(&self, person: u64) -> Vec<u64> {
+        self.db
+            .in_neighbors(&key("Person", person), "POST_HAS_CREATOR")
+            .into_iter()
+            .map(|(k, _)| k.1)
+            .collect()
+    }
+
+    fn comments_by(&self, person: u64) -> Vec<u64> {
+        self.db
+            .in_neighbors(&key("Person", person), "COMMENT_HAS_CREATOR")
+            .into_iter()
+            .map(|(k, _)| k.1)
+            .collect()
+    }
+
+    fn post_prop(&self, id: u64, prop: &str) -> Value {
+        self.db
+            .vertex_prop(&key("Post", id), prop)
+            .unwrap_or(Value::Null)
+    }
+
+    fn comment_prop(&self, id: u64, prop: &str) -> Value {
+        self.db
+            .vertex_prop(&key("Comment", id), prop)
+            .unwrap_or(Value::Null)
+    }
+
+    fn post_creator(&self, post: u64) -> Option<u64> {
+        self.db
+            .out_neighbors(&key("Post", post), "POST_HAS_CREATOR")
+            .first()
+            .map(|(k, _)| k.1)
+    }
+
+    fn comment_creator(&self, comment: u64) -> Option<u64> {
+        self.db
+            .out_neighbors(&key("Comment", comment), "COMMENT_HAS_CREATOR")
+            .first()
+            .map(|(k, _)| k.1)
+    }
+
+    fn likes_of_post(&self, post: u64) -> Vec<(u64, i64)> {
+        self.db
+            .in_neighbors(&key("Post", post), "LIKES")
+            .into_iter()
+            .map(|(k, p)| (k.1, Self::date_of(&p, "creationDate")))
+            .collect()
+    }
+
+    fn replies_of_post(&self, post: u64) -> Vec<u64> {
+        self.db
+            .in_neighbors(&key("Post", post), "REPLY_OF")
+            .into_iter()
+            .map(|(k, _)| k.1)
+            .collect()
+    }
+
+    fn reply_target(&self, comment: u64) -> Option<u64> {
+        self.db
+            .out_neighbors(&key("Comment", comment), "REPLY_OF")
+            .first()
+            .map(|(k, _)| k.1)
+    }
+
+    fn forum_of_post(&self, post: u64) -> Option<u64> {
+        self.db
+            .in_neighbors(&key("Post", post), "CONTAINER_OF")
+            .first()
+            .map(|(k, _)| k.1)
+    }
+
+    fn posts_in_forum(&self, forum: u64) -> Vec<u64> {
+        self.db
+            .out_neighbors(&key("Forum", forum), "CONTAINER_OF")
+            .into_iter()
+            .map(|(k, _)| k.1)
+            .collect()
+    }
+
+    fn forum_prop(&self, id: u64, prop: &str) -> Value {
+        self.db
+            .vertex_prop(&key("Forum", id), prop)
+            .unwrap_or(Value::Null)
+    }
+
+    fn forums_of_member(&self, person: u64) -> Vec<(u64, i64)> {
+        self.db
+            .in_neighbors(&key("Person", person), "HAS_MEMBER")
+            .into_iter()
+            .map(|(k, p)| (k.1, Self::date_of(&p, "joinDate")))
+            .collect()
+    }
+
+    fn members(&self, forum: u64) -> Vec<(u64, i64)> {
+        self.db
+            .out_neighbors(&key("Forum", forum), "HAS_MEMBER")
+            .into_iter()
+            .map(|(k, p)| (k.1, Self::date_of(&p, "joinDate")))
+            .collect()
+    }
+
+    fn tags_of_post(&self, post: u64) -> Vec<u64> {
+        self.db
+            .out_neighbors(&key("Post", post), "HAS_TAG")
+            .into_iter()
+            .map(|(k, _)| k.1)
+            .collect()
+    }
+
+    fn tag_name(&self, tag: u64) -> String {
+        self.db
+            .vertex_prop(&key("Tag", tag), "name")
+            .and_then(|v| v.as_str().map(str::to_string))
+            .unwrap_or_default()
+    }
+
+    fn interests(&self, person: u64) -> Vec<u64> {
+        self.db
+            .out_neighbors(&key("Person", person), "HAS_INTEREST")
+            .into_iter()
+            .map(|(k, _)| k.1)
+            .collect()
+    }
+
+    fn add_person(
+        &self,
+        id: u64,
+        first: &str,
+        last: &str,
+        birthday: i64,
+        creation: i64,
+    ) -> Result<()> {
+        self.db.add_vertex(
+            "Person",
+            id,
+            HashMap::from([
+                ("firstName".to_string(), Value::Str(first.into())),
+                ("lastName".to_string(), Value::Str(last.into())),
+                ("birthday".to_string(), Value::Date(birthday)),
+                ("creationDate".to_string(), Value::Date(creation)),
+            ]),
+        );
+        Ok(())
+    }
+
+    fn add_knows(&self, a: u64, b: u64, date: i64) -> Result<()> {
+        let props = HashMap::from([("creationDate".to_string(), Value::Date(date))]);
+        self.db
+            .add_edge("KNOWS", key("Person", a), key("Person", b), props.clone())?;
+        self.db
+            .add_edge("KNOWS", key("Person", b), key("Person", a), props)?;
+        Ok(())
+    }
+
+    fn add_forum(&self, id: u64, title: &str, date: i64) -> Result<()> {
+        self.db.add_vertex(
+            "Forum",
+            id,
+            HashMap::from([
+                ("title".to_string(), Value::Str(title.into())),
+                ("creationDate".to_string(), Value::Date(date)),
+            ]),
+        );
+        Ok(())
+    }
+
+    fn add_member(&self, forum: u64, person: u64, date: i64) -> Result<()> {
+        self.db.add_edge(
+            "HAS_MEMBER",
+            key("Forum", forum),
+            key("Person", person),
+            HashMap::from([("joinDate".to_string(), Value::Date(date))]),
+        )
+    }
+
+    fn add_post(
+        &self,
+        id: u64,
+        creator: u64,
+        forum: u64,
+        content: &str,
+        date: i64,
+        length: i64,
+    ) -> Result<()> {
+        self.db.add_vertex(
+            "Post",
+            id,
+            HashMap::from([
+                ("content".to_string(), Value::Str(content.into())),
+                ("creationDate".to_string(), Value::Date(date)),
+                ("length".to_string(), Value::Int(length)),
+            ]),
+        );
+        self.db.add_edge(
+            "POST_HAS_CREATOR",
+            key("Post", id),
+            key("Person", creator),
+            HashMap::new(),
+        )?;
+        self.db.add_edge(
+            "CONTAINER_OF",
+            key("Forum", forum),
+            key("Post", id),
+            HashMap::new(),
+        )
+    }
+
+    fn add_comment(
+        &self,
+        id: u64,
+        creator: u64,
+        reply_of: u64,
+        date: i64,
+        length: i64,
+    ) -> Result<()> {
+        self.db.add_vertex(
+            "Comment",
+            id,
+            HashMap::from([
+                ("content".to_string(), Value::Str(format!("re: {reply_of}"))),
+                ("creationDate".to_string(), Value::Date(date)),
+                ("length".to_string(), Value::Int(length)),
+            ]),
+        );
+        self.db.add_edge(
+            "COMMENT_HAS_CREATOR",
+            key("Comment", id),
+            key("Person", creator),
+            HashMap::new(),
+        )?;
+        self.db.add_edge(
+            "REPLY_OF",
+            key("Comment", id),
+            key("Post", reply_of),
+            HashMap::new(),
+        )
+    }
+
+    fn add_like(&self, person: u64, post: u64, date: i64) -> Result<()> {
+        self.db.add_edge(
+            "LIKES",
+            key("Person", person),
+            key("Post", post),
+            HashMap::from([("creationDate".to_string(), Value::Date(date))]),
+        )
+    }
+
+    fn add_interest(&self, person: u64, tag: u64) -> Result<()> {
+        self.db.add_edge(
+            "HAS_INTEREST",
+            key("Person", person),
+            key("Tag", tag),
+            HashMap::new(),
+        )
+    }
+}
+
+/// Guards against schema drift between datagen and the backends.
+pub fn validate_backend_pair(flex: &FlexBackend, tu: &TuBackend) -> Result<()> {
+    let (a, b) = (flex.person_ids().len(), tu.person_ids().len());
+    if a != b {
+        return Err(GraphError::Schema(format!(
+            "backend person counts diverge: flex {a} vs tu {b}"
+        )));
+    }
+    Ok(())
+}

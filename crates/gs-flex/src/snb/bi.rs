@@ -1,0 +1,423 @@
+//! LDBC SNB Business Intelligence workload (lite): 20 analytical queries
+//! over the SNB-lite schema, built as GraphIR logical plans and executed by
+//! the Gaia engine after full optimization (Fig. 7g).
+//!
+//! The baseline side of Fig. 7(g) runs the *same* plans unoptimized and
+//! single-threaded, modelling a non-IR, non-data-parallel execution (the
+//! audited TigerGraph numbers are not reproducible without the product;
+//! see DESIGN.md's substitution table).
+
+use gs_datagen::snb::SnbSchema;
+use gs_graph::schema::GraphSchema;
+use gs_graph::{Result, Value};
+use gs_ir::expr::{AggFunc, BinOp};
+use gs_ir::logical::ProjectItem;
+use gs_ir::{Expr, LogicalPlan, Pattern, PlanBuilder};
+
+/// Parameters shared by the parameterised BI queries.
+#[derive(Clone, Debug)]
+pub struct BiParams {
+    pub tag_name: String,
+    pub date: i64,
+    pub min_likes: i64,
+}
+
+impl Default for BiParams {
+    fn default() -> Self {
+        Self {
+            tag_name: "rock".to_string(),
+            date: 15300,
+            min_likes: 3,
+        }
+    }
+}
+
+/// Number of BI queries.
+pub const BI_COUNT: usize = 20;
+
+/// Builds BI query `1..=20` as a logical plan.
+pub fn bi_plan(
+    n: usize,
+    schema: &GraphSchema,
+    labels: &SnbSchema,
+    params: &BiParams,
+) -> Result<LogicalPlan> {
+    let b = PlanBuilder::new(schema);
+    let l = labels;
+    match n {
+        // BI1: posting summary — posts per content-length bucket.
+        1 => {
+            let b = b.scan("po", "Post")?;
+            let bucket = Expr::bin(
+                BinOp::Div,
+                b.prop("po", "length")?,
+                Expr::Const(Value::Int(50)),
+            );
+            Ok(b
+                .project(vec![
+                    (ProjectItem::Expr(bucket), "bucket"),
+                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "posts"),
+                ])?
+                .order(vec![(Expr::Column(0), true)], None)
+                .build())
+        }
+        // BI2: tag usage ranking.
+        2 => {
+            let mut p = Pattern::new();
+            let po = p.add_vertex("po", l.post);
+            let t = p.add_vertex("t", l.tag);
+            p.add_edge(None, l.has_tag_post, po, t);
+            let b = b.match_pattern(p)?;
+            let name = b.prop("t", "name")?;
+            Ok(b
+                .project(vec![
+                    (ProjectItem::Expr(name), "tag"),
+                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "uses"),
+                ])?
+                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(10))
+                .build())
+        }
+        // BI3: most active posters.
+        3 => {
+            let mut p = Pattern::new();
+            let po = p.add_vertex("po", l.post);
+            let a = p.add_vertex("a", l.person);
+            p.add_edge(None, l.has_creator_post, po, a);
+            let b = b.match_pattern(p)?;
+            let person = b.col("a")?;
+            Ok(b
+                .project(vec![
+                    (ProjectItem::Expr(person), "person"),
+                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "posts"),
+                ])?
+                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(10))
+                .build())
+        }
+        // BI4: top forums by post count.
+        4 => {
+            let mut p = Pattern::new();
+            let f = p.add_vertex("f", l.forum);
+            let po = p.add_vertex("po", l.post);
+            p.add_edge(None, l.container_of, f, po);
+            let b = b.match_pattern(p)?;
+            let title = b.prop("f", "title")?;
+            Ok(b
+                .project(vec![
+                    (ProjectItem::Expr(title), "forum"),
+                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(1)), "posts"),
+                ])?
+                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(10))
+                .build())
+        }
+        // BI5: members posting in their own forum (cyclic pattern — the CBO
+        // showcase).
+        5 => {
+            let mut p = Pattern::new();
+            let f = p.add_vertex("f", l.forum);
+            let po = p.add_vertex("po", l.post);
+            let a = p.add_vertex("a", l.person);
+            p.add_edge(None, l.container_of, f, po);
+            p.add_edge(None, l.has_creator_post, po, a);
+            p.add_edge(None, l.has_member, f, a);
+            let b = b.match_pattern(p)?;
+            let forum = b.col("f")?;
+            Ok(b
+                .project(vec![
+                    (ProjectItem::Expr(forum), "forum"),
+                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(1)), "inposts"),
+                ])?
+                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(10))
+                .build())
+        }
+        // BI6: authoritative users — likes received.
+        6 => {
+            let mut p = Pattern::new();
+            let liker = p.add_vertex("liker", l.person);
+            let po = p.add_vertex("po", l.post);
+            let a = p.add_vertex("a", l.person);
+            p.add_edge(None, l.likes_post, liker, po);
+            p.add_edge(None, l.has_creator_post, po, a);
+            let b = b.match_pattern(p)?;
+            let author = b.col("a")?;
+            Ok(b
+                .project(vec![
+                    (ProjectItem::Expr(author), "person"),
+                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "likes"),
+                ])?
+                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(10))
+                .build())
+        }
+        // BI7: replies under each tag.
+        7 => {
+            let mut p = Pattern::new();
+            let c = p.add_vertex("c", l.comment);
+            let po = p.add_vertex("po", l.post);
+            let t = p.add_vertex("t", l.tag);
+            p.add_edge(None, l.reply_of, c, po);
+            p.add_edge(None, l.has_tag_post, po, t);
+            let b = b.match_pattern(p)?;
+            let name = b.prop("t", "name")?;
+            Ok(b
+                .project(vec![
+                    (ProjectItem::Expr(name), "tag"),
+                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "replies"),
+                ])?
+                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], None)
+                .build())
+        }
+        // BI8: interest popularity per tag.
+        8 => {
+            let mut p = Pattern::new();
+            let a = p.add_vertex("a", l.person);
+            let t = p.add_vertex("t", l.tag);
+            p.add_edge(None, l.has_interest, a, t);
+            let b = b.match_pattern(p)?;
+            let name = b.prop("t", "name")?;
+            Ok(b
+                .project(vec![
+                    (ProjectItem::Expr(name), "tag"),
+                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "fans"),
+                ])?
+                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], None)
+                .build())
+        }
+        // BI9: top commenters.
+        9 => {
+            let mut p = Pattern::new();
+            let c = p.add_vertex("c", l.comment);
+            let a = p.add_vertex("a", l.person);
+            p.add_edge(None, l.has_creator_comment, c, a);
+            let b = b.match_pattern(p)?;
+            let person = b.col("a")?;
+            Ok(b
+                .project(vec![
+                    (ProjectItem::Expr(person), "person"),
+                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "comments"),
+                ])?
+                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(10))
+                .build())
+        }
+        // BI10: experts on one tag (parameterised selection → pushdown
+        // showcase).
+        10 => {
+            let mut p = Pattern::new();
+            let po = p.add_vertex("po", l.post);
+            let t = p.add_vertex("t", l.tag);
+            let a = p.add_vertex("a", l.person);
+            p.add_edge(None, l.has_tag_post, po, t);
+            p.add_edge(None, l.has_creator_post, po, a);
+            let b = b.match_pattern(p)?;
+            let name_eq = Expr::bin(
+                BinOp::Eq,
+                b.prop("t", "name")?,
+                Expr::Const(Value::Str(params.tag_name.clone())),
+            );
+            let person = b.col("a")?;
+            Ok(b
+                .select(name_eq)
+                .project(vec![
+                    (ProjectItem::Expr(person), "person"),
+                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "posts"),
+                ])?
+                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(10))
+                .build())
+        }
+        // BI11: verbose repliers — replies longer than the post they answer.
+        11 => {
+            let mut p = Pattern::new();
+            let c = p.add_vertex("c", l.comment);
+            let po = p.add_vertex("po", l.post);
+            let a = p.add_vertex("a", l.person);
+            p.add_edge(None, l.reply_of, c, po);
+            p.add_edge(None, l.has_creator_comment, c, a);
+            let b = b.match_pattern(p)?;
+            let longer = Expr::bin(BinOp::Gt, b.prop("c", "length")?, b.prop("po", "length")?);
+            let person = b.col("a")?;
+            Ok(b
+                .select(longer)
+                .project(vec![
+                    (ProjectItem::Expr(person), "person"),
+                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "longreplies"),
+                ])?
+                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(10))
+                .build())
+        }
+        // BI12: trending posts — at least `min_likes` likes.
+        12 => {
+            let mut p = Pattern::new();
+            let liker = p.add_vertex("liker", l.person);
+            let po = p.add_vertex("po", l.post);
+            p.add_edge(None, l.likes_post, liker, po);
+            let b = b.match_pattern(p)?;
+            let post = b.col("po")?;
+            let b = b.project(vec![
+                (ProjectItem::Expr(post), "post"),
+                (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "likes"),
+            ])?;
+            let popular = Expr::bin(
+                BinOp::Ge,
+                b.col("likes")?,
+                Expr::Const(Value::Int(params.min_likes)),
+            );
+            Ok(b
+                .select(popular)
+                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(20))
+                .build())
+        }
+        // BI13: low-activity newcomers — persons created after `date` with
+        // few posts.
+        13 => {
+            let mut p = Pattern::new();
+            let po = p.add_vertex("po", l.post);
+            let a = p.add_vertex("a", l.person);
+            p.add_edge(None, l.has_creator_post, po, a);
+            let b = b.match_pattern(p)?;
+            let newcomer = Expr::bin(
+                BinOp::Gt,
+                b.prop("a", "creationDate")?,
+                Expr::Const(Value::Date(params.date)),
+            );
+            let person = b.col("a")?;
+            let b = b.select(newcomer).project(vec![
+                (ProjectItem::Expr(person), "person"),
+                (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "posts"),
+            ])?;
+            let few = Expr::bin(BinOp::Le, b.col("posts")?, Expr::Const(Value::Int(2)));
+            Ok(b.select(few).order(vec![(Expr::Column(0), true)], None).build())
+        }
+        // BI14: dialog pairs — who replies to whom most.
+        14 => {
+            let mut p = Pattern::new();
+            let c = p.add_vertex("c", l.comment);
+            let a = p.add_vertex("a", l.person);
+            let po = p.add_vertex("po", l.post);
+            let bb = p.add_vertex("b", l.person);
+            p.add_edge(None, l.has_creator_comment, c, a);
+            p.add_edge(None, l.reply_of, c, po);
+            p.add_edge(None, l.has_creator_post, po, bb);
+            let builder = b.match_pattern(p)?;
+            let replier = builder.col("a")?;
+            let author = builder.col("b")?;
+            Ok(builder
+                .project(vec![
+                    (ProjectItem::Expr(replier), "replier"),
+                    (ProjectItem::Expr(author), "author"),
+                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "dialogs"),
+                ])?
+                .order(vec![(Expr::Column(2), false), (Expr::Column(0), true), (Expr::Column(1), true)], Some(20))
+                .build())
+        }
+        // BI15: average friend count (two-level aggregation).
+        15 => {
+            let mut p = Pattern::new();
+            let a = p.add_vertex("a", l.person);
+            let f = p.add_vertex("f", l.person);
+            p.add_edge(None, l.knows, a, f);
+            let b = b.match_pattern(p)?;
+            let person = b.col("a")?;
+            let b = b.project(vec![
+                (ProjectItem::Expr(person), "person"),
+                (ProjectItem::Agg(AggFunc::Count, Expr::Column(1)), "friends"),
+            ])?;
+            let friends = b.col("friends")?;
+            Ok(b
+                .project(vec![(ProjectItem::Agg(AggFunc::Avg, friends), "avgFriends")])?
+                .build())
+        }
+        // BI16: demographics by browser.
+        16 => {
+            let b = b.scan("a", "Person")?;
+            let browser = b.prop("a", "browserUsed")?;
+            Ok(b
+                .project(vec![
+                    (ProjectItem::Expr(browser), "browser"),
+                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "users"),
+                ])?
+                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], None)
+                .build())
+        }
+        // BI17: like volume per 100-day bucket (edge-property aggregation).
+        17 => {
+            let mut p = Pattern::new();
+            let liker = p.add_vertex("liker", l.person);
+            let po = p.add_vertex("po", l.post);
+            p.add_edge(Some("e"), l.likes_post, liker, po);
+            let b = b.match_pattern(p)?;
+            let bucket = Expr::bin(
+                BinOp::Div,
+                b.prop("e", "creationDate")?,
+                Expr::Const(Value::Int(100)),
+            );
+            Ok(b
+                .project(vec![
+                    (ProjectItem::Expr(bucket), "bucket"),
+                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "likes"),
+                ])?
+                .order(vec![(Expr::Column(0), true)], None)
+                .build())
+        }
+        // BI18: forum membership growth per 100-day bucket.
+        18 => {
+            let mut p = Pattern::new();
+            let f = p.add_vertex("f", l.forum);
+            let a = p.add_vertex("a", l.person);
+            p.add_edge(Some("m"), l.has_member, f, a);
+            let b = b.match_pattern(p)?;
+            let bucket = Expr::bin(
+                BinOp::Div,
+                b.prop("m", "joinDate")?,
+                Expr::Const(Value::Int(100)),
+            );
+            Ok(b
+                .project(vec![
+                    (ProjectItem::Expr(bucket), "bucket"),
+                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "joins"),
+                ])?
+                .order(vec![(Expr::Column(0), true)], None)
+                .build())
+        }
+        // BI19: tag co-occurrence pairs.
+        19 => {
+            let mut p = Pattern::new();
+            let t1 = p.add_vertex("t1", l.tag);
+            let po = p.add_vertex("po", l.post);
+            let t2 = p.add_vertex("t2", l.tag);
+            p.add_edge(None, l.has_tag_post, po, t1);
+            p.add_edge(None, l.has_tag_post, po, t2);
+            let b = b.match_pattern(p)?;
+            let lt = Expr::bin(BinOp::Lt, b.prop("t1", "name")?, b.prop("t2", "name")?);
+            let n1 = b.prop("t1", "name")?;
+            let n2 = b.prop("t2", "name")?;
+            Ok(b
+                .select(lt)
+                .project(vec![
+                    (ProjectItem::Expr(n1), "tagA"),
+                    (ProjectItem::Expr(n2), "tagB"),
+                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(1)), "posts"),
+                ])?
+                .order(vec![(Expr::Column(2), false), (Expr::Column(0), true), (Expr::Column(1), true)], Some(20))
+                .build())
+        }
+        // BI20: discussion volume per forum (replies reached through posts).
+        20 => {
+            let mut p = Pattern::new();
+            let f = p.add_vertex("f", l.forum);
+            let po = p.add_vertex("po", l.post);
+            let c = p.add_vertex("c", l.comment);
+            p.add_edge(None, l.container_of, f, po);
+            p.add_edge(None, l.reply_of, c, po);
+            let b = b.match_pattern(p)?;
+            let title = b.prop("f", "title")?;
+            Ok(b
+                .project(vec![
+                    (ProjectItem::Expr(title), "forum"),
+                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(2)), "replies"),
+                ])?
+                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(10))
+                .build())
+        }
+        other => Err(gs_graph::GraphError::Query(format!(
+            "no BI query {other} (1..=20)"
+        ))),
+    }
+}

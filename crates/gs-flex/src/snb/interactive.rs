@@ -1,0 +1,618 @@
+//! LDBC SNB Interactive workload (lite): the 14 complex, 7 short, and 8
+//! update queries of Fig. 7(f), adapted to the SNB-lite schema (see
+//! DESIGN.md). Every query is written once against [`SnbBackend`], so the
+//! Flex and TuGraph-like systems execute identical logic and differ only in
+//! storage/engine design.
+
+use super::backend::SnbBackend;
+use gs_graph::Value;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A query result: rows of display values (used for cross-system diffing).
+pub type Rows = Vec<Vec<Value>>;
+
+/// Query parameters drawn per-invocation by the benchmark driver.
+#[derive(Clone, Debug)]
+pub struct Params {
+    pub person: u64,
+    pub person2: u64,
+    pub date: i64,
+    pub tag: u64,
+    pub forum: u64,
+    pub first_name: String,
+    pub limit: usize,
+}
+
+impl Params {
+    pub fn example() -> Self {
+        Self {
+            person: 0,
+            person2: 1,
+            date: 15300,
+            tag: 0,
+            forum: 0,
+            first_name: "Jan".to_string(),
+            limit: 20,
+        }
+    }
+}
+
+fn take_top<K: Ord, V>(mut items: Vec<(K, V)>, limit: usize) -> Vec<(K, V)> {
+    items.sort_by(|a, b| a.0.cmp(&b.0));
+    items.truncate(limit);
+    items
+}
+
+/// Friends of friends up to `depth` hops with hop distance (excluding the
+/// start person).
+fn khop_friends(b: &dyn SnbBackend, start: u64, depth: usize) -> HashMap<u64, usize> {
+    let mut dist: HashMap<u64, usize> = HashMap::new();
+    let mut q = VecDeque::new();
+    dist.insert(start, 0);
+    q.push_back(start);
+    while let Some(p) = q.pop_front() {
+        let d = dist[&p];
+        if d == depth {
+            continue;
+        }
+        for f in b.friends(p) {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(f) {
+                e.insert(d + 1);
+                q.push_back(f);
+            }
+        }
+    }
+    dist.remove(&start);
+    dist
+}
+
+// ------------------------------------------------------------- complex
+
+/// IC1: transitive friends (≤3 hops) with a given first name, ordered by
+/// (distance, lastName, id).
+pub fn ic1(b: &dyn SnbBackend, p: &Params) -> Rows {
+    let friends = khop_friends(b, p.person, 3);
+    let mut rows: Vec<((usize, String, u64), ())> = friends
+        .into_iter()
+        .filter(|(f, _)| {
+            b.person_prop(*f, "firstName").as_str() == Some(p.first_name.as_str())
+        })
+        .map(|(f, d)| {
+            let last = b
+                .person_prop(f, "lastName")
+                .as_str()
+                .unwrap_or("")
+                .to_string();
+            ((d, last, f), ())
+        })
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows.truncate(p.limit);
+    rows.into_iter()
+        .map(|((d, last, f), _)| vec![Value::Int(f as i64), Value::Str(last), Value::Int(d as i64)])
+        .collect()
+}
+
+/// IC2: recent posts of friends created before `date`, newest first.
+pub fn ic2(b: &dyn SnbBackend, p: &Params) -> Rows {
+    let mut items = Vec::new();
+    for f in b.friends(p.person) {
+        for post in b.posts_by(f) {
+            let d = b.post_prop(post, "creationDate").as_int().unwrap_or(0);
+            if d < p.date {
+                items.push(((std::cmp::Reverse(d), post), f));
+            }
+        }
+    }
+    take_top(items, p.limit)
+        .into_iter()
+        .map(|((std::cmp::Reverse(d), post), f)| {
+            vec![Value::Int(f as i64), Value::Int(post as i64), Value::Date(d)]
+        })
+        .collect()
+}
+
+/// IC3: friends (≤2 hops) ranked by posts carrying the parameter tag
+/// within the window `[date, date+30)`.
+pub fn ic3(b: &dyn SnbBackend, p: &Params) -> Rows {
+    let friends = khop_friends(b, p.person, 2);
+    let mut counts: Vec<((std::cmp::Reverse<usize>, u64), ())> = Vec::new();
+    for (&f, _) in &friends {
+        let mut c = 0usize;
+        for post in b.posts_by(f) {
+            let d = b.post_prop(post, "creationDate").as_int().unwrap_or(0);
+            if d >= p.date && d < p.date + 30 && b.tags_of_post(post).contains(&p.tag) {
+                c += 1;
+            }
+        }
+        if c > 0 {
+            counts.push(((std::cmp::Reverse(c), f), ()));
+        }
+    }
+    take_top(counts, p.limit)
+        .into_iter()
+        .map(|((std::cmp::Reverse(c), f), _)| vec![Value::Int(f as i64), Value::Int(c as i64)])
+        .collect()
+}
+
+/// IC4: tags on friends' posts in the window, ranked by count then name.
+pub fn ic4(b: &dyn SnbBackend, p: &Params) -> Rows {
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for f in b.friends(p.person) {
+        for post in b.posts_by(f) {
+            let d = b.post_prop(post, "creationDate").as_int().unwrap_or(0);
+            if d >= p.date && d < p.date + 30 {
+                for t in b.tags_of_post(post) {
+                    *counts.entry(t).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let items: Vec<((std::cmp::Reverse<usize>, String), ())> = counts
+        .into_iter()
+        .map(|(t, c)| ((std::cmp::Reverse(c), b.tag_name(t)), ()))
+        .collect();
+    take_top(items, p.limit)
+        .into_iter()
+        .map(|((std::cmp::Reverse(c), name), _)| vec![Value::Str(name), Value::Int(c as i64)])
+        .collect()
+}
+
+/// IC5: forums friends joined after `date`, ranked by posts those friends
+/// made in them.
+pub fn ic5(b: &dyn SnbBackend, p: &Params) -> Rows {
+    let friends: HashSet<u64> = b.friends(p.person).into_iter().collect();
+    let mut forum_members: HashMap<u64, HashSet<u64>> = HashMap::new();
+    for &f in &friends {
+        for (forum, join) in b.forums_of_member(f) {
+            if join > p.date {
+                forum_members.entry(forum).or_default().insert(f);
+            }
+        }
+    }
+    let mut items = Vec::new();
+    for (forum, joined) in &forum_members {
+        let c = b
+            .posts_in_forum(*forum)
+            .into_iter()
+            .filter(|post| {
+                b.post_creator(*post)
+                    .map(|cr| joined.contains(&cr))
+                    .unwrap_or(false)
+            })
+            .count();
+        items.push(((std::cmp::Reverse(c), *forum), ()));
+    }
+    take_top(items, p.limit)
+        .into_iter()
+        .map(|((std::cmp::Reverse(c), forum), _)| {
+            vec![Value::Int(forum as i64), Value::Int(c as i64)]
+        })
+        .collect()
+}
+
+/// IC6: tags co-occurring with the parameter tag on friends' (≤2 hop) posts.
+pub fn ic6(b: &dyn SnbBackend, p: &Params) -> Rows {
+    let friends = khop_friends(b, p.person, 2);
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for (&f, _) in &friends {
+        for post in b.posts_by(f) {
+            let tags = b.tags_of_post(post);
+            if tags.contains(&p.tag) {
+                for t in tags {
+                    if t != p.tag {
+                        *counts.entry(t).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+    let items: Vec<((std::cmp::Reverse<usize>, String), ())> = counts
+        .into_iter()
+        .map(|(t, c)| ((std::cmp::Reverse(c), b.tag_name(t)), ()))
+        .collect();
+    take_top(items, 10)
+        .into_iter()
+        .map(|((std::cmp::Reverse(c), name), _)| vec![Value::Str(name), Value::Int(c as i64)])
+        .collect()
+}
+
+/// IC7: most recent likers of the person's posts.
+pub fn ic7(b: &dyn SnbBackend, p: &Params) -> Rows {
+    let mut items = Vec::new();
+    for post in b.posts_by(p.person) {
+        for (liker, d) in b.likes_of_post(post) {
+            items.push(((std::cmp::Reverse(d), liker, post), ()));
+        }
+    }
+    take_top(items, p.limit)
+        .into_iter()
+        .map(|((std::cmp::Reverse(d), liker, post), _)| {
+            vec![Value::Int(liker as i64), Value::Int(post as i64), Value::Date(d)]
+        })
+        .collect()
+}
+
+/// IC8: most recent replies to the person's posts.
+pub fn ic8(b: &dyn SnbBackend, p: &Params) -> Rows {
+    let mut items = Vec::new();
+    for post in b.posts_by(p.person) {
+        for c in b.replies_of_post(post) {
+            let d = b.comment_prop(c, "creationDate").as_int().unwrap_or(0);
+            let author = b.comment_creator(c).unwrap_or(0);
+            items.push(((std::cmp::Reverse(d), c), author));
+        }
+    }
+    take_top(items, p.limit)
+        .into_iter()
+        .map(|((std::cmp::Reverse(d), c), author)| {
+            vec![Value::Int(author as i64), Value::Int(c as i64), Value::Date(d)]
+        })
+        .collect()
+}
+
+/// IC9: recent posts and comments by ≤2-hop friends strictly before `date`.
+pub fn ic9(b: &dyn SnbBackend, p: &Params) -> Rows {
+    let friends = khop_friends(b, p.person, 2);
+    let mut items = Vec::new();
+    for (&f, _) in &friends {
+        for post in b.posts_by(f) {
+            let d = b.post_prop(post, "creationDate").as_int().unwrap_or(0);
+            if d < p.date {
+                items.push(((std::cmp::Reverse(d), post), (f, false)));
+            }
+        }
+        for c in b.comments_by(f) {
+            let d = b.comment_prop(c, "creationDate").as_int().unwrap_or(0);
+            if d < p.date {
+                items.push(((std::cmp::Reverse(d), c), (f, true)));
+            }
+        }
+    }
+    take_top(items, p.limit)
+        .into_iter()
+        .map(|((std::cmp::Reverse(d), id), (f, is_comment))| {
+            vec![
+                Value::Int(f as i64),
+                Value::Int(id as i64),
+                Value::Bool(is_comment),
+                Value::Date(d),
+            ]
+        })
+        .collect()
+}
+
+/// IC10: friend-of-friend recommendation scored by shared interests.
+pub fn ic10(b: &dyn SnbBackend, p: &Params) -> Rows {
+    let direct: HashSet<u64> = b.friends(p.person).into_iter().collect();
+    let my_interests: HashSet<u64> = b.interests(p.person).into_iter().collect();
+    let mut fofs: HashSet<u64> = HashSet::new();
+    for &f in &direct {
+        for ff in b.friends(f) {
+            if ff != p.person && !direct.contains(&ff) {
+                fofs.insert(ff);
+            }
+        }
+    }
+    let mut items = Vec::new();
+    for fof in fofs {
+        let score = b
+            .interests(fof)
+            .into_iter()
+            .filter(|t| my_interests.contains(t))
+            .count() as i64;
+        items.push(((std::cmp::Reverse(score), fof), ()));
+    }
+    take_top(items, 10)
+        .into_iter()
+        .map(|((std::cmp::Reverse(s), f), _)| vec![Value::Int(f as i64), Value::Int(s)])
+        .collect()
+}
+
+/// IC11: friends' forum memberships that started before `date`, ordered by
+/// join date.
+pub fn ic11(b: &dyn SnbBackend, p: &Params) -> Rows {
+    let mut items = Vec::new();
+    for f in b.friends(p.person) {
+        for (forum, join) in b.forums_of_member(f) {
+            if join < p.date {
+                items.push(((join, f, forum), ()));
+            }
+        }
+    }
+    take_top(items, p.limit)
+        .into_iter()
+        .map(|((join, f, forum), _)| {
+            vec![Value::Int(f as i64), Value::Int(forum as i64), Value::Date(join)]
+        })
+        .collect()
+}
+
+/// IC12: expert search — friends ranked by replies they wrote to posts
+/// carrying the parameter tag.
+pub fn ic12(b: &dyn SnbBackend, p: &Params) -> Rows {
+    let mut items = Vec::new();
+    for f in b.friends(p.person) {
+        let mut c = 0usize;
+        for comment in b.comments_by(f) {
+            if let Some(post) = b.reply_target(comment) {
+                if b.tags_of_post(post).contains(&p.tag) {
+                    c += 1;
+                }
+            }
+        }
+        if c > 0 {
+            items.push(((std::cmp::Reverse(c), f), ()));
+        }
+    }
+    take_top(items, p.limit)
+        .into_iter()
+        .map(|((std::cmp::Reverse(c), f), _)| vec![Value::Int(f as i64), Value::Int(c as i64)])
+        .collect()
+}
+
+/// IC13: shortest KNOWS-path length between two persons (-1 if none).
+pub fn ic13(b: &dyn SnbBackend, p: &Params) -> Rows {
+    let mut dist: HashMap<u64, i64> = HashMap::new();
+    let mut q = VecDeque::new();
+    dist.insert(p.person, 0);
+    q.push_back(p.person);
+    while let Some(x) = q.pop_front() {
+        if x == p.person2 {
+            break;
+        }
+        let d = dist[&x];
+        for f in b.friends(x) {
+            dist.entry(f).or_insert_with(|| {
+                q.push_back(f);
+                d + 1
+            });
+        }
+    }
+    vec![vec![Value::Int(dist.get(&p.person2).copied().unwrap_or(-1))]]
+}
+
+/// IC14: number of distinct shortest KNOWS-paths between two persons.
+pub fn ic14(b: &dyn SnbBackend, p: &Params) -> Rows {
+    let mut dist: HashMap<u64, i64> = HashMap::new();
+    let mut paths: HashMap<u64, u64> = HashMap::new();
+    let mut q = VecDeque::new();
+    dist.insert(p.person, 0);
+    paths.insert(p.person, 1);
+    q.push_back(p.person);
+    while let Some(x) = q.pop_front() {
+        let d = dist[&x];
+        if let Some(&dt) = dist.get(&p.person2) {
+            if d >= dt {
+                continue;
+            }
+        }
+        let px = paths[&x];
+        for f in b.friends(x) {
+            match dist.get(&f) {
+                None => {
+                    dist.insert(f, d + 1);
+                    paths.insert(f, px);
+                    q.push_back(f);
+                }
+                Some(&df) if df == d + 1 => {
+                    *paths.get_mut(&f).unwrap() += px;
+                }
+                _ => {}
+            }
+        }
+    }
+    vec![vec![Value::Int(paths.get(&p.person2).copied().unwrap_or(0) as i64)]]
+}
+
+// ------------------------------------------------------------- short
+
+/// IS1: person profile.
+pub fn is1(b: &dyn SnbBackend, p: &Params) -> Rows {
+    vec![vec![
+        b.person_prop(p.person, "firstName"),
+        b.person_prop(p.person, "lastName"),
+        b.person_prop(p.person, "birthday"),
+        b.person_prop(p.person, "creationDate"),
+    ]]
+}
+
+/// IS2: the person's 10 most recent posts.
+pub fn is2(b: &dyn SnbBackend, p: &Params) -> Rows {
+    let items: Vec<((std::cmp::Reverse<i64>, u64), ())> = b
+        .posts_by(p.person)
+        .into_iter()
+        .map(|post| {
+            (
+                (
+                    std::cmp::Reverse(b.post_prop(post, "creationDate").as_int().unwrap_or(0)),
+                    post,
+                ),
+                (),
+            )
+        })
+        .collect();
+    take_top(items, 10)
+        .into_iter()
+        .map(|((std::cmp::Reverse(d), post), _)| vec![Value::Int(post as i64), Value::Date(d)])
+        .collect()
+}
+
+/// IS3: friends with KNOWS creation dates, newest first.
+pub fn is3(b: &dyn SnbBackend, p: &Params) -> Rows {
+    let mut items: Vec<((std::cmp::Reverse<i64>, u64), ())> = b
+        .friends(p.person)
+        .into_iter()
+        .map(|f| {
+            (
+                (std::cmp::Reverse(b.knows_date(p.person, f).unwrap_or(0)), f),
+                (),
+            )
+        })
+        .collect();
+    items.sort_by(|a, b| a.0.cmp(&b.0));
+    items
+        .into_iter()
+        .map(|((std::cmp::Reverse(d), f), _)| vec![Value::Int(f as i64), Value::Date(d)])
+        .collect()
+}
+
+/// IS4: post content and date (uses `person` param as a post id).
+pub fn is4(b: &dyn SnbBackend, p: &Params) -> Rows {
+    vec![vec![
+        b.post_prop(p.person, "content"),
+        b.post_prop(p.person, "creationDate"),
+    ]]
+}
+
+/// IS5: creator of a post.
+pub fn is5(b: &dyn SnbBackend, p: &Params) -> Rows {
+    vec![vec![Value::Int(
+        b.post_creator(p.person).map(|c| c as i64).unwrap_or(-1),
+    )]]
+}
+
+/// IS6: forum of a post with its title.
+pub fn is6(b: &dyn SnbBackend, p: &Params) -> Rows {
+    match b.forum_of_post(p.person) {
+        Some(f) => vec![vec![Value::Int(f as i64), b.forum_prop(f, "title")]],
+        None => vec![],
+    }
+}
+
+/// IS7: replies of a post with their authors.
+pub fn is7(b: &dyn SnbBackend, p: &Params) -> Rows {
+    let items: Vec<((std::cmp::Reverse<i64>, u64), u64)> = b
+        .replies_of_post(p.person)
+        .into_iter()
+        .map(|c| {
+            (
+                (
+                    std::cmp::Reverse(b.comment_prop(c, "creationDate").as_int().unwrap_or(0)),
+                    c,
+                ),
+                b.comment_creator(c).unwrap_or(0),
+            )
+        })
+        .collect();
+    take_top(items, 20)
+        .into_iter()
+        .map(|((std::cmp::Reverse(d), c), author)| {
+            vec![Value::Int(c as i64), Value::Int(author as i64), Value::Date(d)]
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------- updates
+
+/// The eight update operations, parameterised by a fresh-id counter.
+pub struct UpdateIds {
+    pub next_person: u64,
+    pub next_post: u64,
+    pub next_comment: u64,
+    pub next_forum: u64,
+}
+
+/// IU1: add person.
+pub fn iu1(b: &dyn SnbBackend, ids: &mut UpdateIds, date: i64) -> gs_graph::Result<u64> {
+    let id = ids.next_person;
+    ids.next_person += 1;
+    b.add_person(id, "New", "Person", date - 9000, date)?;
+    Ok(id)
+}
+
+/// IU2: add like.
+pub fn iu2(b: &dyn SnbBackend, person: u64, post: u64, date: i64) -> gs_graph::Result<()> {
+    b.add_like(person, post, date)
+}
+
+/// IU3: add interest (stands in for comment-likes absent from SNB-lite).
+pub fn iu3(b: &dyn SnbBackend, person: u64, tag: u64) -> gs_graph::Result<()> {
+    b.add_interest(person, tag)
+}
+
+/// IU4: add forum.
+pub fn iu4(b: &dyn SnbBackend, ids: &mut UpdateIds, date: i64) -> gs_graph::Result<u64> {
+    let id = ids.next_forum;
+    ids.next_forum += 1;
+    b.add_forum(id, "new forum", date)?;
+    Ok(id)
+}
+
+/// IU5: add forum membership.
+pub fn iu5(b: &dyn SnbBackend, forum: u64, person: u64, date: i64) -> gs_graph::Result<()> {
+    b.add_member(forum, person, date)
+}
+
+/// IU6: add post.
+pub fn iu6(
+    b: &dyn SnbBackend,
+    ids: &mut UpdateIds,
+    creator: u64,
+    forum: u64,
+    date: i64,
+) -> gs_graph::Result<u64> {
+    let id = ids.next_post;
+    ids.next_post += 1;
+    b.add_post(id, creator, forum, "fresh content", date, 42)?;
+    Ok(id)
+}
+
+/// IU7: add comment.
+pub fn iu7(
+    b: &dyn SnbBackend,
+    ids: &mut UpdateIds,
+    creator: u64,
+    post: u64,
+    date: i64,
+) -> gs_graph::Result<u64> {
+    let id = ids.next_comment;
+    ids.next_comment += 1;
+    b.add_comment(id, creator, post, date, 17)?;
+    Ok(id)
+}
+
+/// IU8: add friendship.
+pub fn iu8(b: &dyn SnbBackend, a: u64, c: u64, date: i64) -> gs_graph::Result<()> {
+    b.add_knows(a, c, date)
+}
+
+/// Complex-query dispatch table (for the benchmark driver).
+pub type ComplexQuery = fn(&dyn SnbBackend, &Params) -> Rows;
+
+/// The ordered complex query set C1–C14.
+pub const COMPLEX_QUERIES: [(&str, ComplexQuery); 14] = [
+    ("C1", ic1),
+    ("C2", ic2),
+    ("C3", ic3),
+    ("C4", ic4),
+    ("C5", ic5),
+    ("C6", ic6),
+    ("C7", ic7),
+    ("C8", ic8),
+    ("C9", ic9),
+    ("C10", ic10),
+    ("C11", ic11),
+    ("C12", ic12),
+    ("C13", ic13),
+    ("C14", ic14),
+];
+
+/// The ordered short query set S1–S7.
+pub const SHORT_QUERIES: [(&str, ComplexQuery); 7] = [
+    ("S1", is1),
+    ("S2", is2),
+    ("S3", is3),
+    ("S4", is4),
+    ("S5", is5),
+    ("S6", is6),
+    ("S7", is7),
+];
+
+/// Canonicalises rows for cross-system comparison (orders may legitimately
+/// differ within equal sort keys).
+pub fn canonical(mut rows: Rows) -> Rows {
+    rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    rows
+}
+

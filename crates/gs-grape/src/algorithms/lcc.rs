@@ -1,0 +1,117 @@
+//! Local clustering coefficient.
+//!
+//! LCC needs neighbour-of-neighbour intersection; on edge-cut fragments
+//! that requires shipping adjacency lists, which costs O(Σ deg²) traffic.
+//! Since LCC is not among the figures the paper reports (PageRank/BFS are),
+//! we provide the shared-memory implementation used by the BI workloads:
+//! sorted-adjacency intersection over the symmetrized CSR, parallelised
+//! over vertex ranges.
+
+use gs_graph::csr::Csr;
+use gs_graph::VId;
+
+/// LCC per vertex over a symmetrized, deduplicated edge list.
+pub fn lcc(n: usize, edges: &[(VId, VId)], threads: usize) -> Vec<f64> {
+    let g = Csr::from_edges(n, edges);
+    let threads = threads.max(1);
+    let chunk = n.div_ceil(threads).max(1);
+    let mut out = vec![0.0; n];
+    crossbeam::thread::scope(|s| {
+        for (t, slot) in out.chunks_mut(chunk).enumerate() {
+            let g = &g;
+            s.spawn(move |_| {
+                let lo = t * chunk;
+                for (i, val) in slot.iter_mut().enumerate() {
+                    let v = VId((lo + i) as u64);
+                    let nbrs = g.neighbors(v);
+                    let d = nbrs.len();
+                    if d < 2 {
+                        *val = 0.0;
+                        continue;
+                    }
+                    // count closed pairs: |{(u,w) : u,w ∈ N(v), u→w}|
+                    let mut links = 0usize;
+                    for &u in nbrs {
+                        links += sorted_intersection_count(g.neighbors(u), nbrs);
+                    }
+                    *val = links as f64 / (d * (d - 1)) as f64;
+                }
+            });
+        }
+    })
+    .expect("lcc scope");
+    out
+}
+
+/// Count of common elements of two sorted slices.
+fn sorted_intersection_count(a: &[VId], b: &[VId]) -> usize {
+    let (mut i, mut j, mut c) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_graph::edgelist::EdgeList;
+
+    #[test]
+    fn triangle_has_lcc_one() {
+        let mut el = EdgeList::new(3);
+        el.push(VId(0), VId(1));
+        el.push(VId(1), VId(2));
+        el.push(VId(0), VId(2));
+        el.symmetrize();
+        let got = lcc(3, el.edges(), 2);
+        assert_eq!(got, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn star_has_lcc_zero() {
+        let mut el = EdgeList::new(5);
+        for i in 1..5u64 {
+            el.push(VId(0), VId(i));
+        }
+        el.symmetrize();
+        let got = lcc(5, el.edges(), 2);
+        assert!(got.iter().all(|&x| x == 0.0), "{got:?}");
+    }
+
+    #[test]
+    fn square_with_diagonal() {
+        // 0-1-2-3-0 plus 0-2: LCC(1) = 2*1/(2*1)=1? N(1)={0,2}, edge 0-2
+        // exists → 2 ordered pairs closed of 2 → 1.0
+        let mut el = EdgeList::new(4);
+        for &(a, b) in &[(0u64, 1u64), (1, 2), (2, 3), (3, 0), (0, 2)] {
+            el.push(VId(a), VId(b));
+        }
+        el.symmetrize();
+        let got = lcc(4, el.edges(), 1);
+        assert_eq!(got[1], 1.0);
+        assert_eq!(got[3], 1.0);
+        // N(0) = {1,2,3}: closed ordered pairs: (1,2),(2,1),(2,3),(3,2) → 4/6
+        assert!((got[0] - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        use rand::Rng;
+        let mut rng = rand_pcg::Pcg64Mcg::new(8);
+        let mut el = EdgeList::new(50);
+        for _ in 0..300 {
+            el.push(VId(rng.gen_range(0..50)), VId(rng.gen_range(0..50)));
+        }
+        el.symmetrize();
+        assert_eq!(lcc(50, el.edges(), 1), lcc(50, el.edges(), 4));
+    }
+}

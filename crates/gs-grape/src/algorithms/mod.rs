@@ -1,0 +1,131 @@
+//! Built-in algorithm packages (paper §6): the Graphalytics core set —
+//! PageRank, BFS, SSSP, WCC, CDLP — plus k-core (via FLASH) and LCC.
+//!
+//! Directionality conventions follow LDBC Graphalytics: BFS/SSSP/PageRank
+//! run on the directed graph; WCC/CDLP/k-core/LCC expect a *symmetrized*
+//! edge list (see `EdgeList::symmetrize`).
+
+pub mod bfs;
+pub mod cdlp;
+pub mod kcore;
+pub mod lcc;
+pub mod pagerank;
+pub mod sssp;
+pub mod wcc;
+
+pub use bfs::bfs;
+pub use cdlp::cdlp;
+pub use kcore::kcore;
+pub use lcc::lcc;
+pub use pagerank::pagerank;
+pub use sssp::sssp;
+pub use wcc::wcc;
+
+/// Reference (single-threaded, obviously-correct) implementations used by
+/// differential tests across engines and baselines.
+pub mod reference {
+    use gs_graph::csr::Csr;
+    use gs_graph::VId;
+
+    /// Textbook PageRank with uniform dangling redistribution.
+    pub fn pagerank(n: usize, edges: &[(VId, VId)], damping: f64, iters: usize) -> Vec<f64> {
+        let g = Csr::from_edges(n, edges);
+        let mut rank = vec![1.0 / n as f64; n];
+        let mut next = vec![0.0; n];
+        for _ in 0..iters {
+            next.iter_mut().for_each(|x| *x = 0.0);
+            let mut dangling = 0.0;
+            for v in 0..n {
+                let d = g.degree(VId(v as u64));
+                if d == 0 {
+                    dangling += rank[v];
+                } else {
+                    let share = rank[v] / d as f64;
+                    for &w in g.neighbors(VId(v as u64)) {
+                        next[w.index()] += share;
+                    }
+                }
+            }
+            let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
+            for x in next.iter_mut() {
+                *x = base + damping * *x;
+            }
+            std::mem::swap(&mut rank, &mut next);
+        }
+        rank
+    }
+
+    /// BFS depths (u64::MAX when unreachable).
+    pub fn bfs(n: usize, edges: &[(VId, VId)], src: VId) -> Vec<u64> {
+        let g = Csr::from_edges(n, edges);
+        let mut depth = vec![u64::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        depth[src.index()] = 0;
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if depth[w.index()] == u64::MAX {
+                    depth[w.index()] = depth[v.index()] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        depth
+    }
+
+    /// Dijkstra distances (f64::INFINITY when unreachable).
+    pub fn sssp(n: usize, edges: &[(VId, VId)], weights: &[f64], src: VId) -> Vec<f64> {
+        let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for (&(s, d), &w) in edges.iter().zip(weights) {
+            adj[s.index()].push((d.index(), w));
+        }
+        let mut dist = vec![f64::INFINITY; n];
+        dist[src.index()] = 0.0;
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push((std::cmp::Reverse(ordered_float(0.0)), src.index()));
+        while let Some((std::cmp::Reverse(d), v)) = heap.pop() {
+            let d = f64::from_bits(d);
+            if d > dist[v] {
+                continue;
+            }
+            for &(w, len) in &adj[v] {
+                let nd = d + len;
+                if nd < dist[w] {
+                    dist[w] = nd;
+                    heap.push((std::cmp::Reverse(ordered_float(nd)), w));
+                }
+            }
+        }
+        dist
+    }
+
+    fn ordered_float(f: f64) -> u64 {
+        // non-negative floats order correctly by bit pattern
+        f.to_bits()
+    }
+
+    /// WCC labels (min vertex id per component) over a symmetrized list.
+    pub fn wcc(n: usize, edges: &[(VId, VId)]) -> Vec<u64> {
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            let mut r = x;
+            while p[r] != r {
+                r = p[r];
+            }
+            let mut c = x;
+            while p[c] != r {
+                let next = p[c];
+                p[c] = r;
+                c = next;
+            }
+            r
+        }
+        for &(s, d) in edges {
+            let (a, b) = (find(&mut parent, s.index()), find(&mut parent, d.index()));
+            if a != b {
+                parent[a.max(b)] = a.min(b);
+            }
+        }
+        (0..n).map(|v| find(&mut parent, v) as u64).collect()
+    }
+}

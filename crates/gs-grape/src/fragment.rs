@@ -1,0 +1,228 @@
+//! Fragments: the per-worker piece of an edge-cut-partitioned graph.
+//!
+//! A fragment owns its *inner* vertices and all edges sourced at them;
+//! destination vertices owned elsewhere appear as *outer* mirrors. Local
+//! dense ids place inner vertices first (`0..inner_count`) and outer
+//! mirrors after, so per-vertex state is a flat array — the layout GRAPE's
+//! "highly optimized core operators for fragment management" rely on.
+
+use gs_graph::csr::Csr;
+use gs_graph::partition::{EdgeCutPartitioner, FragmentSpec, PartitionId};
+use gs_graph::VId;
+use std::collections::HashMap;
+
+/// One fragment of a partitioned (optionally weighted) graph.
+pub struct Fragment {
+    pub id: PartitionId,
+    pub total_fragments: usize,
+    /// Total vertex count of the global graph.
+    pub global_n: usize,
+    /// Partitioner used to route messages to owners.
+    pub router: EdgeCutPartitioner,
+    /// local id → global id (inner first, then outer).
+    pub l2g: Vec<VId>,
+    /// global id → local id.
+    g2l: HashMap<VId, u32>,
+    /// Number of inner (owned) vertices.
+    pub inner_count: usize,
+    /// Local CSR over local ids (edges sourced at inner vertices).
+    pub out: Csr,
+    /// Local reverse CSR (in-edges of local vertices, from local sources).
+    pub inn: Csr,
+    /// Optional edge weights parallel to `out` edge ids.
+    pub weights: Option<Vec<f64>>,
+}
+
+impl Fragment {
+    /// Partitions a global edge list into `k` fragments.
+    pub fn partition_edges(n: usize, edges: &[(VId, VId)], k: usize) -> Vec<Fragment> {
+        Self::partition_weighted(n, edges, None, k)
+    }
+
+    /// Partitions with optional per-edge weights (parallel to `edges`).
+    pub fn partition_weighted(
+        n: usize,
+        edges: &[(VId, VId)],
+        weights: Option<&[f64]>,
+        k: usize,
+    ) -> Vec<Fragment> {
+        let specs = FragmentSpec::partition(n, edges, k);
+        let router = EdgeCutPartitioner::new(k);
+        // weights must follow their edge through the per-fragment split
+        let mut weight_of: HashMap<(VId, VId), Vec<f64>> = HashMap::new();
+        if let Some(ws) = weights {
+            for (&e, &w) in edges.iter().zip(ws) {
+                weight_of.entry(e).or_default().push(w);
+            }
+        }
+        specs
+            .into_iter()
+            .map(|spec| {
+                let mut l2g: Vec<VId> = spec.inner.clone();
+                l2g.extend(spec.outer.iter().copied());
+                let g2l: HashMap<VId, u32> = l2g
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &g)| (g, i as u32))
+                    .collect();
+                let local_edges: Vec<(VId, VId)> = spec
+                    .edges
+                    .iter()
+                    .map(|&(s, d)| (VId(g2l[&s] as u64), VId(g2l[&d] as u64)))
+                    .collect();
+                let out = Csr::from_edges(l2g.len(), &local_edges);
+                let inn = out.transpose();
+                // weights in CSR edge-id order: edge id i = i-th pushed edge
+                let w = if weights.is_some() {
+                    let mut per_edge = vec![0.0; local_edges.len()];
+                    let mut pools = weight_of.clone();
+                    // replay: visit edges in CSR edge-id order (push order ==
+                    // spec.edges order)
+                    for (i, &(s, d)) in spec.edges.iter().enumerate() {
+                        let pool = pools.get_mut(&(s, d)).expect("weight pool");
+                        per_edge[i] = pool.pop().expect("weight");
+                    }
+                    Some(per_edge)
+                } else {
+                    None
+                };
+                Fragment {
+                    id: spec.id,
+                    total_fragments: k,
+                    global_n: n,
+                    router,
+                    l2g,
+                    g2l,
+                    inner_count: spec.inner.len(),
+                    out,
+                    inn,
+                    weights: w,
+                }
+            })
+            .collect()
+    }
+
+    /// Local id of a global vertex, if present on this fragment.
+    #[inline]
+    pub fn local(&self, g: VId) -> Option<u32> {
+        self.g2l.get(&g).copied()
+    }
+
+    /// Global id of a local vertex.
+    #[inline]
+    pub fn global(&self, l: u32) -> VId {
+        self.l2g[l as usize]
+    }
+
+    /// Whether a local id is an inner (owned) vertex.
+    #[inline]
+    pub fn is_inner(&self, l: u32) -> bool {
+        (l as usize) < self.inner_count
+    }
+
+    /// Owner fragment of a global vertex.
+    #[inline]
+    pub fn owner(&self, g: VId) -> PartitionId {
+        self.router.owner(g)
+    }
+
+    /// Local vertex count (inner + outer).
+    #[inline]
+    pub fn local_count(&self) -> usize {
+        self.l2g.len()
+    }
+
+    /// Out-neighbors (local ids) of a local vertex.
+    #[inline]
+    pub fn out_neighbors(&self, l: u32) -> &[VId] {
+        self.out.neighbors(VId(l as u64))
+    }
+
+    /// Edge ids parallel to [`Fragment::out_neighbors`] (index `weights`).
+    #[inline]
+    pub fn out_edge_ids(&self, l: u32) -> &[gs_graph::EId] {
+        self.out.edge_ids(VId(l as u64))
+    }
+
+    /// Local edge count.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out.edge_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Vec<(VId, VId)> {
+        (0..n as u64).map(|i| (VId(i), VId((i + 1) % n as u64))).collect()
+    }
+
+    #[test]
+    fn fragments_cover_graph() {
+        let edges = ring(100);
+        let frags = Fragment::partition_edges(100, &edges, 4);
+        let inner_total: usize = frags.iter().map(|f| f.inner_count).sum();
+        let edge_total: usize = frags.iter().map(|f| f.edge_count()).sum();
+        assert_eq!(inner_total, 100);
+        assert_eq!(edge_total, 100);
+    }
+
+    #[test]
+    fn local_global_round_trip() {
+        let edges = ring(50);
+        let frags = Fragment::partition_edges(50, &edges, 3);
+        for f in &frags {
+            for l in 0..f.local_count() as u32 {
+                let g = f.global(l);
+                assert_eq!(f.local(g), Some(l));
+                if f.is_inner(l) {
+                    assert_eq!(f.owner(g), f.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edges_point_to_valid_locals() {
+        let edges = ring(64);
+        let frags = Fragment::partition_edges(64, &edges, 4);
+        for f in &frags {
+            for l in 0..f.inner_count as u32 {
+                for &nbr in f.out_neighbors(l) {
+                    assert!((nbr.index()) < f.local_count());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weights_follow_edges() {
+        let edges = vec![(VId(0), VId(1)), (VId(1), VId(2)), (VId(2), VId(0))];
+        let weights = vec![0.1, 0.2, 0.3];
+        let frags = Fragment::partition_weighted(3, &edges, Some(&weights), 2);
+        let mut seen: Vec<f64> = Vec::new();
+        for f in &frags {
+            if let Some(ws) = &f.weights {
+                for l in 0..f.inner_count as u32 {
+                    for (&nbr, &eid) in f.out_neighbors(l).iter().zip(f.out_edge_ids(l)) {
+                        let _ = nbr;
+                        seen.push(ws[eid.index()]);
+                    }
+                }
+            }
+        }
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(seen, weights);
+    }
+
+    #[test]
+    fn single_fragment_has_everything_inner() {
+        let edges = ring(10);
+        let frags = Fragment::partition_edges(10, &edges, 1);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0].inner_count, 10);
+        assert_eq!(frags[0].local_count(), 10);
+    }
+}

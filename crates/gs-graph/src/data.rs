@@ -1,0 +1,176 @@
+//! Backend-agnostic property-graph payload.
+//!
+//! Dataset generators and file loaders produce a [`PropertyGraphData`];
+//! every storage backend (Vineyard, GART, GraphAr) can be *built from* one,
+//! and GraphAr can dump back to one. This is the interchange point that lets
+//! the same dataset flow into any LEGO-brick storage configuration.
+
+use crate::error::{GraphError, Result};
+use crate::ids::LabelId;
+use crate::schema::GraphSchema;
+use crate::value::Value;
+
+/// All vertices of one label: external ids plus property rows (in PropId
+/// order, parallel to `external_ids`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VertexBatch {
+    pub label: LabelId,
+    pub external_ids: Vec<u64>,
+    pub properties: Vec<Vec<Value>>,
+}
+
+/// All edges of one label: endpoint *external* ids plus property rows.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EdgeBatch {
+    pub label: LabelId,
+    /// (src external id, dst external id) pairs.
+    pub endpoints: Vec<(u64, u64)>,
+    pub properties: Vec<Vec<Value>>,
+}
+
+/// A complete labeled property graph in interchange form.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PropertyGraphData {
+    pub schema: GraphSchema,
+    pub vertices: Vec<VertexBatch>,
+    pub edges: Vec<EdgeBatch>,
+}
+
+impl PropertyGraphData {
+    /// Empty payload over a schema, with one batch slot per label.
+    pub fn new(schema: GraphSchema) -> Self {
+        let vertices = schema
+            .vertex_labels()
+            .iter()
+            .map(|l| VertexBatch {
+                label: l.id,
+                ..Default::default()
+            })
+            .collect();
+        let edges = schema
+            .edge_labels()
+            .iter()
+            .map(|l| EdgeBatch {
+                label: l.id,
+                ..Default::default()
+            })
+            .collect();
+        Self {
+            schema,
+            vertices,
+            edges,
+        }
+    }
+
+    /// Appends a vertex with its properties (PropId order).
+    pub fn add_vertex(&mut self, label: LabelId, external_id: u64, props: Vec<Value>) {
+        let b = &mut self.vertices[label.index()];
+        b.external_ids.push(external_id);
+        b.properties.push(props);
+    }
+
+    /// Appends an edge with its properties (PropId order).
+    pub fn add_edge(&mut self, label: LabelId, src: u64, dst: u64, props: Vec<Value>) {
+        let b = &mut self.edges[label.index()];
+        b.endpoints.push((src, dst));
+        b.properties.push(props);
+    }
+
+    /// Total vertex count across labels.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.iter().map(|b| b.external_ids.len()).sum()
+    }
+
+    /// Total edge count across labels.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(|b| b.endpoints.len()).sum()
+    }
+
+    /// Validates internal consistency: property arity matches schema, batch
+    /// slots match label ids, property rows parallel id arrays.
+    pub fn validate(&self) -> Result<()> {
+        for (i, b) in self.vertices.iter().enumerate() {
+            if b.label.index() != i {
+                return Err(GraphError::Schema("vertex batch out of order".into()));
+            }
+            if b.external_ids.len() != b.properties.len() {
+                return Err(GraphError::Schema("vertex ids/props length skew".into()));
+            }
+            let arity = self.schema.vertex_label(b.label)?.properties.len();
+            if let Some(row) = b.properties.iter().find(|r| r.len() != arity) {
+                return Err(GraphError::Schema(format!(
+                    "vertex property arity {} != schema arity {arity}",
+                    row.len()
+                )));
+            }
+        }
+        for (i, b) in self.edges.iter().enumerate() {
+            if b.label.index() != i {
+                return Err(GraphError::Schema("edge batch out of order".into()));
+            }
+            if b.endpoints.len() != b.properties.len() {
+                return Err(GraphError::Schema("edge ids/props length skew".into()));
+            }
+            let arity = self.schema.edge_label(b.label)?.properties.len();
+            if let Some(row) = b.properties.iter().find(|r| r.len() != arity) {
+                return Err(GraphError::Schema(format!(
+                    "edge property arity {} != schema arity {arity}",
+                    row.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a homogeneous payload from a plain edge list (simple graphs
+    /// used by the Graphalytics workloads). Vertex external ids are 0..n.
+    pub fn from_edge_list(n: usize, edges: &[(u64, u64)]) -> Self {
+        let schema = GraphSchema::homogeneous(false);
+        let mut g = Self::new(schema);
+        for v in 0..n as u64 {
+            g.add_vertex(LabelId(0), v, vec![]);
+        }
+        for &(s, d) in edges {
+            g.add_edge(LabelId(0), s, d, vec![]);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueType;
+
+    #[test]
+    fn from_edge_list_counts() {
+        let g = PropertyGraphData::from_edge_list(3, &[(0, 1), (1, 2)]);
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_arity_skew() {
+        let mut schema = GraphSchema::new();
+        let v = schema.add_vertex_label("V", &[("x", ValueType::Int)]);
+        schema.add_edge_label("E", v, v, &[]);
+        let mut g = PropertyGraphData::new(schema);
+        g.add_vertex(v, 0, vec![]); // missing the "x" property
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_ok_for_proper_payload() {
+        let mut schema = GraphSchema::new();
+        let v = schema.add_vertex_label("V", &[("x", ValueType::Int)]);
+        schema.add_edge_label("E", v, v, &[("w", ValueType::Float)]);
+        let mut g = PropertyGraphData::new(schema);
+        g.add_vertex(v, 10, vec![Value::Int(1)]);
+        g.add_vertex(v, 20, vec![Value::Int(2)]);
+        g.add_edge(LabelId(0), 10, 20, vec![Value::Float(0.5)]);
+        g.validate().unwrap();
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Plain edge-list container with the utilities dataset generators and
+//! loaders need before topology is frozen into CSR form.
+
+use crate::csr::Csr;
+use crate::ids::VId;
+
+/// A growable edge list over `n` vertices.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EdgeList {
+    n: usize,
+    edges: Vec<(VId, VId)>,
+}
+
+impl EdgeList {
+    /// Empty list over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds from raw pairs, taking the vertex count from the caller.
+    pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let edges = pairs
+            .into_iter()
+            .map(|(s, d)| (VId(s), VId(d)))
+            .collect::<Vec<_>>();
+        debug_assert!(edges.iter().all(|(s, d)| s.index() < n && d.index() < n));
+        Self { n, edges }
+    }
+
+    /// Appends an edge.
+    #[inline]
+    pub fn push(&mut self, src: VId, dst: VId) {
+        debug_assert!(src.index() < self.n && dst.index() < self.n);
+        self.edges.push((src, dst));
+    }
+
+    /// Vertex count.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Edge count.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Edge slice.
+    #[inline]
+    pub fn edges(&self) -> &[(VId, VId)] {
+        &self.edges
+    }
+
+    /// Removes duplicate edges and self-loops in place (simple-graph
+    /// normalisation used by Graphalytics workloads).
+    pub fn dedup_simple(&mut self) {
+        self.edges.retain(|(s, d)| s != d);
+        self.edges.sort_unstable();
+        self.edges.dedup();
+    }
+
+    /// Adds the reverse of every edge (undirected closure), then dedups.
+    pub fn symmetrize(&mut self) {
+        let rev: Vec<_> = self.edges.iter().map(|&(s, d)| (d, s)).collect();
+        self.edges.extend(rev);
+        self.dedup_simple();
+    }
+
+    /// Freezes into CSR topology.
+    pub fn to_csr(&self) -> Csr {
+        Csr::from_edges(self.n, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_removes_loops_and_dups() {
+        let mut el = EdgeList::from_pairs(3, [(0, 1), (1, 1), (0, 1), (2, 0)]);
+        el.dedup_simple();
+        assert_eq!(el.edges(), &[(VId(0), VId(1)), (VId(2), VId(0))]);
+    }
+
+    #[test]
+    fn symmetrize_closes_under_reversal() {
+        let mut el = EdgeList::from_pairs(3, [(0, 1), (1, 2)]);
+        el.symmetrize();
+        assert_eq!(el.edge_count(), 4);
+        let g = el.to_csr();
+        for v in 0..3u64 {
+            for &w in g.neighbors(VId(v)) {
+                assert!(g.has_edge(w, VId(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn to_csr_preserves_counts() {
+        let el = EdgeList::from_pairs(4, [(0, 1), (0, 2), (3, 1)]);
+        let g = el.to_csr();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+    }
+}

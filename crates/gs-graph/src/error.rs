@@ -1,0 +1,75 @@
+//! Error types shared across the stack (GRIN's "common" category includes
+//! unified error handling; this is its Rust-side realisation).
+
+use std::fmt;
+
+/// Convenience alias used across gs-* crates.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Unified error type for graph storage and retrieval operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A vertex/edge/label/property id did not resolve.
+    NotFound(String),
+    /// A schema constraint was violated (unknown label, wrong property type).
+    Schema(String),
+    /// The storage backend does not implement the requested GRIN trait.
+    Unsupported(String),
+    /// A value had the wrong type for the requested operation.
+    Type(String),
+    /// Corrupt or truncated on-disk data (GraphAr).
+    Corrupt(String),
+    /// I/O failure, stringified to keep the error `Clone + PartialEq`.
+    Io(String),
+    /// Query compilation failure (parser / optimizer / codegen).
+    Query(String),
+    /// Invalid engine or flexbuild configuration.
+    Config(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NotFound(m) => write!(f, "not found: {m}"),
+            GraphError::Schema(m) => write!(f, "schema error: {m}"),
+            GraphError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            GraphError::Type(m) => write!(f, "type error: {m}"),
+            GraphError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            GraphError::Io(m) => write!(f, "io error: {m}"),
+            GraphError::Query(m) => write!(f, "query error: {m}"),
+            GraphError::Config(m) => write!(f, "config error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            GraphError::NotFound("v42".into()).to_string(),
+            "not found: v42"
+        );
+        assert_eq!(
+            GraphError::Unsupported("iterator trait".into()).to_string(),
+            "unsupported: iterator trait"
+        );
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+    }
+}

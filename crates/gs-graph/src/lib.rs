@@ -1,0 +1,39 @@
+//! # gs-graph — graph model substrate for GraphScope Flex
+//!
+//! This crate provides the shared building blocks every other layer of the
+//! stack is assembled from:
+//!
+//! * strongly-typed identifiers ([`VId`], [`EId`], [`LabelId`], [`PropId`]),
+//! * the property [`Value`] model used by the labeled-property-graph (LPG)
+//!   data model and by GraphIR records,
+//! * [`schema::GraphSchema`] describing vertex/edge labels and their
+//!   properties,
+//! * compressed sparse row/column topology ([`csr::Csr`]) with builders,
+//! * columnar property storage ([`props::PropertyColumn`]),
+//! * edge-cut [`partition`]ing used by the distributed engines, and
+//! * the [`varint`] codec shared by GRAPE's message manager and GraphAr.
+//!
+//! Nothing in this crate knows about storage backends or engines; those live
+//! in `gs-vineyard`/`gs-gart`/`gs-graphar` and `gs-gaia`/`gs-hiactor`/
+//! `gs-grape` respectively, glued together through `gs-grin`.
+
+pub mod csr;
+pub mod data;
+pub mod edgelist;
+pub mod error;
+pub mod ids;
+pub mod partition;
+pub mod props;
+pub mod schema;
+pub mod value;
+pub mod varint;
+
+pub use csr::{Csr, CsrBuilder};
+pub use data::{EdgeBatch, PropertyGraphData, VertexBatch};
+pub use edgelist::EdgeList;
+pub use error::{GraphError, Result};
+pub use ids::{EId, IdMap, LabelId, PropId, VId};
+pub use partition::{EdgeCutPartitioner, FragmentSpec, PartitionId};
+pub use props::{PropertyColumn, PropertyTable};
+pub use schema::{EdgeLabelDef, GraphSchema, PropertyDef, VertexLabelDef};
+pub use value::{Value, ValueType};

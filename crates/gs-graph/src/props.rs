@@ -1,0 +1,393 @@
+//! Columnar property storage.
+//!
+//! Vineyard and GraphAr keep vertex/edge properties as per-property columns
+//! (label-partitioned), which is what makes predicate pushdown and selective
+//! chunk loading effective. A [`PropertyColumn`] is a typed vector with a
+//! validity bitmap; a [`PropertyTable`] groups the columns of one label.
+
+use crate::error::{GraphError, Result};
+use crate::ids::PropId;
+use crate::value::{Value, ValueType};
+
+/// One typed column with a null bitmap.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PropertyColumn {
+    Int(Vec<i64>, Bitmap),
+    Float(Vec<f64>, Bitmap),
+    Str(Vec<String>, Bitmap),
+    Bool(Vec<bool>, Bitmap),
+    Date(Vec<i64>, Bitmap),
+}
+
+/// Simple validity bitmap (1 bit per row; 1 = valid).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Bitmap {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Bitmap of `len` bits, all set to `valid`.
+    pub fn new(len: usize, valid: bool) -> Self {
+        let words = len.div_ceil(64);
+        Self {
+            bits: vec![if valid { u64::MAX } else { 0 }; words],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        debug_assert!(i < self.len);
+        if v {
+            self.bits[i / 64] |= 1 << (i % 64);
+        } else {
+            self.bits[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, v: bool) {
+        if self.len % 64 == 0 {
+            self.bits.push(0);
+        }
+        self.len += 1;
+        self.set(self.len - 1, v);
+    }
+
+    /// Number of set (valid) bits.
+    pub fn count_set(&self) -> usize {
+        let mut c: usize = self.bits.iter().map(|w| w.count_ones() as usize).sum();
+        // mask out bits past len in the final word
+        let tail = self.len % 64;
+        if tail != 0 {
+            let last = *self.bits.last().unwrap();
+            c -= (last >> tail).count_ones() as usize;
+        }
+        c
+    }
+}
+
+impl PropertyColumn {
+    /// Creates an empty column of the given type.
+    pub fn new(vt: ValueType) -> Result<Self> {
+        Ok(match vt {
+            ValueType::Int => PropertyColumn::Int(Vec::new(), Bitmap::default()),
+            ValueType::Float => PropertyColumn::Float(Vec::new(), Bitmap::default()),
+            ValueType::Str => PropertyColumn::Str(Vec::new(), Bitmap::default()),
+            ValueType::Bool => PropertyColumn::Bool(Vec::new(), Bitmap::default()),
+            ValueType::Date => PropertyColumn::Date(Vec::new(), Bitmap::default()),
+            other => {
+                return Err(GraphError::Schema(format!(
+                    "unsupported column type {other:?}"
+                )))
+            }
+        })
+    }
+
+    /// This column's value type.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            PropertyColumn::Int(..) => ValueType::Int,
+            PropertyColumn::Float(..) => ValueType::Float,
+            PropertyColumn::Str(..) => ValueType::Str,
+            PropertyColumn::Bool(..) => ValueType::Bool,
+            PropertyColumn::Date(..) => ValueType::Date,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            PropertyColumn::Int(v, _) => v.len(),
+            PropertyColumn::Float(v, _) => v.len(),
+            PropertyColumn::Str(v, _) => v.len(),
+            PropertyColumn::Bool(v, _) => v.len(),
+            PropertyColumn::Date(v, _) => v.len(),
+        }
+    }
+
+    /// True when no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a value; `Value::Null` appends an invalid row. Type-checked.
+    pub fn push(&mut self, v: &Value) -> Result<()> {
+        match (self, v) {
+            (PropertyColumn::Int(col, bm), Value::Int(x)) => {
+                col.push(*x);
+                bm.push(true);
+            }
+            (PropertyColumn::Float(col, bm), Value::Float(x)) => {
+                col.push(*x);
+                bm.push(true);
+            }
+            (PropertyColumn::Float(col, bm), Value::Int(x)) => {
+                col.push(*x as f64);
+                bm.push(true);
+            }
+            (PropertyColumn::Str(col, bm), Value::Str(x)) => {
+                col.push(x.clone());
+                bm.push(true);
+            }
+            (PropertyColumn::Bool(col, bm), Value::Bool(x)) => {
+                col.push(*x);
+                bm.push(true);
+            }
+            (PropertyColumn::Date(col, bm), Value::Date(x)) => {
+                col.push(*x);
+                bm.push(true);
+            }
+            (PropertyColumn::Date(col, bm), Value::Int(x)) => {
+                col.push(*x);
+                bm.push(true);
+            }
+            (col, Value::Null) => {
+                col.push_null();
+            }
+            (col, v) => {
+                return Err(GraphError::Type(format!(
+                    "cannot store {:?} in {:?} column",
+                    v.value_type(),
+                    col.value_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends a null row.
+    pub fn push_null(&mut self) {
+        match self {
+            PropertyColumn::Int(col, bm) | PropertyColumn::Date(col, bm) => {
+                col.push(0);
+                bm.push(false);
+            }
+            PropertyColumn::Float(col, bm) => {
+                col.push(0.0);
+                bm.push(false);
+            }
+            PropertyColumn::Str(col, bm) => {
+                col.push(String::new());
+                bm.push(false);
+            }
+            PropertyColumn::Bool(col, bm) => {
+                col.push(false);
+                bm.push(false);
+            }
+        }
+    }
+
+    /// Reads row `i` as a [`Value`] (Null when invalid).
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            PropertyColumn::Int(col, bm) => {
+                if bm.get(i) {
+                    Value::Int(col[i])
+                } else {
+                    Value::Null
+                }
+            }
+            PropertyColumn::Float(col, bm) => {
+                if bm.get(i) {
+                    Value::Float(col[i])
+                } else {
+                    Value::Null
+                }
+            }
+            PropertyColumn::Str(col, bm) => {
+                if bm.get(i) {
+                    Value::Str(col[i].clone())
+                } else {
+                    Value::Null
+                }
+            }
+            PropertyColumn::Bool(col, bm) => {
+                if bm.get(i) {
+                    Value::Bool(col[i])
+                } else {
+                    Value::Null
+                }
+            }
+            PropertyColumn::Date(col, bm) => {
+                if bm.get(i) {
+                    Value::Date(col[i])
+                } else {
+                    Value::Null
+                }
+            }
+        }
+    }
+
+    /// Raw i64 view for Int/Date columns (fast paths avoid Value boxing).
+    pub fn as_i64_slice(&self) -> Option<&[i64]> {
+        match self {
+            PropertyColumn::Int(col, _) | PropertyColumn::Date(col, _) => Some(col),
+            _ => None,
+        }
+    }
+
+    /// Raw f64 view for Float columns.
+    pub fn as_f64_slice(&self) -> Option<&[f64]> {
+        match self {
+            PropertyColumn::Float(col, _) => Some(col),
+            _ => None,
+        }
+    }
+}
+
+/// All property columns of one vertex or edge label, indexed by [`PropId`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PropertyTable {
+    columns: Vec<(String, PropertyColumn)>,
+    /// Explicit row count (column lengths can't be consulted when a label
+    /// has zero properties).
+    rows: usize,
+}
+
+impl PropertyTable {
+    /// Creates a table from `(name, type)` definitions.
+    pub fn new(defs: &[(String, ValueType)]) -> Result<Self> {
+        let mut columns = Vec::with_capacity(defs.len());
+        for (name, vt) in defs {
+            columns.push((name.clone(), PropertyColumn::new(*vt)?));
+        }
+        Ok(Self { columns, rows: 0 })
+    }
+
+    /// Appends one row; `values` must be in PropId order.
+    pub fn push_row(&mut self, values: &[Value]) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(GraphError::Schema(format!(
+                "row has {} values, table has {} columns",
+                values.len(),
+                self.columns.len()
+            )));
+        }
+        for ((_, col), v) in self.columns.iter_mut().zip(values) {
+            col.push(v)?;
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Number of rows (tracked explicitly, so zero-property labels count
+    /// correctly).
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column by property id.
+    pub fn column(&self, p: PropId) -> Option<&PropertyColumn> {
+        self.columns.get(p.index()).map(|(_, c)| c)
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Option<(PropId, &PropertyColumn)> {
+        self.columns
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| (PropId(i as u16), &self.columns[i].1))
+    }
+
+    /// Reads cell `(row, prop)`.
+    pub fn get(&self, row: usize, p: PropId) -> Value {
+        self.column(p).map_or(Value::Null, |c| c.get(row))
+    }
+
+    /// Column names in PropId order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|(n, _)| n.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_basics() {
+        let mut bm = Bitmap::new(70, true);
+        assert_eq!(bm.count_set(), 70);
+        bm.set(65, false);
+        assert!(!bm.get(65));
+        assert_eq!(bm.count_set(), 69);
+        bm.push(false);
+        bm.push(true);
+        assert_eq!(bm.len(), 72);
+        assert_eq!(bm.count_set(), 70);
+    }
+
+    #[test]
+    fn column_type_checking() {
+        let mut c = PropertyColumn::new(ValueType::Int).unwrap();
+        c.push(&Value::Int(5)).unwrap();
+        assert!(c.push(&Value::Str("x".into())).is_err());
+        c.push(&Value::Null).unwrap();
+        assert_eq!(c.get(0), Value::Int(5));
+        assert_eq!(c.get(1), Value::Null);
+    }
+
+    #[test]
+    fn float_column_accepts_ints() {
+        let mut c = PropertyColumn::new(ValueType::Float).unwrap();
+        c.push(&Value::Int(2)).unwrap();
+        assert_eq!(c.get(0), Value::Float(2.0));
+    }
+
+    #[test]
+    fn unsupported_column_types_error() {
+        assert!(PropertyColumn::new(ValueType::List).is_err());
+        assert!(PropertyColumn::new(ValueType::Vertex).is_err());
+    }
+
+    #[test]
+    fn table_rows_round_trip() {
+        let mut t = PropertyTable::new(&[
+            ("name".to_string(), ValueType::Str),
+            ("age".to_string(), ValueType::Int),
+        ])
+        .unwrap();
+        t.push_row(&[Value::Str("ann".into()), Value::Int(30)])
+            .unwrap();
+        t.push_row(&[Value::Str("bob".into()), Value::Null]).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.get(0, PropId(1)), Value::Int(30));
+        assert_eq!(t.get(1, PropId(1)), Value::Null);
+        let (pid, _) = t.column_by_name("age").unwrap();
+        assert_eq!(pid, PropId(1));
+        assert!(t.column_by_name("ghost").is_none());
+    }
+
+    #[test]
+    fn table_arity_mismatch_errors() {
+        let mut t = PropertyTable::new(&[("x".to_string(), ValueType::Int)]).unwrap();
+        assert!(t.push_row(&[]).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! Labeled-property-graph schema: vertex labels, edge labels (with endpoint
+//! label constraints, LDBC-style triplets), and per-label property
+//! definitions. Used by storage backends, the IR type checker, and the
+//! GLogue catalog.
+
+use crate::error::{GraphError, Result};
+use crate::ids::{LabelId, PropId};
+use crate::value::ValueType;
+use serde::{Deserialize, Serialize};
+
+/// One property definition attached to a vertex or edge label.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PropertyDef {
+    pub id: PropId,
+    pub name: String,
+    pub value_type: ValueType,
+}
+
+impl Serialize for ValueType {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> std::result::Result<S::Ok, S::Error> {
+        s.serialize_str(match self {
+            ValueType::Null => "null",
+            ValueType::Bool => "bool",
+            ValueType::Int => "int",
+            ValueType::Float => "float",
+            ValueType::Str => "str",
+            ValueType::Date => "date",
+            ValueType::List => "list",
+            ValueType::Vertex => "vertex",
+            ValueType::Edge => "edge",
+            ValueType::Path => "path",
+        })
+    }
+}
+
+impl<'de> Deserialize<'de> for ValueType {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> std::result::Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        Ok(match s.as_str() {
+            "bool" => ValueType::Bool,
+            "int" => ValueType::Int,
+            "float" => ValueType::Float,
+            "str" => ValueType::Str,
+            "date" => ValueType::Date,
+            "list" => ValueType::List,
+            "vertex" => ValueType::Vertex,
+            "edge" => ValueType::Edge,
+            "path" => ValueType::Path,
+            _ => ValueType::Null,
+        })
+    }
+}
+
+/// A vertex label (e.g. `Person`, `Item`) with its property definitions.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VertexLabelDef {
+    pub id: LabelId,
+    pub name: String,
+    pub properties: Vec<PropertyDef>,
+}
+
+/// An edge label (e.g. `KNOWS`) with endpoint constraints and properties.
+///
+/// LDBC-style schemas constrain edges to (src label, edge label, dst label)
+/// triplets; `src`/`dst` record that constraint.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EdgeLabelDef {
+    pub id: LabelId,
+    pub name: String,
+    pub src: LabelId,
+    pub dst: LabelId,
+    pub properties: Vec<PropertyDef>,
+}
+
+/// Whole-graph schema: the catalog entry point for parsers and the optimizer.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct GraphSchema {
+    vertex_labels: Vec<VertexLabelDef>,
+    edge_labels: Vec<EdgeLabelDef>,
+}
+
+impl GraphSchema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a vertex label; ids are assigned densely in insertion order.
+    pub fn add_vertex_label(
+        &mut self,
+        name: &str,
+        properties: &[(&str, ValueType)],
+    ) -> LabelId {
+        let id = LabelId(self.vertex_labels.len() as u16);
+        self.vertex_labels.push(VertexLabelDef {
+            id,
+            name: name.to_string(),
+            properties: mk_props(properties),
+        });
+        id
+    }
+
+    /// Adds an edge label constrained to `src -> dst` vertex labels.
+    pub fn add_edge_label(
+        &mut self,
+        name: &str,
+        src: LabelId,
+        dst: LabelId,
+        properties: &[(&str, ValueType)],
+    ) -> LabelId {
+        let id = LabelId(self.edge_labels.len() as u16);
+        self.edge_labels.push(EdgeLabelDef {
+            id,
+            name: name.to_string(),
+            src,
+            dst,
+            properties: mk_props(properties),
+        });
+        id
+    }
+
+    /// All vertex labels in id order.
+    pub fn vertex_labels(&self) -> &[VertexLabelDef] {
+        &self.vertex_labels
+    }
+
+    /// All edge labels in id order.
+    pub fn edge_labels(&self) -> &[EdgeLabelDef] {
+        &self.edge_labels
+    }
+
+    /// Vertex label definition by id.
+    pub fn vertex_label(&self, id: LabelId) -> Result<&VertexLabelDef> {
+        self.vertex_labels
+            .get(id.index())
+            .ok_or_else(|| GraphError::Schema(format!("unknown vertex label {id:?}")))
+    }
+
+    /// Edge label definition by id.
+    pub fn edge_label(&self, id: LabelId) -> Result<&EdgeLabelDef> {
+        self.edge_labels
+            .get(id.index())
+            .ok_or_else(|| GraphError::Schema(format!("unknown edge label {id:?}")))
+    }
+
+    /// Resolves a vertex label by name (case sensitive, LPG convention).
+    pub fn vertex_label_by_name(&self, name: &str) -> Option<&VertexLabelDef> {
+        self.vertex_labels.iter().find(|l| l.name == name)
+    }
+
+    /// Resolves an edge label by name.
+    pub fn edge_label_by_name(&self, name: &str) -> Option<&EdgeLabelDef> {
+        self.edge_labels.iter().find(|l| l.name == name)
+    }
+
+    /// Resolves a property on a vertex label by name.
+    pub fn vertex_property(&self, label: LabelId, name: &str) -> Option<&PropertyDef> {
+        self.vertex_labels
+            .get(label.index())
+            .and_then(|l| l.properties.iter().find(|p| p.name == name))
+    }
+
+    /// Resolves a property on an edge label by name.
+    pub fn edge_property(&self, label: LabelId, name: &str) -> Option<&PropertyDef> {
+        self.edge_labels
+            .get(label.index())
+            .and_then(|l| l.properties.iter().find(|p| p.name == name))
+    }
+
+    /// Number of vertex labels.
+    pub fn vertex_label_count(&self) -> usize {
+        self.vertex_labels.len()
+    }
+
+    /// Number of edge labels.
+    pub fn edge_label_count(&self) -> usize {
+        self.edge_labels.len()
+    }
+
+    /// A single-label schema for homogeneous (simple/weighted) graphs: one
+    /// vertex label `V` and one edge label `E` with an optional weight.
+    pub fn homogeneous(weighted: bool) -> Self {
+        let mut s = Self::new();
+        let v = s.add_vertex_label("V", &[]);
+        if weighted {
+            s.add_edge_label("E", v, v, &[("weight", ValueType::Float)]);
+        } else {
+            s.add_edge_label("E", v, v, &[]);
+        }
+        s
+    }
+}
+
+fn mk_props(props: &[(&str, ValueType)]) -> Vec<PropertyDef> {
+    props
+        .iter()
+        .enumerate()
+        .map(|(i, (name, vt))| PropertyDef {
+            id: PropId(i as u16),
+            name: name.to_string(),
+            value_type: *vt,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GraphSchema {
+        let mut s = GraphSchema::new();
+        let person = s.add_vertex_label(
+            "Person",
+            &[("name", ValueType::Str), ("age", ValueType::Int)],
+        );
+        let item = s.add_vertex_label("Item", &[("price", ValueType::Float)]);
+        s.add_edge_label("BUY", person, item, &[("date", ValueType::Date)]);
+        s.add_edge_label("KNOWS", person, person, &[]);
+        s
+    }
+
+    #[test]
+    fn label_lookup_by_name_and_id() {
+        let s = sample();
+        let p = s.vertex_label_by_name("Person").unwrap();
+        assert_eq!(p.id, LabelId(0));
+        let buy = s.edge_label_by_name("BUY").unwrap();
+        assert_eq!(buy.src, LabelId(0));
+        assert_eq!(buy.dst, LabelId(1));
+        assert!(s.vertex_label_by_name("Ghost").is_none());
+    }
+
+    #[test]
+    fn property_lookup() {
+        let s = sample();
+        let p = s.vertex_property(LabelId(0), "age").unwrap();
+        assert_eq!(p.value_type, ValueType::Int);
+        assert!(s.vertex_property(LabelId(0), "none").is_none());
+        let d = s.edge_property(LabelId(0), "date").unwrap();
+        assert_eq!(d.value_type, ValueType::Date);
+    }
+
+    #[test]
+    fn unknown_label_errors() {
+        let s = sample();
+        assert!(s.vertex_label(LabelId(9)).is_err());
+        assert!(s.edge_label(LabelId(9)).is_err());
+    }
+
+    #[test]
+    fn homogeneous_schema() {
+        let s = GraphSchema::homogeneous(true);
+        assert_eq!(s.vertex_label_count(), 1);
+        assert_eq!(s.edge_label_count(), 1);
+        assert!(s.edge_property(LabelId(0), "weight").is_some());
+        let s2 = GraphSchema::homogeneous(false);
+        assert!(s2.edge_property(LabelId(0), "weight").is_none());
+    }
+
+    #[test]
+    fn schema_serde_round_trip() {
+        let s = sample();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: GraphSchema = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

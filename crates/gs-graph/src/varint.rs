@@ -1,0 +1,177 @@
+//! LEB128 variable-length integer codec.
+//!
+//! The paper notes GRAPE "employs varint encoding ... to reduce peak memory
+//! usage" for its message buffers, and GraphAr uses lightweight encodings for
+//! its chunked columns. Both share this implementation.
+
+/// Appends `v` to `out` in LEB128 form; returns bytes written (1..=10).
+#[inline]
+pub fn encode_u64(mut v: u64, out: &mut Vec<u8>) -> usize {
+    let mut n = 0;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        n += 1;
+        if v == 0 {
+            out.push(byte);
+            return n;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes a LEB128 u64 from `buf`; returns `(value, bytes_read)` or `None`
+/// on truncation/overflow.
+#[inline]
+pub fn decode_u64(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &b) in buf.iter().enumerate() {
+        if shift >= 64 {
+            return None; // overflow: more than 10 bytes
+        }
+        let low = (b & 0x7f) as u64;
+        // the 10th byte may only carry 1 bit
+        if shift == 63 && low > 1 {
+            return None;
+        }
+        v |= low << shift;
+        if b & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// ZigZag-encodes a signed value then varint-encodes it.
+#[inline]
+pub fn encode_i64(v: i64, out: &mut Vec<u8>) -> usize {
+    encode_u64(zigzag(v), out)
+}
+
+/// Decodes a ZigZag varint i64.
+#[inline]
+pub fn decode_i64(buf: &[u8]) -> Option<(i64, usize)> {
+    decode_u64(buf).map(|(u, n)| (unzigzag(u), n))
+}
+
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+pub fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Delta-encodes a sorted (or any) u64 slice into zigzag varints. The first
+/// element is stored absolutely. Used by GraphAr offset/neighbor chunks.
+pub fn encode_deltas(values: &[u64], out: &mut Vec<u8>) {
+    encode_u64(values.len() as u64, out);
+    let mut prev = 0u64;
+    for (i, &v) in values.iter().enumerate() {
+        if i == 0 {
+            encode_u64(v, out);
+        } else {
+            // wrapping delta: total over u64, compact for nearby values
+            encode_i64(v.wrapping_sub(prev) as i64, out);
+        }
+        prev = v;
+    }
+}
+
+/// Decodes a delta-encoded u64 sequence; returns `(values, bytes_read)`.
+pub fn decode_deltas(buf: &[u8]) -> Option<(Vec<u64>, usize)> {
+    let (len, mut pos) = decode_u64(buf)?;
+    let mut values = Vec::with_capacity(len as usize);
+    let mut prev = 0u64;
+    for i in 0..len {
+        if i == 0 {
+            let (v, n) = decode_u64(&buf[pos..])?;
+            pos += n;
+            prev = v;
+        } else {
+            let (d, n) = decode_i64(&buf[pos..])?;
+            pos += n;
+            prev = prev.wrapping_add(d as u64);
+        }
+        values.push(prev);
+    }
+    Some((values, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trip_edges() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX, u32::MAX as u64] {
+            let mut buf = Vec::new();
+            let n = encode_u64(v, &mut buf);
+            assert_eq!(n, buf.len());
+            assert_eq!(decode_u64(&buf), Some((v, n)));
+        }
+    }
+
+    #[test]
+    fn i64_round_trip_edges() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -64, 63] {
+            let mut buf = Vec::new();
+            encode_i64(v, &mut buf);
+            assert_eq!(decode_i64(&buf).unwrap().0, v);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_none() {
+        let mut buf = Vec::new();
+        encode_u64(300, &mut buf);
+        assert!(decode_u64(&buf[..1]).is_none());
+        assert!(decode_u64(&[]).is_none());
+    }
+
+    #[test]
+    fn overlong_input_is_none() {
+        // 11 continuation bytes can never be a valid u64
+        let buf = [0x80u8; 11];
+        assert!(decode_u64(&buf).is_none());
+    }
+
+    #[test]
+    fn zigzag_properties() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        for v in [-5i64, 5, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn delta_round_trip_sorted_and_unsorted() {
+        for values in [
+            vec![],
+            vec![7u64],
+            vec![1, 2, 3, 1000, 1001],
+            vec![10, 3, 99, 0], // deltas can be negative
+        ] {
+            let mut buf = Vec::new();
+            encode_deltas(&values, &mut buf);
+            let (back, n) = decode_deltas(&buf).unwrap();
+            assert_eq!(back, values);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn delta_encoding_is_compact_for_sorted_runs() {
+        let values: Vec<u64> = (1_000_000..1_001_000).collect();
+        let mut buf = Vec::new();
+        encode_deltas(&values, &mut buf);
+        // 1000 deltas of 1 → ~1 byte each plus header; raw would be 8000 B.
+        assert!(buf.len() < 1100, "len = {}", buf.len());
+    }
+}

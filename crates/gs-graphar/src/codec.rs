@@ -1,0 +1,403 @@
+//! Column-chunk codec: lightweight encodings plus CRC32 integrity.
+//!
+//! GraphAr builds on columnar formats (ORC/Parquet in the paper); this
+//! module provides the equivalent building block — a self-describing,
+//! checksummed, lightweight-encoded column chunk:
+//!
+//! * Int/Date columns: zigzag **delta varint** (sorted id columns compress
+//!   to ~1 byte/row),
+//! * Float columns: raw little-endian words,
+//! * Str columns: **dictionary encoding** when beneficial, length-prefixed
+//!   raw otherwise,
+//! * Bool columns: bit-packed,
+//! * every chunk ends with a CRC32 footer so corruption is detected at
+//!   load time rather than producing silently wrong graphs.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gs_graph::props::PropertyColumn;
+use gs_graph::varint;
+use gs_graph::{GraphError, Result, Value, ValueType};
+use std::collections::HashMap;
+
+/// Chunk type tags written to the wire.
+const TAG_INT_DELTA: u8 = 1;
+const TAG_FLOAT_RAW: u8 = 2;
+const TAG_STR_RAW: u8 = 3;
+const TAG_STR_DICT: u8 = 4;
+const TAG_BOOL_BITS: u8 = 5;
+const TAG_DATE_DELTA: u8 = 6;
+
+/// CRC32 (IEEE 802.3, reflected) — table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Encodes one column's values (with a validity bitmap baked in as a null
+/// mask) into a checksummed chunk.
+pub fn encode_column(values: &[Value], vt: ValueType) -> Result<Bytes> {
+    let mut body = BytesMut::new();
+    // null mask (bit-packed; 1 = valid)
+    let mut mask = vec![0u8; values.len().div_ceil(8)];
+    for (i, v) in values.iter().enumerate() {
+        if !v.is_null() {
+            mask[i / 8] |= 1 << (i % 8);
+        }
+    }
+    let mut scratch = Vec::new();
+    varint::encode_u64(values.len() as u64, &mut scratch);
+    body.put_slice(&scratch);
+    body.put_slice(&mask);
+
+    match vt {
+        ValueType::Int | ValueType::Date => {
+            let tag = if vt == ValueType::Int { TAG_INT_DELTA } else { TAG_DATE_DELTA };
+            let ints: Vec<u64> = values
+                .iter()
+                .map(|v| v.as_int().unwrap_or(0) as u64)
+                .collect();
+            let mut buf = Vec::new();
+            varint::encode_deltas(&ints, &mut buf);
+            let mut out = BytesMut::with_capacity(buf.len() + body.len() + 16);
+            out.put_u8(tag);
+            out.put_slice(&body);
+            out.put_slice(&buf);
+            Ok(seal(out))
+        }
+        ValueType::Float => {
+            let mut out = BytesMut::with_capacity(values.len() * 8 + body.len() + 16);
+            out.put_u8(TAG_FLOAT_RAW);
+            out.put_slice(&body);
+            for v in values {
+                out.put_f64_le(v.as_float().unwrap_or(0.0));
+            }
+            Ok(seal(out))
+        }
+        ValueType::Bool => {
+            let mut bits = vec![0u8; values.len().div_ceil(8)];
+            for (i, v) in values.iter().enumerate() {
+                if v.as_bool().unwrap_or(false) {
+                    bits[i / 8] |= 1 << (i % 8);
+                }
+            }
+            let mut out = BytesMut::new();
+            out.put_u8(TAG_BOOL_BITS);
+            out.put_slice(&body);
+            out.put_slice(&bits);
+            Ok(seal(out))
+        }
+        ValueType::Str => {
+            let strs: Vec<&str> = values.iter().map(|v| v.as_str().unwrap_or("")).collect();
+            // dictionary wins when distinct values are few
+            let mut dict: Vec<&str> = Vec::new();
+            let mut index: HashMap<&str, u32> = HashMap::new();
+            for s in &strs {
+                if !index.contains_key(s) {
+                    index.insert(s, dict.len() as u32);
+                    dict.push(s);
+                }
+            }
+            let use_dict = dict.len() * 4 < strs.len();
+            let mut out = BytesMut::new();
+            if use_dict {
+                out.put_u8(TAG_STR_DICT);
+                out.put_slice(&body);
+                let mut buf = Vec::new();
+                varint::encode_u64(dict.len() as u64, &mut buf);
+                for d in &dict {
+                    varint::encode_u64(d.len() as u64, &mut buf);
+                    buf.extend_from_slice(d.as_bytes());
+                }
+                for s in &strs {
+                    varint::encode_u64(index[s] as u64, &mut buf);
+                }
+                out.put_slice(&buf);
+            } else {
+                out.put_u8(TAG_STR_RAW);
+                out.put_slice(&body);
+                let mut buf = Vec::new();
+                for s in &strs {
+                    varint::encode_u64(s.len() as u64, &mut buf);
+                    buf.extend_from_slice(s.as_bytes());
+                }
+                out.put_slice(&buf);
+            }
+            Ok(seal(out))
+        }
+        other => Err(GraphError::Schema(format!(
+            "unencodable column type {other:?}"
+        ))),
+    }
+}
+
+fn seal(mut body: BytesMut) -> Bytes {
+    let crc = crc32(&body);
+    body.put_u32_le(crc);
+    body.freeze()
+}
+
+/// Decodes a chunk produced by [`encode_column`].
+pub fn decode_column(chunk: &[u8]) -> Result<Vec<Value>> {
+    if chunk.len() < 5 {
+        return Err(GraphError::Corrupt("chunk too small".into()));
+    }
+    let (body, crc_bytes) = chunk.split_at(chunk.len() - 4);
+    let want = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != want {
+        return Err(GraphError::Corrupt("chunk CRC mismatch".into()));
+    }
+    let tag = body[0];
+    let mut rest = &body[1..];
+    let (len, n) = varint::decode_u64(rest)
+        .ok_or_else(|| GraphError::Corrupt("bad chunk length".into()))?;
+    rest = &rest[n..];
+    let len = len as usize;
+    let mask_len = len.div_ceil(8);
+    if rest.len() < mask_len {
+        return Err(GraphError::Corrupt("truncated null mask".into()));
+    }
+    let (mask, mut data) = rest.split_at(mask_len);
+    let valid = |i: usize| mask[i / 8] >> (i % 8) & 1 == 1;
+
+    let mut out = Vec::with_capacity(len);
+    match tag {
+        TAG_INT_DELTA | TAG_DATE_DELTA => {
+            let (ints, _) = varint::decode_deltas(data)
+                .ok_or_else(|| GraphError::Corrupt("bad delta block".into()))?;
+            if ints.len() != len {
+                return Err(GraphError::Corrupt("delta block length skew".into()));
+            }
+            for (i, v) in ints.into_iter().enumerate() {
+                out.push(if valid(i) {
+                    if tag == TAG_INT_DELTA {
+                        Value::Int(v as i64)
+                    } else {
+                        Value::Date(v as i64)
+                    }
+                } else {
+                    Value::Null
+                });
+            }
+        }
+        TAG_FLOAT_RAW => {
+            if data.len() < len * 8 {
+                return Err(GraphError::Corrupt("truncated float block".into()));
+            }
+            for i in 0..len {
+                let v = (&data[i * 8..]).get_f64_le();
+                out.push(if valid(i) { Value::Float(v) } else { Value::Null });
+            }
+        }
+        TAG_BOOL_BITS => {
+            let bits_len = len.div_ceil(8);
+            if data.len() < bits_len {
+                return Err(GraphError::Corrupt("truncated bool block".into()));
+            }
+            for i in 0..len {
+                let b = data[i / 8] >> (i % 8) & 1 == 1;
+                out.push(if valid(i) { Value::Bool(b) } else { Value::Null });
+            }
+        }
+        TAG_STR_RAW => {
+            for i in 0..len {
+                let (slen, n) = varint::decode_u64(data)
+                    .ok_or_else(|| GraphError::Corrupt("bad str len".into()))?;
+                data = &data[n..];
+                let slen = slen as usize;
+                if data.len() < slen {
+                    return Err(GraphError::Corrupt("truncated str".into()));
+                }
+                let s = std::str::from_utf8(&data[..slen])
+                    .map_err(|_| GraphError::Corrupt("invalid utf8".into()))?;
+                data = &data[slen..];
+                out.push(if valid(i) {
+                    Value::Str(s.to_string())
+                } else {
+                    Value::Null
+                });
+            }
+        }
+        TAG_STR_DICT => {
+            let (dlen, n) = varint::decode_u64(data)
+                .ok_or_else(|| GraphError::Corrupt("bad dict len".into()))?;
+            data = &data[n..];
+            let mut dict = Vec::with_capacity(dlen as usize);
+            for _ in 0..dlen {
+                let (slen, n) = varint::decode_u64(data)
+                    .ok_or_else(|| GraphError::Corrupt("bad dict entry len".into()))?;
+                data = &data[n..];
+                let slen = slen as usize;
+                if data.len() < slen {
+                    return Err(GraphError::Corrupt("truncated dict entry".into()));
+                }
+                dict.push(
+                    std::str::from_utf8(&data[..slen])
+                        .map_err(|_| GraphError::Corrupt("invalid utf8".into()))?
+                        .to_string(),
+                );
+                data = &data[slen..];
+            }
+            for i in 0..len {
+                let (idx, n) = varint::decode_u64(data)
+                    .ok_or_else(|| GraphError::Corrupt("bad dict code".into()))?;
+                data = &data[n..];
+                let s = dict
+                    .get(idx as usize)
+                    .ok_or_else(|| GraphError::Corrupt("dict code out of range".into()))?;
+                out.push(if valid(i) {
+                    Value::Str(s.clone())
+                } else {
+                    Value::Null
+                });
+            }
+        }
+        t => return Err(GraphError::Corrupt(format!("unknown chunk tag {t}"))),
+    }
+    Ok(out)
+}
+
+/// Encodes a plain u64 sequence (offsets / adjacency targets) as a
+/// checksummed delta chunk.
+pub fn encode_u64_chunk(values: &[u64]) -> Bytes {
+    let mut buf = Vec::new();
+    varint::encode_deltas(values, &mut buf);
+    let mut out = BytesMut::with_capacity(buf.len() + 4);
+    out.put_slice(&buf);
+    seal(out)
+}
+
+/// Decodes a chunk from [`encode_u64_chunk`].
+pub fn decode_u64_chunk(chunk: &[u8]) -> Result<Vec<u64>> {
+    if chunk.len() < 4 {
+        return Err(GraphError::Corrupt("u64 chunk too small".into()));
+    }
+    let (body, crc_bytes) = chunk.split_at(chunk.len() - 4);
+    if crc32(body) != u32::from_le_bytes(crc_bytes.try_into().unwrap()) {
+        return Err(GraphError::Corrupt("u64 chunk CRC mismatch".into()));
+    }
+    varint::decode_deltas(body)
+        .map(|(v, _)| v)
+        .ok_or_else(|| GraphError::Corrupt("bad u64 chunk".into()))
+}
+
+/// Extracts values from a [`PropertyColumn`] row range for encoding.
+pub fn column_slice(col: &PropertyColumn, range: std::ops::Range<usize>) -> Vec<Value> {
+    range.map(|i| col.get(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(values: Vec<Value>, vt: ValueType) {
+        let chunk = encode_column(&values, vt).unwrap();
+        let back = decode_column(&chunk).unwrap();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn int_round_trip_with_nulls() {
+        round_trip(
+            vec![Value::Int(5), Value::Null, Value::Int(-3), Value::Int(1_000_000)],
+            ValueType::Int,
+        );
+    }
+
+    #[test]
+    fn date_round_trip() {
+        round_trip(vec![Value::Date(15000), Value::Date(15001)], ValueType::Date);
+    }
+
+    #[test]
+    fn float_round_trip() {
+        round_trip(
+            vec![Value::Float(1.5), Value::Null, Value::Float(-0.0), Value::Float(f64::MAX)],
+            ValueType::Float,
+        );
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        round_trip(
+            vec![Value::Bool(true), Value::Bool(false), Value::Null],
+            ValueType::Bool,
+        );
+    }
+
+    #[test]
+    fn str_raw_round_trip() {
+        round_trip(
+            vec![Value::Str("a".into()), Value::Str("ββ".into()), Value::Null],
+            ValueType::Str,
+        );
+    }
+
+    #[test]
+    fn str_dict_kicks_in_and_round_trips() {
+        let values: Vec<Value> = (0..100)
+            .map(|i| Value::Str(if i % 2 == 0 { "x" } else { "y" }.to_string()))
+            .collect();
+        let chunk = encode_column(&values, ValueType::Str).unwrap();
+        assert_eq!(chunk[0], TAG_STR_DICT);
+        assert_eq!(decode_column(&chunk).unwrap(), values);
+    }
+
+    #[test]
+    fn dict_is_smaller_than_raw_for_repetitive_data() {
+        let values: Vec<Value> = (0..1000)
+            .map(|i| Value::Str(format!("category-{}", i % 4)))
+            .collect();
+        let chunk = encode_column(&values, ValueType::Str).unwrap();
+        let raw_size: usize = values.iter().map(|v| v.as_str().unwrap().len() + 1).sum();
+        assert!(chunk.len() < raw_size / 2, "{} vs {}", chunk.len(), raw_size);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let chunk = encode_column(&[Value::Int(5)], ValueType::Int).unwrap();
+        let mut bad = chunk.to_vec();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        assert!(matches!(
+            decode_column(&bad),
+            Err(GraphError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let chunk = encode_column(&[Value::Int(5), Value::Int(6)], ValueType::Int).unwrap();
+        assert!(decode_column(&chunk[..chunk.len() - 6]).is_err());
+    }
+
+    #[test]
+    fn u64_chunk_round_trip() {
+        let vals: Vec<u64> = (0..500).map(|i| i * 3).collect();
+        let chunk = encode_u64_chunk(&vals);
+        assert_eq!(decode_u64_chunk(&chunk).unwrap(), vals);
+        let mut bad = chunk.to_vec();
+        bad[2] ^= 1;
+        assert!(decode_u64_chunk(&bad).is_err());
+    }
+
+    #[test]
+    fn crc32_known_value() {
+        // CRC32("123456789") = 0xCBF43926 (standard check value)
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

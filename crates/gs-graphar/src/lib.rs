@@ -1,0 +1,159 @@
+//! # gs-graphar — GraphAr, the standardized graph archive format
+//!
+//! GraphAr (paper §4.2) is GraphScope Flex's persistent format: a chunked
+//! columnar container with lightweight encodings that (a) loads graphs ~5×
+//! faster than CSV (Fig. 7d) thanks to parallel chunk decode and no text
+//! parsing, and (b) can serve as a *direct* GRIN data source, fetching only
+//! the chunks an access touches.
+//!
+//! Modules:
+//! * [`codec`] — checksummed column chunks (delta varint / dictionary /
+//!   bit-packed encodings),
+//! * [`mod@format`] — the on-disk layout, archive writer and (parallel) reader,
+//! * [`store`] — [`store::GraphArStore`], the lazy GRIN view,
+//! * [`csv`] — the CSV baseline loader used by the Fig. 7(d) comparison.
+
+pub mod codec;
+pub mod csv;
+pub mod format;
+pub mod store;
+
+pub use format::{read_archive, read_metadata, write_archive, Metadata};
+pub use store::GraphArStore;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_graph::data::PropertyGraphData;
+    use gs_graph::schema::GraphSchema;
+    use gs_graph::{LabelId, Value, ValueType};
+    use gs_grin::{Direction, GrinGraph, PropId, VId};
+
+    fn sample() -> PropertyGraphData {
+        let mut schema = GraphSchema::new();
+        let v = schema.add_vertex_label(
+            "Node",
+            &[("name", ValueType::Str), ("score", ValueType::Float)],
+        );
+        schema.add_edge_label("LINK", v, v, &[("w", ValueType::Int)]);
+        let mut g = PropertyGraphData::new(schema);
+        for i in 0..2000u64 {
+            g.add_vertex(
+                LabelId(0),
+                i * 10, // non-dense external ids
+                vec![Value::Str(format!("n{i}")), Value::Float(i as f64 / 7.0)],
+            );
+        }
+        for i in 0..2000u64 {
+            g.add_edge(LabelId(0), i * 10, ((i + 1) % 2000) * 10, vec![Value::Int(i as i64)]);
+            g.add_edge(LabelId(0), i * 10, ((i * 7) % 2000) * 10, vec![Value::Int(-(i as i64))]);
+        }
+        g
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("gs-graphar-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn archive_round_trip_preserves_graph() {
+        let data = sample();
+        let dir = tmpdir("rt");
+        write_archive(&dir, &data).unwrap();
+        let back = read_archive(&dir, 4).unwrap();
+        // Vertices identical; edges may be reordered (CSR sort), so compare
+        // as multisets with properties attached.
+        assert_eq!(back.vertices, data.vertices);
+        let canon = |g: &PropertyGraphData| {
+            let mut v: Vec<_> = g.edges[0]
+                .endpoints
+                .iter()
+                .zip(&g.edges[0].properties)
+                .map(|(&(s, d), p)| (s, d, format!("{p:?}")))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(canon(&back), canon(&data));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lazy_store_serves_grin_queries() {
+        let data = sample();
+        let dir = tmpdir("lazy");
+        write_archive(&dir, &data).unwrap();
+        let store = GraphArStore::open(&dir).unwrap();
+        assert_eq!(store.vertex_count(LabelId(0)), 2000);
+        assert_eq!(store.edge_count(LabelId(0)), 4000);
+        // vertex 5 (external id 50): neighbours via chunked adjacency
+        let v = store.internal_id(LabelId(0), 50).unwrap();
+        let out: Vec<_> = store
+            .adjacent(v, LabelId(0), LabelId(0), Direction::Out)
+            .collect();
+        assert_eq!(out.len(), 2);
+        // property reads resolve through chunks
+        assert_eq!(
+            store.vertex_property(LabelId(0), v, PropId(0)),
+            Value::Str("n5".into())
+        );
+        // edge property follows the edge id
+        for e in out {
+            assert!(!store.edge_property(LabelId(0), e.edge, PropId(0)).is_null());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lazy_store_touches_few_chunks() {
+        let data = sample();
+        let dir = tmpdir("chunks");
+        write_archive(&dir, &data).unwrap();
+        let store = GraphArStore::open(&dir).unwrap();
+        let _: Vec<_> = store
+            .adjacent(VId(3), LabelId(0), LabelId(0), Direction::Out)
+            .collect();
+        // one vertex's adjacency = 3 chunk files (offsets/targets/eids)
+        assert!(store.cached_chunks() <= 3, "{}", store.cached_chunks());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn in_adjacency_from_archive() {
+        let data = sample();
+        let dir = tmpdir("in");
+        write_archive(&dir, &data).unwrap();
+        let store = GraphArStore::open(&dir).unwrap();
+        let v = store.internal_id(LabelId(0), 10).unwrap(); // internal 1
+        let ins: Vec<_> = store
+            .adjacent(v, LabelId(0), LabelId(0), Direction::In)
+            .map(|e| e.nbr)
+            .collect();
+        // vertex 1 receives the ring edge from 0
+        assert!(ins.contains(&VId(0)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let data = sample();
+        let dir = tmpdir("csv");
+        csv::write_csv(&dir, &data).unwrap();
+        let back = csv::read_csv(&dir).unwrap();
+        assert_eq!(back, data);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn metadata_counts() {
+        let data = sample();
+        let dir = tmpdir("meta");
+        let meta = write_archive(&dir, &data).unwrap();
+        assert_eq!(meta.vertex_counts, vec![2000]);
+        assert_eq!(meta.edge_counts, vec![4000]);
+        assert_eq!(meta.vertex_chunks(LabelId(0)), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

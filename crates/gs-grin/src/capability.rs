@@ -1,0 +1,154 @@
+//! Capability flags: how a storage backend "clearly communicates its
+//! capabilities and limitations" (paper §4.1).
+//!
+//! Each flag corresponds to one GRIN trait. Engines query
+//! [`Capabilities::supports`] before choosing a fast path; the *required*
+//! baseline every backend must provide is iterator-based topology access.
+
+use std::fmt;
+
+/// A bit-set of supported GRIN traits.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct Capabilities(u32);
+
+impl Capabilities {
+    // -- topology category --
+    /// Array-like (slice) vertex list access.
+    pub const VERTEX_LIST_ARRAY: Capabilities = Capabilities(1 << 0);
+    /// Iterator-based vertex list access (baseline, always set).
+    pub const VERTEX_LIST_ITER: Capabilities = Capabilities(1 << 1);
+    /// Array-like (slice) adjacent list access.
+    pub const ADJ_LIST_ARRAY: Capabilities = Capabilities(1 << 2);
+    /// Iterator-based adjacent list access (baseline, always set).
+    pub const ADJ_LIST_ITER: Capabilities = Capabilities(1 << 3);
+    /// Incoming-adjacency (CSC) is available, not just outgoing.
+    pub const IN_ADJACENCY: Capabilities = Capabilities(1 << 4);
+
+    // -- property category --
+    /// Vertex/edge property retrieval (LPG model).
+    pub const PROPERTY: Capabilities = Capabilities(1 << 5);
+    /// Columnar property access (whole-column slices for scans).
+    pub const PROPERTY_COLUMN: Capabilities = Capabilities(1 << 6);
+
+    // -- partition category --
+    /// The graph is partitioned; partition metadata is available.
+    pub const PARTITION: Capabilities = Capabilities(1 << 7);
+
+    // -- index category --
+    /// External→internal id index.
+    pub const INDEX_EXTERNAL_ID: Capabilities = Capabilities(1 << 8);
+    /// Internal id assignment is dense per label (arrays indexable by VId).
+    pub const INDEX_INTERNAL_ID: Capabilities = Capabilities(1 << 9);
+    /// Property-value → vertex lookup index.
+    pub const INDEX_PROPERTY: Capabilities = Capabilities(1 << 10);
+
+    // -- predicate category --
+    /// Predicate pushdown on adjacency expansion.
+    pub const PREDICATE_PUSHDOWN: Capabilities = Capabilities(1 << 11);
+
+    // -- common category --
+    /// Multi-version snapshot reads (GART).
+    pub const MVCC: Capabilities = Capabilities(1 << 12);
+    /// Mutations are supported on the underlying store.
+    pub const MUTABLE: Capabilities = Capabilities(1 << 13);
+
+    /// Empty capability set.
+    pub const fn empty() -> Self {
+        Capabilities(0)
+    }
+
+    /// Union of two capability sets.
+    #[must_use]
+    pub const fn union(self, other: Capabilities) -> Capabilities {
+        Capabilities(self.0 | other.0)
+    }
+
+    /// Whether all flags in `required` are present.
+    #[inline]
+    pub const fn supports(self, required: Capabilities) -> bool {
+        self.0 & required.0 == required.0
+    }
+
+    /// Builds a set from a list of flags.
+    pub fn of(flags: &[Capabilities]) -> Capabilities {
+        flags
+            .iter()
+            .fold(Capabilities::empty(), |acc, &f| acc.union(f))
+    }
+}
+
+impl std::ops::BitOr for Capabilities {
+    type Output = Capabilities;
+    fn bitor(self, rhs: Capabilities) -> Capabilities {
+        self.union(rhs)
+    }
+}
+
+impl fmt::Debug for Capabilities {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: [(Capabilities, &str); 14] = [
+            (Capabilities::VERTEX_LIST_ARRAY, "VERTEX_LIST_ARRAY"),
+            (Capabilities::VERTEX_LIST_ITER, "VERTEX_LIST_ITER"),
+            (Capabilities::ADJ_LIST_ARRAY, "ADJ_LIST_ARRAY"),
+            (Capabilities::ADJ_LIST_ITER, "ADJ_LIST_ITER"),
+            (Capabilities::IN_ADJACENCY, "IN_ADJACENCY"),
+            (Capabilities::PROPERTY, "PROPERTY"),
+            (Capabilities::PROPERTY_COLUMN, "PROPERTY_COLUMN"),
+            (Capabilities::PARTITION, "PARTITION"),
+            (Capabilities::INDEX_EXTERNAL_ID, "INDEX_EXTERNAL_ID"),
+            (Capabilities::INDEX_INTERNAL_ID, "INDEX_INTERNAL_ID"),
+            (Capabilities::INDEX_PROPERTY, "INDEX_PROPERTY"),
+            (Capabilities::PREDICATE_PUSHDOWN, "PREDICATE_PUSHDOWN"),
+            (Capabilities::MVCC, "MVCC"),
+            (Capabilities::MUTABLE, "MUTABLE"),
+        ];
+        let mut first = true;
+        write!(f, "Capabilities(")?;
+        for (flag, name) in names {
+            if self.supports(flag) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_supports() {
+        let c = Capabilities::ADJ_LIST_ITER | Capabilities::PROPERTY;
+        assert!(c.supports(Capabilities::ADJ_LIST_ITER));
+        assert!(c.supports(Capabilities::PROPERTY));
+        assert!(!c.supports(Capabilities::ADJ_LIST_ARRAY));
+        assert!(c.supports(Capabilities::empty()));
+    }
+
+    #[test]
+    fn supports_requires_all_flags() {
+        let c = Capabilities::ADJ_LIST_ITER | Capabilities::PROPERTY;
+        assert!(!c.supports(Capabilities::ADJ_LIST_ITER | Capabilities::MVCC));
+        assert!(c.supports(Capabilities::ADJ_LIST_ITER | Capabilities::PROPERTY));
+    }
+
+    #[test]
+    fn of_builds_from_slice() {
+        let c = Capabilities::of(&[Capabilities::MVCC, Capabilities::MUTABLE]);
+        assert!(c.supports(Capabilities::MVCC | Capabilities::MUTABLE));
+    }
+
+    #[test]
+    fn debug_lists_flag_names() {
+        let c = Capabilities::MVCC | Capabilities::MUTABLE;
+        let s = format!("{c:?}");
+        assert!(s.contains("MVCC"));
+        assert!(s.contains("MUTABLE"));
+        assert!(!s.contains("PROPERTY"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # gs-grin — GRIN, the unified Graph Retrieval INterface
+//!
+//! GRIN decouples execution engines from storage backends: engines program
+//! against the [`GrinGraph`] trait; backends implement whichever *traits*
+//! (capability groups) they can support and advertise them through
+//! [`Capabilities`]. This is the Rust realisation of the paper's Figure 4:
+//! six categories — topology, property, partition, index, predicate, and
+//! common (errors) — with both array-like and iterator-based access traits.
+//!
+//! A backend that cannot support a capability simply does not set the flag;
+//! engines check capabilities and fall back to the iterator paths, so e.g. a
+//! PageRank written once runs on Vineyard (array access), GART (versioned
+//! iterator access), and GraphAr (chunked access) unchanged — the behaviour
+//! demonstrated in Fig. 7(a).
+
+pub mod capability;
+pub mod graph;
+pub mod predicate;
+
+pub use capability::Capabilities;
+pub use graph::{AdjEntry, Direction, GrinGraph, PartitionInfo, VertexRef};
+pub use predicate::{CmpOp, EdgePredicate, PropPredicate};
+
+// Re-export the substrate so engine crates can depend on gs-grin alone.
+pub use gs_graph::{
+    EId, GraphError, GraphSchema, LabelId, PropId, PropertyGraphData, Result, VId, Value,
+    ValueType,
+};

@@ -1,0 +1,146 @@
+//! Predicate pushdown (GRIN's *predicate* category).
+//!
+//! The optimizer's `FilterPushIntoMatch` rule pushes `SELECT` predicates into
+//! `GET_VERTEX` / `EXPAND_EDGE`; when the storage backend advertises
+//! [`crate::Capabilities::PREDICATE_PUSHDOWN`] the predicate travels all the
+//! way to the store, which can evaluate it against its columnar data without
+//! materialising vertices/edges first.
+
+use gs_graph::{PropId, Value};
+
+/// Comparison operators supported by pushed-down predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates `lhs <op> rhs` with the total ordering from [`Value`].
+    pub fn eval(self, lhs: &Value, rhs: &Value) -> bool {
+        if lhs.is_null() || rhs.is_null() {
+            return false; // SQL-style three-valued logic collapsed to false
+        }
+        let ord = lhs.total_cmp(rhs);
+        match self {
+            CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+            CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+            CmpOp::Lt => ord == std::cmp::Ordering::Less,
+            CmpOp::Le => ord != std::cmp::Ordering::Greater,
+            CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+            CmpOp::Ge => ord != std::cmp::Ordering::Less,
+        }
+    }
+}
+
+/// One property comparison: `prop <op> constant`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PropPredicate {
+    pub prop: PropId,
+    pub op: CmpOp,
+    pub value: Value,
+}
+
+impl PropPredicate {
+    /// Builds an equality predicate.
+    pub fn eq(prop: PropId, value: Value) -> Self {
+        Self {
+            prop,
+            op: CmpOp::Eq,
+            value,
+        }
+    }
+
+    /// Evaluates against a property value.
+    #[inline]
+    pub fn eval(&self, v: &Value) -> bool {
+        self.op.eval(v, &self.value)
+    }
+}
+
+/// Conjunction of property predicates evaluated against an *edge* during
+/// adjacency expansion; `Pass` matches everything.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EdgePredicate {
+    pub conjuncts: Vec<PropPredicate>,
+}
+
+impl EdgePredicate {
+    /// The always-true predicate.
+    pub fn pass() -> Self {
+        Self::default()
+    }
+
+    /// True when this predicate filters nothing.
+    pub fn is_pass(&self) -> bool {
+        self.conjuncts.is_empty()
+    }
+
+    /// Adds one conjunct.
+    #[must_use]
+    pub fn and(mut self, p: PropPredicate) -> Self {
+        self.conjuncts.push(p);
+        self
+    }
+
+    /// Evaluates given a property accessor.
+    pub fn eval(&self, get_prop: impl Fn(PropId) -> Value) -> bool {
+        self.conjuncts.iter().all(|c| c.eval(&get_prop(c.prop)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_ops() {
+        use CmpOp::*;
+        let a = Value::Int(3);
+        let b = Value::Int(5);
+        assert!(Lt.eval(&a, &b));
+        assert!(Le.eval(&a, &a));
+        assert!(Gt.eval(&b, &a));
+        assert!(Ge.eval(&b, &b));
+        assert!(Eq.eval(&a, &a));
+        assert!(Ne.eval(&a, &b));
+    }
+
+    #[test]
+    fn nulls_never_match() {
+        assert!(!CmpOp::Eq.eval(&Value::Null, &Value::Null));
+        assert!(!CmpOp::Ne.eval(&Value::Null, &Value::Int(1)));
+    }
+
+    #[test]
+    fn cross_type_numeric_compare() {
+        assert!(CmpOp::Lt.eval(&Value::Int(3), &Value::Float(3.5)));
+        assert!(CmpOp::Eq.eval(&Value::Float(4.0), &Value::Int(4)));
+    }
+
+    #[test]
+    fn edge_predicate_conjunction() {
+        let p = EdgePredicate::pass()
+            .and(PropPredicate {
+                prop: PropId(0),
+                op: CmpOp::Ge,
+                value: Value::Int(10),
+            })
+            .and(PropPredicate::eq(PropId(1), Value::Str("x".into())));
+        let props = [Value::Int(12), Value::Str("x".into())];
+        assert!(p.eval(|pid| props[pid.index()].clone()));
+        let props2 = [Value::Int(12), Value::Str("y".into())];
+        assert!(!p.eval(|pid| props2[pid.index()].clone()));
+    }
+
+    #[test]
+    fn pass_predicate_matches_everything() {
+        let p = EdgePredicate::pass();
+        assert!(p.is_pass());
+        assert!(p.eval(|_| Value::Null));
+    }
+}

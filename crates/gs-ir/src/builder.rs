@@ -1,0 +1,433 @@
+//! Fluent logical-plan builder.
+//!
+//! Front-ends (the Gremlin/Cypher parsers in `gs-lang`) and programmatic
+//! clients (the BI query library) build logical plans through this API. The
+//! builder maintains the *canonical* record layout after every op, binds
+//! alias/property references to columns, and validates against the schema.
+
+use crate::expr::{BinOp, Expr};
+use crate::logical::{LogicalOp, LogicalPlan, ProjectItem};
+use crate::pattern::Pattern;
+use crate::record::{ColumnKind, Layout};
+use gs_graph::schema::GraphSchema;
+use gs_graph::{GraphError, LabelId, Result, Value};
+use gs_grin::Direction;
+
+/// Builds a [`LogicalPlan`] step by step.
+pub struct PlanBuilder {
+    schema: GraphSchema,
+    ops: Vec<LogicalOp>,
+    layouts: Vec<Layout>,
+}
+
+impl PlanBuilder {
+    /// New builder over a schema.
+    pub fn new(schema: &GraphSchema) -> Self {
+        Self {
+            schema: schema.clone(),
+            ops: Vec::new(),
+            layouts: vec![Layout::new()],
+        }
+    }
+
+    /// The schema being planned against.
+    pub fn schema(&self) -> &GraphSchema {
+        &self.schema
+    }
+
+    /// The current (canonical) layout.
+    pub fn layout(&self) -> &Layout {
+        self.layouts.last().unwrap()
+    }
+
+    fn push_op(&mut self, op: LogicalOp, layout: Layout) {
+        self.ops.push(op);
+        self.layouts.push(layout);
+    }
+
+    // ------------- graph ops -------------
+
+    /// `g.V().hasLabel(label)` — bind all vertices of `label` as `alias`.
+    pub fn scan(mut self, alias: &str, label: &str) -> Result<Self> {
+        let l = self.resolve_vlabel(label)?;
+        let mut layout = self.layout().clone();
+        layout.push(alias, ColumnKind::Vertex(l))?;
+        self.push_op(
+            LogicalOp::ScanVertex {
+                alias: alias.into(),
+                label: l,
+                predicate: None,
+            },
+            layout,
+        );
+        Ok(self)
+    }
+
+    /// Scan with a vertex predicate (written against column 0 via
+    /// [`PlanBuilder::scan_pred`]).
+    pub fn scan_where(mut self, alias: &str, label: &str, pred: Expr) -> Result<Self> {
+        let l = self.resolve_vlabel(label)?;
+        let mut layout = self.layout().clone();
+        layout.push(alias, ColumnKind::Vertex(l))?;
+        self.push_op(
+            LogicalOp::ScanVertex {
+                alias: alias.into(),
+                label: l,
+                predicate: Some(pred),
+            },
+            layout,
+        );
+        Ok(self)
+    }
+
+    /// Expand edges from a bound vertex alias.
+    pub fn expand_edge(
+        mut self,
+        src: &str,
+        elabel: &str,
+        dir: Direction,
+        edge_alias: &str,
+    ) -> Result<Self> {
+        let el = self.resolve_elabel(elabel)?;
+        self.layout().require(src)?;
+        let mut layout = self.layout().clone();
+        layout.push(edge_alias, ColumnKind::Edge(el))?;
+        self.push_op(
+            LogicalOp::ExpandEdge {
+                src: src.into(),
+                elabel: el,
+                dir,
+                alias: edge_alias.into(),
+                predicate: None,
+            },
+            layout,
+        );
+        Ok(self)
+    }
+
+    /// Far endpoint of a bound edge alias.
+    pub fn get_vertex(mut self, edge: &str, alias: &str) -> Result<Self> {
+        let ecol = self.layout().require(edge)?;
+        let ColumnKind::Edge(el) = self.layout().kind(ecol).clone() else {
+            return Err(GraphError::Query(format!("`{edge}` is not an edge alias")));
+        };
+        // figure out the produced vertex label from the edge def + the
+        // direction used when the edge was expanded
+        let (vlabel, _) = self.edge_far_label(el, edge)?;
+        let mut layout = self.layout().clone();
+        layout.push(alias, ColumnKind::Vertex(vlabel))?;
+        self.push_op(
+            LogicalOp::GetVertex {
+                edge: edge.into(),
+                alias: alias.into(),
+                predicate: None,
+            },
+            layout,
+        );
+        Ok(self)
+    }
+
+    /// Declarative pattern match. New aliases (pattern vertices not already
+    /// bound, then aliased edges) are appended in declaration order.
+    pub fn match_pattern(mut self, pattern: Pattern) -> Result<Self> {
+        pattern.validate()?;
+        let mut layout = self.layout().clone();
+        for pv in &pattern.vertices {
+            if layout.index_of(&pv.alias).is_none() {
+                layout.push(&pv.alias, ColumnKind::Vertex(pv.label))?;
+            }
+        }
+        for pe in &pattern.edges {
+            if let Some(a) = &pe.alias {
+                layout.push(a, ColumnKind::Edge(pe.label))?;
+            }
+        }
+        self.push_op(LogicalOp::Match { pattern }, layout);
+        Ok(self)
+    }
+
+    // ------------- relational ops -------------
+
+    /// Filter by an expression over the current layout.
+    pub fn select(mut self, predicate: Expr) -> Self {
+        let layout = self.layout().clone();
+        self.push_op(LogicalOp::Select { predicate }, layout);
+        self
+    }
+
+    /// Projection / WITH. Aggregates group by the non-aggregate items.
+    pub fn project(mut self, items: Vec<(ProjectItem, &str)>) -> Result<Self> {
+        let mut layout = Layout::new();
+        for (it, name) in &items {
+            let kind = match it {
+                ProjectItem::Expr(Expr::Column(c)) => self.layout().kind(*c).clone(),
+                _ => ColumnKind::Scalar,
+            };
+            layout.push(name, kind)?;
+        }
+        self.push_op(
+            LogicalOp::Project {
+                items: items
+                    .into_iter()
+                    .map(|(it, n)| (it, n.to_string()))
+                    .collect(),
+            },
+            layout,
+        );
+        Ok(self)
+    }
+
+    /// Sort by keys; `asc=false` for descending.
+    pub fn order(mut self, keys: Vec<(Expr, bool)>, limit: Option<usize>) -> Self {
+        let layout = self.layout().clone();
+        self.push_op(LogicalOp::Order { keys, limit }, layout);
+        self
+    }
+
+    /// Distinct over the given aliases (empty = whole record).
+    pub fn dedup(mut self, aliases: &[&str]) -> Result<Self> {
+        for a in aliases {
+            self.layout().require(a)?;
+        }
+        let layout = self.layout().clone();
+        self.push_op(
+            LogicalOp::Dedup {
+                columns: aliases.iter().map(|s| s.to_string()).collect(),
+            },
+            layout,
+        );
+        Ok(self)
+    }
+
+    /// Keep at most `n` records.
+    pub fn limit(mut self, n: usize) -> Self {
+        let layout = self.layout().clone();
+        self.push_op(LogicalOp::Limit { n }, layout);
+        self
+    }
+
+    /// Finalises the plan.
+    pub fn build(self) -> LogicalPlan {
+        LogicalPlan {
+            ops: self.ops,
+            layouts: self.layouts,
+        }
+    }
+
+    // ------------- expression helpers -------------
+
+    /// Whole-column reference to an alias.
+    pub fn col(&self, alias: &str) -> Result<Expr> {
+        Ok(Expr::Column(self.layout().require(alias)?))
+    }
+
+    /// Property access `alias.prop`, resolved against the alias's bound
+    /// label. `vertexalias.id` resolves to the external id when the label
+    /// has no `id` property.
+    pub fn prop(&self, alias: &str, prop: &str) -> Result<Expr> {
+        let col = self.layout().require(alias)?;
+        match self.layout().kind(col) {
+            ColumnKind::Vertex(l) => {
+                if let Some(p) = self.schema.vertex_property(*l, prop) {
+                    Ok(Expr::VertexProp {
+                        col,
+                        label: *l,
+                        prop: p.id,
+                    })
+                } else if prop == "id" {
+                    Ok(Expr::VertexId { col, label: *l })
+                } else {
+                    Err(GraphError::Query(format!(
+                        "vertex label has no property `{prop}`"
+                    )))
+                }
+            }
+            ColumnKind::Edge(l) => {
+                let p = self.schema.edge_property(*l, prop).ok_or_else(|| {
+                    GraphError::Query(format!("edge label has no property `{prop}`"))
+                })?;
+                Ok(Expr::EdgeProp {
+                    col,
+                    label: *l,
+                    prop: p.id,
+                })
+            }
+            ColumnKind::Scalar => Err(GraphError::Query(format!(
+                "`{alias}` is a scalar; it has no properties"
+            ))),
+        }
+    }
+
+    /// A *scan predicate* over a vertex of `label`: property compare bound
+    /// to column 0 (the convention scan/expand predicates use).
+    pub fn scan_pred(&self, label: &str, prop: &str, op: BinOp, v: Value) -> Result<Expr> {
+        let l = self.resolve_vlabel(label)?;
+        if let Some(p) = self.schema.vertex_property(l, prop) {
+            Ok(Expr::bin(
+                op,
+                Expr::VertexProp {
+                    col: 0,
+                    label: l,
+                    prop: p.id,
+                },
+                Expr::Const(v),
+            ))
+        } else if prop == "id" {
+            Ok(Expr::bin(
+                op,
+                Expr::VertexId { col: 0, label: l },
+                Expr::Const(v),
+            ))
+        } else {
+            Err(GraphError::Query(format!("no property `{prop}`")))
+        }
+    }
+
+    /// An *edge predicate* bound to column 0.
+    pub fn edge_pred(&self, elabel: &str, prop: &str, op: BinOp, v: Value) -> Result<Expr> {
+        let l = self.resolve_elabel(elabel)?;
+        let p = self
+            .schema
+            .edge_property(l, prop)
+            .ok_or_else(|| GraphError::Query(format!("no edge property `{prop}`")))?;
+        Ok(Expr::bin(
+            op,
+            Expr::EdgeProp {
+                col: 0,
+                label: l,
+                prop: p.id,
+            },
+            Expr::Const(v),
+        ))
+    }
+
+    /// Resolves a vertex label name.
+    pub fn resolve_vlabel(&self, name: &str) -> Result<LabelId> {
+        self.schema
+            .vertex_label_by_name(name)
+            .map(|l| l.id)
+            .ok_or_else(|| GraphError::Query(format!("unknown vertex label `{name}`")))
+    }
+
+    /// Resolves an edge label name.
+    pub fn resolve_elabel(&self, name: &str) -> Result<LabelId> {
+        self.schema
+            .edge_label_by_name(name)
+            .map(|l| l.id)
+            .ok_or_else(|| GraphError::Query(format!("unknown edge label `{name}`")))
+    }
+
+    /// The vertex label at the far end of `edge_alias`; looks back through
+    /// the ops to find the expansion direction.
+    fn edge_far_label(&self, el: LabelId, edge_alias: &str) -> Result<(LabelId, Direction)> {
+        let def = self.schema.edge_label(el)?;
+        for op in self.ops.iter().rev() {
+            if let LogicalOp::ExpandEdge { alias, dir, .. } = op {
+                if alias == edge_alias {
+                    let far = match dir {
+                        Direction::Out => def.dst,
+                        Direction::In => def.src,
+                        Direction::Both => def.dst, // homogeneous by schema check below
+                    };
+                    if *dir == Direction::Both && def.src != def.dst {
+                        return Err(GraphError::Query(
+                            "both() on a heterogeneous edge label is ambiguous".into(),
+                        ));
+                    }
+                    return Ok((far, *dir));
+                }
+            }
+        }
+        Err(GraphError::Query(format!(
+            "edge alias `{edge_alias}` not produced by ExpandEdge"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_graph::ValueType;
+
+    fn schema() -> GraphSchema {
+        let mut s = GraphSchema::new();
+        let person = s.add_vertex_label("Person", &[("age", ValueType::Int)]);
+        let item = s.add_vertex_label("Item", &[("price", ValueType::Float)]);
+        s.add_edge_label("BUY", person, item, &[("date", ValueType::Date)]);
+        s.add_edge_label("KNOWS", person, person, &[]);
+        s
+    }
+
+    #[test]
+    fn gremlin_style_chain_builds() {
+        let s = schema();
+        let plan = PlanBuilder::new(&s)
+            .scan("a", "Person")
+            .unwrap()
+            .expand_edge("a", "KNOWS", Direction::Out, "e")
+            .unwrap()
+            .get_vertex("e", "b")
+            .unwrap()
+            .build();
+        assert_eq!(plan.ops.len(), 3);
+        assert_eq!(plan.output_layout().width(), 3);
+        assert_eq!(
+            plan.output_layout().vertex_label("b").unwrap(),
+            LabelId(0)
+        );
+    }
+
+    #[test]
+    fn heterogeneous_get_vertex_resolves_far_label() {
+        let s = schema();
+        let b = PlanBuilder::new(&s)
+            .scan("a", "Person")
+            .unwrap()
+            .expand_edge("a", "BUY", Direction::Out, "e")
+            .unwrap()
+            .get_vertex("e", "item")
+            .unwrap();
+        assert_eq!(
+            b.layout().vertex_label("item").unwrap(),
+            LabelId(1) // Item
+        );
+    }
+
+    #[test]
+    fn prop_binding_resolves_ids() {
+        let s = schema();
+        let b = PlanBuilder::new(&s).scan("a", "Person").unwrap();
+        match b.prop("a", "age").unwrap() {
+            Expr::VertexProp { col: 0, prop, .. } => assert_eq!(prop.index(), 0),
+            other => panic!("{other:?}"),
+        }
+        // `id` falls back to external id
+        assert!(matches!(
+            b.prop("a", "id").unwrap(),
+            Expr::VertexId { .. }
+        ));
+        assert!(b.prop("a", "ghost").is_err());
+    }
+
+    #[test]
+    fn unknown_labels_and_aliases_error() {
+        let s = schema();
+        assert!(PlanBuilder::new(&s).scan("a", "Ghost").is_err());
+        let b = PlanBuilder::new(&s).scan("a", "Person").unwrap();
+        assert!(b.col("zz").is_err());
+    }
+
+    #[test]
+    fn match_pattern_extends_layout_in_declaration_order() {
+        let s = schema();
+        let mut p = Pattern::new();
+        let a = p.add_vertex("a", LabelId(0));
+        let b = p.add_vertex("b", LabelId(0));
+        let c = p.add_vertex("c", LabelId(1));
+        p.add_edge(Some("k"), LabelId(1), a, b); // KNOWS
+        p.add_edge(None, LabelId(0), b, c); // BUY
+        let builder = PlanBuilder::new(&s).match_pattern(p).unwrap();
+        let aliases: Vec<&str> = builder.layout().aliases().collect();
+        assert_eq!(aliases, vec!["a", "b", "c", "k"]);
+    }
+}

@@ -1,0 +1,96 @@
+//! The logical stage: a semantic representation of the query, independent
+//! of execution order (paper §5.1).
+
+use crate::expr::{AggFunc, Expr};
+use crate::pattern::Pattern;
+use crate::record::Layout;
+use gs_graph::LabelId;
+use gs_grin::Direction;
+
+/// One projection item: a plain expression or an aggregate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProjectItem {
+    Expr(Expr),
+    Agg(AggFunc, Expr),
+}
+
+/// Logical operators. Graph operators (`ScanVertex`, `ExpandEdge`,
+/// `GetVertex`, `Match`) and relational operators (`Select`, `Project`,
+/// `Order`, `Dedup`, `Limit`) compose into a pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogicalOp {
+    /// Bind all vertices of `label` to a new column.
+    ScanVertex {
+        alias: String,
+        label: LabelId,
+        /// Predicate over the scanned vertex (column 0 = the vertex).
+        predicate: Option<Expr>,
+    },
+    /// Expand adjacent *edges* of a bound vertex column.
+    ExpandEdge {
+        src: String,
+        elabel: LabelId,
+        dir: Direction,
+        alias: String,
+        /// Predicate over the expanded edge (column 0 = the edge).
+        predicate: Option<Expr>,
+    },
+    /// Retrieve the far endpoint of a bound edge column.
+    GetVertex {
+        edge: String,
+        alias: String,
+        /// Predicate over the retrieved vertex (column 0 = the vertex).
+        predicate: Option<Expr>,
+    },
+    /// Declarative pattern matching (MATCH_START .. MATCH_END).
+    Match { pattern: Pattern },
+    /// Relational filter over the full record.
+    Select { predicate: Expr },
+    /// Projection; when any item is an aggregate, non-aggregate items become
+    /// grouping keys (Cypher `WITH`/`RETURN` semantics).
+    Project { items: Vec<(ProjectItem, String)> },
+    /// Sort (with optional top-k limit fused in).
+    Order {
+        keys: Vec<(Expr, bool)>,
+        limit: Option<usize>,
+    },
+    /// Distinct over the listed columns (empty = whole record).
+    Dedup { columns: Vec<String> },
+    /// Row-count limit.
+    Limit { n: usize },
+}
+
+/// A logical plan: the op pipeline plus the record [`Layout`] *after* each
+/// op (index `i+1` is the layout after `ops[i]`; index 0 is the empty
+/// source layout).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LogicalPlan {
+    pub ops: Vec<LogicalOp>,
+    pub layouts: Vec<Layout>,
+}
+
+impl LogicalPlan {
+    /// The layout of records flowing out of the plan.
+    pub fn output_layout(&self) -> &Layout {
+        self.layouts.last().expect("plan has at least the source layout")
+    }
+
+    /// The layout feeding op `i`.
+    pub fn input_layout(&self, i: usize) -> &Layout {
+        &self.layouts[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_has_source_layout() {
+        let p = LogicalPlan {
+            ops: vec![],
+            layouts: vec![Layout::new()],
+        };
+        assert_eq!(p.output_layout().width(), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Pattern graphs for `MATCH` blocks.
+//!
+//! A [`Pattern`] is the concise graph `p` of §5.2: pattern vertices carry a
+//! label and optional pushed-down predicate; pattern edges carry an edge
+//! label and direction. The optimizer (GLogue CBO) decides the order in
+//! which pattern vertices are matched; the physical plan realises that
+//! order as a chain of expand/intersect operators.
+
+use crate::expr::Expr;
+use gs_graph::{GraphError, LabelId, Result};
+use gs_grin::Direction;
+
+/// A vertex in a pattern graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PatternVertex {
+    /// The query alias (e.g. `a`); anonymous vertices get synthesised names.
+    pub alias: String,
+    pub label: LabelId,
+    /// Predicate over this vertex (columns refer to a 1-record layout with
+    /// the vertex at column 0).
+    pub predicate: Option<Expr>,
+}
+
+/// An edge in a pattern graph, connecting two pattern-vertex indexes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PatternEdge {
+    /// Optional alias binding the matched edge into the record.
+    pub alias: Option<String>,
+    pub label: LabelId,
+    /// Index of the source pattern vertex (edge direction is src→dst).
+    pub src: usize,
+    /// Index of the destination pattern vertex.
+    pub dst: usize,
+    /// Predicate over this edge (edge at column 0 of a 1-record layout).
+    pub predicate: Option<Expr>,
+}
+
+/// A pattern graph to be matched against the data graph.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Pattern {
+    pub vertices: Vec<PatternVertex>,
+    pub edges: Vec<PatternEdge>,
+}
+
+impl Pattern {
+    /// Empty pattern.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a pattern vertex; returns its index. If the alias already
+    /// exists, the existing index is returned (shared vertices join paths,
+    /// like `b` in the paper's Figure 5 example).
+    pub fn add_vertex(&mut self, alias: &str, label: LabelId) -> usize {
+        if let Some(i) = self.vertex_index(alias) {
+            return i;
+        }
+        self.vertices.push(PatternVertex {
+            alias: alias.to_string(),
+            label,
+            predicate: None,
+        });
+        self.vertices.len() - 1
+    }
+
+    /// Adds a pattern edge between vertex indexes.
+    pub fn add_edge(
+        &mut self,
+        alias: Option<&str>,
+        label: LabelId,
+        src: usize,
+        dst: usize,
+    ) -> usize {
+        self.edges.push(PatternEdge {
+            alias: alias.map(str::to_string),
+            label,
+            src,
+            dst,
+            predicate: None,
+        });
+        self.edges.len() - 1
+    }
+
+    /// Finds a pattern vertex by alias.
+    pub fn vertex_index(&self, alias: &str) -> Option<usize> {
+        self.vertices.iter().position(|v| v.alias == alias)
+    }
+
+    /// Attaches a predicate to a pattern vertex (AND-combined with any
+    /// existing one).
+    pub fn and_vertex_predicate(&mut self, idx: usize, pred: Expr) {
+        let v = &mut self.vertices[idx];
+        v.predicate = Some(match v.predicate.take() {
+            Some(p) => Expr::bin(crate::expr::BinOp::And, p, pred),
+            None => pred,
+        });
+    }
+
+    /// Attaches a predicate to a pattern edge (AND-combined).
+    pub fn and_edge_predicate(&mut self, idx: usize, pred: Expr) {
+        let e = &mut self.edges[idx];
+        e.predicate = Some(match e.predicate.take() {
+            Some(p) => Expr::bin(crate::expr::BinOp::And, p, pred),
+            None => pred,
+        });
+    }
+
+    /// Edges incident to pattern vertex `v`, as `(edge idx, direction from
+    /// v's perspective, other endpoint)`.
+    pub fn incident(&self, v: usize) -> Vec<(usize, Direction, usize)> {
+        let mut out = Vec::new();
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.src == v {
+                out.push((i, Direction::Out, e.dst));
+            }
+            if e.dst == v {
+                out.push((i, Direction::In, e.src));
+            }
+        }
+        out
+    }
+
+    /// Checks the pattern is connected and non-empty (required for the
+    /// expand-chain compilation strategy).
+    pub fn validate(&self) -> Result<()> {
+        if self.vertices.is_empty() {
+            return Err(GraphError::Query("empty pattern".into()));
+        }
+        if self.vertices.len() == 1 {
+            return Ok(());
+        }
+        let mut seen = vec![false; self.vertices.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for (_, _, w) in self.incident(v) {
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        if seen.iter().all(|&s| s) {
+            Ok(())
+        } else {
+            Err(GraphError::Query("pattern is disconnected".into()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Expr};
+    use gs_graph::Value;
+
+    #[test]
+    fn shared_alias_joins_paths() {
+        let mut p = Pattern::new();
+        let a = p.add_vertex("a", LabelId(0));
+        let b = p.add_vertex("b", LabelId(0));
+        let b2 = p.add_vertex("b", LabelId(0));
+        assert_eq!(b, b2);
+        let c = p.add_vertex("c", LabelId(1));
+        p.add_edge(None, LabelId(0), a, b);
+        p.add_edge(None, LabelId(1), b, c);
+        assert_eq!(p.vertices.len(), 3);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn incident_reports_directions() {
+        let mut p = Pattern::new();
+        let a = p.add_vertex("a", LabelId(0));
+        let b = p.add_vertex("b", LabelId(0));
+        p.add_edge(None, LabelId(0), a, b);
+        let inc_a = p.incident(a);
+        assert_eq!(inc_a, vec![(0, Direction::Out, b)]);
+        let inc_b = p.incident(b);
+        assert_eq!(inc_b, vec![(0, Direction::In, a)]);
+    }
+
+    #[test]
+    fn disconnected_pattern_rejected() {
+        let mut p = Pattern::new();
+        p.add_vertex("a", LabelId(0));
+        p.add_vertex("b", LabelId(0));
+        assert!(p.validate().is_err());
+        assert!(Pattern::new().validate().is_err());
+    }
+
+    #[test]
+    fn predicates_and_combine() {
+        let mut p = Pattern::new();
+        let a = p.add_vertex("a", LabelId(0));
+        p.and_vertex_predicate(a, Expr::Const(Value::Bool(true)));
+        p.and_vertex_predicate(a, Expr::Const(Value::Bool(false)));
+        match p.vertices[a].predicate.as_ref().unwrap() {
+            Expr::Binary { op: BinOp::And, .. } => {}
+            other => panic!("expected AND, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! The physical stage: a concrete, ordered execution plan.
+//!
+//! Physical plans are linear operator chains over records. The naive
+//! lowering here ([`lower_naive`]) preserves the logical op order and uses
+//! *unfused* `ExpandEdge` + `GetVertex` pairs with *unpushed* predicates —
+//! it is the "without optimization" baseline of Fig. 7(e). The optimizer in
+//! `gs-optimizer` produces better plans via RBO/CBO; both lowerings share
+//! [`compile_pattern`].
+
+use crate::expr::Expr;
+use crate::logical::{LogicalOp, LogicalPlan, ProjectItem};
+use crate::pattern::Pattern;
+use crate::record::{ColumnKind, Layout};
+use gs_graph::{GraphError, LabelId, PropId, Result, Value};
+use gs_grin::Direction;
+
+/// What an expand produces.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExpandOut {
+    /// Append the matched edge as a column.
+    Edge,
+    /// Append the far-endpoint vertex (fused EXPAND_EDGE+GET_VERTEX).
+    VertexFused { label: LabelId },
+}
+
+/// Physical operators.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PhysicalOp {
+    /// Source: emit one record per vertex of `label` (cross-producted with
+    /// any incoming records). `index_lookup` uses a property index instead
+    /// of a full scan when the store supports it.
+    Scan {
+        label: LabelId,
+        predicate: Option<Expr>,
+        index_lookup: Option<(PropId, Value)>,
+    },
+    /// Flat-map: expand adjacency of the vertex at `src_col`.
+    Expand {
+        src_col: usize,
+        src_label: LabelId,
+        elabel: LabelId,
+        dir: Direction,
+        /// Predicate over the produced column (col 0 = produced value, in a
+        /// temporary 1-column view).
+        predicate: Option<Expr>,
+        out: ExpandOut,
+    },
+    /// Map: endpoint of the edge at `edge_col` (the end away from the
+    /// expansion source, as recorded in the edge value).
+    GetVertex {
+        edge_col: usize,
+        label: LabelId,
+        predicate: Option<Expr>,
+        /// Which endpoint: true = edge destination, false = edge source.
+        take_dst: bool,
+    },
+    /// Closes a pattern cycle: keep records where an `elabel` edge connects
+    /// `src_col` to the already-bound `dst_col` (in `dir` from src).
+    ExpandIntersect {
+        src_col: usize,
+        elabel: LabelId,
+        dir: Direction,
+        dst_col: usize,
+        /// Optionally bind the connecting edge as a new column.
+        bind_edge: bool,
+        predicate: Option<Expr>,
+    },
+    /// Relational filter.
+    Select { predicate: Expr },
+    /// Projection / grouped aggregation.
+    Project {
+        items: Vec<(ProjectItem, String)>,
+    },
+    Order {
+        keys: Vec<(Expr, bool)>,
+        limit: Option<usize>,
+    },
+    Dedup { columns: Vec<usize> },
+    Limit { n: usize },
+}
+
+impl PhysicalOp {
+    /// Rewrites every column reference through `map` (for post-fusion column
+    /// compaction). Returns `None` if any reference is unmapped.
+    pub fn remap_columns(&self, map: &dyn Fn(usize) -> Option<usize>) -> Option<PhysicalOp> {
+        Some(match self {
+            PhysicalOp::Scan { label, predicate, index_lookup } => PhysicalOp::Scan {
+                label: *label,
+                predicate: predicate.clone(),
+                index_lookup: index_lookup.clone(),
+            },
+            PhysicalOp::Expand { src_col, src_label, elabel, dir, predicate, out } => {
+                PhysicalOp::Expand {
+                    src_col: map(*src_col)?,
+                    src_label: *src_label,
+                    elabel: *elabel,
+                    dir: *dir,
+                    predicate: predicate.clone(),
+                    out: out.clone(),
+                }
+            }
+            PhysicalOp::GetVertex { edge_col, label, predicate, take_dst } => {
+                PhysicalOp::GetVertex {
+                    edge_col: map(*edge_col)?,
+                    label: *label,
+                    predicate: predicate.clone(),
+                    take_dst: *take_dst,
+                }
+            }
+            PhysicalOp::ExpandIntersect { src_col, elabel, dir, dst_col, bind_edge, predicate } => {
+                PhysicalOp::ExpandIntersect {
+                    src_col: map(*src_col)?,
+                    elabel: *elabel,
+                    dir: *dir,
+                    dst_col: map(*dst_col)?,
+                    bind_edge: *bind_edge,
+                    predicate: predicate.clone(),
+                }
+            }
+            PhysicalOp::Select { predicate } => PhysicalOp::Select {
+                predicate: predicate.remap_columns(map)?,
+            },
+            PhysicalOp::Project { items } => PhysicalOp::Project {
+                items: items
+                    .iter()
+                    .map(|(it, name)| {
+                        let it = match it {
+                            ProjectItem::Expr(e) => ProjectItem::Expr(e.remap_columns(map)?),
+                            ProjectItem::Agg(f, e) => {
+                                ProjectItem::Agg(f.clone(), e.remap_columns(map)?)
+                            }
+                        };
+                        Some((it, name.clone()))
+                    })
+                    .collect::<Option<Vec<_>>>()?,
+            },
+            PhysicalOp::Order { keys, limit } => PhysicalOp::Order {
+                keys: keys
+                    .iter()
+                    .map(|(e, asc)| Some((e.remap_columns(map)?, *asc)))
+                    .collect::<Option<Vec<_>>>()?,
+                limit: *limit,
+            },
+            PhysicalOp::Dedup { columns } => PhysicalOp::Dedup {
+                columns: columns.iter().map(|c| map(*c)).collect::<Option<Vec<_>>>()?,
+            },
+            PhysicalOp::Limit { n } => PhysicalOp::Limit { n: *n },
+        })
+    }
+
+    /// Index of the column this op *appends*, if any (relative to its input
+    /// width).
+    pub fn appends_column(&self) -> bool {
+        matches!(
+            self,
+            PhysicalOp::Scan { .. }
+                | PhysicalOp::Expand { .. }
+                | PhysicalOp::GetVertex { .. }
+                | PhysicalOp::ExpandIntersect { bind_edge: true, .. }
+        )
+    }
+}
+
+/// A physical plan with its output layout.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhysicalPlan {
+    pub ops: Vec<PhysicalOp>,
+    pub layout: Layout,
+}
+
+/// Compiles a pattern into physical ops given a vertex visit `order`
+/// (indices into `pattern.vertices`; the first element is the anchor).
+///
+/// * `fused` — use fused vertex expansion instead of `ExpandEdge`+`GetVertex`
+///   when the edge is not alias-bound;
+/// * `push_predicates` — attach vertex/edge predicates to scans/expands
+///   instead of emitting trailing `Select`s.
+///
+/// Aliases already present in `layout` are reused as bound anchors (the
+/// second `MATCH` of a multi-stage query extends existing bindings).
+pub fn compile_pattern(
+    pattern: &Pattern,
+    order: &[usize],
+    layout: &mut Layout,
+    ops: &mut Vec<PhysicalOp>,
+    fused: bool,
+    push_predicates: bool,
+) -> Result<()> {
+    pattern.validate()?;
+    if order.len() != pattern.vertices.len() {
+        return Err(GraphError::Query("pattern order length mismatch".into()));
+    }
+    let mut bound: Vec<bool> = pattern
+        .vertices
+        .iter()
+        .map(|v| layout.index_of(&v.alias).is_some())
+        .collect();
+    let mut edge_done = vec![false; pattern.edges.len()];
+    // edges between two already-bound (pre-existing) vertices must still be
+    // checked at the end; handle via the same incident-edge closure loop.
+
+    let mut deferred_selects: Vec<Expr> = Vec::new();
+
+    for &vi in order {
+        let pv = &pattern.vertices[vi];
+        if !bound[vi] {
+            // find a done-able connection to an already-bound vertex
+            let conn = pattern
+                .incident(vi)
+                .into_iter()
+                .find(|&(ei, _, other)| !edge_done[ei] && bound[other]);
+            match conn {
+                None => {
+                    // anchor: scan
+                    let pred = pv.predicate.clone();
+                    let col = layout.push(&pv.alias, ColumnKind::Vertex(pv.label))?;
+                    if push_predicates {
+                        ops.push(PhysicalOp::Scan {
+                            label: pv.label,
+                            predicate: pred.clone().map(|p| remap_to(p, 0)),
+                            index_lookup: pred.as_ref().and_then(extract_eq_lookup),
+                        });
+                    } else {
+                        ops.push(PhysicalOp::Scan {
+                            label: pv.label,
+                            predicate: None,
+                            index_lookup: None,
+                        });
+                        if let Some(p) = pred {
+                            deferred_selects.push(remap_to(p, col));
+                        }
+                    }
+                }
+                Some((ei, dir_from_other_view, other)) => {
+                    // We expand FROM `other` TO `vi`. `incident(vi)` gave the
+                    // direction from vi's perspective; invert it.
+                    let pe = &pattern.edges[ei];
+                    let dir = match dir_from_other_view {
+                        Direction::Out => Direction::In, // edge leaves vi → from other it arrives
+                        Direction::In => Direction::Out,
+                        Direction::Both => Direction::Both,
+                    };
+                    let src_col = layout.require(&pattern.vertices[other].alias)?;
+                    let src_label = pattern.vertices[other].label;
+                    let epred = pe.predicate.clone();
+                    let vpred = pv.predicate.clone();
+                    let want_edge_alias = pe.alias.is_some();
+                    // Fusion is only legal when nothing downstream needs the
+                    // edge: no alias binding and no edge predicate.
+                    if fused && !want_edge_alias && epred.is_none() {
+                        let col = layout.push(&pv.alias, ColumnKind::Vertex(pv.label))?;
+                        ops.push(PhysicalOp::Expand {
+                            src_col,
+                            src_label,
+                            elabel: pe.label,
+                            dir,
+                            predicate: None,
+                            out: ExpandOut::VertexFused { label: pv.label },
+                        });
+                        if let Some(p) = vpred {
+                            if push_predicates {
+                                // the vertex predicate can run inline on the
+                                // fused output column
+                                deferred_selects.push(remap_to(p, col));
+                            } else {
+                                deferred_selects.push(remap_to(p, col));
+                            }
+                        }
+                    } else {
+                        let ealias = pe
+                            .alias
+                            .clone()
+                            .unwrap_or_else(|| format!("__e{ei}"));
+                        let ecol = layout.push(&ealias, ColumnKind::Edge(pe.label))?;
+                        ops.push(PhysicalOp::Expand {
+                            src_col,
+                            src_label,
+                            elabel: pe.label,
+                            dir,
+                            predicate: if push_predicates {
+                                epred.clone().map(|p| remap_to(p, 0))
+                            } else {
+                                None
+                            },
+                            out: ExpandOut::Edge,
+                        });
+                        if !push_predicates {
+                            if let Some(p) = epred {
+                                deferred_selects.push(remap_to(p, ecol));
+                            }
+                        }
+                        let vcol = layout.push(&pv.alias, ColumnKind::Vertex(pv.label))?;
+                        ops.push(PhysicalOp::GetVertex {
+                            edge_col: ecol,
+                            label: pv.label,
+                            predicate: if push_predicates {
+                                vpred.clone().map(|p| remap_to(p, 0))
+                            } else {
+                                None
+                            },
+                            // Edge values are traversal-oriented (from =
+                            // expansion origin): the pattern's far endpoint
+                            // is always the `to` side, whatever the stored
+                            // direction.
+                            take_dst: true,
+                        });
+                        if !push_predicates {
+                            if let Some(p) = vpred {
+                                deferred_selects.push(remap_to(p, vcol));
+                            }
+                        }
+                    }
+                    edge_done[ei] = true;
+                }
+            }
+            bound[vi] = true;
+        }
+        // close any remaining edges between vi and other bound vertices
+        for (ei, dir, other) in pattern.incident(vi) {
+            if edge_done[ei] || !bound[other] {
+                continue;
+            }
+            let pe = &pattern.edges[ei];
+            let src_col = layout.require(&pattern.vertices[vi].alias)?;
+            let dst_col = layout.require(&pattern.vertices[other].alias)?;
+            let bind_edge = pe.alias.is_some();
+            ops.push(PhysicalOp::ExpandIntersect {
+                src_col,
+                elabel: pe.label,
+                dir,
+                dst_col,
+                bind_edge,
+                predicate: pe.predicate.clone().map(|p| remap_to(p, 0)),
+            });
+            if bind_edge {
+                layout.push(pe.alias.as_ref().unwrap(), ColumnKind::Edge(pe.label))?;
+            }
+            edge_done[ei] = true;
+        }
+    }
+
+    for p in deferred_selects {
+        ops.push(PhysicalOp::Select { predicate: p });
+    }
+    if let Some(missing) = edge_done.iter().position(|d| !d) {
+        return Err(GraphError::Query(format!(
+            "pattern edge {missing} not compiled (disconnected order?)"
+        )));
+    }
+    Ok(())
+}
+
+/// Rebinds a single-column predicate (written against column 0) to `col`.
+fn remap_to(p: Expr, col: usize) -> Expr {
+    p.remap_columns(&|i| if i == 0 { Some(col) } else { None })
+        .expect("single-column predicate")
+}
+
+/// Extracts `prop == const` from a vertex predicate for index lookups.
+fn extract_eq_lookup(p: &Expr) -> Option<(PropId, Value)> {
+    if let Expr::Binary {
+        op: crate::expr::BinOp::Eq,
+        lhs,
+        rhs,
+    } = p
+    {
+        if let (Expr::VertexProp { col: 0, prop, .. }, Expr::Const(v)) = (&**lhs, &**rhs) {
+            return Some((*prop, v.clone()));
+        }
+        if let (Expr::Const(v), Expr::VertexProp { col: 0, prop, .. }) = (&**lhs, &**rhs) {
+            return Some((*prop, v.clone()));
+        }
+    }
+    None
+}
+
+/// Naive lowering: logical ops in order, unfused expansion, no predicate
+/// pushdown, patterns compiled in declaration order.
+pub fn lower_naive(plan: &LogicalPlan) -> Result<PhysicalPlan> {
+    lower_with(plan, false, false, |pattern| {
+        (0..pattern.vertices.len()).collect()
+    })
+}
+
+/// Shared lowering skeleton. `order_fn` picks the pattern visit order
+/// (identity for naive, GLogue for CBO).
+pub fn lower_with(
+    plan: &LogicalPlan,
+    fused: bool,
+    push_predicates: bool,
+    order_fn: impl Fn(&Pattern) -> Vec<usize>,
+) -> Result<PhysicalPlan> {
+    let mut layout = Layout::new();
+    let mut ops = Vec::new();
+    for (op_idx, op) in plan.ops.iter().enumerate() {
+        match op {
+            LogicalOp::ScanVertex { alias, label, predicate } => {
+                let col = layout.push(alias, ColumnKind::Vertex(*label))?;
+                if push_predicates {
+                    ops.push(PhysicalOp::Scan {
+                        label: *label,
+                        predicate: predicate.clone().map(|p| remap_to(p, 0)),
+                        index_lookup: predicate.as_ref().and_then(extract_eq_lookup),
+                    });
+                } else {
+                    ops.push(PhysicalOp::Scan {
+                        label: *label,
+                        predicate: None,
+                        index_lookup: None,
+                    });
+                    if let Some(p) = predicate.clone() {
+                        ops.push(PhysicalOp::Select {
+                            predicate: remap_to(p, col),
+                        });
+                    }
+                }
+            }
+            LogicalOp::ExpandEdge { src, elabel, dir, alias, predicate } => {
+                let src_col = layout.require(src)?;
+                let src_label = layout.vertex_label(src)?;
+                let ecol = layout.push(alias, ColumnKind::Edge(*elabel))?;
+                ops.push(PhysicalOp::Expand {
+                    src_col,
+                    src_label,
+                    elabel: *elabel,
+                    dir: *dir,
+                    predicate: if push_predicates {
+                        predicate.clone().map(|p| remap_to(p, 0))
+                    } else {
+                        None
+                    },
+                    out: ExpandOut::Edge,
+                });
+                if !push_predicates {
+                    if let Some(p) = predicate.clone() {
+                        ops.push(PhysicalOp::Select {
+                            predicate: remap_to(p, ecol),
+                        });
+                    }
+                }
+            }
+            LogicalOp::GetVertex { edge, alias, predicate } => {
+                let edge_col = layout.require(edge)?;
+                // the produced vertex label comes from the logical layout
+                let after = &plan.layouts[op_idx + 1];
+                let label = match after.kind_of(alias) {
+                    Some(ColumnKind::Vertex(l)) => *l,
+                    _ => {
+                        return Err(GraphError::Query(format!(
+                            "GetVertex target `{alias}` has no vertex kind"
+                        )))
+                    }
+                };
+                let vcol = layout.push(alias, ColumnKind::Vertex(label))?;
+                ops.push(PhysicalOp::GetVertex {
+                    edge_col,
+                    label,
+                    predicate: if push_predicates {
+                        predicate.clone().map(|p| remap_to(p, 0))
+                    } else {
+                        None
+                    },
+                    take_dst: true,
+                });
+                if !push_predicates {
+                    if let Some(p) = predicate.clone() {
+                        ops.push(PhysicalOp::Select {
+                            predicate: remap_to(p, vcol),
+                        });
+                    }
+                }
+            }
+            LogicalOp::Match { pattern } => {
+                let order = order_fn(pattern);
+                compile_pattern(pattern, &order, &mut layout, &mut ops, fused, push_predicates)?;
+                // Physical column order depends on the visit order; restore
+                // the canonical (declaration-order) layout that downstream
+                // expressions were bound against, dropping internal `__e*`
+                // columns along the way.
+                let canonical = &plan.layouts[op_idx + 1];
+                let phys_aliases: Vec<&str> = layout.aliases().collect();
+                let canon_aliases: Vec<&str> = canonical.aliases().collect();
+                if phys_aliases != canon_aliases {
+                    let items: Vec<(ProjectItem, String)> = canonical
+                        .aliases()
+                        .map(|a| {
+                            Ok((
+                                ProjectItem::Expr(Expr::Column(layout.require(a)?)),
+                                a.to_string(),
+                            ))
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    ops.push(PhysicalOp::Project { items });
+                    layout = canonical.clone();
+                }
+            }
+            LogicalOp::Select { predicate } => {
+                ops.push(PhysicalOp::Select {
+                    predicate: predicate.clone(),
+                });
+            }
+            LogicalOp::Project { items } => {
+                ops.push(PhysicalOp::Project { items: items.clone() });
+                // rebuild layout from items
+                let mut nl = Layout::new();
+                for (it, name) in items {
+                    let kind = match it {
+                        ProjectItem::Expr(Expr::Column(c)) => layout.kind(*c).clone(),
+                        _ => ColumnKind::Scalar,
+                    };
+                    nl.push(name, kind)?;
+                }
+                layout = nl;
+            }
+            LogicalOp::Order { keys, limit } => {
+                ops.push(PhysicalOp::Order {
+                    keys: keys.clone(),
+                    limit: *limit,
+                });
+            }
+            LogicalOp::Dedup { columns } => {
+                let cols = columns
+                    .iter()
+                    .map(|a| layout.require(a))
+                    .collect::<Result<Vec<_>>>()?;
+                ops.push(PhysicalOp::Dedup { columns: cols });
+            }
+            LogicalOp::Limit { n } => ops.push(PhysicalOp::Limit { n: *n }),
+        }
+    }
+    Ok(PhysicalPlan { ops, layout })
+}

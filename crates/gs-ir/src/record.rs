@@ -1,0 +1,121 @@
+//! Records and layouts: the IR data model `D`.
+//!
+//! A [`Record`] is one tuple flowing through the dataflow; columns are
+//! positional. The [`Layout`] resolves query aliases (like `a`, `b`, `cnt1`)
+//! to column indexes at *compile* time, so execution never does string
+//! lookups. Each column carries the static type information the binder
+//! derived (e.g. which vertex label an alias is known to hold).
+
+use gs_graph::{GraphError, LabelId, Result, Value};
+
+/// One data tuple.
+pub type Record = Vec<Value>;
+
+/// What a column statically holds, as derived by the planner.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ColumnKind {
+    /// A vertex bound to this label.
+    Vertex(LabelId),
+    /// An edge with this edge label.
+    Edge(LabelId),
+    /// A scalar produced by projection/aggregation.
+    Scalar,
+}
+
+/// Compile-time alias → column mapping.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Layout {
+    columns: Vec<(String, ColumnKind)>,
+}
+
+impl Layout {
+    /// Empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a column; returns its index. Re-using an existing alias is an
+    /// error (aliases are unique within a stage).
+    pub fn push(&mut self, alias: &str, kind: ColumnKind) -> Result<usize> {
+        if self.index_of(alias).is_some() {
+            return Err(GraphError::Query(format!("duplicate alias `{alias}`")));
+        }
+        self.columns.push((alias.to_string(), kind));
+        Ok(self.columns.len() - 1)
+    }
+
+    /// Index of an alias.
+    pub fn index_of(&self, alias: &str) -> Option<usize> {
+        self.columns.iter().position(|(a, _)| a == alias)
+    }
+
+    /// Index of an alias, as an error-reporting lookup.
+    pub fn require(&self, alias: &str) -> Result<usize> {
+        self.index_of(alias)
+            .ok_or_else(|| GraphError::Query(format!("unknown alias `{alias}`")))
+    }
+
+    /// Column kind by index.
+    pub fn kind(&self, idx: usize) -> &ColumnKind {
+        &self.columns[idx].1
+    }
+
+    /// Kind for an alias.
+    pub fn kind_of(&self, alias: &str) -> Option<&ColumnKind> {
+        self.index_of(alias).map(|i| self.kind(i))
+    }
+
+    /// Column count.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Alias names in column order.
+    pub fn aliases(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|(a, _)| a.as_str())
+    }
+
+    /// The vertex label an alias is bound to, if it is a vertex column.
+    pub fn vertex_label(&self, alias: &str) -> Result<LabelId> {
+        match self.kind_of(alias) {
+            Some(ColumnKind::Vertex(l)) => Ok(*l),
+            Some(other) => Err(GraphError::Query(format!(
+                "alias `{alias}` is {other:?}, expected vertex"
+            ))),
+            None => Err(GraphError::Query(format!("unknown alias `{alias}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut l = Layout::new();
+        let a = l.push("a", ColumnKind::Vertex(LabelId(0))).unwrap();
+        let b = l.push("b", ColumnKind::Scalar).unwrap();
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(l.index_of("a"), Some(0));
+        assert_eq!(l.index_of("zz"), None);
+        assert_eq!(l.width(), 2);
+        assert_eq!(l.vertex_label("a").unwrap(), LabelId(0));
+        assert!(l.vertex_label("b").is_err());
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let mut l = Layout::new();
+        l.push("a", ColumnKind::Scalar).unwrap();
+        assert!(l.push("a", ColumnKind::Scalar).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let l = Layout::new();
+        let e = l.require("ghost").unwrap_err();
+        assert!(e.to_string().contains("ghost"));
+    }
+}

@@ -1,0 +1,389 @@
+//! Shared tokenizer for the Gremlin and Cypher front-ends.
+
+use gs_graph::{GraphError, Result};
+
+/// One token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (case preserved; Cypher keywords matched
+    /// case-insensitively by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single- or double-quoted string literal (quotes stripped).
+    Str(String),
+    /// A `$name` parameter reference.
+    Param(String),
+    // punctuation
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Dot,
+    Colon,
+    Semicolon,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    /// `<>` (Cypher not-equals).
+    Ne,
+    /// `->`
+    ArrowRight,
+    /// `<-`
+    ArrowLeft,
+    /// `=~` is unsupported; kept out intentionally.
+    Eof,
+}
+
+/// Tokenizes an input string. `//`-comments and `/* */` are stripped.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let b: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == '*' && b[i + 1] == '/') {
+                    i += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            '{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ':' => {
+                out.push(Token::Colon);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '-' => {
+                if b.get(i + 1) == Some(&'>') {
+                    out.push(Token::ArrowRight);
+                    i += 2;
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '<' => match b.get(i + 1) {
+                Some('=') => {
+                    out.push(Token::Le);
+                    i += 2;
+                }
+                Some('>') => {
+                    out.push(Token::Ne);
+                    i += 2;
+                }
+                Some('-') => {
+                    out.push(Token::ArrowLeft);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if b.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if b.get(i + 1) == Some(&'=') {
+                    // tolerate `==`
+                    out.push(Token::Eq);
+                    i += 2;
+                } else {
+                    out.push(Token::Eq);
+                    i += 1;
+                }
+            }
+            '!' if b.get(i + 1) == Some(&'=') => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(GraphError::Query("empty parameter name".into()));
+                }
+                out.push(Token::Param(b[start..j].iter().collect()));
+                i = j;
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut s = String::new();
+                while j < b.len() && b[j] != quote {
+                    if b[j] == '\\' && j + 1 < b.len() {
+                        s.push(b[j + 1]);
+                        j += 2;
+                    } else {
+                        s.push(b[j]);
+                        j += 1;
+                    }
+                }
+                if j >= b.len() {
+                    return Err(GraphError::Query("unterminated string literal".into()));
+                }
+                out.push(Token::Str(s));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < b.len() && (b[j].is_ascii_digit() || b[j] == '.' || b[j] == '_') {
+                    // a `.` only belongs to the number if a digit follows
+                    if b[j] == '.' {
+                        if j + 1 < b.len() && b[j + 1].is_ascii_digit() && !is_float {
+                            is_float = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                let text: String = b[start..j].iter().filter(|&&c| c != '_').collect();
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        GraphError::Query(format!("bad float literal {text}"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        GraphError::Query(format!("bad int literal {text}"))
+                    })?));
+                }
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.push(Token::Ident(b[start..j].iter().collect()));
+                i = j;
+            }
+            other => {
+                return Err(GraphError::Query(format!(
+                    "unexpected character `{other}`"
+                )))
+            }
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+/// Cursor over a token stream with the helpers both parsers use.
+pub struct Cursor {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Cursor {
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Self { tokens, pos: 0 }
+    }
+
+    pub fn peek(&self) -> &Token {
+        self.tokens.get(self.pos).unwrap_or(&Token::Eof)
+    }
+
+    pub fn peek2(&self) -> &Token {
+        self.tokens.get(self.pos + 1).unwrap_or(&Token::Eof)
+    }
+
+    pub fn next(&mut self) -> Token {
+        let t = self.peek().clone();
+        self.pos += 1;
+        t
+    }
+
+    pub fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(GraphError::Query(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    /// Consumes an identifier (any case).
+    pub fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            other => Err(GraphError::Query(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Matches a case-insensitive keyword without consuming on failure.
+    pub fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Token::Ident(s) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the next token is the given keyword.
+    pub fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    pub fn at_eof(&self) -> bool {
+        matches!(self.peek(), Token::Eof)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_cypher_fragment() {
+        let toks = tokenize("MATCH (v:Account{id:1})-[b:BUY]->(i) WHERE v.x <> 5 RETURN v").unwrap();
+        assert!(toks.contains(&Token::Ident("MATCH".into())));
+        assert!(toks.contains(&Token::ArrowRight));
+        assert!(toks.contains(&Token::Ne));
+        assert_eq!(*toks.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let toks = tokenize("1 2.5 'a b' \"c\\\"d\" 1_000").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Int(1),
+                Token::Float(2.5),
+                Token::Str("a b".into()),
+                Token::Str("c\"d".into()),
+                Token::Int(1000),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_after_int_is_method_call_not_float() {
+        // Gremlin: limit(1).count() — the `.` must not glue to the 1
+        let toks = tokenize("g.V().limit(1).count()").unwrap();
+        assert!(toks.contains(&Token::Int(1)));
+        assert!(!toks.iter().any(|t| matches!(t, Token::Float(_))));
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let toks = tokenize("a // line\n b /* block */ c").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Ident("c".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn params_and_errors() {
+        let toks = tokenize("$seeds").unwrap();
+        assert_eq!(toks[0], Token::Param("seeds".into()));
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("§").is_err());
+    }
+
+    #[test]
+    fn cursor_keywords_case_insensitive() {
+        let mut c = Cursor::new(tokenize("match RETURN").unwrap());
+        assert!(c.eat_kw("MATCH"));
+        assert!(c.peek_kw("return"));
+    }
+}

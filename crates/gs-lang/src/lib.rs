@@ -1,0 +1,14 @@
+//! # gs-lang — query language front-ends
+//!
+//! Both Gremlin and Cypher lower to the same GraphIR logical plan (paper
+//! §5.1), so the optimizer and both execution engines are shared. The
+//! Figure 5 example — the same "purchased items' prices of friends" query in
+//! both languages — compiles to the same logical DAG here (see the
+//! `figure5_equivalence` integration test at the workspace root).
+
+pub mod cypher;
+pub mod gremlin;
+pub mod lexer;
+
+pub use cypher::parse_cypher;
+pub use gremlin::parse_gremlin;

@@ -1,0 +1,25 @@
+//! # gs-learn — the GraphScope Flex learning stack
+//!
+//! GNN training over GRIN graphs (paper §7), built from:
+//!
+//! * [`tensor`] — a minimal dense tensor library with hand-written backprop
+//!   (the PyTorch/TensorFlow substitute; see DESIGN.md),
+//! * [`sampler`] — multi-hop fan-out sampling plus feature collection,
+//!   modelled as the paper's sampling dataflow,
+//! * [`sage`] — GraphSAGE (the Fig. 7l/7m model),
+//! * [`ncn`] — Neural Common Neighbor link prediction (the §8 social
+//!   relation prediction model),
+//! * [`pipeline`] — the decoupled, asynchronously pipelined
+//!   sampling/training runtime with independent scaling of both sides.
+
+pub mod ncn;
+pub mod pipeline;
+pub mod sage;
+pub mod sampler;
+pub mod tensor;
+
+pub use ncn::{build_examples, common_neighbors, LinkExample, NcnModel};
+pub use pipeline::{train_epoch, EpochStats, PipelineConfig};
+pub use sage::GraphSage;
+pub use sampler::{SampledBatch, Sampler};
+pub use tensor::{Linear, Matrix};

@@ -1,0 +1,353 @@
+//! GraphSAGE with hand-written backprop over sampled mini-batches.
+//!
+//! `h^l(v) = ReLU(W_l · [h^{l-1}(v) ‖ mean_{w∈S(v)} h^{l-1}(w)])`, followed
+//! by a linear classifier over the seed representations. This is the model
+//! the Fig. 7(l)/(m) scaling experiments train (3 layers, fan-out
+//! [15, 10, 5], batch 1024).
+
+use crate::sampler::SampledBatch;
+use crate::tensor::{softmax_cross_entropy, Linear, Matrix};
+
+/// A GraphSAGE classifier.
+pub struct GraphSage {
+    /// One aggregation layer per hop: `Linear(2·d_in → d_out)`.
+    pub layers: Vec<Linear>,
+    /// Classification head `hidden → classes`.
+    pub head: Linear,
+    pub feature_dim: usize,
+    pub hidden: usize,
+    pub classes: usize,
+}
+
+impl GraphSage {
+    /// `depth`-layer model (depth must equal the sampler's fan-out count).
+    pub fn new(depth: usize, feature_dim: usize, hidden: usize, classes: usize, seed: u64) -> Self {
+        let mut layers = Vec::with_capacity(depth);
+        let mut din = feature_dim;
+        for l in 0..depth {
+            layers.push(Linear::new(2 * din, hidden, seed.wrapping_add(l as u64 + 1)));
+            din = hidden;
+        }
+        Self {
+            layers,
+            head: Linear::new(hidden, classes, seed.wrapping_add(99)),
+            feature_dim,
+            hidden,
+            classes,
+        }
+    }
+
+    /// Forward pass; returns seed logits plus the intermediates backprop
+    /// needs.
+    pub fn forward(&self, batch: &SampledBatch) -> SageActivations {
+        let depth = self.layers.len();
+        assert_eq!(batch.hops.len(), depth, "batch depth != model depth");
+        // h[k] = representations of layer-k vertices (start: raw features)
+        let mut h: Vec<Matrix> = batch
+            .features
+            .iter()
+            .map(|rows| Matrix::from_rows(rows.iter().map(|r| r.to_vec()).collect()))
+            .collect();
+        let mut saved: Vec<Vec<SageStep>> = Vec::with_capacity(depth);
+        for l in 0..depth {
+            // after step l, positions 0..depth-l have depth-(l+1)-hop reps
+            let positions = depth - l;
+            let mut next_h: Vec<Matrix> = Vec::with_capacity(positions);
+            let mut steps: Vec<SageStep> = Vec::with_capacity(positions);
+            for k in 0..positions {
+                let (x, counts) = concat_with_mean(&h[k], &h[k + 1], &batch.hops[k]);
+                let mut z = self.layers[l].forward(&x);
+                let mask = z.relu_inplace();
+                steps.push(SageStep {
+                    x,
+                    mask,
+                    mean_counts: counts,
+                });
+                next_h.push(z);
+            }
+            saved.push(steps);
+            h = next_h;
+        }
+        let seed_repr = h.into_iter().next().expect("seed representations");
+        let logits = self.head.forward(&seed_repr);
+        SageActivations {
+            logits,
+            seed_repr,
+            steps: saved,
+        }
+    }
+
+    /// Forward + loss + backward; accumulates gradients, returns the loss.
+    pub fn forward_backward(&mut self, batch: &SampledBatch, labels: &[usize]) -> f32 {
+        let acts = self.forward(batch);
+        let (loss, dlogits) = softmax_cross_entropy(&acts.logits, labels);
+        let dseed = self.head.backward(&acts.seed_repr, &dlogits);
+        // backprop through sage layers, deepest first
+        let depth = self.layers.len();
+        let mut grads: Vec<Matrix> = vec![dseed];
+        for l in (0..depth).rev() {
+            let steps = &acts.steps[l];
+            let positions = steps.len();
+            // gradient tensors for the layer-(l) inputs: positions+1 of them
+            let rows_below: Vec<usize> = (0..=positions)
+                .map(|k| {
+                    if k < positions {
+                        steps[k].x.rows
+                    } else {
+                        steps[positions - 1].mean_counts.len_source()
+                    }
+                })
+                .collect();
+            let _ = rows_below;
+            let mut below: Vec<Option<Matrix>> = (0..=positions).map(|_| None).collect();
+            for k in (0..positions).rev() {
+                let step = &steps[k];
+                let mut dz = grads[k].clone();
+                // relu mask
+                for (v, &m) in dz.data.iter_mut().zip(&step.mask) {
+                    if !m {
+                        *v = 0.0;
+                    }
+                }
+                let dx = self.layers[l].backward(&step.x, &dz);
+                // split dx into self part and mean part
+                let din = dx.cols / 2;
+                let mut dself = Matrix::zeros(dx.rows, din);
+                for r in 0..dx.rows {
+                    dself.data[r * din..(r + 1) * din]
+                        .copy_from_slice(&dx.row(r)[..din]);
+                }
+                add_assign(&mut below[k], dself);
+                // scatter mean gradients to neighbour rows
+                let nrows = step.mean_counts.neighbor_rows;
+                let mut dnbr = Matrix::zeros(nrows, din);
+                for (r, nbrs) in step.mean_counts.hops.iter().enumerate() {
+                    if nbrs.is_empty() {
+                        continue;
+                    }
+                    let scale = 1.0 / nbrs.len() as f32;
+                    for &i in nbrs {
+                        for c in 0..din {
+                            *dnbr.at_mut(i, c) += dx.at(r, din + c) * scale;
+                        }
+                    }
+                }
+                add_assign(&mut below[k + 1], dnbr);
+            }
+            grads = below
+                .into_iter()
+                .map(|g| g.expect("gradient for every position"))
+                .collect();
+        }
+        loss
+    }
+
+    /// Applies one Adam step on all parameters.
+    pub fn step(&mut self, lr: f32) {
+        for l in &mut self.layers {
+            l.adam_step(lr);
+        }
+        self.head.adam_step(lr);
+    }
+
+    /// Predicted classes for a batch's seeds.
+    pub fn predict(&self, batch: &SampledBatch) -> Vec<usize> {
+        let acts = self.forward(batch);
+        (0..acts.logits.rows)
+            .map(|r| {
+                acts.logits
+                    .row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    /// Copies parameters from another instance (replica sync).
+    pub fn copy_params_from(&mut self, other: &GraphSage) {
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            a.copy_params_from(b);
+        }
+        self.head.copy_params_from(&other.head);
+    }
+
+    /// Averages parameters across replicas into `self` (local-SGD sync).
+    pub fn average_from(&mut self, others: &[&GraphSage]) {
+        let k = (others.len() + 1) as f32;
+        for li in 0..self.layers.len() {
+            for i in 0..self.layers[li].w.data.len() {
+                let mut sum = self.layers[li].w.data[i];
+                for o in others {
+                    sum += o.layers[li].w.data[i];
+                }
+                self.layers[li].w.data[i] = sum / k;
+            }
+            for i in 0..self.layers[li].b.len() {
+                let mut sum = self.layers[li].b[i];
+                for o in others {
+                    sum += o.layers[li].b[i];
+                }
+                self.layers[li].b[i] = sum / k;
+            }
+        }
+        for i in 0..self.head.w.data.len() {
+            let mut sum = self.head.w.data[i];
+            for o in others {
+                sum += o.head.w.data[i];
+            }
+            self.head.w.data[i] = sum / k;
+        }
+        for i in 0..self.head.b.len() {
+            let mut sum = self.head.b[i];
+            for o in others {
+                sum += o.head.b[i];
+            }
+            self.head.b[i] = sum / k;
+        }
+    }
+}
+
+/// Saved per-step intermediates for backprop.
+pub struct SageStep {
+    x: Matrix,
+    mask: Vec<bool>,
+    mean_counts: MeanInfo,
+}
+
+struct MeanInfo {
+    hops: Vec<Vec<usize>>,
+    neighbor_rows: usize,
+}
+
+impl MeanInfo {
+    fn len_source(&self) -> usize {
+        self.neighbor_rows
+    }
+}
+
+/// Forward-pass products of one batch.
+pub struct SageActivations {
+    pub logits: Matrix,
+    seed_repr: Matrix,
+    steps: Vec<Vec<SageStep>>,
+}
+
+fn concat_with_mean(
+    h_self: &Matrix,
+    h_nbr: &Matrix,
+    hops: &[Vec<usize>],
+) -> (Matrix, MeanInfo) {
+    let din = h_self.cols;
+    let mut mean = Matrix::zeros(h_self.rows, din);
+    for (r, nbrs) in hops.iter().enumerate() {
+        if nbrs.is_empty() {
+            continue;
+        }
+        let scale = 1.0 / nbrs.len() as f32;
+        for &i in nbrs {
+            for c in 0..din {
+                *mean.at_mut(r, c) += h_nbr.at(i, c) * scale;
+            }
+        }
+    }
+    (
+        h_self.hconcat(&mean),
+        MeanInfo {
+            hops: hops.to_vec(),
+            neighbor_rows: h_nbr.rows,
+        },
+    )
+}
+
+fn add_assign(slot: &mut Option<Matrix>, m: Matrix) {
+    match slot {
+        None => *slot = Some(m),
+        Some(acc) => {
+            for (a, b) in acc.data.iter_mut().zip(&m.data) {
+                *a += b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::Sampler;
+    use gs_graph::{LabelId, VId};
+    use gs_grin::graph::mock::MockGraph;
+
+    fn setup() -> (MockGraph, Vec<usize>) {
+        let mut edges = Vec::new();
+        for i in 0..60u64 {
+            for j in 1..=6u64 {
+                edges.push((i, (i + j) % 60, 1.0));
+            }
+        }
+        (MockGraph::new(60, &edges), vec![])
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (g, _) = setup();
+        let s = Sampler::new(&g, LabelId(0), LabelId(0), vec![4, 3], 8);
+        let batch = s.sample(&[VId(0), VId(1), VId(2)], 5);
+        let model = GraphSage::new(2, 8, 16, 5, 1);
+        let acts = model.forward(&batch);
+        assert_eq!(acts.logits.rows, 3);
+        assert_eq!(acts.logits.cols, 5);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (g, _) = setup();
+        let s = Sampler::new(&g, LabelId(0), LabelId(0), vec![4, 3], 8);
+        let seeds: Vec<VId> = (0..16u64).map(VId).collect();
+        let batch = s.sample(&seeds, 9);
+        let labels: Vec<usize> = seeds.iter().map(|&v| s.label_of(v, 4)).collect();
+        let mut model = GraphSage::new(2, 8, 16, 4, 3);
+        let first = model.forward_backward(&batch, &labels);
+        model.step(0.01);
+        let mut last = first;
+        for _ in 0..60 {
+            last = model.forward_backward(&batch, &labels);
+            model.step(0.01);
+        }
+        assert!(
+            last < first * 0.5,
+            "loss did not drop: first {first} last {last}"
+        );
+    }
+
+    #[test]
+    fn can_overfit_single_batch_to_high_accuracy() {
+        let (g, _) = setup();
+        let s = Sampler::new(&g, LabelId(0), LabelId(0), vec![5, 4], 8);
+        let seeds: Vec<VId> = (0..12u64).map(VId).collect();
+        let batch = s.sample(&seeds, 2);
+        let labels: Vec<usize> = seeds.iter().map(|&v| s.label_of(v, 3)).collect();
+        let mut model = GraphSage::new(2, 8, 24, 3, 7);
+        for _ in 0..200 {
+            model.forward_backward(&batch, &labels);
+            model.step(0.02);
+        }
+        let pred = model.predict(&batch);
+        let correct = pred.iter().zip(&labels).filter(|(a, b)| a == b).count();
+        assert!(correct >= 10, "{correct}/12 correct; labels {labels:?} pred {pred:?}");
+    }
+
+    #[test]
+    fn replica_averaging_preserves_shapes() {
+        let a = GraphSage::new(2, 8, 16, 3, 1);
+        let b = GraphSage::new(2, 8, 16, 3, 2);
+        let mut avg = GraphSage::new(2, 8, 16, 3, 1);
+        avg.copy_params_from(&a);
+        avg.average_from(&[&b]);
+        // averaged params are the midpoint
+        let mid = (a.head.w.data[0] + b.head.w.data[0]) / 2.0;
+        assert!((avg.head.w.data[0] - mid).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,363 @@
+//! Minimal dense tensor library with hand-written backprop.
+//!
+//! Substitutes for the PyTorch/TensorFlow training backends (see
+//! DESIGN.md): the learning-stack experiments measure *throughput shape*
+//! (sampling/training balance, pipelining, scaling), which needs real
+//! matrix math and a real optimizer, not a full autograd framework.
+
+use rand::Rng;
+use rand_pcg::Pcg64Mcg;
+
+/// A row-major f32 matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Xavier-style random init (deterministic seed).
+    pub fn xavier(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = Pcg64Mcg::new(seed as u128 | 0x9e37);
+        let scale = (6.0 / (rows + cols) as f32).sqrt();
+        Self {
+            rows,
+            cols,
+            data: (0..rows * cols)
+                .map(|_| rng.gen_range(-scale..scale))
+                .collect(),
+        }
+    }
+
+    /// Builds from rows.
+    pub fn from_rows(rows: Vec<Vec<f32>>) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c);
+            data.extend(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Row slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self @ other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // ikj loop order for cache-friendly access
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.at(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                *out.at_mut(c, r) = self.at(r, c);
+            }
+        }
+        out
+    }
+
+    /// Elementwise in-place ReLU; returns the activation mask for backprop.
+    pub fn relu_inplace(&mut self) -> Vec<bool> {
+        self.data
+            .iter_mut()
+            .map(|x| {
+                if *x > 0.0 {
+                    true
+                } else {
+                    *x = 0.0;
+                    false
+                }
+            })
+            .collect()
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn hconcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows);
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.data[r * out.cols..r * out.cols + self.cols].copy_from_slice(self.row(r));
+            out.data[r * out.cols + self.cols..(r + 1) * out.cols]
+                .copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Frobenius norm (diagnostics / gradient checks).
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+/// A dense layer `y = x @ w + b` with gradient accumulation and Adam state.
+pub struct Linear {
+    pub w: Matrix,
+    pub b: Vec<f32>,
+    grad_w: Matrix,
+    grad_b: Vec<f32>,
+    // Adam moments
+    m_w: Matrix,
+    v_w: Matrix,
+    m_b: Vec<f32>,
+    v_b: Vec<f32>,
+    t: i32,
+}
+
+impl Linear {
+    /// New layer `in_dim → out_dim`.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        Self {
+            w: Matrix::xavier(in_dim, out_dim, seed),
+            b: vec![0.0; out_dim],
+            grad_w: Matrix::zeros(in_dim, out_dim),
+            grad_b: vec![0.0; out_dim],
+            m_w: Matrix::zeros(in_dim, out_dim),
+            v_w: Matrix::zeros(in_dim, out_dim),
+            m_b: vec![0.0; out_dim],
+            v_b: vec![0.0; out_dim],
+            t: 0,
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        for r in 0..y.rows {
+            for c in 0..y.cols {
+                *y.at_mut(r, c) += self.b[c];
+            }
+        }
+        y
+    }
+
+    /// Backward pass: accumulates parameter grads, returns `dL/dx`.
+    pub fn backward(&mut self, x: &Matrix, dy: &Matrix) -> Matrix {
+        // grad_w += x^T @ dy ; grad_b += colsum(dy) ; dx = dy @ w^T
+        let gw = x.transpose().matmul(dy);
+        for (g, a) in self.grad_w.data.iter_mut().zip(&gw.data) {
+            *g += a;
+        }
+        for r in 0..dy.rows {
+            for c in 0..dy.cols {
+                self.grad_b[c] += dy.at(r, c);
+            }
+        }
+        dy.matmul(&self.w.transpose())
+    }
+
+    /// Adam step; clears gradients.
+    pub fn adam_step(&mut self, lr: f32) {
+        self.t += 1;
+        let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+        let bc1 = 1.0 - b1.powi(self.t);
+        let bc2 = 1.0 - b2.powi(self.t);
+        for i in 0..self.w.data.len() {
+            let g = self.grad_w.data[i];
+            self.m_w.data[i] = b1 * self.m_w.data[i] + (1.0 - b1) * g;
+            self.v_w.data[i] = b2 * self.v_w.data[i] + (1.0 - b2) * g * g;
+            let mhat = self.m_w.data[i] / bc1;
+            let vhat = self.v_w.data[i] / bc2;
+            self.w.data[i] -= lr * mhat / (vhat.sqrt() + eps);
+            self.grad_w.data[i] = 0.0;
+        }
+        for i in 0..self.b.len() {
+            let g = self.grad_b[i];
+            self.m_b[i] = b1 * self.m_b[i] + (1.0 - b1) * g;
+            self.v_b[i] = b2 * self.v_b[i] + (1.0 - b2) * g * g;
+            let mhat = self.m_b[i] / bc1;
+            let vhat = self.v_b[i] / bc2;
+            self.b[i] -= lr * mhat / (vhat.sqrt() + eps);
+            self.grad_b[i] = 0.0;
+        }
+    }
+
+    /// Copies parameters from another layer (parameter-server pull).
+    pub fn copy_params_from(&mut self, other: &Linear) {
+        self.w.data.copy_from_slice(&other.w.data);
+        self.b.copy_from_slice(&other.b);
+    }
+}
+
+/// Softmax + cross-entropy over logits; returns `(loss, dlogits)`.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(logits.rows, labels.len());
+    let mut dlogits = Matrix::zeros(logits.rows, logits.cols);
+    let mut loss = 0.0f32;
+    for r in 0..logits.rows {
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        for c in 0..logits.cols {
+            let p = exps[c] / sum;
+            *dlogits.at_mut(r, c) = (p - if c == labels[r] { 1.0 } else { 0.0 })
+                / logits.rows as f32;
+        }
+        loss += -(exps[labels[r]] / sum).max(1e-12).ln();
+    }
+    (loss / logits.rows as f32, dlogits)
+}
+
+/// Sigmoid + binary cross-entropy over one logit column; returns
+/// `(loss, dlogits)`. Used by NCN link prediction.
+pub fn bce_with_logits(logits: &Matrix, targets: &[f32]) -> (f32, Matrix) {
+    assert_eq!(logits.cols, 1);
+    assert_eq!(logits.rows, targets.len());
+    let mut d = Matrix::zeros(logits.rows, 1);
+    let mut loss = 0.0f32;
+    for r in 0..logits.rows {
+        let z = logits.at(r, 0);
+        let p = 1.0 / (1.0 + (-z).exp());
+        let y = targets[r];
+        loss += -(y * p.max(1e-7).ln() + (1.0 - y) * (1.0 - p).max(1e-7).ln());
+        *d.at_mut(r, 0) = (p - y) / logits.rows as f32;
+    }
+    (loss / logits.rows as f32, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(vec![vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::xavier(3, 5, 1);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn hconcat_shapes() {
+        let a = Matrix::from_rows(vec![vec![1.0], vec![2.0]]);
+        let b = Matrix::from_rows(vec![vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let c = a.hconcat(&b);
+        assert_eq!(c.row(0), &[1.0, 3.0, 4.0]);
+        assert_eq!(c.row(1), &[2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn linear_gradient_check() {
+        // numerically verify dL/dw for L = sum(forward(x))
+        let mut layer = Linear::new(3, 2, 7);
+        let x = Matrix::from_rows(vec![vec![0.5, -1.0, 2.0]]);
+        let y = layer.forward(&x);
+        let dy = Matrix::from_rows(vec![vec![1.0, 1.0]]); // dL/dy = 1
+        let _ = y;
+        layer.backward(&x, &dy);
+        let analytic = layer.grad_w.clone();
+        let eps = 1e-3f32;
+        for i in 0..layer.w.data.len() {
+            let orig = layer.w.data[i];
+            layer.w.data[i] = orig + eps;
+            let lp: f32 = layer.forward(&x).data.iter().sum();
+            layer.w.data[i] = orig - eps;
+            let lm: f32 = layer.forward(&x).data.iter().sum();
+            layer.w.data[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.data[i]).abs() < 1e-2,
+                "dw[{i}]: numeric {numeric} analytic {}",
+                analytic.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn adam_descends_on_quadratic() {
+        // minimize ||x @ w - target||^2 for fixed x
+        let mut layer = Linear::new(2, 1, 3);
+        let x = Matrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let target = [2.0f32, -3.0];
+        let mut last = f32::INFINITY;
+        for _ in 0..300 {
+            let y = layer.forward(&x);
+            let mut d = Matrix::zeros(2, 1);
+            let mut loss = 0.0;
+            for r in 0..2 {
+                let e = y.at(r, 0) - target[r];
+                loss += e * e;
+                *d.at_mut(r, 0) = 2.0 * e;
+            }
+            layer.backward(&x, &d);
+            layer.adam_step(0.05);
+            last = loss;
+        }
+        assert!(last < 1e-3, "loss {last}");
+    }
+
+    #[test]
+    fn softmax_ce_gradient_direction() {
+        let logits = Matrix::from_rows(vec![vec![2.0, 0.0, 0.0]]);
+        let (loss, d) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss > 0.0);
+        assert!(d.at(0, 0) < 0.0, "true-class grad must be negative");
+        assert!(d.at(0, 1) > 0.0);
+    }
+
+    #[test]
+    fn bce_gradient_direction() {
+        let logits = Matrix::from_rows(vec![vec![0.0], vec![0.0]]);
+        let (loss, d) = bce_with_logits(&logits, &[1.0, 0.0]);
+        assert!((loss - 0.6931).abs() < 1e-3);
+        assert!(d.at(0, 0) < 0.0);
+        assert!(d.at(1, 0) > 0.0);
+    }
+
+    #[test]
+    fn relu_masks() {
+        let mut m = Matrix::from_rows(vec![vec![-1.0, 2.0]]);
+        let mask = m.relu_inplace();
+        assert_eq!(m.data, vec![0.0, 2.0]);
+        assert_eq!(mask, vec![false, true]);
+    }
+}

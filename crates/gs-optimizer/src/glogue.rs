@@ -1,0 +1,311 @@
+//! GLogue-style statistics catalog for cost-based optimization.
+//!
+//! The paper's CBO (§5.2, building on GLogS) tracks pattern frequencies up
+//! to k vertices. We build the degenerate-but-effective core of that: exact
+//! label cardinalities, per-edge-label average degrees (the frequency of
+//! 2-vertex patterns), and sampled property-value distinct counts for
+//! selectivity estimation. Plan cost = the sum of estimated intermediate
+//! result sizes, exactly as the paper defines it; [`cbo_order`] picks the
+//! greedy minimum-cost expansion order.
+
+use gs_graph::{LabelId, PropId};
+use gs_grin::{Direction, GrinGraph};
+use gs_ir::expr::{BinOp, Expr};
+use gs_ir::Pattern;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-edge-label statistics.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EdgeStats {
+    pub count: u64,
+    /// Average out-degree over *source-label* vertices.
+    pub avg_out_degree: f64,
+    /// Average in-degree over *destination-label* vertices.
+    pub avg_in_degree: f64,
+}
+
+/// The statistics catalog.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct GlogueCatalog {
+    /// Vertex count per label.
+    pub vertex_counts: Vec<u64>,
+    /// Edge stats per edge label.
+    pub edge_stats: Vec<EdgeStats>,
+    /// Sampled distinct-value counts: (vertex label, prop) → estimated
+    /// number of distinct values.
+    pub distinct_values: HashMap<(u16, u16), u64>,
+}
+
+impl GlogueCatalog {
+    /// Builds the catalog by scanning counts and sampling up to
+    /// `sample_per_label` vertices per label for property statistics.
+    pub fn build(graph: &dyn GrinGraph, sample_per_label: usize) -> Self {
+        let schema = graph.schema();
+        let vertex_counts: Vec<u64> = schema
+            .vertex_labels()
+            .iter()
+            .map(|l| graph.vertex_count(l.id) as u64)
+            .collect();
+        let edge_stats: Vec<EdgeStats> = schema
+            .edge_labels()
+            .iter()
+            .map(|l| {
+                let m = graph.edge_count(l.id) as u64;
+                let src_n = graph.vertex_count(l.src).max(1) as f64;
+                let dst_n = graph.vertex_count(l.dst).max(1) as f64;
+                EdgeStats {
+                    count: m,
+                    avg_out_degree: m as f64 / src_n,
+                    avg_in_degree: m as f64 / dst_n,
+                }
+            })
+            .collect();
+        let mut distinct_values = HashMap::new();
+        for l in schema.vertex_labels() {
+            let n = graph.vertex_count(l.id);
+            let step = (n / sample_per_label.max(1)).max(1);
+            for p in &l.properties {
+                let mut seen = std::collections::HashSet::new();
+                let mut sampled = 0u64;
+                for i in (0..n).step_by(step) {
+                    let v = graph.vertex_property(l.id, gs_graph::VId(i as u64), p.id);
+                    if !v.is_null() {
+                        seen.insert(format!("{v}"));
+                    }
+                    sampled += 1;
+                }
+                // scale distinct count up when the sample looks unsaturated
+                let distinct = if (seen.len() as u64) < sampled / 2 {
+                    seen.len() as u64
+                } else {
+                    ((seen.len() as f64) * (n.max(1) as f64 / sampled.max(1) as f64)) as u64
+                };
+                distinct_values.insert((l.id.0, p.id.0), distinct.max(1));
+            }
+        }
+        Self {
+            vertex_counts,
+            edge_stats,
+            distinct_values,
+        }
+    }
+
+    /// Cardinality of a vertex label.
+    pub fn label_count(&self, l: LabelId) -> f64 {
+        self.vertex_counts.get(l.index()).copied().unwrap_or(1) as f64
+    }
+
+    /// Estimated selectivity (0..1] of a pushed-down vertex predicate.
+    pub fn vertex_selectivity(&self, label: LabelId, pred: &Expr) -> f64 {
+        match pred {
+            Expr::Binary { op, lhs, rhs } => match op {
+                BinOp::And => {
+                    self.vertex_selectivity(label, lhs) * self.vertex_selectivity(label, rhs)
+                }
+                BinOp::Or => (self.vertex_selectivity(label, lhs)
+                    + self.vertex_selectivity(label, rhs))
+                .min(1.0),
+                BinOp::Eq => {
+                    if let Expr::VertexProp { prop, .. } = &**lhs {
+                        1.0 / self.distinct(label, *prop) as f64
+                    } else if matches!(&**lhs, Expr::VertexId { .. }) {
+                        1.0 / self.label_count(label).max(1.0)
+                    } else {
+                        0.1
+                    }
+                }
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 0.33,
+                BinOp::Ne => 0.9,
+                _ => 0.5,
+            },
+            Expr::In { list, .. } => {
+                (list.len() as f64 / self.label_count(label).max(1.0)).min(1.0)
+            }
+            _ => 0.5,
+        }
+    }
+
+    fn distinct(&self, label: LabelId, prop: PropId) -> u64 {
+        self.distinct_values
+            .get(&(label.0, prop.0))
+            .copied()
+            .unwrap_or(10)
+            .max(1)
+    }
+
+    /// Expansion factor of traversing an edge label in a direction.
+    pub fn expansion_factor(&self, elabel: LabelId, dir: Direction) -> f64 {
+        let s = match self.edge_stats.get(elabel.index()) {
+            Some(s) => s,
+            None => return 1.0,
+        };
+        match dir {
+            Direction::Out => s.avg_out_degree,
+            Direction::In => s.avg_in_degree,
+            Direction::Both => s.avg_out_degree + s.avg_in_degree,
+        }
+    }
+}
+
+/// Picks a pattern visit order by greedy cost minimisation: the anchor is
+/// the vertex with the smallest (cardinality × selectivity); each step
+/// extends with the incident edge minimising the running intermediate size;
+/// closing edges (to already-visited vertices) are free wins and applied
+/// implicitly by `compile_pattern`.
+pub fn cbo_order(pattern: &Pattern, catalog: &GlogueCatalog) -> Vec<usize> {
+    let n = pattern.vertices.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let base_cost = |vi: usize| {
+        let pv = &pattern.vertices[vi];
+        let sel = pv
+            .predicate
+            .as_ref()
+            .map(|p| catalog.vertex_selectivity(pv.label, p))
+            .unwrap_or(1.0);
+        catalog.label_count(pv.label) * sel
+    };
+    let anchor = (0..n)
+        .min_by(|&a, &b| base_cost(a).partial_cmp(&base_cost(b)).unwrap())
+        .unwrap();
+    let mut order = vec![anchor];
+    let mut visited = vec![false; n];
+    visited[anchor] = true;
+    let mut frontier_size = base_cost(anchor).max(1.0);
+
+    while order.len() < n {
+        // candidate extensions: unvisited vertices adjacent to visited ones
+        let mut best: Option<(usize, f64)> = None;
+        for vi in 0..n {
+            if visited[vi] {
+                continue;
+            }
+            for (ei, dir_from_vi, other) in pattern.incident(vi) {
+                if !visited[other] {
+                    continue;
+                }
+                let pe = &pattern.edges[ei];
+                // expanding from `other` to `vi`: invert direction
+                let dir = match dir_from_vi {
+                    Direction::Out => Direction::In,
+                    Direction::In => Direction::Out,
+                    Direction::Both => Direction::Both,
+                };
+                let fanout = catalog.expansion_factor(pe.label, dir).max(0.01);
+                let sel = pattern.vertices[vi]
+                    .predicate
+                    .as_ref()
+                    .map(|p| catalog.vertex_selectivity(pattern.vertices[vi].label, p))
+                    .unwrap_or(1.0);
+                let est = frontier_size * fanout * sel;
+                if best.is_none_or(|(_, c)| est < c) {
+                    best = Some((vi, est));
+                }
+            }
+        }
+        match best {
+            Some((vi, est)) => {
+                visited[vi] = true;
+                order.push(vi);
+                frontier_size = est.max(1.0);
+            }
+            None => {
+                // disconnected remainder: anchor the cheapest unvisited
+                let vi = (0..n)
+                    .filter(|&v| !visited[v])
+                    .min_by(|&a, &b| base_cost(a).partial_cmp(&base_cost(b)).unwrap())
+                    .unwrap();
+                visited[vi] = true;
+                order.push(vi);
+                frontier_size *= base_cost(vi).max(1.0);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_graph::Value;
+    use gs_grin::graph::mock::MockGraph;
+
+    fn catalog() -> GlogueCatalog {
+        // star: vertex 0 has high out-degree
+        let edges: Vec<(u64, u64, f64)> = (1..100).map(|i| (0u64, i, 1.0)).collect();
+        let g = MockGraph::new(100, &edges);
+        GlogueCatalog::build(&g, 50)
+    }
+
+    #[test]
+    fn catalog_counts() {
+        let c = catalog();
+        assert_eq!(c.vertex_counts, vec![100]);
+        assert_eq!(c.edge_stats[0].count, 99);
+        assert!((c.edge_stats[0].avg_out_degree - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq_predicate_is_selective() {
+        let c = catalog();
+        let pred = Expr::bin(
+            BinOp::Eq,
+            Expr::VertexId {
+                col: 0,
+                label: LabelId(0),
+            },
+            Expr::Const(Value::Int(5)),
+        );
+        let sel = c.vertex_selectivity(LabelId(0), &pred);
+        assert!(sel <= 0.011, "{sel}");
+        let range = Expr::bin(
+            BinOp::Gt,
+            Expr::VertexId {
+                col: 0,
+                label: LabelId(0),
+            },
+            Expr::Const(Value::Int(5)),
+        );
+        assert!(c.vertex_selectivity(LabelId(0), &range) > sel);
+    }
+
+    #[test]
+    fn cbo_anchors_on_selective_vertex() {
+        let c = catalog();
+        // pattern: (a)-->(b) with an id-equality predicate on b
+        let mut p = Pattern::new();
+        let a = p.add_vertex("a", LabelId(0));
+        let b = p.add_vertex("b", LabelId(0));
+        p.add_edge(None, LabelId(0), a, b);
+        p.and_vertex_predicate(
+            b,
+            Expr::bin(
+                BinOp::Eq,
+                Expr::VertexId {
+                    col: 0,
+                    label: LabelId(0),
+                },
+                Expr::Const(Value::Int(7)),
+            ),
+        );
+        let order = cbo_order(&p, &c);
+        assert_eq!(order, vec![b, a], "anchor should be the selective vertex");
+    }
+
+    #[test]
+    fn cbo_order_is_a_permutation() {
+        let c = catalog();
+        let mut p = Pattern::new();
+        let a = p.add_vertex("a", LabelId(0));
+        let b = p.add_vertex("b", LabelId(0));
+        let d = p.add_vertex("d", LabelId(0));
+        p.add_edge(None, LabelId(0), a, b);
+        p.add_edge(None, LabelId(0), b, d);
+        p.add_edge(None, LabelId(0), a, d);
+        let mut order = cbo_order(&p, &c);
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+}

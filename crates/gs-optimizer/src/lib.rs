@@ -1,0 +1,237 @@
+//! # gs-optimizer — the IR-based query optimizer
+//!
+//! Implements §5.2 of the paper: rule-based optimization (EdgeVertexFusion,
+//! FilterPushIntoMatch) and GLogue-style cost-based pattern ordering, then
+//! lowers the logical DAG to a physical plan for either execution engine.
+//!
+//! Every optimization can be toggled through [`OptimizerConfig`], which is
+//! how the Fig. 7(e) experiment isolates each rule's contribution.
+
+pub mod glogue;
+pub mod rbo;
+
+pub use glogue::{cbo_order, GlogueCatalog};
+
+use gs_ir::logical::LogicalPlan;
+use gs_ir::physical::{lower_naive, lower_with, PhysicalPlan};
+use gs_ir::Result;
+
+/// Which optimizations to apply.
+#[derive(Clone, Debug)]
+pub struct OptimizerConfig {
+    /// EdgeVertexFusion (RBO).
+    pub fusion: bool,
+    /// FilterPushIntoMatch (RBO) + predicate pushdown into scans/expands.
+    pub filter_push: bool,
+    /// GLogue cost-based pattern ordering (requires a catalog).
+    pub cbo: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        Self {
+            fusion: true,
+            filter_push: true,
+            cbo: true,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// Everything off — the Fig. 7(e) baseline.
+    pub fn none() -> Self {
+        Self {
+            fusion: false,
+            filter_push: false,
+            cbo: false,
+        }
+    }
+}
+
+/// The IR-based optimizer.
+pub struct Optimizer {
+    pub config: OptimizerConfig,
+    pub catalog: Option<GlogueCatalog>,
+}
+
+impl Optimizer {
+    /// Full optimization with statistics.
+    pub fn new(catalog: GlogueCatalog) -> Self {
+        Self {
+            config: OptimizerConfig::default(),
+            catalog: Some(catalog),
+        }
+    }
+
+    /// Rule-based only (no statistics available).
+    pub fn rbo_only() -> Self {
+        Self {
+            config: OptimizerConfig {
+                cbo: false,
+                ..OptimizerConfig::default()
+            },
+            catalog: None,
+        }
+    }
+
+    /// No optimization at all (naive lowering).
+    pub fn disabled() -> Self {
+        Self {
+            config: OptimizerConfig::none(),
+            catalog: None,
+        }
+    }
+
+    /// With an explicit config (catalog used only when `config.cbo`).
+    pub fn with_config(config: OptimizerConfig, catalog: Option<GlogueCatalog>) -> Self {
+        Self { config, catalog }
+    }
+
+    /// Compiles a logical plan to an optimized physical plan.
+    pub fn optimize(&self, plan: &LogicalPlan) -> Result<PhysicalPlan> {
+        let logical = if self.config.filter_push {
+            rbo::push_filters(plan)?
+        } else {
+            plan.clone()
+        };
+        let physical = if !self.config.fusion && !self.config.filter_push && !self.config.cbo {
+            lower_naive(&logical)?
+        } else {
+            let catalog = self.catalog.clone();
+            let use_cbo = self.config.cbo && catalog.is_some();
+            lower_with(
+                &logical,
+                self.config.fusion,
+                self.config.filter_push,
+                move |pattern| {
+                    if use_cbo {
+                        cbo_order(pattern, catalog.as_ref().unwrap())
+                    } else {
+                        (0..pattern.vertices.len()).collect()
+                    }
+                },
+            )?
+        };
+        Ok(if self.config.fusion {
+            rbo::fuse_expand_get_vertex(&physical)
+        } else {
+            physical
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_graph::schema::GraphSchema;
+    use gs_graph::Value;
+    use gs_grin::graph::mock::MockGraph;
+    use gs_grin::GrinGraph;
+    use gs_ir::exec::execute;
+    use gs_ir::expr::BinOp;
+    use gs_ir::logical::ProjectItem;
+    use gs_ir::{Expr, Pattern, PlanBuilder};
+
+    fn mock() -> MockGraph {
+        // two triangles sharing vertex 0, plus tags
+        let mut g = MockGraph::new(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 2, 1.0),
+                (0, 3, 1.0),
+                (3, 4, 1.0),
+                (0, 4, 1.0),
+                (4, 5, 1.0),
+            ],
+        );
+        for v in 0..6 {
+            g.set_tag(gs_graph::VId(v), v as i64);
+        }
+        g
+    }
+
+    fn schema(g: &MockGraph) -> GraphSchema {
+        g.schema().clone()
+    }
+
+    fn triangle_plan(s: &GraphSchema) -> gs_ir::LogicalPlan {
+        let mut p = Pattern::new();
+        let a = p.add_vertex("a", gs_graph::LabelId(0));
+        let b = p.add_vertex("b", gs_graph::LabelId(0));
+        let c = p.add_vertex("c", gs_graph::LabelId(0));
+        p.add_edge(None, gs_graph::LabelId(0), a, b);
+        p.add_edge(None, gs_graph::LabelId(0), b, c);
+        p.add_edge(None, gs_graph::LabelId(0), a, c);
+        let builder = PlanBuilder::new(s).match_pattern(p).unwrap();
+        let pred = Expr::bin(
+            BinOp::Gt,
+            builder.prop("c", "tag").unwrap(),
+            Expr::Const(Value::Int(1)),
+        );
+        builder
+            .select(pred)
+            .project(vec![
+                (ProjectItem::Expr(Expr::Column(0)), "a"),
+                (ProjectItem::Expr(Expr::Column(1)), "b"),
+                (ProjectItem::Expr(Expr::Column(2)), "c"),
+            ])
+            .unwrap()
+            .build()
+    }
+
+    /// Every optimizer configuration must produce the same result set.
+    #[test]
+    fn all_configs_agree_on_results() {
+        let g = mock();
+        let s = schema(&g);
+        let plan = triangle_plan(&s);
+        let catalog = GlogueCatalog::build(&g, 100);
+        let canon = |mut v: Vec<gs_ir::Record>| {
+            v.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            v
+        };
+        let baseline = canon(execute(&Optimizer::disabled().optimize(&plan).unwrap(), &g).unwrap());
+        assert!(!baseline.is_empty());
+        for config in [
+            OptimizerConfig {
+                fusion: true,
+                filter_push: false,
+                cbo: false,
+            },
+            OptimizerConfig {
+                fusion: false,
+                filter_push: true,
+                cbo: false,
+            },
+            OptimizerConfig {
+                fusion: false,
+                filter_push: false,
+                cbo: true,
+            },
+            OptimizerConfig::default(),
+        ] {
+            let opt = Optimizer::with_config(config.clone(), Some(catalog.clone()));
+            let res = canon(execute(&opt.optimize(&plan).unwrap(), &g).unwrap());
+            assert_eq!(res, baseline, "config {config:?} diverged");
+        }
+    }
+
+    #[test]
+    fn optimized_plan_is_shorter() {
+        let g = mock();
+        let s = schema(&g);
+        let plan = triangle_plan(&s);
+        let naive = Optimizer::disabled().optimize(&plan).unwrap();
+        let optimized = Optimizer::new(GlogueCatalog::build(&g, 100))
+            .optimize(&plan)
+            .unwrap();
+        assert!(
+            optimized.ops.len() <= naive.ops.len(),
+            "optimized {} vs naive {}",
+            optimized.ops.len(),
+            naive.ops.len()
+        );
+    }
+}
