@@ -61,6 +61,9 @@ impl GunrockEngine {
 
     /// BSP PageRank: advance kernel pushes shares, filter kernel rebuilds
     /// the (always-full) frontier.
+    // kernel-style index loops over [lo, hi) vertex ranges mirror the
+    // CUDA grid-stride idiom this engine simulates
+    #[allow(clippy::needless_range_loop)]
     pub fn pagerank(&self, n: usize, csr: &Csr, damping: f64, iters: usize) -> Vec<f64> {
         let mut rank = vec![1.0 / n as f64; n];
         for _ in 0..iters {
@@ -94,6 +97,7 @@ impl GunrockEngine {
     }
 
     /// BSP BFS with advance + filter passes over dense frontier flags.
+    #[allow(clippy::needless_range_loop)] // see pagerank above
     pub fn bfs(&self, n: usize, csr: &Csr, src: VId) -> Vec<u64> {
         let depth: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
         depth[src.index()].store(0, Ordering::Relaxed);
@@ -305,7 +309,10 @@ mod tests {
         let edges = random_edges(200, 800, 5);
         let csr = Csr::from_edges(200, &edges);
         let gr = GunrockEngine::new(2, 3);
-        assert_eq!(gr.bfs(200, &csr, VId(0)), reference_bfs(200, &edges, VId(0)));
+        assert_eq!(
+            gr.bfs(200, &csr, VId(0)),
+            reference_bfs(200, &edges, VId(0))
+        );
     }
 
     #[test]
@@ -313,7 +320,10 @@ mod tests {
         let edges = random_edges(200, 800, 6);
         let csr = Csr::from_edges(200, &edges);
         let gr = GrouteEngine::new(2, 3);
-        assert_eq!(gr.bfs(200, &csr, VId(0)), reference_bfs(200, &edges, VId(0)));
+        assert_eq!(
+            gr.bfs(200, &csr, VId(0)),
+            reference_bfs(200, &edges, VId(0))
+        );
     }
 
     #[test]

@@ -48,6 +48,9 @@ impl Block {
 
 #[derive(Default)]
 struct VertexLog {
+    // boxed so growing the block list never memmoves the large fixed-size
+    // blocks themselves (LiveGraph's blocks are stable storage regions)
+    #[allow(clippy::vec_box)]
     blocks: Vec<Box<Block>>,
 }
 

@@ -47,9 +47,7 @@ impl PowerGraphEngine {
             let h = (s.0.wrapping_mul(0x9E37_79B9).wrapping_add(d.0)) as usize % workers;
             worker_edges[h].push((s, d));
         }
-        let master_of = (0..n)
-            .map(|v| (v.wrapping_mul(31)) % workers)
-            .collect();
+        let master_of = (0..n).map(|v| (v.wrapping_mul(31)) % workers).collect();
         Self {
             n,
             workers,
@@ -159,14 +157,12 @@ impl PowerGraphEngine {
                         senders[w].send(GasMsg::Done).unwrap();
                     });
                 }
-                for w in 0..self.workers {
-                    let rx = &channels[w].1;
+                for (_, rx) in &channels {
                     s.spawn(move |_| {
                         let mut done = 0;
                         while done < 1 {
-                            match rx.recv().unwrap() {
-                                GasMsg::Done => done += 1,
-                                _ => {}
+                            if let GasMsg::Done = rx.recv().unwrap() {
+                                done += 1
                             }
                         }
                     });
@@ -256,13 +252,13 @@ mod tests {
         for _ in 0..iters {
             let mut next = vec![0.0; n];
             let mut dangling = 0.0;
-            for v in 0..n {
+            for (v, &rv) in rank.iter().enumerate() {
                 let deg = g.degree(VId(v as u64));
                 if deg == 0 {
-                    dangling += rank[v];
+                    dangling += rv;
                     continue;
                 }
-                let share = rank[v] / deg as f64;
+                let share = rv / deg as f64;
                 for &w in g.neighbors(VId(v as u64)) {
                     next[w.index()] += share;
                 }

@@ -188,9 +188,12 @@ mod tests {
 
     fn people() -> Table {
         let mut t = Table::new("people", &["id", "city"]);
-        t.insert(vec![Value::Int(1), Value::Str("ams".into())]).unwrap();
-        t.insert(vec![Value::Int(2), Value::Str("ber".into())]).unwrap();
-        t.insert(vec![Value::Int(3), Value::Str("ams".into())]).unwrap();
+        t.insert(vec![Value::Int(1), Value::Str("ams".into())])
+            .unwrap();
+        t.insert(vec![Value::Int(2), Value::Str("ber".into())])
+            .unwrap();
+        t.insert(vec![Value::Int(3), Value::Str("ams".into())])
+            .unwrap();
         t
     }
 
@@ -232,7 +235,10 @@ mod tests {
         }
         let g = t.group_count_sum("item", Some("amount")).unwrap();
         assert_eq!(g.len(), 2);
-        assert_eq!(g.rows[0], vec![Value::Int(1), Value::Int(2), Value::Float(5.0)]);
+        assert_eq!(
+            g.rows[0],
+            vec![Value::Int(1), Value::Int(2), Value::Float(5.0)]
+        );
     }
 
     #[test]

@@ -14,14 +14,17 @@ use std::collections::{BTreeMap, HashMap};
 /// Internal vertex key: (label name, external id).
 pub type VKey = (String, u64);
 
+/// One adjacency direction: (src key, edge type) → ordered list of
+/// (dst key, edge properties).
+type AdjIndex = BTreeMap<(VKey, String), Vec<(VKey, HashMap<String, Value>)>>;
+
 #[derive(Default)]
 struct Store {
     /// vertex key → properties.
     vertices: BTreeMap<VKey, HashMap<String, Value>>,
-    /// (src key, edge type) → ordered list of (dst key, properties).
-    out_edges: BTreeMap<(VKey, String), Vec<(VKey, HashMap<String, Value>)>>,
+    out_edges: AdjIndex,
     /// reverse adjacency.
-    in_edges: BTreeMap<(VKey, String), Vec<(VKey, HashMap<String, Value>)>>,
+    in_edges: AdjIndex,
 }
 
 /// The baseline database.

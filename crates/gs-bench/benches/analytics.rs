@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use gs_baselines::{GeminiEngine, GunrockEngine, PowerGraphEngine};
 use gs_datagen::catalog::Dataset;
-use gs_graph::{Csr, VId};
 use gs_grape::{algorithms, pagerank_gpu, GpuCluster, GrapeEngine};
+use gs_graph::{Csr, VId};
 
 fn pagerank_engines(c: &mut Criterion) {
     let el = Dataset::by_abbr("FB0").unwrap().edges(0.05);

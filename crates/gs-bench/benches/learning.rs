@@ -10,9 +10,11 @@ use gs_vineyard::VineyardGraph;
 fn sampling_and_training(c: &mut Criterion) {
     let el = Dataset::by_abbr("PD").unwrap().edges(0.05);
     let pairs: Vec<(u64, u64)> = el.edges().iter().map(|&(s, d)| (s.0, d.0)).collect();
-    let graph =
-        VineyardGraph::build(&PropertyGraphData::from_edge_list(el.vertex_count(), &pairs))
-            .unwrap();
+    let graph = VineyardGraph::build(&PropertyGraphData::from_edge_list(
+        el.vertex_count(),
+        &pairs,
+    ))
+    .unwrap();
     let l0 = LabelId(0);
     let sampler = Sampler::new(&graph, l0, l0, vec![15, 10, 5], 32);
     let seeds: Vec<VId> = (0..128u64).map(VId).collect();

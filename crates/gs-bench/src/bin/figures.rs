@@ -1,9 +1,10 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures all [scale]          run every experiment
-//! figures <id> [scale]         run one (table1, fig7a..fig7m, table2, exp6..exp8)
-//! figures list                 list experiment ids
+//! figures all [scale]              run every experiment
+//! figures <id> [scale]             run one (table1, fig7a..fig7m, table2, exp6..exp8)
+//! figures list                     list experiment ids
+//! figures <id> [scale] --telemetry print a telemetry report after each experiment
 //! ```
 //!
 //! `scale` multiplies dataset sizes (default 1.0 ≈ laptop-friendly).
@@ -11,12 +12,27 @@
 use gs_bench::experiments;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry = {
+        let before = args.len();
+        args.retain(|a| a != "--telemetry");
+        args.len() != before
+    };
+    if telemetry {
+        // one registry for the whole run: hot paths cache static metric
+        // handles into it, so reset between experiments instead of
+        // reinstalling
+        gs_telemetry::install(gs_telemetry::Registry::new());
+    }
+    let report = || {
+        if telemetry {
+            let g = gs_telemetry::global();
+            print!("{}", g.text_report());
+            g.reset();
+        }
+    };
     let which = args.first().map(String::as_str).unwrap_or("all");
-    let scale: f64 = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0);
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
 
     match which {
         "list" => {
@@ -28,6 +44,7 @@ fn main() {
             for (name, f) in experiments::EXPERIMENTS {
                 println!("\n################ {name} ################");
                 f(scale);
+                report();
             }
         }
         name => {
@@ -35,6 +52,7 @@ fn main() {
                 eprintln!("unknown experiment `{name}`; try `figures list`");
                 std::process::exit(1);
             }
+            report();
         }
     }
 }

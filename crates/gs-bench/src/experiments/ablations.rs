@@ -4,8 +4,8 @@
 use crate::util::{fmt_duration, fmt_speedup, time_it, TablePrinter};
 use gs_datagen::catalog::Dataset;
 use gs_gart::GartStore;
-use gs_graph::{LabelId, PropertyGraphData, Value, VId};
 use gs_grape::{IncrementalPageRank, OutBuffers};
+use gs_graph::{LabelId, PropertyGraphData, VId, Value};
 use gs_vineyard::VineyardGraph;
 
 /// GART's version fence: scan a snapshot that dominates every region fence
@@ -69,7 +69,7 @@ pub fn ablation_messages(scale: f64) {
     let (t_grape, grape_bytes) = time_it(3, || {
         let mut out = OutBuffers::new(4);
         for (i, &v) in targets.iter().enumerate() {
-            out.send((i % 4) as usize, v, 0.5f64);
+            out.send(i % 4, v, 0.5f64);
         }
         let blocks = out.take();
         let bytes: usize = blocks.iter().map(|b| b.bytes.len()).sum();
@@ -155,14 +155,22 @@ pub fn ablation_index(scale: f64) {
     let (t_scan, hits_scan) = time_it(3, || {
         lookups
             .iter()
-            .map(|val| store.vertices_by_property(v, gs_graph::PropId(0), val).len())
+            .map(|val| {
+                store
+                    .vertices_by_property(v, gs_graph::PropId(0), val)
+                    .len()
+            })
             .sum::<usize>()
     });
     store.build_property_index(v, gs_graph::PropId(0));
     let (t_index, hits_index) = time_it(3, || {
         lookups
             .iter()
-            .map(|val| store.vertices_by_property(v, gs_graph::PropId(0), val).len())
+            .map(|val| {
+                store
+                    .vertices_by_property(v, gs_graph::PropId(0), val)
+                    .len()
+            })
             .sum::<usize>()
     });
     assert_eq!(hits_scan, hits_index);
@@ -187,7 +195,12 @@ pub fn ablation_ingress(scale: f64) {
     use rand::Rng;
     let mut rng = rand_pcg::Pcg64Mcg::new(3);
     let updates: Vec<(VId, VId)> = (0..20)
-        .map(|_| (VId(rng.gen_range(0..n as u64)), VId(rng.gen_range(0..n as u64))))
+        .map(|_| {
+            (
+                VId(rng.gen_range(0..n as u64)),
+                VId(rng.gen_range(0..n as u64)),
+            )
+        })
         .collect();
     let t0 = std::time::Instant::now();
     let mut touched_total = 0usize;
@@ -200,7 +213,10 @@ pub fn ablation_ingress(scale: f64) {
     t.row(vec![
         "incremental (Ingress)".into(),
         fmt_duration(t_inc),
-        format!("avg {} vertices touched/update", touched_total / updates.len()),
+        format!(
+            "avg {} vertices touched/update",
+            touched_total / updates.len()
+        ),
     ]);
     t.row(vec![
         "recompute from scratch".into(),
@@ -208,8 +224,5 @@ pub fn ablation_ingress(scale: f64) {
         format!("{} vertices every time (×20 shown)", n),
     ]);
     t.print();
-    println!(
-        "incremental advantage: {}",
-        fmt_speedup(t_full * 20, t_inc)
-    );
+    println!("incremental advantage: {}", fmt_speedup(t_full * 20, t_inc));
 }

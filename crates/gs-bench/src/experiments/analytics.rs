@@ -5,9 +5,9 @@
 use crate::util::{fmt_duration, time_it, TablePrinter};
 use gs_baselines::{GeminiEngine, GrouteEngine, GunrockEngine, PowerGraphEngine};
 use gs_datagen::catalog::Dataset;
+use gs_grape::{algorithms, bfs_gpu, pagerank_gpu, GpuCluster, GrapeEngine};
 use gs_graph::csr::Csr;
 use gs_graph::VId;
-use gs_grape::{algorithms, bfs_gpu, pagerank_gpu, GpuCluster, GrapeEngine};
 
 const DATASETS: &[&str] = &["FB0", "G500", "UK", "TW", "CF"];
 const PR_ITERS: usize = 10;

@@ -13,7 +13,13 @@ pub fn table2(scale: f64) {
     println!("== Table 2 / Exp-5: fraud detection throughput vs threads ==");
     println!("paper shape: near-linear scaling with thread count\n");
     let accounts = (3000.0 * scale) as usize;
-    let w = fraud_graph(accounts.max(300), accounts.max(300) / 3, accounts.max(300) * 5, 4000, 5);
+    let w = fraud_graph(
+        accounts.max(300),
+        accounts.max(300) / 3,
+        accounts.max(300) * 5,
+        4000,
+        5,
+    );
     let mut t = TablePrinter::new(&["#threads", "throughput (checks/s)", "scaling vs base"]);
     let mut base: Option<f64> = None;
     // the paper's 10..40 client threads, scaled to 1..8; on hosts with
@@ -79,7 +85,10 @@ pub fn exp7(scale: f64) {
         ]);
     }
     t.print();
-    println!("held-out separation (positives − negatives): {:.3}", run.separation);
+    println!(
+        "held-out separation (positives − negatives): {:.3}",
+        run.separation
+    );
 }
 
 /// Exp-8: cybersecurity monitoring — graph traversal vs SQL joins.

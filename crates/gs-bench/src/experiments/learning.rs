@@ -11,7 +11,11 @@ use std::time::Duration;
 fn pd_graph(scale: f64) -> VineyardGraph {
     let el = Dataset::by_abbr("PD").unwrap().edges(0.1 * scale);
     let pairs: Vec<(u64, u64)> = el.edges().iter().map(|&(s, d)| (s.0, d.0)).collect();
-    VineyardGraph::build(&PropertyGraphData::from_edge_list(el.vertex_count(), &pairs)).unwrap()
+    VineyardGraph::build(&PropertyGraphData::from_edge_list(
+        el.vertex_count(),
+        &pairs,
+    ))
+    .unwrap()
 }
 
 fn cfg(gpus: usize, nodes: usize, batches: usize) -> PipelineConfig {

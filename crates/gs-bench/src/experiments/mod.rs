@@ -7,8 +7,11 @@ pub mod learning;
 pub mod query;
 pub mod storage;
 
+/// An experiment entry point: takes the scale factor.
+pub type ExperimentFn = fn(f64);
+
 /// Every experiment, keyed by its paper id.
-pub const EXPERIMENTS: &[(&str, fn(f64))] = &[
+pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("table1", storage::table1),
     ("fig7a", storage::fig7a),
     ("fig7b", storage::fig7b),

@@ -2,9 +2,11 @@
 
 use crate::util::{fmt_duration, fmt_speedup, time_it, TablePrinter};
 use gs_datagen::snb::{generate, SnbConfig, SnbGraph};
-use gs_flex::snb::{bi_plan, BiParams, FlexBackend, Params, TuBackend, COMPLEX_QUERIES, SHORT_QUERIES};
 use gs_flex::snb::interactive::{self, UpdateIds};
 use gs_flex::snb::SnbBackend;
+use gs_flex::snb::{
+    bi_plan, BiParams, FlexBackend, Params, TuBackend, COMPLEX_QUERIES, SHORT_QUERIES,
+};
 use gs_gaia::GaiaEngine;
 use gs_graph::Value;
 use gs_ir::exec::execute;
@@ -126,10 +128,7 @@ fn probe_queries(g: &SnbGraph, set: usize, q: usize) -> LogicalPlan {
             let builder = b.match_pattern(p).unwrap();
             let cnt = builder.col("c").unwrap();
             builder
-                .project(vec![(
-                    ProjectItem::Agg(gs_ir::AggFunc::Count, cnt),
-                    "n",
-                )])
+                .project(vec![(ProjectItem::Agg(gs_ir::AggFunc::Count, cnt), "n")])
                 .unwrap()
                 .build()
         }
@@ -241,7 +240,13 @@ pub fn fig7f(scale: f64) {
     }
     // updates U1-U8 (fresh ids per system)
     for (ui, label) in (1..=8).zip([
-        "U1 person", "U2 like", "U3 interest", "U4 forum", "U5 member", "U6 post", "U7 comment",
+        "U1 person",
+        "U2 like",
+        "U3 interest",
+        "U4 forum",
+        "U5 member",
+        "U6 post",
+        "U7 comment",
         "U8 knows",
     ]) {
         let run_updates = |b: &dyn SnbBackend, base: u64| {
@@ -291,8 +296,7 @@ pub fn fig7f(scale: f64) {
         ]);
     }
     t.print();
-    let geo: f64 =
-        speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64;
+    let geo: f64 = speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64;
     println!("read-query geomean speedup: {:.2}×", geo.exp());
 
     // throughput: mixed read workload on 4 client threads
@@ -341,7 +345,11 @@ pub fn fig7g(scale: f64) {
     let schema = g.data.schema.clone();
     let catalog = GlogueCatalog::build(&store, 300);
     let optimizer = Optimizer::new(catalog);
-    let gaia = GaiaEngine::new(std::thread::available_parallelism().map(|x| x.get()).unwrap_or(4));
+    let gaia = GaiaEngine::new(
+        std::thread::available_parallelism()
+            .map(|x| x.get())
+            .unwrap_or(4),
+    );
     let params = BiParams::default();
     let mut t = TablePrinter::new(&["query", "Flex (Gaia)", "baseline", "speedup"]);
     let mut speedups = Vec::new();

@@ -40,6 +40,11 @@ pub fn table1(scale: f64) {
 /// PageRank through the GRIN interface only (the portability probe of
 /// Fig. 7a: identical code, any backend).
 pub fn pagerank_grin(g: &dyn GrinGraph, label: LabelId, iters: usize) -> Vec<f64> {
+    // baseline contract: iterator access must exist or we fail loudly with
+    // the missing flag names instead of panicking mid-scan
+    g.capabilities()
+        .require(gs_grin::Capabilities::VERTEX_LIST_ITER | gs_grin::Capabilities::ADJ_LIST_ITER)
+        .expect("backend lacks baseline GRIN traits");
     let n = g.vertex_count(label);
     let mut rank = vec![1.0 / n as f64; n];
     let mut next = vec![0.0f64; n];
@@ -51,17 +56,17 @@ pub fn pagerank_grin(g: &dyn GrinGraph, label: LabelId, iters: usize) -> Vec<f64
     for _ in 0..iters {
         next.iter_mut().for_each(|x| *x = 0.0);
         let mut dangling = 0.0;
-        for v in 0..n {
+        for (v, &rv) in rank.iter().enumerate() {
             let vid = VId(v as u64);
             if array_access {
                 let (nbrs, _) = g
                     .adjacent_slice(vid, label, label, Direction::Out)
                     .expect("advertised array access");
                 if nbrs.is_empty() {
-                    dangling += rank[v];
+                    dangling += rv;
                     continue;
                 }
-                let share = rank[v] / nbrs.len() as f64;
+                let share = rv / nbrs.len() as f64;
                 for &w in nbrs {
                     next[w.index()] += share;
                 }
@@ -69,10 +74,10 @@ pub fn pagerank_grin(g: &dyn GrinGraph, label: LabelId, iters: usize) -> Vec<f64
             }
             let deg = g.degree(vid, label, label, Direction::Out);
             if deg == 0 {
-                dangling += rank[v];
+                dangling += rv;
                 continue;
             }
-            let share = rank[v] / deg as f64;
+            let share = rv / deg as f64;
             g.for_each_adjacent(vid, label, label, Direction::Out, &mut |a| {
                 next[a.nbr.index()] += share;
             });
@@ -198,14 +203,14 @@ pub fn fig7b(scale: f64) {
         for _ in 0..iters {
             next.iter_mut().for_each(|x| *x = 0.0);
             let mut dangling = 0.0;
-            for v in 0..n {
+            for (v, &rv) in rank.iter().enumerate() {
                 let vid = VId(v as u64);
                 let nbrs = store.out_neighbors(l0, vid);
                 if nbrs.is_empty() {
-                    dangling += rank[v];
+                    dangling += rv;
                     continue;
                 }
-                let share = rank[v] / nbrs.len() as f64;
+                let share = rv / nbrs.len() as f64;
                 for &w in nbrs {
                     next[w.index()] += share;
                 }

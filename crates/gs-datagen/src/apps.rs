@@ -65,7 +65,9 @@ pub fn fraud_graph(
     }
     // fraud seeds: 1% of accounts
     let nseeds = (accounts / 100).max(4);
-    let seeds: Vec<u64> = (0..nseeds as u64).map(|i| i * 97 % accounts as u64).collect();
+    let seeds: Vec<u64> = (0..nseeds as u64)
+        .map(|i| i * 97 % accounts as u64)
+        .collect();
     let pumped: Vec<u64> = (0..(items / 50).max(2) as u64).collect();
 
     // historical orders
@@ -144,12 +146,7 @@ pub fn equity_graph(companies: usize, persons: usize, seed: u64) -> EquityGraph 
         "Holder",
         &[("name", ValueType::Str), ("isPerson", ValueType::Bool)],
     );
-    let invest = schema.add_edge_label(
-        "INVEST",
-        holder,
-        holder,
-        &[("share", ValueType::Float)],
-    );
+    let invest = schema.add_edge_label("INVEST", holder, holder, &[("share", ValueType::Float)]);
     let labels = EquitySchema { holder, invest };
     let mut g = PropertyGraphData::new(schema);
     let mut rng = Pcg64Mcg::new((seed as u128) << 64 | 0xeb1);
@@ -229,12 +226,7 @@ pub fn cyber_graph(hosts: usize, processes_per_host: usize, seed: u64) -> CyberG
         &[("name", ValueType::Str), ("suspicious", ValueType::Bool)],
     );
     let runs = schema.add_edge_label("RUNS", host, process, &[]);
-    let connects = schema.add_edge_label(
-        "CONNECTS",
-        process,
-        host,
-        &[("port", ValueType::Int)],
-    );
+    let connects = schema.add_edge_label("CONNECTS", process, host, &[("port", ValueType::Int)]);
     let labels = CyberSchema {
         host,
         process,
@@ -260,10 +252,7 @@ pub fn cyber_graph(hosts: usize, processes_per_host: usize, seed: u64) -> CyberG
             g.add_vertex(
                 process,
                 pid,
-                vec![
-                    Value::Str(format!("proc-{pid}")),
-                    Value::Bool(suspicious),
-                ],
+                vec![Value::Str(format!("proc-{pid}")), Value::Bool(suspicious)],
             );
             g.add_edge(runs, h, pid, vec![]);
             let conns = rng.gen_range(1..6);

@@ -84,14 +84,9 @@ impl SnbSchema {
         let container_of = s.add_edge_label("CONTAINER_OF", forum, post, &[]);
         let reply_of = s.add_edge_label("REPLY_OF", comment, post, &[]);
         let has_creator_post = s.add_edge_label("POST_HAS_CREATOR", post, person, &[]);
-        let has_creator_comment =
-            s.add_edge_label("COMMENT_HAS_CREATOR", comment, person, &[]);
-        let likes_post = s.add_edge_label(
-            "LIKES",
-            person,
-            post,
-            &[("creationDate", ValueType::Date)],
-        );
+        let has_creator_comment = s.add_edge_label("COMMENT_HAS_CREATOR", comment, person, &[]);
+        let likes_post =
+            s.add_edge_label("LIKES", person, post, &[("creationDate", ValueType::Date)]);
         let has_tag_post = s.add_edge_label("HAS_TAG", post, tag, &[]);
         let has_interest = s.add_edge_label("HAS_INTEREST", person, tag, &[]);
         (
@@ -143,17 +138,17 @@ impl SnbConfig {
 }
 
 const FIRST_NAMES: &[&str] = &[
-    "Jan", "Wei", "Ana", "Ivan", "Meera", "Otto", "Lena", "Yusuf", "Chen", "Aiko", "Omar",
-    "Nina", "Raj", "Sara", "Tomas", "Zoe",
+    "Jan", "Wei", "Ana", "Ivan", "Meera", "Otto", "Lena", "Yusuf", "Chen", "Aiko", "Omar", "Nina",
+    "Raj", "Sara", "Tomas", "Zoe",
 ];
 const LAST_NAMES: &[&str] = &[
-    "Smith", "Garcia", "Mueller", "Ivanov", "Tanaka", "Kumar", "Silva", "Chen", "Olsen",
-    "Moreau", "Rossi", "Novak",
+    "Smith", "Garcia", "Mueller", "Ivanov", "Tanaka", "Kumar", "Silva", "Chen", "Olsen", "Moreau",
+    "Rossi", "Novak",
 ];
 const BROWSERS: &[&str] = &["Firefox", "Chrome", "Safari", "Opera", "IE"];
 const TAG_NAMES: &[&str] = &[
-    "rock", "jazz", "football", "chess", "physics", "history", "cooking", "travel", "ai",
-    "film", "poetry", "biking", "gaming", "fashion", "space", "gardens",
+    "rock", "jazz", "football", "chess", "physics", "history", "cooking", "travel", "ai", "film",
+    "poetry", "biking", "gaming", "fashion", "space", "gardens",
 ];
 
 /// Day numbers: SNB activity window 2010-01-01 .. 2013-01-01, as days.
@@ -175,7 +170,7 @@ pub fn generate(cfg: &SnbConfig) -> SnbGraph {
     // External id spaces are disjoint per label by construction (each label
     // numbers its entities 0..count), matching LDBC's per-type id spaces.
     for p in 0..np {
-        let birthday = DATE_LO - rng.gen_range(6000..20000);
+        let birthday = DATE_LO - rng.gen_range(6000i64..20000);
         let creation = rng.gen_range(DATE_LO..DATE_HI);
         g.add_vertex(
             l.person,
@@ -196,8 +191,8 @@ pub fn generate(cfg: &SnbConfig) -> SnbGraph {
             ],
         );
     }
-    for t in 0..ntag {
-        g.add_vertex(l.tag, t as u64, vec![Value::Str(TAG_NAMES[t].to_string())]);
+    for (t, name) in TAG_NAMES.iter().enumerate() {
+        g.add_vertex(l.tag, t as u64, vec![Value::Str(name.to_string())]);
     }
     for f in 0..nforum {
         g.add_vertex(
@@ -261,7 +256,10 @@ pub fn generate(cfg: &SnbConfig) -> SnbGraph {
                 l.post,
                 npost,
                 vec![
-                    Value::Str(format!("post {npost} about {}", TAG_NAMES[zipf_index(&mut rng, ntag, 1.0)])),
+                    Value::Str(format!(
+                        "post {npost} about {}",
+                        TAG_NAMES[zipf_index(&mut rng, ntag, 1.0)]
+                    )),
                     Value::Date(date),
                     Value::Int(len),
                 ],
@@ -283,8 +281,7 @@ pub fn generate(cfg: &SnbConfig) -> SnbGraph {
         for p in 0..np {
             for _ in 0..rng.gen_range(0..8) {
                 let target = zipf_index(&mut rng, npost as usize, 1.1) as u64;
-                let date = (post_dates[target as usize] + rng.gen_range(0..60))
-                    .min(DATE_HI - 1);
+                let date = (post_dates[target as usize] + rng.gen_range(0i64..60)).min(DATE_HI - 1);
                 g.add_vertex(
                     l.comment,
                     ncomment,

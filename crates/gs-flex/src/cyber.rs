@@ -9,7 +9,7 @@
 
 use gs_baselines::Table;
 use gs_datagen::apps::CyberGraph;
-use gs_graph::{Result, Value, VId};
+use gs_graph::{Result, VId, Value};
 use gs_grin::{Direction, GrinGraph};
 use gs_ir::exec::execute;
 use gs_lang::parse_gremlin;

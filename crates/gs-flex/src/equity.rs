@@ -9,10 +9,10 @@
 //! iterated self-joins over the ownership table, whose intermediate
 //! results grow with path counts.
 
+use gs_baselines::Table;
 use gs_datagen::apps::EquityGraph;
 use gs_grape::{GrapeEngine, OutBuffers};
-use gs_baselines::Table;
-use gs_graph::{Value, VId};
+use gs_graph::{VId, Value};
 use std::collections::HashMap;
 
 /// Minimum share to keep propagating (paper's approximation knob; exact
@@ -260,7 +260,7 @@ mod tests {
     fn no_false_controllers_below_majority() {
         let eq = equity_graph(40, 15, 5);
         let strict = equity_grape(&eq, 2, 0.999);
-        for (_, (_, s)) in &strict {
+        for (_, s) in strict.values() {
             assert!(*s > 0.999);
         }
     }

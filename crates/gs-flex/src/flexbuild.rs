@@ -8,12 +8,13 @@
 //! manifest. The §3 examples reproduce directly: the anti-fraud engineers'
 //! `①⑤⑭⑯⑳㉒` and the BI data scientist's `②④⑧⑨⑩⑬⑳㉓`.
 
+use gs_graph::json::Json;
+use gs_graph::GraphError;
 use gs_grin::Capabilities;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Every selectable component, numbered as in the paper's Figure 3.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Component {
     /// ① language SDKs
     Sdk = 1,
@@ -66,6 +67,44 @@ pub enum Component {
 }
 
 impl Component {
+    /// Every component in paper numbering order (①–㉔).
+    pub const ALL: [Component; 24] = [
+        Component::Sdk,
+        Component::RestApi,
+        Component::Gremlin,
+        Component::Cypher,
+        Component::BuiltinAlgorithms,
+        Component::AnalyticsInterfaces,
+        Component::GnnModels,
+        Component::GraphIr,
+        Component::Optimizer,
+        Component::OlapCodegen,
+        Component::OltpCodegen,
+        Component::HiActor,
+        Component::Gaia,
+        Component::Pie,
+        Component::Flash,
+        Component::Grape,
+        Component::GraphLearn,
+        Component::TorchBackend,
+        Component::TfBackend,
+        Component::Grin,
+        Component::Vineyard,
+        Component::Gart,
+        Component::GraphAr,
+        Component::CustomStore,
+    ];
+
+    /// The paper's component number (① = 1 … ㉔ = 24).
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Component::number`].
+    pub fn from_number(n: u8) -> Option<Component> {
+        Component::ALL.get(n.wrapping_sub(1) as usize).copied()
+    }
+
     /// The capabilities a storage component offers through GRIN.
     pub fn storage_capabilities(self) -> Option<Capabilities> {
         match self {
@@ -157,7 +196,7 @@ impl Component {
 }
 
 /// A validated deployment manifest.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Deployment {
     pub name: String,
     pub components: BTreeSet<Component>,
@@ -165,8 +204,77 @@ pub struct Deployment {
     pub target: DeployTarget,
 }
 
+impl Deployment {
+    /// Encodes the manifest as JSON (components by paper number).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            (
+                "components",
+                Json::arr(self.components.iter().map(|c| Json::Int(c.number() as i64))),
+            ),
+            (
+                "target",
+                Json::str(match self.target {
+                    DeployTarget::SingleMachineBinary => "single-machine-binary",
+                    DeployTarget::ClusterImage => "cluster-image",
+                }),
+            ),
+        ])
+    }
+
+    /// Instantiates the deployment's query engine behind the unified
+    /// [`gs_ir::QueryEngine`] interface. Gaia wins when both interactive
+    /// engines are selected (the OLAP engine subsumes ad-hoc plan
+    /// execution); HiActor is next; a selection with neither falls back to
+    /// the reference executor. `parallelism` sets Gaia's worker count or
+    /// HiActor's shard count.
+    pub fn query_engine(&self, parallelism: usize) -> Box<dyn gs_ir::QueryEngine> {
+        if self.components.contains(&Component::Gaia) {
+            Box::new(gs_gaia::GaiaEngine::new(parallelism))
+        } else if self.components.contains(&Component::HiActor) {
+            Box::new(gs_hiactor::QueryService::new(parallelism))
+        } else {
+            Box::new(gs_ir::ReferenceEngine)
+        }
+    }
+
+    /// Decodes a manifest written by [`Deployment::to_json`].
+    pub fn from_json(doc: &Json) -> gs_graph::Result<Self> {
+        let components = doc
+            .field("components")?
+            .as_arr()
+            .ok_or_else(|| GraphError::Corrupt("deployment: components not an array".into()))?
+            .iter()
+            .map(|c| {
+                c.as_u64()
+                    .and_then(|n| Component::from_number(n as u8))
+                    .ok_or_else(|| GraphError::Corrupt(format!("deployment: bad component {c:?}")))
+            })
+            .collect::<gs_graph::Result<BTreeSet<Component>>>()?;
+        let target = match doc.field("target")?.as_str() {
+            Some("single-machine-binary") => DeployTarget::SingleMachineBinary,
+            Some("cluster-image") => DeployTarget::ClusterImage,
+            other => {
+                return Err(GraphError::Corrupt(format!(
+                    "deployment: unknown target {other:?}"
+                )))
+            }
+        };
+        Ok(Deployment {
+            name: doc
+                .field("name")?
+                .as_str()
+                .ok_or_else(|| GraphError::Corrupt("deployment: name".into()))?
+                .to_string(),
+            components,
+            target,
+        })
+    }
+}
+
 /// Deployment target.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DeployTarget {
     SingleMachineBinary,
     ClusterImage,
@@ -197,7 +305,10 @@ impl std::fmt::Display for BuildError {
                 write!(f, "engine {e:?} has no storage backend selected")
             }
             BuildError::EngineUnsatisfied { engine, missing } => {
-                write!(f, "no selected storage satisfies {engine:?}: needs {missing}")
+                write!(
+                    f,
+                    "no selected storage satisfies {engine:?}: needs {missing}"
+                )
             }
             BuildError::EmptySelection => write!(f, "no components selected"),
         }
@@ -236,13 +347,25 @@ impl FlexBuild {
                     return Err(BuildError::EngineWithoutStorage(c));
                 }
                 let req = c.engine_requirements().unwrap();
-                let ok = storages
-                    .iter()
-                    .any(|s| s.storage_capabilities().unwrap().supports(req));
-                if !ok {
+                // keep the closest storage's capability gap for the error
+                let mut best_missing: Option<Vec<String>> = None;
+                for s in &storages {
+                    let missing = s.storage_capabilities().unwrap().missing_names(req);
+                    if missing.is_empty() {
+                        best_missing = None;
+                        break;
+                    }
+                    if best_missing
+                        .as_ref()
+                        .is_none_or(|b| missing.len() < b.len())
+                    {
+                        best_missing = Some(missing);
+                    }
+                }
+                if let Some(missing) = best_missing {
                     return Err(BuildError::EngineUnsatisfied {
                         engine: c,
-                        missing: format!("{req:?}"),
+                        missing: missing.join("|"),
                     });
                 }
             }
@@ -269,7 +392,16 @@ impl FlexBuild {
         use Component::*;
         Self::compose(
             "bi-analysis",
-            &[RestApi, Cypher, GraphIr, Optimizer, OlapCodegen, Gaia, Grin, GraphAr],
+            &[
+                RestApi,
+                Cypher,
+                GraphIr,
+                Optimizer,
+                OlapCodegen,
+                Gaia,
+                Grin,
+                GraphAr,
+            ],
             DeployTarget::SingleMachineBinary,
         )
     }
@@ -279,7 +411,16 @@ impl FlexBuild {
         use Component::*;
         Self::compose(
             "fraud-oltp",
-            &[Sdk, Cypher, GraphIr, Optimizer, OltpCodegen, HiActor, Grin, Gart],
+            &[
+                Sdk,
+                Cypher,
+                GraphIr,
+                Optimizer,
+                OltpCodegen,
+                HiActor,
+                Grin,
+                Gart,
+            ],
             DeployTarget::ClusterImage,
         )
     }
@@ -322,8 +463,8 @@ mod tests {
 
     #[test]
     fn engine_without_storage_is_rejected() {
-        let err = FlexBuild::compose("broken", &[Grape, Grin], DeployTarget::ClusterImage)
-            .unwrap_err();
+        let err =
+            FlexBuild::compose("broken", &[Grape, Grin], DeployTarget::ClusterImage).unwrap_err();
         assert_eq!(err, BuildError::EngineWithoutStorage(Grape));
     }
 
@@ -336,18 +477,80 @@ mod tests {
             DeployTarget::ClusterImage,
         )
         .unwrap_err();
-        assert!(matches!(err, BuildError::EngineUnsatisfied { engine: HiActor, .. }));
+        assert!(matches!(
+            err,
+            BuildError::EngineUnsatisfied {
+                engine: HiActor,
+                ..
+            }
+        ));
         // but GRAPE is fine on a minimal store
-        FlexBuild::compose("ok", &[Grape, Grin, CustomStore], DeployTarget::ClusterImage)
-            .unwrap();
+        FlexBuild::compose(
+            "ok",
+            &[Grape, Grin, CustomStore],
+            DeployTarget::ClusterImage,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn unsatisfied_engine_error_names_missing_flags() {
+        let err = FlexBuild::compose(
+            "broken",
+            &[HiActor, Grin, CustomStore],
+            DeployTarget::ClusterImage,
+        )
+        .unwrap_err();
+        let BuildError::EngineUnsatisfied { engine, missing } = &err else {
+            panic!("wrong error: {err:?}");
+        };
+        assert_eq!(*engine, HiActor);
+        assert_eq!(missing, "PROPERTY|INDEX_EXTERNAL_ID");
+    }
+
+    #[test]
+    fn deployments_select_engines_through_one_interface() {
+        let bi = FlexBuild::bi_single_machine_preset().unwrap();
+        assert_eq!(bi.query_engine(2).name(), "gaia");
+        let fraud = FlexBuild::fraud_oltp_preset().unwrap();
+        assert_eq!(fraud.query_engine(2).name(), "hiactor");
+        let analytics = FlexBuild::antifraud_analytics_preset().unwrap();
+        assert_eq!(analytics.query_engine(2).name(), "reference");
+
+        // every selected engine answers a plan through the same interface
+        let g = gs_grin::graph::mock::MockGraph::new(5, &[(0, 1, 1.0)]);
+        let s = gs_grin::GrinGraph::schema(&g).clone();
+        let plan = gs_ir::physical::lower_naive(
+            &gs_ir::PlanBuilder::new(&s).scan("a", "V").unwrap().build(),
+        )
+        .unwrap();
+        for d in [bi, fraud, analytics] {
+            let engine = d.query_engine(2);
+            assert_eq!(
+                engine.execute(&plan, &g).unwrap().len(),
+                5,
+                "{}",
+                engine.name()
+            );
+        }
     }
 
     #[test]
     fn deployment_serializes() {
         let d = FlexBuild::fraud_oltp_preset().unwrap();
-        let json = serde_json::to_string(&d).unwrap();
-        let back: Deployment = serde_json::from_str(&json).unwrap();
+        let json = d.to_json().render();
+        let back = Deployment::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(d, back);
+    }
+
+    #[test]
+    fn component_numbers_round_trip() {
+        for (i, c) in Component::ALL.iter().enumerate() {
+            assert_eq!(c.number() as usize, i + 1);
+            assert_eq!(Component::from_number(c.number()), Some(*c));
+        }
+        assert_eq!(Component::from_number(0), None);
+        assert_eq!(Component::from_number(25), None);
     }
 
     #[test]

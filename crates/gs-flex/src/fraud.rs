@@ -169,12 +169,8 @@ impl FraudApp {
     /// contacts (diverse relational checks per order). Returns the number
     /// of checks executed.
     pub fn process_order(&self, account: u64, item: u64, date: i64) -> Result<usize> {
-        self.store.add_edge(
-            self.labels.buy,
-            account,
-            item,
-            vec![Value::Date(date)],
-        )?;
+        self.store
+            .add_edge(self.labels.buy, account, item, vec![Value::Date(date)])?;
         self.store.commit();
         let mut targets = vec![account];
         let version = self.store.committed_version();
@@ -326,9 +322,6 @@ mod tests {
         assert!(qps > 0.0);
         // graph grew by the stream size
         let snap = app.store.snapshot();
-        assert_eq!(
-            snap.edge_count(app.labels.buy),
-            1500 + w.order_stream.len()
-        );
+        assert_eq!(snap.edge_count(app.labels.buy), 1500 + w.order_stream.len());
     }
 }

@@ -47,8 +47,14 @@ pub trait SnbBackend: Send + Sync {
     fn interests(&self, person: u64) -> Vec<u64>;
 
     // ---- updates (IU1–IU8) ----
-    fn add_person(&self, id: u64, first: &str, last: &str, birthday: i64, creation: i64)
-        -> Result<()>;
+    fn add_person(
+        &self,
+        id: u64,
+        first: &str,
+        last: &str,
+        birthday: i64,
+        creation: i64,
+    ) -> Result<()>;
     fn add_knows(&self, a: u64, b: u64, date: i64) -> Result<()>;
     fn add_forum(&self, id: u64, title: &str, date: i64) -> Result<()>;
     fn add_member(&self, forum: u64, person: u64, date: i64) -> Result<()>;
@@ -61,8 +67,14 @@ pub trait SnbBackend: Send + Sync {
         date: i64,
         length: i64,
     ) -> Result<()>;
-    fn add_comment(&self, id: u64, creator: u64, reply_of: u64, date: i64, length: i64)
-        -> Result<()>;
+    fn add_comment(
+        &self,
+        id: u64,
+        creator: u64,
+        reply_of: u64,
+        date: i64,
+        length: i64,
+    ) -> Result<()>;
     fn add_like(&self, person: u64, post: u64, date: i64) -> Result<()>;
     fn add_interest(&self, person: u64, tag: u64) -> Result<()>;
 }
@@ -112,7 +124,10 @@ impl FlexBackend {
                 }
             }
         }
-        props.insert((l.tag, "name"), schema.vertex_property(l.tag, "name").unwrap().id);
+        props.insert(
+            (l.tag, "name"),
+            schema.vertex_property(l.tag, "name").unwrap().id,
+        );
         Self { store, l, props }
     }
 
@@ -126,14 +141,25 @@ impl FlexBackend {
         let Some(v) = snap.internal_id(label, ext) else {
             return Value::Null;
         };
-        match self.props.iter().find(|((l, n), _)| *l == label && *n == name) {
+        match self
+            .props
+            .iter()
+            .find(|((l, n), _)| *l == label && *n == name)
+        {
             Some((_, &pid)) => snap.vertex_property(label, v, pid),
             None => Value::Null,
         }
     }
 
     /// Out/in adjacency by external ids.
-    fn adj(&self, src_label: LabelId, dst_label: LabelId, elabel: LabelId, ext: u64, dir: Direction) -> Vec<u64> {
+    fn adj(
+        &self,
+        src_label: LabelId,
+        dst_label: LabelId,
+        elabel: LabelId,
+        ext: u64,
+        dir: Direction,
+    ) -> Vec<u64> {
         let snap = self.store.snapshot();
         let Some(v) = snap.internal_id(src_label, ext) else {
             return Vec::new();
@@ -182,14 +208,26 @@ impl SnbBackend for FlexBackend {
     }
 
     fn friends(&self, id: u64) -> Vec<u64> {
-        self.adj(self.l.person, self.l.person, self.l.knows, id, Direction::Out)
+        self.adj(
+            self.l.person,
+            self.l.person,
+            self.l.knows,
+            id,
+            Direction::Out,
+        )
     }
 
     fn knows_date(&self, a: u64, b: u64) -> Option<i64> {
-        self.adj_dated(self.l.person, self.l.person, self.l.knows, a, Direction::Out)
-            .into_iter()
-            .find(|&(x, _)| x == b)
-            .map(|(_, d)| d)
+        self.adj_dated(
+            self.l.person,
+            self.l.person,
+            self.l.knows,
+            a,
+            Direction::Out,
+        )
+        .into_iter()
+        .find(|&(x, _)| x == b)
+        .map(|(_, d)| d)
     }
 
     fn posts_by(&self, person: u64) -> Vec<u64> {
@@ -245,27 +283,57 @@ impl SnbBackend for FlexBackend {
     }
 
     fn likes_of_post(&self, post: u64) -> Vec<(u64, i64)> {
-        self.adj_dated(self.l.post, self.l.person, self.l.likes_post, post, Direction::In)
+        self.adj_dated(
+            self.l.post,
+            self.l.person,
+            self.l.likes_post,
+            post,
+            Direction::In,
+        )
     }
 
     fn replies_of_post(&self, post: u64) -> Vec<u64> {
-        self.adj(self.l.post, self.l.comment, self.l.reply_of, post, Direction::In)
+        self.adj(
+            self.l.post,
+            self.l.comment,
+            self.l.reply_of,
+            post,
+            Direction::In,
+        )
     }
 
     fn reply_target(&self, comment: u64) -> Option<u64> {
-        self.adj(self.l.comment, self.l.post, self.l.reply_of, comment, Direction::Out)
-            .into_iter()
-            .next()
+        self.adj(
+            self.l.comment,
+            self.l.post,
+            self.l.reply_of,
+            comment,
+            Direction::Out,
+        )
+        .into_iter()
+        .next()
     }
 
     fn forum_of_post(&self, post: u64) -> Option<u64> {
-        self.adj(self.l.post, self.l.forum, self.l.container_of, post, Direction::In)
-            .into_iter()
-            .next()
+        self.adj(
+            self.l.post,
+            self.l.forum,
+            self.l.container_of,
+            post,
+            Direction::In,
+        )
+        .into_iter()
+        .next()
     }
 
     fn posts_in_forum(&self, forum: u64) -> Vec<u64> {
-        self.adj(self.l.forum, self.l.post, self.l.container_of, forum, Direction::Out)
+        self.adj(
+            self.l.forum,
+            self.l.post,
+            self.l.container_of,
+            forum,
+            Direction::Out,
+        )
     }
 
     fn forum_prop(&self, id: u64, prop: &str) -> Value {
@@ -293,7 +361,13 @@ impl SnbBackend for FlexBackend {
     }
 
     fn tags_of_post(&self, post: u64) -> Vec<u64> {
-        self.adj(self.l.post, self.l.tag, self.l.has_tag_post, post, Direction::Out)
+        self.adj(
+            self.l.post,
+            self.l.tag,
+            self.l.has_tag_post,
+            post,
+            Direction::Out,
+        )
     }
 
     fn tag_name(&self, tag: u64) -> String {
@@ -383,7 +457,8 @@ impl SnbBackend for FlexBackend {
         )?;
         self.store
             .add_edge(self.l.has_creator_post, id, creator, vec![])?;
-        self.store.add_edge(self.l.container_of, forum, id, vec![])?;
+        self.store
+            .add_edge(self.l.container_of, forum, id, vec![])?;
         self.store.commit();
         Ok(())
     }

@@ -53,13 +53,12 @@ pub fn bi_plan(
                 b.prop("po", "length")?,
                 Expr::Const(Value::Int(50)),
             );
-            Ok(b
-                .project(vec![
-                    (ProjectItem::Expr(bucket), "bucket"),
-                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "posts"),
-                ])?
-                .order(vec![(Expr::Column(0), true)], None)
-                .build())
+            Ok(b.project(vec![
+                (ProjectItem::Expr(bucket), "bucket"),
+                (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "posts"),
+            ])?
+            .order(vec![(Expr::Column(0), true)], None)
+            .build())
         }
         // BI2: tag usage ranking.
         2 => {
@@ -69,13 +68,15 @@ pub fn bi_plan(
             p.add_edge(None, l.has_tag_post, po, t);
             let b = b.match_pattern(p)?;
             let name = b.prop("t", "name")?;
-            Ok(b
-                .project(vec![
-                    (ProjectItem::Expr(name), "tag"),
-                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "uses"),
-                ])?
-                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(10))
-                .build())
+            Ok(b.project(vec![
+                (ProjectItem::Expr(name), "tag"),
+                (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "uses"),
+            ])?
+            .order(
+                vec![(Expr::Column(1), false), (Expr::Column(0), true)],
+                Some(10),
+            )
+            .build())
         }
         // BI3: most active posters.
         3 => {
@@ -85,13 +86,15 @@ pub fn bi_plan(
             p.add_edge(None, l.has_creator_post, po, a);
             let b = b.match_pattern(p)?;
             let person = b.col("a")?;
-            Ok(b
-                .project(vec![
-                    (ProjectItem::Expr(person), "person"),
-                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "posts"),
-                ])?
-                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(10))
-                .build())
+            Ok(b.project(vec![
+                (ProjectItem::Expr(person), "person"),
+                (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "posts"),
+            ])?
+            .order(
+                vec![(Expr::Column(1), false), (Expr::Column(0), true)],
+                Some(10),
+            )
+            .build())
         }
         // BI4: top forums by post count.
         4 => {
@@ -101,13 +104,15 @@ pub fn bi_plan(
             p.add_edge(None, l.container_of, f, po);
             let b = b.match_pattern(p)?;
             let title = b.prop("f", "title")?;
-            Ok(b
-                .project(vec![
-                    (ProjectItem::Expr(title), "forum"),
-                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(1)), "posts"),
-                ])?
-                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(10))
-                .build())
+            Ok(b.project(vec![
+                (ProjectItem::Expr(title), "forum"),
+                (ProjectItem::Agg(AggFunc::Count, Expr::Column(1)), "posts"),
+            ])?
+            .order(
+                vec![(Expr::Column(1), false), (Expr::Column(0), true)],
+                Some(10),
+            )
+            .build())
         }
         // BI5: members posting in their own forum (cyclic pattern — the CBO
         // showcase).
@@ -121,13 +126,15 @@ pub fn bi_plan(
             p.add_edge(None, l.has_member, f, a);
             let b = b.match_pattern(p)?;
             let forum = b.col("f")?;
-            Ok(b
-                .project(vec![
-                    (ProjectItem::Expr(forum), "forum"),
-                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(1)), "inposts"),
-                ])?
-                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(10))
-                .build())
+            Ok(b.project(vec![
+                (ProjectItem::Expr(forum), "forum"),
+                (ProjectItem::Agg(AggFunc::Count, Expr::Column(1)), "inposts"),
+            ])?
+            .order(
+                vec![(Expr::Column(1), false), (Expr::Column(0), true)],
+                Some(10),
+            )
+            .build())
         }
         // BI6: authoritative users — likes received.
         6 => {
@@ -139,13 +146,15 @@ pub fn bi_plan(
             p.add_edge(None, l.has_creator_post, po, a);
             let b = b.match_pattern(p)?;
             let author = b.col("a")?;
-            Ok(b
-                .project(vec![
-                    (ProjectItem::Expr(author), "person"),
-                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "likes"),
-                ])?
-                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(10))
-                .build())
+            Ok(b.project(vec![
+                (ProjectItem::Expr(author), "person"),
+                (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "likes"),
+            ])?
+            .order(
+                vec![(Expr::Column(1), false), (Expr::Column(0), true)],
+                Some(10),
+            )
+            .build())
         }
         // BI7: replies under each tag.
         7 => {
@@ -157,13 +166,15 @@ pub fn bi_plan(
             p.add_edge(None, l.has_tag_post, po, t);
             let b = b.match_pattern(p)?;
             let name = b.prop("t", "name")?;
-            Ok(b
-                .project(vec![
-                    (ProjectItem::Expr(name), "tag"),
-                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "replies"),
-                ])?
-                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], None)
-                .build())
+            Ok(b.project(vec![
+                (ProjectItem::Expr(name), "tag"),
+                (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "replies"),
+            ])?
+            .order(
+                vec![(Expr::Column(1), false), (Expr::Column(0), true)],
+                None,
+            )
+            .build())
         }
         // BI8: interest popularity per tag.
         8 => {
@@ -173,13 +184,15 @@ pub fn bi_plan(
             p.add_edge(None, l.has_interest, a, t);
             let b = b.match_pattern(p)?;
             let name = b.prop("t", "name")?;
-            Ok(b
-                .project(vec![
-                    (ProjectItem::Expr(name), "tag"),
-                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "fans"),
-                ])?
-                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], None)
-                .build())
+            Ok(b.project(vec![
+                (ProjectItem::Expr(name), "tag"),
+                (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "fans"),
+            ])?
+            .order(
+                vec![(Expr::Column(1), false), (Expr::Column(0), true)],
+                None,
+            )
+            .build())
         }
         // BI9: top commenters.
         9 => {
@@ -189,13 +202,18 @@ pub fn bi_plan(
             p.add_edge(None, l.has_creator_comment, c, a);
             let b = b.match_pattern(p)?;
             let person = b.col("a")?;
-            Ok(b
-                .project(vec![
-                    (ProjectItem::Expr(person), "person"),
-                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "comments"),
-                ])?
-                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(10))
-                .build())
+            Ok(b.project(vec![
+                (ProjectItem::Expr(person), "person"),
+                (
+                    ProjectItem::Agg(AggFunc::Count, Expr::Column(0)),
+                    "comments",
+                ),
+            ])?
+            .order(
+                vec![(Expr::Column(1), false), (Expr::Column(0), true)],
+                Some(10),
+            )
+            .build())
         }
         // BI10: experts on one tag (parameterised selection → pushdown
         // showcase).
@@ -213,13 +231,15 @@ pub fn bi_plan(
                 Expr::Const(Value::Str(params.tag_name.clone())),
             );
             let person = b.col("a")?;
-            Ok(b
-                .select(name_eq)
+            Ok(b.select(name_eq)
                 .project(vec![
                     (ProjectItem::Expr(person), "person"),
                     (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "posts"),
                 ])?
-                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(10))
+                .order(
+                    vec![(Expr::Column(1), false), (Expr::Column(0), true)],
+                    Some(10),
+                )
                 .build())
         }
         // BI11: verbose repliers — replies longer than the post they answer.
@@ -233,13 +253,18 @@ pub fn bi_plan(
             let b = b.match_pattern(p)?;
             let longer = Expr::bin(BinOp::Gt, b.prop("c", "length")?, b.prop("po", "length")?);
             let person = b.col("a")?;
-            Ok(b
-                .select(longer)
+            Ok(b.select(longer)
                 .project(vec![
                     (ProjectItem::Expr(person), "person"),
-                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "longreplies"),
+                    (
+                        ProjectItem::Agg(AggFunc::Count, Expr::Column(0)),
+                        "longreplies",
+                    ),
                 ])?
-                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(10))
+                .order(
+                    vec![(Expr::Column(1), false), (Expr::Column(0), true)],
+                    Some(10),
+                )
                 .build())
         }
         // BI12: trending posts — at least `min_likes` likes.
@@ -259,9 +284,11 @@ pub fn bi_plan(
                 b.col("likes")?,
                 Expr::Const(Value::Int(params.min_likes)),
             );
-            Ok(b
-                .select(popular)
-                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(20))
+            Ok(b.select(popular)
+                .order(
+                    vec![(Expr::Column(1), false), (Expr::Column(0), true)],
+                    Some(20),
+                )
                 .build())
         }
         // BI13: low-activity newcomers — persons created after `date` with
@@ -283,7 +310,9 @@ pub fn bi_plan(
                 (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "posts"),
             ])?;
             let few = Expr::bin(BinOp::Le, b.col("posts")?, Expr::Const(Value::Int(2)));
-            Ok(b.select(few).order(vec![(Expr::Column(0), true)], None).build())
+            Ok(b.select(few)
+                .order(vec![(Expr::Column(0), true)], None)
+                .build())
         }
         // BI14: dialog pairs — who replies to whom most.
         14 => {
@@ -304,7 +333,14 @@ pub fn bi_plan(
                     (ProjectItem::Expr(author), "author"),
                     (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "dialogs"),
                 ])?
-                .order(vec![(Expr::Column(2), false), (Expr::Column(0), true), (Expr::Column(1), true)], Some(20))
+                .order(
+                    vec![
+                        (Expr::Column(2), false),
+                        (Expr::Column(0), true),
+                        (Expr::Column(1), true),
+                    ],
+                    Some(20),
+                )
                 .build())
         }
         // BI15: average friend count (two-level aggregation).
@@ -320,21 +356,25 @@ pub fn bi_plan(
                 (ProjectItem::Agg(AggFunc::Count, Expr::Column(1)), "friends"),
             ])?;
             let friends = b.col("friends")?;
-            Ok(b
-                .project(vec![(ProjectItem::Agg(AggFunc::Avg, friends), "avgFriends")])?
-                .build())
+            Ok(b.project(vec![(
+                ProjectItem::Agg(AggFunc::Avg, friends),
+                "avgFriends",
+            )])?
+            .build())
         }
         // BI16: demographics by browser.
         16 => {
             let b = b.scan("a", "Person")?;
             let browser = b.prop("a", "browserUsed")?;
-            Ok(b
-                .project(vec![
-                    (ProjectItem::Expr(browser), "browser"),
-                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "users"),
-                ])?
-                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], None)
-                .build())
+            Ok(b.project(vec![
+                (ProjectItem::Expr(browser), "browser"),
+                (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "users"),
+            ])?
+            .order(
+                vec![(Expr::Column(1), false), (Expr::Column(0), true)],
+                None,
+            )
+            .build())
         }
         // BI17: like volume per 100-day bucket (edge-property aggregation).
         17 => {
@@ -348,13 +388,12 @@ pub fn bi_plan(
                 b.prop("e", "creationDate")?,
                 Expr::Const(Value::Int(100)),
             );
-            Ok(b
-                .project(vec![
-                    (ProjectItem::Expr(bucket), "bucket"),
-                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "likes"),
-                ])?
-                .order(vec![(Expr::Column(0), true)], None)
-                .build())
+            Ok(b.project(vec![
+                (ProjectItem::Expr(bucket), "bucket"),
+                (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "likes"),
+            ])?
+            .order(vec![(Expr::Column(0), true)], None)
+            .build())
         }
         // BI18: forum membership growth per 100-day bucket.
         18 => {
@@ -368,13 +407,12 @@ pub fn bi_plan(
                 b.prop("m", "joinDate")?,
                 Expr::Const(Value::Int(100)),
             );
-            Ok(b
-                .project(vec![
-                    (ProjectItem::Expr(bucket), "bucket"),
-                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "joins"),
-                ])?
-                .order(vec![(Expr::Column(0), true)], None)
-                .build())
+            Ok(b.project(vec![
+                (ProjectItem::Expr(bucket), "bucket"),
+                (ProjectItem::Agg(AggFunc::Count, Expr::Column(0)), "joins"),
+            ])?
+            .order(vec![(Expr::Column(0), true)], None)
+            .build())
         }
         // BI19: tag co-occurrence pairs.
         19 => {
@@ -388,14 +426,20 @@ pub fn bi_plan(
             let lt = Expr::bin(BinOp::Lt, b.prop("t1", "name")?, b.prop("t2", "name")?);
             let n1 = b.prop("t1", "name")?;
             let n2 = b.prop("t2", "name")?;
-            Ok(b
-                .select(lt)
+            Ok(b.select(lt)
                 .project(vec![
                     (ProjectItem::Expr(n1), "tagA"),
                     (ProjectItem::Expr(n2), "tagB"),
                     (ProjectItem::Agg(AggFunc::Count, Expr::Column(1)), "posts"),
                 ])?
-                .order(vec![(Expr::Column(2), false), (Expr::Column(0), true), (Expr::Column(1), true)], Some(20))
+                .order(
+                    vec![
+                        (Expr::Column(2), false),
+                        (Expr::Column(0), true),
+                        (Expr::Column(1), true),
+                    ],
+                    Some(20),
+                )
                 .build())
         }
         // BI20: discussion volume per forum (replies reached through posts).
@@ -408,13 +452,15 @@ pub fn bi_plan(
             p.add_edge(None, l.reply_of, c, po);
             let b = b.match_pattern(p)?;
             let title = b.prop("f", "title")?;
-            Ok(b
-                .project(vec![
-                    (ProjectItem::Expr(title), "forum"),
-                    (ProjectItem::Agg(AggFunc::Count, Expr::Column(2)), "replies"),
-                ])?
-                .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(10))
-                .build())
+            Ok(b.project(vec![
+                (ProjectItem::Expr(title), "forum"),
+                (ProjectItem::Agg(AggFunc::Count, Expr::Column(2)), "replies"),
+            ])?
+            .order(
+                vec![(Expr::Column(1), false), (Expr::Column(0), true)],
+                Some(10),
+            )
+            .build())
         }
         other => Err(gs_graph::GraphError::Query(format!(
             "no BI query {other} (1..=20)"

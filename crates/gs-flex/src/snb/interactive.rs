@@ -74,9 +74,7 @@ pub fn ic1(b: &dyn SnbBackend, p: &Params) -> Rows {
     let friends = khop_friends(b, p.person, 3);
     let mut rows: Vec<((usize, String, u64), ())> = friends
         .into_iter()
-        .filter(|(f, _)| {
-            b.person_prop(*f, "firstName").as_str() == Some(p.first_name.as_str())
-        })
+        .filter(|(f, _)| b.person_prop(*f, "firstName").as_str() == Some(p.first_name.as_str()))
         .map(|(f, d)| {
             let last = b
                 .person_prop(f, "lastName")
@@ -107,7 +105,11 @@ pub fn ic2(b: &dyn SnbBackend, p: &Params) -> Rows {
     take_top(items, p.limit)
         .into_iter()
         .map(|((std::cmp::Reverse(d), post), f)| {
-            vec![Value::Int(f as i64), Value::Int(post as i64), Value::Date(d)]
+            vec![
+                Value::Int(f as i64),
+                Value::Int(post as i64),
+                Value::Date(d),
+            ]
         })
         .collect()
 }
@@ -117,7 +119,7 @@ pub fn ic2(b: &dyn SnbBackend, p: &Params) -> Rows {
 pub fn ic3(b: &dyn SnbBackend, p: &Params) -> Rows {
     let friends = khop_friends(b, p.person, 2);
     let mut counts: Vec<((std::cmp::Reverse<usize>, u64), ())> = Vec::new();
-    for (&f, _) in &friends {
+    for &f in friends.keys() {
         let mut c = 0usize;
         for post in b.posts_by(f) {
             let d = b.post_prop(post, "creationDate").as_int().unwrap_or(0);
@@ -195,7 +197,7 @@ pub fn ic5(b: &dyn SnbBackend, p: &Params) -> Rows {
 pub fn ic6(b: &dyn SnbBackend, p: &Params) -> Rows {
     let friends = khop_friends(b, p.person, 2);
     let mut counts: HashMap<u64, usize> = HashMap::new();
-    for (&f, _) in &friends {
+    for &f in friends.keys() {
         for post in b.posts_by(f) {
             let tags = b.tags_of_post(post);
             if tags.contains(&p.tag) {
@@ -228,7 +230,11 @@ pub fn ic7(b: &dyn SnbBackend, p: &Params) -> Rows {
     take_top(items, p.limit)
         .into_iter()
         .map(|((std::cmp::Reverse(d), liker, post), _)| {
-            vec![Value::Int(liker as i64), Value::Int(post as i64), Value::Date(d)]
+            vec![
+                Value::Int(liker as i64),
+                Value::Int(post as i64),
+                Value::Date(d),
+            ]
         })
         .collect()
 }
@@ -246,7 +252,11 @@ pub fn ic8(b: &dyn SnbBackend, p: &Params) -> Rows {
     take_top(items, p.limit)
         .into_iter()
         .map(|((std::cmp::Reverse(d), c), author)| {
-            vec![Value::Int(author as i64), Value::Int(c as i64), Value::Date(d)]
+            vec![
+                Value::Int(author as i64),
+                Value::Int(c as i64),
+                Value::Date(d),
+            ]
         })
         .collect()
 }
@@ -255,7 +265,7 @@ pub fn ic8(b: &dyn SnbBackend, p: &Params) -> Rows {
 pub fn ic9(b: &dyn SnbBackend, p: &Params) -> Rows {
     let friends = khop_friends(b, p.person, 2);
     let mut items = Vec::new();
-    for (&f, _) in &friends {
+    for &f in friends.keys() {
         for post in b.posts_by(f) {
             let d = b.post_prop(post, "creationDate").as_int().unwrap_or(0);
             if d < p.date {
@@ -323,7 +333,11 @@ pub fn ic11(b: &dyn SnbBackend, p: &Params) -> Rows {
     take_top(items, p.limit)
         .into_iter()
         .map(|((join, f, forum), _)| {
-            vec![Value::Int(f as i64), Value::Int(forum as i64), Value::Date(join)]
+            vec![
+                Value::Int(f as i64),
+                Value::Int(forum as i64),
+                Value::Date(join),
+            ]
         })
         .collect()
 }
@@ -369,7 +383,9 @@ pub fn ic13(b: &dyn SnbBackend, p: &Params) -> Rows {
             });
         }
     }
-    vec![vec![Value::Int(dist.get(&p.person2).copied().unwrap_or(-1))]]
+    vec![vec![Value::Int(
+        dist.get(&p.person2).copied().unwrap_or(-1),
+    )]]
 }
 
 /// IC14: number of distinct shortest KNOWS-paths between two persons.
@@ -402,7 +418,9 @@ pub fn ic14(b: &dyn SnbBackend, p: &Params) -> Rows {
             }
         }
     }
-    vec![vec![Value::Int(paths.get(&p.person2).copied().unwrap_or(0) as i64)]]
+    vec![vec![Value::Int(
+        paths.get(&p.person2).copied().unwrap_or(0) as i64,
+    )]]
 }
 
 // ------------------------------------------------------------- short
@@ -450,7 +468,7 @@ pub fn is3(b: &dyn SnbBackend, p: &Params) -> Rows {
             )
         })
         .collect();
-    items.sort_by(|a, b| a.0.cmp(&b.0));
+    items.sort_by_key(|a| a.0);
     items
         .into_iter()
         .map(|((std::cmp::Reverse(d), f), _)| vec![Value::Int(f as i64), Value::Date(d)])
@@ -498,7 +516,11 @@ pub fn is7(b: &dyn SnbBackend, p: &Params) -> Rows {
     take_top(items, 20)
         .into_iter()
         .map(|((std::cmp::Reverse(d), c), author)| {
-            vec![Value::Int(c as i64), Value::Int(author as i64), Value::Date(d)]
+            vec![
+                Value::Int(c as i64),
+                Value::Int(author as i64),
+                Value::Date(d),
+            ]
         })
         .collect()
 }
@@ -615,4 +637,3 @@ pub fn canonical(mut rows: Rows) -> Rows {
     rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
     rows
 }
-

@@ -94,11 +94,7 @@ mod tests {
                 .unwrap_or_else(|e| panic!("BI{n} gaia: {e}"));
             let naive = lower_naive(&plan).unwrap();
             let slow = execute(&naive, &store).unwrap_or_else(|e| panic!("BI{n} ref: {e}"));
-            assert_eq!(
-                canonical(fast),
-                canonical(slow),
-                "BI{n} results diverged"
-            );
+            assert_eq!(canonical(fast), canonical(slow), "BI{n} results diverged");
         }
     }
 }

@@ -13,14 +13,23 @@
 //! what makes Gaia suited to "fairly intricate queries on large graphs"
 //! (OLAP) rather than high-QPS point queries (HiActor's domain).
 
+use gs_graph::value::GroupKey;
+use gs_grin::{Capabilities, GrinGraph};
 use gs_ir::exec::{apply, AggState};
 use gs_ir::logical::ProjectItem;
 use gs_ir::physical::{PhysicalOp, PhysicalPlan};
 use gs_ir::record::Record;
 use gs_ir::{GraphError, Result, Value};
-use gs_graph::value::GroupKey;
-use gs_grin::GrinGraph;
+use gs_telemetry::{counter, observe, span};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Storage capabilities Gaia needs (mirrors flexbuild's requirements for
+/// the Gaia component).
+pub const REQUIRED_CAPABILITIES: Capabilities = Capabilities::VERTEX_LIST_ITER
+    .union(Capabilities::ADJ_LIST_ITER)
+    .union(Capabilities::PROPERTY);
 
 /// The data-parallel dataflow engine.
 pub struct GaiaEngine {
@@ -42,6 +51,8 @@ impl GaiaEngine {
 
     /// Executes a physical plan with data parallelism.
     pub fn execute(&self, plan: &PhysicalPlan, graph: &dyn GrinGraph) -> Result<Vec<Record>> {
+        graph.capabilities().require(REQUIRED_CAPABILITIES)?;
+        let _query_span = span!("gaia.query", workers = self.workers);
         // Split the plan into pipeline segments at stateful barriers.
         let mut segments: Vec<(Vec<PhysicalOp>, Option<PhysicalOp>)> = Vec::new();
         let mut current: Vec<PhysicalOp> = Vec::new();
@@ -59,13 +70,20 @@ impl GaiaEngine {
         partitions[0].push(Record::new()); // the source record
         let mut first_scan_pending = true;
 
-        for (pipeline, barrier) in segments {
+        for (seg, (pipeline, barrier)) in segments.into_iter().enumerate() {
             // run the stateless pipeline on each partition in parallel
-            partitions = self.run_pipeline(&pipeline, partitions, graph, first_scan_pending)?;
-            if pipeline.iter().any(|op| matches!(op, PhysicalOp::Scan { .. })) {
+            {
+                let _seg_span = span!("gaia.segment", idx = seg);
+                partitions = self.run_pipeline(&pipeline, partitions, graph, first_scan_pending)?;
+            }
+            if pipeline
+                .iter()
+                .any(|op| matches!(op, PhysicalOp::Scan { .. }))
+            {
                 first_scan_pending = false;
             }
             if let Some(op) = barrier {
+                let _barrier_span = span!("gaia.barrier", op = op_name(&op));
                 partitions = self.run_barrier(&op, partitions, graph)?;
             }
         }
@@ -87,16 +105,24 @@ impl GaiaEngine {
         }
         // find the first scan index if we must partition it
         let scan_idx = if partition_first_scan {
-            ops.iter().position(|op| matches!(op, PhysicalOp::Scan { .. }))
+            ops.iter()
+                .position(|op| matches!(op, PhysicalOp::Scan { .. }))
         } else {
             None
         };
         let n = self.workers;
+        let wall_start = Instant::now();
+        // total busy nanoseconds across workers; segment wall × n minus
+        // this is the time workers spent stalled at the implicit exchange
+        // barrier waiting for their slowest sibling
+        let busy_ns = AtomicU64::new(0);
         let results: Vec<Result<Vec<Record>>> = crossbeam::thread::scope(|s| {
             let mut handles = Vec::with_capacity(n);
             for (w, part) in partitions.into_iter().enumerate() {
                 let ops = &ops;
+                let busy_ns = &busy_ns;
                 let handle = s.spawn(move |_| -> Result<Vec<Record>> {
+                    let worker_start = Instant::now();
                     // seed: worker 0 holds the source record before the
                     // first scan; all workers run the partitioned scan
                     let mut records = if scan_idx.is_some() {
@@ -105,12 +131,18 @@ impl GaiaEngine {
                         part
                     };
                     for (i, op) in ops.iter().enumerate() {
+                        let op_start = gs_telemetry::enabled().then(Instant::now);
                         if Some(i) == scan_idx {
                             records = scan_partitioned(op, &records, graph, w, n)?;
                         } else {
                             records = apply(op, records, graph)?;
                         }
+                        if let Some(t) = op_start {
+                            observe!("gaia.op_ns", op = op_name(op); t.elapsed().as_nanos() as u64);
+                            counter!("gaia.records", op = op_name(op); records.len() as u64);
+                        }
                     }
+                    busy_ns.fetch_add(worker_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     Ok(records)
                 });
                 handles.push(handle);
@@ -121,6 +153,9 @@ impl GaiaEngine {
                 .collect()
         })
         .expect("gaia scope");
+        let wall = wall_start.elapsed().as_nanos() as u64;
+        let stall = (wall * n as u64).saturating_sub(busy_ns.load(Ordering::Relaxed));
+        counter!("gaia.exchange_stall_ns"; stall);
         results.into_iter().collect()
     }
 
@@ -133,7 +168,9 @@ impl GaiaEngine {
     ) -> Result<Vec<Vec<Record>>> {
         match op {
             PhysicalOp::Project { items }
-                if items.iter().any(|(it, _)| matches!(it, ProjectItem::Agg(..))) =>
+                if items
+                    .iter()
+                    .any(|(it, _)| matches!(it, ProjectItem::Agg(..))) =>
             {
                 self.parallel_group_by(items, partitions, graph)
             }
@@ -219,7 +256,9 @@ impl GaiaEngine {
         }
         // keyless aggregate over empty input → identity row
         if merged.is_empty()
-            && items.iter().all(|(it, _)| matches!(it, ProjectItem::Agg(..)))
+            && items
+                .iter()
+                .all(|(it, _)| matches!(it, ProjectItem::Agg(..)))
         {
             let row: Record = items
                 .iter()
@@ -255,6 +294,31 @@ impl GaiaEngine {
     }
 }
 
+impl gs_ir::QueryEngine for GaiaEngine {
+    fn execute(&self, plan: &PhysicalPlan, graph: &dyn GrinGraph) -> Result<Vec<Record>> {
+        GaiaEngine::execute(self, plan, graph)
+    }
+
+    fn name(&self) -> &'static str {
+        "gaia"
+    }
+}
+
+/// Short operator name for metric keys.
+fn op_name(op: &PhysicalOp) -> &'static str {
+    match op {
+        PhysicalOp::Scan { .. } => "Scan",
+        PhysicalOp::Expand { .. } => "Expand",
+        PhysicalOp::GetVertex { .. } => "GetVertex",
+        PhysicalOp::ExpandIntersect { .. } => "ExpandIntersect",
+        PhysicalOp::Select { .. } => "Select",
+        PhysicalOp::Project { .. } => "Project",
+        PhysicalOp::Order { .. } => "Order",
+        PhysicalOp::Dedup { .. } => "Dedup",
+        PhysicalOp::Limit { .. } => "Limit",
+    }
+}
+
 /// Is this op an exchange barrier?
 fn is_stateful(op: &PhysicalOp) -> bool {
     match op {
@@ -285,7 +349,11 @@ fn scan_partitioned(
     };
     let mut vertices: Vec<Value> = Vec::new();
     if let Some((prop, val)) = index_lookup {
-        for (i, v) in graph.vertices_by_property(*label, *prop, val).into_iter().enumerate() {
+        for (i, v) in graph
+            .vertices_by_property(*label, *prop, val)
+            .into_iter()
+            .enumerate()
+        {
             if i % n == w {
                 vertices.push(Value::Vertex(v, *label));
             }
@@ -367,17 +435,17 @@ mod tests {
         let plan = builder
             .select(pred)
             .project(vec![
-                (
-                    gs_ir::logical::ProjectItem::Expr(Expr::Column(0)),
-                    "src",
-                ),
+                (gs_ir::logical::ProjectItem::Expr(Expr::Column(0)), "src"),
                 (
                     gs_ir::logical::ProjectItem::Agg(AggFunc::Count, Expr::Column(2)),
                     "cnt",
                 ),
             ])
             .unwrap()
-            .order(vec![(Expr::Column(1), false), (Expr::Column(0), true)], Some(20))
+            .order(
+                vec![(Expr::Column(1), false), (Expr::Column(0), true)],
+                Some(20),
+            )
             .build();
         let phys = lower_naive(&plan).unwrap();
         let expected = ref_execute(&phys, &g).unwrap();

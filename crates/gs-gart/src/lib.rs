@@ -25,8 +25,8 @@ use gs_graph::data::PropertyGraphData;
 use gs_graph::ids::IdMap;
 use gs_graph::props::PropertyTable;
 use gs_grin::{
-    AdjEntry, Capabilities, Direction, GraphError, GraphSchema, GrinGraph, LabelId, PropId,
-    Result, VId, Value,
+    AdjEntry, Capabilities, Direction, GraphError, GraphSchema, GrinGraph, LabelId, PropId, Result,
+    VId, Value,
 };
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -125,14 +125,25 @@ impl AdjPool {
     /// fully-old, tombstone-free regions scan raw.
     #[inline]
     fn for_each<F: FnMut(VId, gs_grin::EId)>(&self, v: usize, version: Version, f: &mut F) {
+        // cached telemetry handles: this runs once per vertex in every scan,
+        // so the enabled-check must stay one relaxed load
+        static FENCE_SKIPS: gs_telemetry::StaticCounter =
+            gs_telemetry::StaticCounter::new("gart.fence_skips");
+        static VERSION_CHECK_SCANS: gs_telemetry::StaticCounter =
+            gs_telemetry::StaticCounter::new("gart.version_check_scans");
+        static TOMBSTONE_SCANS: gs_telemetry::StaticCounter =
+            gs_telemetry::StaticCounter::new("gart.tombstone_scans");
         let Some(&m) = self.meta.get(v) else { return };
         let slice = &self.entries[m.start as usize..(m.start + m.len) as usize];
         if !m.has_tombstone {
             if m.max_created <= version {
+                // every entry predates the snapshot: no per-edge check
+                FENCE_SKIPS.add(1);
                 for e in slice {
                     f(e.nbr, e.eid);
                 }
             } else {
+                VERSION_CHECK_SCANS.add(1);
                 for e in slice {
                     if e.created <= version {
                         f(e.nbr, e.eid);
@@ -140,6 +151,7 @@ impl AdjPool {
                 }
             }
         } else {
+            TOMBSTONE_SCANS.add(1);
             let tombs = self.tombstones.get(&(v as u32));
             for e in slice {
                 let deleted = tombs
@@ -324,11 +336,7 @@ impl GartStore {
     /// acquisition (group commit — the ingestion pattern real deployments
     /// use to keep writers from convoying with readers). Returns how many
     /// edges were staged; unknown endpoints abort the batch.
-    pub fn add_edges(
-        &self,
-        label: LabelId,
-        edges: &[(u64, u64, Vec<Value>)],
-    ) -> Result<usize> {
+    pub fn add_edges(&self, label: LabelId, edges: &[(u64, u64, Vec<Value>)]) -> Result<usize> {
         let wv = self.write_version();
         let ldef = self.schema.edge_label(label)?.clone();
         let mut g = self.inner.write();
@@ -380,10 +388,7 @@ impl GartStore {
     /// instead of one per traversal step.
     pub fn with_view<R>(&self, version: Version, f: impl FnOnce(&GartView<'_>) -> R) -> R {
         let g = self.inner.read();
-        f(&GartView {
-            inner: &g,
-            version,
-        })
+        f(&GartView { inner: &g, version })
     }
 
     /// A consistent read snapshot at the latest committed version.
@@ -450,7 +455,9 @@ impl<'a> GartView<'a> {
         f: &mut F,
     ) {
         match dir {
-            Direction::Out => self.inner.adj_out[elabel.index()].for_each(v.index(), self.version, f),
+            Direction::Out => {
+                self.inner.adj_out[elabel.index()].for_each(v.index(), self.version, f)
+            }
             Direction::In => self.inner.adj_in[elabel.index()].for_each(v.index(), self.version, f),
             Direction::Both => {
                 self.inner.adj_out[elabel.index()].for_each(v.index(), self.version, f);
@@ -583,9 +590,7 @@ impl GrinGraph for GartSnapshot {
             Direction::Out => {
                 g.adj_out[elabel.index()].for_each(v.index(), self.version, &mut push)
             }
-            Direction::In => {
-                g.adj_in[elabel.index()].for_each(v.index(), self.version, &mut push)
-            }
+            Direction::In => g.adj_in[elabel.index()].for_each(v.index(), self.version, &mut push),
             Direction::Both => {
                 g.adj_out[elabel.index()].for_each(v.index(), self.version, &mut push);
                 g.adj_in[elabel.index()].for_each(v.index(), self.version, &mut push);
@@ -670,7 +675,9 @@ mod tests {
         store.commit();
         let snap1 = store.snapshot();
         for i in 0..9 {
-            store.add_edge(el, i, i + 1, vec![Value::Float(1.0)]).unwrap();
+            store
+                .add_edge(el, i, i + 1, vec![Value::Float(1.0)])
+                .unwrap();
         }
         store.commit();
         let snap2 = store.snapshot();
@@ -707,7 +714,9 @@ mod tests {
             store.add_vertex(vl, i, vec![Value::Int(0)]).unwrap();
         }
         for i in 1..5 {
-            store.add_edge(el, i, 0, vec![Value::Float(i as f64)]).unwrap();
+            store
+                .add_edge(el, i, 0, vec![Value::Float(i as f64)])
+                .unwrap();
         }
         store.commit();
         let snap = store.snapshot();
@@ -766,7 +775,9 @@ mod tests {
     fn scan_edges_matches_per_vertex_iteration() {
         let data = PropertyGraphData::from_edge_list(
             50,
-            &(0..200u64).map(|i| (i % 50, (i * 7 + 1) % 50)).collect::<Vec<_>>(),
+            &(0..200u64)
+                .map(|i| (i % 50, (i * 7 + 1) % 50))
+                .collect::<Vec<_>>(),
         );
         let store = GartStore::from_data(&data).unwrap();
         let snap = store.snapshot();
@@ -774,7 +785,9 @@ mod tests {
         store.scan_edges(LabelId(0), snap.version(), &mut |_, _, _| scanned += 1);
         let mut iterated = 0;
         for v in snap.vertices(LabelId(0)) {
-            iterated += snap.adjacent(v, LabelId(0), LabelId(0), Direction::Out).count();
+            iterated += snap
+                .adjacent(v, LabelId(0), LabelId(0), Direction::Out)
+                .count();
         }
         assert_eq!(scanned, iterated);
         assert_eq!(scanned, 200);

@@ -50,8 +50,8 @@ impl PregelProgram for Bfs {
 pub fn bfs(engine: &GrapeEngine, src: VId) -> Vec<u64> {
     // Default::default() for u64 is 0, which would mislabel unreached
     // vertices; map through an explicit run instead.
-    let depths = run_pregel(engine, &Bfs { src }, engine.global_n() + 2);
-    depths
+
+    run_pregel(engine, &Bfs { src }, engine.global_n() + 2)
 }
 
 #[cfg(test)]

@@ -78,8 +78,14 @@ mod tests {
         for k in [1, 3] {
             let engine = GrapeEngine::from_edges(10, el.edges(), k);
             let labels = cdlp(&engine, 10);
-            assert!(labels[..5].iter().all(|&l| l == labels[0]), "k={k} {labels:?}");
-            assert!(labels[5..].iter().all(|&l| l == labels[5]), "k={k} {labels:?}");
+            assert!(
+                labels[..5].iter().all(|&l| l == labels[0]),
+                "k={k} {labels:?}"
+            );
+            assert!(
+                labels[5..].iter().all(|&l| l == labels[5]),
+                "k={k} {labels:?}"
+            );
             assert_ne!(labels[0], labels[5], "k={k} {labels:?}");
         }
     }

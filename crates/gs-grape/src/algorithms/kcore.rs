@@ -96,7 +96,11 @@ mod tests {
         for k_frag in [1, 2, 3] {
             let engine = GrapeEngine::from_edges(6, el.edges(), k_frag);
             let got = kcore(&engine, 3);
-            assert_eq!(got, vec![true, true, true, true, false, false], "k={k_frag}");
+            assert_eq!(
+                got,
+                vec![true, true, true, true, false, false],
+                "k={k_frag}"
+            );
         }
     }
 

@@ -35,12 +35,12 @@ pub mod reference {
         for _ in 0..iters {
             next.iter_mut().for_each(|x| *x = 0.0);
             let mut dangling = 0.0;
-            for v in 0..n {
+            for (v, &rv) in rank.iter().enumerate() {
                 let d = g.degree(VId(v as u64));
                 if d == 0 {
-                    dangling += rank[v];
+                    dangling += rv;
                 } else {
-                    let share = rank[v] / d as f64;
+                    let share = rv / d as f64;
                     for &w in g.neighbors(VId(v as u64)) {
                         next[w.index()] += share;
                     }
@@ -107,7 +107,7 @@ pub mod reference {
     /// WCC labels (min vertex id per component) over a symmetrized list.
     pub fn wcc(n: usize, edges: &[(VId, VId)]) -> Vec<u64> {
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+        fn find(p: &mut [usize], x: usize) -> usize {
             let mut r = x;
             while p[r] != r {
                 r = p[r];

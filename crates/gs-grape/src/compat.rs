@@ -39,8 +39,7 @@ pub mod networkx {
 
         /// `nx.DiGraph()` — directed, no symmetrization.
         pub fn new_directed(n: usize, edges: &[(u64, u64)], workers: usize) -> Self {
-            let pairs: Vec<(VId, VId)> =
-                edges.iter().map(|&(s, d)| (VId(s), VId(d))).collect();
+            let pairs: Vec<(VId, VId)> = edges.iter().map(|&(s, d)| (VId(s), VId(d))).collect();
             Self {
                 engine: GrapeEngine::from_edges(n, &pairs, workers),
             }
@@ -99,15 +98,9 @@ pub mod graphx {
             weights: &[f64],
             workers: usize,
         ) -> Self {
-            let pairs: Vec<(VId, VId)> =
-                edges.iter().map(|&(s, d)| (VId(s), VId(d))).collect();
+            let pairs: Vec<(VId, VId)> = edges.iter().map(|&(s, d)| (VId(s), VId(d))).collect();
             Self {
-                engine: GrapeEngine::from_weighted_edges(
-                    vertices.len(),
-                    &pairs,
-                    weights,
-                    workers,
-                ),
+                engine: GrapeEngine::from_weighted_edges(vertices.len(), &pairs, weights, workers),
                 vertices,
             }
         }
@@ -142,13 +135,9 @@ pub mod graphx {
             let mut weights = Vec::new();
             for frag in &engine.fragments {
                 for l in 0..frag.inner_count as u32 {
-                    for (&nbr, &eid) in
-                        frag.out_neighbors(l).iter().zip(frag.out_edge_ids(l))
-                    {
+                    for (&nbr, &eid) in frag.out_neighbors(l).iter().zip(frag.out_edge_ids(l)) {
                         edges.push((frag.global(l), frag.global(nbr.0 as u32)));
-                        weights.push(
-                            frag.weights.as_ref().map(|w| w[eid.index()]).unwrap_or(1.0),
-                        );
+                        weights.push(frag.weights.as_ref().map(|w| w[eid.index()]).unwrap_or(1.0));
                     }
                 }
             }
@@ -164,32 +153,26 @@ pub mod graphx {
         /// `graph.aggregateMessages(sendMsg, mergeMsg)`: `send` inspects
         /// each out-edge triplet and may emit a message to the destination;
         /// messages merge pairwise. Returns one `Option<M>` per vertex.
-        pub fn aggregate_messages<M: Payload>(
+        pub fn aggregate_messages<M>(
             &self,
             send: impl Fn(&Triplet<'_, V>) -> Option<M> + Sync,
             merge: impl Fn(M, M) -> M + Sync,
         ) -> Vec<Option<M>>
         where
-            M: std::fmt::Debug,
+            M: Payload + std::fmt::Debug,
         {
             let vertices = &self.vertices;
             let results: Vec<Option<M>> = self.engine.run(|frag, comm| {
                 let mut out = OutBuffers::new(comm.workers);
                 for l in 0..frag.inner_count as u32 {
                     let src = frag.global(l);
-                    for (&nbr, &eid) in
-                        frag.out_neighbors(l).iter().zip(frag.out_edge_ids(l))
-                    {
+                    for (&nbr, &eid) in frag.out_neighbors(l).iter().zip(frag.out_edge_ids(l)) {
                         let dst = frag.global(nbr.0 as u32);
                         let t = Triplet {
                             src_id: src.0,
                             dst_id: dst.0,
                             src_attr: &vertices[src.index()],
-                            weight: frag
-                                .weights
-                                .as_ref()
-                                .map(|w| w[eid.index()])
-                                .unwrap_or(1.0),
+                            weight: frag.weights.as_ref().map(|w| w[eid.index()]).unwrap_or(1.0),
                         };
                         if let Some(m) = send(&t) {
                             out.send(frag.owner(dst).index(), dst, m);
@@ -216,11 +199,7 @@ pub mod graphx {
 
         /// `graph.joinVertices(msgs)(f)`: folds per-vertex messages back
         /// into vertex attributes.
-        pub fn join_vertices<M>(
-            &mut self,
-            msgs: Vec<Option<M>>,
-            f: impl Fn(u64, &V, M) -> V,
-        ) {
+        pub fn join_vertices<M>(&mut self, msgs: Vec<Option<M>>, f: impl Fn(u64, &V, M) -> V) {
             for (i, m) in msgs.into_iter().enumerate() {
                 if let Some(m) = m {
                     self.vertices[i] = f(i as u64, &self.vertices[i], m);
@@ -370,10 +349,7 @@ mod tests {
         let weights = vec![0.5, 0.25];
         let mut g = graphx::PropertyGraph::new(vertices, &edges, &weights, 1);
         // propagate weighted attribute one hop
-        let msgs = g.aggregate_messages::<f64>(
-            |t| Some(t.src_attr * t.weight),
-            |a, b| a + b,
-        );
+        let msgs = g.aggregate_messages::<f64>(|t| Some(t.src_attr * t.weight), |a, b| a + b);
         g.join_vertices(msgs, |_, v, m| v + m);
         assert_eq!(g.vertices(), &[1.0, 1.5, 1.25]);
     }

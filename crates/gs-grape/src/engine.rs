@@ -6,8 +6,10 @@ use crate::fragment::Fragment;
 use crate::messages::{MessageBlock, OutBuffers, Payload};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use gs_graph::VId;
+use gs_telemetry::counter;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
+use std::time::Instant;
 
 /// Double-barrier global reduction: every worker contributes a u64; all
 /// observe the total.
@@ -27,10 +29,7 @@ impl GlobalSync {
         Arc::new(Self {
             barrier: Barrier::new(workers),
             totals: [AtomicU64::new(0), AtomicU64::new(0)],
-            totals_f: [
-                parking_lot::Mutex::new(0.0),
-                parking_lot::Mutex::new(0.0),
-            ],
+            totals_f: [parking_lot::Mutex::new(0.0), parking_lot::Mutex::new(0.0)],
         })
     }
 
@@ -73,6 +72,12 @@ pub struct CommHandle {
     /// This worker's collective-round counter (each allreduce is one
     /// collective round; all workers must make the same sequence of calls).
     round: std::cell::Cell<u64>,
+    /// Blocks received ahead of their exchange round, queued per sender.
+    /// A fast peer may already have sent its round-(r+1) block while this
+    /// worker is still collecting round r; per-sender FIFO order makes the
+    /// n-th block from a peer its round-n block, so stashing extras here
+    /// keeps rounds aligned without a global barrier.
+    pending: std::cell::RefCell<Vec<std::collections::VecDeque<MessageBlock>>>,
 }
 
 impl CommHandle {
@@ -96,6 +101,9 @@ impl CommHandle {
                 receiver,
                 sync: Arc::clone(&sync),
                 round: std::cell::Cell::new(0),
+                pending: std::cell::RefCell::new(
+                    (0..k).map(|_| std::collections::VecDeque::new()).collect(),
+                ),
             })
             .collect()
     }
@@ -115,22 +123,51 @@ impl CommHandle {
     }
 
     /// All-to-all exchange: sends one block to every worker (including
-    /// self), receives one block from every worker. Returns the received
-    /// blocks and the total message count delivered to *this* worker.
+    /// self), receives exactly one block *from* every worker for this
+    /// round. Returns the received blocks (indexed by sender) and the total
+    /// message count delivered to *this* worker.
     pub fn exchange(&self, out: &mut OutBuffers) -> (Vec<MessageBlock>, u64) {
         let blocks = out.take();
+        if gs_telemetry::enabled() {
+            counter!("grape.msgs_sent"; blocks.iter().map(|b| b.count).sum());
+            counter!("grape.msg_bytes_raw"; blocks.iter().map(|b| b.raw_bytes).sum());
+            counter!("grape.msg_bytes_encoded";
+                blocks.iter().map(|b| b.bytes.len() as u64).sum());
+        }
         for (to, block) in blocks.into_iter().enumerate() {
             self.senders[to]
                 .send((self.my_id, block))
                 .expect("worker alive");
         }
-        let mut incoming = Vec::with_capacity(self.workers);
-        let mut count = 0;
-        for _ in 0..self.workers {
-            let (_, block) = self.receiver.recv().expect("exchange recv");
-            count += block.count;
-            incoming.push(block);
+        let mut pending = self.pending.borrow_mut();
+        let mut incoming: Vec<Option<MessageBlock>> = (0..self.workers).map(|_| None).collect();
+        let mut got = 0;
+        // blocks stashed by a previous over-receive are this round's
+        for (from, q) in pending.iter_mut().enumerate() {
+            if let Some(b) = q.pop_front() {
+                incoming[from] = Some(b);
+                got += 1;
+            }
         }
+        let stall_start = gs_telemetry::enabled().then(Instant::now);
+        while got < self.workers {
+            let (from, block) = self.receiver.recv().expect("exchange recv");
+            if incoming[from].is_none() {
+                incoming[from] = Some(block);
+                got += 1;
+            } else {
+                // a peer raced ahead into the next round; keep for later
+                pending[from].push_back(block);
+            }
+        }
+        if let Some(t) = stall_start {
+            counter!("grape.exchange_stall_ns"; t.elapsed().as_nanos() as u64);
+        }
+        let incoming: Vec<MessageBlock> = incoming
+            .into_iter()
+            .map(|b| b.expect("one per sender"))
+            .collect();
+        let count = incoming.iter().map(|b| b.count).sum();
         (incoming, count)
     }
 }
@@ -150,12 +187,7 @@ impl GrapeEngine {
     }
 
     /// Partitions a weighted edge list.
-    pub fn from_weighted_edges(
-        n: usize,
-        edges: &[(VId, VId)],
-        weights: &[f64],
-        k: usize,
-    ) -> Self {
+    pub fn from_weighted_edges(n: usize, edges: &[(VId, VId)], weights: &[f64], k: usize) -> Self {
         Self {
             fragments: Fragment::partition_weighted(n, edges, Some(weights), k),
         }
@@ -271,6 +303,10 @@ pub fn run_pregel<P: PregelProgram>(
         let mut out = OutBuffers::new(comm.workers);
 
         for step in 0..max_steps {
+            if comm.my_id == 0 {
+                // one worker counts supersteps for the whole cluster
+                counter!("grape.supersteps");
+            }
             // compute phase
             let mut local_active = 0u64;
             for l in 0..n_inner {

@@ -156,7 +156,9 @@ mod tests {
     use super::*;
 
     fn ring(n: usize) -> Vec<(VId, VId)> {
-        (0..n as u64).map(|i| (VId(i), VId((i + 1) % n as u64))).collect()
+        (0..n as u64)
+            .map(|i| (VId(i), VId((i + 1) % n as u64)))
+            .collect()
     }
 
     #[test]

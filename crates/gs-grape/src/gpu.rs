@@ -98,6 +98,7 @@ impl GpuCluster {
             }
         })
         .expect("gpu kernel scope");
+        gs_telemetry::counter!("grape.gpu_steals"; stolen.load(Ordering::Relaxed));
     }
 }
 
@@ -107,12 +108,8 @@ pub fn atomic_f64_add(cell: &AtomicU64, add: f64) {
     let mut cur = cell.load(Ordering::Relaxed);
     loop {
         let next = f64::from_bits(cur) + add;
-        match cell.compare_exchange_weak(
-            cur,
-            next.to_bits(),
-            Ordering::Relaxed,
-            Ordering::Relaxed,
-        ) {
+        match cell.compare_exchange_weak(cur, next.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
             Ok(_) => return,
             Err(v) => cur = v,
         }

@@ -61,8 +61,7 @@ impl IncrementalPageRank {
         // every vertex whose residual we touch must seed the re-convergence
         let mut seeds = vec![s, d];
         if old_deg > 0.0 {
-            let delta_per_nbr =
-                self.damping * rs * (1.0 / (old_deg + 1.0) - 1.0 / old_deg);
+            let delta_per_nbr = self.damping * rs * (1.0 / (old_deg + 1.0) - 1.0 / old_deg);
             let nbrs = self.adj[s.index()].clone();
             for w in nbrs {
                 self.residual[w.index()] += delta_per_nbr;
@@ -86,8 +85,7 @@ impl IncrementalPageRank {
         self.residual[d.index()] -= self.damping * rs / old_deg;
         let mut seeds = vec![s, d];
         if old_deg > 1.0 {
-            let delta_per_nbr =
-                self.damping * rs * (1.0 / (old_deg - 1.0) - 1.0 / old_deg);
+            let delta_per_nbr = self.damping * rs * (1.0 / (old_deg - 1.0) - 1.0 / old_deg);
             let nbrs = self.adj[s.index()].clone();
             for w in nbrs {
                 self.residual[w.index()] += delta_per_nbr;
@@ -123,8 +121,7 @@ impl IncrementalPageRank {
             let nbrs = self.adj[v.index()].clone();
             for w in nbrs {
                 self.residual[w.index()] += push;
-                if self.residual[w.index()].abs() >= self.epsilon && !in_queue[w.index()]
-                {
+                if self.residual[w.index()].abs() >= self.epsilon && !in_queue[w.index()] {
                     in_queue[w.index()] = true;
                     queue.push_back(w);
                 }
@@ -218,8 +215,7 @@ mod tests {
     fn incremental_update_is_localized() {
         let n = 6000u64;
         // long cycle plus random chords: large diameter localizes updates
-        let mut edges: Vec<(VId, VId)> =
-            (0..n).map(|i| (VId(i), VId((i + 1) % n))).collect();
+        let mut edges: Vec<(VId, VId)> = (0..n).map(|i| (VId(i), VId((i + 1) % n))).collect();
         edges.extend(random_edges(n, 200, 4));
         let mut inc = IncrementalPageRank::new(n as usize, &edges, 0.85, 1e-11);
         let touched = inc.insert_edge(VId(7), VId(1400));

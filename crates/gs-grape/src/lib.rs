@@ -21,17 +21,17 @@
 pub mod algorithms;
 pub mod compat;
 pub mod engine;
-pub mod ingress;
 pub mod flash;
 pub mod fragment;
 pub mod gpu;
+pub mod ingress;
 pub mod messages;
 pub mod pie;
 
-pub use ingress::IncrementalPageRank;
 pub use engine::{run_pregel, CommHandle, GlobalSync, GrapeEngine, PregelContext, PregelProgram};
 pub use flash::{run_flash, FlashContext, VertexSubset};
 pub use fragment::Fragment;
 pub use gpu::{bfs_gpu, pagerank_gpu, Device, GpuCluster};
+pub use ingress::IncrementalPageRank;
 pub use messages::{MessageBlock, OutBuffers, Payload};
 pub use pie::{run_pie, PieContext, PieProgram};

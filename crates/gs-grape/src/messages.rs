@@ -17,6 +17,9 @@ use gs_graph::VId;
 
 /// Message payload codec. Payloads are fixed-meaning per algorithm.
 pub trait Payload: Copy + Send + 'static {
+    /// Size of the payload in a naive fixed-width wire format, used to
+    /// report "message volume before aggregation" in telemetry.
+    const RAW_SIZE: usize = 8;
     fn write(&self, buf: &mut Vec<u8>);
     fn read(buf: &[u8]) -> Option<(Self, usize)>;
 }
@@ -47,6 +50,7 @@ impl Payload for u64 {
 }
 
 impl Payload for u32 {
+    const RAW_SIZE: usize = 4;
     #[inline]
     fn write(&self, buf: &mut Vec<u8>) {
         varint::encode_u64(*self as u64, buf);
@@ -58,6 +62,7 @@ impl Payload for u32 {
 }
 
 impl Payload for () {
+    const RAW_SIZE: usize = 0;
     #[inline]
     fn write(&self, _buf: &mut Vec<u8>) {}
     #[inline]
@@ -67,6 +72,7 @@ impl Payload for () {
 }
 
 impl<A: Payload, B: Payload> Payload for (A, B) {
+    const RAW_SIZE: usize = A::RAW_SIZE + B::RAW_SIZE;
     #[inline]
     fn write(&self, buf: &mut Vec<u8>) {
         self.0.write(buf);
@@ -85,6 +91,7 @@ pub struct OutBuffers {
     bufs: Vec<Vec<u8>>,
     last_gid: Vec<u64>,
     counts: Vec<u64>,
+    raw_bytes: Vec<u64>,
 }
 
 impl OutBuffers {
@@ -94,6 +101,7 @@ impl OutBuffers {
             bufs: vec![Vec::new(); k],
             last_gid: vec![0; k],
             counts: vec![0; k],
+            raw_bytes: vec![0; k],
         }
     }
 
@@ -107,11 +115,24 @@ impl OutBuffers {
         self.last_gid[to] = target.0;
         payload.write(buf);
         self.counts[to] += 1;
+        // what the naive format would cost: full 8-byte gid + fixed payload
+        self.raw_bytes[to] += 8 + P::RAW_SIZE as u64;
     }
 
     /// Total messages across all buffers.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
+    }
+
+    /// Total encoded bytes buffered across destinations.
+    pub fn encoded_bytes(&self) -> u64 {
+        self.bufs.iter().map(|b| b.len() as u64).sum()
+    }
+
+    /// Total bytes the buffered messages would occupy without varint/delta
+    /// aggregation (8-byte gid + fixed-width payload each).
+    pub fn raw_bytes(&self) -> u64 {
+        self.raw_bytes.iter().sum()
     }
 
     /// Takes the finished buffers (with message counts), resetting self.
@@ -122,6 +143,7 @@ impl OutBuffers {
             out.push(MessageBlock {
                 bytes: std::mem::take(&mut self.bufs[i]),
                 count: std::mem::replace(&mut self.counts[i], 0),
+                raw_bytes: std::mem::replace(&mut self.raw_bytes[i], 0),
             });
             self.last_gid[i] = 0;
         }
@@ -134,6 +156,8 @@ impl OutBuffers {
 pub struct MessageBlock {
     pub bytes: Vec<u8>,
     pub count: u64,
+    /// Size of these messages in the naive fixed-width format (telemetry).
+    pub raw_bytes: u64,
 }
 
 impl MessageBlock {

@@ -26,7 +26,12 @@ pub trait PieProgram: Sync {
 
     /// Sequential evaluation over the whole fragment; sends updates for
     /// border vertices through `ctx`.
-    fn partial_eval(&self, frag: &Fragment, state: &mut Self::State, ctx: &mut PieContext<'_, Self::Msg>);
+    fn partial_eval(
+        &self,
+        frag: &Fragment,
+        state: &mut Self::State,
+        ctx: &mut PieContext<'_, Self::Msg>,
+    );
 
     /// Incremental evaluation against messages received since the last
     /// round; sends further updates through `ctx`.

@@ -25,6 +25,10 @@ pub enum GraphError {
     Query(String),
     /// Invalid engine or flexbuild configuration.
     Config(String),
+    /// The storage backend lacks capability flags an engine requires.
+    /// `missing` holds the flag names (built by `gs_grin::Capabilities`,
+    /// which this crate deliberately does not know about).
+    UnsupportedCapability { missing: Vec<String> },
 }
 
 impl fmt::Display for GraphError {
@@ -38,6 +42,9 @@ impl fmt::Display for GraphError {
             GraphError::Io(m) => write!(f, "io error: {m}"),
             GraphError::Query(m) => write!(f, "query error: {m}"),
             GraphError::Config(m) => write!(f, "config error: {m}"),
+            GraphError::UnsupportedCapability { missing } => {
+                write!(f, "missing capabilities: {}", missing.join("|"))
+            }
         }
     }
 }
@@ -68,7 +75,7 @@ mod tests {
 
     #[test]
     fn io_conversion() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e: GraphError = io.into();
         assert!(matches!(e, GraphError::Io(_)));
     }

@@ -6,26 +6,25 @@
 //! [`IdMap`]. Vineyard advertises this as its "internal ID assignment"
 //! feature; GART and GraphAr reuse the same machinery.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Internal vertex identifier: dense, 0-based within a label (or globally for
 /// homogeneous graphs).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct VId(pub u64);
 
 /// Edge identifier: dense per storage backend; the high bits may encode the
 /// edge label for backends that keep per-label edge arrays.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct EId(pub u64);
 
 /// Label identifier for vertex or edge labels (LPG model).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct LabelId(pub u16);
 
 /// Property identifier within a label.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct PropId(pub u16);
 
 impl VId {

@@ -22,6 +22,7 @@ pub mod data;
 pub mod edgelist;
 pub mod error;
 pub mod ids;
+pub mod json;
 pub mod partition;
 pub mod props;
 pub mod schema;
@@ -33,6 +34,7 @@ pub use data::{EdgeBatch, PropertyGraphData, VertexBatch};
 pub use edgelist::EdgeList;
 pub use error::{GraphError, Result};
 pub use ids::{EId, IdMap, LabelId, PropId, VId};
+pub use json::Json;
 pub use partition::{EdgeCutPartitioner, FragmentSpec, PartitionId};
 pub use props::{PropertyColumn, PropertyTable};
 pub use schema::{EdgeLabelDef, GraphSchema, PropertyDef, VertexLabelDef};

@@ -68,7 +68,7 @@ impl Bitmap {
 
     /// Appends a bit.
     pub fn push(&mut self, v: bool) {
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.bits.push(0);
         }
         self.len += 1;
@@ -376,7 +376,8 @@ mod tests {
         .unwrap();
         t.push_row(&[Value::Str("ann".into()), Value::Int(30)])
             .unwrap();
-        t.push_row(&[Value::Str("bob".into()), Value::Null]).unwrap();
+        t.push_row(&[Value::Str("bob".into()), Value::Null])
+            .unwrap();
         assert_eq!(t.row_count(), 2);
         assert_eq!(t.get(0, PropId(1)), Value::Int(30));
         assert_eq!(t.get(1, PropId(1)), Value::Null);

@@ -5,54 +5,52 @@
 
 use crate::error::{GraphError, Result};
 use crate::ids::{LabelId, PropId};
+use crate::json::Json;
 use crate::value::ValueType;
-use serde::{Deserialize, Serialize};
 
 /// One property definition attached to a vertex or edge label.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PropertyDef {
     pub id: PropId,
     pub name: String,
     pub value_type: ValueType,
 }
 
-impl Serialize for ValueType {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> std::result::Result<S::Ok, S::Error> {
-        s.serialize_str(match self {
-            ValueType::Null => "null",
-            ValueType::Bool => "bool",
-            ValueType::Int => "int",
-            ValueType::Float => "float",
-            ValueType::Str => "str",
-            ValueType::Date => "date",
-            ValueType::List => "list",
-            ValueType::Vertex => "vertex",
-            ValueType::Edge => "edge",
-            ValueType::Path => "path",
-        })
+/// Stable on-disk name for a [`ValueType`] (GraphAr metadata, schema.json).
+pub fn value_type_name(vt: ValueType) -> &'static str {
+    match vt {
+        ValueType::Null => "null",
+        ValueType::Bool => "bool",
+        ValueType::Int => "int",
+        ValueType::Float => "float",
+        ValueType::Str => "str",
+        ValueType::Date => "date",
+        ValueType::List => "list",
+        ValueType::Vertex => "vertex",
+        ValueType::Edge => "edge",
+        ValueType::Path => "path",
     }
 }
 
-impl<'de> Deserialize<'de> for ValueType {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> std::result::Result<Self, D::Error> {
-        let s = String::deserialize(d)?;
-        Ok(match s.as_str() {
-            "bool" => ValueType::Bool,
-            "int" => ValueType::Int,
-            "float" => ValueType::Float,
-            "str" => ValueType::Str,
-            "date" => ValueType::Date,
-            "list" => ValueType::List,
-            "vertex" => ValueType::Vertex,
-            "edge" => ValueType::Edge,
-            "path" => ValueType::Path,
-            _ => ValueType::Null,
-        })
+/// Inverse of [`value_type_name`]; unknown names decode as `Null`, keeping
+/// old archives readable if a type is ever retired.
+pub fn value_type_from_name(name: &str) -> ValueType {
+    match name {
+        "bool" => ValueType::Bool,
+        "int" => ValueType::Int,
+        "float" => ValueType::Float,
+        "str" => ValueType::Str,
+        "date" => ValueType::Date,
+        "list" => ValueType::List,
+        "vertex" => ValueType::Vertex,
+        "edge" => ValueType::Edge,
+        "path" => ValueType::Path,
+        _ => ValueType::Null,
     }
 }
 
 /// A vertex label (e.g. `Person`, `Item`) with its property definitions.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct VertexLabelDef {
     pub id: LabelId,
     pub name: String,
@@ -63,7 +61,7 @@ pub struct VertexLabelDef {
 ///
 /// LDBC-style schemas constrain edges to (src label, edge label, dst label)
 /// triplets; `src`/`dst` record that constraint.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EdgeLabelDef {
     pub id: LabelId,
     pub name: String,
@@ -73,7 +71,7 @@ pub struct EdgeLabelDef {
 }
 
 /// Whole-graph schema: the catalog entry point for parsers and the optimizer.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct GraphSchema {
     vertex_labels: Vec<VertexLabelDef>,
     edge_labels: Vec<EdgeLabelDef>,
@@ -86,11 +84,7 @@ impl GraphSchema {
     }
 
     /// Adds a vertex label; ids are assigned densely in insertion order.
-    pub fn add_vertex_label(
-        &mut self,
-        name: &str,
-        properties: &[(&str, ValueType)],
-    ) -> LabelId {
+    pub fn add_vertex_label(&mut self, name: &str, properties: &[(&str, ValueType)]) -> LabelId {
         let id = LabelId(self.vertex_labels.len() as u16);
         self.vertex_labels.push(VertexLabelDef {
             id,
@@ -177,6 +171,110 @@ impl GraphSchema {
         self.edge_labels.len()
     }
 
+    /// Encodes the schema as a JSON document (the `schema.json` /
+    /// GraphAr-metadata wire form).
+    pub fn to_json(&self) -> Json {
+        let props = |defs: &[PropertyDef]| {
+            Json::arr(defs.iter().map(|p| {
+                Json::obj([
+                    ("id", Json::Int(p.id.0 as i64)),
+                    ("name", Json::str(&p.name)),
+                    ("type", Json::str(value_type_name(p.value_type))),
+                ])
+            }))
+        };
+        Json::obj([
+            (
+                "vertex_labels",
+                Json::arr(self.vertex_labels.iter().map(|l| {
+                    Json::obj([
+                        ("id", Json::Int(l.id.0 as i64)),
+                        ("name", Json::str(&l.name)),
+                        ("properties", props(&l.properties)),
+                    ])
+                })),
+            ),
+            (
+                "edge_labels",
+                Json::arr(self.edge_labels.iter().map(|l| {
+                    Json::obj([
+                        ("id", Json::Int(l.id.0 as i64)),
+                        ("name", Json::str(&l.name)),
+                        ("src", Json::Int(l.src.0 as i64)),
+                        ("dst", Json::Int(l.dst.0 as i64)),
+                        ("properties", props(&l.properties)),
+                    ])
+                })),
+            ),
+        ])
+    }
+
+    /// Decodes a schema from its [`GraphSchema::to_json`] form.
+    pub fn from_json(doc: &Json) -> Result<Self> {
+        let label_id = |j: &Json, key: &str| -> Result<LabelId> {
+            Ok(LabelId(
+                j.field(key)?
+                    .as_u64()
+                    .ok_or_else(|| GraphError::Corrupt(format!("schema json: `{key}` not an id")))?
+                    as u16,
+            ))
+        };
+        let props = |j: &Json| -> Result<Vec<PropertyDef>> {
+            j.field("properties")?
+                .as_arr()
+                .ok_or_else(|| GraphError::Corrupt("schema json: properties not an array".into()))?
+                .iter()
+                .map(|p| {
+                    Ok(PropertyDef {
+                        id: PropId(p.field("id")?.as_u64().unwrap_or(0) as u16),
+                        name: p
+                            .field("name")?
+                            .as_str()
+                            .ok_or_else(|| {
+                                GraphError::Corrupt("schema json: property name".into())
+                            })?
+                            .to_string(),
+                        value_type: value_type_from_name(
+                            p.field("type")?.as_str().unwrap_or("null"),
+                        ),
+                    })
+                })
+                .collect()
+        };
+        let name = |j: &Json| -> Result<String> {
+            Ok(j.field("name")?
+                .as_str()
+                .ok_or_else(|| GraphError::Corrupt("schema json: label name".into()))?
+                .to_string())
+        };
+        let mut schema = GraphSchema::new();
+        for l in doc
+            .field("vertex_labels")?
+            .as_arr()
+            .ok_or_else(|| GraphError::Corrupt("schema json: vertex_labels".into()))?
+        {
+            schema.vertex_labels.push(VertexLabelDef {
+                id: label_id(l, "id")?,
+                name: name(l)?,
+                properties: props(l)?,
+            });
+        }
+        for l in doc
+            .field("edge_labels")?
+            .as_arr()
+            .ok_or_else(|| GraphError::Corrupt("schema json: edge_labels".into()))?
+        {
+            schema.edge_labels.push(EdgeLabelDef {
+                id: label_id(l, "id")?,
+                name: name(l)?,
+                src: label_id(l, "src")?,
+                dst: label_id(l, "dst")?,
+                properties: props(l)?,
+            });
+        }
+        Ok(schema)
+    }
+
     /// A single-label schema for homogeneous (simple/weighted) graphs: one
     /// vertex label `V` and one edge label `E` with an optional weight.
     pub fn homogeneous(weighted: bool) -> Self {
@@ -258,10 +356,29 @@ mod tests {
     }
 
     #[test]
-    fn schema_serde_round_trip() {
+    fn schema_json_round_trip() {
         let s = sample();
-        let json = serde_json::to_string(&s).unwrap();
-        let back: GraphSchema = serde_json::from_str(&json).unwrap();
+        let json = s.to_json().render();
+        let back = GraphSchema::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn value_type_names_round_trip() {
+        for vt in [
+            ValueType::Null,
+            ValueType::Bool,
+            ValueType::Int,
+            ValueType::Float,
+            ValueType::Str,
+            ValueType::Date,
+            ValueType::List,
+            ValueType::Vertex,
+            ValueType::Edge,
+            ValueType::Path,
+        ] {
+            assert_eq!(value_type_from_name(value_type_name(vt)), vt);
+        }
+        assert_eq!(value_type_from_name("retired-type"), ValueType::Null);
     }
 }

@@ -35,7 +35,11 @@ pub fn crc32(data: &[u8]) -> u32 {
         for (i, e) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *e = c;
         }
@@ -48,9 +52,29 @@ pub fn crc32(data: &[u8]) -> u32 {
     !c
 }
 
+/// Bytes a value occupies in a naive fixed/plain representation; the
+/// baseline for telemetry's encoded-vs-raw ratio.
+fn raw_value_size(v: &Value) -> u64 {
+    match v {
+        Value::Bool(_) => 1,
+        Value::Str(s) => s.len() as u64 + 1,
+        _ => 8,
+    }
+}
+
 /// Encodes one column's values (with a validity bitmap baked in as a null
 /// mask) into a checksummed chunk.
 pub fn encode_column(values: &[Value], vt: ValueType) -> Result<Bytes> {
+    let chunk = encode_column_inner(values, vt)?;
+    if gs_telemetry::enabled() {
+        gs_telemetry::counter!("graphar.bytes_raw";
+            values.iter().map(raw_value_size).sum());
+        gs_telemetry::counter!("graphar.bytes_encoded"; chunk.len() as u64);
+    }
+    Ok(chunk)
+}
+
+fn encode_column_inner(values: &[Value], vt: ValueType) -> Result<Bytes> {
     let mut body = BytesMut::new();
     // null mask (bit-packed; 1 = valid)
     let mut mask = vec![0u8; values.len().div_ceil(8)];
@@ -66,7 +90,11 @@ pub fn encode_column(values: &[Value], vt: ValueType) -> Result<Bytes> {
 
     match vt {
         ValueType::Int | ValueType::Date => {
-            let tag = if vt == ValueType::Int { TAG_INT_DELTA } else { TAG_DATE_DELTA };
+            let tag = if vt == ValueType::Int {
+                TAG_INT_DELTA
+            } else {
+                TAG_DATE_DELTA
+            };
             let ints: Vec<u64> = values
                 .iter()
                 .map(|v| v.as_int().unwrap_or(0) as u64)
@@ -163,8 +191,8 @@ pub fn decode_column(chunk: &[u8]) -> Result<Vec<Value>> {
     }
     let tag = body[0];
     let mut rest = &body[1..];
-    let (len, n) = varint::decode_u64(rest)
-        .ok_or_else(|| GraphError::Corrupt("bad chunk length".into()))?;
+    let (len, n) =
+        varint::decode_u64(rest).ok_or_else(|| GraphError::Corrupt("bad chunk length".into()))?;
     rest = &rest[n..];
     let len = len as usize;
     let mask_len = len.div_ceil(8);
@@ -200,7 +228,11 @@ pub fn decode_column(chunk: &[u8]) -> Result<Vec<Value>> {
             }
             for i in 0..len {
                 let v = (&data[i * 8..]).get_f64_le();
-                out.push(if valid(i) { Value::Float(v) } else { Value::Null });
+                out.push(if valid(i) {
+                    Value::Float(v)
+                } else {
+                    Value::Null
+                });
             }
         }
         TAG_BOOL_BITS => {
@@ -210,7 +242,11 @@ pub fn decode_column(chunk: &[u8]) -> Result<Vec<Value>> {
             }
             for i in 0..len {
                 let b = data[i / 8] >> (i % 8) & 1 == 1;
-                out.push(if valid(i) { Value::Bool(b) } else { Value::Null });
+                out.push(if valid(i) {
+                    Value::Bool(b)
+                } else {
+                    Value::Null
+                });
             }
         }
         TAG_STR_RAW => {
@@ -278,7 +314,12 @@ pub fn encode_u64_chunk(values: &[u64]) -> Bytes {
     varint::encode_deltas(values, &mut buf);
     let mut out = BytesMut::with_capacity(buf.len() + 4);
     out.put_slice(&buf);
-    seal(out)
+    let chunk = seal(out);
+    if gs_telemetry::enabled() {
+        gs_telemetry::counter!("graphar.bytes_raw"; values.len() as u64 * 8);
+        gs_telemetry::counter!("graphar.bytes_encoded"; chunk.len() as u64);
+    }
+    chunk
 }
 
 /// Decodes a chunk from [`encode_u64_chunk`].
@@ -313,20 +354,33 @@ mod tests {
     #[test]
     fn int_round_trip_with_nulls() {
         round_trip(
-            vec![Value::Int(5), Value::Null, Value::Int(-3), Value::Int(1_000_000)],
+            vec![
+                Value::Int(5),
+                Value::Null,
+                Value::Int(-3),
+                Value::Int(1_000_000),
+            ],
             ValueType::Int,
         );
     }
 
     #[test]
     fn date_round_trip() {
-        round_trip(vec![Value::Date(15000), Value::Date(15001)], ValueType::Date);
+        round_trip(
+            vec![Value::Date(15000), Value::Date(15001)],
+            ValueType::Date,
+        );
     }
 
     #[test]
     fn float_round_trip() {
         round_trip(
-            vec![Value::Float(1.5), Value::Null, Value::Float(-0.0), Value::Float(f64::MAX)],
+            vec![
+                Value::Float(1.5),
+                Value::Null,
+                Value::Float(-0.0),
+                Value::Float(f64::MAX),
+            ],
             ValueType::Float,
         );
     }
@@ -364,7 +418,12 @@ mod tests {
             .collect();
         let chunk = encode_column(&values, ValueType::Str).unwrap();
         let raw_size: usize = values.iter().map(|v| v.as_str().unwrap().len() + 1).sum();
-        assert!(chunk.len() < raw_size / 2, "{} vs {}", chunk.len(), raw_size);
+        assert!(
+            chunk.len() < raw_size / 2,
+            "{} vs {}",
+            chunk.len(),
+            raw_size
+        );
     }
 
     #[test]
@@ -373,10 +432,7 @@ mod tests {
         let mut bad = chunk.to_vec();
         let mid = bad.len() / 2;
         bad[mid] ^= 0xFF;
-        assert!(matches!(
-            decode_column(&bad),
-            Err(GraphError::Corrupt(_))
-        ));
+        assert!(matches!(decode_column(&bad), Err(GraphError::Corrupt(_))));
     }
 
     #[test]

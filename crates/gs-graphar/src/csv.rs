@@ -7,6 +7,7 @@
 //! chunked/encoded archive wins.
 
 use gs_graph::data::PropertyGraphData;
+use gs_graph::json::Json;
 use gs_graph::schema::GraphSchema;
 use gs_graph::{GraphError, LabelId, Result, Value, ValueType};
 use std::fs;
@@ -18,14 +19,10 @@ use std::path::Path;
 pub fn write_csv(dir: &Path, data: &PropertyGraphData) -> Result<()> {
     data.validate()?;
     fs::create_dir_all(dir)?;
-    let schema_json = serde_json::to_string(&data.schema)
-        .map_err(|e| GraphError::Io(e.to_string()))?;
-    fs::write(dir.join("schema.json"), schema_json)?;
+    fs::write(dir.join("schema.json"), data.schema.to_json().render())?;
     for batch in &data.vertices {
         let ldef = data.schema.vertex_label(batch.label)?;
-        let mut w = BufWriter::new(fs::File::create(
-            dir.join(format!("v_{}.csv", ldef.name)),
-        )?);
+        let mut w = BufWriter::new(fs::File::create(dir.join(format!("v_{}.csv", ldef.name)))?);
         write!(w, "id")?;
         for p in &ldef.properties {
             write!(w, ",{}", p.name)?;
@@ -41,9 +38,7 @@ pub fn write_csv(dir: &Path, data: &PropertyGraphData) -> Result<()> {
     }
     for batch in &data.edges {
         let ldef = data.schema.edge_label(batch.label)?;
-        let mut w = BufWriter::new(fs::File::create(
-            dir.join(format!("e_{}.csv", ldef.name)),
-        )?);
+        let mut w = BufWriter::new(fs::File::create(dir.join(format!("e_{}.csv", ldef.name)))?);
         write!(w, "src,dst")?;
         for p in &ldef.properties {
             write!(w, ",{}", p.name)?;
@@ -79,9 +74,8 @@ fn escape(v: &Value) -> String {
 /// form: text parse, field split, per-value type conversion — the row-wise
 /// cost profile the archive format avoids.
 pub fn read_csv(dir: &Path) -> Result<PropertyGraphData> {
-    let schema: GraphSchema =
-        serde_json::from_str(&fs::read_to_string(dir.join("schema.json"))?)
-            .map_err(|e| GraphError::Corrupt(e.to_string()))?;
+    let schema =
+        GraphSchema::from_json(&Json::parse(&fs::read_to_string(dir.join("schema.json"))?)?)?;
     let mut out = PropertyGraphData::new(schema.clone());
     for (li, ldef) in schema.vertex_labels().iter().enumerate() {
         let f = fs::File::open(dir.join(format!("v_{}.csv", ldef.name)))?;
@@ -98,7 +92,10 @@ pub fn read_csv(dir: &Path) -> Result<PropertyGraphData> {
                 .map_err(|_| GraphError::Corrupt(format!("bad id {}", fields[0])))?;
             let mut props = Vec::with_capacity(ldef.properties.len());
             for (pi, pdef) in ldef.properties.iter().enumerate() {
-                props.push(parse_value(fields.get(pi + 1).map_or("", |s| s), pdef.value_type)?);
+                props.push(parse_value(
+                    fields.get(pi + 1).map_or("", |s| s),
+                    pdef.value_type,
+                )?);
             }
             out.add_vertex(LabelId(li as u16), ext, props);
         }
@@ -121,7 +118,10 @@ pub fn read_csv(dir: &Path) -> Result<PropertyGraphData> {
                 .map_err(|_| GraphError::Corrupt("bad dst".into()))?;
             let mut props = Vec::with_capacity(ldef.properties.len());
             for (pi, pdef) in ldef.properties.iter().enumerate() {
-                props.push(parse_value(fields.get(pi + 2).map_or("", |s| s), pdef.value_type)?);
+                props.push(parse_value(
+                    fields.get(pi + 2).map_or("", |s| s),
+                    pdef.value_type,
+                )?);
             }
             out.add_edge(LabelId(li as u16), s, d, props);
         }

@@ -21,9 +21,9 @@
 use crate::codec;
 use gs_graph::data::{EdgeBatch, PropertyGraphData, VertexBatch};
 use gs_graph::ids::IdMap;
+use gs_graph::json::Json;
 use gs_graph::schema::GraphSchema;
 use gs_graph::{GraphError, LabelId, Result, VId, Value};
-use serde::{Deserialize, Serialize};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -33,7 +33,7 @@ pub const VERTEX_CHUNK: usize = 1024;
 pub const EDGE_CHUNK: usize = 4096;
 
 /// Archive metadata persisted as JSON.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Metadata {
     pub schema: GraphSchema,
     /// Vertex count per vertex label.
@@ -47,7 +47,50 @@ pub struct Metadata {
 impl Metadata {
     /// Number of vertex chunks for a label.
     pub fn vertex_chunks(&self, label: LabelId) -> usize {
-        self.vertex_counts[label.index()].div_ceil(self.vertex_chunk).max(1)
+        self.vertex_counts[label.index()]
+            .div_ceil(self.vertex_chunk)
+            .max(1)
+    }
+
+    /// Encodes the metadata document written to `metadata.json`.
+    pub fn to_json(&self) -> Json {
+        let counts = |c: &[usize]| Json::arr(c.iter().map(|&n| Json::Int(n as i64)));
+        Json::obj([
+            ("schema", self.schema.to_json()),
+            ("vertex_counts", counts(&self.vertex_counts)),
+            ("edge_counts", counts(&self.edge_counts)),
+            ("vertex_chunk", Json::Int(self.vertex_chunk as i64)),
+            ("edge_chunk", Json::Int(self.edge_chunk as i64)),
+        ])
+    }
+
+    /// Decodes `metadata.json`.
+    pub fn from_json(doc: &Json) -> Result<Self> {
+        let counts = |key: &str| -> Result<Vec<usize>> {
+            doc.field(key)?
+                .as_arr()
+                .ok_or_else(|| GraphError::Corrupt(format!("metadata: `{key}` not an array")))?
+                .iter()
+                .map(|v| {
+                    v.as_usize().ok_or_else(|| {
+                        GraphError::Corrupt(format!("metadata: bad count in `{key}`"))
+                    })
+                })
+                .collect()
+        };
+        let chunk = |key: &str| -> Result<usize> {
+            doc.field(key)?
+                .as_usize()
+                .filter(|&c| c > 0)
+                .ok_or_else(|| GraphError::Corrupt(format!("metadata: bad `{key}`")))
+        };
+        Ok(Metadata {
+            schema: GraphSchema::from_json(doc.field("schema")?)?,
+            vertex_counts: counts("vertex_counts")?,
+            edge_counts: counts("edge_counts")?,
+            vertex_chunk: chunk("vertex_chunk")?,
+            edge_chunk: chunk("edge_chunk")?,
+        })
     }
 }
 
@@ -166,9 +209,7 @@ pub fn write_archive(dir: &Path, data: &PropertyGraphData) -> Result<Metadata> {
         vertex_chunk: VERTEX_CHUNK,
         edge_chunk: EDGE_CHUNK,
     };
-    let json = serde_json::to_string_pretty(&meta)
-        .map_err(|e| GraphError::Io(e.to_string()))?;
-    fs::write(dir.join("metadata.json"), json)?;
+    fs::write(dir.join("metadata.json"), meta.to_json().pretty())?;
     Ok(meta)
 }
 
@@ -222,8 +263,13 @@ fn write_adjacency(
 /// Reads archive metadata.
 pub fn read_metadata(dir: &Path) -> Result<Metadata> {
     let json = fs::read_to_string(dir.join("metadata.json"))?;
-    serde_json::from_str(&json).map_err(|e| GraphError::Corrupt(e.to_string()))
+    Metadata::from_json(&Json::parse(&json)?)
 }
+
+/// One decoded vertex chunk: external ids + one column per property.
+type VertexChunk = (Vec<u64>, Vec<Vec<Value>>);
+/// One decoded adjacency chunk: (offsets, targets, edge ids).
+type AdjChunk = (Vec<u64>, Vec<u64>, Vec<u64>);
 
 /// Loads a full archive back into interchange form, decoding chunks in
 /// parallel across `threads` workers.
@@ -239,19 +285,16 @@ pub fn read_archive(dir: &Path, threads: usize) -> Result<PropertyGraphData> {
         let nchunks = n.div_ceil(meta.vertex_chunk).max(1);
         let nprops = ldef.properties.len();
         // decode chunks in parallel
-        let chunk_results: Vec<Result<(Vec<u64>, Vec<Vec<Value>>)>> =
-            parallel_map(threads, nchunks, |k| {
-                let ids =
-                    codec::decode_u64_chunk(&fs::read(ldir.join(format!("ids.{k}")))?)?;
-                let mut cols = Vec::with_capacity(nprops);
-                for pi in 0..nprops {
-                    let c = codec::decode_column(&fs::read(
-                        ldir.join(format!("p{pi}.{k}")),
-                    )?)?;
-                    cols.push(c);
-                }
-                Ok((ids, cols))
-            });
+        let chunk_results: Vec<Result<VertexChunk>> = parallel_map(threads, nchunks, |k| {
+            let _t = DecodeTimer::start("vertex");
+            let ids = codec::decode_u64_chunk(&fs::read(ldir.join(format!("ids.{k}")))?)?;
+            let mut cols = Vec::with_capacity(nprops);
+            for pi in 0..nprops {
+                let c = codec::decode_column(&fs::read(ldir.join(format!("p{pi}.{k}")))?)?;
+                cols.push(c);
+            }
+            Ok((ids, cols))
+        });
         let mut batch = VertexBatch {
             label: LabelId(li as u16),
             ..Default::default()
@@ -279,16 +322,16 @@ pub fn read_archive(dir: &Path, threads: usize) -> Result<PropertyGraphData> {
         // edge property chunks decoded up front (parallel)
         let m = meta.edge_counts[li];
         let epchunks = m.div_ceil(meta.edge_chunk).max(1);
-        let prop_chunks: Vec<Result<Vec<Vec<Value>>>> =
-            parallel_map(threads, epchunks, |k| {
-                let mut cols = Vec::with_capacity(nprops);
-                for pi in 0..nprops {
-                    cols.push(codec::decode_column(&fs::read(
-                        ldir.join(format!("p{pi}.{k}")),
-                    )?)?);
-                }
-                Ok(cols)
-            });
+        let prop_chunks: Vec<Result<Vec<Vec<Value>>>> = parallel_map(threads, epchunks, |k| {
+            let _t = DecodeTimer::start("edge_prop");
+            let mut cols = Vec::with_capacity(nprops);
+            for pi in 0..nprops {
+                cols.push(codec::decode_column(&fs::read(
+                    ldir.join(format!("p{pi}.{k}")),
+                )?)?);
+            }
+            Ok(cols)
+        });
         let mut prop_cols: Vec<Vec<Value>> = vec![Vec::new(); nprops];
         for r in prop_chunks {
             let cols = r?;
@@ -297,19 +340,13 @@ pub fn read_archive(dir: &Path, threads: usize) -> Result<PropertyGraphData> {
             }
         }
 
-        let adj_chunks: Vec<Result<(Vec<u64>, Vec<u64>, Vec<u64>)>> =
-            parallel_map(threads, nchunks, |k| {
-                let offs = codec::decode_u64_chunk(&fs::read(
-                    ldir.join(format!("out_offsets.{k}")),
-                )?)?;
-                let tgts = codec::decode_u64_chunk(&fs::read(
-                    ldir.join(format!("out_targets.{k}")),
-                )?)?;
-                let eids = codec::decode_u64_chunk(&fs::read(
-                    ldir.join(format!("out_eids.{k}")),
-                )?)?;
-                Ok((offs, tgts, eids))
-            });
+        let adj_chunks: Vec<Result<AdjChunk>> = parallel_map(threads, nchunks, |k| {
+            let _t = DecodeTimer::start("adjacency");
+            let offs = codec::decode_u64_chunk(&fs::read(ldir.join(format!("out_offsets.{k}")))?)?;
+            let tgts = codec::decode_u64_chunk(&fs::read(ldir.join(format!("out_targets.{k}")))?)?;
+            let eids = codec::decode_u64_chunk(&fs::read(ldir.join(format!("out_eids.{k}")))?)?;
+            Ok((offs, tgts, eids))
+        });
         let mut batch = EdgeBatch {
             label: LabelId(li as u16),
             ..Default::default()
@@ -335,6 +372,30 @@ pub fn read_archive(dir: &Path, threads: usize) -> Result<PropertyGraphData> {
 
     out.validate()?;
     Ok(out)
+}
+
+/// Times one chunk's read+decode into `graphar.chunk_decode_ns{kind=..}`.
+struct DecodeTimer {
+    kind: &'static str,
+    start: Option<std::time::Instant>,
+}
+
+impl DecodeTimer {
+    fn start(kind: &'static str) -> Self {
+        Self {
+            kind,
+            start: gs_telemetry::enabled().then(std::time::Instant::now),
+        }
+    }
+}
+
+impl Drop for DecodeTimer {
+    fn drop(&mut self) {
+        if let Some(t) = self.start {
+            gs_telemetry::observe!("graphar.chunk_decode_ns", kind = self.kind;
+                t.elapsed().as_nanos() as u64);
+        }
+    }
 }
 
 /// Runs `f(0..n)` across up to `threads` scoped workers, preserving order.

@@ -45,8 +45,18 @@ mod tests {
             );
         }
         for i in 0..2000u64 {
-            g.add_edge(LabelId(0), i * 10, ((i + 1) % 2000) * 10, vec![Value::Int(i as i64)]);
-            g.add_edge(LabelId(0), i * 10, ((i * 7) % 2000) * 10, vec![Value::Int(-(i as i64))]);
+            g.add_edge(
+                LabelId(0),
+                i * 10,
+                ((i + 1) % 2000) * 10,
+                vec![Value::Int(i as i64)],
+            );
+            g.add_edge(
+                LabelId(0),
+                i * 10,
+                ((i * 7) % 2000) * 10,
+                vec![Value::Int(-(i as i64))],
+            );
         }
         g
     }

@@ -10,8 +10,8 @@
 use crate::codec;
 use crate::format::{read_metadata, Metadata};
 use gs_grin::{
-    AdjEntry, Capabilities, Direction, GraphError, GraphSchema, GrinGraph, LabelId, PropId,
-    Result, VId, Value,
+    AdjEntry, Capabilities, Direction, GraphError, GraphSchema, GrinGraph, LabelId, PropId, Result,
+    VId, Value,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -59,8 +59,8 @@ impl GraphArStore {
             return Ok(Arc::clone(c));
         }
         let path = self.dir.join(format!("{rel}.{k}"));
-        let bytes = std::fs::read(&path)
-            .map_err(|e| GraphError::Io(format!("{}: {e}", path.display())))?;
+        let bytes =
+            std::fs::read(&path).map_err(|e| GraphError::Io(format!("{}: {e}", path.display())))?;
         let chunk = Arc::new(Chunk::U64(codec::decode_u64_chunk(&bytes)?));
         self.cache.lock().insert((rel, k), Arc::clone(&chunk));
         Ok(chunk)
@@ -71,8 +71,8 @@ impl GraphArStore {
             return Ok(Arc::clone(c));
         }
         let path = self.dir.join(format!("{rel}.{k}"));
-        let bytes = std::fs::read(&path)
-            .map_err(|e| GraphError::Io(format!("{}: {e}", path.display())))?;
+        let bytes =
+            std::fs::read(&path).map_err(|e| GraphError::Io(format!("{}: {e}", path.display())))?;
         let chunk = Arc::new(Chunk::Col(codec::decode_column(&bytes)?));
         self.cache.lock().insert((rel, k), Arc::clone(&chunk));
         Ok(chunk)

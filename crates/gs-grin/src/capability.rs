@@ -75,6 +75,50 @@ impl Capabilities {
             .iter()
             .fold(Capabilities::empty(), |acc, &f| acc.union(f))
     }
+
+    /// Every flag paired with its name, for diagnostics.
+    const NAMES: [(Capabilities, &'static str); 14] = [
+        (Capabilities::VERTEX_LIST_ARRAY, "VERTEX_LIST_ARRAY"),
+        (Capabilities::VERTEX_LIST_ITER, "VERTEX_LIST_ITER"),
+        (Capabilities::ADJ_LIST_ARRAY, "ADJ_LIST_ARRAY"),
+        (Capabilities::ADJ_LIST_ITER, "ADJ_LIST_ITER"),
+        (Capabilities::IN_ADJACENCY, "IN_ADJACENCY"),
+        (Capabilities::PROPERTY, "PROPERTY"),
+        (Capabilities::PROPERTY_COLUMN, "PROPERTY_COLUMN"),
+        (Capabilities::PARTITION, "PARTITION"),
+        (Capabilities::INDEX_EXTERNAL_ID, "INDEX_EXTERNAL_ID"),
+        (Capabilities::INDEX_INTERNAL_ID, "INDEX_INTERNAL_ID"),
+        (Capabilities::INDEX_PROPERTY, "INDEX_PROPERTY"),
+        (Capabilities::PREDICATE_PUSHDOWN, "PREDICATE_PUSHDOWN"),
+        (Capabilities::MVCC, "MVCC"),
+        (Capabilities::MUTABLE, "MUTABLE"),
+    ];
+
+    /// Names of the flags in `needed` that this set lacks.
+    pub fn missing_names(self, needed: Capabilities) -> Vec<String> {
+        Self::NAMES
+            .iter()
+            .filter(|(flag, _)| needed.supports(*flag) && !self.supports(*flag))
+            .map(|(_, name)| (*name).to_string())
+            .collect()
+    }
+
+    /// Checks that every flag in `needed` is present, or returns a
+    /// structured [`GraphError::UnsupportedCapability`] naming each
+    /// missing flag. This is the contract engines use at their entry
+    /// points instead of silently falling back or panicking deep inside a
+    /// scan.
+    ///
+    /// [`GraphError::UnsupportedCapability`]: gs_graph::GraphError::UnsupportedCapability
+    pub fn require(self, needed: Capabilities) -> Result<(), gs_graph::GraphError> {
+        if self.supports(needed) {
+            Ok(())
+        } else {
+            Err(gs_graph::GraphError::UnsupportedCapability {
+                missing: self.missing_names(needed),
+            })
+        }
+    }
 }
 
 impl std::ops::BitOr for Capabilities {
@@ -84,27 +128,11 @@ impl std::ops::BitOr for Capabilities {
     }
 }
 
-impl fmt::Debug for Capabilities {
+/// Renders the contained flags joined by `|` (empty string when empty).
+impl fmt::Display for Capabilities {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let names: [(Capabilities, &str); 14] = [
-            (Capabilities::VERTEX_LIST_ARRAY, "VERTEX_LIST_ARRAY"),
-            (Capabilities::VERTEX_LIST_ITER, "VERTEX_LIST_ITER"),
-            (Capabilities::ADJ_LIST_ARRAY, "ADJ_LIST_ARRAY"),
-            (Capabilities::ADJ_LIST_ITER, "ADJ_LIST_ITER"),
-            (Capabilities::IN_ADJACENCY, "IN_ADJACENCY"),
-            (Capabilities::PROPERTY, "PROPERTY"),
-            (Capabilities::PROPERTY_COLUMN, "PROPERTY_COLUMN"),
-            (Capabilities::PARTITION, "PARTITION"),
-            (Capabilities::INDEX_EXTERNAL_ID, "INDEX_EXTERNAL_ID"),
-            (Capabilities::INDEX_INTERNAL_ID, "INDEX_INTERNAL_ID"),
-            (Capabilities::INDEX_PROPERTY, "INDEX_PROPERTY"),
-            (Capabilities::PREDICATE_PUSHDOWN, "PREDICATE_PUSHDOWN"),
-            (Capabilities::MVCC, "MVCC"),
-            (Capabilities::MUTABLE, "MUTABLE"),
-        ];
         let mut first = true;
-        write!(f, "Capabilities(")?;
-        for (flag, name) in names {
+        for (flag, name) in Capabilities::NAMES {
             if self.supports(flag) {
                 if !first {
                     write!(f, "|")?;
@@ -113,7 +141,13 @@ impl fmt::Debug for Capabilities {
                 first = false;
             }
         }
-        write!(f, ")")
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Capabilities {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Capabilities({self})")
     }
 }
 
@@ -150,5 +184,34 @@ mod tests {
         assert!(s.contains("MVCC"));
         assert!(s.contains("MUTABLE"));
         assert!(!s.contains("PROPERTY"));
+    }
+
+    #[test]
+    fn display_joins_with_pipes() {
+        let c = Capabilities::MVCC | Capabilities::MUTABLE;
+        assert_eq!(c.to_string(), "MVCC|MUTABLE");
+        assert_eq!(Capabilities::empty().to_string(), "");
+    }
+
+    #[test]
+    fn require_passes_when_satisfied() {
+        let c = Capabilities::ADJ_LIST_ITER | Capabilities::PROPERTY;
+        assert!(c.require(Capabilities::ADJ_LIST_ITER).is_ok());
+        assert!(c.require(Capabilities::empty()).is_ok());
+    }
+
+    #[test]
+    fn require_names_every_missing_flag() {
+        let c = Capabilities::ADJ_LIST_ITER;
+        let err = c
+            .require(Capabilities::ADJ_LIST_ITER | Capabilities::MVCC | Capabilities::MUTABLE)
+            .unwrap_err();
+        match &err {
+            gs_graph::GraphError::UnsupportedCapability { missing } => {
+                assert_eq!(missing, &["MVCC".to_string(), "MUTABLE".to_string()]);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert_eq!(err.to_string(), "missing capabilities: MVCC|MUTABLE");
     }
 }

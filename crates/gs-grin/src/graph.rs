@@ -148,12 +148,7 @@ pub trait GrinGraph: Send + Sync {
 
     /// Property-value index: vertices of `label` whose `prop` equals `value`.
     /// Default scans; backends with hash indexes override.
-    fn vertices_by_property(
-        &self,
-        label: LabelId,
-        prop: PropId,
-        value: &Value,
-    ) -> Vec<VId> {
+    fn vertices_by_property(&self, label: LabelId, prop: PropId, value: &Value) -> Vec<VId> {
         let mut out = Vec::new();
         for v in self.vertices(label) {
             if self
@@ -185,9 +180,10 @@ pub trait GrinGraph: Send + Sync {
         if pred.is_pass() {
             return self.adjacent(v, vlabel, elabel, dir);
         }
-        Box::new(self.adjacent(v, vlabel, elabel, dir).filter(move |a| {
-            pred.eval(|pid| self.edge_property(elabel, a.edge, pid))
-        }))
+        Box::new(
+            self.adjacent(v, vlabel, elabel, dir)
+                .filter(move |a| pred.eval(|pid| self.edge_property(elabel, a.edge, pid))),
+        )
     }
 
     // ---------------- partition ----------------
@@ -224,8 +220,7 @@ pub mod mock {
             let mut schema = GraphSchema::new();
             let v = schema.add_vertex_label("V", &[("tag", ValueType::Int)]);
             schema.add_edge_label("E", v, v, &[("weight", ValueType::Float)]);
-            let pairs: Vec<(VId, VId)> =
-                edges.iter().map(|&(s, d, _)| (VId(s), VId(d))).collect();
+            let pairs: Vec<(VId, VId)> = edges.iter().map(|&(s, d, _)| (VId(s), VId(d))).collect();
             let out = Csr::from_edges(n, &pairs);
             // Edge ids were assigned in CSR order; rebuild the weight array
             // in that order by replaying adjacency.
@@ -292,16 +287,12 @@ pub mod mock {
             dir: Direction,
         ) -> Box<dyn Iterator<Item = AdjEntry> + '_> {
             match dir {
-                Direction::Out => Box::new(
-                    self.out
-                        .adj(v)
-                        .map(|(nbr, edge)| AdjEntry { nbr, edge }),
-                ),
-                Direction::In => Box::new(
-                    self.in_
-                        .adj(v)
-                        .map(|(nbr, edge)| AdjEntry { nbr, edge }),
-                ),
+                Direction::Out => {
+                    Box::new(self.out.adj(v).map(|(nbr, edge)| AdjEntry { nbr, edge }))
+                }
+                Direction::In => {
+                    Box::new(self.in_.adj(v).map(|(nbr, edge)| AdjEntry { nbr, edge }))
+                }
                 Direction::Both => Box::new(
                     self.out
                         .adj(v)

@@ -23,6 +23,5 @@ pub use predicate::{CmpOp, EdgePredicate, PropPredicate};
 
 // Re-export the substrate so engine crates can depend on gs-grin alone.
 pub use gs_graph::{
-    EId, GraphError, GraphSchema, LabelId, PropId, PropertyGraphData, Result, VId, Value,
-    ValueType,
+    EId, GraphError, GraphSchema, LabelId, PropId, PropertyGraphData, Result, VId, Value, ValueType,
 };

@@ -13,20 +13,24 @@
 //! no data parallelism within one.
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use gs_grin::GrinGraph;
 use gs_ir::exec::execute;
 use gs_ir::physical::PhysicalPlan;
 use gs_ir::record::Record;
 use gs_ir::{GraphError, Result, Value};
-use gs_grin::GrinGraph;
+use gs_telemetry::observe;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// The shard-actor runtime.
 pub struct HiActorRuntime {
     shards: Vec<Sender<Job>>,
+    /// Jobs currently waiting in (or running from) each shard's mailbox.
+    depths: Vec<Arc<AtomicU64>>,
     handles: Vec<std::thread::JoinHandle<()>>,
     next: AtomicUsize,
 }
@@ -54,6 +58,7 @@ impl HiActorRuntime {
         }
         Self {
             shards: senders,
+            depths: (0..shards).map(|_| Arc::new(AtomicU64::new(0))).collect(),
             handles,
             next: AtomicUsize::new(0),
         }
@@ -64,6 +69,11 @@ impl HiActorRuntime {
         self.shards.len()
     }
 
+    /// Jobs currently queued on (or running from) shard `i`.
+    pub fn queue_depth(&self, i: usize) -> u64 {
+        self.depths[i % self.depths.len()].load(Ordering::Relaxed)
+    }
+
     /// Submits a job to a specific shard (or round-robin when `None`);
     /// returns a completion receiver.
     pub fn submit<T, F>(&self, shard: Option<usize>, f: F) -> Receiver<T>
@@ -72,15 +82,20 @@ impl HiActorRuntime {
         F: FnOnce() -> T + Send + 'static,
     {
         let (tx, rx) = bounded(1);
-        let idx = shard.unwrap_or_else(|| {
-            self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len()
-        });
+        let idx = shard
+            .unwrap_or_else(|| self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len())
+            % self.shards.len();
+        let depth = Arc::clone(&self.depths[idx]);
+        let d = depth.fetch_add(1, Ordering::Relaxed) + 1;
+        observe!("hiactor.queue_depth", shard = idx; d);
+        // decrement before publishing the result so a caller that has
+        // observed completion never sees this job still counted
         let job: Job = Box::new(move || {
-            let _ = tx.send(f());
+            let out = f();
+            depth.fetch_sub(1, Ordering::Relaxed);
+            let _ = tx.send(out);
         });
-        self.shards[idx % self.shards.len()]
-            .send(job)
-            .expect("shard alive");
+        self.shards[idx].send(job).expect("shard alive");
         rx
     }
 
@@ -152,7 +167,17 @@ impl QueryService {
     ) -> Receiver<Result<Vec<Record>>> {
         let proc_ = self.procedures.read().get(name).cloned();
         match proc_ {
-            Some(p) => self.runtime.submit(None, move || p(&params)),
+            Some(p) => {
+                let name = name.to_string();
+                self.runtime.submit(None, move || {
+                    let start = gs_telemetry::enabled().then(Instant::now);
+                    let r = p(&params);
+                    if let Some(t) = start {
+                        observe!("hiactor.proc_ns", name = name; t.elapsed().as_nanos() as u64);
+                    }
+                    r
+                })
+            }
             None => {
                 let (tx, rx) = bounded(1);
                 let _ = tx.send(Err(GraphError::Query(format!(
@@ -164,14 +189,52 @@ impl QueryService {
     }
 
     /// Synchronous convenience wrapper.
-    pub fn call_sync(
-        &self,
-        name: &str,
-        params: HashMap<String, Value>,
-    ) -> Result<Vec<Record>> {
+    pub fn call_sync(&self, name: &str, params: HashMap<String, Value>) -> Result<Vec<Record>> {
         self.call(name, params)
             .recv()
             .map_err(|_| GraphError::Query("procedure channel closed".into()))?
+    }
+}
+
+impl gs_ir::QueryEngine for QueryService {
+    /// Runs the plan as a one-shot job on one shard actor (a query
+    /// occupies exactly one shard — HiActor's OLTP contract), blocking
+    /// until the shard replies.
+    fn execute(&self, plan: &PhysicalPlan, graph: &dyn GrinGraph) -> Result<Vec<Record>> {
+        // `submit` needs a 'static closure but `graph` is a borrow. Erase
+        // the lifetime behind a Send-able raw pointer: sound because we
+        // block on `recv()` below, so `graph` outlives every use — the
+        // channel only resolves once the job (and its last use of the
+        // pointer) is finished or dropped.
+        struct SendPtr(*const (dyn GrinGraph + 'static));
+        unsafe impl Send for SendPtr {}
+        impl SendPtr {
+            // method (not field) access, so the closure captures the whole
+            // Send wrapper rather than the raw pointer field
+            fn graph(&self) -> &dyn GrinGraph {
+                unsafe { &*self.0 }
+            }
+        }
+        let ptr = SendPtr(unsafe {
+            std::mem::transmute::<*const (dyn GrinGraph + '_), *const (dyn GrinGraph + 'static)>(
+                graph as *const _,
+            )
+        });
+        let plan = plan.clone();
+        let rx = self.runtime.submit(None, move || {
+            let start = gs_telemetry::enabled().then(Instant::now);
+            let r = execute(&plan, ptr.graph());
+            if let Some(t) = start {
+                observe!("hiactor.proc_ns", name = "adhoc"; t.elapsed().as_nanos() as u64);
+            }
+            r
+        });
+        rx.recv()
+            .map_err(|_| GraphError::Query("hiactor shard dropped the query".into()))?
+    }
+
+    fn name(&self) -> &'static str {
+        "hiactor"
     }
 }
 
@@ -218,16 +281,24 @@ mod tests {
     }
 
     #[test]
+    fn queue_depth_drains_to_zero() {
+        let rt = HiActorRuntime::new(2);
+        let rxs: Vec<_> = (0..100)
+            .map(|i| rt.submit(Some(i % 2), move || i))
+            .collect();
+        for rx in rxs {
+            rx.recv().unwrap();
+        }
+        rt.quiesce();
+        assert_eq!(rt.queue_depth(0), 0);
+        assert_eq!(rt.queue_depth(1), 0);
+    }
+
+    #[test]
     fn plan_procedure_round_trip() {
         let g = graph();
         let s = g.schema().clone();
-        let plan = lower_naive(
-            &PlanBuilder::new(&s)
-                .scan("a", "V")
-                .unwrap()
-                .build(),
-        )
-        .unwrap();
+        let plan = lower_naive(&PlanBuilder::new(&s).scan("a", "V").unwrap().build()).unwrap();
         let svc = QueryService::new(2);
         svc.register_plan("all_vertices", plan, g);
         let rows = svc.call_sync("all_vertices", HashMap::new()).unwrap();
@@ -245,7 +316,8 @@ mod tests {
                 let id = params
                     .get("id")
                     .and_then(|v| v.as_int())
-                    .ok_or_else(|| GraphError::Query("missing id".into()))? as u64;
+                    .ok_or_else(|| GraphError::Query("missing id".into()))?
+                    as u64;
                 let d = gg.degree(
                     gs_graph::VId(id),
                     gs_graph::LabelId(0),
@@ -259,6 +331,18 @@ mod tests {
         p.insert("id".to_string(), Value::Int(0));
         let rows = svc.call_sync("degree_of", p).unwrap();
         assert_eq!(rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn query_engine_runs_adhoc_plans() {
+        use gs_ir::QueryEngine;
+        let g = graph();
+        let s = g.schema().clone();
+        let plan = lower_naive(&PlanBuilder::new(&s).scan("a", "V").unwrap().build()).unwrap();
+        let svc = QueryService::new(2);
+        assert_eq!(QueryEngine::name(&svc), "hiactor");
+        let rows = QueryEngine::execute(&svc, &plan, g.as_ref()).unwrap();
+        assert_eq!(rows.len(), 100);
     }
 
     #[test]
@@ -280,7 +364,9 @@ mod tests {
                 Ok(vec![])
             }),
         );
-        let rxs: Vec<_> = (0..1000).map(|_| svc.call("noop", HashMap::new())).collect();
+        let rxs: Vec<_> = (0..1000)
+            .map(|_| svc.call("noop", HashMap::new()))
+            .collect();
         for rx in rxs {
             rx.recv().unwrap().unwrap();
         }

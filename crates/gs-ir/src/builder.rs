@@ -371,10 +371,7 @@ mod tests {
             .build();
         assert_eq!(plan.ops.len(), 3);
         assert_eq!(plan.output_layout().width(), 3);
-        assert_eq!(
-            plan.output_layout().vertex_label("b").unwrap(),
-            LabelId(0)
-        );
+        assert_eq!(plan.output_layout().vertex_label("b").unwrap(), LabelId(0));
     }
 
     #[test]
@@ -402,10 +399,7 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // `id` falls back to external id
-        assert!(matches!(
-            b.prop("a", "id").unwrap(),
-            Expr::VertexId { .. }
-        ));
+        assert!(matches!(b.prop("a", "id").unwrap(), Expr::VertexId { .. }));
         assert!(b.prop("a", "ghost").is_err());
     }
 

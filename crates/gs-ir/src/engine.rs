@@ -1,0 +1,69 @@
+//! The unified execution interface over GraphIR physical plans.
+//!
+//! The Flex stack has three ways to run a [`PhysicalPlan`] — the
+//! single-threaded reference [`exec`](crate::exec)utor, Gaia's
+//! data-parallel dataflow runtime, and HiActor's shard-actor OLTP
+//! runtime. [`QueryEngine`] is the one interface all three implement, so
+//! engine choice becomes a value-level decision (`&dyn QueryEngine`)
+//! instead of a call-site decision: differential tests iterate over a
+//! slice of engines, and `gs-flex`'s builder hands back whichever engine
+//! the deployment descriptor selected.
+
+use crate::physical::PhysicalPlan;
+use crate::record::Record;
+use crate::Result;
+use gs_grin::GrinGraph;
+
+/// A query-execution engine: runs a physical plan over a GRIN graph to a
+/// materialised record batch.
+///
+/// All implementations must agree with the reference executor's operator
+/// semantics ([`crate::exec::apply`]); they differ only in *how* the work
+/// is scheduled (single thread, data-parallel workers, shard actors).
+pub trait QueryEngine {
+    /// Runs `plan` to completion and returns every output record.
+    ///
+    /// Implementations may parallelise internally but must not return
+    /// until the batch is fully materialised, and must not retain any
+    /// reference to `graph` afterwards.
+    fn execute(&self, plan: &PhysicalPlan, graph: &dyn GrinGraph) -> Result<Vec<Record>>;
+
+    /// Short engine identifier for diagnostics and telemetry labels.
+    fn name(&self) -> &'static str;
+}
+
+/// The definitional engine: single-threaded, materialised intermediates,
+/// delegating straight to [`crate::exec::execute`]. Every other engine is
+/// differential-tested against this one.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReferenceEngine;
+
+impl QueryEngine for ReferenceEngine {
+    fn execute(&self, plan: &PhysicalPlan, graph: &dyn GrinGraph) -> Result<Vec<Record>> {
+        crate::exec::execute(plan, graph)
+    }
+
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::lower_naive;
+    use crate::PlanBuilder;
+    use gs_grin::graph::mock::MockGraph;
+
+    #[test]
+    fn reference_engine_matches_exec() {
+        let g = MockGraph::new(20, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
+        let s = g.schema().clone();
+        let plan = lower_naive(&PlanBuilder::new(&s).scan("a", "V").unwrap().build()).unwrap();
+        let engine: &dyn QueryEngine = &ReferenceEngine;
+        assert_eq!(engine.name(), "reference");
+        let rows = engine.execute(&plan, &g).unwrap();
+        assert_eq!(rows, crate::exec::execute(&plan, &g).unwrap());
+        assert_eq!(rows.len(), 20);
+    }
+}

@@ -33,11 +33,7 @@ pub fn execute(plan: &PhysicalPlan, graph: &dyn GrinGraph) -> Result<Vec<Record>
 
 /// Applies one operator to a batch (shared by the reference executor and by
 /// Gaia's per-worker pipelines).
-pub fn apply(
-    op: &PhysicalOp,
-    input: Vec<Record>,
-    graph: &dyn GrinGraph,
-) -> Result<Vec<Record>> {
+pub fn apply(op: &PhysicalOp, input: Vec<Record>, graph: &dyn GrinGraph) -> Result<Vec<Record>> {
     match op {
         PhysicalOp::Scan {
             label,
@@ -283,7 +279,9 @@ fn project(
     input: Vec<Record>,
     graph: &dyn GrinGraph,
 ) -> Result<Vec<Record>> {
-    let has_agg = items.iter().any(|(it, _)| matches!(it, ProjectItem::Agg(..)));
+    let has_agg = items
+        .iter()
+        .any(|(it, _)| matches!(it, ProjectItem::Agg(..)));
     if !has_agg {
         let mut out = Vec::with_capacity(input.len());
         for rec in input {
@@ -313,11 +311,11 @@ fn project(
             }
         }
         let key = KeyVec(key);
-        let entry = groups.entry(KeyVec(key.0.iter().cloned().collect()));
+        let entry = groups.entry(KeyVec(key.0.to_vec()));
         let states = match entry {
             std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
             std::collections::hash_map::Entry::Vacant(v) => {
-                key_order.push((KeyVec(key.0.iter().cloned().collect()), key_vals));
+                key_order.push((KeyVec(key.0.to_vec()), key_vals));
                 v.insert(
                     items
                         .iter()
@@ -339,7 +337,11 @@ fn project(
         }
     }
     // empty input + no keys → single row of aggregate identities
-    if key_order.is_empty() && items.iter().all(|(it, _)| matches!(it, ProjectItem::Agg(..))) {
+    if key_order.is_empty()
+        && items
+            .iter()
+            .all(|(it, _)| matches!(it, ProjectItem::Agg(..)))
+    {
         let r: Record = items
             .iter()
             .map(|(it, _)| match it {
@@ -405,9 +407,7 @@ impl AggState {
                 *acc = match (&acc, &v) {
                     (Value::Null, _) => v,
                     (Value::Int(a), Value::Int(b)) => Value::Int(a + b),
-                    _ => Value::Float(
-                        acc.as_float().unwrap_or(0.0) + v.as_float().unwrap_or(0.0),
-                    ),
+                    _ => Value::Float(acc.as_float().unwrap_or(0.0) + v.as_float().unwrap_or(0.0)),
                 };
             }
             AggState::Avg(sum, n) => {
@@ -439,9 +439,9 @@ impl AggState {
                     *a = match (&a, &b) {
                         (Value::Null, _) => b,
                         (Value::Int(x), Value::Int(y)) => Value::Int(x + y),
-                        _ => Value::Float(
-                            a.as_float().unwrap_or(0.0) + b.as_float().unwrap_or(0.0),
-                        ),
+                        _ => {
+                            Value::Float(a.as_float().unwrap_or(0.0) + b.as_float().unwrap_or(0.0))
+                        }
                     };
                 }
             }
@@ -502,8 +502,7 @@ mod tests {
 
     /// diamond: 0→1, 0→2, 1→3, 2→3, weights 1..4
     fn g() -> MockGraph {
-        let mut g =
-            MockGraph::new(4, &[(0, 1, 1.0), (0, 2, 2.0), (1, 3, 3.0), (2, 3, 4.0)]);
+        let mut g = MockGraph::new(4, &[(0, 1, 1.0), (0, 2, 2.0), (1, 3, 3.0), (2, 3, 4.0)]);
         g.set_tag(VId(0), 10);
         g.set_tag(VId(1), 11);
         g.set_tag(VId(2), 12);

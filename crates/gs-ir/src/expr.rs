@@ -56,7 +56,10 @@ pub enum Expr {
         prop: PropId,
     },
     /// The external id of a vertex column (Cypher's `id(v)` / LDBC `v.id`).
-    VertexId { col: usize, label: LabelId },
+    VertexId {
+        col: usize,
+        label: LabelId,
+    },
     Binary {
         op: BinOp,
         lhs: Box<Expr>,
@@ -284,7 +287,11 @@ mod tests {
     #[test]
     fn division_by_zero_is_null() {
         let g = g();
-        let e = Expr::bin(BinOp::Div, Expr::Const(Value::Int(1)), Expr::Const(Value::Int(0)));
+        let e = Expr::bin(
+            BinOp::Div,
+            Expr::Const(Value::Int(1)),
+            Expr::Const(Value::Int(0)),
+        );
         assert_eq!(e.eval(&[], &g).unwrap(), Value::Null);
     }
 
@@ -305,7 +312,12 @@ mod tests {
         mg.set_tag(gs_graph::VId(1), 7);
         let rec = vec![
             Value::Vertex(gs_graph::VId(1), LabelId(0)),
-            Value::Edge(gs_graph::EId(0), LabelId(0), gs_graph::VId(0), gs_graph::VId(1)),
+            Value::Edge(
+                gs_graph::EId(0),
+                LabelId(0),
+                gs_graph::VId(0),
+                gs_graph::VId(1),
+            ),
         ];
         let e = Expr::VertexProp {
             col: 0,
@@ -354,15 +366,25 @@ mod tests {
         let mut cols = Vec::new();
         shifted.referenced_columns(&mut cols);
         assert_eq!(cols, vec![10, 12]);
-        assert!(e.remap_columns(&|i| if i == 0 { Some(0) } else { None }).is_none());
+        assert!(e
+            .remap_columns(&|i| if i == 0 { Some(0) } else { None })
+            .is_none());
     }
 
     #[test]
     fn null_propagation() {
         let g = g();
-        let e = Expr::bin(BinOp::Add, Expr::Const(Value::Null), Expr::Const(Value::Int(1)));
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::Const(Value::Null),
+            Expr::Const(Value::Int(1)),
+        );
         assert_eq!(e.eval(&[], &g).unwrap(), Value::Null);
-        let cmp = Expr::bin(BinOp::Eq, Expr::Const(Value::Null), Expr::Const(Value::Null));
+        let cmp = Expr::bin(
+            BinOp::Eq,
+            Expr::Const(Value::Null),
+            Expr::Const(Value::Null),
+        );
         assert_eq!(cmp.eval(&[], &g).unwrap(), Value::Bool(false));
     }
 }

@@ -20,6 +20,7 @@
 //!   runtimes and are differential-tested against it.
 
 pub mod builder;
+pub mod engine;
 pub mod exec;
 pub mod expr;
 pub mod logical;
@@ -28,6 +29,7 @@ pub mod physical;
 pub mod record;
 
 pub use builder::PlanBuilder;
+pub use engine::{QueryEngine, ReferenceEngine};
 pub use expr::{AggFunc, BinOp, Expr};
 pub use logical::{LogicalOp, LogicalPlan};
 pub use pattern::{Pattern, PatternEdge, PatternVertex};

@@ -72,7 +72,9 @@ pub struct LogicalPlan {
 impl LogicalPlan {
     /// The layout of records flowing out of the plan.
     pub fn output_layout(&self) -> &Layout {
-        self.layouts.last().expect("plan has at least the source layout")
+        self.layouts
+            .last()
+            .expect("plan has at least the source layout")
     }
 
     /// The layout feeding op `i`.

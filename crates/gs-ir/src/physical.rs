@@ -66,7 +66,9 @@ pub enum PhysicalOp {
         predicate: Option<Expr>,
     },
     /// Relational filter.
-    Select { predicate: Expr },
+    Select {
+        predicate: Expr,
+    },
     /// Projection / grouped aggregation.
     Project {
         items: Vec<(ProjectItem, String)>,
@@ -75,8 +77,12 @@ pub enum PhysicalOp {
         keys: Vec<(Expr, bool)>,
         limit: Option<usize>,
     },
-    Dedup { columns: Vec<usize> },
-    Limit { n: usize },
+    Dedup {
+        columns: Vec<usize>,
+    },
+    Limit {
+        n: usize,
+    },
 }
 
 impl PhysicalOp {
@@ -84,39 +90,56 @@ impl PhysicalOp {
     /// compaction). Returns `None` if any reference is unmapped.
     pub fn remap_columns(&self, map: &dyn Fn(usize) -> Option<usize>) -> Option<PhysicalOp> {
         Some(match self {
-            PhysicalOp::Scan { label, predicate, index_lookup } => PhysicalOp::Scan {
+            PhysicalOp::Scan {
+                label,
+                predicate,
+                index_lookup,
+            } => PhysicalOp::Scan {
                 label: *label,
                 predicate: predicate.clone(),
                 index_lookup: index_lookup.clone(),
             },
-            PhysicalOp::Expand { src_col, src_label, elabel, dir, predicate, out } => {
-                PhysicalOp::Expand {
-                    src_col: map(*src_col)?,
-                    src_label: *src_label,
-                    elabel: *elabel,
-                    dir: *dir,
-                    predicate: predicate.clone(),
-                    out: out.clone(),
-                }
-            }
-            PhysicalOp::GetVertex { edge_col, label, predicate, take_dst } => {
-                PhysicalOp::GetVertex {
-                    edge_col: map(*edge_col)?,
-                    label: *label,
-                    predicate: predicate.clone(),
-                    take_dst: *take_dst,
-                }
-            }
-            PhysicalOp::ExpandIntersect { src_col, elabel, dir, dst_col, bind_edge, predicate } => {
-                PhysicalOp::ExpandIntersect {
-                    src_col: map(*src_col)?,
-                    elabel: *elabel,
-                    dir: *dir,
-                    dst_col: map(*dst_col)?,
-                    bind_edge: *bind_edge,
-                    predicate: predicate.clone(),
-                }
-            }
+            PhysicalOp::Expand {
+                src_col,
+                src_label,
+                elabel,
+                dir,
+                predicate,
+                out,
+            } => PhysicalOp::Expand {
+                src_col: map(*src_col)?,
+                src_label: *src_label,
+                elabel: *elabel,
+                dir: *dir,
+                predicate: predicate.clone(),
+                out: out.clone(),
+            },
+            PhysicalOp::GetVertex {
+                edge_col,
+                label,
+                predicate,
+                take_dst,
+            } => PhysicalOp::GetVertex {
+                edge_col: map(*edge_col)?,
+                label: *label,
+                predicate: predicate.clone(),
+                take_dst: *take_dst,
+            },
+            PhysicalOp::ExpandIntersect {
+                src_col,
+                elabel,
+                dir,
+                dst_col,
+                bind_edge,
+                predicate,
+            } => PhysicalOp::ExpandIntersect {
+                src_col: map(*src_col)?,
+                elabel: *elabel,
+                dir: *dir,
+                dst_col: map(*dst_col)?,
+                bind_edge: *bind_edge,
+                predicate: predicate.clone(),
+            },
             PhysicalOp::Select { predicate } => PhysicalOp::Select {
                 predicate: predicate.remap_columns(map)?,
             },
@@ -142,7 +165,10 @@ impl PhysicalOp {
                 limit: *limit,
             },
             PhysicalOp::Dedup { columns } => PhysicalOp::Dedup {
-                columns: columns.iter().map(|c| map(*c)).collect::<Option<Vec<_>>>()?,
+                columns: columns
+                    .iter()
+                    .map(|c| map(*c))
+                    .collect::<Option<Vec<_>>>()?,
             },
             PhysicalOp::Limit { n } => PhysicalOp::Limit { n: *n },
         })
@@ -156,7 +182,10 @@ impl PhysicalOp {
             PhysicalOp::Scan { .. }
                 | PhysicalOp::Expand { .. }
                 | PhysicalOp::GetVertex { .. }
-                | PhysicalOp::ExpandIntersect { bind_edge: true, .. }
+                | PhysicalOp::ExpandIntersect {
+                    bind_edge: true,
+                    ..
+                }
         )
     }
 }
@@ -267,10 +296,7 @@ pub fn compile_pattern(
                             }
                         }
                     } else {
-                        let ealias = pe
-                            .alias
-                            .clone()
-                            .unwrap_or_else(|| format!("__e{ei}"));
+                        let ealias = pe.alias.clone().unwrap_or_else(|| format!("__e{ei}"));
                         let ecol = layout.push(&ealias, ColumnKind::Edge(pe.label))?;
                         ops.push(PhysicalOp::Expand {
                             src_col,
@@ -394,7 +420,11 @@ pub fn lower_with(
     let mut ops = Vec::new();
     for (op_idx, op) in plan.ops.iter().enumerate() {
         match op {
-            LogicalOp::ScanVertex { alias, label, predicate } => {
+            LogicalOp::ScanVertex {
+                alias,
+                label,
+                predicate,
+            } => {
                 let col = layout.push(alias, ColumnKind::Vertex(*label))?;
                 if push_predicates {
                     ops.push(PhysicalOp::Scan {
@@ -415,7 +445,13 @@ pub fn lower_with(
                     }
                 }
             }
-            LogicalOp::ExpandEdge { src, elabel, dir, alias, predicate } => {
+            LogicalOp::ExpandEdge {
+                src,
+                elabel,
+                dir,
+                alias,
+                predicate,
+            } => {
                 let src_col = layout.require(src)?;
                 let src_label = layout.vertex_label(src)?;
                 let ecol = layout.push(alias, ColumnKind::Edge(*elabel))?;
@@ -439,7 +475,11 @@ pub fn lower_with(
                     }
                 }
             }
-            LogicalOp::GetVertex { edge, alias, predicate } => {
+            LogicalOp::GetVertex {
+                edge,
+                alias,
+                predicate,
+            } => {
                 let edge_col = layout.require(edge)?;
                 // the produced vertex label comes from the logical layout
                 let after = &plan.layouts[op_idx + 1];
@@ -472,7 +512,14 @@ pub fn lower_with(
             }
             LogicalOp::Match { pattern } => {
                 let order = order_fn(pattern);
-                compile_pattern(pattern, &order, &mut layout, &mut ops, fused, push_predicates)?;
+                compile_pattern(
+                    pattern,
+                    &order,
+                    &mut layout,
+                    &mut ops,
+                    fused,
+                    push_predicates,
+                )?;
                 // Physical column order depends on the visit order; restore
                 // the canonical (declaration-order) layout that downstream
                 // expressions were bound against, dropping internal `__e*`
@@ -500,7 +547,9 @@ pub fn lower_with(
                 });
             }
             LogicalOp::Project { items } => {
-                ops.push(PhysicalOp::Project { items: items.clone() });
+                ops.push(PhysicalOp::Project {
+                    items: items.clone(),
+                });
                 // rebuild layout from items
                 let mut nl = Layout::new();
                 for (it, name) in items {

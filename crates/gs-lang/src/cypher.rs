@@ -116,7 +116,9 @@ pub fn parse_cypher(
 fn parse_usize(cur: &mut Cursor) -> Result<usize> {
     match cur.next() {
         Token::Int(n) if n >= 0 => Ok(n as usize),
-        other => Err(GraphError::Query(format!("expected count, found {other:?}"))),
+        other => Err(GraphError::Query(format!(
+            "expected count, found {other:?}"
+        ))),
     }
 }
 
@@ -307,7 +309,9 @@ fn parse_literal(cur: &mut Cursor, params: &HashMap<String, Value>) -> Result<Va
             }
             Ok(Value::List(list))
         }
-        other => Err(GraphError::Query(format!("expected literal, found {other:?}"))),
+        other => Err(GraphError::Query(format!(
+            "expected literal, found {other:?}"
+        ))),
     }
 }
 
@@ -444,9 +448,8 @@ fn parse_items(
         let name = if cur.eat_kw("AS") {
             cur.ident()?
         } else {
-            default_name.ok_or_else(|| {
-                GraphError::Query("complex projection item needs AS alias".into())
-            })?
+            default_name
+                .ok_or_else(|| GraphError::Query("complex projection item needs AS alias".into()))?
         };
         items.push((item, name));
         if !cur.eat(&Token::Comma) {
@@ -698,7 +701,10 @@ mod tests {
         // anonymous-less: a, b, i bound; i inferred as Item
         let names: Vec<&str> = plan.output_layout().aliases().collect();
         assert_eq!(names, vec!["a", "p"]);
-        assert!(matches!(plan.ops.last().unwrap(), gs_ir::LogicalOp::Project { .. }));
+        assert!(matches!(
+            plan.ops.last().unwrap(),
+            gs_ir::LogicalOp::Project { .. }
+        ));
     }
 
     #[test]
@@ -740,7 +746,10 @@ mod tests {
                 _ => "other",
             })
             .collect();
-        assert_eq!(kinds, vec!["match", "project", "select", "project", "order"]);
+        assert_eq!(
+            kinds,
+            vec!["match", "project", "select", "project", "order"]
+        );
     }
 
     #[test]
@@ -770,8 +779,7 @@ mod tests {
             }
             _ => panic!(),
         }
-        let plan2 =
-            parse("MATCH (a:Account)-[:KNOWS]-(b) RETURN COUNT(DISTINCT b) AS n").unwrap();
+        let plan2 = parse("MATCH (a:Account)-[:KNOWS]-(b) RETURN COUNT(DISTINCT b) AS n").unwrap();
         match &plan2.ops[1] {
             gs_ir::LogicalOp::Project { items } => {
                 assert!(matches!(

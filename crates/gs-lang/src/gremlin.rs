@@ -203,7 +203,12 @@ impl Traversal {
                     ProjectItem::Expr(Expr::Column(layout.require(&self.head)?)),
                     name.clone(),
                 ));
-                let b = b.project(items.iter().map(|(it, n)| (it.clone(), n.as_str())).collect())?;
+                let b = b.project(
+                    items
+                        .iter()
+                        .map(|(it, n)| (it.clone(), n.as_str()))
+                        .collect(),
+                )?;
                 self.put(b);
                 self.head = name;
             }
@@ -486,11 +491,8 @@ mod tests {
 
     #[test]
     fn group_count() {
-        let plan = parse_gremlin(
-            "g.V().hasLabel('Person').groupCount().by('age')",
-            &schema(),
-        )
-        .unwrap();
+        let plan =
+            parse_gremlin("g.V().hasLabel('Person').groupCount().by('age')", &schema()).unwrap();
         match plan.ops.last().unwrap() {
             gs_ir::LogicalOp::Project { items } => {
                 assert_eq!(items.len(), 2);

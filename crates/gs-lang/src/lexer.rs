@@ -236,11 +236,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 out.push(Token::Ident(b[start..j].iter().collect()));
                 i = j;
             }
-            other => {
-                return Err(GraphError::Query(format!(
-                    "unexpected character `{other}`"
-                )))
-            }
+            other => return Err(GraphError::Query(format!("unexpected character `{other}`"))),
         }
     }
     out.push(Token::Eof);
@@ -266,6 +262,9 @@ impl Cursor {
         self.tokens.get(self.pos + 1).unwrap_or(&Token::Eof)
     }
 
+    // not an Iterator: yields Token::Eof forever instead of None, which is
+    // what the recursive-descent parser wants at end of input
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Token {
         let t = self.peek().clone();
         self.pos += 1;
@@ -296,7 +295,9 @@ impl Cursor {
     pub fn ident(&mut self) -> Result<String> {
         match self.next() {
             Token::Ident(s) => Ok(s),
-            other => Err(GraphError::Query(format!("expected identifier, found {other:?}"))),
+            other => Err(GraphError::Query(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -327,7 +328,8 @@ mod tests {
 
     #[test]
     fn tokenizes_cypher_fragment() {
-        let toks = tokenize("MATCH (v:Account{id:1})-[b:BUY]->(i) WHERE v.x <> 5 RETURN v").unwrap();
+        let toks =
+            tokenize("MATCH (v:Account{id:1})-[b:BUY]->(i) WHERE v.x <> 5 RETURN v").unwrap();
         assert!(toks.contains(&Token::Ident("MATCH".into())));
         assert!(toks.contains(&Token::ArrowRight));
         assert!(toks.contains(&Token::Ne));

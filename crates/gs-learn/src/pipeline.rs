@@ -181,6 +181,18 @@ pub fn train_epoch(
         sample_busy: sample_busy.into_inner(),
         train_busy: train_busy.into_inner(),
     };
+    if gs_telemetry::enabled() {
+        gs_telemetry::counter!("learn.batches"; stats.batches as u64);
+        gs_telemetry::counter!("learn.epoch_wall_ns"; stats.wall.as_nanos() as u64);
+        gs_telemetry::counter!("learn.sample_busy_ns"; stats.sample_busy.as_nanos() as u64);
+        gs_telemetry::counter!("learn.train_busy_ns"; stats.train_busy.as_nanos() as u64);
+        // pipeline occupancy: trainer busy time as a share of trainer
+        // capacity over the epoch, in percent
+        let cap = stats.wall.as_nanos() as u64 * cfg.trainers.max(1) as u64;
+        if let Some(pct) = (stats.train_busy.as_nanos() as u64 * 100).checked_div(cap) {
+            gs_telemetry::observe!("learn.trainer_occupancy_pct"; pct);
+        }
+    }
     (stats, avg)
 }
 

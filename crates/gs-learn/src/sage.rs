@@ -25,7 +25,11 @@ impl GraphSage {
         let mut layers = Vec::with_capacity(depth);
         let mut din = feature_dim;
         for l in 0..depth {
-            layers.push(Linear::new(2 * din, hidden, seed.wrapping_add(l as u64 + 1)));
+            layers.push(Linear::new(
+                2 * din,
+                hidden,
+                seed.wrapping_add(l as u64 + 1),
+            ));
             din = hidden;
         }
         Self {
@@ -114,8 +118,7 @@ impl GraphSage {
                 let din = dx.cols / 2;
                 let mut dself = Matrix::zeros(dx.rows, din);
                 for r in 0..dx.rows {
-                    dself.data[r * din..(r + 1) * din]
-                        .copy_from_slice(&dx.row(r)[..din]);
+                    dself.data[r * din..(r + 1) * din].copy_from_slice(&dx.row(r)[..din]);
                 }
                 add_assign(&mut below[k], dself);
                 // scatter mean gradients to neighbour rows
@@ -235,11 +238,7 @@ pub struct SageActivations {
     steps: Vec<Vec<SageStep>>,
 }
 
-fn concat_with_mean(
-    h_self: &Matrix,
-    h_nbr: &Matrix,
-    hops: &[Vec<usize>],
-) -> (Matrix, MeanInfo) {
+fn concat_with_mean(h_self: &Matrix, h_nbr: &Matrix, hops: &[Vec<usize>]) -> (Matrix, MeanInfo) {
     let din = h_self.cols;
     let mut mean = Matrix::zeros(h_self.rows, din);
     for (r, nbrs) in hops.iter().enumerate() {
@@ -336,7 +335,10 @@ mod tests {
         }
         let pred = model.predict(&batch);
         let correct = pred.iter().zip(&labels).filter(|(a, b)| a == b).count();
-        assert!(correct >= 10, "{correct}/12 correct; labels {labels:?} pred {pred:?}");
+        assert!(
+            correct >= 10,
+            "{correct}/12 correct; labels {labels:?} pred {pred:?}"
+        );
     }
 
     #[test]

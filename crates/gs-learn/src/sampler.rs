@@ -128,7 +128,9 @@ impl<'a> Sampler<'a> {
     /// Deterministic synthetic label in `0..classes` (class = a hash of the
     /// vertex id mixed with its degree so labels correlate with structure).
     pub fn label_of(&self, v: VId, classes: usize) -> usize {
-        let deg = self.graph.degree(v, self.vlabel, self.elabel, Direction::Out);
+        let deg = self
+            .graph
+            .degree(v, self.vlabel, self.elabel, Direction::Out);
         ((v.0 as usize).wrapping_mul(31).wrapping_add(deg * 7)) % classes
     }
 }

@@ -12,11 +12,10 @@ use gs_graph::{LabelId, PropId};
 use gs_grin::{Direction, GrinGraph};
 use gs_ir::expr::{BinOp, Expr};
 use gs_ir::Pattern;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Per-edge-label statistics.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct EdgeStats {
     pub count: u64,
     /// Average out-degree over *source-label* vertices.
@@ -26,7 +25,7 @@ pub struct EdgeStats {
 }
 
 /// The statistics catalog.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct GlogueCatalog {
     /// Vertex count per label.
     pub vertex_counts: Vec<u64>,

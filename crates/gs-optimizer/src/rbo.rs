@@ -358,7 +358,15 @@ mod tests {
         let n_expands = fused
             .ops
             .iter()
-            .filter(|o| matches!(o, PhysicalOp::Expand { out: ExpandOut::VertexFused { .. }, .. }))
+            .filter(|o| {
+                matches!(
+                    o,
+                    PhysicalOp::Expand {
+                        out: ExpandOut::VertexFused { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(n_expands, 1);
         assert!(fused.ops.len() < phys.ops.len());

@@ -1,0 +1,229 @@
+//! Fixed log-bucket histogram sketch.
+//!
+//! The classic HdrHistogram layout with 3 precision bits: values below 8
+//! get exact unit buckets; every power-of-two octave above that splits
+//! into 8 sub-buckets, bounding relative quantile error at 1/8 = 12.5% —
+//! plenty for p50/p95/p99 latency reporting — while the whole sketch is a
+//! flat array of 496 atomics that records in a handful of instructions
+//! with no allocation and no locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket precision bits: each octave splits into `2^P` buckets.
+const P: u32 = 3;
+
+/// Bucket count covering the full `u64` range: 8 exact unit buckets, then
+/// 8 sub-buckets per octave for exponents 3..=63.
+pub const BUCKETS: usize = ((64 - P as usize) << P) + (1 << P);
+
+/// A thread-safe log-bucket histogram.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket holding `v`: identity below `2^P`, otherwise the octave is
+    /// the exponent and the next `P` mantissa bits pick the sub-bucket.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v < (1 << P) {
+            v as usize
+        } else {
+            let e = 63 - v.leading_zeros() as usize;
+            ((e - (P as usize - 1)) << P) | ((v >> (e - P as usize)) & ((1 << P) - 1)) as usize
+        }
+    }
+
+    /// Smallest value mapping to bucket `i` (inverse of [`bucket_index`]).
+    ///
+    /// [`bucket_index`]: Histogram::bucket_index
+    #[inline]
+    pub fn bucket_lower(i: usize) -> u64 {
+        if i < (1 << P) {
+            i as u64
+        } else {
+            let e = (i >> P) + P as usize - 1;
+            let off = (i & ((1 << P) - 1)) as u64;
+            ((1 << P) + off) << (e - P as usize)
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the lower bound of the bucket
+    /// containing the rank-`⌈q·count⌉` observation (≤12.5% relative error).
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_lower(i);
+            }
+        }
+        self.max()
+    }
+
+    /// Zeroes every bucket and statistic, keeping the allocation.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_total() {
+        let mut last = 0usize;
+        // exhaustive over the small range, spot-check octave boundaries above
+        for v in 0..4096u64 {
+            let i = Histogram::bucket_index(v);
+            assert!(i >= last, "v={v}");
+            assert!(i < BUCKETS);
+            last = i;
+        }
+        for e in 3..64u32 {
+            let lo = 1u64 << e;
+            for v in [
+                lo,
+                lo + 1,
+                lo + (lo >> 1),
+                lo.wrapping_shl(1).wrapping_sub(1).max(lo),
+            ] {
+                assert!(Histogram::bucket_index(v) < BUCKETS, "v={v}");
+            }
+        }
+        assert!(Histogram::bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn bucket_lower_inverts_bucket_index() {
+        // lower(index(v)) <= v, and v below the next bucket's lower bound
+        for v in (0..100_000u64).chain([1 << 20, (1 << 20) + 12345, u64::MAX / 2, u64::MAX]) {
+            let i = Histogram::bucket_index(v);
+            let lo = Histogram::bucket_lower(i);
+            assert!(lo <= v, "v={v} lo={lo}");
+            if i + 1 < BUCKETS {
+                assert!(v < Histogram::bucket_lower(i + 1), "v={v}");
+            }
+            // the bucket's lower bound maps back to the same bucket
+            assert_eq!(Histogram::bucket_index(lo), i, "v={v}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [10u64, 100, 1000, 123_456, 1 << 30, (1 << 40) + 7] {
+            let lo = Histogram::bucket_lower(Histogram::bucket_index(v));
+            let err = (v - lo) as f64 / v as f64;
+            assert!(err <= 0.125, "v={v} lo={lo} err={err}");
+        }
+    }
+
+    #[test]
+    fn quantiles_on_uniform_data() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.value_at_quantile(0.5);
+        let p99 = h.value_at_quantile(0.99);
+        assert!((440..=500).contains(&p50), "p50={p50}");
+        assert!((880..=990).contains(&p99), "p99={p99}");
+        assert!(p50 <= h.value_at_quantile(0.95));
+        assert!(h.value_at_quantile(0.95) <= p99);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::new();
+        assert_eq!(h.value_at_quantile(0.5), 0);
+        h.record(7);
+        assert_eq!(h.value_at_quantile(0.0), 7);
+        assert_eq!(h.value_at_quantile(1.0), 7);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.value_at_quantile(0.99), 0);
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 80_000);
+    }
+}

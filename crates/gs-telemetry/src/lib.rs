@@ -1,0 +1,227 @@
+//! Stack-wide tracing and metrics for the Flex stack.
+//!
+//! Every layer of the stack — Gaia, HiActor, GRAPE, GART, GraphAr,
+//! gs-learn — reports into one process-global [`Registry`] through three
+//! macros:
+//!
+//! - [`span!`] — an RAII wall-time span, nested per thread into a tree
+//!   (`gaia.query/gaia.segment/gaia.barrier`);
+//! - [`counter!`] — a monotonic counter;
+//! - [`observe!`] — a log-bucket histogram observation (p50/p95/p99).
+//!
+//! All three take optional `key = value` fields that become part of the
+//! metric name (`counter!("gaia.records", op = "Scan"; n)` increments
+//! `gaia.records{op=Scan}`).
+//!
+//! **Cost when off.** No registry installed means every macro reduces to a
+//! single relaxed atomic load and a branch; field arguments are not even
+//! evaluated. There is no feature flag to compile telemetry out — it is
+//! cheap enough to leave in release builds, which is the point: the paper's
+//! figures are produced by flipping `--telemetry` on an already-built
+//! binary.
+//!
+//! ```
+//! let registry = gs_telemetry::Registry::new();
+//! gs_telemetry::install(registry.clone());
+//! {
+//!     let _span = gs_telemetry::span!("demo.work", worker = 0);
+//!     gs_telemetry::counter!("demo.records"; 128);
+//!     gs_telemetry::observe!("demo.latency_ns"; 1500);
+//! }
+//! assert_eq!(registry.counter_value("demo.records"), 128);
+//! gs_telemetry::uninstall();
+//! ```
+
+mod histogram;
+mod registry;
+mod span;
+
+pub use histogram::{Histogram, BUCKETS};
+pub use registry::{Registry, SpanStat, StaticCounter, StaticHistogram};
+pub use span::{current_path, SpanGuard};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The installed registry. `OnceLock<Mutex<..>>` rather than a plain
+/// `OnceLock<Registry>` so `install` can swap registries across
+/// experiments; `ENABLED` is the hot-path gate, the mutex is only taken
+/// on install/global calls (which hot paths cache via [`StaticCounter`]).
+static GLOBAL: OnceLock<Mutex<Registry>> = OnceLock::new();
+
+fn slot() -> &'static Mutex<Registry> {
+    GLOBAL.get_or_init(|| Mutex::new(Registry::new()))
+}
+
+/// Installs `registry` as the process-global sink and enables collection.
+pub fn install(registry: Registry) {
+    *slot().lock().unwrap() = registry;
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Disables collection. The previously installed registry keeps its data.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Whether a registry is installed and collecting.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// A clone of the installed registry (an empty disconnected one if
+/// nothing was ever installed).
+pub fn global() -> Registry {
+    slot().lock().unwrap().clone()
+}
+
+#[doc(hidden)]
+pub fn __counter_add(key: &str, n: u64) {
+    global().counter(key).fetch_add(n, Ordering::Relaxed);
+}
+
+#[doc(hidden)]
+pub fn __observe(key: &str, v: u64) {
+    global().histogram(key).record(v);
+}
+
+/// Builds a metric key `name{k=v,...}` from a base name and fields.
+/// Internal to the macros below.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __key {
+    ($name:expr) => { ::std::borrow::Cow::Borrowed($name) };
+    ($name:expr, $($k:ident = $v:expr),+) => {{
+        use ::std::fmt::Write as _;
+        let mut __s = ::std::string::String::from($name);
+        __s.push('{');
+        let mut __first = true;
+        $(
+            if !__first { __s.push(','); }
+            __first = false;
+            let _ = ::core::write!(__s, concat!(stringify!($k), "={}"), $v);
+        )+
+        let _ = __first;
+        __s.push('}');
+        ::std::borrow::Cow::<str>::Owned(__s)
+    }};
+}
+
+/// Enters a wall-time span; returns a guard that records on drop.
+///
+/// `span!("gaia.segment", idx = i)` times the enclosing scope under the
+/// key `gaia.segment{idx=0}`, nested beneath whatever span is active on
+/// this thread. When telemetry is disabled the fields are not evaluated
+/// and a no-op guard is returned.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::SpanGuard::enter($crate::global(), &$crate::__key!($name $(, $k = $v)*))
+        } else {
+            $crate::SpanGuard::noop()
+        }
+    };
+}
+
+/// Adds to a monotonic counter: `counter!("gaia.records", op = name; n)`.
+/// The amount after `;` defaults to 1 when omitted.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::counter!($name $(, $k = $v)*; 1u64)
+    };
+    ($name:expr $(, $k:ident = $v:expr)*; $n:expr) => {
+        if $crate::enabled() {
+            $crate::__counter_add(&$crate::__key!($name $(, $k = $v)*), $n);
+        }
+    };
+}
+
+/// Records a histogram observation: `observe!("gaia.op_ns", op = name; ns)`.
+#[macro_export]
+macro_rules! observe {
+    ($name:expr $(, $k:ident = $v:expr)*; $v_:expr) => {
+        if $crate::enabled() {
+            $crate::__observe(&$crate::__key!($name $(, $k = $v)*), $v_);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global state is shared across the test binary, so everything that
+    // exercises install/uninstall lives in this one serial test.
+    #[test]
+    fn macros_roundtrip_through_global_registry() {
+        let r = Registry::new();
+        install(r.clone());
+        assert!(enabled());
+
+        {
+            let _q = span!("test.query", id = 7);
+            let _s = span!("test.stage");
+            counter!("test.hits");
+            counter!("test.records", op = "Scan"; 41);
+            counter!("test.records", op = "Scan"; 1);
+            observe!("test.lat_ns", op = "Scan"; 1234);
+        }
+
+        assert_eq!(r.counter_value("test.hits"), 1);
+        assert_eq!(r.counter_value("test.records{op=Scan}"), 42);
+        let names = r.span_names();
+        assert!(names.contains(&"test.query{id=7}".to_string()), "{names:?}");
+        assert!(
+            names.contains(&"test.query{id=7}/test.stage".to_string()),
+            "{names:?}"
+        );
+        assert_eq!(r.span_stat("test.query{id=7}/test.stage").count(), 1);
+
+        let report = r.text_report();
+        assert!(report.contains("test.records{op=Scan} = 42"));
+        assert!(report.contains("test.lat_ns{op=Scan}"));
+
+        // disabled: nothing is recorded, side effects are not evaluated
+        uninstall();
+        assert!(!enabled());
+        let mut evaluated = false;
+        counter!(
+            "test.hits",
+            flag = {
+                evaluated = true;
+                1
+            }
+        );
+        {
+            let _g = span!("test.ghost");
+        }
+        assert!(!evaluated, "field args must not run when disabled");
+        assert_eq!(r.counter_value("test.hits"), 1);
+        assert!(!r.span_names().contains(&"test.ghost".to_string()));
+
+        // swapping registries: the new one receives subsequent metrics
+        let r2 = Registry::new();
+        install(r2.clone());
+        counter!("test.hits"; 3);
+        assert_eq!(r2.counter_value("test.hits"), 3);
+        assert_eq!(r.counter_value("test.hits"), 1);
+        uninstall();
+    }
+
+    #[test]
+    fn static_handles_gate_on_enabled() {
+        static C: StaticCounter = StaticCounter::new("static.test.c");
+        static H: StaticHistogram = StaticHistogram::new("static.test.h");
+        // not installed-for-this-counter yet: with telemetry off these are free
+        C.add(1);
+        H.record(1);
+        // they bind to whatever registry is global at first *enabled* use;
+        // correctness under install/uninstall is covered by the serial test
+        // above — here we only check the disabled path doesn't panic.
+    }
+}

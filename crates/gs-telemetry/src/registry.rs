@@ -1,0 +1,439 @@
+//! The metric registry: named counters, histograms, and span stats.
+//!
+//! A [`Registry`] is a cheap clone (one `Arc`). Handles returned by
+//! [`Registry::counter`] / [`Registry::histogram`] stay valid across
+//! [`Registry::reset`] — reset zeroes values in place rather than dropping
+//! entries, so hot paths may cache a handle once (see [`StaticCounter`])
+//! and never touch the lock again.
+
+use crate::histogram::Histogram;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Aggregate statistics for one span path: invocation count + wall-time
+/// histogram.
+pub struct SpanStat {
+    hist: Histogram,
+}
+
+impl SpanStat {
+    fn new() -> Self {
+        Self {
+            hist: Histogram::new(),
+        }
+    }
+
+    /// Records one completed span of `ns` nanoseconds.
+    pub fn record(&self, ns: u64) {
+        self.hist.record(ns);
+    }
+
+    /// Number of completed spans.
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// Total wall time across completed spans, in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.hist.sum()
+    }
+
+    /// The underlying wall-time histogram (nanoseconds).
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+    spans: RwLock<HashMap<String, Arc<SpanStat>>>,
+}
+
+/// A thread-safe collection of named metrics.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+fn get_or_insert<V, F: FnOnce() -> V>(
+    map: &RwLock<HashMap<String, Arc<V>>>,
+    name: &str,
+    make: F,
+) -> Arc<V> {
+    if let Some(v) = map.read().unwrap().get(name) {
+        return Arc::clone(v);
+    }
+    let mut w = map.write().unwrap();
+    Arc::clone(
+        w.entry(name.to_string())
+            .or_insert_with(|| Arc::new(make())),
+    )
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        get_or_insert(&self.inner.counters, name, || AtomicU64::new(0))
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.inner.histograms, name, Histogram::new)
+    }
+
+    /// The span stat for the nested path `path`, created on first use.
+    pub fn span_stat(&self, path: &str) -> Arc<SpanStat> {
+        get_or_insert(&self.inner.spans, path, SpanStat::new)
+    }
+
+    /// Current value of a counter, 0 if it was never touched.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner
+            .counters
+            .read()
+            .unwrap()
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// All span paths currently registered, sorted.
+    pub fn span_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.spans.read().unwrap().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// All counter names currently registered, sorted.
+    pub fn counter_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .inner
+            .counters
+            .read()
+            .unwrap()
+            .keys()
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Zeroes every metric **in place**. Entries (and any cached handles to
+    /// them) survive; only the values are cleared.
+    pub fn reset(&self) {
+        for c in self.inner.counters.read().unwrap().values() {
+            c.store(0, Ordering::Relaxed);
+        }
+        for h in self.inner.histograms.read().unwrap().values() {
+            h.reset();
+        }
+        for s in self.inner.spans.read().unwrap().values() {
+            s.hist.reset();
+        }
+    }
+
+    /// Human-readable report: span tree (indented by nesting), then
+    /// counters, then histograms, all sorted by name. Metrics whose value
+    /// is still zero after [`reset`](Registry::reset) are skipped.
+    pub fn text_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== telemetry report ==\n");
+
+        let spans = self.inner.spans.read().unwrap();
+        let mut paths: Vec<&String> = spans.keys().collect();
+        paths.sort();
+        if !paths.is_empty() {
+            out.push_str("-- spans --\n");
+            for path in paths {
+                let s = &spans[path];
+                if s.count() == 0 {
+                    continue;
+                }
+                let depth = path.matches('/').count();
+                let leaf = path.rsplit('/').next().unwrap_or(path);
+                let h = s.histogram();
+                out.push_str(&format!(
+                    "{:indent$}{leaf}  count={} total={} mean={} p50={} p95={} p99={} max={}\n",
+                    "",
+                    s.count(),
+                    fmt_ns(s.total_ns()),
+                    fmt_ns(h.mean() as u64),
+                    fmt_ns(h.value_at_quantile(0.5)),
+                    fmt_ns(h.value_at_quantile(0.95)),
+                    fmt_ns(h.value_at_quantile(0.99)),
+                    fmt_ns(h.max()),
+                    indent = depth * 2,
+                ));
+            }
+        }
+        drop(spans);
+
+        let counters = self.inner.counters.read().unwrap();
+        let mut names: Vec<&String> = counters.keys().collect();
+        names.sort();
+        if !names.is_empty() {
+            out.push_str("-- counters --\n");
+            for name in names {
+                let v = counters[name].load(Ordering::Relaxed);
+                if v != 0 {
+                    out.push_str(&format!("{name} = {v}\n"));
+                }
+            }
+        }
+        drop(counters);
+
+        let hists = self.inner.histograms.read().unwrap();
+        let mut names: Vec<&String> = hists.keys().collect();
+        names.sort();
+        if !names.is_empty() {
+            out.push_str("-- histograms --\n");
+            for name in names {
+                let h = &hists[name];
+                if h.count() == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "{name}  count={} mean={:.1} p50={} p95={} p99={} max={}\n",
+                    h.count(),
+                    h.mean(),
+                    h.value_at_quantile(0.5),
+                    h.value_at_quantile(0.95),
+                    h.value_at_quantile(0.99),
+                    h.max(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Machine-readable report: one JSON object with `spans`, `counters`,
+    /// and `histograms` maps, rendered by hand to keep the crate
+    /// dependency-free.
+    pub fn json_report(&self) -> String {
+        let mut out = String::from("{\"spans\":{");
+        let spans = self.inner.spans.read().unwrap();
+        let mut paths: Vec<&String> = spans.keys().collect();
+        paths.sort();
+        let mut first = true;
+        for path in paths {
+            let s = &spans[path];
+            if s.count() == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let h = s.histogram();
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"total_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                json_str(path),
+                s.count(),
+                s.total_ns(),
+                h.value_at_quantile(0.5),
+                h.value_at_quantile(0.95),
+                h.value_at_quantile(0.99),
+                h.max(),
+            ));
+        }
+        drop(spans);
+
+        out.push_str("},\"counters\":{");
+        let counters = self.inner.counters.read().unwrap();
+        let mut names: Vec<&String> = counters.keys().collect();
+        names.sort();
+        let mut first = true;
+        for name in names {
+            let v = counters[name].load(Ordering::Relaxed);
+            if v == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("{}:{v}", json_str(name)));
+        }
+        drop(counters);
+
+        out.push_str("},\"histograms\":{");
+        let hists = self.inner.histograms.read().unwrap();
+        let mut names: Vec<&String> = hists.keys().collect();
+        names.sort();
+        let mut first = true;
+        for name in names {
+            let h = &hists[name];
+            if h.count() == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                json_str(name),
+                h.count(),
+                h.sum(),
+                h.value_at_quantile(0.5),
+                h.value_at_quantile(0.95),
+                h.value_at_quantile(0.99),
+                h.max(),
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats nanoseconds with a unit suffix for the text report.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// A counter handle for hot paths, resolved against the global registry
+/// once and cached. Safe across [`Registry::reset`] because reset zeroes
+/// in place. When telemetry is disabled the cost is one relaxed load.
+pub struct StaticCounter {
+    key: &'static str,
+    handle: OnceLock<Arc<AtomicU64>>,
+}
+
+impl StaticCounter {
+    /// A counter bound to `key` in the global registry.
+    pub const fn new(key: &'static str) -> Self {
+        Self {
+            key,
+            handle: OnceLock::new(),
+        }
+    }
+
+    /// Adds `n` if telemetry is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.handle
+                .get_or_init(|| crate::global().counter(self.key))
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A histogram handle for hot paths; see [`StaticCounter`].
+pub struct StaticHistogram {
+    key: &'static str,
+    handle: OnceLock<Arc<Histogram>>,
+}
+
+impl StaticHistogram {
+    /// A histogram bound to `key` in the global registry.
+    pub const fn new(key: &'static str) -> Self {
+        Self {
+            key,
+            handle: OnceLock::new(),
+        }
+    }
+
+    /// Records `v` if telemetry is enabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if crate::enabled() {
+            self.handle
+                .get_or_init(|| crate::global().histogram(self.key))
+                .record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_survive_reset() {
+        let r = Registry::new();
+        let c = r.counter("x");
+        c.fetch_add(5, Ordering::Relaxed);
+        assert_eq!(r.counter_value("x"), 5);
+        r.reset();
+        assert_eq!(r.counter_value("x"), 0);
+        // the cached handle still points at the live entry
+        c.fetch_add(2, Ordering::Relaxed);
+        assert_eq!(r.counter_value("x"), 2);
+    }
+
+    #[test]
+    fn concurrent_counter_increments() {
+        let r = Registry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let r = r.clone();
+                s.spawn(move || {
+                    let c = r.counter("hits");
+                    for _ in 0..10_000 {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter_value("hits"), 80_000);
+    }
+
+    #[test]
+    fn reports_skip_zero_entries() {
+        let r = Registry::new();
+        r.counter("zero");
+        r.counter("one").fetch_add(1, Ordering::Relaxed);
+        r.histogram("lat").record(42);
+        r.span_stat("root").record(1_000);
+        let text = r.text_report();
+        assert!(text.contains("one = 1"));
+        assert!(!text.contains("zero"));
+        assert!(text.contains("lat"));
+        assert!(text.contains("root"));
+        let json = r.json_report();
+        assert!(json.contains("\"one\":1"));
+        assert!(!json.contains("zero"));
+        assert!(json.contains("\"root\""));
+    }
+
+    #[test]
+    fn json_report_escapes_keys() {
+        let r = Registry::new();
+        r.counter("weird\"key").fetch_add(1, Ordering::Relaxed);
+        assert!(r.json_report().contains("\"weird\\\"key\":1"));
+    }
+}

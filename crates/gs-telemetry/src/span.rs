@@ -1,0 +1,105 @@
+//! Scoped timing spans.
+//!
+//! A span is entered with [`crate::span!`] and records its wall time into
+//! the registry when the guard drops. Nesting is tracked per thread: each
+//! guard appends its name to a thread-local path (`gaia.query/gaia.segment`)
+//! so the report can render the span tree without any cross-thread
+//! bookkeeping. Guards must therefore drop on the thread that created them
+//! (they are `!Send` by construction, holding no `Send` handle is not
+//! enough — `PhantomData<*const ()>` enforces it).
+
+use crate::registry::Registry;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::time::Instant;
+
+thread_local! {
+    /// Current span path on this thread, segments joined by '/'.
+    static PATH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// RAII guard for an active span. Created by [`crate::span!`]; records the
+/// elapsed wall time under the full nested path on drop.
+pub struct SpanGuard {
+    state: Option<(Registry, Instant, usize)>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    /// Enters a span named `key` (already formatted with fields) against
+    /// `registry`, pushing it onto this thread's path.
+    pub fn enter(registry: Registry, key: &str) -> Self {
+        let prev_len = PATH.with(|p| {
+            let mut p = p.borrow_mut();
+            let prev = p.len();
+            if !p.is_empty() {
+                p.push('/');
+            }
+            p.push_str(key);
+            prev
+        });
+        Self {
+            state: Some((registry, Instant::now(), prev_len)),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// A guard that records nothing — returned when telemetry is disabled.
+    pub fn noop() -> Self {
+        Self {
+            state: None,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((registry, start, prev_len)) = self.state.take() {
+            let ns = start.elapsed().as_nanos() as u64;
+            PATH.with(|p| {
+                let mut p = p.borrow_mut();
+                registry.span_stat(&p).record(ns);
+                p.truncate(prev_len);
+            });
+        }
+    }
+}
+
+/// The current thread's span path (for tests and diagnostics).
+pub fn current_path() -> String {
+    PATH.with(|p| p.borrow().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_slash_paths() {
+        let r = Registry::new();
+        {
+            let _a = SpanGuard::enter(r.clone(), "outer");
+            assert_eq!(current_path(), "outer");
+            {
+                let _b = SpanGuard::enter(r.clone(), "inner");
+                assert_eq!(current_path(), "outer/inner");
+            }
+            assert_eq!(current_path(), "outer");
+        }
+        assert_eq!(current_path(), "");
+        let names = r.span_names();
+        assert!(names.contains(&"outer".to_string()));
+        assert!(names.contains(&"outer/inner".to_string()));
+    }
+
+    #[test]
+    fn noop_guard_records_nothing() {
+        let r = Registry::new();
+        {
+            let _g = SpanGuard::noop();
+            assert_eq!(current_path(), "");
+        }
+        assert!(r.span_names().is_empty());
+    }
+}

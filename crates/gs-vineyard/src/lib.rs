@@ -21,8 +21,8 @@ use gs_graph::ids::IdMap;
 use gs_graph::props::PropertyTable;
 use gs_graph::value::GroupKey;
 use gs_grin::{
-    AdjEntry, Capabilities, Direction, GraphError, GraphSchema, GrinGraph, LabelId, PropId,
-    Result, VId, Value,
+    AdjEntry, Capabilities, Direction, GraphError, GraphSchema, GrinGraph, LabelId, PropId, Result,
+    VId, Value,
 };
 use std::collections::HashMap;
 
@@ -226,7 +226,9 @@ impl GrinGraph for VineyardGraph {
     }
 
     fn edge_count(&self, label: LabelId) -> usize {
-        self.out_csr.get(label.index()).map_or(0, |c| c.edge_count())
+        self.out_csr
+            .get(label.index())
+            .map_or(0, |c| c.edge_count())
     }
 
     fn adjacent(
@@ -428,7 +430,10 @@ mod tests {
         assert_eq!(bought, vec![Value::Float(9.99), Value::Float(19.99)]);
         // edge property follows the edge id
         let first = g.adjacent(a1, buyer, buy, Direction::Out).next().unwrap();
-        assert_eq!(g.edge_property(buy, first.edge, PropId(0)), Value::Date(15001));
+        assert_eq!(
+            g.edge_property(buy, first.edge, PropId(0)),
+            Value::Date(15001)
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@ fn main() -> gs_graph::Result<()> {
         "transaction graph: {} accounts, {} items, {} historical orders, {} fraud seeds",
         workload.accounts,
         workload.items,
-        workload.data.edges[workload.labels.buy.index()].endpoints.len(),
+        workload.data.edges[workload.labels.buy.index()]
+            .endpoints
+            .len(),
         workload.seeds.len(),
     );
 

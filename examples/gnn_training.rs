@@ -55,7 +55,12 @@ fn main() -> gs_graph::Result<()> {
         ..Default::default()
     })?;
     for (i, e) in run.epochs.iter().enumerate() {
-        println!("  epoch {}: {:?}, mean loss {:.4}", i + 1, e.duration, e.mean_loss);
+        println!(
+            "  epoch {}: {:?}, mean loss {:.4}",
+            i + 1,
+            e.duration,
+            e.mean_loss
+        );
     }
     println!(
         "  held-out separation (positive minus negative mean probability): {:.3}",

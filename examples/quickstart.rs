@@ -29,7 +29,11 @@ fn main() -> gs_graph::Result<()> {
         DeployTarget::SingleMachineBinary,
     )
     .expect("component selection composes");
-    println!("deployment `{}` with {} bricks\n", deployment.name, deployment.components.len());
+    println!(
+        "deployment `{}` with {} bricks\n",
+        deployment.name,
+        deployment.components.len()
+    );
 
     // ---- 2. define a labeled property graph and load Vineyard --------
     let mut schema = GraphSchema::new();
@@ -70,7 +74,8 @@ fn main() -> gs_graph::Result<()> {
                   RETURN f.name AS friend, i.price AS price ORDER BY price DESC";
     let plan_c = parse_cypher(cypher, &schema, &HashMap::new())?;
 
-    let gremlin = "g.V().hasLabel('Person').has('name', 'ann').out('KNOWS').out('BUY').values('price')";
+    let gremlin =
+        "g.V().hasLabel('Person').has('name', 'ann').out('KNOWS').out('BUY').values('price')";
     let plan_g = parse_gremlin(gremlin, &schema)?;
 
     // one optimizer + one engine serve both front-ends

@@ -23,15 +23,16 @@ pub use gs_datagen;
 pub use gs_flex;
 pub use gs_gaia;
 pub use gs_gart;
+pub use gs_grape;
 pub use gs_graph;
 pub use gs_graphar;
-pub use gs_grape;
 pub use gs_grin;
 pub use gs_hiactor;
 pub use gs_ir;
 pub use gs_lang;
 pub use gs_learn;
 pub use gs_optimizer;
+pub use gs_telemetry;
 pub use gs_vineyard;
 
 /// Everything the examples need, one import away.
@@ -40,13 +41,13 @@ pub mod prelude {
     pub use gs_flex::{Component, DeployTarget, FlexBuild};
     pub use gs_gaia::GaiaEngine;
     pub use gs_gart::GartStore;
-    pub use gs_graph::schema::GraphSchema;
-    pub use gs_graph::{PropertyGraphData, VId, Value, ValueType};
     pub use gs_grape::algorithms as grape_algorithms;
     pub use gs_grape::GrapeEngine;
+    pub use gs_graph::schema::GraphSchema;
+    pub use gs_graph::{PropertyGraphData, VId, Value, ValueType};
     pub use gs_grin::{Capabilities, Direction, GrinGraph};
     pub use gs_hiactor::QueryService;
-    pub use gs_ir::{Expr, PlanBuilder};
+    pub use gs_ir::{Expr, PlanBuilder, QueryEngine, ReferenceEngine};
     pub use gs_lang::{parse_cypher, parse_gremlin};
     pub use gs_optimizer::{GlogueCatalog, Optimizer};
     pub use gs_vineyard::VineyardGraph;

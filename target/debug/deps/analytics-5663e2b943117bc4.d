@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analytics-5663e2b943117bc4.d: crates/gs-bench/benches/analytics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalytics-5663e2b943117bc4.rmeta: crates/gs-bench/benches/analytics.rs Cargo.toml
+
+crates/gs-bench/benches/analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-249e4ed670d78aee.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-249e4ed670d78aee.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-249e4ed670d78aee.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-7c88b33a64ed4211.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-7c88b33a64ed4211: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/crossbeam-7fe1a0376480838b.d: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs vendor/crossbeam/src/deque.rs vendor/crossbeam/src/thread.rs
+
+/root/repo/target/debug/deps/crossbeam-7fe1a0376480838b: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs vendor/crossbeam/src/deque.rs vendor/crossbeam/src/thread.rs
+
+vendor/crossbeam/src/lib.rs:
+vendor/crossbeam/src/channel.rs:
+vendor/crossbeam/src/deque.rs:
+vendor/crossbeam/src/thread.rs:

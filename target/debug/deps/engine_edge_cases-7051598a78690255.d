@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_edge_cases-7051598a78690255.d: tests/engine_edge_cases.rs
+
+/root/repo/target/debug/deps/engine_edge_cases-7051598a78690255: tests/engine_edge_cases.rs
+
+tests/engine_edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_edge_cases-a8d65b5f52db441e.d: tests/engine_edge_cases.rs
+
+/root/repo/target/debug/deps/engine_edge_cases-a8d65b5f52db441e: tests/engine_edge_cases.rs
+
+tests/engine_edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-9372e4536bb8aa64.d: crates/gs-bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-9372e4536bb8aa64: crates/gs-bench/src/bin/figures.rs
+
+crates/gs-bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-9bbfbba7a6fe668c.d: crates/gs-bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-9bbfbba7a6fe668c: crates/gs-bench/src/bin/figures.rs
+
+crates/gs-bench/src/bin/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-b31d24d271f52250.d: crates/gs-bench/src/bin/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-b31d24d271f52250.rmeta: crates/gs-bench/src/bin/figures.rs Cargo.toml
+
+crates/gs-bench/src/bin/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-dd394ebe093cdbfa.d: crates/gs-bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-dd394ebe093cdbfa: crates/gs-bench/src/bin/figures.rs
+
+crates/gs-bench/src/bin/figures.rs:

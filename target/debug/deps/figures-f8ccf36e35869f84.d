@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-f8ccf36e35869f84.d: crates/gs-bench/src/bin/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-f8ccf36e35869f84.rmeta: crates/gs-bench/src/bin/figures.rs Cargo.toml
+
+crates/gs-bench/src/bin/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-5857c1eb8001bbb4.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-5857c1eb8001bbb4: tests/full_stack.rs
+
+tests/full_stack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-882899240dcb11d3.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-882899240dcb11d3: tests/full_stack.rs
+
+tests/full_stack.rs:

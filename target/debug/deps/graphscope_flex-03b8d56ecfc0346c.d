@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/graphscope_flex-03b8d56ecfc0346c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgraphscope_flex-03b8d56ecfc0346c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgraphscope_flex-03b8d56ecfc0346c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graphscope_flex-12ce244b236c48eb.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphscope_flex-12ce244b236c48eb.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

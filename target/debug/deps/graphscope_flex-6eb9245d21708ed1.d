@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graphscope_flex-6eb9245d21708ed1.d: src/lib.rs
+
+/root/repo/target/debug/deps/graphscope_flex-6eb9245d21708ed1: src/lib.rs
+
+src/lib.rs:

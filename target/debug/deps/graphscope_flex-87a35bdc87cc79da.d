@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/graphscope_flex-87a35bdc87cc79da.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgraphscope_flex-87a35bdc87cc79da.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgraphscope_flex-87a35bdc87cc79da.rmeta: src/lib.rs
+
+src/lib.rs:

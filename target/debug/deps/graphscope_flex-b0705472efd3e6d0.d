@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graphscope_flex-b0705472efd3e6d0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphscope_flex-b0705472efd3e6d0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graphscope_flex-e786d775445ea24a.d: src/lib.rs
+
+/root/repo/target/debug/deps/graphscope_flex-e786d775445ea24a: src/lib.rs
+
+src/lib.rs:

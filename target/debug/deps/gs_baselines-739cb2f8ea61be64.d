@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gs_baselines-739cb2f8ea61be64.d: crates/gs-baselines/src/lib.rs crates/gs-baselines/src/gemini.rs crates/gs-baselines/src/gpu_baselines.rs crates/gs-baselines/src/livegraph.rs crates/gs-baselines/src/powergraph.rs crates/gs-baselines/src/sqlengine.rs crates/gs-baselines/src/tugraph.rs
+
+/root/repo/target/debug/deps/gs_baselines-739cb2f8ea61be64: crates/gs-baselines/src/lib.rs crates/gs-baselines/src/gemini.rs crates/gs-baselines/src/gpu_baselines.rs crates/gs-baselines/src/livegraph.rs crates/gs-baselines/src/powergraph.rs crates/gs-baselines/src/sqlengine.rs crates/gs-baselines/src/tugraph.rs
+
+crates/gs-baselines/src/lib.rs:
+crates/gs-baselines/src/gemini.rs:
+crates/gs-baselines/src/gpu_baselines.rs:
+crates/gs-baselines/src/livegraph.rs:
+crates/gs-baselines/src/powergraph.rs:
+crates/gs-baselines/src/sqlengine.rs:
+crates/gs-baselines/src/tugraph.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gs_baselines-be9587158f0a4482.d: crates/gs-baselines/src/lib.rs crates/gs-baselines/src/gemini.rs crates/gs-baselines/src/gpu_baselines.rs crates/gs-baselines/src/livegraph.rs crates/gs-baselines/src/powergraph.rs crates/gs-baselines/src/sqlengine.rs crates/gs-baselines/src/tugraph.rs
+
+/root/repo/target/debug/deps/libgs_baselines-be9587158f0a4482.rlib: crates/gs-baselines/src/lib.rs crates/gs-baselines/src/gemini.rs crates/gs-baselines/src/gpu_baselines.rs crates/gs-baselines/src/livegraph.rs crates/gs-baselines/src/powergraph.rs crates/gs-baselines/src/sqlengine.rs crates/gs-baselines/src/tugraph.rs
+
+/root/repo/target/debug/deps/libgs_baselines-be9587158f0a4482.rmeta: crates/gs-baselines/src/lib.rs crates/gs-baselines/src/gemini.rs crates/gs-baselines/src/gpu_baselines.rs crates/gs-baselines/src/livegraph.rs crates/gs-baselines/src/powergraph.rs crates/gs-baselines/src/sqlengine.rs crates/gs-baselines/src/tugraph.rs
+
+crates/gs-baselines/src/lib.rs:
+crates/gs-baselines/src/gemini.rs:
+crates/gs-baselines/src/gpu_baselines.rs:
+crates/gs-baselines/src/livegraph.rs:
+crates/gs-baselines/src/powergraph.rs:
+crates/gs-baselines/src/sqlengine.rs:
+crates/gs-baselines/src/tugraph.rs:

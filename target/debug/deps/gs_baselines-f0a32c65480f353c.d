@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gs_baselines-f0a32c65480f353c.d: crates/gs-baselines/src/lib.rs crates/gs-baselines/src/gemini.rs crates/gs-baselines/src/gpu_baselines.rs crates/gs-baselines/src/livegraph.rs crates/gs-baselines/src/powergraph.rs crates/gs-baselines/src/sqlengine.rs crates/gs-baselines/src/tugraph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgs_baselines-f0a32c65480f353c.rmeta: crates/gs-baselines/src/lib.rs crates/gs-baselines/src/gemini.rs crates/gs-baselines/src/gpu_baselines.rs crates/gs-baselines/src/livegraph.rs crates/gs-baselines/src/powergraph.rs crates/gs-baselines/src/sqlengine.rs crates/gs-baselines/src/tugraph.rs Cargo.toml
+
+crates/gs-baselines/src/lib.rs:
+crates/gs-baselines/src/gemini.rs:
+crates/gs-baselines/src/gpu_baselines.rs:
+crates/gs-baselines/src/livegraph.rs:
+crates/gs-baselines/src/powergraph.rs:
+crates/gs-baselines/src/sqlengine.rs:
+crates/gs-baselines/src/tugraph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gs_bench-216b729b7bf8ebb7.d: crates/gs-bench/src/lib.rs crates/gs-bench/src/experiments/mod.rs crates/gs-bench/src/experiments/ablations.rs crates/gs-bench/src/experiments/analytics.rs crates/gs-bench/src/experiments/apps.rs crates/gs-bench/src/experiments/learning.rs crates/gs-bench/src/experiments/query.rs crates/gs-bench/src/experiments/storage.rs crates/gs-bench/src/util.rs
+
+/root/repo/target/debug/deps/libgs_bench-216b729b7bf8ebb7.rlib: crates/gs-bench/src/lib.rs crates/gs-bench/src/experiments/mod.rs crates/gs-bench/src/experiments/ablations.rs crates/gs-bench/src/experiments/analytics.rs crates/gs-bench/src/experiments/apps.rs crates/gs-bench/src/experiments/learning.rs crates/gs-bench/src/experiments/query.rs crates/gs-bench/src/experiments/storage.rs crates/gs-bench/src/util.rs
+
+/root/repo/target/debug/deps/libgs_bench-216b729b7bf8ebb7.rmeta: crates/gs-bench/src/lib.rs crates/gs-bench/src/experiments/mod.rs crates/gs-bench/src/experiments/ablations.rs crates/gs-bench/src/experiments/analytics.rs crates/gs-bench/src/experiments/apps.rs crates/gs-bench/src/experiments/learning.rs crates/gs-bench/src/experiments/query.rs crates/gs-bench/src/experiments/storage.rs crates/gs-bench/src/util.rs
+
+crates/gs-bench/src/lib.rs:
+crates/gs-bench/src/experiments/mod.rs:
+crates/gs-bench/src/experiments/ablations.rs:
+crates/gs-bench/src/experiments/analytics.rs:
+crates/gs-bench/src/experiments/apps.rs:
+crates/gs-bench/src/experiments/learning.rs:
+crates/gs-bench/src/experiments/query.rs:
+crates/gs-bench/src/experiments/storage.rs:
+crates/gs-bench/src/util.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gs_bench-89f6a34686ed58fe.d: crates/gs-bench/src/lib.rs crates/gs-bench/src/experiments/mod.rs crates/gs-bench/src/experiments/ablations.rs crates/gs-bench/src/experiments/analytics.rs crates/gs-bench/src/experiments/apps.rs crates/gs-bench/src/experiments/learning.rs crates/gs-bench/src/experiments/query.rs crates/gs-bench/src/experiments/storage.rs crates/gs-bench/src/util.rs
+
+/root/repo/target/debug/deps/gs_bench-89f6a34686ed58fe: crates/gs-bench/src/lib.rs crates/gs-bench/src/experiments/mod.rs crates/gs-bench/src/experiments/ablations.rs crates/gs-bench/src/experiments/analytics.rs crates/gs-bench/src/experiments/apps.rs crates/gs-bench/src/experiments/learning.rs crates/gs-bench/src/experiments/query.rs crates/gs-bench/src/experiments/storage.rs crates/gs-bench/src/util.rs
+
+crates/gs-bench/src/lib.rs:
+crates/gs-bench/src/experiments/mod.rs:
+crates/gs-bench/src/experiments/ablations.rs:
+crates/gs-bench/src/experiments/analytics.rs:
+crates/gs-bench/src/experiments/apps.rs:
+crates/gs-bench/src/experiments/learning.rs:
+crates/gs-bench/src/experiments/query.rs:
+crates/gs-bench/src/experiments/storage.rs:
+crates/gs-bench/src/util.rs:

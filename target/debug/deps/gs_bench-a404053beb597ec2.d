@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/gs_bench-a404053beb597ec2.d: crates/gs-bench/src/lib.rs crates/gs-bench/src/experiments/mod.rs crates/gs-bench/src/experiments/ablations.rs crates/gs-bench/src/experiments/analytics.rs crates/gs-bench/src/experiments/apps.rs crates/gs-bench/src/experiments/learning.rs crates/gs-bench/src/experiments/query.rs crates/gs-bench/src/experiments/storage.rs crates/gs-bench/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgs_bench-a404053beb597ec2.rmeta: crates/gs-bench/src/lib.rs crates/gs-bench/src/experiments/mod.rs crates/gs-bench/src/experiments/ablations.rs crates/gs-bench/src/experiments/analytics.rs crates/gs-bench/src/experiments/apps.rs crates/gs-bench/src/experiments/learning.rs crates/gs-bench/src/experiments/query.rs crates/gs-bench/src/experiments/storage.rs crates/gs-bench/src/util.rs Cargo.toml
+
+crates/gs-bench/src/lib.rs:
+crates/gs-bench/src/experiments/mod.rs:
+crates/gs-bench/src/experiments/ablations.rs:
+crates/gs-bench/src/experiments/analytics.rs:
+crates/gs-bench/src/experiments/apps.rs:
+crates/gs-bench/src/experiments/learning.rs:
+crates/gs-bench/src/experiments/query.rs:
+crates/gs-bench/src/experiments/storage.rs:
+crates/gs-bench/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

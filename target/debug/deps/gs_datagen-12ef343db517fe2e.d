@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gs_datagen-12ef343db517fe2e.d: crates/gs-datagen/src/lib.rs crates/gs-datagen/src/apps.rs crates/gs-datagen/src/catalog.rs crates/gs-datagen/src/powerlaw.rs crates/gs-datagen/src/rmat.rs crates/gs-datagen/src/snb.rs
+
+/root/repo/target/debug/deps/gs_datagen-12ef343db517fe2e: crates/gs-datagen/src/lib.rs crates/gs-datagen/src/apps.rs crates/gs-datagen/src/catalog.rs crates/gs-datagen/src/powerlaw.rs crates/gs-datagen/src/rmat.rs crates/gs-datagen/src/snb.rs
+
+crates/gs-datagen/src/lib.rs:
+crates/gs-datagen/src/apps.rs:
+crates/gs-datagen/src/catalog.rs:
+crates/gs-datagen/src/powerlaw.rs:
+crates/gs-datagen/src/rmat.rs:
+crates/gs-datagen/src/snb.rs:

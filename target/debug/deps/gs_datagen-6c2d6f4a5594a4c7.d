@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gs_datagen-6c2d6f4a5594a4c7.d: crates/gs-datagen/src/lib.rs crates/gs-datagen/src/apps.rs crates/gs-datagen/src/catalog.rs crates/gs-datagen/src/powerlaw.rs crates/gs-datagen/src/rmat.rs crates/gs-datagen/src/snb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgs_datagen-6c2d6f4a5594a4c7.rmeta: crates/gs-datagen/src/lib.rs crates/gs-datagen/src/apps.rs crates/gs-datagen/src/catalog.rs crates/gs-datagen/src/powerlaw.rs crates/gs-datagen/src/rmat.rs crates/gs-datagen/src/snb.rs Cargo.toml
+
+crates/gs-datagen/src/lib.rs:
+crates/gs-datagen/src/apps.rs:
+crates/gs-datagen/src/catalog.rs:
+crates/gs-datagen/src/powerlaw.rs:
+crates/gs-datagen/src/rmat.rs:
+crates/gs-datagen/src/snb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

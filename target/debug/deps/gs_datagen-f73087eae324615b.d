@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gs_datagen-f73087eae324615b.d: crates/gs-datagen/src/lib.rs crates/gs-datagen/src/apps.rs crates/gs-datagen/src/catalog.rs crates/gs-datagen/src/powerlaw.rs crates/gs-datagen/src/rmat.rs crates/gs-datagen/src/snb.rs
+
+/root/repo/target/debug/deps/libgs_datagen-f73087eae324615b.rlib: crates/gs-datagen/src/lib.rs crates/gs-datagen/src/apps.rs crates/gs-datagen/src/catalog.rs crates/gs-datagen/src/powerlaw.rs crates/gs-datagen/src/rmat.rs crates/gs-datagen/src/snb.rs
+
+/root/repo/target/debug/deps/libgs_datagen-f73087eae324615b.rmeta: crates/gs-datagen/src/lib.rs crates/gs-datagen/src/apps.rs crates/gs-datagen/src/catalog.rs crates/gs-datagen/src/powerlaw.rs crates/gs-datagen/src/rmat.rs crates/gs-datagen/src/snb.rs
+
+crates/gs-datagen/src/lib.rs:
+crates/gs-datagen/src/apps.rs:
+crates/gs-datagen/src/catalog.rs:
+crates/gs-datagen/src/powerlaw.rs:
+crates/gs-datagen/src/rmat.rs:
+crates/gs-datagen/src/snb.rs:

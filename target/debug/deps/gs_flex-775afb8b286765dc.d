@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gs_flex-775afb8b286765dc.d: crates/gs-flex/src/lib.rs crates/gs-flex/src/cyber.rs crates/gs-flex/src/equity.rs crates/gs-flex/src/flexbuild.rs crates/gs-flex/src/fraud.rs crates/gs-flex/src/snb/mod.rs crates/gs-flex/src/snb/backend.rs crates/gs-flex/src/snb/bi.rs crates/gs-flex/src/snb/interactive.rs crates/gs-flex/src/social.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgs_flex-775afb8b286765dc.rmeta: crates/gs-flex/src/lib.rs crates/gs-flex/src/cyber.rs crates/gs-flex/src/equity.rs crates/gs-flex/src/flexbuild.rs crates/gs-flex/src/fraud.rs crates/gs-flex/src/snb/mod.rs crates/gs-flex/src/snb/backend.rs crates/gs-flex/src/snb/bi.rs crates/gs-flex/src/snb/interactive.rs crates/gs-flex/src/social.rs Cargo.toml
+
+crates/gs-flex/src/lib.rs:
+crates/gs-flex/src/cyber.rs:
+crates/gs-flex/src/equity.rs:
+crates/gs-flex/src/flexbuild.rs:
+crates/gs-flex/src/fraud.rs:
+crates/gs-flex/src/snb/mod.rs:
+crates/gs-flex/src/snb/backend.rs:
+crates/gs-flex/src/snb/bi.rs:
+crates/gs-flex/src/snb/interactive.rs:
+crates/gs-flex/src/social.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gs_flex-97a1818161dfc4a7.d: crates/gs-flex/src/lib.rs crates/gs-flex/src/cyber.rs crates/gs-flex/src/equity.rs crates/gs-flex/src/flexbuild.rs crates/gs-flex/src/fraud.rs crates/gs-flex/src/snb/mod.rs crates/gs-flex/src/snb/backend.rs crates/gs-flex/src/snb/bi.rs crates/gs-flex/src/snb/interactive.rs crates/gs-flex/src/social.rs
+
+/root/repo/target/debug/deps/gs_flex-97a1818161dfc4a7: crates/gs-flex/src/lib.rs crates/gs-flex/src/cyber.rs crates/gs-flex/src/equity.rs crates/gs-flex/src/flexbuild.rs crates/gs-flex/src/fraud.rs crates/gs-flex/src/snb/mod.rs crates/gs-flex/src/snb/backend.rs crates/gs-flex/src/snb/bi.rs crates/gs-flex/src/snb/interactive.rs crates/gs-flex/src/social.rs
+
+crates/gs-flex/src/lib.rs:
+crates/gs-flex/src/cyber.rs:
+crates/gs-flex/src/equity.rs:
+crates/gs-flex/src/flexbuild.rs:
+crates/gs-flex/src/fraud.rs:
+crates/gs-flex/src/snb/mod.rs:
+crates/gs-flex/src/snb/backend.rs:
+crates/gs-flex/src/snb/bi.rs:
+crates/gs-flex/src/snb/interactive.rs:
+crates/gs-flex/src/social.rs:

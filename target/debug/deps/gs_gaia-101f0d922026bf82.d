@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gs_gaia-101f0d922026bf82.d: crates/gs-gaia/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgs_gaia-101f0d922026bf82.rmeta: crates/gs-gaia/src/lib.rs Cargo.toml
+
+crates/gs-gaia/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gs_gaia-2a815c5d13468a27.d: crates/gs-gaia/src/lib.rs
+
+/root/repo/target/debug/deps/gs_gaia-2a815c5d13468a27: crates/gs-gaia/src/lib.rs
+
+crates/gs-gaia/src/lib.rs:

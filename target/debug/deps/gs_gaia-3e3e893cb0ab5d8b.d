@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gs_gaia-3e3e893cb0ab5d8b.d: crates/gs-gaia/src/lib.rs
+
+/root/repo/target/debug/deps/libgs_gaia-3e3e893cb0ab5d8b.rlib: crates/gs-gaia/src/lib.rs
+
+/root/repo/target/debug/deps/libgs_gaia-3e3e893cb0ab5d8b.rmeta: crates/gs-gaia/src/lib.rs
+
+crates/gs-gaia/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gs_gaia-a05e091b407d6e19.d: crates/gs-gaia/src/lib.rs
+
+/root/repo/target/debug/deps/gs_gaia-a05e091b407d6e19: crates/gs-gaia/src/lib.rs
+
+crates/gs-gaia/src/lib.rs:

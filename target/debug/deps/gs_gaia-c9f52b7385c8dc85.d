@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gs_gaia-c9f52b7385c8dc85.d: crates/gs-gaia/src/lib.rs
+
+/root/repo/target/debug/deps/libgs_gaia-c9f52b7385c8dc85.rlib: crates/gs-gaia/src/lib.rs
+
+/root/repo/target/debug/deps/libgs_gaia-c9f52b7385c8dc85.rmeta: crates/gs-gaia/src/lib.rs
+
+crates/gs-gaia/src/lib.rs:

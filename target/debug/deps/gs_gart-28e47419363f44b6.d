@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gs_gart-28e47419363f44b6.d: crates/gs-gart/src/lib.rs
+
+/root/repo/target/debug/deps/libgs_gart-28e47419363f44b6.rlib: crates/gs-gart/src/lib.rs
+
+/root/repo/target/debug/deps/libgs_gart-28e47419363f44b6.rmeta: crates/gs-gart/src/lib.rs
+
+crates/gs-gart/src/lib.rs:

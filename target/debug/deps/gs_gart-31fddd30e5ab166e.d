@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gs_gart-31fddd30e5ab166e.d: crates/gs-gart/src/lib.rs
+
+/root/repo/target/debug/deps/gs_gart-31fddd30e5ab166e: crates/gs-gart/src/lib.rs
+
+crates/gs-gart/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gs_gart-a6086a4204e3f0d6.d: crates/gs-gart/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgs_gart-a6086a4204e3f0d6.rmeta: crates/gs-gart/src/lib.rs Cargo.toml
+
+crates/gs-gart/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gs_gart-b63fb4f8e54cb3d7.d: crates/gs-gart/src/lib.rs
+
+/root/repo/target/debug/deps/gs_gart-b63fb4f8e54cb3d7: crates/gs-gart/src/lib.rs
+
+crates/gs-gart/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gs_gart-b7d68c98015833b2.d: crates/gs-gart/src/lib.rs
+
+/root/repo/target/debug/deps/libgs_gart-b7d68c98015833b2.rlib: crates/gs-gart/src/lib.rs
+
+/root/repo/target/debug/deps/libgs_gart-b7d68c98015833b2.rmeta: crates/gs-gart/src/lib.rs
+
+crates/gs-gart/src/lib.rs:

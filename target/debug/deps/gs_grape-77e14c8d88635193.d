@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/gs_grape-77e14c8d88635193.d: crates/gs-grape/src/lib.rs crates/gs-grape/src/algorithms/mod.rs crates/gs-grape/src/algorithms/bfs.rs crates/gs-grape/src/algorithms/cdlp.rs crates/gs-grape/src/algorithms/kcore.rs crates/gs-grape/src/algorithms/lcc.rs crates/gs-grape/src/algorithms/pagerank.rs crates/gs-grape/src/algorithms/sssp.rs crates/gs-grape/src/algorithms/wcc.rs crates/gs-grape/src/compat.rs crates/gs-grape/src/engine.rs crates/gs-grape/src/flash.rs crates/gs-grape/src/fragment.rs crates/gs-grape/src/gpu.rs crates/gs-grape/src/ingress.rs crates/gs-grape/src/messages.rs crates/gs-grape/src/pie.rs
+
+/root/repo/target/debug/deps/libgs_grape-77e14c8d88635193.rlib: crates/gs-grape/src/lib.rs crates/gs-grape/src/algorithms/mod.rs crates/gs-grape/src/algorithms/bfs.rs crates/gs-grape/src/algorithms/cdlp.rs crates/gs-grape/src/algorithms/kcore.rs crates/gs-grape/src/algorithms/lcc.rs crates/gs-grape/src/algorithms/pagerank.rs crates/gs-grape/src/algorithms/sssp.rs crates/gs-grape/src/algorithms/wcc.rs crates/gs-grape/src/compat.rs crates/gs-grape/src/engine.rs crates/gs-grape/src/flash.rs crates/gs-grape/src/fragment.rs crates/gs-grape/src/gpu.rs crates/gs-grape/src/ingress.rs crates/gs-grape/src/messages.rs crates/gs-grape/src/pie.rs
+
+/root/repo/target/debug/deps/libgs_grape-77e14c8d88635193.rmeta: crates/gs-grape/src/lib.rs crates/gs-grape/src/algorithms/mod.rs crates/gs-grape/src/algorithms/bfs.rs crates/gs-grape/src/algorithms/cdlp.rs crates/gs-grape/src/algorithms/kcore.rs crates/gs-grape/src/algorithms/lcc.rs crates/gs-grape/src/algorithms/pagerank.rs crates/gs-grape/src/algorithms/sssp.rs crates/gs-grape/src/algorithms/wcc.rs crates/gs-grape/src/compat.rs crates/gs-grape/src/engine.rs crates/gs-grape/src/flash.rs crates/gs-grape/src/fragment.rs crates/gs-grape/src/gpu.rs crates/gs-grape/src/ingress.rs crates/gs-grape/src/messages.rs crates/gs-grape/src/pie.rs
+
+crates/gs-grape/src/lib.rs:
+crates/gs-grape/src/algorithms/mod.rs:
+crates/gs-grape/src/algorithms/bfs.rs:
+crates/gs-grape/src/algorithms/cdlp.rs:
+crates/gs-grape/src/algorithms/kcore.rs:
+crates/gs-grape/src/algorithms/lcc.rs:
+crates/gs-grape/src/algorithms/pagerank.rs:
+crates/gs-grape/src/algorithms/sssp.rs:
+crates/gs-grape/src/algorithms/wcc.rs:
+crates/gs-grape/src/compat.rs:
+crates/gs-grape/src/engine.rs:
+crates/gs-grape/src/flash.rs:
+crates/gs-grape/src/fragment.rs:
+crates/gs-grape/src/gpu.rs:
+crates/gs-grape/src/ingress.rs:
+crates/gs-grape/src/messages.rs:
+crates/gs-grape/src/pie.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/gs_graph-bbea0e360c06871e.d: crates/gs-graph/src/lib.rs crates/gs-graph/src/csr.rs crates/gs-graph/src/data.rs crates/gs-graph/src/edgelist.rs crates/gs-graph/src/error.rs crates/gs-graph/src/ids.rs crates/gs-graph/src/json.rs crates/gs-graph/src/partition.rs crates/gs-graph/src/props.rs crates/gs-graph/src/schema.rs crates/gs-graph/src/value.rs crates/gs-graph/src/varint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgs_graph-bbea0e360c06871e.rmeta: crates/gs-graph/src/lib.rs crates/gs-graph/src/csr.rs crates/gs-graph/src/data.rs crates/gs-graph/src/edgelist.rs crates/gs-graph/src/error.rs crates/gs-graph/src/ids.rs crates/gs-graph/src/json.rs crates/gs-graph/src/partition.rs crates/gs-graph/src/props.rs crates/gs-graph/src/schema.rs crates/gs-graph/src/value.rs crates/gs-graph/src/varint.rs Cargo.toml
+
+crates/gs-graph/src/lib.rs:
+crates/gs-graph/src/csr.rs:
+crates/gs-graph/src/data.rs:
+crates/gs-graph/src/edgelist.rs:
+crates/gs-graph/src/error.rs:
+crates/gs-graph/src/ids.rs:
+crates/gs-graph/src/json.rs:
+crates/gs-graph/src/partition.rs:
+crates/gs-graph/src/props.rs:
+crates/gs-graph/src/schema.rs:
+crates/gs-graph/src/value.rs:
+crates/gs-graph/src/varint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

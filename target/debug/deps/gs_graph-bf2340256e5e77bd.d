@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gs_graph-bf2340256e5e77bd.d: crates/gs-graph/src/lib.rs crates/gs-graph/src/csr.rs crates/gs-graph/src/data.rs crates/gs-graph/src/edgelist.rs crates/gs-graph/src/error.rs crates/gs-graph/src/ids.rs crates/gs-graph/src/json.rs crates/gs-graph/src/partition.rs crates/gs-graph/src/props.rs crates/gs-graph/src/schema.rs crates/gs-graph/src/value.rs crates/gs-graph/src/varint.rs
+
+/root/repo/target/debug/deps/libgs_graph-bf2340256e5e77bd.rlib: crates/gs-graph/src/lib.rs crates/gs-graph/src/csr.rs crates/gs-graph/src/data.rs crates/gs-graph/src/edgelist.rs crates/gs-graph/src/error.rs crates/gs-graph/src/ids.rs crates/gs-graph/src/json.rs crates/gs-graph/src/partition.rs crates/gs-graph/src/props.rs crates/gs-graph/src/schema.rs crates/gs-graph/src/value.rs crates/gs-graph/src/varint.rs
+
+/root/repo/target/debug/deps/libgs_graph-bf2340256e5e77bd.rmeta: crates/gs-graph/src/lib.rs crates/gs-graph/src/csr.rs crates/gs-graph/src/data.rs crates/gs-graph/src/edgelist.rs crates/gs-graph/src/error.rs crates/gs-graph/src/ids.rs crates/gs-graph/src/json.rs crates/gs-graph/src/partition.rs crates/gs-graph/src/props.rs crates/gs-graph/src/schema.rs crates/gs-graph/src/value.rs crates/gs-graph/src/varint.rs
+
+crates/gs-graph/src/lib.rs:
+crates/gs-graph/src/csr.rs:
+crates/gs-graph/src/data.rs:
+crates/gs-graph/src/edgelist.rs:
+crates/gs-graph/src/error.rs:
+crates/gs-graph/src/ids.rs:
+crates/gs-graph/src/json.rs:
+crates/gs-graph/src/partition.rs:
+crates/gs-graph/src/props.rs:
+crates/gs-graph/src/schema.rs:
+crates/gs-graph/src/value.rs:
+crates/gs-graph/src/varint.rs:

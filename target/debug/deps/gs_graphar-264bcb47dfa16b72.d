@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gs_graphar-264bcb47dfa16b72.d: crates/gs-graphar/src/lib.rs crates/gs-graphar/src/codec.rs crates/gs-graphar/src/csv.rs crates/gs-graphar/src/format.rs crates/gs-graphar/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgs_graphar-264bcb47dfa16b72.rmeta: crates/gs-graphar/src/lib.rs crates/gs-graphar/src/codec.rs crates/gs-graphar/src/csv.rs crates/gs-graphar/src/format.rs crates/gs-graphar/src/store.rs Cargo.toml
+
+crates/gs-graphar/src/lib.rs:
+crates/gs-graphar/src/codec.rs:
+crates/gs-graphar/src/csv.rs:
+crates/gs-graphar/src/format.rs:
+crates/gs-graphar/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

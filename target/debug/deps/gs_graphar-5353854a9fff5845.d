@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gs_graphar-5353854a9fff5845.d: crates/gs-graphar/src/lib.rs crates/gs-graphar/src/codec.rs crates/gs-graphar/src/csv.rs crates/gs-graphar/src/format.rs crates/gs-graphar/src/store.rs
+
+/root/repo/target/debug/deps/gs_graphar-5353854a9fff5845: crates/gs-graphar/src/lib.rs crates/gs-graphar/src/codec.rs crates/gs-graphar/src/csv.rs crates/gs-graphar/src/format.rs crates/gs-graphar/src/store.rs
+
+crates/gs-graphar/src/lib.rs:
+crates/gs-graphar/src/codec.rs:
+crates/gs-graphar/src/csv.rs:
+crates/gs-graphar/src/format.rs:
+crates/gs-graphar/src/store.rs:

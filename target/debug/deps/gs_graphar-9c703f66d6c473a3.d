@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gs_graphar-9c703f66d6c473a3.d: crates/gs-graphar/src/lib.rs crates/gs-graphar/src/codec.rs crates/gs-graphar/src/csv.rs crates/gs-graphar/src/format.rs crates/gs-graphar/src/store.rs
+
+/root/repo/target/debug/deps/libgs_graphar-9c703f66d6c473a3.rlib: crates/gs-graphar/src/lib.rs crates/gs-graphar/src/codec.rs crates/gs-graphar/src/csv.rs crates/gs-graphar/src/format.rs crates/gs-graphar/src/store.rs
+
+/root/repo/target/debug/deps/libgs_graphar-9c703f66d6c473a3.rmeta: crates/gs-graphar/src/lib.rs crates/gs-graphar/src/codec.rs crates/gs-graphar/src/csv.rs crates/gs-graphar/src/format.rs crates/gs-graphar/src/store.rs
+
+crates/gs-graphar/src/lib.rs:
+crates/gs-graphar/src/codec.rs:
+crates/gs-graphar/src/csv.rs:
+crates/gs-graphar/src/format.rs:
+crates/gs-graphar/src/store.rs:

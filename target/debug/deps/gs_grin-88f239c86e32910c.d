@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gs_grin-88f239c86e32910c.d: crates/gs-grin/src/lib.rs crates/gs-grin/src/capability.rs crates/gs-grin/src/graph.rs crates/gs-grin/src/predicate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgs_grin-88f239c86e32910c.rmeta: crates/gs-grin/src/lib.rs crates/gs-grin/src/capability.rs crates/gs-grin/src/graph.rs crates/gs-grin/src/predicate.rs Cargo.toml
+
+crates/gs-grin/src/lib.rs:
+crates/gs-grin/src/capability.rs:
+crates/gs-grin/src/graph.rs:
+crates/gs-grin/src/predicate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gs_grin-928bba5f6d60a455.d: crates/gs-grin/src/lib.rs crates/gs-grin/src/capability.rs crates/gs-grin/src/graph.rs crates/gs-grin/src/predicate.rs
+
+/root/repo/target/debug/deps/libgs_grin-928bba5f6d60a455.rlib: crates/gs-grin/src/lib.rs crates/gs-grin/src/capability.rs crates/gs-grin/src/graph.rs crates/gs-grin/src/predicate.rs
+
+/root/repo/target/debug/deps/libgs_grin-928bba5f6d60a455.rmeta: crates/gs-grin/src/lib.rs crates/gs-grin/src/capability.rs crates/gs-grin/src/graph.rs crates/gs-grin/src/predicate.rs
+
+crates/gs-grin/src/lib.rs:
+crates/gs-grin/src/capability.rs:
+crates/gs-grin/src/graph.rs:
+crates/gs-grin/src/predicate.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gs_grin-f0be4c8b5973d895.d: crates/gs-grin/src/lib.rs crates/gs-grin/src/capability.rs crates/gs-grin/src/graph.rs crates/gs-grin/src/predicate.rs
+
+/root/repo/target/debug/deps/gs_grin-f0be4c8b5973d895: crates/gs-grin/src/lib.rs crates/gs-grin/src/capability.rs crates/gs-grin/src/graph.rs crates/gs-grin/src/predicate.rs
+
+crates/gs-grin/src/lib.rs:
+crates/gs-grin/src/capability.rs:
+crates/gs-grin/src/graph.rs:
+crates/gs-grin/src/predicate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gs_hiactor-15f214fd773de15c.d: crates/gs-hiactor/src/lib.rs
+
+/root/repo/target/debug/deps/gs_hiactor-15f214fd773de15c: crates/gs-hiactor/src/lib.rs
+
+crates/gs-hiactor/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gs_hiactor-25571c68cd71fc6b.d: crates/gs-hiactor/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgs_hiactor-25571c68cd71fc6b.rmeta: crates/gs-hiactor/src/lib.rs Cargo.toml
+
+crates/gs-hiactor/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

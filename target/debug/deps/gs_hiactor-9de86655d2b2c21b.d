@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gs_hiactor-9de86655d2b2c21b.d: crates/gs-hiactor/src/lib.rs
+
+/root/repo/target/debug/deps/libgs_hiactor-9de86655d2b2c21b.rlib: crates/gs-hiactor/src/lib.rs
+
+/root/repo/target/debug/deps/libgs_hiactor-9de86655d2b2c21b.rmeta: crates/gs-hiactor/src/lib.rs
+
+crates/gs-hiactor/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gs_hiactor-ad9d2bfdc1412c71.d: crates/gs-hiactor/src/lib.rs
+
+/root/repo/target/debug/deps/gs_hiactor-ad9d2bfdc1412c71: crates/gs-hiactor/src/lib.rs
+
+crates/gs-hiactor/src/lib.rs:

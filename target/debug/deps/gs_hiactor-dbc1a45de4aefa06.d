@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gs_hiactor-dbc1a45de4aefa06.d: crates/gs-hiactor/src/lib.rs
+
+/root/repo/target/debug/deps/libgs_hiactor-dbc1a45de4aefa06.rlib: crates/gs-hiactor/src/lib.rs
+
+/root/repo/target/debug/deps/libgs_hiactor-dbc1a45de4aefa06.rmeta: crates/gs-hiactor/src/lib.rs
+
+crates/gs-hiactor/src/lib.rs:

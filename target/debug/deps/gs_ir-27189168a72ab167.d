@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/gs_ir-27189168a72ab167.d: crates/gs-ir/src/lib.rs crates/gs-ir/src/builder.rs crates/gs-ir/src/engine.rs crates/gs-ir/src/exec.rs crates/gs-ir/src/expr.rs crates/gs-ir/src/logical.rs crates/gs-ir/src/pattern.rs crates/gs-ir/src/physical.rs crates/gs-ir/src/record.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgs_ir-27189168a72ab167.rmeta: crates/gs-ir/src/lib.rs crates/gs-ir/src/builder.rs crates/gs-ir/src/engine.rs crates/gs-ir/src/exec.rs crates/gs-ir/src/expr.rs crates/gs-ir/src/logical.rs crates/gs-ir/src/pattern.rs crates/gs-ir/src/physical.rs crates/gs-ir/src/record.rs Cargo.toml
+
+crates/gs-ir/src/lib.rs:
+crates/gs-ir/src/builder.rs:
+crates/gs-ir/src/engine.rs:
+crates/gs-ir/src/exec.rs:
+crates/gs-ir/src/expr.rs:
+crates/gs-ir/src/logical.rs:
+crates/gs-ir/src/pattern.rs:
+crates/gs-ir/src/physical.rs:
+crates/gs-ir/src/record.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

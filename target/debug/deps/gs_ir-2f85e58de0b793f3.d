@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gs_ir-2f85e58de0b793f3.d: crates/gs-ir/src/lib.rs crates/gs-ir/src/builder.rs crates/gs-ir/src/engine.rs crates/gs-ir/src/exec.rs crates/gs-ir/src/expr.rs crates/gs-ir/src/logical.rs crates/gs-ir/src/pattern.rs crates/gs-ir/src/physical.rs crates/gs-ir/src/record.rs
+
+/root/repo/target/debug/deps/gs_ir-2f85e58de0b793f3: crates/gs-ir/src/lib.rs crates/gs-ir/src/builder.rs crates/gs-ir/src/engine.rs crates/gs-ir/src/exec.rs crates/gs-ir/src/expr.rs crates/gs-ir/src/logical.rs crates/gs-ir/src/pattern.rs crates/gs-ir/src/physical.rs crates/gs-ir/src/record.rs
+
+crates/gs-ir/src/lib.rs:
+crates/gs-ir/src/builder.rs:
+crates/gs-ir/src/engine.rs:
+crates/gs-ir/src/exec.rs:
+crates/gs-ir/src/expr.rs:
+crates/gs-ir/src/logical.rs:
+crates/gs-ir/src/pattern.rs:
+crates/gs-ir/src/physical.rs:
+crates/gs-ir/src/record.rs:

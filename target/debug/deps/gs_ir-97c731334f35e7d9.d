@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gs_ir-97c731334f35e7d9.d: crates/gs-ir/src/lib.rs crates/gs-ir/src/builder.rs crates/gs-ir/src/engine.rs crates/gs-ir/src/exec.rs crates/gs-ir/src/expr.rs crates/gs-ir/src/logical.rs crates/gs-ir/src/pattern.rs crates/gs-ir/src/physical.rs crates/gs-ir/src/record.rs
+
+/root/repo/target/debug/deps/libgs_ir-97c731334f35e7d9.rlib: crates/gs-ir/src/lib.rs crates/gs-ir/src/builder.rs crates/gs-ir/src/engine.rs crates/gs-ir/src/exec.rs crates/gs-ir/src/expr.rs crates/gs-ir/src/logical.rs crates/gs-ir/src/pattern.rs crates/gs-ir/src/physical.rs crates/gs-ir/src/record.rs
+
+/root/repo/target/debug/deps/libgs_ir-97c731334f35e7d9.rmeta: crates/gs-ir/src/lib.rs crates/gs-ir/src/builder.rs crates/gs-ir/src/engine.rs crates/gs-ir/src/exec.rs crates/gs-ir/src/expr.rs crates/gs-ir/src/logical.rs crates/gs-ir/src/pattern.rs crates/gs-ir/src/physical.rs crates/gs-ir/src/record.rs
+
+crates/gs-ir/src/lib.rs:
+crates/gs-ir/src/builder.rs:
+crates/gs-ir/src/engine.rs:
+crates/gs-ir/src/exec.rs:
+crates/gs-ir/src/expr.rs:
+crates/gs-ir/src/logical.rs:
+crates/gs-ir/src/pattern.rs:
+crates/gs-ir/src/physical.rs:
+crates/gs-ir/src/record.rs:

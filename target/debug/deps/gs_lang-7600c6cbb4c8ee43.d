@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gs_lang-7600c6cbb4c8ee43.d: crates/gs-lang/src/lib.rs crates/gs-lang/src/cypher.rs crates/gs-lang/src/gremlin.rs crates/gs-lang/src/lexer.rs
+
+/root/repo/target/debug/deps/libgs_lang-7600c6cbb4c8ee43.rlib: crates/gs-lang/src/lib.rs crates/gs-lang/src/cypher.rs crates/gs-lang/src/gremlin.rs crates/gs-lang/src/lexer.rs
+
+/root/repo/target/debug/deps/libgs_lang-7600c6cbb4c8ee43.rmeta: crates/gs-lang/src/lib.rs crates/gs-lang/src/cypher.rs crates/gs-lang/src/gremlin.rs crates/gs-lang/src/lexer.rs
+
+crates/gs-lang/src/lib.rs:
+crates/gs-lang/src/cypher.rs:
+crates/gs-lang/src/gremlin.rs:
+crates/gs-lang/src/lexer.rs:

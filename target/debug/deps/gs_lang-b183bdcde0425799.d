@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gs_lang-b183bdcde0425799.d: crates/gs-lang/src/lib.rs crates/gs-lang/src/cypher.rs crates/gs-lang/src/gremlin.rs crates/gs-lang/src/lexer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgs_lang-b183bdcde0425799.rmeta: crates/gs-lang/src/lib.rs crates/gs-lang/src/cypher.rs crates/gs-lang/src/gremlin.rs crates/gs-lang/src/lexer.rs Cargo.toml
+
+crates/gs-lang/src/lib.rs:
+crates/gs-lang/src/cypher.rs:
+crates/gs-lang/src/gremlin.rs:
+crates/gs-lang/src/lexer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gs_lang-e1f46b5ea3ad211d.d: crates/gs-lang/src/lib.rs crates/gs-lang/src/cypher.rs crates/gs-lang/src/gremlin.rs crates/gs-lang/src/lexer.rs
+
+/root/repo/target/debug/deps/gs_lang-e1f46b5ea3ad211d: crates/gs-lang/src/lib.rs crates/gs-lang/src/cypher.rs crates/gs-lang/src/gremlin.rs crates/gs-lang/src/lexer.rs
+
+crates/gs-lang/src/lib.rs:
+crates/gs-lang/src/cypher.rs:
+crates/gs-lang/src/gremlin.rs:
+crates/gs-lang/src/lexer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gs_learn-1de615d8b27dd0b2.d: crates/gs-learn/src/lib.rs crates/gs-learn/src/ncn.rs crates/gs-learn/src/pipeline.rs crates/gs-learn/src/sage.rs crates/gs-learn/src/sampler.rs crates/gs-learn/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgs_learn-1de615d8b27dd0b2.rmeta: crates/gs-learn/src/lib.rs crates/gs-learn/src/ncn.rs crates/gs-learn/src/pipeline.rs crates/gs-learn/src/sage.rs crates/gs-learn/src/sampler.rs crates/gs-learn/src/tensor.rs Cargo.toml
+
+crates/gs-learn/src/lib.rs:
+crates/gs-learn/src/ncn.rs:
+crates/gs-learn/src/pipeline.rs:
+crates/gs-learn/src/sage.rs:
+crates/gs-learn/src/sampler.rs:
+crates/gs-learn/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gs_learn-b794d0ff3a534440.d: crates/gs-learn/src/lib.rs crates/gs-learn/src/ncn.rs crates/gs-learn/src/pipeline.rs crates/gs-learn/src/sage.rs crates/gs-learn/src/sampler.rs crates/gs-learn/src/tensor.rs
+
+/root/repo/target/debug/deps/gs_learn-b794d0ff3a534440: crates/gs-learn/src/lib.rs crates/gs-learn/src/ncn.rs crates/gs-learn/src/pipeline.rs crates/gs-learn/src/sage.rs crates/gs-learn/src/sampler.rs crates/gs-learn/src/tensor.rs
+
+crates/gs-learn/src/lib.rs:
+crates/gs-learn/src/ncn.rs:
+crates/gs-learn/src/pipeline.rs:
+crates/gs-learn/src/sage.rs:
+crates/gs-learn/src/sampler.rs:
+crates/gs-learn/src/tensor.rs:

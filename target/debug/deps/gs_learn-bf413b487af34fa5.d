@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gs_learn-bf413b487af34fa5.d: crates/gs-learn/src/lib.rs crates/gs-learn/src/ncn.rs crates/gs-learn/src/pipeline.rs crates/gs-learn/src/sage.rs crates/gs-learn/src/sampler.rs crates/gs-learn/src/tensor.rs
+
+/root/repo/target/debug/deps/libgs_learn-bf413b487af34fa5.rlib: crates/gs-learn/src/lib.rs crates/gs-learn/src/ncn.rs crates/gs-learn/src/pipeline.rs crates/gs-learn/src/sage.rs crates/gs-learn/src/sampler.rs crates/gs-learn/src/tensor.rs
+
+/root/repo/target/debug/deps/libgs_learn-bf413b487af34fa5.rmeta: crates/gs-learn/src/lib.rs crates/gs-learn/src/ncn.rs crates/gs-learn/src/pipeline.rs crates/gs-learn/src/sage.rs crates/gs-learn/src/sampler.rs crates/gs-learn/src/tensor.rs
+
+crates/gs-learn/src/lib.rs:
+crates/gs-learn/src/ncn.rs:
+crates/gs-learn/src/pipeline.rs:
+crates/gs-learn/src/sage.rs:
+crates/gs-learn/src/sampler.rs:
+crates/gs-learn/src/tensor.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gs_learn-cdf3e16e5c5c169a.d: crates/gs-learn/src/lib.rs crates/gs-learn/src/ncn.rs crates/gs-learn/src/pipeline.rs crates/gs-learn/src/sage.rs crates/gs-learn/src/sampler.rs crates/gs-learn/src/tensor.rs
+
+/root/repo/target/debug/deps/libgs_learn-cdf3e16e5c5c169a.rlib: crates/gs-learn/src/lib.rs crates/gs-learn/src/ncn.rs crates/gs-learn/src/pipeline.rs crates/gs-learn/src/sage.rs crates/gs-learn/src/sampler.rs crates/gs-learn/src/tensor.rs
+
+/root/repo/target/debug/deps/libgs_learn-cdf3e16e5c5c169a.rmeta: crates/gs-learn/src/lib.rs crates/gs-learn/src/ncn.rs crates/gs-learn/src/pipeline.rs crates/gs-learn/src/sage.rs crates/gs-learn/src/sampler.rs crates/gs-learn/src/tensor.rs
+
+crates/gs-learn/src/lib.rs:
+crates/gs-learn/src/ncn.rs:
+crates/gs-learn/src/pipeline.rs:
+crates/gs-learn/src/sage.rs:
+crates/gs-learn/src/sampler.rs:
+crates/gs-learn/src/tensor.rs:

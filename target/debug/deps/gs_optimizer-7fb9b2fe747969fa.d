@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gs_optimizer-7fb9b2fe747969fa.d: crates/gs-optimizer/src/lib.rs crates/gs-optimizer/src/glogue.rs crates/gs-optimizer/src/rbo.rs
+
+/root/repo/target/debug/deps/libgs_optimizer-7fb9b2fe747969fa.rlib: crates/gs-optimizer/src/lib.rs crates/gs-optimizer/src/glogue.rs crates/gs-optimizer/src/rbo.rs
+
+/root/repo/target/debug/deps/libgs_optimizer-7fb9b2fe747969fa.rmeta: crates/gs-optimizer/src/lib.rs crates/gs-optimizer/src/glogue.rs crates/gs-optimizer/src/rbo.rs
+
+crates/gs-optimizer/src/lib.rs:
+crates/gs-optimizer/src/glogue.rs:
+crates/gs-optimizer/src/rbo.rs:

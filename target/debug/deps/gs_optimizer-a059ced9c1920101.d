@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gs_optimizer-a059ced9c1920101.d: crates/gs-optimizer/src/lib.rs crates/gs-optimizer/src/glogue.rs crates/gs-optimizer/src/rbo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgs_optimizer-a059ced9c1920101.rmeta: crates/gs-optimizer/src/lib.rs crates/gs-optimizer/src/glogue.rs crates/gs-optimizer/src/rbo.rs Cargo.toml
+
+crates/gs-optimizer/src/lib.rs:
+crates/gs-optimizer/src/glogue.rs:
+crates/gs-optimizer/src/rbo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gs_optimizer-c4055e0efba57095.d: crates/gs-optimizer/src/lib.rs crates/gs-optimizer/src/glogue.rs crates/gs-optimizer/src/rbo.rs
+
+/root/repo/target/debug/deps/gs_optimizer-c4055e0efba57095: crates/gs-optimizer/src/lib.rs crates/gs-optimizer/src/glogue.rs crates/gs-optimizer/src/rbo.rs
+
+crates/gs-optimizer/src/lib.rs:
+crates/gs-optimizer/src/glogue.rs:
+crates/gs-optimizer/src/rbo.rs:

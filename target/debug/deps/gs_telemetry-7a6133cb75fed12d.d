@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gs_telemetry-7a6133cb75fed12d.d: crates/gs-telemetry/src/lib.rs crates/gs-telemetry/src/histogram.rs crates/gs-telemetry/src/registry.rs crates/gs-telemetry/src/span.rs
+
+/root/repo/target/debug/deps/gs_telemetry-7a6133cb75fed12d: crates/gs-telemetry/src/lib.rs crates/gs-telemetry/src/histogram.rs crates/gs-telemetry/src/registry.rs crates/gs-telemetry/src/span.rs
+
+crates/gs-telemetry/src/lib.rs:
+crates/gs-telemetry/src/histogram.rs:
+crates/gs-telemetry/src/registry.rs:
+crates/gs-telemetry/src/span.rs:

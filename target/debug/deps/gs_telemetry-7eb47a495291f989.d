@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gs_telemetry-7eb47a495291f989.d: crates/gs-telemetry/src/lib.rs crates/gs-telemetry/src/histogram.rs crates/gs-telemetry/src/registry.rs crates/gs-telemetry/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgs_telemetry-7eb47a495291f989.rmeta: crates/gs-telemetry/src/lib.rs crates/gs-telemetry/src/histogram.rs crates/gs-telemetry/src/registry.rs crates/gs-telemetry/src/span.rs Cargo.toml
+
+crates/gs-telemetry/src/lib.rs:
+crates/gs-telemetry/src/histogram.rs:
+crates/gs-telemetry/src/registry.rs:
+crates/gs-telemetry/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

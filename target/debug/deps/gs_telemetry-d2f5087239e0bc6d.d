@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gs_telemetry-d2f5087239e0bc6d.d: crates/gs-telemetry/src/lib.rs crates/gs-telemetry/src/histogram.rs crates/gs-telemetry/src/registry.rs crates/gs-telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libgs_telemetry-d2f5087239e0bc6d.rlib: crates/gs-telemetry/src/lib.rs crates/gs-telemetry/src/histogram.rs crates/gs-telemetry/src/registry.rs crates/gs-telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libgs_telemetry-d2f5087239e0bc6d.rmeta: crates/gs-telemetry/src/lib.rs crates/gs-telemetry/src/histogram.rs crates/gs-telemetry/src/registry.rs crates/gs-telemetry/src/span.rs
+
+crates/gs-telemetry/src/lib.rs:
+crates/gs-telemetry/src/histogram.rs:
+crates/gs-telemetry/src/registry.rs:
+crates/gs-telemetry/src/span.rs:

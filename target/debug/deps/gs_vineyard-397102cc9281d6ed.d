@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gs_vineyard-397102cc9281d6ed.d: crates/gs-vineyard/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgs_vineyard-397102cc9281d6ed.rmeta: crates/gs-vineyard/src/lib.rs Cargo.toml
+
+crates/gs-vineyard/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

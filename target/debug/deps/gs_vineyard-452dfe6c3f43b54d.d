@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gs_vineyard-452dfe6c3f43b54d.d: crates/gs-vineyard/src/lib.rs
+
+/root/repo/target/debug/deps/gs_vineyard-452dfe6c3f43b54d: crates/gs-vineyard/src/lib.rs
+
+crates/gs-vineyard/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gs_vineyard-6954cda133f9d630.d: crates/gs-vineyard/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgs_vineyard-6954cda133f9d630.rmeta: crates/gs-vineyard/src/lib.rs Cargo.toml
+
+crates/gs-vineyard/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gs_vineyard-dd5f2bd85a432781.d: crates/gs-vineyard/src/lib.rs
+
+/root/repo/target/debug/deps/libgs_vineyard-dd5f2bd85a432781.rlib: crates/gs-vineyard/src/lib.rs
+
+/root/repo/target/debug/deps/libgs_vineyard-dd5f2bd85a432781.rmeta: crates/gs-vineyard/src/lib.rs
+
+crates/gs-vineyard/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/learning-744544e8e83395cd.d: crates/gs-bench/benches/learning.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblearning-744544e8e83395cd.rmeta: crates/gs-bench/benches/learning.rs Cargo.toml
+
+crates/gs-bench/benches/learning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

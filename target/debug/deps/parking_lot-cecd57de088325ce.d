@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-cecd57de088325ce.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-cecd57de088325ce.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-cecd57de088325ce.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-74d1bc0148c97b1d.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-74d1bc0148c97b1d: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f074c851c1072d86.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f074c851c1072d86: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/query-aaa54b2d85170a50.d: crates/gs-bench/benches/query.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquery-aaa54b2d85170a50.rmeta: crates/gs-bench/benches/query.rs Cargo.toml
+
+crates/gs-bench/benches/query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

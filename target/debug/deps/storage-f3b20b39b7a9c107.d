@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storage-f3b20b39b7a9c107.d: crates/gs-bench/benches/storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorage-f3b20b39b7a9c107.rmeta: crates/gs-bench/benches/storage.rs Cargo.toml
+
+crates/gs-bench/benches/storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-6be404120bc6b57c.d: tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-6be404120bc6b57c: tests/telemetry.rs
+
+tests/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_cdlp-b5733ef8c86a5af3.d: examples/dbg_cdlp.rs
+
+/root/repo/target/debug/examples/dbg_cdlp-b5733ef8c86a5af3: examples/dbg_cdlp.rs
+
+examples/dbg_cdlp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fraud_detection-26de2c3d5154bc57.d: examples/fraud_detection.rs
+
+/root/repo/target/debug/examples/fraud_detection-26de2c3d5154bc57: examples/fraud_detection.rs
+
+examples/fraud_detection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fraud_detection-b4c0252d5b7fb717.d: examples/fraud_detection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfraud_detection-b4c0252d5b7fb717.rmeta: examples/fraud_detection.rs Cargo.toml
+
+examples/fraud_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

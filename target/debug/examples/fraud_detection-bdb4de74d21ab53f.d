@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fraud_detection-bdb4de74d21ab53f.d: examples/fraud_detection.rs
+
+/root/repo/target/debug/examples/fraud_detection-bdb4de74d21ab53f: examples/fraud_detection.rs
+
+examples/fraud_detection.rs:

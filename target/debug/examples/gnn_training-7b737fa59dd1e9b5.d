@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gnn_training-7b737fa59dd1e9b5.d: examples/gnn_training.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgnn_training-7b737fa59dd1e9b5.rmeta: examples/gnn_training.rs Cargo.toml
+
+examples/gnn_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

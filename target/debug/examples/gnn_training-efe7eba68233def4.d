@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gnn_training-efe7eba68233def4.d: examples/gnn_training.rs
+
+/root/repo/target/debug/examples/gnn_training-efe7eba68233def4: examples/gnn_training.rs
+
+examples/gnn_training.rs:

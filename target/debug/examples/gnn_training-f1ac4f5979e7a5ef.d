@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gnn_training-f1ac4f5979e7a5ef.d: examples/gnn_training.rs
+
+/root/repo/target/debug/examples/gnn_training-f1ac4f5979e7a5ef: examples/gnn_training.rs
+
+examples/gnn_training.rs:

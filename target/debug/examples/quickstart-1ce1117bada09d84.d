@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1ce1117bada09d84.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1ce1117bada09d84: examples/quickstart.rs
+
+examples/quickstart.rs:

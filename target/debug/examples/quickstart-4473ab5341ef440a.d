@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4473ab5341ef440a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4473ab5341ef440a: examples/quickstart.rs
+
+examples/quickstart.rs:

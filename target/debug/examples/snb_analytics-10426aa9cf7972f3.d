@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/snb_analytics-10426aa9cf7972f3.d: examples/snb_analytics.rs
+
+/root/repo/target/debug/examples/snb_analytics-10426aa9cf7972f3: examples/snb_analytics.rs
+
+examples/snb_analytics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/snb_analytics-17b2f616da0fad14.d: examples/snb_analytics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsnb_analytics-17b2f616da0fad14.rmeta: examples/snb_analytics.rs Cargo.toml
+
+examples/snb_analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/snb_analytics-e856b76aa2328b3c.d: examples/snb_analytics.rs
+
+/root/repo/target/debug/examples/snb_analytics-e856b76aa2328b3c: examples/snb_analytics.rs
+
+examples/snb_analytics.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-27a034d6968227c1.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-27a034d6968227c1.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-27a034d6968227c1.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

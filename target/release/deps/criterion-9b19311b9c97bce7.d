@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-9b19311b9c97bce7.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-9b19311b9c97bce7.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-9b19311b9c97bce7.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

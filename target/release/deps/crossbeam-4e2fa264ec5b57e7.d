@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/crossbeam-4e2fa264ec5b57e7.d: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs vendor/crossbeam/src/deque.rs vendor/crossbeam/src/thread.rs
+
+/root/repo/target/release/deps/libcrossbeam-4e2fa264ec5b57e7.rlib: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs vendor/crossbeam/src/deque.rs vendor/crossbeam/src/thread.rs
+
+/root/repo/target/release/deps/libcrossbeam-4e2fa264ec5b57e7.rmeta: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs vendor/crossbeam/src/deque.rs vendor/crossbeam/src/thread.rs
+
+vendor/crossbeam/src/lib.rs:
+vendor/crossbeam/src/channel.rs:
+vendor/crossbeam/src/deque.rs:
+vendor/crossbeam/src/thread.rs:

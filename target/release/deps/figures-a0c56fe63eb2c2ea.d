@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-a0c56fe63eb2c2ea.d: crates/gs-bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-a0c56fe63eb2c2ea: crates/gs-bench/src/bin/figures.rs
+
+crates/gs-bench/src/bin/figures.rs:

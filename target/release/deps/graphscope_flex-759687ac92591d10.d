@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/graphscope_flex-759687ac92591d10.d: src/lib.rs
+
+/root/repo/target/release/deps/libgraphscope_flex-759687ac92591d10.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgraphscope_flex-759687ac92591d10.rmeta: src/lib.rs
+
+src/lib.rs:

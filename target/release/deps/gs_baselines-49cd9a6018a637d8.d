@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/gs_baselines-49cd9a6018a637d8.d: crates/gs-baselines/src/lib.rs crates/gs-baselines/src/gemini.rs crates/gs-baselines/src/gpu_baselines.rs crates/gs-baselines/src/livegraph.rs crates/gs-baselines/src/powergraph.rs crates/gs-baselines/src/sqlengine.rs crates/gs-baselines/src/tugraph.rs
+
+/root/repo/target/release/deps/libgs_baselines-49cd9a6018a637d8.rlib: crates/gs-baselines/src/lib.rs crates/gs-baselines/src/gemini.rs crates/gs-baselines/src/gpu_baselines.rs crates/gs-baselines/src/livegraph.rs crates/gs-baselines/src/powergraph.rs crates/gs-baselines/src/sqlengine.rs crates/gs-baselines/src/tugraph.rs
+
+/root/repo/target/release/deps/libgs_baselines-49cd9a6018a637d8.rmeta: crates/gs-baselines/src/lib.rs crates/gs-baselines/src/gemini.rs crates/gs-baselines/src/gpu_baselines.rs crates/gs-baselines/src/livegraph.rs crates/gs-baselines/src/powergraph.rs crates/gs-baselines/src/sqlengine.rs crates/gs-baselines/src/tugraph.rs
+
+crates/gs-baselines/src/lib.rs:
+crates/gs-baselines/src/gemini.rs:
+crates/gs-baselines/src/gpu_baselines.rs:
+crates/gs-baselines/src/livegraph.rs:
+crates/gs-baselines/src/powergraph.rs:
+crates/gs-baselines/src/sqlengine.rs:
+crates/gs-baselines/src/tugraph.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/gs_bench-a63256cee1a33441.d: crates/gs-bench/src/lib.rs crates/gs-bench/src/experiments/mod.rs crates/gs-bench/src/experiments/ablations.rs crates/gs-bench/src/experiments/analytics.rs crates/gs-bench/src/experiments/apps.rs crates/gs-bench/src/experiments/learning.rs crates/gs-bench/src/experiments/query.rs crates/gs-bench/src/experiments/storage.rs crates/gs-bench/src/util.rs
+
+/root/repo/target/release/deps/libgs_bench-a63256cee1a33441.rlib: crates/gs-bench/src/lib.rs crates/gs-bench/src/experiments/mod.rs crates/gs-bench/src/experiments/ablations.rs crates/gs-bench/src/experiments/analytics.rs crates/gs-bench/src/experiments/apps.rs crates/gs-bench/src/experiments/learning.rs crates/gs-bench/src/experiments/query.rs crates/gs-bench/src/experiments/storage.rs crates/gs-bench/src/util.rs
+
+/root/repo/target/release/deps/libgs_bench-a63256cee1a33441.rmeta: crates/gs-bench/src/lib.rs crates/gs-bench/src/experiments/mod.rs crates/gs-bench/src/experiments/ablations.rs crates/gs-bench/src/experiments/analytics.rs crates/gs-bench/src/experiments/apps.rs crates/gs-bench/src/experiments/learning.rs crates/gs-bench/src/experiments/query.rs crates/gs-bench/src/experiments/storage.rs crates/gs-bench/src/util.rs
+
+crates/gs-bench/src/lib.rs:
+crates/gs-bench/src/experiments/mod.rs:
+crates/gs-bench/src/experiments/ablations.rs:
+crates/gs-bench/src/experiments/analytics.rs:
+crates/gs-bench/src/experiments/apps.rs:
+crates/gs-bench/src/experiments/learning.rs:
+crates/gs-bench/src/experiments/query.rs:
+crates/gs-bench/src/experiments/storage.rs:
+crates/gs-bench/src/util.rs:

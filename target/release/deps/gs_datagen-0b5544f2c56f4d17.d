@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gs_datagen-0b5544f2c56f4d17.d: crates/gs-datagen/src/lib.rs crates/gs-datagen/src/apps.rs crates/gs-datagen/src/catalog.rs crates/gs-datagen/src/powerlaw.rs crates/gs-datagen/src/rmat.rs crates/gs-datagen/src/snb.rs
+
+/root/repo/target/release/deps/libgs_datagen-0b5544f2c56f4d17.rlib: crates/gs-datagen/src/lib.rs crates/gs-datagen/src/apps.rs crates/gs-datagen/src/catalog.rs crates/gs-datagen/src/powerlaw.rs crates/gs-datagen/src/rmat.rs crates/gs-datagen/src/snb.rs
+
+/root/repo/target/release/deps/libgs_datagen-0b5544f2c56f4d17.rmeta: crates/gs-datagen/src/lib.rs crates/gs-datagen/src/apps.rs crates/gs-datagen/src/catalog.rs crates/gs-datagen/src/powerlaw.rs crates/gs-datagen/src/rmat.rs crates/gs-datagen/src/snb.rs
+
+crates/gs-datagen/src/lib.rs:
+crates/gs-datagen/src/apps.rs:
+crates/gs-datagen/src/catalog.rs:
+crates/gs-datagen/src/powerlaw.rs:
+crates/gs-datagen/src/rmat.rs:
+crates/gs-datagen/src/snb.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/gs_flex-7720c9ff81fa8b66.d: crates/gs-flex/src/lib.rs crates/gs-flex/src/cyber.rs crates/gs-flex/src/equity.rs crates/gs-flex/src/flexbuild.rs crates/gs-flex/src/fraud.rs crates/gs-flex/src/snb/mod.rs crates/gs-flex/src/snb/backend.rs crates/gs-flex/src/snb/bi.rs crates/gs-flex/src/snb/interactive.rs crates/gs-flex/src/social.rs
+
+/root/repo/target/release/deps/libgs_flex-7720c9ff81fa8b66.rlib: crates/gs-flex/src/lib.rs crates/gs-flex/src/cyber.rs crates/gs-flex/src/equity.rs crates/gs-flex/src/flexbuild.rs crates/gs-flex/src/fraud.rs crates/gs-flex/src/snb/mod.rs crates/gs-flex/src/snb/backend.rs crates/gs-flex/src/snb/bi.rs crates/gs-flex/src/snb/interactive.rs crates/gs-flex/src/social.rs
+
+/root/repo/target/release/deps/libgs_flex-7720c9ff81fa8b66.rmeta: crates/gs-flex/src/lib.rs crates/gs-flex/src/cyber.rs crates/gs-flex/src/equity.rs crates/gs-flex/src/flexbuild.rs crates/gs-flex/src/fraud.rs crates/gs-flex/src/snb/mod.rs crates/gs-flex/src/snb/backend.rs crates/gs-flex/src/snb/bi.rs crates/gs-flex/src/snb/interactive.rs crates/gs-flex/src/social.rs
+
+crates/gs-flex/src/lib.rs:
+crates/gs-flex/src/cyber.rs:
+crates/gs-flex/src/equity.rs:
+crates/gs-flex/src/flexbuild.rs:
+crates/gs-flex/src/fraud.rs:
+crates/gs-flex/src/snb/mod.rs:
+crates/gs-flex/src/snb/backend.rs:
+crates/gs-flex/src/snb/bi.rs:
+crates/gs-flex/src/snb/interactive.rs:
+crates/gs-flex/src/social.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gs_gaia-b34d27eacc71f570.d: crates/gs-gaia/src/lib.rs
+
+/root/repo/target/release/deps/libgs_gaia-b34d27eacc71f570.rlib: crates/gs-gaia/src/lib.rs
+
+/root/repo/target/release/deps/libgs_gaia-b34d27eacc71f570.rmeta: crates/gs-gaia/src/lib.rs
+
+crates/gs-gaia/src/lib.rs:

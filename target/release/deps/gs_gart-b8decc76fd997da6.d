@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gs_gart-b8decc76fd997da6.d: crates/gs-gart/src/lib.rs
+
+/root/repo/target/release/deps/libgs_gart-b8decc76fd997da6.rlib: crates/gs-gart/src/lib.rs
+
+/root/repo/target/release/deps/libgs_gart-b8decc76fd997da6.rmeta: crates/gs-gart/src/lib.rs
+
+crates/gs-gart/src/lib.rs:

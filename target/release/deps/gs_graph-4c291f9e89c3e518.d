@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/gs_graph-4c291f9e89c3e518.d: crates/gs-graph/src/lib.rs crates/gs-graph/src/csr.rs crates/gs-graph/src/data.rs crates/gs-graph/src/edgelist.rs crates/gs-graph/src/error.rs crates/gs-graph/src/ids.rs crates/gs-graph/src/json.rs crates/gs-graph/src/partition.rs crates/gs-graph/src/props.rs crates/gs-graph/src/schema.rs crates/gs-graph/src/value.rs crates/gs-graph/src/varint.rs
+
+/root/repo/target/release/deps/libgs_graph-4c291f9e89c3e518.rlib: crates/gs-graph/src/lib.rs crates/gs-graph/src/csr.rs crates/gs-graph/src/data.rs crates/gs-graph/src/edgelist.rs crates/gs-graph/src/error.rs crates/gs-graph/src/ids.rs crates/gs-graph/src/json.rs crates/gs-graph/src/partition.rs crates/gs-graph/src/props.rs crates/gs-graph/src/schema.rs crates/gs-graph/src/value.rs crates/gs-graph/src/varint.rs
+
+/root/repo/target/release/deps/libgs_graph-4c291f9e89c3e518.rmeta: crates/gs-graph/src/lib.rs crates/gs-graph/src/csr.rs crates/gs-graph/src/data.rs crates/gs-graph/src/edgelist.rs crates/gs-graph/src/error.rs crates/gs-graph/src/ids.rs crates/gs-graph/src/json.rs crates/gs-graph/src/partition.rs crates/gs-graph/src/props.rs crates/gs-graph/src/schema.rs crates/gs-graph/src/value.rs crates/gs-graph/src/varint.rs
+
+crates/gs-graph/src/lib.rs:
+crates/gs-graph/src/csr.rs:
+crates/gs-graph/src/data.rs:
+crates/gs-graph/src/edgelist.rs:
+crates/gs-graph/src/error.rs:
+crates/gs-graph/src/ids.rs:
+crates/gs-graph/src/json.rs:
+crates/gs-graph/src/partition.rs:
+crates/gs-graph/src/props.rs:
+crates/gs-graph/src/schema.rs:
+crates/gs-graph/src/value.rs:
+crates/gs-graph/src/varint.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gs_graphar-01de8b8659c0c566.d: crates/gs-graphar/src/lib.rs crates/gs-graphar/src/codec.rs crates/gs-graphar/src/csv.rs crates/gs-graphar/src/format.rs crates/gs-graphar/src/store.rs
+
+/root/repo/target/release/deps/libgs_graphar-01de8b8659c0c566.rlib: crates/gs-graphar/src/lib.rs crates/gs-graphar/src/codec.rs crates/gs-graphar/src/csv.rs crates/gs-graphar/src/format.rs crates/gs-graphar/src/store.rs
+
+/root/repo/target/release/deps/libgs_graphar-01de8b8659c0c566.rmeta: crates/gs-graphar/src/lib.rs crates/gs-graphar/src/codec.rs crates/gs-graphar/src/csv.rs crates/gs-graphar/src/format.rs crates/gs-graphar/src/store.rs
+
+crates/gs-graphar/src/lib.rs:
+crates/gs-graphar/src/codec.rs:
+crates/gs-graphar/src/csv.rs:
+crates/gs-graphar/src/format.rs:
+crates/gs-graphar/src/store.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gs_grin-123ff64ed5d88911.d: crates/gs-grin/src/lib.rs crates/gs-grin/src/capability.rs crates/gs-grin/src/graph.rs crates/gs-grin/src/predicate.rs
+
+/root/repo/target/release/deps/libgs_grin-123ff64ed5d88911.rlib: crates/gs-grin/src/lib.rs crates/gs-grin/src/capability.rs crates/gs-grin/src/graph.rs crates/gs-grin/src/predicate.rs
+
+/root/repo/target/release/deps/libgs_grin-123ff64ed5d88911.rmeta: crates/gs-grin/src/lib.rs crates/gs-grin/src/capability.rs crates/gs-grin/src/graph.rs crates/gs-grin/src/predicate.rs
+
+crates/gs-grin/src/lib.rs:
+crates/gs-grin/src/capability.rs:
+crates/gs-grin/src/graph.rs:
+crates/gs-grin/src/predicate.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gs_hiactor-1d899b63ecdae9d7.d: crates/gs-hiactor/src/lib.rs
+
+/root/repo/target/release/deps/libgs_hiactor-1d899b63ecdae9d7.rlib: crates/gs-hiactor/src/lib.rs
+
+/root/repo/target/release/deps/libgs_hiactor-1d899b63ecdae9d7.rmeta: crates/gs-hiactor/src/lib.rs
+
+crates/gs-hiactor/src/lib.rs:

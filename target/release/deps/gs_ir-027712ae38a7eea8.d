@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/gs_ir-027712ae38a7eea8.d: crates/gs-ir/src/lib.rs crates/gs-ir/src/builder.rs crates/gs-ir/src/engine.rs crates/gs-ir/src/exec.rs crates/gs-ir/src/expr.rs crates/gs-ir/src/logical.rs crates/gs-ir/src/pattern.rs crates/gs-ir/src/physical.rs crates/gs-ir/src/record.rs
+
+/root/repo/target/release/deps/libgs_ir-027712ae38a7eea8.rlib: crates/gs-ir/src/lib.rs crates/gs-ir/src/builder.rs crates/gs-ir/src/engine.rs crates/gs-ir/src/exec.rs crates/gs-ir/src/expr.rs crates/gs-ir/src/logical.rs crates/gs-ir/src/pattern.rs crates/gs-ir/src/physical.rs crates/gs-ir/src/record.rs
+
+/root/repo/target/release/deps/libgs_ir-027712ae38a7eea8.rmeta: crates/gs-ir/src/lib.rs crates/gs-ir/src/builder.rs crates/gs-ir/src/engine.rs crates/gs-ir/src/exec.rs crates/gs-ir/src/expr.rs crates/gs-ir/src/logical.rs crates/gs-ir/src/pattern.rs crates/gs-ir/src/physical.rs crates/gs-ir/src/record.rs
+
+crates/gs-ir/src/lib.rs:
+crates/gs-ir/src/builder.rs:
+crates/gs-ir/src/engine.rs:
+crates/gs-ir/src/exec.rs:
+crates/gs-ir/src/expr.rs:
+crates/gs-ir/src/logical.rs:
+crates/gs-ir/src/pattern.rs:
+crates/gs-ir/src/physical.rs:
+crates/gs-ir/src/record.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gs_lang-5235624879b04746.d: crates/gs-lang/src/lib.rs crates/gs-lang/src/cypher.rs crates/gs-lang/src/gremlin.rs crates/gs-lang/src/lexer.rs
+
+/root/repo/target/release/deps/libgs_lang-5235624879b04746.rlib: crates/gs-lang/src/lib.rs crates/gs-lang/src/cypher.rs crates/gs-lang/src/gremlin.rs crates/gs-lang/src/lexer.rs
+
+/root/repo/target/release/deps/libgs_lang-5235624879b04746.rmeta: crates/gs-lang/src/lib.rs crates/gs-lang/src/cypher.rs crates/gs-lang/src/gremlin.rs crates/gs-lang/src/lexer.rs
+
+crates/gs-lang/src/lib.rs:
+crates/gs-lang/src/cypher.rs:
+crates/gs-lang/src/gremlin.rs:
+crates/gs-lang/src/lexer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gs_learn-491aef042b3aab20.d: crates/gs-learn/src/lib.rs crates/gs-learn/src/ncn.rs crates/gs-learn/src/pipeline.rs crates/gs-learn/src/sage.rs crates/gs-learn/src/sampler.rs crates/gs-learn/src/tensor.rs
+
+/root/repo/target/release/deps/libgs_learn-491aef042b3aab20.rlib: crates/gs-learn/src/lib.rs crates/gs-learn/src/ncn.rs crates/gs-learn/src/pipeline.rs crates/gs-learn/src/sage.rs crates/gs-learn/src/sampler.rs crates/gs-learn/src/tensor.rs
+
+/root/repo/target/release/deps/libgs_learn-491aef042b3aab20.rmeta: crates/gs-learn/src/lib.rs crates/gs-learn/src/ncn.rs crates/gs-learn/src/pipeline.rs crates/gs-learn/src/sage.rs crates/gs-learn/src/sampler.rs crates/gs-learn/src/tensor.rs
+
+crates/gs-learn/src/lib.rs:
+crates/gs-learn/src/ncn.rs:
+crates/gs-learn/src/pipeline.rs:
+crates/gs-learn/src/sage.rs:
+crates/gs-learn/src/sampler.rs:
+crates/gs-learn/src/tensor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gs_optimizer-36a880cc7f6d090d.d: crates/gs-optimizer/src/lib.rs crates/gs-optimizer/src/glogue.rs crates/gs-optimizer/src/rbo.rs
+
+/root/repo/target/release/deps/libgs_optimizer-36a880cc7f6d090d.rlib: crates/gs-optimizer/src/lib.rs crates/gs-optimizer/src/glogue.rs crates/gs-optimizer/src/rbo.rs
+
+/root/repo/target/release/deps/libgs_optimizer-36a880cc7f6d090d.rmeta: crates/gs-optimizer/src/lib.rs crates/gs-optimizer/src/glogue.rs crates/gs-optimizer/src/rbo.rs
+
+crates/gs-optimizer/src/lib.rs:
+crates/gs-optimizer/src/glogue.rs:
+crates/gs-optimizer/src/rbo.rs:

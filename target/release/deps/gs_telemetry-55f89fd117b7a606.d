@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gs_telemetry-55f89fd117b7a606.d: crates/gs-telemetry/src/lib.rs crates/gs-telemetry/src/histogram.rs crates/gs-telemetry/src/registry.rs crates/gs-telemetry/src/span.rs
+
+/root/repo/target/release/deps/libgs_telemetry-55f89fd117b7a606.rlib: crates/gs-telemetry/src/lib.rs crates/gs-telemetry/src/histogram.rs crates/gs-telemetry/src/registry.rs crates/gs-telemetry/src/span.rs
+
+/root/repo/target/release/deps/libgs_telemetry-55f89fd117b7a606.rmeta: crates/gs-telemetry/src/lib.rs crates/gs-telemetry/src/histogram.rs crates/gs-telemetry/src/registry.rs crates/gs-telemetry/src/span.rs
+
+crates/gs-telemetry/src/lib.rs:
+crates/gs-telemetry/src/histogram.rs:
+crates/gs-telemetry/src/registry.rs:
+crates/gs-telemetry/src/span.rs:

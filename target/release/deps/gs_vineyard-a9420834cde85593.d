@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gs_vineyard-a9420834cde85593.d: crates/gs-vineyard/src/lib.rs
+
+/root/repo/target/release/deps/libgs_vineyard-a9420834cde85593.rlib: crates/gs-vineyard/src/lib.rs
+
+/root/repo/target/release/deps/libgs_vineyard-a9420834cde85593.rmeta: crates/gs-vineyard/src/lib.rs
+
+crates/gs-vineyard/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-0e022bb589a1a618.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-0e022bb589a1a618.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-0e022bb589a1a618.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-37e7cc215150ba69.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-37e7cc215150ba69.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-37e7cc215150ba69.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

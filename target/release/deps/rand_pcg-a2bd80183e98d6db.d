@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_pcg-a2bd80183e98d6db.d: vendor/rand_pcg/src/lib.rs
+
+/root/repo/target/release/deps/librand_pcg-a2bd80183e98d6db.rlib: vendor/rand_pcg/src/lib.rs
+
+/root/repo/target/release/deps/librand_pcg-a2bd80183e98d6db.rmeta: vendor/rand_pcg/src/lib.rs
+
+vendor/rand_pcg/src/lib.rs:

@@ -2,10 +2,17 @@
 //! conditions the happy-path unit tests don't reach.
 
 use graphscope_flex::prelude::*;
-use gs_ir::exec::execute;
 use gs_ir::physical::lower_naive;
+use gs_ir::physical::PhysicalPlan;
+use gs_ir::record::Record;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// All execution in this file goes through the unified [`QueryEngine`]
+/// interface.
+fn run(engine: &dyn QueryEngine, plan: &PhysicalPlan, graph: &dyn GrinGraph) -> Vec<Record> {
+    engine.execute(plan, graph).unwrap()
+}
 
 fn tiny_store() -> (VineyardGraph, GraphSchema) {
     let mut schema = GraphSchema::new();
@@ -28,10 +35,11 @@ fn empty_result_queries_are_fine_everywhere() {
     let q = "MATCH (a:V)-[:E]->(b:V) WHERE a.x > 999 RETURN a, b";
     let plan = parse_cypher(q, &schema, &HashMap::new()).unwrap();
     let phys = lower_naive(&plan).unwrap();
-    assert!(execute(&phys, &store).unwrap().is_empty());
+    assert!(run(&ReferenceEngine, &phys, &store).is_empty());
     for workers in [1, 4] {
-        assert!(GaiaEngine::new(workers).execute(&phys, &store).unwrap().is_empty());
+        assert!(run(&GaiaEngine::new(workers), &phys, &store).is_empty());
     }
+    assert!(run(&QueryService::new(2), &phys, &store).is_empty());
 }
 
 #[test]
@@ -40,7 +48,7 @@ fn aggregates_over_empty_input_yield_identities() {
     let q = "MATCH (a:V) WHERE a.x > 999 RETURN COUNT(*) AS c, SUM(a.x) AS s";
     let plan = parse_cypher(q, &schema, &HashMap::new()).unwrap();
     let phys = lower_naive(&plan).unwrap();
-    let rows = GaiaEngine::new(3).execute(&phys, &store).unwrap();
+    let rows = run(&GaiaEngine::new(3), &phys, &store);
     assert_eq!(rows, vec![vec![Value::Int(0), Value::Int(0)]]);
 }
 
@@ -50,9 +58,7 @@ fn order_limit_zero_and_huge() {
     for (limit, expect) in [(0usize, 0usize), (1000, 6)] {
         let q = format!("MATCH (a:V) RETURN a ORDER BY a.x ASC LIMIT {limit}");
         let plan = parse_cypher(&q, &schema, &HashMap::new()).unwrap();
-        let rows = GaiaEngine::new(2)
-            .execute(&lower_naive(&plan).unwrap(), &store)
-            .unwrap();
+        let rows = run(&GaiaEngine::new(2), &lower_naive(&plan).unwrap(), &store);
         assert_eq!(rows.len(), expect);
     }
 }
@@ -71,7 +77,7 @@ fn self_loops_and_parallel_edges_in_patterns() {
     let store = VineyardGraph::build(&data).unwrap();
     let q = "MATCH (a:V)-[:E]->(b:V) RETURN a, b";
     let plan = parse_cypher(q, &schema, &HashMap::new()).unwrap();
-    let rows = execute(&lower_naive(&plan).unwrap(), &store).unwrap();
+    let rows = run(&ReferenceEngine, &lower_naive(&plan).unwrap(), &store);
     // homomorphic matching: self loop binds a=b; parallel edges double-count
     assert_eq!(rows.len(), 3);
 }
@@ -80,12 +86,12 @@ fn self_loops_and_parallel_edges_in_patterns() {
 fn cypher_parser_rejects_malformed_inputs() {
     let (_, schema) = tiny_store();
     for bad in [
-        "MATCH (a:V RETURN a",                  // unclosed node
-        "MATCH (a:V)-[:E]->(b:V) RETURN",       // empty items
-        "MATCH (a:V) WHERE RETURN a",           // empty predicate
-        "MATCH (a:V) RETURN a ORDER LIMIT 2",   // ORDER without BY
-        "MATCH (a:V)<-[:E]->(b:V) RETURN a",    // both arrows
-        "RETURN 1 +",                            // dangling operator
+        "MATCH (a:V RETURN a",                // unclosed node
+        "MATCH (a:V)-[:E]->(b:V) RETURN",     // empty items
+        "MATCH (a:V) WHERE RETURN a",         // empty predicate
+        "MATCH (a:V) RETURN a ORDER LIMIT 2", // ORDER without BY
+        "MATCH (a:V)<-[:E]->(b:V) RETURN a",  // both arrows
+        "RETURN 1 +",                         // dangling operator
     ] {
         assert!(
             parse_cypher(bad, &schema, &HashMap::new()).is_err(),
@@ -98,10 +104,10 @@ fn cypher_parser_rejects_malformed_inputs() {
 fn gremlin_parser_rejects_malformed_inputs() {
     let (_, schema) = tiny_store();
     for bad in [
-        "g.V().hasLabel('V').out()",        // out without label
-        "g.V().hasLabel('V').limit(-1)",    // negative limit
-        "g.V().hasLabel('V')..count()",     // double dot
-        "g.E()",                             // unsupported source
+        "g.V().hasLabel('V').out()",     // out without label
+        "g.V().hasLabel('V').limit(-1)", // negative limit
+        "g.V().hasLabel('V')..count()",  // double dot
+        "g.E()",                         // unsupported source
     ] {
         assert!(parse_gremlin(bad, &schema).is_err(), "accepted: {bad}");
     }
@@ -167,7 +173,7 @@ fn gaia_second_scan_is_a_cross_product() {
     match parse_cypher(q, &schema, &HashMap::new()) {
         Ok(plan) => {
             // if accepted, execution must produce the full cross product
-            let rows = execute(&lower_naive(&plan).unwrap(), &store).unwrap();
+            let rows = run(&ReferenceEngine, &lower_naive(&plan).unwrap(), &store);
             assert_eq!(rows.len(), 36);
         }
         Err(e) => {

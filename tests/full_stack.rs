@@ -3,13 +3,13 @@
 
 use graphscope_flex::prelude::*;
 use gs_flex::snb::{bi_plan, BiParams};
-use gs_ir::exec::execute;
 use gs_ir::physical::lower_naive;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Cypher → IR → RBO/CBO → Gaia over Vineyard: the BI deployment (§3's
-/// Workload-5 stack), differential-tested against the reference executor.
+/// Cypher → IR → RBO/CBO over Vineyard, executed through every
+/// [`QueryEngine`] (§3's Workload-5 stack): the reference executor defines
+/// the semantics, Gaia and HiActor must agree through the same interface.
 #[test]
 fn cypher_to_gaia_on_vineyard() {
     let social = generate_snb(&SnbConfig::lite(250));
@@ -21,14 +21,20 @@ fn cypher_to_gaia_on_vineyard() {
     let plan = parse_cypher(q, &schema, &HashMap::new()).unwrap();
     let optimizer = Optimizer::new(GlogueCatalog::build(&store, 200));
     let optimized = optimizer.optimize(&plan).unwrap();
-    let gaia = GaiaEngine::new(3);
-    let fast = gaia.execute(&optimized, &store).unwrap();
-    let slow = execute(&lower_naive(&plan).unwrap(), &store).unwrap();
     let canon = |mut v: Vec<Vec<Value>>| {
         v.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
         v
     };
-    assert_eq!(canon(fast), canon(slow));
+    let reference = ReferenceEngine;
+    let slow =
+        canon(QueryEngine::execute(&reference, &lower_naive(&plan).unwrap(), &store).unwrap());
+    let gaia = GaiaEngine::new(3);
+    let hiactor = QueryService::new(2);
+    let engines: [&dyn QueryEngine; 3] = [&reference, &gaia, &hiactor];
+    for engine in engines {
+        let fast = engine.execute(&optimized, &store).unwrap();
+        assert_eq!(canon(fast), slow, "engine {}", engine.name());
+    }
 }
 
 /// The paper's Figure 5 claim: the same query in Gremlin and Cypher
@@ -45,11 +51,7 @@ fn figure5_gremlin_cypher_equivalence() {
     schema.add_edge_label("buys", buyer, item, &[]);
     let mut data = PropertyGraphData::new(schema.clone());
     for (id, name) in [(1u64, "A1"), (2, "B2"), (3, "C3")] {
-        data.add_vertex(
-            buyer,
-            id,
-            vec![Value::Str(name.into()), Value::Int(10)],
-        );
+        data.add_vertex(buyer, id, vec![Value::Str(name.into()), Value::Int(10)]);
     }
     for (id, price) in [(7u64, 10.0), (8, 20.0)] {
         data.add_vertex(item, id, vec![Value::Float(price)]);
@@ -70,8 +72,13 @@ fn figure5_gremlin_cypher_equivalence() {
     let pg = parse_gremlin(gremlin, &schema).unwrap();
     let pc = parse_cypher(cypher, &schema, &HashMap::new()).unwrap();
     let optimizer = Optimizer::rbo_only();
-    let rg = execute(&optimizer.optimize(&pg).unwrap(), &store).unwrap();
-    let rc = execute(&optimizer.optimize(&pc).unwrap(), &store).unwrap();
+    let engine: &dyn QueryEngine = &ReferenceEngine;
+    let rg = engine
+        .execute(&optimizer.optimize(&pg).unwrap(), &store)
+        .unwrap();
+    let rc = engine
+        .execute(&optimizer.optimize(&pc).unwrap(), &store)
+        .unwrap();
     let mut prices_g: Vec<String> = rg.iter().map(|r| r[0].to_string()).collect();
     let mut prices_c: Vec<String> = rc.iter().map(|r| r[0].to_string()).collect();
     prices_g.sort();
@@ -89,10 +96,14 @@ fn hiactor_on_gart_with_concurrent_updates() {
     schema.add_edge_label("E", v, v, &[]);
     let store = GartStore::new(schema.clone());
     for i in 0..50u64 {
-        store.add_vertex(gs_graph::LabelId(0), i, vec![Value::Int(i as i64)]).unwrap();
+        store
+            .add_vertex(gs_graph::LabelId(0), i, vec![Value::Int(i as i64)])
+            .unwrap();
     }
     for i in 0..49u64 {
-        store.add_edge(gs_graph::LabelId(0), i, i + 1, vec![]).unwrap();
+        store
+            .add_edge(gs_graph::LabelId(0), i, i + 1, vec![])
+            .unwrap();
     }
     store.commit();
     let svc = QueryService::new(2);
@@ -105,7 +116,9 @@ fn hiactor_on_gart_with_concurrent_updates() {
         let store = Arc::clone(&store);
         std::thread::spawn(move || {
             for i in 0..48u64 {
-                store.add_edge(gs_graph::LabelId(0), i, i + 2, vec![]).unwrap();
+                store
+                    .add_edge(gs_graph::LabelId(0), i, i + 2, vec![])
+                    .unwrap();
                 store.commit();
             }
         })
@@ -131,8 +144,9 @@ fn graphar_dump_reload_equivalence() {
     let store_b = VineyardGraph::build(&reloaded).unwrap();
     let plan = bi_plan(2, &social.data.schema, &social.labels, &BiParams::default()).unwrap();
     let phys = Optimizer::rbo_only().optimize(&plan).unwrap();
-    let a = execute(&phys, &store_a).unwrap();
-    let b = execute(&phys, &store_b).unwrap();
+    let engine: &dyn QueryEngine = &ReferenceEngine;
+    let a = engine.execute(&phys, &store_a).unwrap();
+    let b = engine.execute(&phys, &store_b).unwrap();
     assert_eq!(a, b);
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -143,7 +157,9 @@ fn graphar_dump_reload_equivalence() {
 fn all_analytics_engines_agree() {
     use gs_baselines::{GeminiEngine, GrouteEngine, GunrockEngine, PowerGraphEngine};
     use gs_grape::{algorithms, bfs_gpu, pagerank_gpu, GpuCluster};
-    let el = gs_datagen::catalog::Dataset::by_abbr("FB0").unwrap().edges(0.02);
+    let el = gs_datagen::catalog::Dataset::by_abbr("FB0")
+        .unwrap()
+        .edges(0.02);
     let n = el.vertex_count();
     let edges = el.edges().to_vec();
     let csr = gs_graph::Csr::from_edges(n, &edges);

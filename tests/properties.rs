@@ -2,9 +2,18 @@
 
 use graphscope_flex::prelude::*;
 use gs_graph::varint;
-use gs_ir::exec::execute;
 use gs_ir::physical::lower_naive;
 use proptest::prelude::*;
+
+/// All plan execution in this file goes through the unified
+/// [`QueryEngine`] interface.
+fn run(
+    engine: &dyn QueryEngine,
+    plan: &gs_ir::PhysicalPlan,
+    graph: &dyn GrinGraph,
+) -> Vec<Vec<Value>> {
+    engine.execute(plan, graph).unwrap()
+}
 
 /// Arbitrary small digraphs as (n, edge list).
 fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u64, u64)>)> {
@@ -117,11 +126,11 @@ proptest! {
              RETURN a, COUNT(c) AS n"
         );
         let plan = parse_cypher(&q, &schema, &Default::default()).unwrap();
-        let baseline = execute(&lower_naive(&plan).unwrap(), &store).unwrap();
+        let baseline = run(&ReferenceEngine, &lower_naive(&plan).unwrap(), &store);
         let optimized = Optimizer::new(GlogueCatalog::build(&store, 50))
             .optimize(&plan)
             .unwrap();
-        let opt = execute(&optimized, &store).unwrap();
+        let opt = run(&ReferenceEngine, &optimized, &store);
         let canon = |mut v: Vec<Vec<Value>>| {
             v.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
             v
@@ -161,8 +170,8 @@ proptest! {
         let q = "MATCH (a:V)-[:E]->(b:V) RETURN b, COUNT(a) AS indeg";
         let plan = parse_cypher(q, &schema, &Default::default()).unwrap();
         let phys = lower_naive(&plan).unwrap();
-        let reference = execute(&phys, &store).unwrap();
-        let parallel = GaiaEngine::new(workers).execute(&phys, &store).unwrap();
+        let reference = run(&ReferenceEngine, &phys, &store);
+        let parallel = run(&GaiaEngine::new(workers), &phys, &store);
         let canon = |mut v: Vec<Vec<Value>>| {
             v.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
             v

@@ -1,0 +1,94 @@
+//! Telemetry integration: running the BI stack (Cypher → IR → Gaia over
+//! Vineyard) with a registry installed must produce the expected span tree
+//! and non-zero operator counters.
+//!
+//! This lives in its own integration-test binary because the telemetry
+//! registry is process-global: no other test here installs or uninstalls.
+
+use graphscope_flex::prelude::*;
+use std::collections::HashMap;
+
+#[test]
+fn gaia_query_emits_span_tree_and_operator_counters() {
+    let social = generate_snb(&SnbConfig::lite(200));
+    let store = VineyardGraph::build(&social.data).unwrap();
+    let schema = social.data.schema.clone();
+    let q = "MATCH (a:Person)-[:KNOWS]-(b:Person) \
+             RETURN b, COUNT(a) AS deg ORDER BY deg DESC, b LIMIT 5";
+    let plan = parse_cypher(q, &schema, &HashMap::new()).unwrap();
+    let optimized = Optimizer::rbo_only().optimize(&plan).unwrap();
+
+    let registry = gs_telemetry::Registry::new();
+    gs_telemetry::install(registry.clone());
+    let engine: &dyn QueryEngine = &GaiaEngine::new(3);
+    let rows = engine.execute(&optimized, &store).unwrap();
+    gs_telemetry::uninstall();
+    assert_eq!(rows.len(), 5);
+
+    // the span tree: gaia.query at the root, segments and barriers below
+    let spans = registry.span_names();
+    assert!(
+        spans.iter().any(|s| s == "gaia.query{workers=3}"),
+        "missing root query span: {spans:?}"
+    );
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.starts_with("gaia.query{workers=3}/gaia.segment")),
+        "missing nested segment span: {spans:?}"
+    );
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.starts_with("gaia.query{workers=3}/gaia.barrier")),
+        "missing nested barrier span: {spans:?}"
+    );
+    let root = registry.span_stat("gaia.query{workers=3}");
+    assert_eq!(root.count(), 1);
+    assert!(root.total_ns() > 0, "query span must have wall time");
+
+    // operator counters: the scan visited every person at least once
+    let persons = social
+        .data
+        .schema
+        .vertex_label_by_name("Person")
+        .unwrap()
+        .id;
+    let person_count = store.vertex_count(persons) as u64;
+    let scanned = registry.counter_value("gaia.records{op=Scan}");
+    assert!(
+        scanned >= person_count,
+        "Scan emitted {scanned} records for {person_count} persons"
+    );
+    assert!(registry.counter_value("gaia.records{op=Expand}") > 0);
+
+    // per-operator latency histograms got observations
+    let report = registry.text_report();
+    assert!(report.contains("gaia.op_ns{op=Scan}"), "{report}");
+
+    // the report renders both sections
+    assert!(report.contains("-- spans --"), "{report}");
+    assert!(report.contains("-- counters --"), "{report}");
+
+    // and the JSON rendering is parseable by the in-tree parser
+    let json = registry.json_report();
+    let doc = gs_graph::json::Json::parse(&json).expect("valid JSON report");
+    assert!(doc.field("counters").is_ok(), "{json}");
+}
+
+#[test]
+fn disabled_telemetry_records_nothing() {
+    // no install() in this test — a fresh registry stays empty even though
+    // instrumented code runs (this is the zero-cost-when-off contract)
+    let social = generate_snb(&SnbConfig::lite(100));
+    let store = VineyardGraph::build(&social.data).unwrap();
+    let schema = social.data.schema.clone();
+    let q = "MATCH (a:Person)-[:KNOWS]-(b:Person) RETURN a, b";
+    let plan = parse_cypher(q, &schema, &HashMap::new()).unwrap();
+    let optimized = Optimizer::rbo_only().optimize(&plan).unwrap();
+    let registry = gs_telemetry::Registry::new();
+    let engine: &dyn QueryEngine = &GaiaEngine::new(2);
+    engine.execute(&optimized, &store).unwrap();
+    assert!(registry.span_names().is_empty());
+    assert!(registry.counter_names().is_empty());
+}

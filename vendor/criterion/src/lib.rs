@@ -1,0 +1,249 @@
+//! Minimal in-tree replacement for the `criterion` benchmark harness.
+//!
+//! Keeps the source-level API the workspace benches use — groups,
+//! `bench_function`, `BenchmarkId`, `Throughput`, the `criterion_group!`
+//! / `criterion_main!` macros — and measures with a simple
+//! warmup-then-sample loop, reporting mean time per iteration (and
+//! throughput when configured). No statistics, plotting, or comparison
+//! with saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// Identifies one benchmark within a group, optionally parameterised.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A named set of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iterations: 0,
+            elapsed: Duration::ZERO,
+            mode: Mode::WarmUp,
+            budget: self.criterion.warm_up_time,
+        };
+        f(&mut bencher);
+        bencher.iterations = 0;
+        bencher.elapsed = Duration::ZERO;
+        bencher.mode = Mode::Measure {
+            samples: self.criterion.sample_size,
+        };
+        bencher.budget = self.criterion.measurement_time;
+        f(&mut bencher);
+        let per_iter = if bencher.iterations == 0 {
+            Duration::ZERO
+        } else {
+            bencher.elapsed / bencher.iterations as u32
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                format!("  {:.1} Melem/s", n as f64 / per_iter.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                format!(
+                    "  {:.1} MiB/s",
+                    n as f64 / per_iter.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {:?}/iter over {} iters{}",
+            self.name, id.id, per_iter, bencher.iterations, rate
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    WarmUp,
+    Measure { samples: usize },
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+    mode: Mode,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let reps = match self.mode {
+            Mode::WarmUp => 1,
+            Mode::Measure { samples } => samples as u64,
+        };
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(f());
+            self.iterations += 1;
+            if start.elapsed() > self.budget {
+                break;
+            }
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Opaque value sink preventing the optimiser from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function. Supports both the positional form
+/// `criterion_group!(benches, f, g)` and the configured form with
+/// `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_function(BenchmarkId::new("param", 42), |b| b.iter(|| 2 * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_benchmarks() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        trivial(&mut c);
+    }
+
+    criterion_group!(positional, trivial);
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(10));
+        targets = trivial
+    }
+
+    #[test]
+    fn macros_compose() {
+        positional();
+        configured();
+    }
+}

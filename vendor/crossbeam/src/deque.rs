@@ -1,0 +1,92 @@
+//! A minimal work-stealing injector queue (FIFO) with crossbeam's
+//! `Steal` result type.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// A task was stolen.
+    Success(T),
+    /// The queue was empty.
+    Empty,
+    /// Lost a race; try again.
+    Retry,
+}
+
+/// A shared FIFO task injector that any thread can push to or steal from.
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn push(&self, task: T) {
+        self.queue.lock().unwrap().push_back(task);
+    }
+
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.try_lock() {
+            Ok(mut q) => match q.pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+            Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+            Err(std::sync::TryLockError::Poisoned(p)) => match p.into_inner().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_then_steal_is_fifo() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        assert_eq!(inj.steal(), Steal::Success(1));
+        assert_eq!(inj.steal(), Steal::Success(2));
+        assert_eq!(inj.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn concurrent_stealers_drain_everything() {
+        let inj = std::sync::Arc::new(Injector::new());
+        for i in 0..10_000u64 {
+            inj.push(i);
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let inj = inj.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut n = 0usize;
+                loop {
+                    match inj.steal() {
+                        Steal::Success(_) => n += 1,
+                        Steal::Empty => break,
+                        Steal::Retry => {}
+                    }
+                }
+                n
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 10_000);
+    }
+}

@@ -1,0 +1,15 @@
+//! Minimal in-tree replacement for the `crossbeam` facade crate.
+//!
+//! Provides the three pieces the workspace uses:
+//!
+//! * [`thread::scope`] — scoped threads, backed by `std::thread::scope`.
+//!   Spawn closures receive a placeholder argument (crossbeam passes the
+//!   scope for nested spawns; the workspace never uses it).
+//! * [`channel`] — MPMC channels (`bounded`/`unbounded`) with cloneable
+//!   senders *and* receivers, built on a mutex + condvar queue.
+//! * [`deque`] — the [`deque::Injector`] FIFO with a [`deque::Steal`]
+//!   result, used by the simulated-GPU work-stealing schedulers.
+
+pub mod channel;
+pub mod deque;
+pub mod thread;

@@ -1,0 +1,70 @@
+//! Scoped threads with crossbeam's calling convention, over `std::thread`.
+
+/// Placeholder passed to spawn closures where crossbeam passes `&Scope`
+/// (for nested spawns, which the workspace does not use).
+#[derive(Clone, Copy, Debug)]
+pub struct NestedScope;
+
+/// A scope handle; `spawn` borrows from the enclosing environment.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure's argument is a placeholder for
+    /// crossbeam's nested-scope handle.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(NestedScope) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(NestedScope)),
+        }
+    }
+}
+
+/// Handle to a scoped thread; `join` returns `Err` if the thread panicked.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Creates a scope for spawning borrowing threads; all threads are joined
+/// before this returns. Unlike crossbeam, a panic in an *unjoined* thread
+/// propagates as a panic here rather than an `Err` — callers in this
+/// workspace `.expect()` the result, so the observable behaviour matches.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn joined_panic_is_an_err() {
+        let r = super::scope(|s| s.spawn(|_| panic!("boom")).join());
+        assert!(r.unwrap().is_err());
+    }
+}

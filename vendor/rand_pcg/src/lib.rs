@@ -1,0 +1,65 @@
+//! Minimal in-tree replacement for the `rand_pcg` crate: just
+//! [`Pcg64Mcg`], the PCG XSL-RR 128/64 (MCG) generator, which is the only
+//! RNG the workspace constructs. Implements the real PCG output function,
+//! so streams are high-quality and deterministic for a given seed.
+
+use rand::RngCore;
+
+const MULTIPLIER: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+
+/// PCG XSL-RR 128/64 with a multiplicative congruential state transition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pcg64Mcg {
+    state: u128,
+}
+
+impl Pcg64Mcg {
+    /// Creates a generator from a 128-bit seed. MCG state must be odd; the
+    /// low bit is forced, matching upstream `rand_pcg`.
+    pub fn new(state: u128) -> Self {
+        Self { state: state | 1 }
+    }
+}
+
+impl RngCore for Pcg64Mcg {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(MULTIPLIER);
+        let rot = (self.state >> 122) as u32;
+        let xsl = ((self.state >> 64) as u64) ^ (self.state as u64);
+        xsl.rotate_right(rot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Pcg64Mcg::new(12345);
+        let mut b = Pcg64Mcg::new(12345);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg64Mcg::new(1);
+        let mut b = Pcg64Mcg::new(2);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn usable_through_rng_trait() {
+        let mut rng = Pcg64Mcg::new(99);
+        let v: u64 = rng.gen_range(0..10u64);
+        assert!(v < 10);
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}
