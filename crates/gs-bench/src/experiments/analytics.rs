@@ -5,7 +5,7 @@
 use crate::util::{fmt_duration, time_it, TablePrinter};
 use gs_baselines::{GeminiEngine, GrouteEngine, GunrockEngine, PowerGraphEngine};
 use gs_datagen::catalog::Dataset;
-use gs_grape::{algorithms, bfs_gpu, pagerank_gpu, GpuCluster, GrapeEngine};
+use gs_grape::{algorithms, bfs_gpu, pagerank_gpu, GpuCluster, GrapeEngine, GrinProjection};
 use gs_graph::csr::Csr;
 use gs_graph::VId;
 
@@ -15,6 +15,18 @@ const PR_ITERS: usize = 10;
 fn load(abbr: &str, scale: f64) -> (usize, Vec<(VId, VId)>) {
     let el = Dataset::by_abbr(abbr).unwrap().edges(0.1 * scale);
     (el.vertex_count(), el.edges().to_vec())
+}
+
+/// Builds GRAPE the way a Flex deployment does: seal the edge list into an
+/// in-process Vineyard store and load the fragments through GRIN (bulk
+/// adjacency scan), instead of handing GRAPE a private edge list.
+fn grin_engine(n: usize, edges: &[(VId, VId)], k: usize) -> GrapeEngine {
+    let pairs: Vec<(u64, u64)> = edges.iter().map(|&(s, d)| (s.0, d.0)).collect();
+    let data = gs_graph::data::PropertyGraphData::from_edge_list(n, &pairs);
+    let store = gs_vineyard::VineyardGraph::build(&data).expect("seal edge list into vineyard");
+    let (engine, _space) = GrapeEngine::from_grin(&store, &GrinProjection::default(), k)
+        .expect("GRIN load from vineyard");
+    engine
 }
 
 fn workers() -> usize {
@@ -31,7 +43,7 @@ pub fn fig7h(scale: f64) {
     let mut t = TablePrinter::new(&["dataset", "GRAPE", "PowerGraph", "Gemini"]);
     for abbr in DATASETS {
         let (n, edges) = load(abbr, scale);
-        let grape = GrapeEngine::from_edges(n, &edges, k);
+        let grape = grin_engine(n, &edges, k);
         let (tg, rg) = time_it(3, || algorithms::pagerank(&grape, 0.85, PR_ITERS));
         let pg = PowerGraphEngine::new(n, &edges, k);
         let (tp, rp) = time_it(1, || pg.pagerank(0.85, PR_ITERS));
@@ -60,7 +72,7 @@ pub fn fig7i(scale: f64) {
     for abbr in DATASETS {
         let (n, edges) = load(abbr, scale);
         let src = VId(0);
-        let grape = GrapeEngine::from_edges(n, &edges, k);
+        let grape = grin_engine(n, &edges, k);
         let (tg, rg) = time_it(3, || algorithms::bfs(&grape, src));
         let pg = PowerGraphEngine::new(n, &edges, k);
         let (tp, rp) = time_it(1, || pg.bfs(src));

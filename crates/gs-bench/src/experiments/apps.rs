@@ -35,6 +35,17 @@ pub fn table2(scale: f64) {
         ]);
     }
     t.print();
+    // the analytics arm of the same deployment: PageRank risk scores over
+    // the ingested store, loaded into GRAPE through GRIN
+    let app = FraudApp::new(&w, FraudConfig::default(), 2).unwrap();
+    let (tr, scores) = time_it(1, || app.risk_scores(4, 10).unwrap());
+    let top = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "offline risk scoring (PageRank over GRIN-loaded KNOWS graph): \
+         {} for {} accounts, top score {top:.5}",
+        fmt_duration(tr),
+        scores.len()
+    );
 }
 
 /// Exp-6: equity analysis — GRAPE propagation vs the SQL pipeline.
@@ -122,4 +133,13 @@ pub fn exp8(scale: f64) {
     ]);
     t.print();
     println!("graph-over-SQL speedup: {}", fmt_speedup(t_sql, t_graph));
+    // offline arm: WCC infrastructure mapping over the same store via GRIN
+    let (t_wcc, comps) = time_it(1, || app.infrastructure_components(4).unwrap());
+    let distinct: std::collections::HashSet<u64> = comps.values().copied().collect();
+    println!(
+        "infrastructure mapping (WCC over GRIN-loaded store): {} — {} hosts in {} components",
+        fmt_duration(t_wcc),
+        comps.len(),
+        distinct.len()
+    );
 }

@@ -82,6 +82,35 @@ impl CyberApp {
         Ok(self.sweep())
     }
 
+    /// Offline infrastructure mapping: weakly connected components over
+    /// the *whole* deployment store — hosts, processes and every edge
+    /// label, symmetrized — loaded into GRAPE through GRIN. Returns host
+    /// external id → component label; hosts sharing a component share
+    /// processes or connection targets (directly or transitively).
+    pub fn infrastructure_components(
+        &self,
+        fragments: usize,
+    ) -> Result<std::collections::HashMap<u64, u64>> {
+        let proj = gs_grape::GrinProjection {
+            symmetrize: true,
+            ..Default::default()
+        };
+        let (engine, space) = gs_grape::GrapeEngine::from_grin(&self.store, &proj, fragments)?;
+        let components = gs_grape::algorithms::wcc(&engine);
+        let mut out = std::collections::HashMap::new();
+        let hosts = self.store.vertex_count(self.labels.host);
+        for v in 0..hosts as u64 {
+            let Some(ext) = self.store.external_id(self.labels.host, VId(v)) else {
+                continue;
+            };
+            let g = space
+                .global_of(self.labels.host, VId(v))
+                .expect("host id inside its projected domain");
+            out.insert(ext, components[g.index()]);
+        }
+        Ok(out)
+    }
+
     /// The SQL baseline: `runs ⋈ connects ⋈ blocklist` with distinct —
     /// the full two-hop join materialisation.
     pub fn sweep_sql(&self, graph: &CyberGraph) -> Vec<u64> {
@@ -141,6 +170,31 @@ mod tests {
         let mut a = a;
         a.sort_unstable();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn components_group_hosts_with_their_infrastructure() {
+        use std::collections::HashMap;
+        let g = cyber_graph(100, 3, 5);
+        let app = CyberApp::new(&g).unwrap();
+        let comps = app.infrastructure_components(2).unwrap();
+        assert_eq!(comps.len(), 100, "every host is labelled");
+        // a host, any process it RUNS, and any host that process CONNECTS
+        // to must share a component (edges are symmetrized)
+        let rb = &g.data.edges[g.labels.runs.index()];
+        let cb = &g.data.edges[g.labels.connects.index()];
+        let mut proc_owner: HashMap<u64, u64> = HashMap::new();
+        for &(h, p) in &rb.endpoints {
+            proc_owner.entry(p).or_insert(h);
+        }
+        let mut linked = 0;
+        for &(p, t) in &cb.endpoints {
+            if let Some(&h) = proc_owner.get(&p) {
+                assert_eq!(comps[&h], comps[&t], "host {h} -> process {p} -> host {t}");
+                linked += 1;
+            }
+        }
+        assert!(linked > 0, "generator wires processes to targets");
     }
 
     #[test]

@@ -11,8 +11,10 @@
 
 use gs_baselines::Table;
 use gs_datagen::apps::EquityGraph;
-use gs_grape::{GrapeEngine, OutBuffers};
-use gs_graph::{VId, Value};
+use gs_grape::{GrapeEngine, GrinProjection, OutBuffers};
+use gs_graph::Value;
+use gs_grin::GrinGraph;
+use gs_vineyard::VineyardGraph;
 use std::collections::HashMap;
 
 /// Minimum share to keep propagating (paper's approximation knob; exact
@@ -23,24 +25,28 @@ const EPSILON: f64 = 1e-9;
 /// companies where some person's share exceeds `majority`.
 pub type Controllers = HashMap<u64, (u64, f64)>;
 
-/// Distributed share propagation on GRAPE: `(person, share-delta)` messages
-/// flow along INVEST edges; each company accumulates per-person totals.
+/// Distributed share propagation on GRAPE over an in-process Vineyard
+/// store: the interchange payload is sealed into [`VineyardGraph`] and the
+/// fragments are loaded through GRIN ([`equity_grape_over`]), exactly as a
+/// deployment composed by flexbuild would run it.
 pub fn equity_grape(eq: &EquityGraph, fragments: usize, majority: f64) -> Controllers {
-    // build the weighted edge list from the interchange payload
-    let batch = &eq.data.edges[eq.labels.invest.index()];
-    let edges: Vec<(VId, VId)> = batch
-        .endpoints
-        .iter()
-        .map(|&(s, d)| (VId(s), VId(d)))
-        .collect();
-    let weights: Vec<f64> = batch
-        .properties
-        .iter()
-        .map(|p| p[0].as_float().unwrap_or(0.0))
-        .collect();
-    let n = eq.companies + eq.persons;
-    let engine = GrapeEngine::from_weighted_edges(n, &edges, &weights, fragments);
-    let companies = eq.companies as u64;
+    let store = VineyardGraph::build(&eq.data).expect("sealing the equity payload");
+    equity_grape_over(&store, eq.companies, fragments, majority)
+        .expect("equity projection over a sealed store cannot fail")
+}
+
+/// Share propagation over *any* GRIN-capable store holding the equity
+/// schema (one Holder vertex label; INVEST edges with a float `share`
+/// property). Companies occupy ids `0..companies`; persons follow.
+pub fn equity_grape_over(
+    store: &dyn GrinGraph,
+    companies: usize,
+    fragments: usize,
+    majority: f64,
+) -> gs_graph::Result<Controllers> {
+    let proj = GrinProjection::weighted("share");
+    let (engine, _space) = GrapeEngine::from_grin(store, &proj, fragments)?;
+    let companies = companies as u64;
 
     // per-vertex share table; only companies accumulate
     let shares: Vec<HashMap<u64, f64>> = engine.run(|frag, comm| {
@@ -95,7 +101,7 @@ pub fn equity_grape(eq: &EquityGraph, fragments: usize, majority: f64) -> Contro
     });
 
     let mut out = Controllers::new();
-    for c in 0..eq.companies as u64 {
+    for c in 0..companies {
         if let Some((p, s)) = shares[c as usize]
             .iter()
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
@@ -105,7 +111,7 @@ pub fn equity_grape(eq: &EquityGraph, fragments: usize, majority: f64) -> Contro
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// The SQL baseline: repeated self-joins of the ownership table up to the

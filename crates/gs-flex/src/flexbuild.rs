@@ -144,23 +144,15 @@ impl Component {
     }
 
     /// The capabilities an engine component requires from storage.
+    ///
+    /// Each engine crate is the source of truth for its own contract
+    /// (`REQUIRED_CAPABILITIES`, which the engine also re-validates at
+    /// execution time); flexbuild only checks them earlier, at composition.
     pub fn engine_requirements(self) -> Option<Capabilities> {
         match self {
-            Component::HiActor => Some(Capabilities::of(&[
-                Capabilities::VERTEX_LIST_ITER,
-                Capabilities::ADJ_LIST_ITER,
-                Capabilities::PROPERTY,
-                Capabilities::INDEX_EXTERNAL_ID,
-            ])),
-            Component::Gaia => Some(Capabilities::of(&[
-                Capabilities::VERTEX_LIST_ITER,
-                Capabilities::ADJ_LIST_ITER,
-                Capabilities::PROPERTY,
-            ])),
-            Component::Grape => Some(Capabilities::of(&[
-                Capabilities::VERTEX_LIST_ITER,
-                Capabilities::ADJ_LIST_ITER,
-            ])),
+            Component::HiActor => Some(gs_hiactor::REQUIRED_CAPABILITIES),
+            Component::Gaia => Some(gs_gaia::REQUIRED_CAPABILITIES),
+            Component::Grape => Some(gs_grape::REQUIRED_CAPABILITIES),
             Component::GraphLearn => Some(Capabilities::of(&[
                 Capabilities::VERTEX_LIST_ITER,
                 Capabilities::ADJ_LIST_ITER,
@@ -239,6 +231,18 @@ impl Deployment {
         }
     }
 
+    /// Instantiates the deployment's analytics engine — the GRAPE
+    /// counterpart of [`Deployment::query_engine`]. `None` when GRAPE is
+    /// not part of the selection. `parallelism` sets the fragment/worker
+    /// count.
+    pub fn analytics_engine(&self, parallelism: usize) -> Option<AnalyticsEngine> {
+        self.components
+            .contains(&Component::Grape)
+            .then_some(AnalyticsEngine {
+                fragments: parallelism.max(1),
+            })
+    }
+
     /// Decodes a manifest written by [`Deployment::to_json`].
     pub fn from_json(doc: &Json) -> gs_graph::Result<Self> {
         let components = doc
@@ -280,6 +284,35 @@ pub enum DeployTarget {
     ClusterImage,
 }
 
+/// The deployment-selected analytical engine (GRAPE): loads fragments from
+/// the deployment's GRIN store, so analytics presets actually exercise the
+/// store they were composed with instead of a private edge list.
+pub struct AnalyticsEngine {
+    fragments: usize,
+}
+
+impl AnalyticsEngine {
+    /// Engine name (matches [`gs_ir::QueryEngine::name`]'s convention).
+    pub fn name(&self) -> &'static str {
+        "grape"
+    }
+
+    /// Fragment (worker) count used when loading.
+    pub fn fragments(&self) -> usize {
+        self.fragments
+    }
+
+    /// Loads the projection out of `store` into a [`gs_grape::GrapeEngine`];
+    /// capability validation happens inside the loader.
+    pub fn load(
+        &self,
+        store: &dyn gs_grin::GrinGraph,
+        proj: &gs_grape::GrinProjection,
+    ) -> gs_graph::Result<(gs_grape::GrapeEngine, gs_grape::VertexSpace)> {
+        gs_grape::GrapeEngine::from_grin(store, proj, self.fragments)
+    }
+}
+
 /// Composition errors reported by flexbuild.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BuildError {
@@ -288,9 +321,12 @@ pub enum BuildError {
         needs: Component,
     },
     EngineWithoutStorage(Component),
+    /// No selected storage satisfies the engine; `error` is the structured
+    /// [`GraphError::UnsupportedCapability`] (closest storage's gap) the
+    /// engine itself would raise at execution time.
     EngineUnsatisfied {
         engine: Component,
-        missing: String,
+        error: GraphError,
     },
     EmptySelection,
 }
@@ -304,11 +340,8 @@ impl std::fmt::Display for BuildError {
             BuildError::EngineWithoutStorage(e) => {
                 write!(f, "engine {e:?} has no storage backend selected")
             }
-            BuildError::EngineUnsatisfied { engine, missing } => {
-                write!(
-                    f,
-                    "no selected storage satisfies {engine:?}: needs {missing}"
-                )
+            BuildError::EngineUnsatisfied { engine, error } => {
+                write!(f, "no selected storage satisfies {engine:?}: {error}")
             }
             BuildError::EmptySelection => write!(f, "no components selected"),
         }
@@ -365,7 +398,7 @@ impl FlexBuild {
                 if let Some(missing) = best_missing {
                     return Err(BuildError::EngineUnsatisfied {
                         engine: c,
-                        missing: missing.join("|"),
+                        error: GraphError::UnsupportedCapability { missing },
                     });
                 }
             }
@@ -501,11 +534,36 @@ mod tests {
             DeployTarget::ClusterImage,
         )
         .unwrap_err();
-        let BuildError::EngineUnsatisfied { engine, missing } = &err else {
+        let BuildError::EngineUnsatisfied { engine, error } = &err else {
             panic!("wrong error: {err:?}");
         };
         assert_eq!(*engine, HiActor);
-        assert_eq!(missing, "PROPERTY|INDEX_EXTERNAL_ID");
+        // same structured shape the engine raises at execution time
+        assert_eq!(
+            *error,
+            GraphError::UnsupportedCapability {
+                missing: vec!["PROPERTY".into(), "INDEX_EXTERNAL_ID".into()]
+            }
+        );
+        assert!(err.to_string().contains("PROPERTY|INDEX_EXTERNAL_ID"));
+    }
+
+    #[test]
+    fn analytics_engine_loads_from_the_deployment_store() {
+        let d = FlexBuild::antifraud_analytics_preset().unwrap();
+        let engine = d.analytics_engine(2).expect("preset selects GRAPE");
+        assert_eq!(engine.name(), "grape");
+        assert_eq!(engine.fragments(), 2);
+        // deployments without GRAPE offer no analytics engine
+        let oltp = FlexBuild::fraud_oltp_preset().unwrap();
+        assert!(oltp.analytics_engine(2).is_none());
+
+        let store = gs_grin::graph::mock::MockGraph::new(4, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let (grape, space) = engine
+            .load(&store, &gs_grape::GrinProjection::all())
+            .unwrap();
+        assert_eq!(space.total(), 4);
+        assert_eq!(grape.fragments.len(), 2);
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod snb;
 pub mod social;
 
 pub use cyber::CyberApp;
-pub use equity::{equity_grape, equity_sql, Controllers};
+pub use equity::{equity_grape, equity_grape_over, equity_sql, Controllers};
 pub use flexbuild::{Component, DeployTarget, Deployment, FlexBuild};
 pub use fraud::{FraudApp, FraudConfig};
 pub use social::{train_social, SocialConfig};

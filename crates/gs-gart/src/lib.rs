@@ -598,6 +598,46 @@ impl GrinGraph for GartSnapshot {
         }
     }
 
+    fn scan_adjacency(
+        &self,
+        vlabel: LabelId,
+        elabel: LabelId,
+        dir: Direction,
+        f: &mut gs_grin::AdjScanFn<'_>,
+    ) -> bool {
+        // GART's bulk path: one read-lock acquisition for the whole label
+        // scan over the pooled near-CSR regions, instead of one lock (and
+        // one Vec allocation) per vertex through the iterator fallback.
+        let g = self.store.inner.read();
+        let mut nbrs: Vec<VId> = Vec::new();
+        let mut eids: Vec<gs_grin::EId> = Vec::new();
+        for (i, &cv) in g.vertex_created[vlabel.index()].iter().enumerate() {
+            if cv > self.version {
+                continue;
+            }
+            nbrs.clear();
+            eids.clear();
+            {
+                let mut push = |nbr: VId, eid: gs_grin::EId| {
+                    nbrs.push(nbr);
+                    eids.push(eid);
+                };
+                match dir {
+                    Direction::Out => {
+                        g.adj_out[elabel.index()].for_each(i, self.version, &mut push)
+                    }
+                    Direction::In => g.adj_in[elabel.index()].for_each(i, self.version, &mut push),
+                    Direction::Both => {
+                        g.adj_out[elabel.index()].for_each(i, self.version, &mut push);
+                        g.adj_in[elabel.index()].for_each(i, self.version, &mut push);
+                    }
+                }
+            }
+            f(VId(i as u64), &nbrs, &eids);
+        }
+        true
+    }
+
     fn vertex_property(&self, label: LabelId, v: VId, prop: PropId) -> Value {
         let g = self.store.inner.read();
         let created = &g.vertex_created[label.index()];
@@ -791,6 +831,50 @@ mod tests {
         }
         assert_eq!(scanned, iterated);
         assert_eq!(scanned, 200);
+    }
+
+    #[test]
+    fn scan_adjacency_respects_snapshot_version() {
+        let (s, vl, el) = schema();
+        let store = GartStore::new(s);
+        for i in 0..6 {
+            store.add_vertex(vl, i, vec![Value::Int(0)]).unwrap();
+        }
+        for i in 0..5 {
+            store
+                .add_edge(el, i, i + 1, vec![Value::Float(1.0)])
+                .unwrap();
+        }
+        store.commit();
+        let old = store.snapshot();
+        store.add_vertex(vl, 6, vec![Value::Int(0)]).unwrap();
+        store.add_edge(el, 6, 0, vec![Value::Float(9.0)]).unwrap();
+        store.commit();
+        let new = store.snapshot();
+
+        let collect = |snap: &GartSnapshot, dir| {
+            let mut rows = Vec::new();
+            let bulk = snap.scan_adjacency(vl, el, dir, &mut |v, nbrs, eids| {
+                rows.push((v, nbrs.to_vec(), eids.to_vec()));
+            });
+            assert!(bulk, "GART snapshot must run the pooled single-lock scan");
+            rows
+        };
+        // old snapshot: 6 vertices, 5 edges; new: 7 vertices, 6 edges
+        let old_rows = collect(&old, Direction::Out);
+        assert_eq!(old_rows.len(), 6);
+        assert_eq!(old_rows.iter().map(|(_, n, _)| n.len()).sum::<usize>(), 5);
+        let new_rows = collect(&new, Direction::Out);
+        assert_eq!(new_rows.len(), 7);
+        assert_eq!(new_rows.iter().map(|(_, n, _)| n.len()).sum::<usize>(), 6);
+        // per-vertex agreement with the iterator API, all directions
+        for dir in [Direction::Out, Direction::In, Direction::Both] {
+            for (v, nbrs, eids) in collect(&new, dir) {
+                let expect: Vec<AdjEntry> = new.adjacent(v, vl, el, dir).collect();
+                assert_eq!(nbrs, expect.iter().map(|a| a.nbr).collect::<Vec<_>>());
+                assert_eq!(eids, expect.iter().map(|a| a.edge).collect::<Vec<_>>());
+            }
+        }
     }
 
     #[test]

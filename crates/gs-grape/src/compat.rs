@@ -45,6 +45,26 @@ pub mod networkx {
             }
         }
 
+        /// Undirected graph over any GRIN store (all labels, symmetrized).
+        pub fn from_grin(graph: &dyn gs_grin::GrinGraph, workers: usize) -> gs_graph::Result<Self> {
+            let (engine, _) = GrapeEngine::from_grin(
+                graph,
+                &crate::loader::GrinProjection::all().symmetrized(),
+                workers,
+            )?;
+            Ok(Self { engine })
+        }
+
+        /// Directed graph over any GRIN store.
+        pub fn from_grin_directed(
+            graph: &dyn gs_grin::GrinGraph,
+            workers: usize,
+        ) -> gs_graph::Result<Self> {
+            let (engine, _) =
+                GrapeEngine::from_grin(graph, &crate::loader::GrinProjection::all(), workers)?;
+            Ok(Self { engine })
+        }
+
         /// `nx.pagerank(G, alpha)`.
         pub fn pagerank(&self, alpha: f64, max_iter: usize) -> Vec<f64> {
             crate::algorithms::pagerank(&self.engine, alpha, max_iter)
@@ -103,6 +123,24 @@ pub mod graphx {
                 engine: GrapeEngine::from_weighted_edges(vertices.len(), &pairs, weights, workers),
                 vertices,
             }
+        }
+
+        /// `Graph(vertices, edges)` over any GRIN store: topology (and an
+        /// optional `f64` edge-weight property) come from the store, vertex
+        /// attributes from `init` (called with each flattened global id).
+        pub fn from_grin(
+            graph: &dyn gs_grin::GrinGraph,
+            weight_property: Option<&str>,
+            workers: usize,
+            init: impl Fn(u64) -> V,
+        ) -> gs_graph::Result<Self> {
+            let proj = crate::loader::GrinProjection {
+                weight_property: weight_property.map(str::to_string),
+                ..Default::default()
+            };
+            let (engine, space) = GrapeEngine::from_grin(graph, &proj, workers)?;
+            let vertices = (0..space.total() as u64).map(init).collect();
+            Ok(Self { engine, vertices })
         }
 
         /// `graph.vertices`.
@@ -308,11 +346,90 @@ pub mod giraph {
     ) -> Vec<C::VertexValue> {
         run_pregel(engine, &Adapter(computation), max_supersteps)
     }
+
+    /// `GiraphRunner.run(computation)` straight over a GRIN store — builds
+    /// the fragments from the store, then runs the computation.
+    pub fn run_from_grin<C: BasicComputation>(
+        graph: &dyn gs_grin::GrinGraph,
+        computation: &C,
+        max_supersteps: usize,
+        workers: usize,
+    ) -> gs_graph::Result<Vec<C::VertexValue>> {
+        let (engine, _) =
+            GrapeEngine::from_grin(graph, &crate::loader::GrinProjection::all(), workers)?;
+        Ok(run(&engine, computation, max_supersteps))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gs_grin::graph::mock::MockGraph;
+
+    #[test]
+    fn networkx_from_grin_matches_edge_list_construction() {
+        let triples: Vec<(u64, u64, f64)> = vec![
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 0, 1.0),
+            (1, 3, 1.0),
+        ];
+        let store = MockGraph::new(5, &triples);
+        let pairs: Vec<(u64, u64)> = triples.iter().map(|&(s, d, _)| (s, d)).collect();
+        let from_list = networkx::Graph::new(5, &pairs, 2);
+        let from_store = networkx::Graph::from_grin(&store, 2).unwrap();
+        assert_eq!(
+            from_list.connected_components(),
+            from_store.connected_components()
+        );
+        assert_eq!(from_list.pagerank(0.85, 10), from_store.pagerank(0.85, 10));
+        let directed = networkx::Graph::from_grin_directed(&store, 2).unwrap();
+        assert_eq!(directed.shortest_path_length(0)[2], Some(2));
+    }
+
+    #[test]
+    fn graphx_from_grin_reads_weights_from_store() {
+        let store = MockGraph::new(3, &[(0, 1, 0.5), (1, 2, 0.25)]);
+        let mut g =
+            graphx::PropertyGraph::from_grin(&store, Some("weight"), 1, |_| 1.0f64).unwrap();
+        let msgs = g.aggregate_messages::<f64>(|t| Some(t.src_attr * t.weight), |a, b| a + b);
+        g.join_vertices(msgs, |_, v, m| v + m);
+        assert_eq!(g.vertices(), &[1.0, 1.5, 1.25]);
+    }
+
+    #[test]
+    fn giraph_run_from_grin_matches_engine_run() {
+        struct MinId;
+        impl giraph::BasicComputation for MinId {
+            type VertexValue = u64;
+            type Message = u64;
+            fn initial_value(&self, id: u64) -> u64 {
+                id
+            }
+            fn compute(
+                &self,
+                vertex: &mut giraph::GiraphVertex<'_, '_, u64, u64>,
+                messages: &[u64],
+            ) {
+                let mut best = *vertex.value();
+                for &m in messages {
+                    best = best.min(m);
+                }
+                if vertex.superstep == 0 || best < *vertex.value() {
+                    vertex.set_value(best);
+                    vertex.send_message_to_all_edges(best);
+                }
+                vertex.vote_to_halt();
+            }
+        }
+        let triples: Vec<(u64, u64, f64)> = (0..6u64)
+            .flat_map(|i| [(i, (i + 1) % 6, 1.0), ((i + 1) % 6, i, 1.0)])
+            .collect();
+        let store = MockGraph::new(6, &triples);
+        let values = giraph::run_from_grin(&store, &MinId, 50, 2).unwrap();
+        assert!(values.iter().all(|&v| v == 0), "{values:?}");
+    }
 
     #[test]
     fn networkx_facade_matches_algorithms() {

@@ -7,7 +7,7 @@
 //! "highly optimized core operators for fragment management" rely on.
 
 use gs_graph::csr::Csr;
-use gs_graph::partition::{EdgeCutPartitioner, FragmentSpec, PartitionId};
+use gs_graph::partition::{EdgeCutPartitioner, PartitionId};
 use gs_graph::VId;
 use std::collections::HashMap;
 
@@ -40,66 +40,105 @@ impl Fragment {
     }
 
     /// Partitions with optional per-edge weights (parallel to `edges`).
+    ///
+    /// Routing is a single sequential pass (inner vertices in ascending
+    /// global order, edges and their weights in global order, keyed by the
+    /// source's owner); the per-fragment CSR/CSC construction then runs in
+    /// parallel, one thread per fragment.
     pub fn partition_weighted(
         n: usize,
         edges: &[(VId, VId)],
         weights: Option<&[f64]>,
         k: usize,
     ) -> Vec<Fragment> {
-        let specs = FragmentSpec::partition(n, edges, k);
         let router = EdgeCutPartitioner::new(k);
-        // weights must follow their edge through the per-fragment split
-        let mut weight_of: HashMap<(VId, VId), Vec<f64>> = HashMap::new();
-        if let Some(ws) = weights {
-            for (&e, &w) in edges.iter().zip(ws) {
-                weight_of.entry(e).or_default().push(w);
+        let mut inner: Vec<Vec<VId>> = vec![Vec::new(); k];
+        for v in 0..n as u64 {
+            inner[router.owner(VId(v)).index()].push(VId(v));
+        }
+        let mut frag_edges: Vec<Vec<(VId, VId)>> = vec![Vec::new(); k];
+        let mut frag_weights: Vec<Vec<f64>> = vec![Vec::new(); k];
+        for (i, &(s, d)) in edges.iter().enumerate() {
+            let f = router.owner(s).index();
+            frag_edges[f].push((s, d));
+            if let Some(ws) = weights {
+                frag_weights[f].push(ws[i]);
             }
         }
-        specs
+        // one fragment's routed share: (index, owned vertices, edges, weights)
+        type RoutedShare = (usize, Vec<VId>, Vec<(VId, VId)>, Option<Vec<f64>>);
+        let mut parts: Vec<RoutedShare> = inner
             .into_iter()
-            .map(|spec| {
-                let mut l2g: Vec<VId> = spec.inner.clone();
-                l2g.extend(spec.outer.iter().copied());
-                let g2l: HashMap<VId, u32> = l2g
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &g)| (g, i as u32))
-                    .collect();
-                let local_edges: Vec<(VId, VId)> = spec
-                    .edges
-                    .iter()
-                    .map(|&(s, d)| (VId(g2l[&s] as u64), VId(g2l[&d] as u64)))
-                    .collect();
-                let out = Csr::from_edges(l2g.len(), &local_edges);
-                let inn = out.transpose();
-                // weights in CSR edge-id order: edge id i = i-th pushed edge
-                let w = if weights.is_some() {
-                    let mut per_edge = vec![0.0; local_edges.len()];
-                    let mut pools = weight_of.clone();
-                    // replay: visit edges in CSR edge-id order (push order ==
-                    // spec.edges order)
-                    for (i, &(s, d)) in spec.edges.iter().enumerate() {
-                        let pool = pools.get_mut(&(s, d)).expect("weight pool");
-                        per_edge[i] = pool.pop().expect("weight");
-                    }
-                    Some(per_edge)
-                } else {
-                    None
-                };
-                Fragment {
-                    id: spec.id,
-                    total_fragments: k,
-                    global_n: n,
-                    router,
-                    l2g,
-                    g2l,
-                    inner_count: spec.inner.len(),
-                    out,
-                    inn,
-                    weights: w,
+            .zip(frag_edges)
+            .zip(frag_weights)
+            .enumerate()
+            .map(|(i, ((inn, e), w))| (i, inn, e, weights.is_some().then_some(w)))
+            .collect();
+        let mut frags: Vec<Option<Fragment>> = (0..k).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(k);
+            for (i, inn, e, w) in parts.drain(..) {
+                handles.push(
+                    scope.spawn(move |_| Self::build(PartitionId(i as u32), router, n, inn, &e, w)),
+                );
+            }
+            for (slot, h) in frags.iter_mut().zip(handles) {
+                *slot = Some(h.join().expect("fragment build panicked"));
+            }
+        })
+        .expect("fragment build scope");
+        frags.into_iter().map(|f| f.unwrap()).collect()
+    }
+
+    /// Builds one fragment from its routed share: owned vertices (ascending
+    /// global order), edges sourced at them (global order), and weights
+    /// parallel to those edges.
+    fn build(
+        id: PartitionId,
+        router: EdgeCutPartitioner,
+        n: usize,
+        inner: Vec<VId>,
+        edges: &[(VId, VId)],
+        weights: Option<Vec<f64>>,
+    ) -> Fragment {
+        let mut outer: Vec<VId> = Vec::new();
+        {
+            let mut seen = std::collections::HashSet::new();
+            for &(_, d) in edges {
+                if router.owner(d) != id && seen.insert(d) {
+                    outer.push(d);
                 }
-            })
-            .collect()
+            }
+        }
+        outer.sort_unstable();
+        let inner_count = inner.len();
+        let mut l2g = inner;
+        l2g.extend(outer);
+        let g2l: HashMap<VId, u32> = l2g
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, i as u32))
+            .collect();
+        let local_edges: Vec<(VId, VId)> = edges
+            .iter()
+            .map(|&(s, d)| (VId(g2l[&s] as u64), VId(g2l[&d] as u64)))
+            .collect();
+        // Csr::from_edges assigns edge id i to the i-th pushed pair, so the
+        // routed weight vector is already in edge-id order.
+        let out = Csr::from_edges(l2g.len(), &local_edges);
+        let inn = out.transpose();
+        Fragment {
+            id,
+            total_fragments: router.partition_count(),
+            global_n: n,
+            router,
+            l2g,
+            g2l,
+            inner_count,
+            out,
+            inn,
+            weights,
+        }
     }
 
     /// Local id of a global vertex, if present on this fragment.
@@ -217,6 +256,34 @@ mod tests {
         }
         seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(seen, weights);
+    }
+
+    #[test]
+    fn weights_align_exactly_even_with_parallel_edges() {
+        // duplicate (0,1) edges with distinct weights: alignment must follow
+        // the global edge order, not a multiset match
+        let edges = vec![
+            (VId(0), VId(1)),
+            (VId(0), VId(1)),
+            (VId(1), VId(0)),
+            (VId(2), VId(1)),
+        ];
+        let weights = vec![10.0, 20.0, 30.0, 40.0];
+        let frags = Fragment::partition_weighted(3, &edges, Some(&weights), 2);
+        let mut recovered: Vec<(u64, u64, f64)> = Vec::new();
+        for f in &frags {
+            let ws = f.weights.as_ref().unwrap();
+            for l in 0..f.inner_count as u32 {
+                for (&nbr, &eid) in f.out_neighbors(l).iter().zip(f.out_edge_ids(l)) {
+                    recovered.push((f.global(l).0, f.global(nbr.0 as u32).0, ws[eid.index()]));
+                }
+            }
+        }
+        recovered.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(
+            recovered,
+            vec![(0, 1, 10.0), (0, 1, 20.0), (1, 0, 30.0), (2, 1, 40.0)]
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod flash;
 pub mod fragment;
 pub mod gpu;
 pub mod ingress;
+pub mod loader;
 pub mod messages;
 pub mod pie;
 
@@ -33,5 +34,6 @@ pub use flash::{run_flash, FlashContext, VertexSubset};
 pub use fragment::Fragment;
 pub use gpu::{bfs_gpu, pagerank_gpu, Device, GpuCluster};
 pub use ingress::IncrementalPageRank;
+pub use loader::{load_fragments, GrinProjection, VertexSpace, REQUIRED_CAPABILITIES};
 pub use messages::{MessageBlock, OutBuffers, Payload};
 pub use pie::{run_pie, PieContext, PieProgram};

@@ -147,6 +147,29 @@ mod tests {
     }
 
     #[test]
+    fn bulk_scan_matches_per_vertex_adjacency() {
+        let data = sample();
+        let dir = tmpdir("scan");
+        write_archive(&dir, &data).unwrap();
+        let store = GraphArStore::open(&dir).unwrap();
+        for dir_ in [Direction::Out, Direction::In] {
+            let mut rows = Vec::new();
+            let bulk = store.scan_adjacency(LabelId(0), LabelId(0), dir_, &mut |v, nbrs, eids| {
+                rows.push((v, nbrs.to_vec(), eids.to_vec()));
+            });
+            assert!(bulk, "archive scan must use the chunk-granular path");
+            assert_eq!(rows.len(), 2000);
+            // spot-check every 97th vertex against the iterator API
+            for (v, nbrs, eids) in rows.into_iter().step_by(97) {
+                let expect: Vec<_> = store.adjacent(v, LabelId(0), LabelId(0), dir_).collect();
+                assert_eq!(nbrs, expect.iter().map(|a| a.nbr).collect::<Vec<_>>());
+                assert_eq!(eids, expect.iter().map(|a| a.edge).collect::<Vec<_>>());
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn csv_round_trip() {
         let data = sample();
         let dir = tmpdir("csv");

@@ -151,6 +151,54 @@ impl GrinGraph for GraphArStore {
         Box::new(entries.into_iter())
     }
 
+    fn scan_adjacency(
+        &self,
+        vlabel: LabelId,
+        elabel: LabelId,
+        dir: Direction,
+        f: &mut gs_grin::AdjScanFn<'_>,
+    ) -> bool {
+        // Chunk-granular bulk path: decode each offsets/targets/eids chunk
+        // once per scan instead of three clone-outs per vertex through
+        // `adjacency`. Still O(working set): one chunk triple is resident
+        // at a time.
+        let prefix = match dir {
+            Direction::Out => "out",
+            Direction::In => "in",
+            Direction::Both => return gs_grin::scan_via_iterators(self, vlabel, elabel, dir, f),
+        };
+        let n = self.vertex_count(vlabel);
+        let base = format!("edge/l{}/{prefix}", elabel.index());
+        let nchunks = n.div_ceil(self.meta.vertex_chunk).max(1);
+        for k in 0..nchunks {
+            let offs = self.u64s(format!("{base}_offsets"), k);
+            let nbrs: Vec<VId> = self
+                .u64s(format!("{base}_targets"), k)
+                .into_iter()
+                .map(VId)
+                .collect();
+            let eids: Vec<gs_grin::EId> = self
+                .u64s(format!("{base}_eids"), k)
+                .into_iter()
+                .map(gs_grin::EId)
+                .collect();
+            for local in 0..self.meta.vertex_chunk {
+                let v = k * self.meta.vertex_chunk + local;
+                if v >= n {
+                    break;
+                }
+                if local + 1 < offs.len() {
+                    let hi = (offs[local + 1] as usize).min(nbrs.len()).min(eids.len());
+                    let lo = (offs[local] as usize).min(hi);
+                    f(VId(v as u64), &nbrs[lo..hi], &eids[lo..hi]);
+                } else {
+                    f(VId(v as u64), &[], &[]);
+                }
+            }
+        }
+        true
+    }
+
     fn vertex_property(&self, label: LabelId, v: VId, prop: PropId) -> Value {
         let k = v.index() / self.meta.vertex_chunk;
         let local = v.index() % self.meta.vertex_chunk;

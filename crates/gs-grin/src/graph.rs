@@ -47,6 +47,10 @@ impl VertexRef {
     }
 }
 
+/// Callback fed by [`GrinGraph::scan_adjacency`]: one `(vertex, neighbors,
+/// edge_ids)` row per vertex, with `neighbors[i]` reached via `edge_ids[i]`.
+pub type AdjScanFn<'a> = dyn FnMut(VId, &[VId], &[EId]) + 'a;
+
 /// Partition metadata (GRIN's partition category): which partition this
 /// graph handle represents and how vertices map to partitions.
 #[derive(Clone, Debug)]
@@ -126,6 +130,37 @@ pub trait GrinGraph: Send + Sync {
         self.adjacent(v, vlabel, elabel, dir).count()
     }
 
+    /// Dense internal-id range of a label — the array-like vertex list.
+    /// `Some(0..n)` when internal ids form a contiguous domain the caller
+    /// may index directly; backends lacking
+    /// [`Capabilities::VERTEX_LIST_ARRAY`] (or whose visible set at a
+    /// snapshot is not the full id domain) return `None` and callers fall
+    /// back to [`GrinGraph::vertices`].
+    fn vertex_range(&self, _label: LabelId) -> Option<std::ops::Range<u64>> {
+        None
+    }
+
+    /// Whole-label bulk adjacency visitation: calls `f(v, neighbors,
+    /// edge_ids)` exactly once per vertex of `vlabel` (in ascending
+    /// internal-id order, skipping vertices not visible to this handle).
+    ///
+    /// Returns `true` when the scan was served by a backend fast path —
+    /// [`Capabilities::ADJ_LIST_ARRAY`]-style slice access or a
+    /// single-lock/chunk-granular pooled scan — and `false` when the
+    /// default iterator fallback ran. Either way the callback observes
+    /// identical data; the flag only tells engines (and telemetry) which
+    /// path fed them. This is the bulk trait GRAPE's fragment loader is
+    /// built on.
+    fn scan_adjacency(
+        &self,
+        vlabel: LabelId,
+        elabel: LabelId,
+        dir: Direction,
+        f: &mut AdjScanFn<'_>,
+    ) -> bool {
+        scan_via_iterators(self, vlabel, elabel, dir, f)
+    }
+
     // ---------------- property ----------------
 
     /// A vertex property value ([`Value::Null`] when absent).
@@ -195,6 +230,35 @@ pub trait GrinGraph: Send + Sync {
     }
 }
 
+/// Iterator-based fallback behind [`GrinGraph::scan_adjacency`]: visits
+/// every vertex of `vlabel` via [`GrinGraph::vertices`], drains its
+/// adjacency through [`GrinGraph::for_each_adjacent`] into scratch buffers,
+/// and hands the buffers to `f`. Always returns `false` (no fast path).
+///
+/// Backend overrides call this for directions their arrays cannot serve
+/// (e.g. `Direction::Both`); it is generic rather than a default-method
+/// body so those overrides can reuse it on `Self` directly.
+pub fn scan_via_iterators<G: GrinGraph + ?Sized>(
+    g: &G,
+    vlabel: LabelId,
+    elabel: LabelId,
+    dir: Direction,
+    f: &mut AdjScanFn<'_>,
+) -> bool {
+    let mut nbrs: Vec<VId> = Vec::new();
+    let mut eids: Vec<EId> = Vec::new();
+    for v in g.vertices(vlabel) {
+        nbrs.clear();
+        eids.clear();
+        g.for_each_adjacent(v, vlabel, elabel, dir, &mut |a| {
+            nbrs.push(a.nbr);
+            eids.push(a.edge);
+        });
+        f(v, &nbrs, &eids);
+    }
+    false
+}
+
 /// A tiny in-memory GRIN implementation used by unit tests across the
 /// workspace (not a real backend — Vineyard/GART/GraphAr are those).
 pub mod mock {
@@ -212,9 +276,23 @@ pub mod mock {
         in_: Csr,
         vertex_tags: Vec<i64>,
         edge_weights: Vec<f64>,
+        /// When set, the mock withholds its array-like traits (capabilities,
+        /// slices, ranges) and serves everything through iterators — lets
+        /// tests prove iterator fallbacks against a backend that genuinely
+        /// refuses array access.
+        iter_only: bool,
     }
 
     impl MockGraph {
+        /// Builds a mock that advertises only iterator capabilities (no
+        /// `VERTEX_LIST_ARRAY`/`ADJ_LIST_ARRAY`), for exercising fallback
+        /// paths.
+        pub fn new_iter_only(n: usize, edges: &[(u64, u64, f64)]) -> Self {
+            let mut g = Self::new(n, edges);
+            g.iter_only = true;
+            g
+        }
+
         /// Builds a mock from `n` vertices and (src, dst, weight) triples.
         pub fn new(n: usize, edges: &[(u64, u64, f64)]) -> Self {
             let mut schema = GraphSchema::new();
@@ -245,6 +323,7 @@ pub mod mock {
                 in_,
                 vertex_tags: vec![0; n],
                 edge_weights,
+                iter_only: false,
             }
         }
 
@@ -256,6 +335,16 @@ pub mod mock {
 
     impl GrinGraph for MockGraph {
         fn capabilities(&self) -> Capabilities {
+            if self.iter_only {
+                return Capabilities::of(&[
+                    Capabilities::VERTEX_LIST_ITER,
+                    Capabilities::ADJ_LIST_ITER,
+                    Capabilities::IN_ADJACENCY,
+                    Capabilities::PROPERTY,
+                    Capabilities::INDEX_INTERNAL_ID,
+                    Capabilities::INDEX_EXTERNAL_ID,
+                ]);
+            }
             Capabilities::of(&[
                 Capabilities::VERTEX_LIST_ITER,
                 Capabilities::VERTEX_LIST_ARRAY,
@@ -264,6 +353,7 @@ pub mod mock {
                 Capabilities::IN_ADJACENCY,
                 Capabilities::PROPERTY,
                 Capabilities::INDEX_INTERNAL_ID,
+                Capabilities::INDEX_EXTERNAL_ID,
             ])
         }
 
@@ -309,11 +399,44 @@ pub mod mock {
             _elabel: LabelId,
             dir: Direction,
         ) -> Option<(&[VId], &[EId])> {
+            if self.iter_only {
+                return None;
+            }
             match dir {
                 Direction::Out => Some((self.out.neighbors(v), self.out.edge_ids(v))),
                 Direction::In => Some((self.in_.neighbors(v), self.in_.edge_ids(v))),
                 Direction::Both => None,
             }
+        }
+
+        fn vertex_range(&self, _label: LabelId) -> Option<std::ops::Range<u64>> {
+            if self.iter_only {
+                None
+            } else {
+                Some(0..self.out.vertex_count() as u64)
+            }
+        }
+
+        fn scan_adjacency(
+            &self,
+            vlabel: LabelId,
+            elabel: LabelId,
+            dir: Direction,
+            f: &mut AdjScanFn<'_>,
+        ) -> bool {
+            if self.iter_only || dir == Direction::Both {
+                return scan_via_iterators(self, vlabel, elabel, dir, f);
+            }
+            let csr = match dir {
+                Direction::Out => &self.out,
+                Direction::In => &self.in_,
+                Direction::Both => unreachable!(),
+            };
+            for v in 0..csr.vertex_count() as u64 {
+                let v = VId(v);
+                f(v, csr.neighbors(v), csr.edge_ids(v));
+            }
+            true
         }
 
         fn degree(&self, v: VId, _vl: LabelId, _el: LabelId, dir: Direction) -> usize {
@@ -466,5 +589,49 @@ mod tests {
             .capabilities()
             .supports(Capabilities::ADJ_LIST_ARRAY | Capabilities::IN_ADJACENCY));
         assert!(!g.capabilities().supports(Capabilities::MVCC));
+    }
+
+    #[test]
+    fn iter_only_mock_withholds_array_traits() {
+        let g = MockGraph::new_iter_only(4, &[(0, 1, 1.0), (0, 2, 2.0), (1, 3, 3.0)]);
+        assert!(!g.capabilities().supports(Capabilities::ADJ_LIST_ARRAY));
+        assert!(!g.capabilities().supports(Capabilities::VERTEX_LIST_ARRAY));
+        assert!(g.capabilities().supports(Capabilities::ADJ_LIST_ITER));
+        assert!(g.adjacent_slice(VId(0), L, L, Direction::Out).is_none());
+        assert!(g.vertex_range(L).is_none());
+    }
+
+    type ScanRow = (VId, Vec<VId>, Vec<EId>);
+
+    fn collect_scan(g: &dyn GrinGraph, dir: Direction) -> (bool, Vec<ScanRow>) {
+        let mut rows = Vec::new();
+        let bulk = g.scan_adjacency(L, L, dir, &mut |v, nbrs, eids| {
+            rows.push((v, nbrs.to_vec(), eids.to_vec()));
+        });
+        (bulk, rows)
+    }
+
+    #[test]
+    fn scan_adjacency_bulk_and_fallback_agree() {
+        let edges = [(0, 1, 1.0), (0, 2, 2.0), (1, 3, 3.0), (2, 3, 4.0)];
+        let bulk_graph = MockGraph::new(4, &edges);
+        let iter_graph = MockGraph::new_iter_only(4, &edges);
+        for dir in [Direction::Out, Direction::In, Direction::Both] {
+            let (fast, rows_fast) = collect_scan(&bulk_graph, dir);
+            let (slow, rows_slow) = collect_scan(&iter_graph, dir);
+            assert_eq!(fast, dir != Direction::Both, "dir {dir:?}");
+            assert!(!slow, "iter-only mock must use the fallback");
+            assert_eq!(rows_fast, rows_slow, "dir {dir:?}");
+        }
+    }
+
+    #[test]
+    fn scan_adjacency_visits_every_vertex_once() {
+        let g = diamond();
+        let (_, rows) = collect_scan(&g, Direction::Out);
+        let visited: Vec<VId> = rows.iter().map(|(v, _, _)| *v).collect();
+        assert_eq!(visited, vec![VId(0), VId(1), VId(2), VId(3)]);
+        let total_edges: usize = rows.iter().map(|(_, n, _)| n.len()).sum();
+        assert_eq!(total_edges, g.edge_count(L));
     }
 }

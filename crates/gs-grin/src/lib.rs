@@ -18,7 +18,9 @@ pub mod graph;
 pub mod predicate;
 
 pub use capability::Capabilities;
-pub use graph::{AdjEntry, Direction, GrinGraph, PartitionInfo, VertexRef};
+pub use graph::{
+    scan_via_iterators, AdjEntry, AdjScanFn, Direction, GrinGraph, PartitionInfo, VertexRef,
+};
 pub use predicate::{CmpOp, EdgePredicate, PropPredicate};
 
 // Re-export the substrate so engine crates can depend on gs-grin alone.

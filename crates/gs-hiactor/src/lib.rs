@@ -119,6 +119,15 @@ impl Drop for HiActorRuntime {
     }
 }
 
+/// The GRIN capabilities HiActor requires from a store: iterator access
+/// plus properties, and external-id lookup so parameterized procedures can
+/// seed traversals from user-supplied ids. Validated at
+/// [`gs_ir::QueryEngine::execute`], mirroring Gaia.
+pub const REQUIRED_CAPABILITIES: gs_grin::Capabilities = gs_grin::Capabilities::VERTEX_LIST_ITER
+    .union(gs_grin::Capabilities::ADJ_LIST_ITER)
+    .union(gs_grin::Capabilities::PROPERTY)
+    .union(gs_grin::Capabilities::INDEX_EXTERNAL_ID);
+
 /// A stored procedure: parameters in, records out.
 pub type Procedure =
     Arc<dyn Fn(&HashMap<String, Value>) -> Result<Vec<Record>> + Send + Sync + 'static>;
@@ -201,6 +210,7 @@ impl gs_ir::QueryEngine for QueryService {
     /// occupies exactly one shard — HiActor's OLTP contract), blocking
     /// until the shard replies.
     fn execute(&self, plan: &PhysicalPlan, graph: &dyn GrinGraph) -> Result<Vec<Record>> {
+        graph.capabilities().require(REQUIRED_CAPABILITIES)?;
         // `submit` needs a 'static closure but `graph` is a borrow. Erase
         // the lifetime behind a Send-able raw pointer: sound because we
         // block on `recv()` below, so `graph` outlives every use — the

@@ -297,6 +297,33 @@ impl GrinGraph for VineyardGraph {
         Some((csr.neighbors(v), csr.edge_ids(v)))
     }
 
+    fn vertex_range(&self, label: LabelId) -> Option<std::ops::Range<u64>> {
+        Some(0..self.vertex_count(label) as u64)
+    }
+
+    fn scan_adjacency(
+        &self,
+        vlabel: LabelId,
+        elabel: LabelId,
+        dir: Direction,
+        f: &mut gs_grin::AdjScanFn<'_>,
+    ) -> bool {
+        let csr = match dir {
+            Direction::Out => &self.out_csr[elabel.index()],
+            Direction::In => &self.in_csr[elabel.index()],
+            Direction::Both => return gs_grin::scan_via_iterators(self, vlabel, elabel, dir, f),
+        };
+        for v in 0..self.vertex_count(vlabel) as u64 {
+            let v = VId(v);
+            if v.index() < csr.vertex_count() {
+                f(v, csr.neighbors(v), csr.edge_ids(v));
+            } else {
+                f(v, &[], &[]);
+            }
+        }
+        true
+    }
+
     fn degree(&self, v: VId, _vl: LabelId, elabel: LabelId, dir: Direction) -> usize {
         let out = &self.out_csr[elabel.index()];
         let inn = &self.in_csr[elabel.index()];
@@ -486,6 +513,24 @@ mod tests {
             .collect();
         assert_eq!(native, grin);
         assert_eq!(g.out_degree(buy, a1), 2);
+    }
+
+    #[test]
+    fn bulk_scan_matches_per_vertex_adjacency() {
+        let (data, buyer, _, buy, _) = buyers_graph();
+        let g = VineyardGraph::build(&data).unwrap();
+        let mut rows = Vec::new();
+        let bulk = g.scan_adjacency(buyer, buy, Direction::Out, &mut |v, nbrs, eids| {
+            rows.push((v, nbrs.to_vec(), eids.to_vec()));
+        });
+        assert!(bulk, "Vineyard must serve the array fast path");
+        assert_eq!(rows.len(), g.vertex_count(buyer));
+        for (v, nbrs, eids) in rows {
+            let expect: Vec<AdjEntry> = g.adjacent(v, buyer, buy, Direction::Out).collect();
+            assert_eq!(nbrs, expect.iter().map(|a| a.nbr).collect::<Vec<_>>());
+            assert_eq!(eids, expect.iter().map(|a| a.edge).collect::<Vec<_>>());
+        }
+        assert_eq!(g.vertex_range(buyer), Some(0..2));
     }
 
     #[test]

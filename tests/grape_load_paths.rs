@@ -1,0 +1,67 @@
+//! Loader telemetry: backends that serve bulk adjacency must load through
+//! the bulk path, and iterator-only backends through the fallback — proven
+//! by the `grape.load.*` counters.
+//!
+//! Lives in its own integration-test binary because the telemetry registry
+//! is process-global; the single test runs both phases sequentially.
+
+use gs_grape::{GrapeEngine, GrinProjection};
+use gs_graph::data::PropertyGraphData;
+use gs_grin::graph::mock::MockGraph;
+use gs_vineyard::VineyardGraph;
+
+#[test]
+fn loader_telemetry_distinguishes_bulk_from_iterator_paths() {
+    let n = 50usize;
+    let edges: Vec<(u64, u64)> = (0..n as u64).map(|v| (v, (v * 7 + 1) % n as u64)).collect();
+    let registry = gs_telemetry::Registry::new();
+    gs_telemetry::install(registry.clone());
+
+    // phase 1 — Vineyard advertises ADJ_LIST_ARRAY: the load must go bulk
+    let data = PropertyGraphData::from_edge_list(n, &edges);
+    let store = VineyardGraph::build(&data).unwrap();
+    let (engine, _) = GrapeEngine::from_grin(&store, &GrinProjection::all(), 3).unwrap();
+    assert!(
+        registry.counter_value("grape.load.adjacency_scans{path=bulk}") >= 1,
+        "vineyard load must take the bulk adjacency path"
+    );
+    assert_eq!(
+        registry.counter_value("grape.load.adjacency_scans{path=iter}"),
+        0,
+        "vineyard load must not fall back to iterators"
+    );
+    assert!(registry.counter_value("grape.load.vertex_scans{path=array}") >= 1);
+    assert_eq!(
+        registry.counter_value("grape.load.edges"),
+        edges.len() as u64
+    );
+    // per-fragment edge counters cover every routed edge
+    let per_fragment: u64 = (0..3)
+        .map(|f| registry.counter_value(&format!("grape.load.fragment_edges{{frag={f}}}")))
+        .sum();
+    assert_eq!(per_fragment, edges.len() as u64);
+    assert!(
+        registry.span_names().iter().any(|s| s == "grape.load"),
+        "load span missing: {:?}",
+        registry.span_names()
+    );
+    drop(engine);
+
+    // phase 2 — an iterator-only store must take the fallback path
+    registry.reset();
+    let triples: Vec<(u64, u64, f64)> = edges.iter().map(|&(s, d)| (s, d, 1.0)).collect();
+    let slow = MockGraph::new_iter_only(n, &triples);
+    let (_, _) = GrapeEngine::from_grin(&slow, &GrinProjection::all(), 3).unwrap();
+    assert!(
+        registry.counter_value("grape.load.adjacency_scans{path=iter}") >= 1,
+        "iterator-only load must take the fallback path"
+    );
+    assert_eq!(
+        registry.counter_value("grape.load.adjacency_scans{path=bulk}"),
+        0,
+        "iterator-only store has no bulk path"
+    );
+    assert!(registry.counter_value("grape.load.vertex_scans{path=iter}") >= 1);
+
+    gs_telemetry::uninstall();
+}

@@ -1,0 +1,198 @@
+//! Cross-backend analytical equivalence (the GRIN→GRAPE loader contract):
+//! fragments loaded through GRIN from *any* storage backend — Mock (array
+//! and iterator-only), Vineyard, GART, GraphAr — must yield the same
+//! PageRank/BFS/WCC results as a direct edge-list load.
+
+use gs_gart::GartStore;
+use gs_grape::{algorithms, GrapeEngine, GrinProjection};
+use gs_graph::data::PropertyGraphData;
+use gs_graph::VId;
+use gs_grin::graph::mock::MockGraph;
+use gs_grin::GrinGraph;
+use gs_vineyard::VineyardGraph;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random digraph (xorshift; no RNG dependency so the
+/// fixture is identical on every platform).
+fn random_edges(n: u64, m: usize, seed: u64) -> Vec<(u64, u64)> {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    (0..m).map(|_| (next() % n, next() % n)).collect()
+}
+
+fn to_vids(edges: &[(u64, u64)]) -> Vec<(VId, VId)> {
+    edges.iter().map(|&(s, d)| (VId(s), VId(d))).collect()
+}
+
+fn close(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-12)
+}
+
+/// Asserts the GRIN-loaded engine agrees with the edge-list-loaded baseline
+/// on PageRank, BFS, and (over the symmetrized projection) WCC.
+fn assert_backend_matches_baseline(
+    name: &str,
+    store: &dyn GrinGraph,
+    n: usize,
+    edges: &[(u64, u64)],
+    k: usize,
+) {
+    let pairs = to_vids(edges);
+    let baseline = GrapeEngine::from_edges(n, &pairs, k);
+    let (engine, space) = GrapeEngine::from_grin(store, &GrinProjection::all(), k).unwrap();
+    assert_eq!(space.total(), n, "{name}: vertex space size");
+
+    let pr = algorithms::pagerank(&engine, 0.85, 20);
+    let pr_base = algorithms::pagerank(&baseline, 0.85, 20);
+    assert!(close(&pr, &pr_base), "{name}: pagerank diverges");
+
+    assert_eq!(
+        algorithms::bfs(&engine, VId(0)),
+        algorithms::bfs(&baseline, VId(0)),
+        "{name}: bfs diverges"
+    );
+
+    let (sym, _) = GrapeEngine::from_grin(store, &GrinProjection::all().symmetrized(), k).unwrap();
+    let mut und = pairs.clone();
+    und.extend(pairs.iter().map(|&(s, d)| (d, s)));
+    let sym_base = GrapeEngine::from_edges(n, &und, k);
+    assert_eq!(
+        algorithms::wcc(&sym),
+        algorithms::wcc(&sym_base),
+        "{name}: wcc diverges"
+    );
+}
+
+#[test]
+fn every_backend_loads_equivalent_fragments() {
+    let n = 120usize;
+    let edges = random_edges(n as u64, 600, 42);
+    let triples: Vec<(u64, u64, f64)> = edges.iter().map(|&(s, d)| (s, d, 1.0)).collect();
+    let data = PropertyGraphData::from_edge_list(n, &edges);
+
+    let mock = MockGraph::new(n, &triples);
+    let mock_iter = MockGraph::new_iter_only(n, &triples);
+    let vineyard = VineyardGraph::build(&data).unwrap();
+    let gart = GartStore::from_data(&data).unwrap();
+    let gart_snap = gart.snapshot();
+    let dir = std::env::temp_dir().join(format!("gs-grin-analytics-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    gs_graphar::write_archive(&dir, &data).unwrap();
+    let graphar = gs_graphar::GraphArStore::open(&dir).unwrap();
+
+    for k in [1usize, 3] {
+        assert_backend_matches_baseline("mock", &mock, n, &edges, k);
+        assert_backend_matches_baseline("mock-iter-only", &mock_iter, n, &edges, k);
+        assert_backend_matches_baseline("vineyard", &vineyard, n, &edges, k);
+        assert_backend_matches_baseline("gart", &gart_snap, n, &edges, k);
+        assert_backend_matches_baseline("graphar", &graphar, n, &edges, k);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The §8 anti-fraud analytics preset, end to end: compose the deployment,
+/// take its analytics engine, load the deployment-native store (GART)
+/// through GRIN, and run a built-in algorithm.
+#[test]
+fn preset_analytics_runs_through_the_deployment_store() {
+    let deployment = gs_flex::FlexBuild::antifraud_analytics_preset().unwrap();
+    let analytics = deployment
+        .analytics_engine(2)
+        .expect("antifraud preset deploys GRAPE");
+    assert_eq!(analytics.name(), "grape");
+
+    let n = 80usize;
+    let edges = random_edges(n as u64, 320, 7);
+    let data = PropertyGraphData::from_edge_list(n, &edges);
+    let store = GartStore::from_data(&data).unwrap();
+    let snap = store.snapshot();
+
+    let (engine, space) = analytics.load(&snap, &GrinProjection::all()).unwrap();
+    assert_eq!(space.total(), n);
+    let pr = algorithms::pagerank(&engine, 0.85, 15);
+    let baseline = GrapeEngine::from_edges(n, &to_vids(&edges), 2);
+    let pr_base = algorithms::pagerank(&baseline, 0.85, 15);
+    assert!(close(&pr, &pr_base), "preset pagerank diverges");
+}
+
+/// Multi-label projections flatten each label into a contiguous id block;
+/// cross-label edges land between the right blocks.
+#[test]
+fn multi_label_projection_flattens_id_blocks() {
+    use gs_graph::schema::GraphSchema;
+    use gs_graph::{LabelId, Value, ValueType};
+    let mut schema = GraphSchema::new();
+    let account = schema.add_vertex_label("Account", &[("name", ValueType::Str)]);
+    let item = schema.add_vertex_label("Item", &[]);
+    let buy = schema.add_edge_label("BUY", account, item, &[]);
+    let mut data = PropertyGraphData::new(schema);
+    for a in 0..3u64 {
+        data.add_vertex(account, a, vec![Value::Str(format!("acct{a}"))]);
+    }
+    for i in 0..2u64 {
+        data.add_vertex(item, i, vec![]);
+    }
+    let purchases = [(0u64, 0u64), (1, 0), (2, 1)];
+    for &(a, i) in &purchases {
+        data.add_edge(buy, a, i, vec![]);
+    }
+    let store = VineyardGraph::build(&data).unwrap();
+
+    let (engine, space) =
+        GrapeEngine::from_grin(&store, &GrinProjection::all().symmetrized(), 2).unwrap();
+    assert_eq!(space.total(), 5);
+    assert_eq!(space.base(account), Some(0));
+    assert_eq!(space.base(item), Some(3));
+    assert_eq!(space.label_of(VId(4)), Some((item, VId(1))));
+    assert_eq!(space.label_of(VId(5)), None);
+
+    // every purchase ties its account and item into one WCC component
+    let comps = algorithms::wcc(&engine);
+    for &(a, i) in &purchases {
+        let ga = space.global_of(account, VId(a)).unwrap();
+        let gi = space.global_of(item, VId(i)).unwrap();
+        assert_eq!(comps[ga.index()], comps[gi.index()], "acct {a} ↔ item {i}");
+    }
+    // an unused label id is absent from the space
+    assert_eq!(space.base(LabelId(9)), None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random digraphs: array-capable and iterator-only stores load
+    /// fragments that agree with the edge-list baseline.
+    #[test]
+    fn random_graphs_load_equivalently(
+        n in 2usize..40,
+        edges in proptest::collection::vec((0u64..40, 0u64..40), 0..120),
+        k in 1usize..4,
+    ) {
+        let edges: Vec<(u64, u64)> = edges
+            .into_iter()
+            .map(|(s, d)| (s % n as u64, d % n as u64))
+            .collect();
+        let triples: Vec<(u64, u64, f64)> = edges.iter().map(|&(s, d)| (s, d, 1.0)).collect();
+        let pairs = to_vids(&edges);
+        let baseline = GrapeEngine::from_edges(n, &pairs, k);
+        let pr_base = algorithms::pagerank(&baseline, 0.85, 12);
+
+        let mock = MockGraph::new(n, &triples);
+        let (fast, _) = GrapeEngine::from_grin(&mock, &GrinProjection::all(), k).unwrap();
+        prop_assert!(close(&algorithms::pagerank(&fast, 0.85, 12), &pr_base));
+
+        let iter_only = MockGraph::new_iter_only(n, &triples);
+        let (slow, _) = GrapeEngine::from_grin(&iter_only, &GrinProjection::all(), k).unwrap();
+        prop_assert!(close(&algorithms::pagerank(&slow, 0.85, 12), &pr_base));
+
+        let data = PropertyGraphData::from_edge_list(n, &edges);
+        let vineyard = VineyardGraph::build(&data).unwrap();
+        let (vy, _) = GrapeEngine::from_grin(&vineyard, &GrinProjection::all(), k).unwrap();
+        prop_assert!(close(&algorithms::pagerank(&vy, 0.85, 12), &pr_base));
+    }
+}
