@@ -1,0 +1,15 @@
+//! Static plan verification over every built-in benchmark/example query.
+//!
+//! ```text
+//! irlint                   verify; fail on errors only
+//! irlint --deny-warnings   fail on any diagnostic (the CI bar)
+//! ```
+
+fn main() {
+    let deny_warnings = std::env::args().skip(1).any(|a| a == "--deny-warnings");
+    // telemetry so the run also exercises the ir.verify.* counters
+    gs_telemetry::install(gs_telemetry::Registry::new());
+    let code = gs_bench::irlint::run(deny_warnings);
+    print!("{}", gs_telemetry::global().text_report());
+    std::process::exit(code);
+}

@@ -12,6 +12,7 @@
 //! shape so EXPERIMENTS.md can record expectation vs measurement.
 
 pub mod experiments;
+pub mod irlint;
 pub mod util;
 
 pub use util::{time_it, Row, TablePrinter};

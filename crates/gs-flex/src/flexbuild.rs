@@ -222,13 +222,51 @@ impl Deployment {
     /// the reference executor. `parallelism` sets Gaia's worker count or
     /// HiActor's shard count.
     pub fn query_engine(&self, parallelism: usize) -> Box<dyn gs_ir::QueryEngine> {
+        self.query_engine_with_verify(parallelism, gs_ir::VerifyLevel::Deny)
+    }
+
+    /// Like [`Deployment::query_engine`] with an explicit submit-time plan
+    /// verification level. Deployed engines default to
+    /// [`gs_ir::VerifyLevel::Deny`]: a composed stack refuses malformed
+    /// plans at the boundary rather than executing them.
+    pub fn query_engine_with_verify(
+        &self,
+        parallelism: usize,
+        verify: gs_ir::VerifyLevel,
+    ) -> Box<dyn gs_ir::QueryEngine> {
         if self.components.contains(&Component::Gaia) {
-            Box::new(gs_gaia::GaiaEngine::new(parallelism))
+            Box::new(gs_gaia::GaiaEngine::new(parallelism).with_verify(verify))
         } else if self.components.contains(&Component::HiActor) {
-            Box::new(gs_hiactor::QueryService::new(parallelism))
+            Box::new(gs_hiactor::QueryService::new(parallelism).with_verify(verify))
         } else {
-            Box::new(gs_ir::ReferenceEngine)
+            Box::new(gs_ir::ReferenceEngine::with_verify(verify))
         }
+    }
+
+    /// Statically verifies a physical plan against this deployment's
+    /// schema, folding verifier errors into a structured
+    /// [`BuildError::PlanRejected`] (warnings do not reject).
+    pub fn verify_plan(
+        &self,
+        plan: &gs_ir::PhysicalPlan,
+        schema: &gs_graph::schema::GraphSchema,
+    ) -> Result<gs_ir::VerifyReport, BuildError> {
+        let report = gs_ir::verify_physical(plan, schema);
+        if report
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == gs_ir::Severity::Error)
+        {
+            return Err(BuildError::PlanRejected {
+                diagnostics: report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.severity == gs_ir::Severity::Error)
+                    .map(|d| d.to_string())
+                    .collect(),
+            });
+        }
+        Ok(report)
     }
 
     /// Instantiates the deployment's analytics engine — the GRAPE
@@ -329,6 +367,11 @@ pub enum BuildError {
         error: GraphError,
     },
     EmptySelection,
+    /// A query plan failed static verification against the deployment's
+    /// schema; one rendered [`gs_ir::Diagnostic`] per entry.
+    PlanRejected {
+        diagnostics: Vec<String>,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -344,6 +387,9 @@ impl std::fmt::Display for BuildError {
                 write!(f, "no selected storage satisfies {engine:?}: {error}")
             }
             BuildError::EmptySelection => write!(f, "no components selected"),
+            BuildError::PlanRejected { diagnostics } => {
+                write!(f, "plan rejected by verifier: {}", diagnostics.join("; "))
+            }
         }
     }
 }

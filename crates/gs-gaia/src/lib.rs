@@ -34,6 +34,7 @@ pub const REQUIRED_CAPABILITIES: Capabilities = Capabilities::VERTEX_LIST_ITER
 /// The data-parallel dataflow engine.
 pub struct GaiaEngine {
     workers: usize,
+    verify: gs_ir::VerifyLevel,
 }
 
 impl GaiaEngine {
@@ -41,7 +42,14 @@ impl GaiaEngine {
     pub fn new(workers: usize) -> Self {
         Self {
             workers: workers.max(1),
+            verify: gs_ir::VerifyLevel::default(),
         }
+    }
+
+    /// Sets the submit-time plan verification level.
+    pub fn with_verify(mut self, verify: gs_ir::VerifyLevel) -> Self {
+        self.verify = verify;
+        self
     }
 
     /// Number of configured workers.
@@ -52,6 +60,7 @@ impl GaiaEngine {
     /// Executes a physical plan with data parallelism.
     pub fn execute(&self, plan: &PhysicalPlan, graph: &dyn GrinGraph) -> Result<Vec<Record>> {
         graph.capabilities().require(REQUIRED_CAPABILITIES)?;
+        gs_ir::verify::verify_on_submit(plan, graph.schema(), self.verify, "gaia")?;
         let _query_span = span!("gaia.query", workers = self.workers);
         // Split the plan into pipeline segments at stateful barriers.
         let mut segments: Vec<(Vec<PhysicalOp>, Option<PhysicalOp>)> = Vec::new();

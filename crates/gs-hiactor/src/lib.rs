@@ -139,6 +139,7 @@ pub type Procedure =
 pub struct QueryService {
     runtime: HiActorRuntime,
     procedures: parking_lot::RwLock<HashMap<String, Procedure>>,
+    verify: gs_ir::VerifyLevel,
 }
 
 impl QueryService {
@@ -147,7 +148,14 @@ impl QueryService {
         Self {
             runtime: HiActorRuntime::new(shards),
             procedures: parking_lot::RwLock::new(HashMap::new()),
+            verify: gs_ir::VerifyLevel::default(),
         }
+    }
+
+    /// Sets the submit-time plan verification level for ad-hoc plans.
+    pub fn with_verify(mut self, verify: gs_ir::VerifyLevel) -> Self {
+        self.verify = verify;
+        self
     }
 
     /// The underlying runtime (for ad-hoc jobs).
@@ -211,6 +219,7 @@ impl gs_ir::QueryEngine for QueryService {
     /// until the shard replies.
     fn execute(&self, plan: &PhysicalPlan, graph: &dyn GrinGraph) -> Result<Vec<Record>> {
         graph.capabilities().require(REQUIRED_CAPABILITIES)?;
+        gs_ir::verify::verify_on_submit(plan, graph.schema(), self.verify, "hiactor")?;
         // `submit` needs a 'static closure but `graph` is a borrow. Erase
         // the lifetime behind a Send-able raw pointer: sound because we
         // block on `recv()` below, so `graph` outlives every use — the

@@ -11,6 +11,7 @@
 
 use crate::physical::PhysicalPlan;
 use crate::record::Record;
+use crate::verify::{verify_on_submit, VerifyLevel};
 use crate::Result;
 use gs_grin::GrinGraph;
 
@@ -36,10 +37,22 @@ pub trait QueryEngine {
 /// delegating straight to [`crate::exec::execute`]. Every other engine is
 /// differential-tested against this one.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct ReferenceEngine;
+pub struct ReferenceEngine {
+    /// Submit-time plan verification policy (defaults to
+    /// [`VerifyLevel::Warn`]: verify and count, never reject).
+    pub verify: VerifyLevel,
+}
+
+impl ReferenceEngine {
+    /// Engine with an explicit submit-time verification level.
+    pub fn with_verify(verify: VerifyLevel) -> Self {
+        Self { verify }
+    }
+}
 
 impl QueryEngine for ReferenceEngine {
     fn execute(&self, plan: &PhysicalPlan, graph: &dyn GrinGraph) -> Result<Vec<Record>> {
+        verify_on_submit(plan, graph.schema(), self.verify, self.name())?;
         crate::exec::execute(plan, graph)
     }
 
@@ -60,10 +73,34 @@ mod tests {
         let g = MockGraph::new(20, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
         let s = g.schema().clone();
         let plan = lower_naive(&PlanBuilder::new(&s).scan("a", "V").unwrap().build()).unwrap();
-        let engine: &dyn QueryEngine = &ReferenceEngine;
+        let engine: &dyn QueryEngine = &ReferenceEngine::default();
         assert_eq!(engine.name(), "reference");
         let rows = engine.execute(&plan, &g).unwrap();
         assert_eq!(rows, crate::exec::execute(&plan, &g).unwrap());
         assert_eq!(rows.len(), 20);
+    }
+
+    #[test]
+    fn deny_level_rejects_bad_plan_on_submit() {
+        use crate::physical::PhysicalOp;
+        use crate::record::Layout;
+        use crate::verify::VerifyLevel;
+        let g = MockGraph::new(4, &[(0, 1, 1.0)]);
+        let bad = PhysicalPlan {
+            ops: vec![PhysicalOp::Scan {
+                label: crate::LabelId(42),
+                predicate: None,
+                index_lookup: None,
+            }],
+            layout: Layout::new(),
+        };
+        let deny = ReferenceEngine::with_verify(VerifyLevel::Deny);
+        let err = deny.execute(&bad, &g).unwrap_err();
+        assert!(err.to_string().contains("E001"), "{err}");
+        // Off never raises the verifier's diagnostic (whatever exec does).
+        let off = ReferenceEngine::with_verify(VerifyLevel::Off);
+        if let Err(e) = off.execute(&bad, &g) {
+            assert!(!e.to_string().contains("E001"), "{e}");
+        }
     }
 }

@@ -27,6 +27,7 @@ pub mod logical;
 pub mod pattern;
 pub mod physical;
 pub mod record;
+pub mod verify;
 
 pub use builder::PlanBuilder;
 pub use engine::{QueryEngine, ReferenceEngine};
@@ -35,5 +36,8 @@ pub use logical::{LogicalOp, LogicalPlan};
 pub use pattern::{Pattern, PatternEdge, PatternVertex};
 pub use physical::{PhysicalOp, PhysicalPlan};
 pub use record::{Layout, Record};
+pub use verify::{
+    verify_logical, verify_physical, Diagnostic, Severity, VerifyLevel, VerifyReport,
+};
 
 pub use gs_graph::{GraphError, LabelId, PropId, Result, VId, Value};

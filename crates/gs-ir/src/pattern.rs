@@ -120,9 +120,34 @@ impl Pattern {
         out
     }
 
-    /// Checks the pattern is connected and non-empty (required for the
-    /// expand-chain compilation strategy).
+    /// Checks the pattern is structurally sound: vertex aliases are
+    /// unique, edge endpoints are in range, and the pattern is connected
+    /// and non-empty (required for the expand-chain compilation strategy).
+    ///
+    /// Alias uniqueness and endpoint ranges are checked *first*, before
+    /// anything walks the adjacency, so a malformed pattern is rejected
+    /// with a message naming the offending alias instead of panicking in
+    /// the traversal.
     pub fn validate(&self) -> Result<()> {
+        for (i, v) in self.vertices.iter().enumerate() {
+            if self.vertices[..i].iter().any(|u| u.alias == v.alias) {
+                return Err(GraphError::Query(format!(
+                    "duplicate pattern vertex alias `{}`",
+                    v.alias
+                )));
+            }
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.src >= self.vertices.len() || e.dst >= self.vertices.len() {
+                let name = e.alias.clone().unwrap_or_else(|| format!("#{i}"));
+                return Err(GraphError::Query(format!(
+                    "pattern edge `{name}` endpoint out of range ({} -> {}, {} vertices)",
+                    e.src,
+                    e.dst,
+                    self.vertices.len()
+                )));
+            }
+        }
         if self.vertices.is_empty() {
             return Err(GraphError::Query("empty pattern".into()));
         }
@@ -187,6 +212,36 @@ mod tests {
         p.add_vertex("b", LabelId(0));
         assert!(p.validate().is_err());
         assert!(Pattern::new().validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_alias_rejected_by_name() {
+        let mut p = Pattern::new();
+        p.vertices.push(PatternVertex {
+            alias: "a".into(),
+            label: LabelId(0),
+            predicate: None,
+        });
+        p.vertices.push(PatternVertex {
+            alias: "a".into(),
+            label: LabelId(1),
+            predicate: None,
+        });
+        p.add_edge(None, LabelId(0), 0, 1);
+        let e = p.validate().unwrap_err();
+        assert!(e.to_string().contains("duplicate pattern vertex alias `a`"));
+    }
+
+    #[test]
+    fn out_of_range_endpoint_rejected_before_traversal() {
+        let mut p = Pattern::new();
+        let a = p.add_vertex("a", LabelId(0));
+        p.add_vertex("b", LabelId(0));
+        p.add_edge(Some("e"), LabelId(0), a, 7);
+        let e = p.validate().unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("`e`"), "names the edge alias: {msg}");
+        assert!(msg.contains("out of range"), "{msg}");
     }
 
     #[test]

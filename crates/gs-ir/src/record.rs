@@ -34,11 +34,20 @@ impl Layout {
         Self::default()
     }
 
-    /// Appends a column; returns its index. Re-using an existing alias is an
-    /// error (aliases are unique within a stage).
+    /// Appends a column; returns its index. Re-using an existing alias is
+    /// an error (aliases are unique within a stage), and uniqueness is
+    /// case-insensitive: `n` and `N` naming different columns is almost
+    /// always a query bug, and lookups stay case-sensitive so the two
+    /// could never both be addressed anyway.
     pub fn push(&mut self, alias: &str, kind: ColumnKind) -> Result<usize> {
-        if self.index_of(alias).is_some() {
-            return Err(GraphError::Query(format!("duplicate alias `{alias}`")));
+        if let Some((existing, _)) = self
+            .columns
+            .iter()
+            .find(|(a, _)| a.eq_ignore_ascii_case(alias))
+        {
+            return Err(GraphError::Query(format!(
+                "duplicate alias `{alias}` (conflicts with `{existing}`; aliases are case-insensitively unique)"
+            )));
         }
         self.columns.push((alias.to_string(), kind));
         Ok(self.columns.len() - 1)
@@ -49,10 +58,20 @@ impl Layout {
         self.columns.iter().position(|(a, _)| a == alias)
     }
 
-    /// Index of an alias, as an error-reporting lookup.
+    /// Index of an alias, as an error-reporting lookup. The error lists
+    /// the aliases that *are* bound, so a typo is visible at a glance.
     pub fn require(&self, alias: &str) -> Result<usize> {
-        self.index_of(alias)
-            .ok_or_else(|| GraphError::Query(format!("unknown alias `{alias}`")))
+        self.index_of(alias).ok_or_else(|| {
+            let avail: Vec<&str> = self.aliases().collect();
+            if avail.is_empty() {
+                GraphError::Query(format!("unknown alias `{alias}` (no aliases bound)"))
+            } else {
+                GraphError::Query(format!(
+                    "unknown alias `{alias}` (available: {})",
+                    avail.join(", ")
+                ))
+            }
+        })
     }
 
     /// Column kind by index.
@@ -113,9 +132,31 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_alias_rejected_case_insensitively() {
+        let mut l = Layout::new();
+        l.push("cnt", ColumnKind::Scalar).unwrap();
+        let e = l.push("CNT", ColumnKind::Scalar).unwrap_err();
+        assert!(e.to_string().contains("`cnt`"), "{e}");
+        // lookups stay case-sensitive
+        assert_eq!(l.index_of("cnt"), Some(0));
+        assert_eq!(l.index_of("CNT"), None);
+    }
+
+    #[test]
     fn require_reports_missing() {
         let l = Layout::new();
         let e = l.require("ghost").unwrap_err();
         assert!(e.to_string().contains("ghost"));
+        assert!(e.to_string().contains("no aliases bound"));
+    }
+
+    #[test]
+    fn require_lists_available_aliases() {
+        let mut l = Layout::new();
+        l.push("a", ColumnKind::Scalar).unwrap();
+        l.push("b", ColumnKind::Scalar).unwrap();
+        let e = l.require("c").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("available: a, b"), "{msg}");
     }
 }

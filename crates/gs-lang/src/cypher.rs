@@ -110,7 +110,11 @@ pub fn parse_cypher(
     if !saw_return {
         return Err(GraphError::Query("statement has no RETURN clause".into()));
     }
-    Ok(builder.build())
+    let plan = builder.build();
+    // Frontend boundary check: a lowered plan with verifier *errors* never
+    // leaves the frontend (warnings — plan smells — pass through).
+    gs_ir::verify_logical(&plan, schema).check("cypher frontend")?;
+    Ok(plan)
 }
 
 fn parse_usize(cur: &mut Cursor) -> Result<usize> {

@@ -54,7 +54,11 @@ pub fn parse_gremlin(src: &str, schema: &GraphSchema) -> Result<LogicalPlan> {
             cur.peek()
         )));
     }
-    state.finish()
+    let plan = state.finish()?;
+    // Frontend boundary check, mirroring the Cypher frontend: verifier
+    // errors are frontend bugs and must not escape; warnings pass.
+    gs_ir::verify_logical(&plan, schema).check("gremlin frontend")?;
+    Ok(plan)
 }
 
 /// Builder-driving state: tracks the "current" element alias like the

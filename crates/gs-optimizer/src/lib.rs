@@ -12,9 +12,10 @@ pub mod rbo;
 
 pub use glogue::{cbo_order, GlogueCatalog};
 
+use gs_graph::schema::GraphSchema;
 use gs_ir::logical::LogicalPlan;
 use gs_ir::physical::{lower_naive, lower_with, PhysicalPlan};
-use gs_ir::Result;
+use gs_ir::{verify_logical, verify_physical, Result};
 
 /// Which optimizations to apply.
 #[derive(Clone, Debug)]
@@ -52,6 +53,25 @@ impl OptimizerConfig {
 pub struct Optimizer {
     pub config: OptimizerConfig,
     pub catalog: Option<GlogueCatalog>,
+    /// When set, every rewrite rule's output is re-verified against this
+    /// schema; a rule that produces an invalid plan fails `optimize` with
+    /// the rule's name in the diagnostic (see [`verify_rewrite_logical`]).
+    pub verify_schema: Option<GraphSchema>,
+}
+
+/// Re-verifies a logical plan after a rewrite rule ran, attributing any
+/// error to `rule` by name. Warnings pass; errors fail.
+pub fn verify_rewrite_logical(rule: &str, plan: &LogicalPlan, schema: &GraphSchema) -> Result<()> {
+    verify_logical(plan, schema).with_rule(rule).check(rule)
+}
+
+/// Physical-plan counterpart of [`verify_rewrite_logical`].
+pub fn verify_rewrite_physical(
+    rule: &str,
+    plan: &PhysicalPlan,
+    schema: &GraphSchema,
+) -> Result<()> {
+    verify_physical(plan, schema).with_rule(rule).check(rule)
 }
 
 impl Optimizer {
@@ -60,6 +80,7 @@ impl Optimizer {
         Self {
             config: OptimizerConfig::default(),
             catalog: Some(catalog),
+            verify_schema: None,
         }
     }
 
@@ -71,6 +92,7 @@ impl Optimizer {
                 ..OptimizerConfig::default()
             },
             catalog: None,
+            verify_schema: None,
         }
     }
 
@@ -79,18 +101,35 @@ impl Optimizer {
         Self {
             config: OptimizerConfig::none(),
             catalog: None,
+            verify_schema: None,
         }
     }
 
     /// With an explicit config (catalog used only when `config.cbo`).
     pub fn with_config(config: OptimizerConfig, catalog: Option<GlogueCatalog>) -> Self {
-        Self { config, catalog }
+        Self {
+            config,
+            catalog,
+            verify_schema: None,
+        }
+    }
+
+    /// Enables post-rewrite verification: each rule's output is re-checked
+    /// against `schema` and a rule that breaks the plan is named in the
+    /// resulting error.
+    pub fn with_verify(mut self, schema: GraphSchema) -> Self {
+        self.verify_schema = Some(schema);
+        self
     }
 
     /// Compiles a logical plan to an optimized physical plan.
     pub fn optimize(&self, plan: &LogicalPlan) -> Result<PhysicalPlan> {
         let logical = if self.config.filter_push {
-            rbo::push_filters(plan)?
+            let pushed = rbo::push_filters(plan)?;
+            if let Some(s) = &self.verify_schema {
+                verify_rewrite_logical("FilterPushIntoMatch", &pushed, s)?;
+            }
+            pushed
         } else {
             plan.clone()
         };
@@ -112,8 +151,15 @@ impl Optimizer {
                 },
             )?
         };
+        if let Some(s) = &self.verify_schema {
+            verify_rewrite_physical("Lowering", &physical, s)?;
+        }
         Ok(if self.config.fusion {
-            rbo::fuse_expand_get_vertex(&physical)
+            let fused = rbo::fuse_expand_get_vertex(&physical);
+            if let Some(s) = &self.verify_schema {
+                verify_rewrite_physical("EdgeVertexFusion", &fused, s)?;
+            }
+            fused
         } else {
             physical
         })

@@ -191,6 +191,17 @@ pub fn fuse_expand_get_vertex(plan: &PhysicalPlan) -> PhysicalPlan {
             i += 1;
             continue;
         }
+        // the edge column must not survive to the plan's output: a later
+        // Project rebuilds the record (and, if it referenced the edge,
+        // remapping below fails); with no Project the edge column flows
+        // straight into the result set and fusing would drop it.
+        if !ops[i + 2..]
+            .iter()
+            .any(|op| matches!(op, PhysicalOp::Project { .. }))
+        {
+            i += 1;
+            continue;
+        }
         // the edge column must not be referenced by any later op
         let map = |x: usize| {
             if x == ecol {
@@ -250,9 +261,9 @@ fn widths_before(ops: &[PhysicalOp]) -> Vec<usize> {
 }
 
 fn rebuild_layout_after_fusion(layout: &gs_ir::record::Layout) -> gs_ir::record::Layout {
-    // Fusion only removes internal `__e*` columns that never reach the
-    // output layout (plans that surface edges are not fused), so the output
-    // layout is unchanged. Hook kept for clarity.
+    // Fusion only fires when a later Project rebuilds the record without
+    // the edge column (enforced above), so the output layout is unchanged.
+    // Hook kept for clarity.
     let mut nl = gs_ir::record::Layout::new();
     for (i, a) in layout.aliases().enumerate() {
         let _ = nl.push(a, layout.kind(i).clone());

@@ -71,7 +71,7 @@ fn main() -> gs_graph::Result<()> {
     // ---- 3. the same question in Cypher and Gremlin ------------------
     // "what do my friends buy, and for how much?"
     let cypher = "MATCH (a:Person {name: 'ann'})-[:KNOWS]-(f:Person)-[:BUY]->(i:Item) \
-                  RETURN f.name AS friend, i.price AS price ORDER BY price DESC";
+                  RETURN f.name AS friend, i.price AS price ORDER BY price DESC LIMIT 10";
     let plan_c = parse_cypher(cypher, &schema, &HashMap::new())?;
 
     let gremlin =

@@ -35,7 +35,7 @@ fn empty_result_queries_are_fine_everywhere() {
     let q = "MATCH (a:V)-[:E]->(b:V) WHERE a.x > 999 RETURN a, b";
     let plan = parse_cypher(q, &schema, &HashMap::new()).unwrap();
     let phys = lower_naive(&plan).unwrap();
-    assert!(run(&ReferenceEngine, &phys, &store).is_empty());
+    assert!(run(&ReferenceEngine::default(), &phys, &store).is_empty());
     for workers in [1, 4] {
         assert!(run(&GaiaEngine::new(workers), &phys, &store).is_empty());
     }
@@ -77,7 +77,11 @@ fn self_loops_and_parallel_edges_in_patterns() {
     let store = VineyardGraph::build(&data).unwrap();
     let q = "MATCH (a:V)-[:E]->(b:V) RETURN a, b";
     let plan = parse_cypher(q, &schema, &HashMap::new()).unwrap();
-    let rows = run(&ReferenceEngine, &lower_naive(&plan).unwrap(), &store);
+    let rows = run(
+        &ReferenceEngine::default(),
+        &lower_naive(&plan).unwrap(),
+        &store,
+    );
     // homomorphic matching: self loop binds a=b; parallel edges double-count
     assert_eq!(rows.len(), 3);
 }
@@ -173,7 +177,11 @@ fn gaia_second_scan_is_a_cross_product() {
     match parse_cypher(q, &schema, &HashMap::new()) {
         Ok(plan) => {
             // if accepted, execution must produce the full cross product
-            let rows = run(&ReferenceEngine, &lower_naive(&plan).unwrap(), &store);
+            let rows = run(
+                &ReferenceEngine::default(),
+                &lower_naive(&plan).unwrap(),
+                &store,
+            );
             assert_eq!(rows.len(), 36);
         }
         Err(e) => {

@@ -25,7 +25,7 @@ fn cypher_to_gaia_on_vineyard() {
         v.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
         v
     };
-    let reference = ReferenceEngine;
+    let reference = ReferenceEngine::default();
     let slow =
         canon(QueryEngine::execute(&reference, &lower_naive(&plan).unwrap(), &store).unwrap());
     let gaia = GaiaEngine::new(3);
@@ -72,7 +72,7 @@ fn figure5_gremlin_cypher_equivalence() {
     let pg = parse_gremlin(gremlin, &schema).unwrap();
     let pc = parse_cypher(cypher, &schema, &HashMap::new()).unwrap();
     let optimizer = Optimizer::rbo_only();
-    let engine: &dyn QueryEngine = &ReferenceEngine;
+    let engine: &dyn QueryEngine = &ReferenceEngine::default();
     let rg = engine
         .execute(&optimizer.optimize(&pg).unwrap(), &store)
         .unwrap();
@@ -144,7 +144,7 @@ fn graphar_dump_reload_equivalence() {
     let store_b = VineyardGraph::build(&reloaded).unwrap();
     let plan = bi_plan(2, &social.data.schema, &social.labels, &BiParams::default()).unwrap();
     let phys = Optimizer::rbo_only().optimize(&plan).unwrap();
-    let engine: &dyn QueryEngine = &ReferenceEngine;
+    let engine: &dyn QueryEngine = &ReferenceEngine::default();
     let a = engine.execute(&phys, &store_a).unwrap();
     let b = engine.execute(&phys, &store_b).unwrap();
     assert_eq!(a, b);

@@ -1,0 +1,276 @@
+//! Static plan verification invariants (the `gs-irlint` pass).
+//!
+//! Three families of guarantees:
+//! * every plan the [`PlanBuilder`] can construct verifies with zero
+//!   errors, logically and after every lowering/rewrite (property tests);
+//! * each optimizer rewrite rule is verify-preserving on randomized plans,
+//!   and an intentionally broken rewrite is caught *and attributed to the
+//!   rule by name*;
+//! * the verifier's submit-time levels behave: `Deny` rejects bad plans at
+//!   every engine, `Off` never raises verifier diagnostics.
+
+use graphscope_flex::prelude::*;
+use gs_grin::graph::mock::MockGraph;
+use gs_ir::expr::{AggFunc, BinOp};
+use gs_ir::logical::ProjectItem;
+use gs_ir::physical::{lower_naive, PhysicalOp, PhysicalPlan};
+use gs_ir::record::Layout;
+use gs_ir::verify::{self, VerifyLevel};
+use gs_ir::{verify_logical, verify_physical, Expr, PlanBuilder};
+use gs_optimizer::{rbo, verify_rewrite_logical, verify_rewrite_physical};
+use proptest::prelude::*;
+
+fn mock_schema() -> GraphSchema {
+    MockGraph::new(4, &[(0, 1, 1.0), (1, 2, 1.0)])
+        .schema()
+        .clone()
+}
+
+/// Builds a random-but-valid plan from a byte script: scan, then a mix of
+/// expand/get_vertex, select, dedup, order, limit, and an optional final
+/// aggregate projection. Everything goes through `PlanBuilder`, so the
+/// result must be well-formed by construction.
+fn random_plan(schema: &GraphSchema, script: &[u8], with_agg: bool) -> gs_ir::LogicalPlan {
+    let mut b = PlanBuilder::new(schema).scan("v0", "V").unwrap();
+    let mut vertices = vec!["v0".to_string()];
+    let mut next = 1usize;
+    for &op in script {
+        match op % 5 {
+            0 => {
+                let src = vertices[op as usize % vertices.len()].clone();
+                let e = format!("e{next}");
+                let v = format!("v{next}");
+                next += 1;
+                b = b
+                    .expand_edge(&src, "E", gs_grin::Direction::Out, &e)
+                    .unwrap()
+                    .get_vertex(&e, &v)
+                    .unwrap();
+                vertices.push(v);
+            }
+            1 => {
+                let target = &vertices[op as usize % vertices.len()];
+                let pred = Expr::bin(
+                    BinOp::Gt,
+                    b.prop(target, "tag").unwrap(),
+                    Expr::Const(Value::Int((op % 7) as i64)),
+                );
+                b = b.select(pred);
+            }
+            2 => {
+                let target = vertices[op as usize % vertices.len()].clone();
+                b = b.dedup(&[&target]).unwrap();
+            }
+            3 => {
+                b = b.order(
+                    vec![(Expr::Column(0), op % 2 == 0)],
+                    Some((op % 9) as usize + 1),
+                );
+            }
+            _ => {
+                b = b.limit((op % 13) as usize + 1);
+            }
+        }
+    }
+    if with_agg {
+        let key = vertices[script.first().copied().unwrap_or(0) as usize % vertices.len()].clone();
+        let key_col = Expr::Column(b.layout().index_of(&key).unwrap());
+        b = b
+            .project(vec![
+                (ProjectItem::Expr(key_col.clone()), "k"),
+                (ProjectItem::Agg(AggFunc::Count, key_col), "n"),
+            ])
+            .unwrap();
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every PlanBuilder-constructible plan passes verification with zero
+    /// errors — logically, after naive lowering, and after each RBO rule.
+    #[test]
+    fn builder_plans_always_verify(
+        script in proptest::collection::vec(any::<u8>(), 0..6),
+        with_agg in any::<bool>(),
+    ) {
+        let schema = mock_schema();
+        let plan = random_plan(&schema, &script, with_agg);
+        let rep = verify_logical(&plan, &schema);
+        prop_assert_eq!(rep.error_count(), 0, "logical: {}", rep.render());
+        let phys = lower_naive(&plan).unwrap();
+        let rep = verify_physical(&phys, &schema);
+        prop_assert_eq!(rep.error_count(), 0, "physical: {}", rep.render());
+    }
+
+    /// `push_filters` (FilterPushIntoMatch) is verify-preserving.
+    #[test]
+    fn filter_push_is_verify_preserving(
+        script in proptest::collection::vec(any::<u8>(), 0..6),
+    ) {
+        let schema = mock_schema();
+        let plan = random_plan(&schema, &script, false);
+        let pushed = rbo::push_filters(&plan).unwrap();
+        prop_assert!(
+            verify_rewrite_logical("FilterPushIntoMatch", &pushed, &schema).is_ok()
+        );
+    }
+
+    /// `fuse_expand_get_vertex` (EdgeVertexFusion) is verify-preserving.
+    #[test]
+    fn fusion_is_verify_preserving(
+        script in proptest::collection::vec(any::<u8>(), 0..6),
+        with_agg in any::<bool>(),
+    ) {
+        let schema = mock_schema();
+        let plan = random_plan(&schema, &script, with_agg);
+        let phys = lower_naive(&plan).unwrap();
+        let fused = rbo::fuse_expand_get_vertex(&phys);
+        prop_assert!(
+            verify_rewrite_physical("EdgeVertexFusion", &fused, &schema).is_ok(),
+            "{}",
+            verify_physical(&fused, &schema).render()
+        );
+    }
+
+    /// The full optimizer pipeline under `with_verify` never trips its own
+    /// post-rewrite checks.
+    #[test]
+    fn optimizer_passes_self_verification(
+        script in proptest::collection::vec(any::<u8>(), 0..6),
+        with_agg in any::<bool>(),
+    ) {
+        let schema = mock_schema();
+        let plan = random_plan(&schema, &script, with_agg);
+        let opt = Optimizer::rbo_only().with_verify(schema.clone());
+        prop_assert!(opt.optimize(&plan).is_ok());
+    }
+}
+
+/// An intentionally broken rewrite is caught and attributed to the rule by
+/// name: simulate EdgeVertexFusion corrupting a column reference.
+#[test]
+fn broken_physical_rewrite_is_attributed_to_rule() {
+    let schema = mock_schema();
+    let plan = random_plan(&schema, &[0, 2], false);
+    let mut phys = lower_naive(&plan).unwrap();
+    // "fusion" that forgets to remap a downstream dedup column
+    for op in &mut phys.ops {
+        if let PhysicalOp::Dedup { columns } = op {
+            columns[0] = 99;
+        }
+    }
+    let err = verify_rewrite_physical("EdgeVertexFusion", &phys, &schema).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("EdgeVertexFusion"), "names the rule: {msg}");
+    assert!(msg.contains("E005"), "column-range code: {msg}");
+}
+
+/// Same attribution for a broken logical rewrite (a filter push that
+/// corrupts the flowing layouts).
+#[test]
+fn broken_logical_rewrite_is_attributed_to_rule() {
+    let schema = mock_schema();
+    let mut plan = random_plan(&schema, &[0], false);
+    plan.layouts.pop();
+    let err = verify_rewrite_logical("FilterPushIntoMatch", &plan, &schema).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("FilterPushIntoMatch"), "names the rule: {msg}");
+    assert!(msg.contains("E008"), "layout code: {msg}");
+}
+
+/// A cross-product smell the builder *can* express is reported as a
+/// warning, not an error (two scans in one plan).
+#[test]
+fn cross_product_is_a_warning_not_an_error() {
+    let schema = mock_schema();
+    let plan = PlanBuilder::new(&schema)
+        .scan("a", "V")
+        .unwrap()
+        .scan("b", "V")
+        .unwrap()
+        .limit(3)
+        .build();
+    let rep = verify_logical(&plan, &schema);
+    assert_eq!(rep.error_count(), 0, "{}", rep.render());
+    assert!(rep.has_code(verify::W_CROSS_PRODUCT), "{}", rep.render());
+}
+
+/// Every engine rejects a malformed plan under `Deny` with the diagnostic
+/// code in the error, through the shared `QueryEngine` interface.
+#[test]
+fn all_engines_deny_bad_plans_on_submit() {
+    let g = MockGraph::new(6, &[(0, 1, 1.0), (1, 2, 1.0)]);
+    let bad = PhysicalPlan {
+        ops: vec![PhysicalOp::Scan {
+            label: gs_graph::LabelId(7),
+            predicate: None,
+            index_lookup: None,
+        }],
+        layout: Layout::new(),
+    };
+    let engines: Vec<Box<dyn QueryEngine>> = vec![
+        Box::new(ReferenceEngine::with_verify(VerifyLevel::Deny)),
+        Box::new(GaiaEngine::new(2).with_verify(VerifyLevel::Deny)),
+        Box::new(gs_hiactor::QueryService::new(2).with_verify(VerifyLevel::Deny)),
+    ];
+    for e in &engines {
+        let err = e.execute(&bad, &g).unwrap_err();
+        assert!(err.to_string().contains("E001"), "{}: {err}", e.name());
+    }
+}
+
+/// A deployment's engine comes back with `Deny` wired in, and the
+/// deployment can statically pre-check plans via `verify_plan`.
+#[test]
+fn deployment_verifies_plans_at_the_boundary() {
+    let deployment = FlexBuild::compose(
+        "lint-check",
+        &[
+            Component::GraphIr,
+            Component::Optimizer,
+            Component::Gaia,
+            Component::Grin,
+            Component::Vineyard,
+        ],
+        DeployTarget::SingleMachineBinary,
+    )
+    .unwrap();
+    let schema = mock_schema();
+    let good = lower_naive(&random_plan(&schema, &[0], false)).unwrap();
+    assert!(deployment.verify_plan(&good, &schema).is_ok());
+    let bad = PhysicalPlan {
+        ops: vec![PhysicalOp::Scan {
+            label: gs_graph::LabelId(9),
+            predicate: None,
+            index_lookup: None,
+        }],
+        layout: Layout::new(),
+    };
+    let err = deployment.verify_plan(&bad, &schema).unwrap_err();
+    let gs_flex::flexbuild::BuildError::PlanRejected { diagnostics } = &err else {
+        panic!("wrong error: {err:?}");
+    };
+    assert!(diagnostics[0].contains("E001"), "{diagnostics:?}");
+    // the composed engine rejects it too
+    let g = MockGraph::new(4, &[(0, 1, 1.0)]);
+    let engine = deployment.query_engine(2);
+    assert!(engine.execute(&bad, &g).is_err());
+}
+
+/// Frontends refuse to emit plans with verifier errors; well-formed
+/// queries still parse, including ones that carry only warnings.
+#[test]
+fn frontends_verify_after_lowering() {
+    let schema = mock_schema();
+    let plan = parse_cypher(
+        "MATCH (a:V)-[:E]->(b:V) WHERE a.tag > 1 RETURN b, COUNT(a) AS n",
+        &schema,
+        &Default::default(),
+    )
+    .unwrap();
+    assert_eq!(verify_logical(&plan, &schema).error_count(), 0);
+    let plan = parse_gremlin("g.V().hasLabel('V').out('E').dedup()", &schema).unwrap();
+    assert_eq!(verify_logical(&plan, &schema).error_count(), 0);
+}

@@ -126,11 +126,11 @@ proptest! {
              RETURN a, COUNT(c) AS n"
         );
         let plan = parse_cypher(&q, &schema, &Default::default()).unwrap();
-        let baseline = run(&ReferenceEngine, &lower_naive(&plan).unwrap(), &store);
+        let baseline = run(&ReferenceEngine::default(), &lower_naive(&plan).unwrap(), &store);
         let optimized = Optimizer::new(GlogueCatalog::build(&store, 50))
             .optimize(&plan)
             .unwrap();
-        let opt = run(&ReferenceEngine, &optimized, &store);
+        let opt = run(&ReferenceEngine::default(), &optimized, &store);
         let canon = |mut v: Vec<Vec<Value>>| {
             v.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
             v
@@ -170,7 +170,7 @@ proptest! {
         let q = "MATCH (a:V)-[:E]->(b:V) RETURN b, COUNT(a) AS indeg";
         let plan = parse_cypher(q, &schema, &Default::default()).unwrap();
         let phys = lower_naive(&plan).unwrap();
-        let reference = run(&ReferenceEngine, &phys, &store);
+        let reference = run(&ReferenceEngine::default(), &phys, &store);
         let parallel = run(&GaiaEngine::new(workers), &phys, &store);
         let canon = |mut v: Vec<Vec<Value>>| {
             v.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
