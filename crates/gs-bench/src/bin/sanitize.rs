@@ -1,0 +1,19 @@
+//! Concurrency-sanitizer run over the workload corpus.
+//!
+//! ```text
+//! sanitize                 run the corpus; always exit 0
+//! sanitize --deny          fail on any S-code finding (the CI bar)
+//! sanitize --seed N        pin the workload shape (default 42)
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let deny = args.iter().any(|a| a == "--deny");
+    let mut seed = 42u64;
+    for w in args.windows(2) {
+        if w[0] == "--seed" {
+            seed = w[1].parse().expect("--seed takes an integer");
+        }
+    }
+    std::process::exit(gs_bench::sanitize::run(deny, seed));
+}

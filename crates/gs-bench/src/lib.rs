@@ -13,6 +13,7 @@
 
 pub mod experiments;
 pub mod irlint;
+pub mod sanitize;
 pub mod util;
 
 pub use util::{time_it, Row, TablePrinter};

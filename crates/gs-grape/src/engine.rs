@@ -4,32 +4,44 @@
 
 use crate::fragment::Fragment;
 use crate::messages::{MessageBlock, OutBuffers, Payload};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use gs_graph::VId;
+use gs_sanitizer::channel::{unbounded, TrackedReceiver, TrackedSender};
+use gs_sanitizer::{SharedCell, TrackedBarrier};
 use gs_telemetry::counter;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Double-barrier global reduction: every worker contributes a u64; all
 /// observe the total.
+///
+/// The accumulator slots and the barrier go through `gs-sanitizer`'s
+/// tracked wrappers: under `--features sanitize` the double-buffer
+/// protocol below is verified against the happens-before order the
+/// barriers provide (an accumulate racing a reset is an `S002`), at zero
+/// cost otherwise.
 pub struct GlobalSync {
-    barrier: Barrier,
+    barrier: TrackedBarrier,
     /// Round-alternating accumulator slots. A slot is reset by the round's
     /// leader *after* the round's second barrier; the next round uses the
     /// other slot, so no worker can race a reset against an accumulate
     /// (the reset leader must pass the next round's first barrier before
     /// that slot is reused).
-    totals: [AtomicU64; 2],
-    totals_f: [parking_lot::Mutex<f64>; 2],
+    totals: [SharedCell<u64>; 2],
+    totals_f: [SharedCell<f64>; 2],
 }
 
 impl GlobalSync {
     pub fn new(workers: usize) -> Arc<Self> {
         Arc::new(Self {
-            barrier: Barrier::new(workers),
-            totals: [AtomicU64::new(0), AtomicU64::new(0)],
-            totals_f: [parking_lot::Mutex::new(0.0), parking_lot::Mutex::new(0.0)],
+            barrier: TrackedBarrier::new("grape.sync.barrier", workers),
+            totals: [
+                SharedCell::new("grape.sync.totals.0", 0),
+                SharedCell::new("grape.sync.totals.1", 0),
+            ],
+            totals_f: [
+                SharedCell::new("grape.sync.totals_f.0", 0.0),
+                SharedCell::new("grape.sync.totals_f.1", 0.0),
+            ],
         })
     }
 
@@ -38,12 +50,12 @@ impl GlobalSync {
     /// [`CommHandle::allreduce`], which manages the counter).
     pub fn sum_at(&self, round: u64, contribution: u64) -> u64 {
         let slot = (round % 2) as usize;
-        self.totals[slot].fetch_add(contribution, Ordering::AcqRel);
+        self.totals[slot].update(|v| *v += contribution);
         self.barrier.wait();
-        let result = self.totals[slot].load(Ordering::Acquire);
+        let result = self.totals[slot].get();
         let wait = self.barrier.wait();
         if wait.is_leader() {
-            self.totals[slot].store(0, Ordering::Release);
+            self.totals[slot].set(0);
         }
         result
     }
@@ -51,12 +63,12 @@ impl GlobalSync {
     /// f64 all-reduce at a collective round (PageRank dangling mass).
     pub fn sum_f64_at(&self, round: u64, contribution: f64) -> f64 {
         let slot = (round % 2) as usize;
-        *self.totals_f[slot].lock() += contribution;
+        self.totals_f[slot].update(|v| *v += contribution);
         self.barrier.wait();
-        let result = *self.totals_f[slot].lock();
+        let result = self.totals_f[slot].get();
         let wait = self.barrier.wait();
         if wait.is_leader() {
-            *self.totals_f[slot].lock() = 0.0;
+            self.totals_f[slot].set(0.0);
         }
         result
     }
@@ -66,8 +78,8 @@ impl GlobalSync {
 pub struct CommHandle {
     pub my_id: usize,
     pub workers: usize,
-    senders: Vec<Sender<(usize, MessageBlock)>>,
-    receiver: Receiver<(usize, MessageBlock)>,
+    senders: Vec<TrackedSender<(usize, MessageBlock)>>,
+    receiver: TrackedReceiver<(usize, MessageBlock)>,
     pub sync: Arc<GlobalSync>,
     /// This worker's collective-round counter (each allreduce is one
     /// collective round; all workers must make the same sequence of calls).
@@ -86,7 +98,7 @@ impl CommHandle {
         let mut senders = Vec::with_capacity(k);
         let mut receivers = Vec::with_capacity(k);
         for _ in 0..k {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = unbounded("grape.exchange");
             senders.push(tx);
             receivers.push(rx);
         }

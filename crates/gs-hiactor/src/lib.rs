@@ -12,12 +12,13 @@
 //! the design contrast with Gaia: minimal coordination overhead per query,
 //! no data parallelism within one.
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use gs_grin::GrinGraph;
 use gs_ir::exec::execute;
 use gs_ir::physical::PhysicalPlan;
 use gs_ir::record::Record;
 use gs_ir::{GraphError, Result, Value};
+use gs_sanitizer::channel::{bounded, unbounded, TrackedReceiver, TrackedSender};
+use gs_sanitizer::SharedCell;
 use gs_telemetry::observe;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -28,7 +29,7 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// The shard-actor runtime.
 pub struct HiActorRuntime {
-    shards: Vec<Sender<Job>>,
+    shards: Vec<TrackedSender<Job>>,
     /// Jobs currently waiting in (or running from) each shard's mailbox.
     depths: Vec<Arc<AtomicU64>>,
     handles: Vec<std::thread::JoinHandle<()>>,
@@ -42,15 +43,18 @@ impl HiActorRuntime {
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for i in 0..shards {
-            let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+            let (tx, rx): (TrackedSender<Job>, TrackedReceiver<Job>) = unbounded("hiactor.mailbox");
             senders.push(tx);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("hiactor-shard-{i}"))
                     .spawn(move || {
-                        // the actor loop: drain the mailbox sequentially
+                        // the actor loop: drain the mailbox sequentially. A
+                        // panicking job must not take the whole shard down —
+                        // its caller sees the dropped result channel as a
+                        // structured error; the shard keeps serving.
                         for job in rx {
-                            job();
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                         }
                     })
                     .expect("spawn shard"),
@@ -76,32 +80,44 @@ impl HiActorRuntime {
 
     /// Submits a job to a specific shard (or round-robin when `None`);
     /// returns a completion receiver.
-    pub fn submit<T, F>(&self, shard: Option<usize>, f: F) -> Receiver<T>
+    pub fn submit<T, F>(&self, shard: Option<usize>, f: F) -> TrackedReceiver<T>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        let (tx, rx) = bounded(1);
+        let (tx, rx) = bounded("hiactor.result", 1);
         let idx = shard
             .unwrap_or_else(|| self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len())
             % self.shards.len();
         let depth = Arc::clone(&self.depths[idx]);
         let d = depth.fetch_add(1, Ordering::Relaxed) + 1;
         observe!("hiactor.queue_depth", shard = idx; d);
-        // decrement before publishing the result so a caller that has
-        // observed completion never sees this job still counted
+        // the depth must come back down even when the job panics out of the
+        // shard loop's catch_unwind, so decrement from a drop guard —
+        // before publishing the result, so a caller that has observed
+        // completion never sees this job still counted
+        struct DepthGuard(Arc<AtomicU64>);
+        impl Drop for DepthGuard {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        let guard = DepthGuard(depth);
         let job: Job = Box::new(move || {
             let out = f();
-            depth.fetch_sub(1, Ordering::Relaxed);
+            drop(guard);
             let _ = tx.send(out);
         });
-        self.shards[idx].send(job).expect("shard alive");
+        // a dead shard drops the job here, which drops `tx`; the caller
+        // observes a disconnected result channel and maps it to a
+        // structured error instead of this send panicking
+        let _ = self.shards[idx].send(job);
         rx
     }
 
     /// Blocks until all shards have drained their current mailboxes.
     pub fn quiesce(&self) {
-        let receivers: Vec<Receiver<()>> = (0..self.shards.len())
+        let receivers: Vec<TrackedReceiver<()>> = (0..self.shards.len())
             .map(|i| self.submit(Some(i), || ()))
             .collect();
         for r in receivers {
@@ -138,7 +154,7 @@ pub type Procedure =
 /// database.
 pub struct QueryService {
     runtime: HiActorRuntime,
-    procedures: parking_lot::RwLock<HashMap<String, Procedure>>,
+    procedures: SharedCell<HashMap<String, Procedure>>,
     verify: gs_ir::VerifyLevel,
 }
 
@@ -147,7 +163,7 @@ impl QueryService {
     pub fn new(shards: usize) -> Self {
         Self {
             runtime: HiActorRuntime::new(shards),
-            procedures: parking_lot::RwLock::new(HashMap::new()),
+            procedures: SharedCell::new("hiactor.procedures", HashMap::new()),
             verify: gs_ir::VerifyLevel::default(),
         }
     }
@@ -165,7 +181,9 @@ impl QueryService {
 
     /// Registers a native stored procedure.
     pub fn register(&self, name: &str, proc_: Procedure) {
-        self.procedures.write().insert(name.to_string(), proc_);
+        self.procedures.update(|m| {
+            m.insert(name.to_string(), proc_);
+        });
     }
 
     /// Registers a pre-compiled physical plan as a procedure over a fixed
@@ -181,8 +199,8 @@ impl QueryService {
         &self,
         name: &str,
         params: HashMap<String, Value>,
-    ) -> Receiver<Result<Vec<Record>>> {
-        let proc_ = self.procedures.read().get(name).cloned();
+    ) -> TrackedReceiver<Result<Vec<Record>>> {
+        let proc_ = self.procedures.read_with(|m| m.get(name).cloned());
         match proc_ {
             Some(p) => {
                 let name = name.to_string();
@@ -196,7 +214,7 @@ impl QueryService {
                 })
             }
             None => {
-                let (tx, rx) = bounded(1);
+                let (tx, rx) = bounded("hiactor.result", 1);
                 let _ = tx.send(Err(GraphError::Query(format!(
                     "unknown procedure `{name}`"
                 ))));
@@ -205,11 +223,17 @@ impl QueryService {
         }
     }
 
-    /// Synchronous convenience wrapper.
+    /// Synchronous convenience wrapper. A procedure that panics (or a shard
+    /// that shut down mid-call) surfaces as a structured [`GraphError`]
+    /// rather than a caller-side panic.
     pub fn call_sync(&self, name: &str, params: HashMap<String, Value>) -> Result<Vec<Record>> {
-        self.call(name, params)
-            .recv()
-            .map_err(|_| GraphError::Query("procedure channel closed".into()))?
+        self.call(name, params).recv().map_err(|_| {
+            GraphError::Query(
+                "hiactor shard worker terminated before replying \
+                 (procedure panicked or shard shut down)"
+                    .into(),
+            )
+        })?
     }
 }
 
@@ -248,8 +272,13 @@ impl gs_ir::QueryEngine for QueryService {
             }
             r
         });
-        rx.recv()
-            .map_err(|_| GraphError::Query("hiactor shard dropped the query".into()))?
+        rx.recv().map_err(|_| {
+            GraphError::Query(
+                "hiactor shard worker terminated before replying \
+                 (query panicked or shard shut down)"
+                    .into(),
+            )
+        })?
     }
 
     fn name(&self) -> &'static str {
@@ -368,6 +397,48 @@ mod tests {
     fn unknown_procedure_errors() {
         let svc = QueryService::new(1);
         assert!(svc.call_sync("ghost", HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn panicking_procedure_surfaces_structured_error() {
+        let svc = QueryService::new(2);
+        svc.register("boom", Arc::new(|_| panic!("procedure exploded")));
+        svc.register("ok", Arc::new(|_| Ok(vec![vec![Value::Int(7)]])));
+        // silence the panic backtrace this test deliberately provokes
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = svc.call_sync("boom", HashMap::new()).unwrap_err();
+        std::panic::set_hook(prev);
+        match &err {
+            GraphError::Query(msg) => {
+                assert!(msg.contains("terminated"), "unexpected message: {msg}")
+            }
+            other => panic!("expected Query error, got {other:?}"),
+        }
+        // the shard survived the panic and still serves calls
+        for _ in 0..8 {
+            let rows = svc.call_sync("ok", HashMap::new()).unwrap();
+            assert_eq!(rows[0][0], Value::Int(7));
+        }
+    }
+
+    #[test]
+    fn adhoc_query_after_worker_death_reports_terminated() {
+        use gs_ir::QueryEngine;
+        let g = graph();
+        let s = g.schema().clone();
+        let plan = lower_naive(&PlanBuilder::new(&s).scan("a", "V").unwrap().build()).unwrap();
+        let svc = QueryService::new(1);
+        // kill the single shard mid-stream: a job that panics, then an
+        // ad-hoc query right behind it on the same mailbox
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let dead = svc.runtime().submit(Some(0), || panic!("worker killed"));
+        assert!(dead.recv().is_err(), "panicked job must not reply");
+        std::panic::set_hook(prev);
+        // the runtime absorbed the death; the next query still runs
+        let rows = QueryEngine::execute(&svc, &plan, g.as_ref()).unwrap();
+        assert_eq!(rows.len(), 100);
     }
 
     #[test]

@@ -13,9 +13,10 @@
 
 use crate::sage::GraphSage;
 use crate::sampler::{SampledBatch, Sampler};
-use crossbeam::channel::bounded;
 use gs_graph::{LabelId, VId};
 use gs_grin::GrinGraph;
+use gs_sanitizer::channel::bounded;
+use gs_sanitizer::TrackedMutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -87,10 +88,11 @@ pub fn train_epoch(
     assert!(n > 0, "empty graph");
     let start = Instant::now();
     let next_batch = AtomicUsize::new(0);
-    let (batch_tx, batch_rx) = bounded::<(SampledBatch, Vec<usize>)>(cfg.prefetch.max(1));
-    let sample_busy = parking_lot::Mutex::new(Duration::ZERO);
-    let train_busy = parking_lot::Mutex::new(Duration::ZERO);
-    let losses = parking_lot::Mutex::new(Vec::<f32>::new());
+    let (batch_tx, batch_rx) =
+        bounded::<(SampledBatch, Vec<usize>)>("learn.batches", cfg.prefetch.max(1));
+    let sample_busy = TrackedMutex::new("learn.sample_busy", Duration::ZERO);
+    let train_busy = TrackedMutex::new("learn.train_busy", Duration::ZERO);
+    let losses = TrackedMutex::new("learn.losses", Vec::<f32>::new());
 
     let models: Vec<GraphSage> = crossbeam::thread::scope(|s| {
         // ---- sampling workers ----

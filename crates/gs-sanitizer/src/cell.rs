@@ -1,0 +1,82 @@
+//! [`SharedCell`]: a labelled wrapper for hot cross-thread state whose
+//! accesses are race-checked under `sanitize`.
+//!
+//! The cell is always internally synchronized (a `parking_lot::RwLock`),
+//! so every access is *atomic* — but atomicity is not *ordering*. The
+//! sanitizer checks that accesses are ordered by real happens-before
+//! edges (tracked locks, channels, barriers), which is what protocols
+//! like GRAPE's double-buffered aggregator actually rely on:
+//!
+//! * [`SharedCell::update`] is a **combining** write (e.g. `+=`) —
+//!   unordered with other updates by design, but racy against reads and
+//!   exclusive writes;
+//! * [`SharedCell::set`] is an **exclusive** write — racy against every
+//!   unordered access;
+//! * [`SharedCell::read_with`] / [`SharedCell::get`] are reads — racy
+//!   against unordered writes of either kind.
+//!
+//! A violation is reported as `S002` with the cell's site label.
+
+#[cfg(feature = "sanitize")]
+use crate::state::{self, CellAccess};
+
+/// Internally synchronized shared state with, under `sanitize`,
+/// vector-clock happens-before race checking. See the module docs.
+pub struct SharedCell<T> {
+    #[cfg(feature = "sanitize")]
+    id: usize,
+    inner: parking_lot::RwLock<T>,
+}
+
+impl<T> SharedCell<T> {
+    /// A cell labelled `label` for diagnostics.
+    pub fn new(label: &'static str, value: T) -> Self {
+        #[cfg(not(feature = "sanitize"))]
+        let _ = label;
+        Self {
+            #[cfg(feature = "sanitize")]
+            id: state::register_cell(label),
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the cell, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+
+    /// Reads through a closure (shared access).
+    #[inline]
+    pub fn read_with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        #[cfg(feature = "sanitize")]
+        state::on_cell_access(self.id, CellAccess::Read);
+        f(&self.inner.read())
+    }
+
+    /// A combining (commutative) in-place write, e.g. an accumulate.
+    /// Concurrent `update`s are allowed; unordered reads or `set`s against
+    /// an `update` are races.
+    #[inline]
+    pub fn update<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        #[cfg(feature = "sanitize")]
+        state::on_cell_access(self.id, CellAccess::Update);
+        f(&mut self.inner.write())
+    }
+
+    /// An exclusive write: replaces the value. Every other unordered
+    /// access races with it.
+    #[inline]
+    pub fn set(&self, value: T) {
+        #[cfg(feature = "sanitize")]
+        state::on_cell_access(self.id, CellAccess::Set);
+        *self.inner.write() = value;
+    }
+}
+
+impl<T: Copy> SharedCell<T> {
+    /// Copies the current value out (a read).
+    #[inline]
+    pub fn get(&self) -> T {
+        self.read_with(|v| *v)
+    }
+}

@@ -1,0 +1,345 @@
+//! Tracked MPMC channels with crossbeam semantics. [`unbounded`] /
+//! [`bounded`] mirror `crossbeam::channel`, adding a site label. Under
+//! `sanitize` every message carries the sender's vector clock (the
+//! happens-before edge a channel provides) and the wrappers maintain the
+//! liveness counters behind `S003`–`S005` and `W201`; without it they are
+//! inlined pass-throughs.
+
+pub use crossbeam::channel::{RecvError, SendError, TryRecvError};
+
+// =====================================================================
+// sanitize: tracked implementation
+// =====================================================================
+
+#[cfg(feature = "sanitize")]
+mod imp {
+    use super::{RecvError, SendError, TryRecvError};
+    use crate::state::{self, ChanInfo};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    /// A message plus the sender's clock snapshot.
+    pub(super) struct Env<T> {
+        v: T,
+        vc: state::Vc,
+    }
+
+    /// The sending half of a tracked channel; cloneable.
+    pub struct TrackedSender<T> {
+        inner: crossbeam::channel::Sender<Env<T>>,
+        info: Arc<ChanInfo>,
+        site: &'static str,
+    }
+
+    /// The receiving half of a tracked channel; cloneable (MPMC).
+    pub struct TrackedReceiver<T> {
+        inner: crossbeam::channel::Receiver<Env<T>>,
+        info: Arc<ChanInfo>,
+        site: &'static str,
+    }
+
+    fn make<T>(site: &'static str, cap: Option<usize>) -> (TrackedSender<T>, TrackedReceiver<T>) {
+        let (tx, rx) = match cap {
+            Some(c) => crossbeam::channel::bounded(c),
+            None => crossbeam::channel::unbounded(),
+        };
+        let info = Arc::new(ChanInfo {
+            label: site,
+            bounded: cap,
+            len: 0.into(),
+            hwm: 0.into(),
+            receivers: 1.into(),
+            receiving: 0.into(),
+        });
+        state::register_channel(&info);
+        (
+            TrackedSender {
+                inner: tx,
+                info: Arc::clone(&info),
+                site,
+            },
+            TrackedReceiver {
+                inner: rx,
+                info,
+                site,
+            },
+        )
+    }
+
+    /// An unbounded tracked channel labelled `site`.
+    pub fn unbounded<T>(site: &'static str) -> (TrackedSender<T>, TrackedReceiver<T>) {
+        make(site, None)
+    }
+
+    /// A bounded tracked channel labelled `site` (capacity ≥ 1).
+    pub fn bounded<T>(site: &'static str, cap: usize) -> (TrackedSender<T>, TrackedReceiver<T>) {
+        make(site, Some(cap.max(1)))
+    }
+
+    impl<T> TrackedSender<T> {
+        /// Sends a message, blocking under back-pressure. A send on a
+        /// disconnected channel records `S003` and returns the error.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let vc = state::on_send(self.site);
+            match self.inner.send(Env { v: value, vc }) {
+                Ok(()) => {
+                    let len = self.info.len.fetch_add(1, Ordering::SeqCst) + 1;
+                    self.info.hwm.fetch_max(len.max(0) as u64, Ordering::SeqCst);
+                    Ok(())
+                }
+                Err(SendError(env)) => {
+                    state::on_send_disconnected(self.site);
+                    Err(SendError(env.v))
+                }
+            }
+        }
+    }
+
+    impl<T> Clone for TrackedSender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+                info: Arc::clone(&self.info),
+                site: self.site,
+            }
+        }
+    }
+
+    impl<T> TrackedReceiver<T> {
+        /// Blocks until a message arrives, joining the sender's clock.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.info.receiving.fetch_add(1, Ordering::SeqCst);
+            let r = self.inner.recv();
+            self.info.receiving.fetch_sub(1, Ordering::SeqCst);
+            match r {
+                Ok(env) => {
+                    self.info.len.fetch_sub(1, Ordering::SeqCst);
+                    state::on_recv(&env.vc, self.site);
+                    Ok(env.v)
+                }
+                Err(e) => Err(e),
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            match self.inner.try_recv() {
+                Ok(env) => {
+                    self.info.len.fetch_sub(1, Ordering::SeqCst);
+                    state::on_recv(&env.vc, self.site);
+                    Ok(env.v)
+                }
+                Err(e) => Err(e),
+            }
+        }
+
+        /// Messages queued right now (as tracked by the wrappers).
+        pub fn len(&self) -> usize {
+            self.info.len.load(Ordering::SeqCst).max(0) as usize
+        }
+
+        /// Whether the queue is empty right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Blocking iterator that ends on disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Clone for TrackedReceiver<T> {
+        fn clone(&self) -> Self {
+            self.info.receivers.fetch_add(1, Ordering::SeqCst);
+            Self {
+                inner: self.inner.clone(),
+                info: Arc::clone(&self.info),
+                site: self.site,
+            }
+        }
+    }
+
+    impl<T> Drop for TrackedReceiver<T> {
+        fn drop(&mut self) {
+            if self.info.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let queued = self.info.len.load(Ordering::SeqCst);
+                let hwm = self.info.hwm.load(Ordering::SeqCst);
+                state::on_receiver_gone(self.site, queued, hwm, self.info.bounded.is_some());
+            }
+        }
+    }
+
+    /// Borrowing blocking iterator.
+    pub struct Iter<'a, T> {
+        rx: &'a TrackedReceiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Owning blocking iterator.
+    pub struct IntoIter<T> {
+        rx: TrackedReceiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for TrackedReceiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a TrackedReceiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+}
+
+// =====================================================================
+// default: zero-cost pass-throughs
+// =====================================================================
+
+#[cfg(not(feature = "sanitize"))]
+mod imp {
+    use super::{RecvError, SendError, TryRecvError};
+
+    /// Pass-through sending half (the `sanitize` feature is off).
+    pub struct TrackedSender<T> {
+        inner: crossbeam::channel::Sender<T>,
+    }
+
+    /// Pass-through receiving half (the `sanitize` feature is off).
+    pub struct TrackedReceiver<T> {
+        inner: crossbeam::channel::Receiver<T>,
+    }
+
+    /// An unbounded channel; `site` is ignored in pass-through builds.
+    #[inline]
+    pub fn unbounded<T>(_site: &'static str) -> (TrackedSender<T>, TrackedReceiver<T>) {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        (TrackedSender { inner: tx }, TrackedReceiver { inner: rx })
+    }
+
+    /// A bounded channel; `site` is ignored in pass-through builds.
+    #[inline]
+    pub fn bounded<T>(_site: &'static str, cap: usize) -> (TrackedSender<T>, TrackedReceiver<T>) {
+        let (tx, rx) = crossbeam::channel::bounded(cap);
+        (TrackedSender { inner: tx }, TrackedReceiver { inner: rx })
+    }
+
+    impl<T> TrackedSender<T> {
+        /// Sends a message, blocking under back-pressure.
+        #[inline]
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    impl<T> Clone for TrackedSender<T> {
+        #[inline]
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> TrackedReceiver<T> {
+        /// Blocks until a message arrives or the channel disconnects.
+        #[inline]
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Non-blocking receive.
+        #[inline]
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Messages queued right now.
+        #[inline]
+        pub fn len(&self) -> usize {
+            self.inner.len()
+        }
+
+        /// Whether the queue is empty right now.
+        #[inline]
+        pub fn is_empty(&self) -> bool {
+            self.inner.is_empty()
+        }
+
+        /// Blocking iterator that ends on disconnect.
+        #[inline]
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Clone for TrackedReceiver<T> {
+        #[inline]
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// Borrowing blocking iterator.
+    pub struct Iter<'a, T> {
+        rx: &'a TrackedReceiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Owning blocking iterator.
+    pub struct IntoIter<T> {
+        rx: TrackedReceiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for TrackedReceiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a TrackedReceiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+}
+
+pub use imp::{bounded, unbounded, IntoIter, Iter, TrackedReceiver, TrackedSender};

@@ -1,0 +1,206 @@
+//! # gs-sanitizer — concurrency sanitizer for the simulated cluster
+//!
+//! The repo's premise is that an in-process cluster simulation (threads +
+//! channels standing in for the paper's 8-node Kubernetes deployment)
+//! preserves the *code paths* of the real system — which means its
+//! concurrency bugs are real too. This crate instruments the simulation's
+//! synchronization layer and reports defects with stable diagnostic
+//! codes, mirroring `gs-irlint` one layer down:
+//!
+//! | code | finding |
+//! |---|---|
+//! | `S001` | lock-order cycle (potential deadlock), both sites attributed |
+//! | `S002` | happens-before race on a [`SharedCell`] |
+//! | `S003` | send on a disconnected channel |
+//! | `S004` | receiver still blocked in `recv()` at report time |
+//! | `S005` | last receiver dropped with messages still queued |
+//! | `W201` | unbounded queue exceeded its high-watermark |
+//!
+//! **Instrumentation.** Drop-in wrappers — [`TrackedMutex`],
+//! [`TrackedRwLock`], [`TrackedBarrier`], [`channel::unbounded`] /
+//! [`channel::bounded`], [`SharedCell`] — record acquire/release/
+//! send/recv events (thread id + site label) into a global event log and
+//! maintain per-thread vector clocks. Locks feed a lock-order graph with
+//! cycle detection; cells get FastTrack-style happens-before race
+//! checking; channels get liveness counters.
+//!
+//! **Cost.** Everything above only exists with the `sanitize` feature.
+//! Without it (the default) every wrapper compiles to an inlined
+//! pass-through over `parking_lot` / `crossbeam` / `std::sync::Barrier`,
+//! and [`take_report`] returns an empty report — the hot paths carry zero
+//! sanitizer overhead.
+//!
+//! ```
+//! use gs_sanitizer::{channel, SharedCell, TrackedMutex};
+//!
+//! let (out, report) = gs_sanitizer::with_sanitizer(42, || {
+//!     let m = TrackedMutex::new("demo.lock", 0u64);
+//!     *m.lock() += 1;
+//!     let (tx, rx) = channel::unbounded("demo.chan");
+//!     tx.send(7u64).unwrap();
+//!     rx.recv().unwrap()
+//! });
+//! assert_eq!(out, 7);
+//! assert!(report.is_clean(), "{}", report.render());
+//! ```
+
+mod cell;
+pub mod channel;
+mod report;
+#[cfg(feature = "sanitize")]
+mod state;
+mod sync;
+
+pub use cell::SharedCell;
+pub use report::{Diagnostic, Event, Report, Severity};
+pub use report::{
+    S_DATA_RACE, S_LOCK_CYCLE, S_LOST_MESSAGES, S_RECV_STUCK, S_SEND_DISCONNECTED,
+    W_QUEUE_WATERMARK,
+};
+pub use sync::{TrackedBarrier, TrackedMutex, TrackedRwLock};
+#[cfg(feature = "sanitize")]
+pub use sync::{TrackedMutexGuard, TrackedReadGuard, TrackedWriteGuard};
+
+/// Whether this build carries the instrumentation (`sanitize` feature).
+pub const COMPILED: bool = cfg!(feature = "sanitize");
+
+#[cfg(feature = "sanitize")]
+mod control {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    pub(crate) static ENABLED: AtomicBool = AtomicBool::new(false);
+    pub(crate) static SEED: AtomicU64 = AtomicU64::new(0);
+
+    /// Starts recording. `seed` is stored for workload drivers (the
+    /// simulation has no deterministic scheduler; the seed pins the
+    /// workload shape so runs are comparable) and reported by [`seed`].
+    ///
+    /// [`seed`]: crate::seed
+    pub fn enable(seed: u64) {
+        SEED.store(seed, Ordering::Release);
+        ENABLED.store(true, Ordering::Release);
+    }
+
+    /// Stops recording; accumulated findings survive until
+    /// [`take_report`](crate::take_report).
+    pub fn disable() {
+        ENABLED.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(feature = "sanitize")]
+pub use control::{disable, enable};
+
+/// Starts recording (no-op in pass-through builds).
+#[cfg(not(feature = "sanitize"))]
+pub fn enable(_seed: u64) {}
+
+/// Stops recording (no-op in pass-through builds).
+#[cfg(not(feature = "sanitize"))]
+pub fn disable() {}
+
+/// Whether the sanitizer is compiled in *and* currently recording.
+#[inline]
+pub fn enabled() -> bool {
+    #[cfg(feature = "sanitize")]
+    {
+        control::ENABLED.load(std::sync::atomic::Ordering::Acquire)
+    }
+    #[cfg(not(feature = "sanitize"))]
+    {
+        false
+    }
+}
+
+/// The seed passed to the last [`enable`] (0 in pass-through builds).
+pub fn seed() -> u64 {
+    #[cfg(feature = "sanitize")]
+    {
+        control::SEED.load(std::sync::atomic::Ordering::Acquire)
+    }
+    #[cfg(not(feature = "sanitize"))]
+    {
+        0
+    }
+}
+
+/// Drains all findings into a [`Report`] and resets the per-run analysis
+/// state. Empty in pass-through builds.
+pub fn take_report() -> Report {
+    #[cfg(feature = "sanitize")]
+    {
+        state::take_report()
+    }
+    #[cfg(not(feature = "sanitize"))]
+    {
+        Report::default()
+    }
+}
+
+/// The event log so far plus the number of events dropped at the cap.
+/// Cleared by [`take_report`]. Empty in pass-through builds.
+pub fn take_events() -> (Vec<Event>, u64) {
+    #[cfg(feature = "sanitize")]
+    {
+        state::events()
+    }
+    #[cfg(not(feature = "sanitize"))]
+    {
+        (Vec::new(), 0)
+    }
+}
+
+/// Overrides the unbounded-queue high-watermark behind `W201` until the
+/// next [`take_report`]. No-op in pass-through builds.
+pub fn set_unbounded_watermark(n: u64) {
+    #[cfg(feature = "sanitize")]
+    state::set_watermark(n);
+    #[cfg(not(feature = "sanitize"))]
+    let _ = n;
+}
+
+/// Receivers currently blocked in `recv()` across all live tracked
+/// channels (the `S004` condition); 0 in pass-through builds. Useful for
+/// tests that need to wait until a fixture thread is parked.
+pub fn blocked_receivers() -> usize {
+    #[cfg(feature = "sanitize")]
+    {
+        state::blocked_receivers()
+    }
+    #[cfg(not(feature = "sanitize"))]
+    {
+        0
+    }
+}
+
+/// Serializes access to the process-global sanitizer state. Tests (and
+/// any two concurrent sanitized workloads in one process) must hold this
+/// guard around `enable … take_report` so findings do not cross-
+/// contaminate.
+pub fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+    use std::sync::OnceLock;
+    static GATE: OnceLock<parking_lot::Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| parking_lot::Mutex::new(())).lock()
+}
+
+/// Runs `f` as one exclusive sanitized workload: takes the [`exclusive`]
+/// gate, drains stale state, enables with `seed`, runs `f`, disables, and
+/// returns `f`'s result plus the run's [`Report`]. In pass-through builds
+/// `f` still runs (under the gate) and the report is empty.
+pub fn with_sanitizer<T>(seed: u64, f: impl FnOnce() -> T) -> (T, Report) {
+    let _gate = exclusive();
+    let _ = take_report(); // drop anything a previous workload leaked
+    enable(seed);
+    // disable even if `f` unwinds, so a panicking test cannot leave the
+    // global sanitizer recording for unrelated code
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            disable();
+        }
+    }
+    let disarm = Disarm;
+    let out = f();
+    drop(disarm);
+    (out, take_report())
+}

@@ -1,0 +1,134 @@
+//! Concurrency diagnostics with stable codes, mirroring `gs-ir::verify`'s
+//! `E0xx`/`W1xx` scheme one layer down: `S0xx` are concurrency defects
+//! (potential deadlocks, races, liveness failures), `W2xx` are smells.
+
+use std::fmt;
+
+// ---------------------------------------------------------------------
+// Diagnostic codes
+// ---------------------------------------------------------------------
+
+/// A cycle in the lock-order graph: some set of lock sites is acquired in
+/// inconsistent nested order across threads (potential deadlock).
+pub const S_LOCK_CYCLE: &str = "S001";
+/// A happens-before violation on a [`SharedCell`](crate::SharedCell):
+/// two conflicting accesses with no ordering between them (data race).
+pub const S_DATA_RACE: &str = "S002";
+/// A send on a channel whose receivers are all gone — the message (and
+/// usually the sender's thread of work) is lost.
+pub const S_SEND_DISCONNECTED: &str = "S003";
+/// A receiver still blocked in `recv()` when the report was taken: the
+/// workload tore down while a thread was waiting for a message that will
+/// never arrive.
+pub const S_RECV_STUCK: &str = "S004";
+/// The last receiver of a channel was dropped while messages were still
+/// queued — in-flight work silently discarded at teardown.
+pub const S_LOST_MESSAGES: &str = "S005";
+/// An unbounded channel's queue grew past the configured high-watermark:
+/// producers outpace consumers with no back-pressure (liveness smell).
+pub const W_QUEUE_WATERMARK: &str = "W201";
+
+/// Diagnostic severity: `S` codes are errors, `W` codes warnings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// A concurrency defect (`S001`–`S005`).
+    Error,
+    /// A smell worth a look (`W201`).
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => f.write_str("error"),
+            Severity::Warning => f.write_str("warning"),
+        }
+    }
+}
+
+/// One concurrency finding.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Stable code (`S001`…`S005`, `W201`).
+    pub code: &'static str,
+    /// Error for `S` codes, warning for `W` codes.
+    pub severity: Severity,
+    /// The instrumentation-site labels involved — both sites for a
+    /// lock-order cycle, the cell or channel label otherwise.
+    pub sites: Vec<String>,
+    /// Human-readable description with thread attribution.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {} ({})",
+            self.code,
+            self.severity,
+            self.message,
+            self.sites.join(", ")
+        )
+    }
+}
+
+/// The outcome of one sanitized run: every finding since the last
+/// [`take_report`](crate::take_report).
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Findings in detection order (lock-order cycles are appended at
+    /// report time, after the event-driven findings).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Number of `S`-code findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of `W`-code findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// No findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether any finding carries `code`.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// One line per finding, for assertions and logs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{d}\n"));
+        }
+        out
+    }
+}
+
+/// One entry of the global event log: what a tracked wrapper observed.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Global sequence number (total order of recorded events).
+    pub seq: u64,
+    /// Sanitizer-assigned dense thread id.
+    pub thread: u32,
+    /// Operation kind: `acquire`, `release`, `send`, `recv`,
+    /// `barrier`, `cell.read`, `cell.update`, `cell.set`.
+    pub kind: &'static str,
+    /// The instrumentation-site label passed to the wrapper.
+    pub site: &'static str,
+}

@@ -1,0 +1,309 @@
+//! Tracked drop-in lock wrappers: [`TrackedMutex`], [`TrackedRwLock`],
+//! [`TrackedBarrier`]. Every constructor takes a `&'static str` site label
+//! that identifies the lock in diagnostics and the lock-order graph.
+//!
+//! Without the `sanitize` feature these are inlined pass-throughs over
+//! `parking_lot` / `std::sync::Barrier` with zero overhead; with it, each
+//! acquire/release records an event, extends the lock-order graph, and
+//! propagates vector clocks.
+
+#[cfg(feature = "sanitize")]
+use crate::state::{self, LockMode};
+
+// =====================================================================
+// sanitize: tracked implementations
+// =====================================================================
+
+/// A mutex whose acquire/release feed the lock-order and happens-before
+/// analyses. API mirrors `parking_lot::Mutex` plus a site label.
+#[cfg(feature = "sanitize")]
+pub struct TrackedMutex<T: ?Sized> {
+    id: usize,
+    label: &'static str,
+    inner: parking_lot::Mutex<T>,
+}
+
+#[cfg(feature = "sanitize")]
+impl<T> TrackedMutex<T> {
+    /// A tracked mutex labelled `label` for diagnostics.
+    pub fn new(label: &'static str, value: T) -> Self {
+        Self {
+            id: state::register_lock(label),
+            label,
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+#[cfg(feature = "sanitize")]
+impl<T: ?Sized> TrackedMutex<T> {
+    /// Acquires the lock, recording the acquisition.
+    pub fn lock(&self) -> TrackedMutexGuard<'_, T> {
+        state::before_acquire(self.id, self.label, LockMode::Excl);
+        let guard = self.inner.lock();
+        state::after_acquire(self.id);
+        TrackedMutexGuard { lock: self, guard }
+    }
+}
+
+/// Guard for [`TrackedMutex`]; records the release on drop.
+#[cfg(feature = "sanitize")]
+pub struct TrackedMutexGuard<'a, T: ?Sized> {
+    lock: &'a TrackedMutex<T>,
+    guard: std::sync::MutexGuard<'a, T>,
+}
+
+#[cfg(feature = "sanitize")]
+impl<T: ?Sized> std::ops::Deref for TrackedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+#[cfg(feature = "sanitize")]
+impl<T: ?Sized> std::ops::DerefMut for TrackedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(feature = "sanitize")]
+impl<T: ?Sized> Drop for TrackedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // runs before the inner guard's drop, i.e. before the real unlock
+        state::on_release(self.lock.id, self.lock.label);
+    }
+}
+
+/// A reader-writer lock whose acquisitions feed the analyses; see
+/// [`TrackedMutex`].
+#[cfg(feature = "sanitize")]
+pub struct TrackedRwLock<T: ?Sized> {
+    id: usize,
+    label: &'static str,
+    inner: parking_lot::RwLock<T>,
+}
+
+#[cfg(feature = "sanitize")]
+impl<T> TrackedRwLock<T> {
+    /// A tracked rwlock labelled `label` for diagnostics.
+    pub fn new(label: &'static str, value: T) -> Self {
+        Self {
+            id: state::register_lock(label),
+            label,
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+#[cfg(feature = "sanitize")]
+impl<T: ?Sized> TrackedRwLock<T> {
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> TrackedReadGuard<'_, T> {
+        state::before_acquire(self.id, self.label, LockMode::Read);
+        let guard = self.inner.read();
+        state::after_acquire(self.id);
+        TrackedReadGuard { lock: self, guard }
+    }
+
+    /// Acquires the exclusive write guard.
+    pub fn write(&self) -> TrackedWriteGuard<'_, T> {
+        state::before_acquire(self.id, self.label, LockMode::Excl);
+        let guard = self.inner.write();
+        state::after_acquire(self.id);
+        TrackedWriteGuard { lock: self, guard }
+    }
+}
+
+/// Shared guard for [`TrackedRwLock`].
+#[cfg(feature = "sanitize")]
+pub struct TrackedReadGuard<'a, T: ?Sized> {
+    lock: &'a TrackedRwLock<T>,
+    guard: std::sync::RwLockReadGuard<'a, T>,
+}
+
+#[cfg(feature = "sanitize")]
+impl<T: ?Sized> std::ops::Deref for TrackedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+#[cfg(feature = "sanitize")]
+impl<T: ?Sized> Drop for TrackedReadGuard<'_, T> {
+    fn drop(&mut self) {
+        state::on_release(self.lock.id, self.lock.label);
+    }
+}
+
+/// Exclusive guard for [`TrackedRwLock`].
+#[cfg(feature = "sanitize")]
+pub struct TrackedWriteGuard<'a, T: ?Sized> {
+    lock: &'a TrackedRwLock<T>,
+    guard: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+#[cfg(feature = "sanitize")]
+impl<T: ?Sized> std::ops::Deref for TrackedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+#[cfg(feature = "sanitize")]
+impl<T: ?Sized> std::ops::DerefMut for TrackedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(feature = "sanitize")]
+impl<T: ?Sized> Drop for TrackedWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        state::on_release(self.lock.id, self.lock.label);
+    }
+}
+
+/// A barrier that, under sanitize, joins every participant's vector clock
+/// on each round — the happens-before edge a BSP superstep relies on.
+#[cfg(feature = "sanitize")]
+pub struct TrackedBarrier {
+    label: &'static str,
+    n: usize,
+    inner: std::sync::Barrier,
+    rounds: parking_lot::Mutex<state::BarrierRounds>,
+}
+
+#[cfg(feature = "sanitize")]
+impl TrackedBarrier {
+    /// A tracked barrier for `n` participants.
+    pub fn new(label: &'static str, n: usize) -> Self {
+        Self {
+            label,
+            n,
+            inner: std::sync::Barrier::new(n),
+            rounds: parking_lot::Mutex::new(state::BarrierRounds::default()),
+        }
+    }
+
+    /// Waits for all participants; exactly one call per round returns a
+    /// leader result, as with `std::sync::Barrier`.
+    pub fn wait(&self) -> std::sync::BarrierWaitResult {
+        let round = state::barrier_arrive(&self.rounds, self.n, self.label);
+        let res = self.inner.wait();
+        if let Some(r) = round {
+            state::barrier_depart(&self.rounds, self.n, r);
+        }
+        res
+    }
+}
+
+// =====================================================================
+// default: zero-cost pass-throughs
+// =====================================================================
+
+/// Pass-through mutex (the `sanitize` feature is off).
+#[cfg(not(feature = "sanitize"))]
+pub struct TrackedMutex<T: ?Sized> {
+    inner: parking_lot::Mutex<T>,
+}
+
+#[cfg(not(feature = "sanitize"))]
+impl<T> TrackedMutex<T> {
+    /// A mutex; `label` is ignored in pass-through builds.
+    #[inline]
+    pub fn new(_label: &'static str, value: T) -> Self {
+        Self {
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+#[cfg(not(feature = "sanitize"))]
+impl<T: ?Sized> TrackedMutex<T> {
+    /// Acquires the lock.
+    #[inline]
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.inner.lock()
+    }
+}
+
+/// Pass-through rwlock (the `sanitize` feature is off).
+#[cfg(not(feature = "sanitize"))]
+pub struct TrackedRwLock<T: ?Sized> {
+    inner: parking_lot::RwLock<T>,
+}
+
+#[cfg(not(feature = "sanitize"))]
+impl<T> TrackedRwLock<T> {
+    /// An rwlock; `label` is ignored in pass-through builds.
+    #[inline]
+    pub fn new(_label: &'static str, value: T) -> Self {
+        Self {
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+#[cfg(not(feature = "sanitize"))]
+impl<T: ?Sized> TrackedRwLock<T> {
+    /// Acquires a shared read guard.
+    #[inline]
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.inner.read()
+    }
+
+    /// Acquires the exclusive write guard.
+    #[inline]
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.inner.write()
+    }
+}
+
+/// Pass-through barrier (the `sanitize` feature is off).
+#[cfg(not(feature = "sanitize"))]
+pub struct TrackedBarrier {
+    inner: std::sync::Barrier,
+}
+
+#[cfg(not(feature = "sanitize"))]
+impl TrackedBarrier {
+    /// A barrier for `n` participants; `label` is ignored.
+    #[inline]
+    pub fn new(_label: &'static str, n: usize) -> Self {
+        Self {
+            inner: std::sync::Barrier::new(n),
+        }
+    }
+
+    /// Waits for all participants.
+    #[inline]
+    pub fn wait(&self) -> std::sync::BarrierWaitResult {
+        self.inner.wait()
+    }
+}

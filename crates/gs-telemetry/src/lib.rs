@@ -41,7 +41,7 @@ pub use registry::{Registry, SpanStat, StaticCounter, StaticHistogram};
 pub use span::{current_path, SpanGuard};
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -49,15 +49,16 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 /// `OnceLock<Registry>` so `install` can swap registries across
 /// experiments; `ENABLED` is the hot-path gate, the mutex is only taken
 /// on install/global calls (which hot paths cache via [`StaticCounter`]).
-static GLOBAL: OnceLock<Mutex<Registry>> = OnceLock::new();
+/// Non-poisoning so a panic between install and use cannot wedge the slot.
+static GLOBAL: OnceLock<parking_lot::Mutex<Registry>> = OnceLock::new();
 
-fn slot() -> &'static Mutex<Registry> {
-    GLOBAL.get_or_init(|| Mutex::new(Registry::new()))
+fn slot() -> &'static parking_lot::Mutex<Registry> {
+    GLOBAL.get_or_init(|| parking_lot::Mutex::new(Registry::new()))
 }
 
 /// Installs `registry` as the process-global sink and enables collection.
 pub fn install(registry: Registry) {
-    *slot().lock().unwrap() = registry;
+    *slot().lock() = registry;
     ENABLED.store(true, Ordering::Release);
 }
 
@@ -75,7 +76,7 @@ pub fn enabled() -> bool {
 /// A clone of the installed registry (an empty disconnected one if
 /// nothing was ever installed).
 pub fn global() -> Registry {
-    slot().lock().unwrap().clone()
+    slot().lock().clone()
 }
 
 #[doc(hidden)]

@@ -7,9 +7,10 @@
 //! and never touch the lock again.
 
 use crate::histogram::Histogram;
+use gs_sanitizer::TrackedRwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock};
 
 /// Aggregate statistics for one span path: invocation count + wall-time
 /// histogram.
@@ -45,11 +46,24 @@ impl SpanStat {
     }
 }
 
-#[derive(Default)]
+/// The three metric maps behind non-poisoning tracked locks: a thread that
+/// panics mid-record (e.g. a span guard unwinding) must never wedge the
+/// registry for everyone else, so these deliberately avoid `std::sync`'s
+/// lock poisoning.
 struct Inner {
-    counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
-    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
-    spans: RwLock<HashMap<String, Arc<SpanStat>>>,
+    counters: TrackedRwLock<HashMap<String, Arc<AtomicU64>>>,
+    histograms: TrackedRwLock<HashMap<String, Arc<Histogram>>>,
+    spans: TrackedRwLock<HashMap<String, Arc<SpanStat>>>,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Self {
+            counters: TrackedRwLock::new("telemetry.counters", HashMap::new()),
+            histograms: TrackedRwLock::new("telemetry.histograms", HashMap::new()),
+            spans: TrackedRwLock::new("telemetry.spans", HashMap::new()),
+        }
+    }
 }
 
 /// A thread-safe collection of named metrics.
@@ -59,14 +73,14 @@ pub struct Registry {
 }
 
 fn get_or_insert<V, F: FnOnce() -> V>(
-    map: &RwLock<HashMap<String, Arc<V>>>,
+    map: &TrackedRwLock<HashMap<String, Arc<V>>>,
     name: &str,
     make: F,
 ) -> Arc<V> {
-    if let Some(v) = map.read().unwrap().get(name) {
+    if let Some(v) = map.read().get(name) {
         return Arc::clone(v);
     }
-    let mut w = map.write().unwrap();
+    let mut w = map.write();
     Arc::clone(
         w.entry(name.to_string())
             .or_insert_with(|| Arc::new(make())),
@@ -99,7 +113,6 @@ impl Registry {
         self.inner
             .counters
             .read()
-            .unwrap()
             .get(name)
             .map(|c| c.load(Ordering::Relaxed))
             .unwrap_or(0)
@@ -107,21 +120,14 @@ impl Registry {
 
     /// All span paths currently registered, sorted.
     pub fn span_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.inner.spans.read().unwrap().keys().cloned().collect();
+        let mut v: Vec<String> = self.inner.spans.read().keys().cloned().collect();
         v.sort();
         v
     }
 
     /// All counter names currently registered, sorted.
     pub fn counter_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self
-            .inner
-            .counters
-            .read()
-            .unwrap()
-            .keys()
-            .cloned()
-            .collect();
+        let mut v: Vec<String> = self.inner.counters.read().keys().cloned().collect();
         v.sort();
         v
     }
@@ -129,13 +135,13 @@ impl Registry {
     /// Zeroes every metric **in place**. Entries (and any cached handles to
     /// them) survive; only the values are cleared.
     pub fn reset(&self) {
-        for c in self.inner.counters.read().unwrap().values() {
+        for c in self.inner.counters.read().values() {
             c.store(0, Ordering::Relaxed);
         }
-        for h in self.inner.histograms.read().unwrap().values() {
+        for h in self.inner.histograms.read().values() {
             h.reset();
         }
-        for s in self.inner.spans.read().unwrap().values() {
+        for s in self.inner.spans.read().values() {
             s.hist.reset();
         }
     }
@@ -147,7 +153,7 @@ impl Registry {
         let mut out = String::new();
         out.push_str("== telemetry report ==\n");
 
-        let spans = self.inner.spans.read().unwrap();
+        let spans = self.inner.spans.read();
         let mut paths: Vec<&String> = spans.keys().collect();
         paths.sort();
         if !paths.is_empty() {
@@ -176,7 +182,7 @@ impl Registry {
         }
         drop(spans);
 
-        let counters = self.inner.counters.read().unwrap();
+        let counters = self.inner.counters.read();
         let mut names: Vec<&String> = counters.keys().collect();
         names.sort();
         if !names.is_empty() {
@@ -190,7 +196,7 @@ impl Registry {
         }
         drop(counters);
 
-        let hists = self.inner.histograms.read().unwrap();
+        let hists = self.inner.histograms.read();
         let mut names: Vec<&String> = hists.keys().collect();
         names.sort();
         if !names.is_empty() {
@@ -219,7 +225,7 @@ impl Registry {
     /// dependency-free.
     pub fn json_report(&self) -> String {
         let mut out = String::from("{\"spans\":{");
-        let spans = self.inner.spans.read().unwrap();
+        let spans = self.inner.spans.read();
         let mut paths: Vec<&String> = spans.keys().collect();
         paths.sort();
         let mut first = true;
@@ -247,7 +253,7 @@ impl Registry {
         drop(spans);
 
         out.push_str("},\"counters\":{");
-        let counters = self.inner.counters.read().unwrap();
+        let counters = self.inner.counters.read();
         let mut names: Vec<&String> = counters.keys().collect();
         names.sort();
         let mut first = true;
@@ -265,7 +271,7 @@ impl Registry {
         drop(counters);
 
         out.push_str("},\"histograms\":{");
-        let hists = self.inner.histograms.read().unwrap();
+        let hists = self.inner.histograms.read();
         let mut names: Vec<&String> = hists.keys().collect();
         names.sort();
         let mut first = true;
@@ -435,5 +441,38 @@ mod tests {
         let r = Registry::new();
         r.counter("weird\"key").fetch_add(1, Ordering::Relaxed);
         assert!(r.json_report().contains("\"weird\\\"key\":1"));
+    }
+
+    /// Regression: the registry's locks must not poison. A guard recording
+    /// during a panic unwind (exactly what [`crate::SpanGuard`] does) used
+    /// to risk wedging every later record behind `std::sync::RwLock`
+    /// poisoning; with the non-poisoning tracked locks the registry keeps
+    /// working after the panic is caught.
+    #[test]
+    fn records_after_caught_panic() {
+        let r = Registry::new();
+        struct RecordOnDrop(Registry);
+        impl Drop for RecordOnDrop {
+            fn drop(&mut self) {
+                // runs mid-unwind, touching all three maps
+                self.0.counter("panic.drop").fetch_add(1, Ordering::Relaxed);
+                self.0.histogram("panic.hist").record(7);
+                self.0.span_stat("panic.span").record(1_000);
+            }
+        }
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = RecordOnDrop(r.clone());
+            panic!("worker dies mid-record");
+        }));
+        std::panic::set_hook(prev);
+        assert!(caught.is_err());
+        assert_eq!(r.counter_value("panic.drop"), 1);
+        // and the registry still records fresh metrics afterwards
+        r.counter("after").fetch_add(2, Ordering::Relaxed);
+        assert_eq!(r.counter_value("after"), 2);
+        assert_eq!(r.span_stat("panic.span").count(), 1);
+        assert!(r.text_report().contains("after = 2"));
     }
 }

@@ -32,6 +32,7 @@ pub use gs_ir;
 pub use gs_lang;
 pub use gs_learn;
 pub use gs_optimizer;
+pub use gs_sanitizer;
 pub use gs_telemetry;
 pub use gs_vineyard;
 
