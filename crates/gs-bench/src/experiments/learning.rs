@@ -32,6 +32,7 @@ fn cfg(gpus: usize, nodes: usize, batches: usize) -> PipelineConfig {
         batches_per_epoch: batches,
         lr: 0.005,
         remote_fetch_cost: Duration::from_micros(300),
+        sampler_retries: 2,
         seed: 3,
     }
 }

@@ -5,50 +5,115 @@
 //! `rank/out_degree` along out-edges through the aggregated message
 //! buffers. Fixed iteration count per Graphalytics.
 
-use crate::engine::GrapeEngine;
+use crate::engine::{ClusterAborted, CommHandle, GrapeEngine};
+use crate::fragment::Fragment;
 use crate::messages::OutBuffers;
+use crate::recover::{checkpoint, run_recoverable, CheckpointStore, RecoveryConfig};
+
+/// One PageRank iteration over a fragment: push shares, all-reduce the
+/// dangling mass, exchange, and recombine. Shared by the plain and the
+/// recoverable drivers so a restarted run replays the identical
+/// arithmetic of an uninterrupted one.
+fn pagerank_step(
+    frag: &Fragment,
+    comm: &CommHandle,
+    n: usize,
+    damping: f64,
+    rank: &mut [f64],
+    recv: &mut [f64],
+    out: &mut OutBuffers,
+) -> Result<(), ClusterAborted> {
+    let inner = frag.inner_count;
+    // push shares along out edges
+    let mut dangling_local = 0.0;
+    for l in 0..inner as u32 {
+        let nbrs = frag.out_neighbors(l);
+        if nbrs.is_empty() {
+            dangling_local += rank[l as usize];
+            continue;
+        }
+        let share = rank[l as usize] / nbrs.len() as f64;
+        for &nbr in nbrs {
+            let g = frag.global(nbr.0 as u32);
+            out.send(frag.owner(g).index(), g, share);
+        }
+    }
+    let dangling = comm.try_allreduce_f64(dangling_local)?;
+    let (blocks, _) = comm.try_exchange(out)?;
+    recv.iter_mut().for_each(|x| *x = 0.0);
+    for b in &blocks {
+        b.for_each::<f64>(|g, share| {
+            let l = frag.local(g).expect("routed to owner") as usize;
+            recv[l] += share;
+        });
+    }
+    let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
+    for l in 0..inner {
+        rank[l] = base + damping * recv[l];
+    }
+    Ok(())
+}
 
 /// Runs `iters` PageRank iterations with the given damping factor; returns
-/// ranks indexed by global id (summing to ~1).
+/// ranks indexed by global id (summing to ~1). With
+/// [`GrapeEngine::with_recovery`] armed, runs under checkpoint/restart.
 pub fn pagerank(engine: &GrapeEngine, damping: f64, iters: usize) -> Vec<f64> {
+    if let Some(cfg) = engine.recovery.clone() {
+        let store = CheckpointStore::new();
+        return pagerank_recoverable(engine, damping, iters, &cfg, &store);
+    }
     let n = engine.global_n();
     engine.run(|frag, comm| {
         let inner = frag.inner_count;
         let mut rank = vec![1.0 / n as f64; inner];
         let mut recv = vec![0.0f64; inner];
         let mut out = OutBuffers::new(comm.workers);
-        for _ in 0..iters {
-            // push shares along out edges
-            let mut dangling_local = 0.0;
-            for l in 0..inner as u32 {
-                let nbrs = frag.out_neighbors(l);
-                if nbrs.is_empty() {
-                    dangling_local += rank[l as usize];
-                    continue;
-                }
-                let share = rank[l as usize] / nbrs.len() as f64;
-                for &nbr in nbrs {
-                    let g = frag.global(nbr.0 as u32);
-                    out.send(frag.owner(g).index(), g, share);
-                }
-            }
-            let dangling = comm.allreduce_f64(dangling_local);
-            let (blocks, _) = comm.exchange(&mut out);
-            recv.iter_mut().for_each(|x| *x = 0.0);
-            for b in &blocks {
-                b.for_each::<f64>(|g, share| {
-                    let l = frag.local(g).expect("routed to owner") as usize;
-                    recv[l] += share;
-                });
-            }
-            let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
-            for l in 0..inner {
-                rank[l] = base + damping * recv[l];
-            }
+        for step in 0..iters {
+            gs_chaos::worker_kill_point(comm.my_id, step);
+            pagerank_step(frag, comm, n, damping, &mut rank, &mut recv, &mut out)
+                .expect("pagerank step aborted");
         }
         (0..inner as u32)
             .map(|l| (frag.global(l), rank[l as usize]))
             .collect()
+    })
+}
+
+/// PageRank under coordinated checkpoint/restart: snapshots the per-
+/// fragment ranks every `cfg.interval` iterations into `store`, detects
+/// dead workers and lost messages, and restarts all workers from the last
+/// committed checkpoint. The replayed arithmetic is identical, so a
+/// faulted run reproduces the uninterrupted ranks (up to the worker-
+/// arrival order of the global dangling-mass f64 reduction).
+pub fn pagerank_recoverable(
+    engine: &GrapeEngine,
+    damping: f64,
+    iters: usize,
+    cfg: &RecoveryConfig,
+    store: &CheckpointStore<Vec<f64>>,
+) -> Vec<f64> {
+    let n = engine.global_n();
+    run_recoverable(engine, cfg, |frag, comm, _attempt| {
+        let inner = frag.inner_count;
+        let idx = frag.id.index();
+        let (start, mut rank) = match store.restore(idx) {
+            Some((step, ranks)) => (step + 1, ranks),
+            None => (0, vec![1.0 / n as f64; inner]),
+        };
+        let mut recv = vec![0.0f64; inner];
+        let mut out = OutBuffers::new(comm.workers);
+        for step in start..iters {
+            gs_chaos::worker_kill_point(comm.my_id, step);
+            pagerank_step(frag, comm, n, damping, &mut rank, &mut recv, &mut out)?;
+            // gate on globally agreed values only: every worker makes the
+            // identical collective sequence
+            if cfg.interval > 0 && (step + 1) % cfg.interval == 0 && step + 1 < iters {
+                checkpoint(comm, store, idx, step, rank.clone())?;
+            }
+        }
+        Ok((0..inner as u32)
+            .map(|l| (frag.global(l), rank[l as usize]))
+            .collect())
     })
 }
 

@@ -156,6 +156,7 @@ pub mod graphx {
             PropertyGraph {
                 engine: GrapeEngine {
                     fragments: Vec::new(), // re-partition below
+                    recovery: None,
                 },
                 vertices: self
                     .vertices

@@ -1,100 +1,236 @@
 //! The BSP core shared by all GRAPE programming models: per-fragment worker
 //! threads, all-to-all compact-buffer message exchange, and barrier-based
 //! global reductions.
+//!
+//! Collectives and exchanges come in two flavors: the infallible methods
+//! ([`CommHandle::exchange`], [`CommHandle::allreduce`]) assume a healthy
+//! cluster and panic if it dies, and the `try_` variants return
+//! [`ClusterAborted`] so the [`recover`](crate::recover) layer can detect
+//! a lost worker or lost message, tear the attempt down, and restart from
+//! the last coordinated checkpoint.
 
 use crate::fragment::Fragment;
 use crate::messages::{MessageBlock, OutBuffers, Payload};
 use gs_graph::VId;
-use gs_sanitizer::channel::{unbounded, TrackedReceiver, TrackedSender};
-use gs_sanitizer::{SharedCell, TrackedBarrier};
+use gs_sanitizer::channel::{unbounded, RecvTimeoutError, TrackedReceiver, TrackedSender};
 use gs_telemetry::counter;
-use std::sync::Arc;
-use std::time::Instant;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
-/// Double-barrier global reduction: every worker contributes a u64; all
-/// observe the total.
+/// A collective or exchange observed the cluster dying mid-operation: a
+/// peer worker was killed, a message was lost, or the cluster was poisoned
+/// by another worker's failure. The current attempt's results are void;
+/// the recovery layer restarts from the last checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClusterAborted(pub &'static str);
+
+impl std::fmt::Display for ClusterAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cluster aborted: {}", self.0)
+    }
+}
+
+impl std::error::Error for ClusterAborted {}
+
+/// Poll granularity for poison checks while blocked in a collective or an
+/// exchange. Purely a responsiveness bound — correctness never depends on
+/// the value.
+const POLL: Duration = Duration::from_millis(10);
+
+#[derive(Default)]
+struct RoundEntry {
+    arrived: usize,
+    departed: usize,
+    total_u: u64,
+    total_f: f64,
+}
+
+struct SyncState {
+    /// Live reduction rounds, keyed by round number. An entry is created
+    /// by the round's first arrival and **removed by its last departure**,
+    /// so the map holds only rounds some worker is still inside — it stays
+    /// bounded by the worker-skew of the moment (at most `workers` rounds),
+    /// not by the length of the run.
+    rounds: HashMap<u64, RoundEntry>,
+    poisoned: Option<&'static str>,
+}
+
+/// Global reduction across all workers, keyed by collective round: every
+/// worker contributes at round `r`; all observe the total.
 ///
-/// The accumulator slots and the barrier go through `gs-sanitizer`'s
-/// tracked wrappers: under `--features sanitize` the double-buffer
-/// protocol below is verified against the happens-before order the
-/// barriers provide (an accumulate racing a reset is an `S002`), at zero
-/// cost otherwise.
+/// Unlike a plain barrier, the round map tolerates skew (a fast worker may
+/// enter round `r+1` while a slow one still sits in `r`) and failure: any
+/// worker — or the engine's dead-worker detector — can [`poison`] the
+/// sync, which promptly unblocks every waiter with [`ClusterAborted`]
+/// instead of deadlocking on a peer that will never arrive.
+///
+/// [`poison`]: GlobalSync::poison
 pub struct GlobalSync {
-    barrier: TrackedBarrier,
-    /// Round-alternating accumulator slots. A slot is reset by the round's
-    /// leader *after* the round's second barrier; the next round uses the
-    /// other slot, so no worker can race a reset against an accumulate
-    /// (the reset leader must pass the next round's first barrier before
-    /// that slot is reused).
-    totals: [SharedCell<u64>; 2],
-    totals_f: [SharedCell<f64>; 2],
+    workers: usize,
+    /// `Some(d)` arms dead-worker detection: a reduction that makes no
+    /// progress for `d` poisons the cluster instead of waiting forever.
+    detect: Option<Duration>,
+    state: Mutex<SyncState>,
+    cv: Condvar,
 }
 
 impl GlobalSync {
     pub fn new(workers: usize) -> Arc<Self> {
+        Self::new_with(workers, None)
+    }
+
+    /// A sync with dead-worker detection armed (used by recoverable runs).
+    pub fn new_with(workers: usize, detect: Option<Duration>) -> Arc<Self> {
         Arc::new(Self {
-            barrier: TrackedBarrier::new("grape.sync.barrier", workers),
-            totals: [
-                SharedCell::new("grape.sync.totals.0", 0),
-                SharedCell::new("grape.sync.totals.1", 0),
-            ],
-            totals_f: [
-                SharedCell::new("grape.sync.totals_f.0", 0.0),
-                SharedCell::new("grape.sync.totals_f.1", 0.0),
-            ],
+            workers,
+            detect,
+            state: Mutex::new(SyncState {
+                rounds: HashMap::new(),
+                poisoned: None,
+            }),
+            cv: Condvar::new(),
         })
+    }
+
+    /// Marks the cluster dead: every blocked or future collective returns
+    /// [`ClusterAborted`] immediately. Idempotent; the first cause wins.
+    pub fn poison(&self, why: &'static str) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.poisoned.is_none() {
+            st.poisoned = Some(why);
+        }
+        self.cv.notify_all();
+    }
+
+    /// The poison cause, if the cluster has been marked dead.
+    pub fn poisoned(&self) -> Option<&'static str> {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .poisoned
+    }
+
+    /// How many reduction rounds currently hold state. Exposed for the
+    /// boundedness regression test: after a run completes this is 0, and
+    /// mid-run it never exceeds the number of workers.
+    pub fn rounds_live(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .rounds
+            .len()
+    }
+
+    /// The fallible core: contributes to round `round` and waits for all
+    /// workers, polling for poison (and, when armed, for a dead worker).
+    pub fn try_reduce(
+        &self,
+        round: u64,
+        contribution: u64,
+        contribution_f: f64,
+    ) -> Result<(u64, f64), ClusterAborted> {
+        let deadline = self.detect.map(|d| Instant::now() + d);
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(why) = st.poisoned {
+            return Err(ClusterAborted(why));
+        }
+        {
+            let e = st.rounds.entry(round).or_default();
+            e.total_u += contribution;
+            e.total_f += contribution_f;
+            e.arrived += 1;
+            if e.arrived == self.workers {
+                self.cv.notify_all();
+            }
+        }
+        loop {
+            if let Some(why) = st.poisoned {
+                return Err(ClusterAborted(why));
+            }
+            if st.rounds.get(&round).map_or(0, |e| e.arrived) >= self.workers {
+                break;
+            }
+            if let Some(dl) = deadline {
+                if Instant::now() >= dl {
+                    st.poisoned = Some("allreduce stalled: worker lost");
+                    self.cv.notify_all();
+                    return Err(ClusterAborted("allreduce stalled: worker lost"));
+                }
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, POLL)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+        let e = st.rounds.get_mut(&round).expect("round entry present");
+        let out = (e.total_u, e.total_f);
+        e.departed += 1;
+        if e.departed == self.workers {
+            // last one out prunes the round — the map stays bounded
+            st.rounds.remove(&round);
+        }
+        Ok(out)
     }
 
     /// All-reduce sum at a given collective round. Every worker must call
     /// with the same monotonically increasing round number (see
     /// [`CommHandle::allreduce`], which manages the counter).
     pub fn sum_at(&self, round: u64, contribution: u64) -> u64 {
-        let slot = (round % 2) as usize;
-        self.totals[slot].update(|v| *v += contribution);
-        self.barrier.wait();
-        let result = self.totals[slot].get();
-        let wait = self.barrier.wait();
-        if wait.is_leader() {
-            self.totals[slot].set(0);
-        }
-        result
+        self.try_reduce(round, contribution, 0.0)
+            .expect("global sync aborted")
+            .0
     }
 
     /// f64 all-reduce at a collective round (PageRank dangling mass).
     pub fn sum_f64_at(&self, round: u64, contribution: f64) -> f64 {
-        let slot = (round % 2) as usize;
-        self.totals_f[slot].update(|v| *v += contribution);
-        self.barrier.wait();
-        let result = self.totals_f[slot].get();
-        let wait = self.barrier.wait();
-        if wait.is_leader() {
-            self.totals_f[slot].set(0.0);
-        }
-        result
+        self.try_reduce(round, 0, contribution)
+            .expect("global sync aborted")
+            .1
     }
 }
+
+/// An exchange packet: sender, the sender's exchange round, and the block.
+/// The round tag is what makes the exchange robust to reordering, delay,
+/// and duplication: a receiver files every packet under its declared round
+/// instead of trusting per-sender FIFO arrival order.
+type Packet = (usize, u64, MessageBlock);
 
 /// Per-worker communication handle for all-to-all exchanges.
 pub struct CommHandle {
     pub my_id: usize,
     pub workers: usize,
-    senders: Vec<TrackedSender<(usize, MessageBlock)>>,
-    receiver: TrackedReceiver<(usize, MessageBlock)>,
+    senders: Vec<TrackedSender<Packet>>,
+    receiver: TrackedReceiver<Packet>,
     pub sync: Arc<GlobalSync>,
     /// This worker's collective-round counter (each allreduce is one
     /// collective round; all workers must make the same sequence of calls).
     round: std::cell::Cell<u64>,
-    /// Blocks received ahead of their exchange round, queued per sender.
-    /// A fast peer may already have sent its round-(r+1) block while this
-    /// worker is still collecting round r; per-sender FIFO order makes the
-    /// n-th block from a peer its round-n block, so stashing extras here
-    /// keeps rounds aligned without a global barrier.
-    pending: std::cell::RefCell<Vec<std::collections::VecDeque<MessageBlock>>>,
+    /// This worker's exchange-round counter (tags outgoing packets).
+    xround: std::cell::Cell<u64>,
+    /// Blocks received ahead of their exchange round: `round → one slot
+    /// per sender`. Consumed when this worker reaches that round.
+    ahead: std::cell::RefCell<HashMap<u64, Vec<Option<MessageBlock>>>>,
+    /// Blocks the fault plan deferred, tagged with their original round;
+    /// flushed at this worker's next collective so a peer still waiting on
+    /// that round receives them late but correctly filed.
+    delayed: std::cell::RefCell<Vec<(usize, u64, MessageBlock)>>,
+    /// `Some(d)` arms message-loss detection: an exchange that makes no
+    /// receive progress for `d` poisons the cluster and aborts.
+    detect: Option<Duration>,
 }
 
 impl CommHandle {
     /// Builds a `k`-worker cluster of connected handles.
     pub fn cluster(k: usize) -> Vec<CommHandle> {
+        Self::cluster_with(k, None)
+    }
+
+    /// Builds a cluster with dead-worker / lost-message detection armed:
+    /// any collective or exchange stalled past `detect` poisons the
+    /// cluster and surfaces [`ClusterAborted`] on every worker.
+    pub fn cluster_with(k: usize, detect: Option<Duration>) -> Vec<CommHandle> {
         let mut senders = Vec::with_capacity(k);
         let mut receivers = Vec::with_capacity(k);
         for _ in 0..k {
@@ -102,7 +238,7 @@ impl CommHandle {
             senders.push(tx);
             receivers.push(rx);
         }
-        let sync = GlobalSync::new(k);
+        let sync = GlobalSync::new_with(k, detect);
         receivers
             .into_iter()
             .enumerate()
@@ -113,32 +249,74 @@ impl CommHandle {
                 receiver,
                 sync: Arc::clone(&sync),
                 round: std::cell::Cell::new(0),
-                pending: std::cell::RefCell::new(
-                    (0..k).map(|_| std::collections::VecDeque::new()).collect(),
-                ),
+                xround: std::cell::Cell::new(0),
+                ahead: std::cell::RefCell::new(HashMap::new()),
+                delayed: std::cell::RefCell::new(Vec::new()),
+                detect,
             })
             .collect()
     }
 
-    /// Collective all-reduce sum (u64).
-    pub fn allreduce(&self, contribution: u64) -> u64 {
-        let r = self.round.get();
-        self.round.set(r + 1);
-        self.sync.sum_at(r, contribution)
+    /// Sends every fault-delayed block to its target, still tagged with
+    /// the round it was originally part of. Send errors are ignored: in an
+    /// aborting cluster the receiver may already be gone.
+    fn flush_delayed(&self) {
+        for (to, r, block) in self.delayed.borrow_mut().drain(..) {
+            let _ = self.senders[to].send((self.my_id, r, block));
+        }
     }
 
-    /// Collective all-reduce sum (f64).
+    /// Collective all-reduce sum (u64); panics if the cluster aborts.
+    pub fn allreduce(&self, contribution: u64) -> u64 {
+        self.try_allreduce(contribution).expect("allreduce aborted")
+    }
+
+    /// Collective all-reduce sum (f64); panics if the cluster aborts.
     pub fn allreduce_f64(&self, contribution: f64) -> f64 {
+        self.try_allreduce_f64(contribution)
+            .expect("allreduce aborted")
+    }
+
+    /// Fallible all-reduce sum (u64).
+    pub fn try_allreduce(&self, contribution: u64) -> Result<u64, ClusterAborted> {
+        self.flush_delayed();
         let r = self.round.get();
         self.round.set(r + 1);
-        self.sync.sum_f64_at(r, contribution)
+        Ok(self.sync.try_reduce(r, contribution, 0.0)?.0)
+    }
+
+    /// Fallible all-reduce sum (f64).
+    pub fn try_allreduce_f64(&self, contribution: f64) -> Result<f64, ClusterAborted> {
+        self.flush_delayed();
+        let r = self.round.get();
+        self.round.set(r + 1);
+        Ok(self.sync.try_reduce(r, 0, contribution)?.1)
     }
 
     /// All-to-all exchange: sends one block to every worker (including
     /// self), receives exactly one block *from* every worker for this
     /// round. Returns the received blocks (indexed by sender) and the total
-    /// message count delivered to *this* worker.
+    /// message count delivered to *this* worker. Panics if the cluster
+    /// aborts mid-exchange.
     pub fn exchange(&self, out: &mut OutBuffers) -> (Vec<MessageBlock>, u64) {
+        self.try_exchange(out).expect("exchange aborted")
+    }
+
+    /// Fallible all-to-all exchange. Under an installed fault plan the
+    /// outgoing side consults [`gs_chaos::message_fault`] per block
+    /// (self-delivery is exempt — a worker cannot lose a message to
+    /// itself); the receiving side files packets by round tag, dropping
+    /// duplicates and stale retransmits and stashing early arrivals. A
+    /// dropped block manifests as no receive progress for the detection
+    /// window, which poisons the cluster so every worker aborts and the
+    /// recovery layer can restart from the last checkpoint.
+    pub fn try_exchange(
+        &self,
+        out: &mut OutBuffers,
+    ) -> Result<(Vec<MessageBlock>, u64), ClusterAborted> {
+        let round = self.xround.get();
+        self.xround.set(round + 1);
+        self.flush_delayed();
         let blocks = out.take();
         if gs_telemetry::enabled() {
             counter!("grape.msgs_sent"; blocks.iter().map(|b| b.count).sum());
@@ -147,29 +325,88 @@ impl CommHandle {
                 blocks.iter().map(|b| b.bytes.len() as u64).sum());
         }
         for (to, block) in blocks.into_iter().enumerate() {
-            self.senders[to]
-                .send((self.my_id, block))
-                .expect("worker alive");
-        }
-        let mut pending = self.pending.borrow_mut();
-        let mut incoming: Vec<Option<MessageBlock>> = (0..self.workers).map(|_| None).collect();
-        let mut got = 0;
-        // blocks stashed by a previous over-receive are this round's
-        for (from, q) in pending.iter_mut().enumerate() {
-            if let Some(b) = q.pop_front() {
-                incoming[from] = Some(b);
-                got += 1;
+            if to == self.my_id {
+                let _ = self.senders[to].send((self.my_id, round, block));
+                continue;
+            }
+            match gs_chaos::message_fault(self.my_id, to) {
+                gs_chaos::MessageFault::Deliver => {
+                    let _ = self.senders[to].send((self.my_id, round, block));
+                }
+                gs_chaos::MessageFault::Drop => {}
+                gs_chaos::MessageFault::Duplicate => {
+                    let _ = self.senders[to].send((self.my_id, round, block.clone()));
+                    let _ = self.senders[to].send((self.my_id, round, block));
+                }
+                gs_chaos::MessageFault::Delay => {
+                    self.delayed.borrow_mut().push((to, round, block));
+                }
             }
         }
+
+        let mut incoming: Vec<Option<MessageBlock>> = self
+            .ahead
+            .borrow_mut()
+            .remove(&round)
+            .unwrap_or_else(|| (0..self.workers).map(|_| None).collect());
+        let mut got = incoming.iter().filter(|b| b.is_some()).count();
         let stall_start = gs_telemetry::enabled().then(Instant::now);
+        let mut deadline = self.detect.map(|d| Instant::now() + d);
         while got < self.workers {
-            let (from, block) = self.receiver.recv().expect("exchange recv");
-            if incoming[from].is_none() {
-                incoming[from] = Some(block);
-                got += 1;
+            let packet = if self.detect.is_some() {
+                if let Some(why) = self.sync.poisoned() {
+                    return Err(ClusterAborted(why));
+                }
+                let dl = deadline.expect("deadline set with detect");
+                let now = Instant::now();
+                if now >= dl {
+                    self.sync
+                        .poison("exchange stalled: message lost or worker dead");
+                    return Err(ClusterAborted(
+                        "exchange stalled: message lost or worker dead",
+                    ));
+                }
+                match self.receiver.recv_timeout(POLL.min(dl - now)) {
+                    Ok(p) => p,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        self.sync.poison("exchange channel disconnected");
+                        return Err(ClusterAborted("exchange channel disconnected"));
+                    }
+                }
             } else {
-                // a peer raced ahead into the next round; keep for later
-                pending[from].push_back(block);
+                match self.receiver.recv() {
+                    Ok(p) => p,
+                    Err(_) => {
+                        self.sync.poison("exchange channel disconnected");
+                        return Err(ClusterAborted("exchange channel disconnected"));
+                    }
+                }
+            };
+            let (from, r, block) = packet;
+            // any receive is progress: push the loss-detection deadline out
+            deadline = self.detect.map(|d| Instant::now() + d);
+            match r.cmp(&round) {
+                std::cmp::Ordering::Less => {
+                    // stale retransmit of a round this worker completed
+                }
+                std::cmp::Ordering::Equal => {
+                    if incoming[from].is_none() {
+                        incoming[from] = Some(block);
+                        got += 1;
+                    }
+                    // else: duplicate delivery — drop
+                }
+                std::cmp::Ordering::Greater => {
+                    // a peer raced ahead; file under its declared round
+                    let mut ahead = self.ahead.borrow_mut();
+                    let slots = ahead
+                        .entry(r)
+                        .or_insert_with(|| (0..self.workers).map(|_| None).collect());
+                    if slots[from].is_none() {
+                        slots[from] = Some(block);
+                    }
+                }
             }
         }
         if let Some(t) = stall_start {
@@ -180,7 +417,7 @@ impl CommHandle {
             .map(|b| b.expect("one per sender"))
             .collect();
         let count = incoming.iter().map(|b| b.count).sum();
-        (incoming, count)
+        Ok((incoming, count))
     }
 }
 
@@ -188,6 +425,11 @@ impl CommHandle {
 /// worker thread per fragment.
 pub struct GrapeEngine {
     pub fragments: Vec<Fragment>,
+    /// When set, programs that support it (Pregel, PageRank) run under the
+    /// [`recover`](crate::recover) layer: coordinated checkpoints every
+    /// `interval` supersteps, dead-worker detection, restart from the last
+    /// checkpoint instead of crashing.
+    pub recovery: Option<crate::recover::RecoveryConfig>,
 }
 
 impl GrapeEngine {
@@ -195,6 +437,7 @@ impl GrapeEngine {
     pub fn from_edges(n: usize, edges: &[(VId, VId)], k: usize) -> Self {
         Self {
             fragments: Fragment::partition_edges(n, edges, k),
+            recovery: None,
         }
     }
 
@@ -202,7 +445,14 @@ impl GrapeEngine {
     pub fn from_weighted_edges(n: usize, edges: &[(VId, VId)], weights: &[f64], k: usize) -> Self {
         Self {
             fragments: Fragment::partition_weighted(n, edges, Some(weights), k),
+            recovery: None,
         }
+    }
+
+    /// Arms checkpoint/restart recovery for the programs that support it.
+    pub fn with_recovery(mut self, cfg: crate::recover::RecoveryConfig) -> Self {
+        self.recovery = Some(cfg);
+        self
     }
 
     /// Global vertex count.
@@ -298,13 +548,82 @@ impl<'a, M: Payload> PregelContext<'a, M> {
     }
 }
 
+/// One Pregel superstep over a fragment: compute phase, exchange, inbox
+/// fill (with combining), and the global termination reduction. Shared by
+/// the plain and the recoverable drivers so both execute the byte-
+/// identical per-step logic. Returns `Ok(true)` to continue, `Ok(false)`
+/// on global termination.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pregel_step<P: PregelProgram>(
+    program: &P,
+    frag: &Fragment,
+    comm: &CommHandle,
+    step: usize,
+    values: &mut [P::Value],
+    active: &mut [bool],
+    inboxes: &mut [Vec<P::Msg>],
+    out: &mut OutBuffers,
+) -> Result<bool, ClusterAborted> {
+    let n_inner = frag.inner_count;
+    if comm.my_id == 0 {
+        // one worker counts supersteps for the whole cluster
+        counter!("grape.supersteps");
+    }
+    // compute phase
+    let mut local_active = 0u64;
+    for l in 0..n_inner {
+        if !active[l] && inboxes[l].is_empty() {
+            continue;
+        }
+        let msgs = std::mem::take(&mut inboxes[l]);
+        let mut ctx = PregelContext {
+            frag,
+            out,
+            _marker: std::marker::PhantomData,
+        };
+        let keep = program.compute(step, l as u32, &mut values[l], &msgs, &mut ctx);
+        active[l] = keep;
+        if keep {
+            local_active += 1;
+        }
+    }
+    // exchange phase
+    let sent = out.total();
+    let (blocks, _received) = comm.try_exchange(out)?;
+    for block in &blocks {
+        block.for_each::<P::Msg>(|g, m| {
+            let l = frag.local(g).expect("message routed to owner") as usize;
+            debug_assert!(l < n_inner);
+            if let Some(last) = inboxes[l].pop() {
+                match program.combine(last, m) {
+                    Some(c) => inboxes[l].push(c),
+                    None => {
+                        inboxes[l].push(last);
+                        inboxes[l].push(m);
+                    }
+                }
+            } else {
+                inboxes[l].push(m);
+            }
+        });
+    }
+    // global termination: nobody active, nothing in flight
+    let global_pending = comm.try_allreduce(local_active + sent)?;
+    Ok(global_pending != 0)
+}
+
 /// Runs a Pregel program to fixpoint (or `max_steps`), returning per-vertex
-/// values indexed by global id.
+/// values indexed by global id. With [`GrapeEngine::with_recovery`] armed,
+/// delegates to the checkpoint/restart driver in [`recover`](crate::recover).
 pub fn run_pregel<P: PregelProgram>(
     engine: &GrapeEngine,
     program: &P,
     max_steps: usize,
 ) -> Vec<P::Value> {
+    if let Some(cfg) = engine.recovery.clone() {
+        let store = crate::recover::CheckpointStore::new();
+        return crate::recover::run_pregel_recoverable(engine, program, max_steps, &cfg, &store);
+    }
     engine.run(|frag, comm| {
         let n_inner = frag.inner_count;
         let mut values: Vec<P::Value> = (0..n_inner)
@@ -315,51 +634,19 @@ pub fn run_pregel<P: PregelProgram>(
         let mut out = OutBuffers::new(comm.workers);
 
         for step in 0..max_steps {
-            if comm.my_id == 0 {
-                // one worker counts supersteps for the whole cluster
-                counter!("grape.supersteps");
-            }
-            // compute phase
-            let mut local_active = 0u64;
-            for l in 0..n_inner {
-                if !active[l] && inboxes[l].is_empty() {
-                    continue;
-                }
-                let msgs = std::mem::take(&mut inboxes[l]);
-                let mut ctx = PregelContext {
-                    frag,
-                    out: &mut out,
-                    _marker: std::marker::PhantomData,
-                };
-                let keep = program.compute(step, l as u32, &mut values[l], &msgs, &mut ctx);
-                active[l] = keep;
-                if keep {
-                    local_active += 1;
-                }
-            }
-            // exchange phase
-            let sent = out.total();
-            let (blocks, _received) = comm.exchange(&mut out);
-            for block in &blocks {
-                block.for_each::<P::Msg>(|g, m| {
-                    let l = frag.local(g).expect("message routed to owner") as usize;
-                    debug_assert!(l < n_inner);
-                    if let Some(last) = inboxes[l].pop() {
-                        match program.combine(last, m) {
-                            Some(c) => inboxes[l].push(c),
-                            None => {
-                                inboxes[l].push(last);
-                                inboxes[l].push(m);
-                            }
-                        }
-                    } else {
-                        inboxes[l].push(m);
-                    }
-                });
-            }
-            // global termination: nobody active, nothing in flight
-            let global_pending = comm.allreduce(local_active + sent);
-            if global_pending == 0 {
+            gs_chaos::worker_kill_point(comm.my_id, step);
+            let cont = pregel_step(
+                program,
+                frag,
+                comm,
+                step,
+                &mut values,
+                &mut active,
+                &mut inboxes,
+                &mut out,
+            )
+            .expect("pregel step aborted");
+            if !cont {
                 break;
             }
         }
@@ -449,5 +736,73 @@ mod tests {
         .unwrap();
         // each round sums 1+2+3+4 = 10; three rounds = 30 per worker
         assert!(totals.iter().all(|&t| t == 30), "{totals:?}");
+    }
+
+    /// Regression (round-map growth): a long run must not accumulate an
+    /// entry per past round — the last worker out of a round prunes it, so
+    /// the map holds at most the rounds currently straddled by skew.
+    #[test]
+    fn global_sync_round_map_stays_bounded_over_long_runs() {
+        let workers = 4;
+        let sync = GlobalSync::new(workers);
+        let rounds = 2_000u64;
+        crossbeam::thread::scope(|s| {
+            for w in 0..workers {
+                let sync = Arc::clone(&sync);
+                s.spawn(move |_| {
+                    for r in 0..rounds {
+                        let total = sync.sum_at(r, w as u64 + 1);
+                        assert_eq!(total, 10);
+                    }
+                    // live rounds are bounded by skew, never by history
+                    assert!(
+                        sync.rounds_live() <= workers,
+                        "round map grew to {}",
+                        sync.rounds_live()
+                    );
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sync.rounds_live(), 0, "all rounds pruned after the run");
+    }
+
+    /// Poisoning a sync unblocks waiting workers with `ClusterAborted`
+    /// instead of deadlocking on a peer that never arrives.
+    #[test]
+    fn poison_unblocks_waiting_workers() {
+        let sync = GlobalSync::new(2);
+        let s2 = Arc::clone(&sync);
+        let waiter = std::thread::spawn(move || s2.try_reduce(0, 1, 0.0));
+        std::thread::sleep(Duration::from_millis(20));
+        sync.poison("test kill");
+        let got = waiter.join().unwrap();
+        assert_eq!(got, Err(ClusterAborted("test kill")));
+        assert_eq!(sync.poisoned(), Some("test kill"));
+    }
+
+    /// Dead-worker detection: with detection armed, a reduction missing a
+    /// contributor aborts after the window instead of hanging forever.
+    #[test]
+    fn armed_sync_detects_missing_worker() {
+        let sync = GlobalSync::new_with(2, Some(Duration::from_millis(50)));
+        let got = sync.try_reduce(0, 1, 0.0);
+        assert!(got.is_err(), "lone worker must time out");
+        assert!(sync.poisoned().is_some());
+    }
+
+    /// An exchange missing one sender's block aborts the cluster via the
+    /// detection window (this is how message loss surfaces).
+    #[test]
+    fn armed_exchange_detects_lost_block() {
+        let mut comms = CommHandle::cluster_with(2, Some(Duration::from_millis(60)));
+        let c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        // worker 1 never sends; worker 0's exchange must abort, not hang
+        drop(c1);
+        let mut out = OutBuffers::new(2);
+        let got = c0.try_exchange(&mut out);
+        assert!(got.is_err(), "exchange must detect the lost block");
+        assert!(c0.sync.poisoned().is_some());
     }
 }

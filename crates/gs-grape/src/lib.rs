@@ -28,8 +28,11 @@ pub mod ingress;
 pub mod loader;
 pub mod messages;
 pub mod pie;
+pub mod recover;
 
-pub use engine::{run_pregel, CommHandle, GlobalSync, GrapeEngine, PregelContext, PregelProgram};
+pub use engine::{
+    run_pregel, ClusterAborted, CommHandle, GlobalSync, GrapeEngine, PregelContext, PregelProgram,
+};
 pub use flash::{run_flash, FlashContext, VertexSubset};
 pub use fragment::Fragment;
 pub use gpu::{bfs_gpu, pagerank_gpu, Device, GpuCluster};
@@ -37,3 +40,6 @@ pub use ingress::IncrementalPageRank;
 pub use loader::{load_fragments, GrinProjection, VertexSpace, REQUIRED_CAPABILITIES};
 pub use messages::{MessageBlock, OutBuffers, Payload};
 pub use pie::{run_pie, PieContext, PieProgram};
+pub use recover::{
+    run_pregel_recoverable, run_recoverable, CheckpointStore, PregelState, RecoveryConfig,
+};

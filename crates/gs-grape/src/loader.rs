@@ -232,7 +232,13 @@ impl GrapeEngine {
         fragments: usize,
     ) -> Result<(Self, VertexSpace)> {
         let (frags, space) = load_fragments(graph, proj, fragments)?;
-        Ok((Self { fragments: frags }, space))
+        Ok((
+            Self {
+                fragments: frags,
+                recovery: None,
+            },
+            space,
+        ))
     }
 }
 

@@ -29,6 +29,14 @@ pub enum GraphError {
     /// `missing` holds the flag names (built by `gs_grin::Capabilities`,
     /// which this crate deliberately does not know about).
     UnsupportedCapability { missing: Vec<String> },
+    /// Load shedding: a shard refused new work because its queue depth
+    /// crossed the configured watermark. Callers should back off.
+    Overloaded { shard: usize, depth: u64 },
+    /// A per-call deadline elapsed before the operation completed.
+    Timeout(String),
+    /// The target is temporarily unavailable (dead shard, open circuit
+    /// breaker); retrying later may succeed.
+    Unavailable(String),
 }
 
 impl fmt::Display for GraphError {
@@ -45,6 +53,11 @@ impl fmt::Display for GraphError {
             GraphError::UnsupportedCapability { missing } => {
                 write!(f, "missing capabilities: {}", missing.join("|"))
             }
+            GraphError::Overloaded { shard, depth } => {
+                write!(f, "overloaded: shard {shard} at queue depth {depth}")
+            }
+            GraphError::Timeout(m) => write!(f, "deadline exceeded: {m}"),
+            GraphError::Unavailable(m) => write!(f, "unavailable: {m}"),
         }
     }
 }

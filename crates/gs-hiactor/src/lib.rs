@@ -12,18 +12,19 @@
 //! the design contrast with Gaia: minimal coordination overhead per query,
 //! no data parallelism within one.
 
+use gs_chaos::{BreakerConfig, CircuitBreaker, RetryPolicy};
 use gs_grin::GrinGraph;
 use gs_ir::exec::execute;
 use gs_ir::physical::PhysicalPlan;
 use gs_ir::record::Record;
 use gs_ir::{GraphError, Result, Value};
-use gs_sanitizer::channel::{bounded, unbounded, TrackedReceiver, TrackedSender};
+use gs_sanitizer::channel::{bounded, unbounded, RecvTimeoutError, TrackedReceiver, TrackedSender};
 use gs_sanitizer::SharedCell;
-use gs_telemetry::observe;
+use gs_telemetry::{counter, observe};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -32,6 +33,10 @@ pub struct HiActorRuntime {
     shards: Vec<TrackedSender<Job>>,
     /// Jobs currently waiting in (or running from) each shard's mailbox.
     depths: Vec<Arc<AtomicU64>>,
+    /// Whether each shard's actor loop is still draining its mailbox.
+    alive: Vec<Arc<AtomicBool>>,
+    /// Kill switches checked by each loop before its next job.
+    kills: Vec<Arc<AtomicBool>>,
     handles: Vec<std::thread::JoinHandle<()>>,
     next: AtomicUsize,
 }
@@ -42,20 +47,54 @@ impl HiActorRuntime {
         let shards = shards.max(1);
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
+        let alive: Vec<Arc<AtomicBool>> = (0..shards)
+            .map(|_| Arc::new(AtomicBool::new(true)))
+            .collect();
+        let kills: Vec<Arc<AtomicBool>> = (0..shards)
+            .map(|_| Arc::new(AtomicBool::new(false)))
+            .collect();
         for i in 0..shards {
             let (tx, rx): (TrackedSender<Job>, TrackedReceiver<Job>) = unbounded("hiactor.mailbox");
             senders.push(tx);
+            let alive = Arc::clone(&alive[i]);
+            let kill = Arc::clone(&kills[i]);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("hiactor-shard-{i}"))
                     .spawn(move || {
+                        // mark the shard dead on ANY exit path — and only
+                        // after the mailbox receiver is gone, so a submitter
+                        // that still sees `alive` has its send fail and its
+                        // job dropped rather than stranded
+                        struct AliveGuard(Arc<AtomicBool>);
+                        impl Drop for AliveGuard {
+                            fn drop(&mut self) {
+                                self.0.store(false, Ordering::SeqCst);
+                            }
+                        }
+                        let _guard = AliveGuard(alive);
                         // the actor loop: drain the mailbox sequentially. A
                         // panicking job must not take the whole shard down —
                         // its caller sees the dropped result channel as a
                         // structured error; the shard keeps serving.
+                        let mut jobs_done: u64 = 0;
                         for job in rx {
+                            if kill.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            if let Some(d) = gs_chaos::shard_delay(i) {
+                                std::thread::sleep(d);
+                            }
                             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                            jobs_done += 1;
+                            if gs_chaos::shard_should_die(i, jobs_done) {
+                                break;
+                            }
                         }
+                        // leaving the loop drops the mailbox receiver: jobs
+                        // still queued are dropped, which disconnects their
+                        // result channels — callers get the structured
+                        // "terminated" error instead of blocking forever
                     })
                     .expect("spawn shard"),
             );
@@ -63,6 +102,8 @@ impl HiActorRuntime {
         Self {
             shards: senders,
             depths: (0..shards).map(|_| Arc::new(AtomicU64::new(0))).collect(),
+            alive,
+            kills,
             handles,
             next: AtomicUsize::new(0),
         }
@@ -78,17 +119,54 @@ impl HiActorRuntime {
         self.depths[i % self.depths.len()].load(Ordering::Relaxed)
     }
 
+    /// Whether shard `i`'s actor loop is still draining its mailbox.
+    pub fn shard_alive(&self, i: usize) -> bool {
+        self.alive[i % self.alive.len()].load(Ordering::SeqCst)
+    }
+
+    /// Kills shard `i`: its loop exits before running another job, and
+    /// every job already queued there is dropped (each caller sees the
+    /// structured "terminated" error). Used by tests and fault drills; the
+    /// chaos layer's dead-shard schedule exercises the same exit path.
+    pub fn kill_shard(&self, i: usize) {
+        let i = i % self.shards.len();
+        self.kills[i].store(true, Ordering::SeqCst);
+        // wake the loop if it is parked on an empty mailbox; the no-op job
+        // is never run — the kill check precedes it
+        let _ = self.shards[i].send(Box::new(|| {}));
+    }
+
+    /// Resolves a submission target: an explicit dead shard is refused,
+    /// and the round-robin path skips dead shards. `None` means no live
+    /// shard can take the job.
+    fn pick_shard(&self, shard: Option<usize>) -> Option<usize> {
+        let n = self.shards.len();
+        match shard {
+            Some(i) => {
+                let i = i % n;
+                self.alive[i].load(Ordering::SeqCst).then_some(i)
+            }
+            None => (0..n)
+                .map(|_| self.next.fetch_add(1, Ordering::Relaxed) % n)
+                .find(|&i| self.alive[i].load(Ordering::SeqCst)),
+        }
+    }
+
     /// Submits a job to a specific shard (or round-robin when `None`);
-    /// returns a completion receiver.
+    /// returns a completion receiver. Submitting to a dead shard (or when
+    /// every shard is dead) yields an already-disconnected receiver, so
+    /// the caller observes the structured "terminated" error promptly
+    /// instead of parking on a mailbox nobody will ever drain.
     pub fn submit<T, F>(&self, shard: Option<usize>, f: F) -> TrackedReceiver<T>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
         let (tx, rx) = bounded("hiactor.result", 1);
-        let idx = shard
-            .unwrap_or_else(|| self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len())
-            % self.shards.len();
+        let Some(idx) = self.pick_shard(shard) else {
+            drop(tx);
+            return rx;
+        };
         let depth = Arc::clone(&self.depths[idx]);
         let d = depth.fetch_add(1, Ordering::Relaxed) + 1;
         observe!("hiactor.queue_depth", shard = idx; d);
@@ -115,9 +193,10 @@ impl HiActorRuntime {
         rx
     }
 
-    /// Blocks until all shards have drained their current mailboxes.
+    /// Blocks until all live shards have drained their current mailboxes.
     pub fn quiesce(&self) {
         let receivers: Vec<TrackedReceiver<()>> = (0..self.shards.len())
+            .filter(|&i| self.shard_alive(i))
             .map(|i| self.submit(Some(i), || ()))
             .collect();
         for r in receivers {
@@ -148,13 +227,57 @@ pub const REQUIRED_CAPABILITIES: gs_grin::Capabilities = gs_grin::Capabilities::
 pub type Procedure =
     Arc<dyn Fn(&HashMap<String, Value>) -> Result<Vec<Record>> + Send + Sync + 'static>;
 
+/// A registry entry: the procedure plus whether it may be retried after a
+/// transport-class failure (only idempotent procedures are safe to replay
+/// — a crashed shard may or may not have applied the call's effects).
+#[derive(Clone)]
+struct ProcEntry {
+    proc_: Procedure,
+    idempotent: bool,
+}
+
+/// Robustness tuning for [`QueryService`] calls. The default is fully
+/// permissive — no deadline, no retries, no shedding — matching the
+/// behavior of a service constructed before this config existed.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Per-call deadline enforced by [`QueryService::call_sync`]; `None`
+    /// waits indefinitely. A missed deadline surfaces as
+    /// [`GraphError::Timeout`].
+    pub deadline: Option<Duration>,
+    /// Retry policy applied to transport-class failures (timeouts, shard
+    /// deaths) of idempotent procedures. Application errors returned by
+    /// the procedure itself are never retried.
+    pub retry: RetryPolicy,
+    /// Load-shedding watermark: once every live shard's queue depth is at
+    /// or past it, new calls fail fast with [`GraphError::Overloaded`]
+    /// instead of queueing unboundedly.
+    pub overload_watermark: Option<u64>,
+    /// Per-procedure circuit-breaker tuning; an open circuit rejects calls
+    /// with [`GraphError::Unavailable`] until its cooldown lapses.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            deadline: None,
+            retry: RetryPolicy::none(),
+            overload_watermark: None,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
 /// The OLTP query service: a HiActor runtime plus a stored-procedure
 /// registry. Procedures capture their own graph access (e.g. a GART store
 /// they snapshot per call), exactly like registered procedures in a graph
 /// database.
 pub struct QueryService {
     runtime: HiActorRuntime,
-    procedures: SharedCell<HashMap<String, Procedure>>,
+    procedures: SharedCell<HashMap<String, ProcEntry>>,
+    breakers: parking_lot::Mutex<HashMap<String, CircuitBreaker>>,
+    config: ServiceConfig,
     verify: gs_ir::VerifyLevel,
 }
 
@@ -164,6 +287,8 @@ impl QueryService {
         Self {
             runtime: HiActorRuntime::new(shards),
             procedures: SharedCell::new("hiactor.procedures", HashMap::new()),
+            breakers: parking_lot::Mutex::new(HashMap::new()),
+            config: ServiceConfig::default(),
             verify: gs_ir::VerifyLevel::default(),
         }
     }
@@ -174,36 +299,64 @@ impl QueryService {
         self
     }
 
+    /// Sets deadlines, retry policy, shedding and breaker tuning.
+    pub fn with_config(mut self, config: ServiceConfig) -> Self {
+        self.config = config;
+        self
+    }
+
     /// The underlying runtime (for ad-hoc jobs).
     pub fn runtime(&self) -> &HiActorRuntime {
         &self.runtime
     }
 
-    /// Registers a native stored procedure.
+    /// Registers a native stored procedure. Assumed non-idempotent: it is
+    /// never retried after a transport failure.
     pub fn register(&self, name: &str, proc_: Procedure) {
-        self.procedures.update(|m| {
-            m.insert(name.to_string(), proc_);
-        });
+        self.insert(name, proc_, false);
+    }
+
+    /// Registers a procedure the caller guarantees is idempotent, making
+    /// it eligible for retry-with-backoff after transport failures.
+    pub fn register_idempotent(&self, name: &str, proc_: Procedure) {
+        self.insert(name, proc_, true);
     }
 
     /// Registers a pre-compiled physical plan as a procedure over a fixed
     /// graph handle (parameters are ignored — the plan is fully bound).
+    /// Plans are pure reads over a snapshot, hence idempotent.
     pub fn register_plan(&self, name: &str, plan: PhysicalPlan, graph: Arc<dyn GrinGraph>) {
         let proc_: Procedure = Arc::new(move |_params| execute(&plan, graph.as_ref()));
-        self.register(name, proc_);
+        self.register_idempotent(name, proc_);
+    }
+
+    fn insert(&self, name: &str, proc_: Procedure, idempotent: bool) {
+        self.procedures.update(|m| {
+            m.insert(name.to_string(), ProcEntry { proc_, idempotent });
+        });
     }
 
     /// Calls a procedure asynchronously; the result arrives on the returned
-    /// channel. Unknown procedure names are reported through the channel.
+    /// channel. Unknown procedures and load shedding are reported through
+    /// the channel.
     pub fn call(
         &self,
         name: &str,
         params: HashMap<String, Value>,
     ) -> TrackedReceiver<Result<Vec<Record>>> {
-        let proc_ = self.procedures.read_with(|m| m.get(name).cloned());
-        match proc_ {
-            Some(p) => {
+        let entry = self.procedures.read_with(|m| m.get(name).cloned());
+        let primed = |err: GraphError| {
+            let (tx, rx) = bounded("hiactor.result", 1);
+            let _ = tx.send(Err(err));
+            rx
+        };
+        match entry {
+            Some(e) => {
+                if let Err(err) = self.admit() {
+                    return primed(err);
+                }
                 let name = name.to_string();
+                let p = e.proc_;
                 self.runtime.submit(None, move || {
                     let start = gs_telemetry::enabled().then(Instant::now);
                     let r = p(&params);
@@ -213,27 +366,128 @@ impl QueryService {
                     r
                 })
             }
-            None => {
-                let (tx, rx) = bounded("hiactor.result", 1);
-                let _ = tx.send(Err(GraphError::Query(format!(
-                    "unknown procedure `{name}`"
-                ))));
-                rx
-            }
+            None => primed(GraphError::Query(format!("unknown procedure `{name}`"))),
         }
     }
 
-    /// Synchronous convenience wrapper. A procedure that panics (or a shard
-    /// that shut down mid-call) surfaces as a structured [`GraphError`]
-    /// rather than a caller-side panic.
+    /// Load shedding: refuse new work once every live shard's queue is at
+    /// or past the watermark, so callers get backpressure they can act on
+    /// instead of unbounded queueing behind a saturated cluster.
+    fn admit(&self) -> Result<()> {
+        let Some(watermark) = self.config.overload_watermark else {
+            return Ok(());
+        };
+        let least_loaded = (0..self.runtime.shard_count())
+            .filter(|&i| self.runtime.shard_alive(i))
+            .map(|i| (self.runtime.queue_depth(i), i))
+            .min();
+        if let Some((depth, shard)) = least_loaded {
+            if depth >= watermark {
+                counter!("hiactor.shed");
+                return Err(GraphError::Overloaded { shard, depth });
+            }
+        }
+        Ok(())
+    }
+
+    /// Synchronous convenience wrapper with the service's full resilience
+    /// ladder: per-call deadline, retry-with-backoff for idempotent
+    /// procedures on transport failures, and a per-procedure circuit
+    /// breaker. A procedure that panics (or a shard that shut down
+    /// mid-call) surfaces as a structured [`GraphError`] rather than a
+    /// caller-side panic.
     pub fn call_sync(&self, name: &str, params: HashMap<String, Value>) -> Result<Vec<Record>> {
-        self.call(name, params).recv().map_err(|_| {
-            GraphError::Query(
-                "hiactor shard worker terminated before replying \
-                 (procedure panicked or shard shut down)"
-                    .into(),
-            )
-        })?
+        let idempotent = self
+            .procedures
+            .read_with(|m| m.get(name).map(|e| e.idempotent))
+            .unwrap_or(false);
+        if !self.breaker_admits(name) {
+            return Err(GraphError::Unavailable(format!(
+                "circuit open for procedure `{name}`"
+            )));
+        }
+        let out = gs_chaos::with_retries(
+            &self.config.retry,
+            idempotent,
+            std::thread::sleep,
+            Self::is_transport_failure,
+            |attempt| {
+                counter!("hiactor.retry.attempts");
+                if attempt > 1 {
+                    counter!("hiactor.retry.retries");
+                }
+                self.call_attempt(name, params.clone())
+            },
+        );
+        match &out {
+            Ok(_) => self.breaker_note(name, true),
+            Err(e) if Self::is_transport_failure(e) => {
+                counter!("hiactor.retry.giveups");
+                self.breaker_note(name, false);
+            }
+            // an application error means the transport is healthy — it
+            // must not trip the breaker
+            Err(_) => {}
+        }
+        out
+    }
+
+    /// One attempt of a call: submit, then await the reply under the
+    /// configured deadline.
+    fn call_attempt(&self, name: &str, params: HashMap<String, Value>) -> Result<Vec<Record>> {
+        let rx = self.call(name, params);
+        let outcome = match self.config.deadline {
+            Some(deadline) => rx.recv_timeout(deadline).map_err(|e| match e {
+                RecvTimeoutError::Timeout => GraphError::Timeout(format!(
+                    "procedure `{name}` missed its {deadline:?} deadline"
+                )),
+                RecvTimeoutError::Disconnected => Self::terminated(),
+            }),
+            None => rx.recv().map_err(|_| Self::terminated()),
+        };
+        outcome?
+    }
+
+    fn terminated() -> GraphError {
+        GraphError::Query(
+            "hiactor shard worker terminated before replying \
+             (procedure panicked or shard shut down)"
+                .into(),
+        )
+    }
+
+    /// Transport-class failures are the retryable/breaker-tripping kind:
+    /// the shard died, shut down, or missed its deadline — as opposed to
+    /// the procedure itself returning an error.
+    fn is_transport_failure(e: &GraphError) -> bool {
+        match e {
+            GraphError::Timeout(_) => true,
+            GraphError::Query(m) => m.contains("terminated before replying"),
+            _ => false,
+        }
+    }
+
+    fn breaker_admits(&self, name: &str) -> bool {
+        let mut map = self.breakers.lock();
+        map.entry(name.to_string())
+            .or_insert_with(|| CircuitBreaker::new(self.config.breaker.clone()))
+            .allow(Instant::now())
+    }
+
+    fn breaker_note(&self, name: &str, ok: bool) {
+        let mut map = self.breakers.lock();
+        let breaker = map
+            .entry(name.to_string())
+            .or_insert_with(|| CircuitBreaker::new(self.config.breaker.clone()));
+        if ok {
+            breaker.on_success();
+        } else {
+            let now = Instant::now();
+            breaker.on_failure(now);
+            if breaker.is_open(now) {
+                counter!("hiactor.breaker.open");
+            }
+        }
     }
 }
 
@@ -461,5 +715,216 @@ mod tests {
             rx.recv().unwrap().unwrap();
         }
         svc.runtime().quiesce();
+    }
+
+    /// Satellite: a submit to a dead shard must disconnect promptly, not
+    /// park on a mailbox nobody drains; round-robin routes around corpses.
+    #[test]
+    fn submit_to_dead_shard_errors_promptly() {
+        let rt = HiActorRuntime::new(2);
+        rt.kill_shard(0);
+        while rt.shard_alive(0) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let t = Instant::now();
+        let rx = rt.submit(Some(0), || 42);
+        assert!(rx.recv().is_err(), "dead shard must not reply");
+        assert!(t.elapsed() < Duration::from_secs(1), "error must be prompt");
+        for i in 0..8 {
+            assert_eq!(rt.submit(None, move || i).recv().unwrap(), i);
+        }
+    }
+
+    /// Satellite: submits racing shard death all resolve — a value if the
+    /// job got in before the kill, a disconnect otherwise. Never a hang.
+    #[test]
+    fn racing_submits_against_shard_death_never_hang() {
+        let rt = Arc::new(HiActorRuntime::new(1));
+        let rt2 = Arc::clone(&rt);
+        let submitter = std::thread::spawn(move || {
+            (0..400)
+                .map(|i| rt2.submit(Some(0), move || i))
+                .collect::<Vec<_>>()
+        });
+        std::thread::sleep(Duration::from_millis(2));
+        rt.kill_shard(0);
+        let rxs = submitter.join().unwrap();
+        for rx in rxs {
+            match rx.recv_timeout(Duration::from_secs(5)) {
+                Ok(_) | Err(RecvTimeoutError::Disconnected) => {}
+                Err(RecvTimeoutError::Timeout) => panic!("submission hung against shard death"),
+            }
+        }
+    }
+
+    #[test]
+    fn missed_deadline_surfaces_as_timeout() {
+        let svc = QueryService::new(1).with_config(ServiceConfig {
+            deadline: Some(Duration::from_millis(20)),
+            ..Default::default()
+        });
+        svc.register(
+            "slow",
+            Arc::new(|_| {
+                std::thread::sleep(Duration::from_millis(300));
+                Ok(vec![])
+            }),
+        );
+        let err = svc.call_sync("slow", HashMap::new()).unwrap_err();
+        assert!(matches!(err, GraphError::Timeout(_)), "got {err:?}");
+        svc.runtime().quiesce();
+    }
+
+    #[test]
+    fn idempotent_retries_mask_a_transient_crash() {
+        let svc = QueryService::new(2).with_config(ServiceConfig {
+            retry: RetryPolicy::new(3, Duration::from_millis(1)),
+            ..Default::default()
+        });
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        svc.register_idempotent(
+            "flaky",
+            Arc::new(move |_| {
+                if c.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("transient crash");
+                }
+                Ok(vec![vec![Value::Int(1)]])
+            }),
+        );
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let rows = svc.call_sync("flaky", HashMap::new()).unwrap();
+        std::panic::set_hook(prev);
+        assert_eq!(rows[0][0], Value::Int(1));
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "exactly one retry");
+    }
+
+    /// Satellite: procedures registered as non-idempotent are never
+    /// replayed, however generous the retry policy.
+    #[test]
+    fn non_idempotent_procedures_are_never_retried() {
+        let svc = QueryService::new(1).with_config(ServiceConfig {
+            retry: RetryPolicy::new(4, Duration::from_millis(1)),
+            ..Default::default()
+        });
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        svc.register(
+            "mutate",
+            Arc::new(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+                panic!("crash after side effect");
+            }),
+        );
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = svc.call_sync("mutate", HashMap::new()).unwrap_err();
+        std::panic::set_hook(prev);
+        assert!(
+            matches!(&err, GraphError::Query(m) if m.contains("terminated")),
+            "got {err:?}"
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "must not replay");
+    }
+
+    #[test]
+    fn breaker_opens_after_transport_failures_and_recovers() {
+        let svc = QueryService::new(1).with_config(ServiceConfig {
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_millis(50),
+            },
+            ..Default::default()
+        });
+        let broken = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let (b, c) = (Arc::clone(&broken), Arc::clone(&calls));
+        svc.register(
+            "edge",
+            Arc::new(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+                if b.load(Ordering::SeqCst) {
+                    panic!("dependency down");
+                }
+                Ok(vec![])
+            }),
+        );
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        assert!(svc.call_sync("edge", HashMap::new()).is_err());
+        assert!(svc.call_sync("edge", HashMap::new()).is_err());
+        std::panic::set_hook(prev);
+        // two consecutive transport failures opened the circuit: the next
+        // call is rejected without ever reaching the procedure
+        let err = svc.call_sync("edge", HashMap::new()).unwrap_err();
+        assert!(matches!(err, GraphError::Unavailable(_)), "got {err:?}");
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        // after the cooldown a half-open probe goes through, succeeds, and
+        // closes the circuit again
+        broken.store(false, Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(svc.call_sync("edge", HashMap::new()).is_ok());
+        assert!(svc.call_sync("edge", HashMap::new()).is_ok());
+    }
+
+    #[test]
+    fn saturated_service_sheds_calls_with_overloaded() {
+        let svc = QueryService::new(1).with_config(ServiceConfig {
+            overload_watermark: Some(3),
+            ..Default::default()
+        });
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        svc.register(
+            "block",
+            Arc::new(move |_| {
+                while !g.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok(vec![])
+            }),
+        );
+        // fill the queue exactly to the watermark (the gate holds all of
+        // them in the mailbox), then the next call must be shed
+        let held: Vec<_> = (0..3).map(|_| svc.call("block", HashMap::new())).collect();
+        let err = svc.call_sync("block", HashMap::new()).unwrap_err();
+        assert!(matches!(err, GraphError::Overloaded { .. }), "got {err:?}");
+        gate.store(true, Ordering::SeqCst);
+        for rx in held {
+            rx.recv().unwrap().unwrap();
+        }
+    }
+
+    #[cfg(feature = "chaos")]
+    mod chaos_on {
+        use super::*;
+        use gs_chaos::FaultPlan;
+
+        /// Graceful degradation under injected shard faults: a slow shard
+        /// and a shard that dies mid-run are masked by deadlines, retries
+        /// and dead-shard rerouting — every call still succeeds.
+        #[test]
+        fn service_rides_out_slow_and_dead_shards() {
+            let plan = FaultPlan::new(0xC4A05)
+                .slow_shard(0, Duration::from_millis(5))
+                .dead_shard(1, 3);
+            let (ok, stats) = gs_chaos::with_chaos(plan, || {
+                let svc = QueryService::new(2).with_config(ServiceConfig {
+                    deadline: Some(Duration::from_secs(2)),
+                    retry: RetryPolicy::new(4, Duration::from_millis(2)),
+                    ..Default::default()
+                });
+                svc.register_idempotent("ping", Arc::new(|_| Ok(vec![vec![Value::Int(1)]])));
+                (0..24)
+                    .filter(|_| svc.call_sync("ping", HashMap::new()).is_ok())
+                    .count()
+            });
+            assert_eq!(ok, 24, "retries + rerouting must mask the faults");
+            assert!(
+                stats.shard_delays > 0 && stats.shard_deaths > 0,
+                "both fault kinds must have fired: {stats:?}"
+            );
+        }
     }
 }

@@ -41,6 +41,9 @@ pub struct PipelineConfig {
     /// Extra per-batch sampling latency when `nodes > 1` (network cost of
     /// distributed feature collection).
     pub remote_fetch_cost: Duration,
+    /// How many times a failed sampling attempt (a transient storage
+    /// fault) is retried before the batch is skipped.
+    pub sampler_retries: usize,
     pub seed: u64,
 }
 
@@ -59,6 +62,7 @@ impl Default for PipelineConfig {
             batches_per_epoch: 16,
             lr: 0.005,
             remote_fetch_cost: Duration::from_micros(200),
+            sampler_retries: 2,
             seed: 1,
         }
     }
@@ -74,6 +78,9 @@ pub struct EpochStats {
     pub sample_busy: Duration,
     /// Total busy time across training workers.
     pub train_busy: Duration,
+    /// Batches abandoned after exhausting sampler retries (graceful
+    /// degradation: the epoch completes on the surviving batches).
+    pub skipped: usize,
 }
 
 /// Runs one training epoch with the decoupled pipeline; returns stats and
@@ -88,6 +95,7 @@ pub fn train_epoch(
     assert!(n > 0, "empty graph");
     let start = Instant::now();
     let next_batch = AtomicUsize::new(0);
+    let skipped = AtomicUsize::new(0);
     let (batch_tx, batch_rx) =
         bounded::<(SampledBatch, Vec<usize>)>("learn.batches", cfg.prefetch.max(1));
     let sample_busy = TrackedMutex::new("learn.sample_busy", Duration::ZERO);
@@ -99,6 +107,7 @@ pub fn train_epoch(
         for w in 0..cfg.samplers.max(1) {
             let batch_tx = batch_tx.clone();
             let next_batch = &next_batch;
+            let skipped = &skipped;
             let sample_busy = &sample_busy;
             let cfg = cfg.clone();
             s.spawn(move |_| {
@@ -114,11 +123,42 @@ pub fn train_epoch(
                     let seeds: Vec<VId> = (0..cfg.batch_size)
                         .map(|i| VId(((b * cfg.batch_size + i) % n) as u64))
                         .collect();
-                    let batch = sampler.sample(&seeds, cfg.seed.wrapping_add(b as u64));
-                    let labels: Vec<usize> = seeds
-                        .iter()
-                        .map(|&v| sampler.label_of(v, cfg.classes))
-                        .collect();
+                    // a transient storage fault aborts the attempt mid-
+                    // sample; retry a bounded number of times, then skip
+                    // the batch — the epoch degrades instead of dying
+                    let mut sampled = None;
+                    for attempt in 0..=cfg.sampler_retries {
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let batch = sampler.sample(&seeds, cfg.seed.wrapping_add(b as u64));
+                            let labels: Vec<usize> = seeds
+                                .iter()
+                                .map(|&v| sampler.label_of(v, cfg.classes))
+                                .collect();
+                            (batch, labels)
+                        }));
+                        match out {
+                            Ok(r) => {
+                                sampled = Some(r);
+                                break;
+                            }
+                            Err(payload) => {
+                                // only injected faults are survivable; a
+                                // real bug keeps panicking the worker
+                                if !gs_chaos::is_chaos_unwind(payload.as_ref()) {
+                                    std::panic::resume_unwind(payload);
+                                }
+                                if attempt < cfg.sampler_retries {
+                                    gs_telemetry::counter!("learn.sampler_retries");
+                                }
+                            }
+                        }
+                    }
+                    let Some((batch, labels)) = sampled else {
+                        skipped.fetch_add(1, Ordering::Relaxed);
+                        gs_telemetry::counter!("learn.batches_skipped");
+                        *sample_busy.lock() += t0.elapsed();
+                        continue;
+                    };
                     if cfg.nodes > 1 {
                         // distributed feature collection: network round-trips
                         std::thread::sleep(cfg.remote_fetch_cost);
@@ -182,6 +222,7 @@ pub fn train_epoch(
         },
         sample_busy: sample_busy.into_inner(),
         train_busy: train_busy.into_inner(),
+        skipped: skipped.into_inner(),
     };
     if gs_telemetry::enabled() {
         gs_telemetry::counter!("learn.batches"; stats.batches as u64);
@@ -232,6 +273,7 @@ mod tests {
         let g = graph();
         let (stats, _) = train_epoch(&g, LabelId(0), LabelId(0), &small_cfg());
         assert_eq!(stats.batches, 8);
+        assert_eq!(stats.skipped, 0, "fault-free epochs skip nothing");
         assert!(stats.mean_loss.is_finite());
         assert!(stats.wall > Duration::ZERO);
     }
@@ -288,5 +330,41 @@ mod tests {
         };
         let (stats, _) = train_epoch(&g, LabelId(0), LabelId(0), &cfg);
         assert_eq!(stats.batches, 8);
+    }
+
+    #[cfg(feature = "chaos")]
+    mod chaos_on {
+        use super::*;
+        use gs_chaos::{ChaosGraph, FaultPlan};
+
+        /// Graceful degradation: injected storage-read faults exhaust the
+        /// sampler's retries for some batches, which are skipped — the
+        /// epoch still finishes, accounts for every batch, and reports the
+        /// skips.
+        #[test]
+        fn sampler_faults_degrade_to_skipped_batches() {
+            let g = ChaosGraph::new(graph(), "learn.sampler");
+            let plan = FaultPlan::new(0x1ea51).storage_faults(0.08, 4).budget(2);
+            let (stats, chaos) = gs_chaos::with_chaos(plan, || {
+                let cfg = PipelineConfig {
+                    samplers: 1,
+                    sampler_retries: 1,
+                    ..small_cfg()
+                };
+                let (stats, _) = train_epoch(&g, LabelId(0), LabelId(0), &cfg);
+                stats
+            });
+            assert!(
+                chaos.storage_faults > 0,
+                "faults must have fired: {chaos:?}"
+            );
+            assert!(stats.skipped >= 1, "retry exhaustion must skip: {stats:?}");
+            assert_eq!(
+                stats.batches + stats.skipped,
+                8,
+                "every batch trained or accounted as skipped: {stats:?}"
+            );
+            assert!(stats.mean_loss.is_finite());
+        }
     }
 }

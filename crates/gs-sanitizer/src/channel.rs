@@ -5,7 +5,7 @@
 //! liveness counters behind `S003`–`S005` and `W201`; without it they are
 //! inlined pass-throughs.
 
-pub use crossbeam::channel::{RecvError, SendError, TryRecvError};
+pub use crossbeam::channel::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
 // =====================================================================
 // sanitize: tracked implementation
@@ -13,10 +13,11 @@ pub use crossbeam::channel::{RecvError, SendError, TryRecvError};
 
 #[cfg(feature = "sanitize")]
 mod imp {
-    use super::{RecvError, SendError, TryRecvError};
+    use super::{RecvError, RecvTimeoutError, SendError, TryRecvError};
     use crate::state::{self, ChanInfo};
     use std::sync::atomic::Ordering;
     use std::sync::Arc;
+    use std::time::Duration;
 
     /// A message plus the sender's clock snapshot.
     pub(super) struct Env<T> {
@@ -110,6 +111,22 @@ mod imp {
         pub fn recv(&self) -> Result<T, RecvError> {
             self.info.receiving.fetch_add(1, Ordering::SeqCst);
             let r = self.inner.recv();
+            self.info.receiving.fetch_sub(1, Ordering::SeqCst);
+            match r {
+                Ok(env) => {
+                    self.info.len.fetch_sub(1, Ordering::SeqCst);
+                    state::on_recv(&env.vc, self.site);
+                    Ok(env.v)
+                }
+                Err(e) => Err(e),
+            }
+        }
+
+        /// Blocks until a message arrives or `timeout` elapses, joining the
+        /// sender's clock on delivery.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.info.receiving.fetch_add(1, Ordering::SeqCst);
+            let r = self.inner.recv_timeout(timeout);
             self.info.receiving.fetch_sub(1, Ordering::SeqCst);
             match r {
                 Ok(env) => {
@@ -217,7 +234,8 @@ mod imp {
 
 #[cfg(not(feature = "sanitize"))]
 mod imp {
-    use super::{RecvError, SendError, TryRecvError};
+    use super::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    use std::time::Duration;
 
     /// Pass-through sending half (the `sanitize` feature is off).
     pub struct TrackedSender<T> {
@@ -265,6 +283,12 @@ mod imp {
         #[inline]
         pub fn recv(&self) -> Result<T, RecvError> {
             self.inner.recv()
+        }
+
+        /// Blocks until a message arrives or `timeout` elapses.
+        #[inline]
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
         }
 
         /// Non-blocking receive.

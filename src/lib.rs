@@ -19,6 +19,7 @@
 //! | Comparators | [`gs_baselines`] |
 
 pub use gs_baselines;
+pub use gs_chaos;
 pub use gs_datagen;
 pub use gs_flex;
 pub use gs_gaia;

@@ -1,0 +1,68 @@
+//! Pass-through guarantee: without `--features chaos`, every fault hook
+//! compiles to an inlined no-op — no plan can be armed, no fault can
+//! fire, and running code under `with_chaos` changes nothing. This is the
+//! default build the benchmarks and production paths use, so the chaos
+//! layer must be invisible here.
+
+#![cfg(not(feature = "chaos"))]
+
+use graphscope_flex::gs_chaos;
+use std::time::Duration;
+
+#[test]
+#[allow(clippy::assertions_on_constants)]
+fn default_build_compiles_chaos_out() {
+    assert!(
+        !gs_chaos::COMPILED,
+        "the default build must not carry injection code"
+    );
+}
+
+#[test]
+fn hooks_are_noops_even_under_an_armed_plan() {
+    let plan = gs_chaos::FaultPlan::new(7)
+        .kill_worker(0, 0)
+        .message_faults(1.0, 1.0, 1.0)
+        .storage_faults(1.0, 8)
+        .slow_shard(0, Duration::from_secs(1))
+        .dead_shard(0, 1);
+    let (value, stats) = gs_chaos::with_chaos(plan, || {
+        // a plan demanding every fault at probability 1.0 still does
+        // nothing: the hooks are no-ops
+        gs_chaos::worker_kill_point(0, 0);
+        gs_chaos::storage_fault_point("passthrough");
+        assert!(matches!(
+            gs_chaos::message_fault(0, 1),
+            gs_chaos::MessageFault::Deliver
+        ));
+        assert_eq!(gs_chaos::shard_delay(0), None);
+        assert!(!gs_chaos::shard_should_die(0, 1));
+        1234
+    });
+    assert_eq!(value, 1234, "with_chaos must run the closure unchanged");
+    assert_eq!(stats.total(), 0, "nothing can fire in a pass-through build");
+}
+
+#[test]
+fn recovery_utilities_are_always_available() {
+    // retries, breakers, and checkpointing are plain library code — they
+    // work (and are testable) without the chaos feature
+    let policy = gs_chaos::RetryPolicy::new(3, Duration::from_millis(5));
+    let mut calls = 0;
+    let out: Result<u32, &str> = gs_chaos::with_retries(
+        &policy,
+        true,
+        |_| {},
+        |_| true,
+        |attempt| {
+            calls += 1;
+            if attempt < 2 {
+                Err("transient")
+            } else {
+                Ok(attempt)
+            }
+        },
+    );
+    assert_eq!(out, Ok(2));
+    assert_eq!(calls, 2);
+}
