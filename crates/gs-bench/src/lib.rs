@@ -15,6 +15,7 @@ pub mod chaos;
 pub mod experiments;
 pub mod irlint;
 pub mod sanitize;
+pub mod storm;
 pub mod util;
 
 pub use util::{time_it, Row, TablePrinter};

@@ -1,0 +1,80 @@
+//! Storm-harness determinism and graceful-degradation invariants.
+//!
+//! The open-loop generator must be a pure function of its seed: two runs
+//! with the same `StormConfig` produce the identical request schedule and
+//! an identical `BENCH_storm.json` modulo timing fields (wall clock,
+//! latencies, throughput). `determinism_view()` is exactly that
+//! timing-free projection.
+
+use gs_bench::storm::{run, schedule, schedule_digest, StormConfig};
+
+fn quick(seed: u64) -> StormConfig {
+    StormConfig {
+        seed,
+        duration_supersteps: 1,
+        workers: 2,
+    }
+}
+
+#[test]
+fn same_seed_same_schedule_and_digest() {
+    let cfg = quick(42);
+    for phase in 0..3 {
+        assert_eq!(
+            schedule(&cfg, phase, 200),
+            schedule(&cfg, phase, 200),
+            "phase {phase} schedule must be a pure function of the seed"
+        );
+    }
+    let a: Vec<_> = (0..3).map(|p| schedule(&cfg, p, 200)).collect();
+    let b: Vec<_> = (0..3).map(|p| schedule(&cfg, p, 200)).collect();
+    assert_eq!(schedule_digest(&a), schedule_digest(&b));
+
+    let other = quick(43);
+    let c: Vec<_> = (0..3).map(|p| schedule(&other, p, 200)).collect();
+    assert_ne!(
+        schedule_digest(&a),
+        schedule_digest(&c),
+        "a different seed must produce a different storm"
+    );
+}
+
+#[test]
+fn full_runs_agree_modulo_timings_and_account_every_request() {
+    let cfg = quick(42);
+    let first = run(&cfg);
+    let second = run(&cfg);
+
+    assert_eq!(
+        first.determinism_view(),
+        second.determinism_view(),
+        "same seed, same report (modulo timing fields)"
+    );
+    assert_eq!(first.schedule_digest, second.schedule_digest);
+
+    for report in [&first, &second] {
+        assert_eq!(report.phases.len(), 3);
+        for p in &report.phases {
+            assert_eq!(
+                p.completed + p.shed + p.errors,
+                p.offered,
+                "phase {}: every offered request ends as rows, a shed, or an error",
+                p.name
+            );
+            assert_eq!(p.errors, 0, "phase {}: shedding is not an error", p.name);
+            assert_eq!(
+                p.mix.iter().sum::<u64>(),
+                p.completed,
+                "the per-template mix counts completed requests"
+            );
+        }
+        assert!(
+            report.prepared_iterations > 0 && report.prepared_us > 0.0,
+            "the prepared-vs-parse section must have run"
+        );
+        assert!(
+            report.data_versions_seen > 1,
+            "the online writer must have committed during surge/overload"
+        );
+    }
+}

@@ -12,8 +12,7 @@ use gs_datagen::apps::CyberGraph;
 use gs_graph::{Result, VId, Value};
 use gs_grin::{Direction, GrinGraph};
 use gs_ir::exec::execute;
-use gs_lang::parse_gremlin;
-use gs_optimizer::Optimizer;
+use gs_lang::Frontend;
 use gs_vineyard::VineyardGraph;
 use std::collections::HashSet;
 
@@ -73,10 +72,8 @@ impl CyberApp {
         // The traversal yields hosts reached via two hops; the blocklist
         // membership is applied on the result (the Gremlin subset has no
         // within() over ids on arbitrary steps).
-        let plan = parse_gremlin(q, self.store.schema())?;
-        let optimizer = Optimizer::rbo_only();
-        let phys = optimizer.optimize(&plan)?;
-        let rows = execute(&phys, &self.store)?;
+        let compiled = Frontend::Gremlin.compile(q, self.store.schema())?;
+        let rows = execute(&compiled.physical, &self.store)?;
         let _ = rows;
         // full check per host through the optimized per-host traversal:
         Ok(self.sweep())

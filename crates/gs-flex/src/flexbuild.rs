@@ -243,6 +243,76 @@ impl Deployment {
         }
     }
 
+    /// Engine selection for a *serving* configuration: honours an explicit
+    /// engine request and fails structurally when this deployment cannot
+    /// satisfy it, instead of silently falling back.
+    ///
+    /// The error is the same [`BuildError::EngineUnsatisfied`] shape
+    /// composition uses: it names the requested engine component and
+    /// carries the [`GraphError::UnsupportedCapability`] listing exactly
+    /// what is missing — the storage capability gap, or the engine
+    /// component itself when it was never selected.
+    pub fn serving_engine(
+        &self,
+        requested: EngineChoice,
+        parallelism: usize,
+        verify: gs_ir::VerifyLevel,
+    ) -> Result<Box<dyn gs_ir::QueryEngine>, BuildError> {
+        let component = match requested {
+            EngineChoice::Auto => {
+                return Ok(self.query_engine_with_verify(parallelism, verify));
+            }
+            // the reference executor has no storage requirements — always
+            // satisfiable
+            EngineChoice::Reference => {
+                return Ok(Box::new(gs_ir::ReferenceEngine::with_verify(verify)));
+            }
+            EngineChoice::Gaia => Component::Gaia,
+            EngineChoice::HiActor => Component::HiActor,
+        };
+        let req = component.engine_requirements().unwrap();
+        let storages: Vec<Component> = self
+            .components
+            .iter()
+            .copied()
+            .filter(|c| c.is_storage())
+            .collect();
+        // closest selected storage's capability gap, as in compose()
+        let mut best_missing: Option<Vec<String>> =
+            Some(Capabilities::default().missing_names(req));
+        for s in &storages {
+            let missing = s.storage_capabilities().unwrap().missing_names(req);
+            if missing.is_empty() {
+                best_missing = None;
+                break;
+            }
+            if best_missing
+                .as_ref()
+                .is_none_or(|b| missing.len() < b.len())
+            {
+                best_missing = Some(missing);
+            }
+        }
+        let missing = match best_missing {
+            Some(gap) => gap,
+            None if !self.components.contains(&component) => {
+                vec![format!("{component:?} (engine component not selected)")]
+            }
+            None => {
+                return Ok(match component {
+                    Component::Gaia => {
+                        Box::new(gs_gaia::GaiaEngine::new(parallelism).with_verify(verify))
+                    }
+                    _ => Box::new(gs_hiactor::QueryService::new(parallelism).with_verify(verify)),
+                });
+            }
+        };
+        Err(BuildError::EngineUnsatisfied {
+            engine: component,
+            error: GraphError::UnsupportedCapability { missing },
+        })
+    }
+
     /// Statically verifies a physical plan against this deployment's
     /// schema, folding verifier errors into a structured
     /// [`BuildError::PlanRejected`] (warnings do not reject).
@@ -348,6 +418,35 @@ impl AnalyticsEngine {
         proj: &gs_grape::GrinProjection,
     ) -> gs_graph::Result<(gs_grape::GrapeEngine, gs_grape::VertexSpace)> {
         gs_grape::GrapeEngine::from_grin(store, proj, self.fragments)
+    }
+}
+
+/// An explicit engine request from a serving configuration, resolved by
+/// [`Deployment::serving_engine`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EngineChoice {
+    /// Take whatever the deployment composed (Gaia > HiActor > reference).
+    #[default]
+    Auto,
+    /// Require Gaia's data-parallel dataflow engine.
+    Gaia,
+    /// Require HiActor's shard-actor OLTP engine.
+    HiActor,
+    /// Require the single-threaded reference executor.
+    Reference,
+}
+
+impl EngineChoice {
+    /// Parses a serving-config engine name (`auto`/`gaia`/`hiactor`/
+    /// `reference`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "auto" => Some(Self::Auto),
+            "gaia" => Some(Self::Gaia),
+            "hiactor" => Some(Self::HiActor),
+            "reference" => Some(Self::Reference),
+            _ => None,
+        }
     }
 }
 
@@ -637,6 +736,64 @@ mod tests {
                 engine.name()
             );
         }
+    }
+
+    #[test]
+    fn serving_engine_honours_requests_and_fails_structurally() {
+        let fraud = FlexBuild::fraud_oltp_preset().unwrap();
+        // explicit satisfiable requests
+        let e = fraud
+            .serving_engine(EngineChoice::HiActor, 2, gs_ir::VerifyLevel::Deny)
+            .unwrap();
+        assert_eq!(e.name(), "hiactor");
+        let e = fraud
+            .serving_engine(EngineChoice::Reference, 1, gs_ir::VerifyLevel::Warn)
+            .unwrap();
+        assert_eq!(e.name(), "reference");
+        // Auto defers to the composed priority order
+        let e = fraud
+            .serving_engine(EngineChoice::Auto, 2, gs_ir::VerifyLevel::Deny)
+            .unwrap();
+        assert_eq!(e.name(), "hiactor");
+        // requesting an engine the deployment never selected: structured
+        // error naming the component, not a bare string
+        let Err(err) = fraud.serving_engine(EngineChoice::Gaia, 2, gs_ir::VerifyLevel::Deny) else {
+            panic!("expected error");
+        };
+        let BuildError::EngineUnsatisfied { engine, error } = &err else {
+            panic!("wrong error: {err:?}");
+        };
+        assert_eq!(*engine, Gaia);
+        let GraphError::UnsupportedCapability { missing } = error else {
+            panic!("wrong inner error: {error:?}");
+        };
+        assert!(missing[0].contains("Gaia"), "{missing:?}");
+    }
+
+    #[test]
+    fn serving_engine_names_storage_capability_gap() {
+        // CustomStore lacks PROPERTY/INDEX_EXTERNAL_ID, so a serving
+        // config demanding HiActor over it must name that exact gap
+        let d = Deployment {
+            name: "gap".into(),
+            components: [Component::GraphIr, Component::HiActor, CustomStore]
+                .into_iter()
+                .collect(),
+            target: DeployTarget::ClusterImage,
+        };
+        let Err(err) = d.serving_engine(EngineChoice::HiActor, 2, gs_ir::VerifyLevel::Deny) else {
+            panic!("expected error");
+        };
+        let BuildError::EngineUnsatisfied { engine, error } = &err else {
+            panic!("wrong error: {err:?}");
+        };
+        assert_eq!(*engine, HiActor);
+        assert_eq!(
+            *error,
+            GraphError::UnsupportedCapability {
+                missing: vec!["PROPERTY".into(), "INDEX_EXTERNAL_ID".into()]
+            }
+        );
     }
 
     #[test]

@@ -19,8 +19,7 @@ use gs_graph::{Result, Value};
 use gs_grin::{Direction, GrinGraph};
 use gs_hiactor::QueryService;
 use gs_ir::exec::execute;
-use gs_ir::physical::lower_naive;
-use gs_lang::parse_cypher;
+use gs_lang::Frontend;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -158,9 +157,13 @@ impl FraudApp {
             w2 = self.config.w2,
             t = self.config.threshold,
         );
-        let plan = parse_cypher(&q, snap.schema(), &params)?;
-        let phys = lower_naive(&plan)?;
-        let rows = execute(&phys, &snap)?;
+        let compiled = Frontend::Cypher.compile_with(
+            &q,
+            snap.schema(),
+            &params,
+            &gs_optimizer::Optimizer::disabled(),
+        )?;
+        let rows = execute(&compiled.physical, &snap)?;
         Ok(!rows.is_empty())
     }
 

@@ -20,6 +20,6 @@ pub mod social;
 
 pub use cyber::CyberApp;
 pub use equity::{equity_grape, equity_grape_over, equity_sql, Controllers};
-pub use flexbuild::{Component, DeployTarget, Deployment, FlexBuild};
+pub use flexbuild::{Component, DeployTarget, Deployment, EngineChoice, FlexBuild};
 pub use fraud::{FraudApp, FraudConfig};
 pub use social::{train_social, SocialConfig};

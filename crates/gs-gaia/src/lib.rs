@@ -32,6 +32,7 @@ pub const REQUIRED_CAPABILITIES: Capabilities = Capabilities::VERTEX_LIST_ITER
     .union(Capabilities::PROPERTY);
 
 /// The data-parallel dataflow engine.
+#[derive(Clone)]
 pub struct GaiaEngine {
     workers: usize,
     verify: gs_ir::VerifyLevel,
@@ -310,6 +311,38 @@ impl gs_ir::QueryEngine for GaiaEngine {
 
     fn name(&self) -> &'static str {
         "gaia"
+    }
+
+    /// Prepared Gaia handle: verification runs once (on the first
+    /// execute, when a schema is in scope); every call after that goes
+    /// straight into the dataflow pipeline.
+    fn prepare(&self, plan: &PhysicalPlan) -> Result<Box<dyn gs_ir::PreparedQuery>> {
+        struct GaiaPrepared {
+            // verification is handled by `once`, so the inner engine runs
+            // with submit-time checks disabled
+            engine: GaiaEngine,
+            plan: PhysicalPlan,
+            once: gs_ir::VerifyOnce,
+        }
+        impl gs_ir::PreparedQuery for GaiaPrepared {
+            fn execute(&self, graph: &dyn GrinGraph) -> Result<Vec<Record>> {
+                self.once.check(&self.plan, graph.schema(), "gaia")?;
+                GaiaEngine::execute(&self.engine, &self.plan, graph)
+            }
+
+            fn plan(&self) -> &PhysicalPlan {
+                &self.plan
+            }
+
+            fn engine_name(&self) -> &'static str {
+                "gaia"
+            }
+        }
+        Ok(Box::new(GaiaPrepared {
+            engine: self.clone().with_verify(gs_ir::VerifyLevel::Off),
+            plan: plan.clone(),
+            once: gs_ir::VerifyOnce::new(self.verify),
+        }))
     }
 }
 

@@ -278,6 +278,11 @@ impl GartStore {
     }
 
     /// The latest committed version.
+    /// The fixed schema this store was created over.
+    pub fn schema(&self) -> &GraphSchema {
+        &self.schema
+    }
+
     pub fn committed_version(&self) -> Version {
         self.committed.load(Ordering::Acquire)
     }

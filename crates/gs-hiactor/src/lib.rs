@@ -274,7 +274,7 @@ impl Default for ServiceConfig {
 /// they snapshot per call), exactly like registered procedures in a graph
 /// database.
 pub struct QueryService {
-    runtime: HiActorRuntime,
+    runtime: Arc<HiActorRuntime>,
     procedures: SharedCell<HashMap<String, ProcEntry>>,
     breakers: parking_lot::Mutex<HashMap<String, CircuitBreaker>>,
     config: ServiceConfig,
@@ -285,7 +285,7 @@ impl QueryService {
     /// Service over `shards` actor threads.
     pub fn new(shards: usize) -> Self {
         Self {
-            runtime: HiActorRuntime::new(shards),
+            runtime: Arc::new(HiActorRuntime::new(shards)),
             procedures: SharedCell::new("hiactor.procedures", HashMap::new()),
             breakers: parking_lot::Mutex::new(HashMap::new()),
             config: ServiceConfig::default(),
@@ -491,6 +491,52 @@ impl QueryService {
     }
 }
 
+/// Runs one plan as a one-shot job on a shard actor, blocking until the
+/// shard replies. Shared by the ad-hoc [`gs_ir::QueryEngine::execute`]
+/// path and prepared-statement handles.
+fn run_plan_on_shard(
+    runtime: &HiActorRuntime,
+    plan: &PhysicalPlan,
+    graph: &dyn GrinGraph,
+    metric_name: &'static str,
+) -> Result<Vec<Record>> {
+    // `submit` needs a 'static closure but `graph` is a borrow. Erase
+    // the lifetime behind a Send-able raw pointer: sound because we
+    // block on `recv()` below, so `graph` outlives every use — the
+    // channel only resolves once the job (and its last use of the
+    // pointer) is finished or dropped.
+    struct SendPtr(*const (dyn GrinGraph + 'static));
+    unsafe impl Send for SendPtr {}
+    impl SendPtr {
+        // method (not field) access, so the closure captures the whole
+        // Send wrapper rather than the raw pointer field
+        fn graph(&self) -> &dyn GrinGraph {
+            unsafe { &*self.0 }
+        }
+    }
+    let ptr = SendPtr(unsafe {
+        std::mem::transmute::<*const (dyn GrinGraph + '_), *const (dyn GrinGraph + 'static)>(
+            graph as *const _,
+        )
+    });
+    let plan = plan.clone();
+    let rx = runtime.submit(None, move || {
+        let start = gs_telemetry::enabled().then(Instant::now);
+        let r = execute(&plan, ptr.graph());
+        if let Some(t) = start {
+            observe!("hiactor.proc_ns", name = metric_name; t.elapsed().as_nanos() as u64);
+        }
+        r
+    });
+    rx.recv().map_err(|_| {
+        GraphError::Query(
+            "hiactor shard worker terminated before replying \
+             (query panicked or shard shut down)"
+                .into(),
+        )
+    })?
+}
+
 impl gs_ir::QueryEngine for QueryService {
     /// Runs the plan as a one-shot job on one shard actor (a query
     /// occupies exactly one shard — HiActor's OLTP contract), blocking
@@ -498,45 +544,42 @@ impl gs_ir::QueryEngine for QueryService {
     fn execute(&self, plan: &PhysicalPlan, graph: &dyn GrinGraph) -> Result<Vec<Record>> {
         graph.capabilities().require(REQUIRED_CAPABILITIES)?;
         gs_ir::verify::verify_on_submit(plan, graph.schema(), self.verify, "hiactor")?;
-        // `submit` needs a 'static closure but `graph` is a borrow. Erase
-        // the lifetime behind a Send-able raw pointer: sound because we
-        // block on `recv()` below, so `graph` outlives every use — the
-        // channel only resolves once the job (and its last use of the
-        // pointer) is finished or dropped.
-        struct SendPtr(*const (dyn GrinGraph + 'static));
-        unsafe impl Send for SendPtr {}
-        impl SendPtr {
-            // method (not field) access, so the closure captures the whole
-            // Send wrapper rather than the raw pointer field
-            fn graph(&self) -> &dyn GrinGraph {
-                unsafe { &*self.0 }
-            }
-        }
-        let ptr = SendPtr(unsafe {
-            std::mem::transmute::<*const (dyn GrinGraph + '_), *const (dyn GrinGraph + 'static)>(
-                graph as *const _,
-            )
-        });
-        let plan = plan.clone();
-        let rx = self.runtime.submit(None, move || {
-            let start = gs_telemetry::enabled().then(Instant::now);
-            let r = execute(&plan, ptr.graph());
-            if let Some(t) = start {
-                observe!("hiactor.proc_ns", name = "adhoc"; t.elapsed().as_nanos() as u64);
-            }
-            r
-        });
-        rx.recv().map_err(|_| {
-            GraphError::Query(
-                "hiactor shard worker terminated before replying \
-                 (query panicked or shard shut down)"
-                    .into(),
-            )
-        })?
+        run_plan_on_shard(&self.runtime, plan, graph, "adhoc")
     }
 
     fn name(&self) -> &'static str {
         "hiactor"
+    }
+
+    /// Prepared HiActor handle: the shard runtime is shared (`Arc`), the
+    /// plan is bound once, and verification runs on the first execute
+    /// only — the high-QPS prepared-procedure path of the §8 deployments.
+    fn prepare(&self, plan: &PhysicalPlan) -> Result<Box<dyn gs_ir::PreparedQuery>> {
+        struct HiActorPrepared {
+            runtime: Arc<HiActorRuntime>,
+            plan: PhysicalPlan,
+            once: gs_ir::VerifyOnce,
+        }
+        impl gs_ir::PreparedQuery for HiActorPrepared {
+            fn execute(&self, graph: &dyn GrinGraph) -> Result<Vec<Record>> {
+                graph.capabilities().require(REQUIRED_CAPABILITIES)?;
+                self.once.check(&self.plan, graph.schema(), "hiactor")?;
+                run_plan_on_shard(&self.runtime, &self.plan, graph, "prepared")
+            }
+
+            fn plan(&self) -> &PhysicalPlan {
+                &self.plan
+            }
+
+            fn engine_name(&self) -> &'static str {
+                "hiactor"
+            }
+        }
+        Ok(Box::new(HiActorPrepared {
+            runtime: Arc::clone(&self.runtime),
+            plan: plan.clone(),
+            once: gs_ir::VerifyOnce::new(self.verify),
+        }))
     }
 }
 

@@ -15,13 +15,63 @@ use crate::verify::{verify_on_submit, VerifyLevel};
 use crate::Result;
 use gs_grin::GrinGraph;
 
+/// A compiled, engine-resident query handle: the *execute-many* half of
+/// the prepare/execute split.
+///
+/// Preparation runs the submit-time work — plan verification, and any
+/// per-plan state the engine wants to cache (stage partitioning, shard
+/// affinity) — exactly once; each [`PreparedQuery::execute`] then runs the
+/// plan over a graph without repeating it. Handles are `Send + Sync` so a
+/// serving layer can share one prepared statement across sessions.
+pub trait PreparedQuery: Send + Sync {
+    /// Runs the prepared plan to completion over `graph`.
+    ///
+    /// Same contract as [`QueryEngine::execute`]: the batch is fully
+    /// materialised on return and no reference to `graph` is retained.
+    fn execute(&self, graph: &dyn GrinGraph) -> Result<Vec<Record>>;
+
+    /// The physical plan this handle was prepared from.
+    fn plan(&self) -> &PhysicalPlan;
+
+    /// Name of the engine that prepared this handle.
+    fn engine_name(&self) -> &'static str;
+}
+
+/// The engine-agnostic fallback handle returned by the default
+/// [`QueryEngine::prepare`]: execution delegates to the reference
+/// executor — semantically identical for any conforming engine (all
+/// engines must agree with [`crate::exec::execute`]), just without the
+/// engine's own scheduling.
+struct DefaultPrepared {
+    plan: PhysicalPlan,
+    engine: &'static str,
+}
+
+impl PreparedQuery for DefaultPrepared {
+    fn execute(&self, graph: &dyn GrinGraph) -> Result<Vec<Record>> {
+        crate::exec::execute(&self.plan, graph)
+    }
+
+    fn plan(&self) -> &PhysicalPlan {
+        &self.plan
+    }
+
+    fn engine_name(&self) -> &'static str {
+        self.engine
+    }
+}
+
 /// A query-execution engine: runs a physical plan over a GRIN graph to a
 /// materialised record batch.
 ///
 /// All implementations must agree with the reference executor's operator
 /// semantics ([`crate::exec::apply`]); they differ only in *how* the work
 /// is scheduled (single thread, data-parallel workers, shard actors).
-pub trait QueryEngine {
+///
+/// Engines are `Send + Sync`: a deployment hands one engine to many
+/// serving sessions, and prepared handles may outlive the call that
+/// created them on another thread.
+pub trait QueryEngine: Send + Sync {
     /// Runs `plan` to completion and returns every output record.
     ///
     /// Implementations may parallelise internally but must not return
@@ -31,6 +81,22 @@ pub trait QueryEngine {
 
     /// Short engine identifier for diagnostics and telemetry labels.
     fn name(&self) -> &'static str;
+
+    /// Prepares `plan` for repeated execution: parse → lower → optimize →
+    /// verify happen *once* upstream, and the returned handle executes
+    /// many times without re-verifying.
+    ///
+    /// The default implementation wraps execution with reference semantics
+    /// — identical results for any conforming engine, just without its
+    /// scheduling. Engines with their own runtimes override this to
+    /// schedule through that runtime, verify once against their submit
+    /// policy, and cache per-plan state.
+    fn prepare(&self, plan: &PhysicalPlan) -> Result<Box<dyn PreparedQuery>> {
+        Ok(Box::new(DefaultPrepared {
+            plan: plan.clone(),
+            engine: self.name(),
+        }))
+    }
 }
 
 /// The definitional engine: single-threaded, materialised intermediates,
@@ -59,6 +125,83 @@ impl QueryEngine for ReferenceEngine {
     fn name(&self) -> &'static str {
         "reference"
     }
+
+    fn prepare(&self, plan: &PhysicalPlan) -> Result<Box<dyn PreparedQuery>> {
+        Ok(Box::new(VerifyOncePrepared::new(
+            plan.clone(),
+            self.verify,
+            "reference",
+        )))
+    }
+}
+
+/// Shared verify-once state for engine-specific prepared handles: the
+/// first execute runs submit-time verification against the graph's schema
+/// (prepare itself has no schema in scope); subsequent executes skip it.
+pub struct VerifyOnce {
+    verify: VerifyLevel,
+    done: std::sync::atomic::AtomicBool,
+}
+
+impl VerifyOnce {
+    /// A fresh guard for the given submit-time level.
+    pub fn new(verify: VerifyLevel) -> Self {
+        Self {
+            verify,
+            done: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Verifies on the first call (per the handle's level), no-ops after a
+    /// success. A concurrent first call may verify twice — harmless, the
+    /// verifier is pure.
+    pub fn check(
+        &self,
+        plan: &PhysicalPlan,
+        schema: &gs_graph::schema::GraphSchema,
+        context: &str,
+    ) -> Result<()> {
+        use std::sync::atomic::Ordering;
+        if self.done.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        verify_on_submit(plan, schema, self.verify, context)?;
+        self.done.store(true, Ordering::Release);
+        Ok(())
+    }
+}
+
+/// [`ReferenceEngine`]'s prepared handle: verify once, then straight to
+/// the reference executor on every call.
+struct VerifyOncePrepared {
+    plan: PhysicalPlan,
+    once: VerifyOnce,
+    engine: &'static str,
+}
+
+impl VerifyOncePrepared {
+    fn new(plan: PhysicalPlan, verify: VerifyLevel, engine: &'static str) -> Self {
+        Self {
+            plan,
+            once: VerifyOnce::new(verify),
+            engine,
+        }
+    }
+}
+
+impl PreparedQuery for VerifyOncePrepared {
+    fn execute(&self, graph: &dyn GrinGraph) -> Result<Vec<Record>> {
+        self.once.check(&self.plan, graph.schema(), self.engine)?;
+        crate::exec::execute(&self.plan, graph)
+    }
+
+    fn plan(&self) -> &PhysicalPlan {
+        &self.plan
+    }
+
+    fn engine_name(&self) -> &'static str {
+        self.engine
+    }
 }
 
 #[cfg(test)]
@@ -78,6 +221,43 @@ mod tests {
         let rows = engine.execute(&plan, &g).unwrap();
         assert_eq!(rows, crate::exec::execute(&plan, &g).unwrap());
         assert_eq!(rows.len(), 20);
+    }
+
+    #[test]
+    fn prepared_handle_matches_direct_execution() {
+        let g = MockGraph::new(12, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let s = g.schema().clone();
+        let plan = lower_naive(&PlanBuilder::new(&s).scan("a", "V").unwrap().build()).unwrap();
+        let engine: &dyn QueryEngine = &ReferenceEngine::default();
+        let prepared = engine.prepare(&plan).unwrap();
+        assert_eq!(prepared.engine_name(), "reference");
+        assert_eq!(prepared.plan().ops.len(), plan.ops.len());
+        // execute-many: repeated calls keep answering
+        for _ in 0..3 {
+            assert_eq!(
+                prepared.execute(&g).unwrap(),
+                engine.execute(&plan, &g).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_deny_handle_rejects_bad_plan() {
+        use crate::physical::PhysicalOp;
+        use crate::record::Layout;
+        let g = MockGraph::new(4, &[(0, 1, 1.0)]);
+        let bad = PhysicalPlan {
+            ops: vec![PhysicalOp::Scan {
+                label: crate::LabelId(42),
+                predicate: None,
+                index_lookup: None,
+            }],
+            layout: Layout::new(),
+        };
+        let deny = ReferenceEngine::with_verify(VerifyLevel::Deny);
+        let prepared = QueryEngine::prepare(&deny, &bad).unwrap();
+        let err = prepared.execute(&g).unwrap_err();
+        assert!(err.to_string().contains("E001"), "{err}");
     }
 
     #[test]

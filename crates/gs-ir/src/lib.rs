@@ -30,7 +30,7 @@ pub mod record;
 pub mod verify;
 
 pub use builder::PlanBuilder;
-pub use engine::{QueryEngine, ReferenceEngine};
+pub use engine::{PreparedQuery, QueryEngine, ReferenceEngine, VerifyOnce};
 pub use expr::{AggFunc, BinOp, Expr};
 pub use logical::{LogicalOp, LogicalPlan};
 pub use pattern::{Pattern, PatternEdge, PatternVertex};

@@ -7,8 +7,10 @@
 //! `figure5_equivalence` integration test at the workspace root).
 
 pub mod cypher;
+pub mod frontend;
 pub mod gremlin;
 pub mod lexer;
 
 pub use cypher::parse_cypher;
+pub use frontend::{statement_key, CompiledQuery, Frontend};
 pub use gremlin::parse_gremlin;

@@ -1,0 +1,329 @@
+//! Admission control: per-tenant quotas and a priority shed ladder over
+//! the PR 5 circuit-breaker primitive.
+//!
+//! Every request climbs the same ladder before touching an engine:
+//!
+//! 1. **circuit breaker** — consecutive engine failures open the circuit;
+//!    while open, everything is refused (`Unavailable`) so a sick engine
+//!    gets air instead of a pile-on;
+//! 2. **tenant quota** — a tenant at its in-flight cap is refused
+//!    (`Overloaded`) no matter its priority, so one tenant cannot
+//!    monopolise the service;
+//! 3. **priority watermarks** — as global load (in-flight / capacity)
+//!    rises, `Low` sheds first, then `Normal`; `High` is only refused at
+//!    hard capacity. Load-shedding, not queueing: an open-loop arrival
+//!    process would otherwise grow the queue without bound.
+//!
+//! Admission returns an RAII [`AdmitGuard`]; dropping it releases the
+//! tenant and global slots, so an engine panic can't leak capacity.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use gs_chaos::{BreakerConfig, CircuitBreaker};
+use gs_graph::{GraphError, Result};
+use gs_sanitizer::SharedCell;
+use gs_telemetry::counter;
+
+/// Request priority classes, shed lowest-first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    Low,
+    Normal,
+    High,
+}
+
+impl Priority {
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Per-tenant concurrency budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Maximum in-flight requests for the tenant.
+    pub max_inflight: usize,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        Self { max_inflight: 64 }
+    }
+}
+
+/// Admission tuning.
+#[derive(Clone, Debug)]
+pub struct AdmissionConfig {
+    /// Global in-flight capacity (the service's concurrency, not a queue).
+    pub capacity: usize,
+    /// Quota applied to tenants without an explicit entry in `quotas`.
+    pub default_quota: TenantQuota,
+    /// Explicit per-tenant overrides.
+    pub quotas: HashMap<String, TenantQuota>,
+    /// Load fraction at or above which `Low` is shed.
+    pub low_watermark: f64,
+    /// Load fraction at or above which `Normal` is shed.
+    pub normal_watermark: f64,
+    /// Breaker over engine failures (PR 5 primitive).
+    pub breaker: BreakerConfig,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 64,
+            default_quota: TenantQuota::default(),
+            quotas: HashMap::new(),
+            low_watermark: 0.5,
+            normal_watermark: 0.8,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// The admission state machine shared by every session of a server.
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    inflight: Arc<AtomicUsize>,
+    tenants: SharedCell<HashMap<String, Arc<AtomicUsize>>>,
+    breaker: parking_lot::Mutex<CircuitBreaker>,
+    admitted: AtomicU64,
+    shed: [AtomicU64; 3],
+    breaker_rejections: AtomicU64,
+}
+
+/// RAII admission slot: releases tenant + global capacity on drop.
+pub struct AdmitGuard {
+    global: Arc<AtomicUsize>,
+    tenant: Arc<AtomicUsize>,
+}
+
+impl Drop for AdmitGuard {
+    fn drop(&mut self) {
+        self.global.fetch_sub(1, Ordering::AcqRel);
+        self.tenant.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl AdmissionController {
+    pub fn new(config: AdmissionConfig) -> Self {
+        let breaker = CircuitBreaker::new(config.breaker.clone());
+        Self {
+            config,
+            inflight: Arc::new(AtomicUsize::new(0)),
+            tenants: SharedCell::new("serve.tenants", HashMap::new()),
+            breaker: parking_lot::Mutex::new(breaker),
+            admitted: AtomicU64::new(0),
+            shed: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            breaker_rejections: AtomicU64::new(0),
+        }
+    }
+
+    fn tenant_counter(&self, tenant: &str) -> Arc<AtomicUsize> {
+        self.tenants.update(|m| {
+            if let Some(c) = m.get(tenant) {
+                return Arc::clone(c);
+            }
+            let c = Arc::new(AtomicUsize::new(0));
+            m.insert(tenant.to_string(), Arc::clone(&c));
+            c
+        })
+    }
+
+    fn quota_for(&self, tenant: &str) -> TenantQuota {
+        self.config
+            .quotas
+            .get(tenant)
+            .copied()
+            .unwrap_or(self.config.default_quota)
+    }
+
+    /// Climbs the admission ladder for one request at `now`.
+    pub fn admit(&self, tenant: &str, priority: Priority, now: Instant) -> Result<AdmitGuard> {
+        if !self.breaker.lock().allow(now) {
+            self.breaker_rejections.fetch_add(1, Ordering::Relaxed);
+            counter!("serve.breaker.rejected");
+            return Err(GraphError::Unavailable(
+                "serving circuit open (engine failing); retry after cooldown".into(),
+            ));
+        }
+
+        let tenant_ctr = self.tenant_counter(tenant);
+        let quota = self.quota_for(tenant).max_inflight.max(1);
+        // optimistic tenant slot, rolled back on any later refusal
+        let t_prev = tenant_ctr.fetch_add(1, Ordering::AcqRel);
+        if t_prev >= quota {
+            tenant_ctr.fetch_sub(1, Ordering::AcqRel);
+            self.shed[priority.index()].fetch_add(1, Ordering::Relaxed);
+            counter!("serve.shed", reason = "quota", priority = priority.name());
+            return Err(GraphError::Overloaded {
+                shard: 0,
+                depth: t_prev as u64,
+            });
+        }
+
+        let capacity = self.config.capacity.max(1);
+        let g_prev = self.inflight.fetch_add(1, Ordering::AcqRel);
+        let load = g_prev as f64 / capacity as f64;
+        let refused = g_prev >= capacity
+            || match priority {
+                Priority::Low => load >= self.config.low_watermark,
+                Priority::Normal => load >= self.config.normal_watermark,
+                Priority::High => false,
+            };
+        if refused {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            tenant_ctr.fetch_sub(1, Ordering::AcqRel);
+            self.shed[priority.index()].fetch_add(1, Ordering::Relaxed);
+            counter!("serve.shed", reason = "load", priority = priority.name());
+            return Err(GraphError::Overloaded {
+                shard: 0,
+                depth: g_prev as u64,
+            });
+        }
+
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        counter!("serve.admitted", priority = priority.name());
+        Ok(AdmitGuard {
+            global: Arc::clone(&self.inflight),
+            tenant: tenant_ctr,
+        })
+    }
+
+    /// Feeds the execution outcome back into the breaker.
+    pub fn record_result(&self, ok: bool, now: Instant) {
+        let mut b = self.breaker.lock();
+        if ok {
+            b.on_success();
+        } else {
+            b.on_failure(now);
+        }
+    }
+
+    /// Requests currently holding a slot.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Acquire)
+    }
+
+    /// Whether the breaker currently rejects everything.
+    pub fn breaker_open(&self, now: Instant) -> bool {
+        self.breaker.lock().is_open(now)
+    }
+
+    /// (admitted, shed_low, shed_normal, shed_high, breaker_rejections).
+    pub fn stats(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.admitted.load(Ordering::Relaxed),
+            self.shed[Priority::Low.index()].load(Ordering::Relaxed),
+            self.shed[Priority::Normal.index()].load(Ordering::Relaxed),
+            self.shed[Priority::High.index()].load(Ordering::Relaxed),
+            self.breaker_rejections.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn config(capacity: usize) -> AdmissionConfig {
+        AdmissionConfig {
+            capacity,
+            default_quota: TenantQuota { max_inflight: 100 },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn low_priority_sheds_first_high_survives_to_capacity() {
+        let ctrl = AdmissionController::new(config(10));
+        let mut guards = Vec::new();
+        // fill to 50%: low watermark
+        for _ in 0..5 {
+            guards.push(ctrl.admit("t", Priority::High, Instant::now()).unwrap());
+        }
+        assert!(matches!(
+            ctrl.admit("t", Priority::Low, Instant::now()),
+            Err(GraphError::Overloaded { .. })
+        ));
+        guards.push(ctrl.admit("t", Priority::Normal, Instant::now()).unwrap());
+        // fill to 80%: normal watermark (one slot was taken just above)
+        for _ in 0..2 {
+            guards.push(ctrl.admit("t", Priority::High, Instant::now()).unwrap());
+        }
+        assert!(matches!(
+            ctrl.admit("t", Priority::Normal, Instant::now()),
+            Err(GraphError::Overloaded { .. })
+        ));
+        // high is admitted until hard capacity
+        for _ in 0..2 {
+            guards.push(ctrl.admit("t", Priority::High, Instant::now()).unwrap());
+        }
+        assert!(matches!(
+            ctrl.admit("t", Priority::High, Instant::now()),
+            Err(GraphError::Overloaded { .. })
+        ));
+        let (admitted, low, normal, high, _) = ctrl.stats();
+        assert_eq!(admitted, 10);
+        assert_eq!((low, normal, high), (1, 1, 1));
+        drop(guards);
+        assert_eq!(ctrl.inflight(), 0);
+        // capacity released: low admits again
+        assert!(ctrl.admit("t", Priority::Low, Instant::now()).is_ok());
+    }
+
+    #[test]
+    fn tenant_quota_caps_one_tenant_without_starving_others() {
+        let mut cfg = config(100);
+        cfg.quotas
+            .insert("greedy".into(), TenantQuota { max_inflight: 2 });
+        let ctrl = AdmissionController::new(cfg);
+        let _a = ctrl
+            .admit("greedy", Priority::High, Instant::now())
+            .unwrap();
+        let _b = ctrl
+            .admit("greedy", Priority::High, Instant::now())
+            .unwrap();
+        assert!(matches!(
+            ctrl.admit("greedy", Priority::High, Instant::now()),
+            Err(GraphError::Overloaded { .. })
+        ));
+        // another tenant is unaffected
+        assert!(ctrl.admit("polite", Priority::Low, Instant::now()).is_ok());
+    }
+
+    #[test]
+    fn breaker_opens_on_failures_and_recovers() {
+        let mut cfg = config(10);
+        cfg.breaker = BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(50),
+        };
+        let ctrl = AdmissionController::new(cfg);
+        let t0 = Instant::now();
+        ctrl.record_result(false, t0);
+        ctrl.record_result(false, t0);
+        assert!(ctrl.breaker_open(t0));
+        assert!(matches!(
+            ctrl.admit("t", Priority::High, t0),
+            Err(GraphError::Unavailable(_))
+        ));
+        // after cooldown the half-open probe is admitted
+        let t1 = t0 + Duration::from_millis(50);
+        assert!(ctrl.admit("t", Priority::High, t1).is_ok());
+        ctrl.record_result(true, t1);
+        assert!(!ctrl.breaker_open(t1));
+    }
+}

@@ -1,0 +1,155 @@
+//! Bounded LRU caches for the serving layer.
+//!
+//! Deliberately simple: a map plus a logical-time stamp per entry, with
+//! eviction scanning for the least-recently-used slot. Capacities are
+//! small (dozens to hundreds of statements), so the O(capacity) eviction
+//! scan is noise next to a query execution, and the behaviour is fully
+//! deterministic — important because `gs-bench storm` asserts identical
+//! cache-hit accounting across same-seed runs.
+//!
+//! Every operation — including lookups, which touch the LRU stamp — is a
+//! combining write on a [`SharedCell`], so concurrent sessions are
+//! admissible under the gs-sanitizer race checker (unordered combining
+//! writes are allowed; the cell's lock makes each op atomic).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gs_sanitizer::SharedCell;
+
+struct Slot<V> {
+    value: V,
+    used: u64,
+}
+
+struct Inner<K, V> {
+    map: HashMap<K, Slot<V>>,
+    tick: u64,
+}
+
+/// A bounded least-recently-used map with hit/miss/eviction accounting.
+pub struct LruCache<K, V> {
+    inner: SharedCell<Inner<K, V>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries (minimum 1).
+    pub fn new(label: &'static str, capacity: usize) -> Self {
+        Self {
+            inner: SharedCell::new(
+                label,
+                Inner {
+                    map: HashMap::new(),
+                    tick: 0,
+                },
+            ),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let out = self.inner.update(|c| {
+            c.tick += 1;
+            let tick = c.tick;
+            c.map.get_mut(key).map(|slot| {
+                slot.used = tick;
+                slot.value.clone()
+            })
+        });
+        match &out {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        out
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry if the cache is full.
+    pub fn insert(&self, key: K, value: V) {
+        let evicted = self.inner.update(|c| {
+            c.tick += 1;
+            let tick = c.tick;
+            if let Some(slot) = c.map.get_mut(&key) {
+                slot.value = value;
+                slot.used = tick;
+                return false;
+            }
+            let mut evicted = false;
+            if c.map.len() >= self.capacity {
+                if let Some(victim) = c
+                    .map
+                    .iter()
+                    .min_by_key(|(_, s)| s.used)
+                    .map(|(k, _)| k.clone())
+                {
+                    c.map.remove(&victim);
+                    evicted = true;
+                }
+            }
+            c.map.insert(key, Slot { value, used: tick });
+            evicted
+        });
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.update(|c| c.map.len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (hits, misses, evictions) so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_with_lru_eviction() {
+        let c: LruCache<u64, u64> = LruCache::new("test.cache", 2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(10)); // 1 is now most recent
+        c.insert(3, 30); // evicts 2
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.len(), 2);
+        let (hits, misses, evictions) = c.stats();
+        assert_eq!((hits, misses, evictions), (3, 1, 1));
+    }
+
+    #[test]
+    fn reinsert_refreshes_in_place() {
+        let c: LruCache<u64, u64> = LruCache::new("test.cache2", 2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // refresh, no eviction
+        assert_eq!(c.len(), 2);
+        c.insert(3, 30); // evicts 2 (1 was refreshed)
+        assert_eq!(c.get(&1), Some(11));
+        assert_eq!(c.get(&2), None);
+    }
+}

@@ -1,0 +1,317 @@
+//! # gs-serve — the production serving layer over the Flex stack
+//!
+//! The paper's deployments (§8) are *services*: many concurrent users,
+//! repeated parameterised statements, storage that keeps moving under
+//! reads. This crate is that front end, assembled from bricks below it:
+//!
+//! * **Sessions** ([`Server::session`]) carry a tenant identity and a
+//!   [`Priority`] class; they are cheap handles sharing one engine.
+//! * **Prepared statements** ([`Session::prepare`] /
+//!   [`Session::execute`]): parse → lower → optimize → irlint-verify runs
+//!   **once** per statement (through `gs_lang::Frontend::compile`), the
+//!   engine-side handle (`gs_ir::PreparedQuery`) executes many times.
+//!   Compiled plans live in a bounded LRU **plan cache** keyed by
+//!   (statement key, schema epoch), so equal statements across sessions
+//!   share one compilation.
+//! * **Result cache**: row batches are cached under (statement key, data
+//!   version). GART commits bump the version; stale entries silently stop
+//!   matching — *the* invalidation rule, there is no explicit purge.
+//! * **Admission control** ([`admission`]): per-tenant quotas and a
+//!   priority shed ladder over the PR 5 circuit breaker — under overload
+//!   the service sheds (`Overloaded`) instead of collapsing.
+//!
+//! Telemetry rows: `serve.admitted`, `serve.shed{reason,priority}`,
+//! `serve.breaker.rejected`, `serve.plan_cache.{hit,miss}`,
+//! `serve.result_cache.{hit,miss}`, `serve.exec_ns{cache}`,
+//! `serve.sessions`.
+
+pub mod admission;
+pub mod cache;
+pub mod store;
+
+pub use admission::{AdmissionConfig, AdmissionController, Priority, TenantQuota};
+pub use cache::LruCache;
+pub use store::{GartServeStore, ServeStore, StaticServeStore};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use gs_graph::{GraphError, Result, Value};
+use gs_ir::{PreparedQuery, QueryEngine, Record};
+use gs_lang::{CompiledQuery, Frontend};
+use gs_optimizer::Optimizer;
+use gs_telemetry::{counter, observe};
+use std::collections::HashMap;
+
+/// Server tuning knobs.
+pub struct ServeConfig {
+    /// Plan-cache capacity (compiled statements kept hot).
+    pub plan_cache_capacity: usize,
+    /// Result-cache capacity (row batches kept per data version).
+    pub result_cache_capacity: usize,
+    /// Disable to force parse → optimize → verify on *every* request —
+    /// the baseline `gs-bench storm` measures the prepared path against.
+    pub cache_plans: bool,
+    /// Disable to force execution on every request.
+    pub cache_results: bool,
+    /// Admission ladder tuning.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            plan_cache_capacity: 128,
+            result_cache_capacity: 512,
+            cache_plans: true,
+            cache_results: true,
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+/// One compiled + engine-prepared statement, shared across sessions.
+struct PlanEntry {
+    compiled: CompiledQuery,
+    prepared: Box<dyn PreparedQuery>,
+}
+
+/// A counter snapshot for tests and the storm harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    pub plan_hits: u64,
+    pub plan_misses: u64,
+    pub plan_evictions: u64,
+    pub result_hits: u64,
+    pub result_misses: u64,
+    pub result_evictions: u64,
+    pub admitted: u64,
+    pub shed_low: u64,
+    pub shed_normal: u64,
+    pub shed_high: u64,
+    pub breaker_rejections: u64,
+    pub executed: u64,
+    pub errors: u64,
+    pub sessions: u64,
+}
+
+/// The serving front end: one engine, one store, shared caches, shared
+/// admission state. Create it once, wrap it in an [`Arc`], and open
+/// sessions from any thread.
+pub struct Server {
+    engine: Box<dyn QueryEngine>,
+    store: Box<dyn ServeStore>,
+    optimizer: Optimizer,
+    config: ServeConfig,
+    plans: LruCache<(u64, u64), Arc<PlanEntry>>,
+    results: LruCache<(u64, u64), Arc<Vec<Record>>>,
+    admission: AdmissionController,
+    executed: AtomicU64,
+    errors: AtomicU64,
+    sessions: AtomicU64,
+}
+
+impl Server {
+    /// A server over `engine` and `store` with the default rule-based
+    /// optimizer.
+    pub fn new(
+        engine: Box<dyn QueryEngine>,
+        store: Box<dyn ServeStore>,
+        config: ServeConfig,
+    ) -> Self {
+        Self {
+            plans: LruCache::new("serve.plan_cache", config.plan_cache_capacity),
+            results: LruCache::new("serve.result_cache", config.result_cache_capacity),
+            admission: AdmissionController::new(config.admission.clone()),
+            engine,
+            store,
+            optimizer: Optimizer::rbo_only(),
+            config,
+            executed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            sessions: AtomicU64::new(0),
+        }
+    }
+
+    /// Opens a session for `tenant` at `priority`.
+    pub fn session(self: &Arc<Self>, tenant: &str, priority: Priority) -> Session {
+        self.sessions.fetch_add(1, Ordering::Relaxed);
+        counter!("serve.sessions");
+        Session {
+            server: Arc::clone(self),
+            tenant: tenant.to_string(),
+            priority,
+            statements: parking_lot::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The engine serving this server (for diagnostics).
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    /// The admission controller (exposed for harnesses that need to
+    /// inspect in-flight load).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        let (plan_hits, plan_misses, plan_evictions) = self.plans.stats();
+        let (result_hits, result_misses, result_evictions) = self.results.stats();
+        let (admitted, shed_low, shed_normal, shed_high, breaker_rejections) =
+            self.admission.stats();
+        ServerStats {
+            plan_hits,
+            plan_misses,
+            plan_evictions,
+            result_hits,
+            result_misses,
+            result_evictions,
+            admitted,
+            shed_low,
+            shed_normal,
+            shed_high,
+            breaker_rejections,
+            executed: self.executed.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            sessions: self.sessions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Compile-or-fetch: the verify-once half of the prepare/execute
+    /// split. Keyed by (statement key, schema epoch) — a schema change
+    /// orphans every cached plan.
+    fn plan_entry(
+        &self,
+        frontend: Frontend,
+        text: &str,
+        params: &HashMap<String, Value>,
+    ) -> Result<Arc<PlanEntry>> {
+        let key = (
+            gs_lang::statement_key(frontend, text, params),
+            self.store.schema_epoch(),
+        );
+        if self.config.cache_plans {
+            if let Some(entry) = self.plans.get(&key) {
+                counter!("serve.plan_cache.hit");
+                return Ok(entry);
+            }
+            counter!("serve.plan_cache.miss");
+        }
+        let compiled = frontend.compile_with(text, self.store.schema(), params, &self.optimizer)?;
+        let prepared = self.engine.prepare(&compiled.physical)?;
+        let entry = Arc::new(PlanEntry { compiled, prepared });
+        if self.config.cache_plans {
+            self.plans.insert(key, Arc::clone(&entry));
+        }
+        Ok(entry)
+    }
+
+    /// The execute-many half: admission ladder, result cache, engine.
+    fn run_entry(
+        &self,
+        tenant: &str,
+        priority: Priority,
+        entry: &PlanEntry,
+    ) -> Result<Arc<Vec<Record>>> {
+        let guard = self.admission.admit(tenant, priority, Instant::now())?;
+        // snapshot + its pinned version, atomically: results are cached
+        // under exactly the version they were computed at
+        let (snapshot, version) = self.store.snapshot();
+        let rkey = (entry.compiled.cache_key, version);
+        if self.config.cache_results {
+            if let Some(rows) = self.results.get(&rkey) {
+                counter!("serve.result_cache.hit");
+                drop(guard);
+                return Ok(rows);
+            }
+            counter!("serve.result_cache.miss");
+        }
+        let started = Instant::now();
+        let outcome = entry.prepared.execute(snapshot.as_ref());
+        self.admission
+            .record_result(outcome.is_ok(), Instant::now());
+        drop(guard);
+        match outcome {
+            Ok(rows) => {
+                self.executed.fetch_add(1, Ordering::Relaxed);
+                observe!("serve.exec_ns", cache = "miss"; started.elapsed().as_nanos() as u64);
+                let rows = Arc::new(rows);
+                if self.config.cache_results {
+                    self.results.insert(rkey, Arc::clone(&rows));
+                }
+                Ok(rows)
+            }
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                counter!("serve.errors");
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Index of a statement prepared on a [`Session`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatementId(usize);
+
+/// A tenant-scoped handle onto a shared [`Server`].
+pub struct Session {
+    server: Arc<Server>,
+    tenant: String,
+    priority: Priority,
+    statements: parking_lot::Mutex<Vec<Arc<PlanEntry>>>,
+}
+
+impl Session {
+    /// Compiles (or fetches from the plan cache) a statement and pins it
+    /// to this session. The heavy work happens here, once.
+    pub fn prepare(
+        &self,
+        frontend: Frontend,
+        text: &str,
+        params: &HashMap<String, Value>,
+    ) -> Result<StatementId> {
+        let entry = self.server.plan_entry(frontend, text, params)?;
+        let mut stmts = self.statements.lock();
+        stmts.push(entry);
+        Ok(StatementId(stmts.len() - 1))
+    }
+
+    /// Executes a prepared statement against the store's current version.
+    pub fn execute(&self, stmt: StatementId) -> Result<Arc<Vec<Record>>> {
+        let entry = {
+            let stmts = self.statements.lock();
+            stmts
+                .get(stmt.0)
+                .cloned()
+                .ok_or_else(|| GraphError::Query(format!("unknown statement id {}", stmt.0)))?
+        };
+        self.server.run_entry(&self.tenant, self.priority, &entry)
+    }
+
+    /// One-shot convenience: prepare (with caching) + execute, without
+    /// pinning the statement to the session.
+    pub fn query(
+        &self,
+        frontend: Frontend,
+        text: &str,
+        params: &HashMap<String, Value>,
+    ) -> Result<Arc<Vec<Record>>> {
+        let entry = self.server.plan_entry(frontend, text, params)?;
+        self.server.run_entry(&self.tenant, self.priority, &entry)
+    }
+
+    /// The tenant this session authenticates as.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The session's priority class.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+}

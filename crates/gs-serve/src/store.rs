@@ -1,0 +1,97 @@
+//! [`ServeStore`]: the storage facade the serving layer reads through.
+//!
+//! The server needs three things from storage that the bare
+//! [`GrinGraph`] trait doesn't carry: a schema to compile against, a
+//! *schema epoch* to key the plan cache (plans are verified against one
+//! schema and must not outlive it), and a *data version* to key the
+//! result cache (GART commits bump it, which is the entire invalidation
+//! rule — no explicit purge calls anywhere).
+
+use std::sync::Arc;
+
+use gs_gart::GartStore;
+use gs_graph::schema::GraphSchema;
+use gs_grin::GrinGraph;
+
+/// Storage as seen by the serving layer: versioned consistent snapshots.
+pub trait ServeStore: Send + Sync {
+    /// The schema queries compile and verify against.
+    fn schema(&self) -> &GraphSchema;
+
+    /// Monotonic schema identity; a bump invalidates every cached plan.
+    /// Stores in this repo have immutable schemas, so this is constant —
+    /// the cache key structure is what matters.
+    fn schema_epoch(&self) -> u64 {
+        0
+    }
+
+    /// The committed data version. Result-cache entries are keyed by it:
+    /// a write commit bumps the version and every stale entry silently
+    /// stops matching.
+    fn data_version(&self) -> u64;
+
+    /// A consistent read snapshot *and the version it is pinned to*.
+    /// Returning the pair atomically is what makes result caching sound:
+    /// the cached rows are stored under exactly the version they were
+    /// computed at.
+    fn snapshot(&self) -> (Arc<dyn GrinGraph>, u64);
+}
+
+/// GART-backed serving store: MVCC versions map directly onto the
+/// result-cache invalidation rule.
+pub struct GartServeStore {
+    store: Arc<GartStore>,
+}
+
+impl GartServeStore {
+    pub fn new(store: Arc<GartStore>) -> Self {
+        Self { store }
+    }
+
+    /// The underlying store (for writers that mutate alongside serving).
+    pub fn store(&self) -> &Arc<GartStore> {
+        &self.store
+    }
+}
+
+impl ServeStore for GartServeStore {
+    fn schema(&self) -> &GraphSchema {
+        self.store.schema()
+    }
+
+    fn data_version(&self) -> u64 {
+        self.store.committed_version()
+    }
+
+    fn snapshot(&self) -> (Arc<dyn GrinGraph>, u64) {
+        let version = self.store.committed_version();
+        (Arc::new(self.store.snapshot_at(version)), version)
+    }
+}
+
+/// An immutable store (Vineyard build, mock graph): version never moves,
+/// so cached results never expire — which is correct, the data can't
+/// change.
+pub struct StaticServeStore {
+    graph: Arc<dyn GrinGraph>,
+}
+
+impl StaticServeStore {
+    pub fn new(graph: Arc<dyn GrinGraph>) -> Self {
+        Self { graph }
+    }
+}
+
+impl ServeStore for StaticServeStore {
+    fn schema(&self) -> &GraphSchema {
+        self.graph.schema()
+    }
+
+    fn data_version(&self) -> u64 {
+        0
+    }
+
+    fn snapshot(&self) -> (Arc<dyn GrinGraph>, u64) {
+        (Arc::clone(&self.graph), 0)
+    }
+}

@@ -34,13 +34,14 @@ pub use gs_lang;
 pub use gs_learn;
 pub use gs_optimizer;
 pub use gs_sanitizer;
+pub use gs_serve;
 pub use gs_telemetry;
 pub use gs_vineyard;
 
 /// Everything the examples need, one import away.
 pub mod prelude {
     pub use gs_datagen::snb::{generate as generate_snb, SnbConfig};
-    pub use gs_flex::{Component, DeployTarget, FlexBuild};
+    pub use gs_flex::{Component, DeployTarget, EngineChoice, FlexBuild};
     pub use gs_gaia::GaiaEngine;
     pub use gs_gart::GartStore;
     pub use gs_grape::algorithms as grape_algorithms;
@@ -49,9 +50,12 @@ pub mod prelude {
     pub use gs_graph::{PropertyGraphData, VId, Value, ValueType};
     pub use gs_grin::{Capabilities, Direction, GrinGraph};
     pub use gs_hiactor::QueryService;
-    pub use gs_ir::{Expr, PlanBuilder, QueryEngine, ReferenceEngine};
-    pub use gs_lang::{parse_cypher, parse_gremlin};
+    pub use gs_ir::{Expr, PlanBuilder, PreparedQuery, QueryEngine, ReferenceEngine};
+    pub use gs_lang::{parse_cypher, parse_gremlin, CompiledQuery, Frontend};
     pub use gs_optimizer::{GlogueCatalog, Optimizer};
+    pub use gs_serve::{
+        GartServeStore, Priority, ServeConfig, ServeStore, Server, StaticServeStore,
+    };
     pub use gs_vineyard::VineyardGraph;
 }
 

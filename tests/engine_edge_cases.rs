@@ -9,9 +9,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// All execution in this file goes through the unified [`QueryEngine`]
-/// interface.
+/// interface, via the prepared-handle path (prepare once, execute many).
 fn run(engine: &dyn QueryEngine, plan: &PhysicalPlan, graph: &dyn GrinGraph) -> Vec<Record> {
-    engine.execute(plan, graph).unwrap()
+    engine.prepare(plan).unwrap().execute(graph).unwrap()
 }
 
 fn tiny_store() -> (VineyardGraph, GraphSchema) {

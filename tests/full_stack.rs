@@ -18,22 +18,29 @@ fn cypher_to_gaia_on_vineyard() {
     let q = "MATCH (a:Person)-[:KNOWS]-(b:Person)-[:KNOWS]-(c:Person) \
              WHERE a.browserUsed = 'Firefox' \
              RETURN b, COUNT(c) AS reach ORDER BY reach DESC, b LIMIT 10";
-    let plan = parse_cypher(q, &schema, &HashMap::new()).unwrap();
     let optimizer = Optimizer::new(GlogueCatalog::build(&store, 200));
-    let optimized = optimizer.optimize(&plan).unwrap();
+    let compiled = Frontend::Cypher
+        .compile_with(q, &schema, &HashMap::new(), &optimizer)
+        .unwrap();
     let canon = |mut v: Vec<Vec<Value>>| {
         v.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
         v
     };
     let reference = ReferenceEngine::default();
-    let slow =
-        canon(QueryEngine::execute(&reference, &lower_naive(&plan).unwrap(), &store).unwrap());
+    let slow = canon(
+        QueryEngine::execute(&reference, &lower_naive(&compiled.logical).unwrap(), &store).unwrap(),
+    );
     let gaia = GaiaEngine::new(3);
     let hiactor = QueryService::new(2);
     let engines: [&dyn QueryEngine; 3] = [&reference, &gaia, &hiactor];
     for engine in engines {
-        let fast = engine.execute(&optimized, &store).unwrap();
-        assert_eq!(canon(fast), slow, "engine {}", engine.name());
+        // prepare once, execute twice: the handle must agree with the
+        // reference on every call
+        let prepared = engine.prepare(&compiled.physical).unwrap();
+        for _ in 0..2 {
+            let fast = prepared.execute(&store).unwrap();
+            assert_eq!(canon(fast), slow, "engine {}", engine.name());
+        }
     }
 }
 
@@ -69,15 +76,19 @@ fn figure5_gremlin_cypher_equivalence() {
         "g.V().hasLabel('Buyer').has('username', 'A1').out('knows').out('buys').values('price')";
     let cypher = "MATCH (a:Buyer {username: 'A1'})-[:knows]-(b:Buyer)-[:buys]->(c:Item) \
                   RETURN c.price AS price";
-    let pg = parse_gremlin(gremlin, &schema).unwrap();
-    let pc = parse_cypher(cypher, &schema, &HashMap::new()).unwrap();
-    let optimizer = Optimizer::rbo_only();
+    let cg = Frontend::Gremlin.compile(gremlin, &schema).unwrap();
+    let cc = Frontend::Cypher.compile(cypher, &schema).unwrap();
+    assert_ne!(cg.cache_key, cc.cache_key, "statement keys must not alias");
     let engine: &dyn QueryEngine = &ReferenceEngine::default();
     let rg = engine
-        .execute(&optimizer.optimize(&pg).unwrap(), &store)
+        .prepare(&cg.physical)
+        .unwrap()
+        .execute(&store)
         .unwrap();
     let rc = engine
-        .execute(&optimizer.optimize(&pc).unwrap(), &store)
+        .prepare(&cc.physical)
+        .unwrap()
+        .execute(&store)
         .unwrap();
     let mut prices_g: Vec<String> = rg.iter().map(|r| r[0].to_string()).collect();
     let mut prices_c: Vec<String> = rc.iter().map(|r| r[0].to_string()).collect();
@@ -108,9 +119,10 @@ fn hiactor_on_gart_with_concurrent_updates() {
     store.commit();
     let svc = QueryService::new(2);
     let snap = store.snapshot();
-    let plan = parse_gremlin("g.V().hasLabel('V').out('E').count()", &schema).unwrap();
-    let phys = Optimizer::rbo_only().optimize(&plan).unwrap();
-    svc.register_plan("count_edges", phys, Arc::new(snap.clone()));
+    let compiled = Frontend::Gremlin
+        .compile("g.V().hasLabel('V').out('E').count()", &schema)
+        .unwrap();
+    svc.register_plan("count_edges", compiled.physical, Arc::new(snap.clone()));
     // concurrent writer adds edges, but the registered snapshot is pinned
     let writer = {
         let store = Arc::clone(&store);

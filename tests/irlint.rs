@@ -218,6 +218,11 @@ fn all_engines_deny_bad_plans_on_submit() {
     for e in &engines {
         let err = e.execute(&bad, &g).unwrap_err();
         assert!(err.to_string().contains("E001"), "{}: {err}", e.name());
+        // the prepared-statement path verifies on first execute and must
+        // reject identically
+        let prepared = e.prepare(&bad).unwrap();
+        let err = prepared.execute(&g).unwrap_err();
+        assert!(err.to_string().contains("E001"), "{}: {err}", e.name());
     }
 }
 

@@ -6,13 +6,13 @@ use gs_ir::physical::lower_naive;
 use proptest::prelude::*;
 
 /// All plan execution in this file goes through the unified
-/// [`QueryEngine`] interface.
+/// [`QueryEngine`] interface, via the prepared-handle path.
 fn run(
     engine: &dyn QueryEngine,
     plan: &gs_ir::PhysicalPlan,
     graph: &dyn GrinGraph,
 ) -> Vec<Vec<Value>> {
-    engine.execute(plan, graph).unwrap()
+    engine.prepare(plan).unwrap().execute(graph).unwrap()
 }
 
 /// Arbitrary small digraphs as (n, edge list).

@@ -1,0 +1,251 @@
+//! End-to-end serving-layer invariants (`gs-serve`).
+//!
+//! Three families of guarantees:
+//! * the prepare/execute split pays off: equal statements hit the plan
+//!   cache across sessions, and result caching is exactly as fresh as the
+//!   store — a GART commit bumps the data version and stale rows stop
+//!   matching with **no explicit purge**;
+//! * the admission ladder surfaces through sessions: `Overloaded` is a
+//!   structured error, low priority sheds first, high priority keeps
+//!   getting served to capacity;
+//! * under injected faults (chaos builds) the service degrades — every
+//!   request ends in rows or a structured error, nothing panics.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gs_datagen::apps::fraud_graph;
+use gs_gart::GartStore;
+use gs_graph::{GraphError, Value};
+use gs_ir::{ReferenceEngine, VerifyLevel};
+use gs_lang::Frontend;
+use gs_serve::{AdmissionConfig, GartServeStore, Priority, ServeConfig, Server, TenantQuota};
+
+fn fraud_server(capacity: usize) -> (Arc<Server>, Arc<GartStore>, gs_datagen::apps::FraudWorkload) {
+    let workload = fraud_graph(60, 20, 200, 50, 7);
+    let store = GartStore::from_data(&workload.data).expect("workload loads");
+    let config = ServeConfig {
+        admission: AdmissionConfig {
+            capacity,
+            default_quota: TenantQuota {
+                max_inflight: capacity,
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let server = Arc::new(Server::new(
+        Box::new(ReferenceEngine::with_verify(VerifyLevel::Deny)),
+        Box::new(GartServeStore::new(Arc::clone(&store))),
+        config,
+    ));
+    (server, store, workload)
+}
+
+const DEG_QUERY: &str = "MATCH (v:Account {id: 3})-[:KNOWS]-(f:Account) RETURN v, COUNT(f) AS deg";
+
+fn deg(rows: &[gs_ir::Record]) -> i64 {
+    match rows.first().and_then(|r| r.last()) {
+        Some(Value::Int(n)) => *n,
+        other => panic!("expected a count, got {other:?}"),
+    }
+}
+
+/// Equal statement text + params across sessions → one compilation, many
+/// hits; repeated execution at one data version → one execution, many
+/// cached row batches.
+#[test]
+fn plan_and_result_caches_hit_across_sessions() {
+    let (server, _store, _workload) = fraud_server(8);
+    let params = HashMap::new();
+
+    let s1 = server.session("checkout", Priority::High);
+    let s2 = server.session("analytics", Priority::Normal);
+    let first = s1.query(Frontend::Cypher, DEG_QUERY, &params).unwrap();
+    let second = s2.query(Frontend::Cypher, DEG_QUERY, &params).unwrap();
+    assert_eq!(first, second, "cached rows must equal computed rows");
+
+    let stats = server.stats();
+    assert_eq!(stats.plan_misses, 1, "one compile for the shared statement");
+    assert_eq!(stats.plan_hits, 1, "second session reuses the plan");
+    assert_eq!(stats.result_misses, 1, "one execution at this version");
+    assert_eq!(stats.result_hits, 1, "second call served from rows cache");
+    assert_eq!(stats.executed, 1);
+
+    // prepared-statement path shares the same caches
+    let stmt = s1.prepare(Frontend::Cypher, DEG_QUERY, &params).unwrap();
+    let third = s1.execute(stmt).unwrap();
+    assert_eq!(first, third);
+    let stats = server.stats();
+    assert_eq!(stats.plan_hits, 2);
+    assert_eq!(stats.result_hits, 2);
+    assert_eq!(stats.executed, 1, "still a single real execution");
+}
+
+/// The invalidation rule: a GART commit bumps the data version, cached
+/// results stop matching, and re-execution sees the new rows — while the
+/// compiled plan (keyed by schema epoch, unchanged) stays hot.
+#[test]
+fn gart_commit_invalidates_results_but_not_plans() {
+    let (server, store, workload) = fraud_server(8);
+    let params = HashMap::new();
+    let session = server.session("risk", Priority::Normal);
+
+    let before = deg(&session.query(Frontend::Cypher, DEG_QUERY, &params).unwrap());
+
+    // a new friendship lands online (KNOWS is symmetric, as in datagen)
+    store
+        .add_edge(workload.labels.knows, 3, 59, vec![])
+        .expect("edge inserts");
+    store
+        .add_edge(workload.labels.knows, 59, 3, vec![])
+        .expect("edge inserts");
+    store.commit();
+
+    let after = deg(&session.query(Frontend::Cypher, DEG_QUERY, &params).unwrap());
+    assert!(
+        after > before,
+        "post-commit read must see the new edge: {before} -> {after}"
+    );
+
+    let stats = server.stats();
+    assert_eq!(stats.plan_misses, 1, "schema epoch unchanged: plan reused");
+    assert_eq!(stats.plan_hits, 1);
+    assert_eq!(
+        stats.result_misses, 2,
+        "version bump must orphan the cached rows"
+    );
+    assert_eq!(stats.result_hits, 0);
+    assert_eq!(stats.executed, 2);
+
+    // and the new version's rows are cached in their own right
+    let again = deg(&session.query(Frontend::Cypher, DEG_QUERY, &params).unwrap());
+    assert_eq!(again, after);
+    assert_eq!(server.stats().result_hits, 1);
+}
+
+/// `Overloaded` travels through the session API as a structured error,
+/// low priority sheds first at the watermark, and high priority is still
+/// served — no starvation, no panic.
+#[test]
+fn admission_sheds_low_priority_first_and_surfaces_overloaded() {
+    let (server, _store, _workload) = fraud_server(2);
+    let params = HashMap::new();
+    let low = server.session("risk", Priority::Low);
+    let high = server.session("checkout", Priority::High);
+
+    // half the slots busy: load 0.5 is exactly the low-priority watermark
+    let held = server
+        .admission()
+        .admit("background", Priority::High, Instant::now())
+        .unwrap();
+
+    let err = low
+        .query(Frontend::Cypher, DEG_QUERY, &params)
+        .expect_err("low priority must shed at the watermark");
+    assert!(
+        matches!(err, GraphError::Overloaded { .. }),
+        "expected Overloaded, got {err:?}"
+    );
+    assert!(
+        high.query(Frontend::Cypher, DEG_QUERY, &params).is_ok(),
+        "high priority is served while low sheds"
+    );
+
+    let stats = server.stats();
+    assert_eq!(stats.shed_low, 1);
+    assert_eq!(stats.shed_high, 0);
+    assert!(stats.errors == 0, "shedding is not an execution error");
+
+    // pressure released → the same low-priority session is served again
+    drop(held);
+    assert!(low.query(Frontend::Cypher, DEG_QUERY, &params).is_ok());
+}
+
+/// Per-tenant quotas bound one noisy tenant without touching its peers.
+#[test]
+fn tenant_quota_is_isolated_from_other_tenants() {
+    let workload = fraud_graph(60, 20, 200, 50, 7);
+    let store = GartStore::from_data(&workload.data).expect("workload loads");
+    let config = ServeConfig {
+        admission: AdmissionConfig {
+            capacity: 16,
+            default_quota: TenantQuota { max_inflight: 1 },
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let server = Arc::new(Server::new(
+        Box::new(ReferenceEngine::with_verify(VerifyLevel::Deny)),
+        Box::new(GartServeStore::new(store)),
+        config,
+    ));
+    let params = HashMap::new();
+
+    // the noisy tenant's single slot is occupied...
+    let held = server
+        .admission()
+        .admit("noisy", Priority::High, Instant::now())
+        .unwrap();
+    let noisy = server.session("noisy", Priority::High);
+    let err = noisy
+        .query(Frontend::Cypher, DEG_QUERY, &params)
+        .expect_err("quota must cap the noisy tenant");
+    assert!(matches!(err, GraphError::Overloaded { .. }));
+
+    // ...while a quiet tenant sails through
+    let quiet = server.session("quiet", Priority::Low);
+    assert!(quiet.query(Frontend::Cypher, DEG_QUERY, &params).is_ok());
+    drop(held);
+}
+
+/// Chaos-armed smoke: with shard faults injected under the HiActor
+/// engine, serving degrades — every request is accounted for as rows,
+/// a shed, or a structured error. Nothing panics, nothing hangs.
+#[cfg(feature = "chaos")]
+mod chaos_on {
+    use super::*;
+    use gs_hiactor::QueryService;
+
+    #[test]
+    fn serving_degrades_gracefully_under_injected_faults() {
+        let plan = gs_chaos::FaultPlan::new(0x5E12)
+            .slow_shard(0, std::time::Duration::from_millis(2))
+            .dead_shard(1, 6);
+        let ((ok, shed, errs, total), stats) = gs_chaos::with_chaos(plan, || {
+            let workload = fraud_graph(60, 20, 200, 50, 7);
+            let store = GartStore::from_data(&workload.data).expect("workload loads");
+            let config = ServeConfig {
+                cache_results: false, // force every request onto the engine
+                ..Default::default()
+            };
+            let server = Arc::new(Server::new(
+                Box::new(QueryService::new(2)),
+                Box::new(GartServeStore::new(store)),
+                config,
+            ));
+            let params = HashMap::new();
+            let session = server.session("checkout", Priority::High);
+            let (mut ok, mut shed, mut errs) = (0u64, 0u64, 0u64);
+            let total = 24u64;
+            for i in 0..total {
+                let q = format!("MATCH (v:Account {{id: {}}}) RETURN v", i % 10);
+                match session.query(Frontend::Cypher, &q, &params) {
+                    Ok(_) => ok += 1,
+                    Err(GraphError::Overloaded { .. }) | Err(GraphError::Unavailable(_)) => {
+                        shed += 1
+                    }
+                    Err(_) => errs += 1,
+                }
+            }
+            (ok, shed, errs, total)
+        });
+        assert_eq!(ok + shed + errs, total, "every request must be accounted");
+        assert!(ok > 0, "a slow shard alone must not zero out the service");
+        assert!(
+            stats.shard_delays > 0 || stats.shard_deaths > 0,
+            "faults must actually have fired: {stats:?}"
+        );
+    }
+}

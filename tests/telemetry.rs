@@ -15,13 +15,14 @@ fn gaia_query_emits_span_tree_and_operator_counters() {
     let schema = social.data.schema.clone();
     let q = "MATCH (a:Person)-[:KNOWS]-(b:Person) \
              RETURN b, COUNT(a) AS deg ORDER BY deg DESC, b LIMIT 5";
-    let plan = parse_cypher(q, &schema, &HashMap::new()).unwrap();
-    let optimized = Optimizer::rbo_only().optimize(&plan).unwrap();
+    let compiled = Frontend::Cypher
+        .compile_with(q, &schema, &HashMap::new(), &Optimizer::rbo_only())
+        .unwrap();
 
     let registry = gs_telemetry::Registry::new();
     gs_telemetry::install(registry.clone());
     let engine: &dyn QueryEngine = &GaiaEngine::new(3);
-    let rows = engine.execute(&optimized, &store).unwrap();
+    let rows = engine.execute(&compiled.physical, &store).unwrap();
     gs_telemetry::uninstall();
     assert_eq!(rows.len(), 5);
 
