@@ -11,6 +11,7 @@
 //! Each experiment prints paper-style rows plus the paper's reported
 //! shape so EXPERIMENTS.md can record expectation vs measurement.
 
+pub mod analytics;
 pub mod chaos;
 pub mod experiments;
 pub mod irlint;

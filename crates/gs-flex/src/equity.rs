@@ -58,14 +58,14 @@ pub fn equity_grape_over(
         for l in 0..inner as u32 {
             let g = frag.global(l);
             if g.0 >= companies {
-                for (&nbr, &eid) in frag.out_neighbors(l).iter().zip(frag.out_edge_ids(l)) {
+                frag.for_each_out(l, |nbr, eid| {
                     let target = frag.global(nbr.0 as u32);
                     out.send(
                         frag.owner(target).index(),
                         target,
                         (g.0, weights_local[eid.index()]),
                     );
-                }
+                });
             }
         }
         loop {
@@ -86,13 +86,13 @@ pub fn equity_grape_over(
                 });
             }
             for (l, person, ds) in deltas {
-                for (&nbr, &eid) in frag.out_neighbors(l).iter().zip(frag.out_edge_ids(l)) {
+                frag.for_each_out(l, |nbr, eid| {
                     let target = frag.global(nbr.0 as u32);
                     let fwd = ds * weights_local[eid.index()];
                     if fwd > EPSILON {
                         out.send(frag.owner(target).index(), target, (person, fwd));
                     }
-                }
+                });
             }
         }
         (0..inner as u32)

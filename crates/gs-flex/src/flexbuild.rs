@@ -10,6 +10,7 @@
 
 use gs_graph::json::Json;
 use gs_graph::GraphError;
+use gs_graph::LayoutKind;
 use gs_grin::Capabilities;
 use std::collections::BTreeSet;
 
@@ -194,9 +195,20 @@ pub struct Deployment {
     pub components: BTreeSet<Component>,
     /// Deployment target hint (binary vs. image; single node vs. cluster).
     pub target: DeployTarget,
+    /// Topology layout the deployment's stores and analytics engine
+    /// materialise (`csr` by default; `sorted_csr` / `compressed_csr`
+    /// trade build time or decode cost for faster intersections or a
+    /// smaller footprint). Results are identical across layouts.
+    pub layout: LayoutKind,
 }
 
 impl Deployment {
+    /// Returns the deployment with the topology-layout knob set.
+    pub fn with_layout(mut self, layout: LayoutKind) -> Self {
+        self.layout = layout;
+        self
+    }
+
     /// Encodes the manifest as JSON (components by paper number).
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -212,6 +224,7 @@ impl Deployment {
                     DeployTarget::ClusterImage => "cluster-image",
                 }),
             ),
+            ("layout", Json::str(self.layout.name())),
         ])
     }
 
@@ -348,6 +361,7 @@ impl Deployment {
             .contains(&Component::Grape)
             .then_some(AnalyticsEngine {
                 fragments: parallelism.max(1),
+                layout: self.layout,
             })
     }
 
@@ -373,6 +387,18 @@ impl Deployment {
                 )))
             }
         };
+        // manifests written before the layout knob existed default to csr
+        let layout = match doc.field("layout") {
+            Ok(j) => {
+                let name = j
+                    .as_str()
+                    .ok_or_else(|| GraphError::Corrupt("deployment: layout not a string".into()))?;
+                LayoutKind::from_name(name).ok_or_else(|| {
+                    GraphError::Corrupt(format!("deployment: unknown layout {name:?}"))
+                })?
+            }
+            Err(_) => LayoutKind::default(),
+        };
         Ok(Deployment {
             name: doc
                 .field("name")?
@@ -381,6 +407,7 @@ impl Deployment {
                 .to_string(),
             components,
             target,
+            layout,
         })
     }
 }
@@ -397,6 +424,7 @@ pub enum DeployTarget {
 /// store they were composed with instead of a private edge list.
 pub struct AnalyticsEngine {
     fragments: usize,
+    layout: LayoutKind,
 }
 
 impl AnalyticsEngine {
@@ -410,14 +438,25 @@ impl AnalyticsEngine {
         self.fragments
     }
 
+    /// Fragment topology layout inherited from the deployment manifest.
+    pub fn layout(&self) -> LayoutKind {
+        self.layout
+    }
+
     /// Loads the projection out of `store` into a [`gs_grape::GrapeEngine`];
-    /// capability validation happens inside the loader.
+    /// capability validation happens inside the loader. The deployment's
+    /// layout knob applies unless the projection sets its own non-default
+    /// layout.
     pub fn load(
         &self,
         store: &dyn gs_grin::GrinGraph,
         proj: &gs_grape::GrinProjection,
     ) -> gs_graph::Result<(gs_grape::GrapeEngine, gs_grape::VertexSpace)> {
-        gs_grape::GrapeEngine::from_grin(store, proj, self.fragments)
+        let mut proj = proj.clone();
+        if proj.layout == LayoutKind::default() {
+            proj.layout = self.layout;
+        }
+        gs_grape::GrapeEngine::from_grin(store, &proj, self.fragments)
     }
 }
 
@@ -552,6 +591,7 @@ impl FlexBuild {
             name: name.to_string(),
             components: set,
             target,
+            layout: LayoutKind::default(),
         })
     }
 
@@ -780,6 +820,7 @@ mod tests {
                 .into_iter()
                 .collect(),
             target: DeployTarget::ClusterImage,
+            layout: LayoutKind::default(),
         };
         let Err(err) = d.serving_engine(EngineChoice::HiActor, 2, gs_ir::VerifyLevel::Deny) else {
             panic!("expected error");
@@ -802,6 +843,43 @@ mod tests {
         let json = d.to_json().render();
         let back = Deployment::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(d, back);
+    }
+
+    #[test]
+    fn layout_knob_round_trips_and_defaults() {
+        let d = FlexBuild::antifraud_analytics_preset()
+            .unwrap()
+            .with_layout(LayoutKind::SortedCsr);
+        let json = d.to_json().render();
+        let back = Deployment::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.layout, LayoutKind::SortedCsr);
+        assert_eq!(d, back);
+        // manifests written before the knob existed still parse (csr)
+        let legacy = json.replace(",\"layout\":\"sorted_csr\"", "");
+        assert!(!legacy.contains("layout"), "{legacy}");
+        let old = Deployment::from_json(&Json::parse(&legacy).unwrap()).unwrap();
+        assert_eq!(old.layout, LayoutKind::Csr);
+        // unknown layout names are corrupt, not silently csr
+        let bad = json.replace("sorted_csr", "btree");
+        assert!(Deployment::from_json(&Json::parse(&bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn analytics_engine_inherits_the_deployment_layout() {
+        let d = FlexBuild::antifraud_analytics_preset()
+            .unwrap()
+            .with_layout(LayoutKind::CompressedCsr);
+        let engine = d.analytics_engine(2).unwrap();
+        assert_eq!(engine.layout(), LayoutKind::CompressedCsr);
+        let store = gs_grin::graph::mock::MockGraph::new(4, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let (grape, _) = engine
+            .load(&store, &gs_grape::GrinProjection::all())
+            .unwrap();
+        assert_eq!(grape.layout(), LayoutKind::CompressedCsr);
+        // an explicit projection layout wins over the deployment knob
+        let proj = gs_grape::GrinProjection::all().with_layout(LayoutKind::SortedCsr);
+        let (grape, _) = engine.load(&store, &proj).unwrap();
+        assert_eq!(grape.layout(), LayoutKind::SortedCsr);
     }
 
     #[test]

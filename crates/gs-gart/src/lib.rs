@@ -21,8 +21,10 @@
 //! readers obtain a [`GartSnapshot`] pinned to a committed version and are
 //! never blocked by the writer for more than a segment append.
 
+use gs_graph::csr::Csr;
 use gs_graph::data::PropertyGraphData;
 use gs_graph::ids::IdMap;
+use gs_graph::layout::{LayoutKind, TopologyLayout};
 use gs_graph::props::PropertyTable;
 use gs_grin::{
     AdjEntry, Capabilities, Direction, GraphError, GraphSchema, GrinGraph, LabelId, PropId, Result,
@@ -524,6 +526,299 @@ impl GartSnapshot {
         }
         out
     }
+
+    /// Freezes this snapshot's topology into an immutable, layout-backed
+    /// [`FrozenGart`]: each edge label's live adjacency at the pinned
+    /// version is materialised as a [`TopologyLayout`] (plain, sorted, or
+    /// compressed CSR). Analytics over a fixed version then run on the
+    /// same zero-version-check fast path static stores enjoy, while
+    /// properties and id maps keep reading through the store at this
+    /// version. The writer may keep committing; the freeze never sees it.
+    pub fn freeze(&self, layout: LayoutKind) -> FrozenGart {
+        let g = self.store.inner.read();
+        let nel = self.store.schema.edge_label_count();
+        let mut out_topo = Vec::with_capacity(nel);
+        let mut in_topo = Vec::with_capacity(nel);
+        for (li, ldef) in self.store.schema.edge_labels().iter().enumerate() {
+            // Domains span the label's full internal-id space; vertices
+            // created after this version simply freeze with degree 0.
+            let src_n = g.vertex_created[ldef.src.index()].len();
+            let dst_n = g.vertex_created[ldef.dst.index()].len();
+            out_topo.push(TopologyLayout::build(
+                layout,
+                freeze_pool(&g.adj_out[li], src_n, self.version),
+            ));
+            in_topo.push(TopologyLayout::build(
+                layout,
+                freeze_pool(&g.adj_in[li], dst_n, self.version),
+            ));
+        }
+        FrozenGart {
+            store: Arc::clone(&self.store),
+            version: self.version,
+            layout,
+            out_topo,
+            in_topo,
+        }
+    }
+}
+
+/// Materialises the live entries of a pooled adjacency at `version` as a
+/// static CSR, preserving edge ids.
+fn freeze_pool(pool: &AdjPool, n: usize, version: Version) -> Csr {
+    let scanned = n.min(pool.vertex_count());
+    let mut offsets = vec![0u64; n + 1];
+    for v in 0..scanned {
+        let mut d = 0u64;
+        pool.for_each(v, version, &mut |_, _| d += 1);
+        offsets[v + 1] = d;
+    }
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    let m = offsets[n] as usize;
+    let mut targets = Vec::with_capacity(m);
+    let mut eids = Vec::with_capacity(m);
+    for v in 0..scanned {
+        pool.for_each(v, version, &mut |nbr, eid| {
+            targets.push(nbr);
+            eids.push(eid);
+        });
+    }
+    Csr::from_parts(offsets, targets, eids)
+}
+
+/// An immutable freeze of a [`GartSnapshot`]: layout-backed topology (see
+/// [`GartSnapshot::freeze`]) plus version-checked property/id access
+/// through the owning store. Implements [`GrinGraph`] with the
+/// array/sorted/compressed capabilities of its layout — unlike the live
+/// snapshot, which only offers iterators.
+pub struct FrozenGart {
+    store: Arc<GartStore>,
+    version: Version,
+    layout: LayoutKind,
+    out_topo: Vec<TopologyLayout>,
+    in_topo: Vec<TopologyLayout>,
+}
+
+impl FrozenGart {
+    /// The version the topology was frozen at.
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// The layout the topology is materialised in.
+    pub fn layout(&self) -> LayoutKind {
+        self.layout
+    }
+
+    /// Heap footprint of the frozen topology (both directions, all labels).
+    pub fn topology_bytes(&self) -> usize {
+        self.out_topo
+            .iter()
+            .chain(&self.in_topo)
+            .map(|t| t.heap_bytes())
+            .sum()
+    }
+}
+
+impl GrinGraph for FrozenGart {
+    fn capabilities(&self) -> Capabilities {
+        let base = Capabilities::of(&[
+            Capabilities::VERTEX_LIST_ITER,
+            Capabilities::ADJ_LIST_ARRAY,
+            Capabilities::ADJ_LIST_ITER,
+            Capabilities::IN_ADJACENCY,
+            Capabilities::PROPERTY,
+            Capabilities::INDEX_EXTERNAL_ID,
+            Capabilities::INDEX_INTERNAL_ID,
+            Capabilities::MVCC,
+        ]);
+        let (add, remove) = Capabilities::layout_masks(self.layout);
+        base.union(add).difference(remove)
+    }
+
+    fn topology_layout(&self) -> LayoutKind {
+        self.layout
+    }
+
+    fn schema(&self) -> &GraphSchema {
+        &self.store.schema
+    }
+
+    fn vertex_count(&self, label: LabelId) -> usize {
+        let g = self.store.inner.read();
+        g.vertex_created[label.index()]
+            .iter()
+            .filter(|&&cv| cv <= self.version)
+            .count()
+    }
+
+    fn edge_count(&self, label: LabelId) -> usize {
+        self.out_topo[label.index()].edge_count()
+    }
+
+    fn vertices(&self, label: LabelId) -> Box<dyn Iterator<Item = VId> + '_> {
+        let g = self.store.inner.read();
+        let v: Vec<VId> = g.vertex_created[label.index()]
+            .iter()
+            .enumerate()
+            .filter(|(_, &cv)| cv <= self.version)
+            .map(|(i, _)| VId(i as u64))
+            .collect();
+        Box::new(v.into_iter())
+    }
+
+    fn adjacent(
+        &self,
+        v: VId,
+        _vlabel: LabelId,
+        elabel: LabelId,
+        dir: Direction,
+    ) -> Box<dyn Iterator<Item = AdjEntry> + '_> {
+        let out = &self.out_topo[elabel.index()];
+        let inn = &self.in_topo[elabel.index()];
+        match dir {
+            Direction::Out => frozen_adj(out, v),
+            Direction::In => frozen_adj(inn, v),
+            Direction::Both => Box::new(frozen_adj(out, v).chain(frozen_adj(inn, v))),
+        }
+    }
+
+    fn for_each_adjacent(
+        &self,
+        v: VId,
+        _vlabel: LabelId,
+        elabel: LabelId,
+        dir: Direction,
+        f: &mut dyn FnMut(AdjEntry),
+    ) {
+        let mut visit = |topo: &TopologyLayout| {
+            if v.index() < topo.vertex_count() {
+                topo.for_each_adj(v, |nbr, edge| f(AdjEntry { nbr, edge }));
+            }
+        };
+        match dir {
+            Direction::Out => visit(&self.out_topo[elabel.index()]),
+            Direction::In => visit(&self.in_topo[elabel.index()]),
+            Direction::Both => {
+                visit(&self.out_topo[elabel.index()]);
+                visit(&self.in_topo[elabel.index()]);
+            }
+        }
+    }
+
+    fn adjacent_slice(
+        &self,
+        v: VId,
+        _vlabel: LabelId,
+        elabel: LabelId,
+        dir: Direction,
+    ) -> Option<(&[VId], &[gs_grin::EId])> {
+        let topo = match dir {
+            Direction::Out => &self.out_topo[elabel.index()],
+            Direction::In => &self.in_topo[elabel.index()],
+            Direction::Both => return None,
+        };
+        if v.index() >= topo.vertex_count() {
+            return Some((&[], &[]));
+        }
+        topo.adj_slices(v)
+    }
+
+    fn degree(&self, v: VId, _vl: LabelId, elabel: LabelId, dir: Direction) -> usize {
+        let deg = |t: &TopologyLayout| {
+            if v.index() < t.vertex_count() {
+                t.degree(v)
+            } else {
+                0
+            }
+        };
+        match dir {
+            Direction::Out => deg(&self.out_topo[elabel.index()]),
+            Direction::In => deg(&self.in_topo[elabel.index()]),
+            Direction::Both => {
+                deg(&self.out_topo[elabel.index()]) + deg(&self.in_topo[elabel.index()])
+            }
+        }
+    }
+
+    fn scan_adjacency(
+        &self,
+        vlabel: LabelId,
+        elabel: LabelId,
+        dir: Direction,
+        f: &mut gs_grin::AdjScanFn<'_>,
+    ) -> bool {
+        let topo = match dir {
+            Direction::Out => &self.out_topo[elabel.index()],
+            Direction::In => &self.in_topo[elabel.index()],
+            Direction::Both => return gs_grin::scan_via_iterators(self, vlabel, elabel, dir, f),
+        };
+        let visible: Vec<bool> = {
+            let g = self.store.inner.read();
+            g.vertex_created[vlabel.index()]
+                .iter()
+                .map(|&cv| cv <= self.version)
+                .collect()
+        };
+        let mut nbrs = Vec::new();
+        let mut eids = Vec::new();
+        for (i, vis) in visible.iter().enumerate() {
+            if !vis {
+                continue;
+            }
+            let v = VId(i as u64);
+            if v.index() >= topo.vertex_count() {
+                f(v, &[], &[]);
+            } else if let Some((ns, es)) = topo.adj_slices(v) {
+                f(v, ns, es);
+            } else {
+                topo.as_layout().copy_adj(v, &mut nbrs, &mut eids);
+                f(v, &nbrs, &eids);
+            }
+        }
+        true
+    }
+
+    fn vertex_property(&self, label: LabelId, v: VId, prop: PropId) -> Value {
+        self.store
+            .with_view(self.version, |view| view.vertex_property(label, v, prop))
+    }
+
+    fn edge_property(&self, label: LabelId, e: gs_grin::EId, prop: PropId) -> Value {
+        self.store
+            .with_view(self.version, |view| view.edge_property(label, e, prop))
+    }
+
+    fn internal_id(&self, label: LabelId, external: u64) -> Option<VId> {
+        self.store
+            .with_view(self.version, |view| view.internal_id(label, external))
+    }
+
+    fn external_id(&self, label: LabelId, v: VId) -> Option<u64> {
+        self.store
+            .with_view(self.version, |view| view.external_id(label, v))
+    }
+}
+
+/// Boxed adjacency iteration over a frozen topology (zero-copy for
+/// slice-backed layouts, buffered decode for compressed ones).
+fn frozen_adj(topo: &TopologyLayout, v: VId) -> Box<dyn Iterator<Item = AdjEntry> + '_> {
+    if v.index() >= topo.vertex_count() {
+        return Box::new(std::iter::empty());
+    }
+    if let Some((nbrs, eids)) = topo.adj_slices(v) {
+        Box::new(
+            nbrs.iter()
+                .zip(eids)
+                .map(|(&nbr, &edge)| AdjEntry { nbr, edge }),
+        )
+    } else {
+        let mut entries = Vec::with_capacity(topo.degree(v));
+        topo.for_each_adj(v, |nbr, edge| entries.push(AdjEntry { nbr, edge }));
+        Box::new(entries.into_iter())
+    }
 }
 
 impl GrinGraph for GartSnapshot {
@@ -880,6 +1175,84 @@ mod tests {
                 assert_eq!(eids, expect.iter().map(|a| a.edge).collect::<Vec<_>>());
             }
         }
+    }
+
+    #[test]
+    fn freeze_matches_snapshot_across_layouts() {
+        let data = PropertyGraphData::from_edge_list(
+            40,
+            &(0..160u64)
+                .map(|i| (i % 40, (i * 11 + 3) % 40))
+                .collect::<Vec<_>>(),
+        );
+        let store = GartStore::from_data(&data).unwrap();
+        let snap = store.snapshot();
+        let (vl, el) = (LabelId(0), LabelId(0));
+        for layout in LayoutKind::ALL {
+            let frozen = snap.freeze(layout);
+            assert_eq!(frozen.topology_layout(), layout);
+            assert_eq!(frozen.version(), snap.version());
+            assert_eq!(frozen.vertex_count(vl), snap.vertex_count(vl));
+            assert_eq!(frozen.edge_count(el), snap.edge_count(el));
+            assert!(frozen.topology_bytes() > 0);
+            for v in snap.vertices(vl) {
+                for dir in [Direction::Out, Direction::In, Direction::Both] {
+                    let mut want: Vec<AdjEntry> = snap.adjacent(v, vl, el, dir).collect();
+                    let mut got: Vec<AdjEntry> = frozen.adjacent(v, vl, el, dir).collect();
+                    want.sort_by_key(|a| (a.nbr, a.edge));
+                    got.sort_by_key(|a| (a.nbr, a.edge));
+                    assert_eq!(got, want, "{layout} {dir:?} v{v:?}");
+                    assert_eq!(frozen.degree(v, vl, el, dir), want.len());
+                }
+            }
+            // bulk scan agrees with the live snapshot's
+            let mut frozen_rows = Vec::new();
+            assert!(
+                frozen.scan_adjacency(vl, el, Direction::Out, &mut |v, ns, es| {
+                    frozen_rows.push((v, ns.to_vec(), es.to_vec()));
+                })
+            );
+            let mut live_rows = Vec::new();
+            snap.scan_adjacency(vl, el, Direction::Out, &mut |v, ns, es| {
+                live_rows.push((v, ns.to_vec(), es.to_vec()));
+            });
+            assert_eq!(frozen_rows, live_rows, "{layout}");
+        }
+    }
+
+    #[test]
+    fn freeze_is_isolated_from_later_commits_and_reports_capabilities() {
+        let (s, vl, el) = schema();
+        let store = GartStore::new(s);
+        for i in 0..4 {
+            store.add_vertex(vl, i, vec![Value::Int(0)]).unwrap();
+        }
+        store.add_edge(el, 0, 1, vec![Value::Float(1.0)]).unwrap();
+        store.commit();
+        let frozen = store.snapshot().freeze(LayoutKind::CompressedCsr);
+        // writer keeps going; the freeze must not move
+        store.add_edge(el, 1, 2, vec![Value::Float(2.0)]).unwrap();
+        store.commit();
+        assert_eq!(frozen.edge_count(el), 1);
+        assert_eq!(store.snapshot().edge_count(el), 2);
+        let caps = frozen.capabilities();
+        assert!(caps.supports(Capabilities::COMPRESSED_TOPOLOGY | Capabilities::MVCC));
+        assert!(!caps.supports(Capabilities::ADJ_LIST_ARRAY));
+        assert!(
+            !caps.supports(Capabilities::MUTABLE),
+            "a freeze is immutable"
+        );
+        let sorted = store.snapshot().freeze(LayoutKind::SortedCsr);
+        assert!(sorted
+            .capabilities()
+            .supports(Capabilities::ADJ_LIST_ARRAY | Capabilities::SORTED_ADJACENCY));
+        // frozen topology drops tombstoned edges like the snapshot does
+        assert!(store.delete_edge(el, 0, 1).unwrap());
+        store.commit();
+        let after = store.snapshot().freeze(LayoutKind::SortedCsr);
+        assert_eq!(after.edge_count(el), 1);
+        let v0 = after.internal_id(vl, 0).unwrap();
+        assert_eq!(after.degree(v0, vl, el, Direction::Out), 0);
     }
 
     #[test]

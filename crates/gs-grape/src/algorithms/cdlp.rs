@@ -16,10 +16,10 @@ pub fn cdlp(engine: &GrapeEngine, rounds: usize) -> Vec<u64> {
         for _ in 0..rounds {
             for l in 0..inner as u32 {
                 let lab = label[l as usize];
-                for &nbr in frag.out_neighbors(l) {
+                frag.for_each_out(l, |nbr, _| {
                     let g = frag.global(nbr.0 as u32);
                     out.send(frag.owner(g).index(), g, lab);
-                }
+                });
             }
             let (blocks, _) = comm.exchange(&mut out);
             let mut freq: Vec<HashMap<u64, u32>> = vec![HashMap::new(); inner];

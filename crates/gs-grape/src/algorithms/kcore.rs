@@ -18,7 +18,7 @@ impl GrapeEngine {
             let frag = ctx.frag;
             let inner = frag.inner_count;
             let mut degree: Vec<i64> = (0..inner as u32)
-                .map(|l| frag.out_neighbors(l).len() as i64)
+                .map(|l| frag.out_degree(l) as i64)
                 .collect();
             let mut alive = VertexSubset::full(frag);
 

@@ -4,36 +4,49 @@
 //! that requires shipping adjacency lists, which costs O(Σ deg²) traffic.
 //! Since LCC is not among the figures the paper reports (PageRank/BFS are),
 //! we provide the shared-memory implementation used by the BI workloads:
-//! sorted-adjacency intersection over the symmetrized CSR, parallelised
-//! over vertex ranges.
+//! adjacency intersection over the symmetrized topology, parallelised over
+//! vertex ranges. The intersection strategy follows the layout: plain CSR
+//! merges linearly, [`LayoutKind::SortedCsr`] switches to galloping search
+//! when one list dwarfs the other (hub-heavy graphs).
 
 use gs_graph::csr::Csr;
+use gs_graph::layout::{LayoutKind, TopologyLayout};
 use gs_graph::VId;
 
-/// LCC per vertex over a symmetrized, deduplicated edge list.
+/// LCC per vertex over a symmetrized, deduplicated edge list (plain CSR).
 pub fn lcc(n: usize, edges: &[(VId, VId)], threads: usize) -> Vec<f64> {
-    let g = Csr::from_edges(n, edges);
+    lcc_with_layout(n, edges, threads, LayoutKind::Csr)
+}
+
+/// LCC with an explicit topology layout; results are identical across
+/// layouts, only the intersection strategy (and footprint) changes.
+pub fn lcc_with_layout(
+    n: usize,
+    edges: &[(VId, VId)],
+    threads: usize,
+    layout: LayoutKind,
+) -> Vec<f64> {
+    let topo = TopologyLayout::build(layout, Csr::from_edges(n, edges));
     let threads = threads.max(1);
     let chunk = n.div_ceil(threads).max(1);
     let mut out = vec![0.0; n];
     crossbeam::thread::scope(|s| {
         for (t, slot) in out.chunks_mut(chunk).enumerate() {
-            let g = &g;
+            let topo = &topo;
             s.spawn(move |_| {
                 let lo = t * chunk;
                 for (i, val) in slot.iter_mut().enumerate() {
                     let v = VId((lo + i) as u64);
-                    let nbrs = g.neighbors(v);
-                    let d = nbrs.len();
+                    let d = topo.degree(v);
                     if d < 2 {
                         *val = 0.0;
                         continue;
                     }
                     // count closed pairs: |{(u,w) : u,w ∈ N(v), u→w}|
                     let mut links = 0usize;
-                    for &u in nbrs {
-                        links += sorted_intersection_count(g.neighbors(u), nbrs);
-                    }
+                    topo.for_each_adj(v, |u, _| {
+                        links += topo.intersection_count(u, v);
+                    });
                     *val = links as f64 / (d * (d - 1)) as f64;
                 }
             });
@@ -41,23 +54,6 @@ pub fn lcc(n: usize, edges: &[(VId, VId)], threads: usize) -> Vec<f64> {
     })
     .expect("lcc scope");
     out
-}
-
-/// Count of common elements of two sorted slices.
-fn sorted_intersection_count(a: &[VId], b: &[VId]) -> usize {
-    let (mut i, mut j, mut c) = (0, 0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                c += 1;
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    c
 }
 
 #[cfg(test)]
@@ -113,5 +109,22 @@ mod tests {
         }
         el.symmetrize();
         assert_eq!(lcc(50, el.edges(), 1), lcc(50, el.edges(), 4));
+    }
+
+    #[test]
+    fn layouts_agree_bitwise() {
+        use rand::Rng;
+        let mut rng = rand_pcg::Pcg64Mcg::new(77);
+        let mut el = EdgeList::new(80);
+        for _ in 0..600 {
+            el.push(VId(rng.gen_range(0..80)), VId(rng.gen_range(0..80)));
+        }
+        el.symmetrize();
+        el.dedup_simple();
+        let base = lcc_with_layout(80, el.edges(), 2, LayoutKind::Csr);
+        for layout in [LayoutKind::SortedCsr, LayoutKind::CompressedCsr] {
+            let got = lcc_with_layout(80, el.edges(), 2, layout);
+            assert_eq!(got, base, "layout {layout}");
+        }
     }
 }

@@ -11,14 +11,16 @@ pub mod kcore;
 pub mod lcc;
 pub mod pagerank;
 pub mod sssp;
+pub mod triangles;
 pub mod wcc;
 
 pub use bfs::bfs;
 pub use cdlp::cdlp;
 pub use kcore::kcore;
-pub use lcc::lcc;
+pub use lcc::{lcc, lcc_with_layout};
 pub use pagerank::pagerank;
 pub use sssp::sssp;
+pub use triangles::triangle_count;
 pub use wcc::wcc;
 
 /// Reference (single-threaded, obviously-correct) implementations used by

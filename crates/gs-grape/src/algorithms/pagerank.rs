@@ -27,16 +27,16 @@ fn pagerank_step(
     // push shares along out edges
     let mut dangling_local = 0.0;
     for l in 0..inner as u32 {
-        let nbrs = frag.out_neighbors(l);
-        if nbrs.is_empty() {
+        let deg = frag.out_degree(l);
+        if deg == 0 {
             dangling_local += rank[l as usize];
             continue;
         }
-        let share = rank[l as usize] / nbrs.len() as f64;
-        for &nbr in nbrs {
+        let share = rank[l as usize] / deg as f64;
+        frag.for_each_out(l, |nbr, _| {
             let g = frag.global(nbr.0 as u32);
             out.send(frag.owner(g).index(), g, share);
-        }
+        });
     }
     let dangling = comm.try_allreduce_f64(dangling_local)?;
     let (blocks, _) = comm.try_exchange(out)?;
@@ -82,9 +82,9 @@ pub fn pagerank(engine: &GrapeEngine, damping: f64, iters: usize) -> Vec<f64> {
 /// PageRank under coordinated checkpoint/restart: snapshots the per-
 /// fragment ranks every `cfg.interval` iterations into `store`, detects
 /// dead workers and lost messages, and restarts all workers from the last
-/// committed checkpoint. The replayed arithmetic is identical, so a
-/// faulted run reproduces the uninterrupted ranks (up to the worker-
-/// arrival order of the global dangling-mass f64 reduction).
+/// committed checkpoint. The replayed arithmetic is identical — the global
+/// dangling-mass f64 reduction folds contributions in a canonical order —
+/// so a faulted run reproduces the uninterrupted ranks bit-for-bit.
 pub fn pagerank_recoverable(
     engine: &GrapeEngine,
     damping: f64,

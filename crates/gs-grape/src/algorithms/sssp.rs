@@ -61,10 +61,10 @@ fn relax_from(
     d: f64,
     out: &mut OutBuffers,
 ) {
-    for (&nbr, &eid) in frag.out_neighbors(l).iter().zip(frag.out_edge_ids(l)) {
+    frag.for_each_out(l, |nbr, eid| {
         let g = frag.global(nbr.0 as u32);
         out.send(frag.owner(g).index(), g, d + weights[eid.index()]);
-    }
+    });
 }
 
 #[cfg(test)]

@@ -174,10 +174,10 @@ pub mod graphx {
             let mut weights = Vec::new();
             for frag in &engine.fragments {
                 for l in 0..frag.inner_count as u32 {
-                    for (&nbr, &eid) in frag.out_neighbors(l).iter().zip(frag.out_edge_ids(l)) {
+                    frag.for_each_out(l, |nbr, eid| {
                         edges.push((frag.global(l), frag.global(nbr.0 as u32)));
                         weights.push(frag.weights.as_ref().map(|w| w[eid.index()]).unwrap_or(1.0));
-                    }
+                    });
                 }
             }
             self.engine = GrapeEngine::from_weighted_edges(
@@ -205,7 +205,7 @@ pub mod graphx {
                 let mut out = OutBuffers::new(comm.workers);
                 for l in 0..frag.inner_count as u32 {
                     let src = frag.global(l);
-                    for (&nbr, &eid) in frag.out_neighbors(l).iter().zip(frag.out_edge_ids(l)) {
+                    frag.for_each_out(l, |nbr, eid| {
                         let dst = frag.global(nbr.0 as u32);
                         let t = Triplet {
                             src_id: src.0,
@@ -216,7 +216,7 @@ pub mod graphx {
                         if let Some(m) = send(&t) {
                             out.send(frag.owner(dst).index(), dst, m);
                         }
-                    }
+                    });
                 }
                 let (blocks, _) = comm.exchange(&mut out);
                 let mut acc: Vec<Option<M>> = vec![None; frag.inner_count];

@@ -43,7 +43,12 @@ struct RoundEntry {
     arrived: usize,
     departed: usize,
     total_u: u64,
+    /// Finalized by the round's last arrival: the f64 contributions are
+    /// folded in a canonical order so the reduced value is bit-identical
+    /// regardless of which worker arrived first (f64 addition is not
+    /// associative; arrival order is scheduler noise).
     total_f: f64,
+    contribs_f: Vec<f64>,
 }
 
 struct SyncState {
@@ -138,9 +143,13 @@ impl GlobalSync {
         {
             let e = st.rounds.entry(round).or_default();
             e.total_u += contribution;
-            e.total_f += contribution_f;
+            e.contribs_f.push(contribution_f);
             e.arrived += 1;
             if e.arrived == self.workers {
+                // Fold the f64 contributions in a canonical order so the
+                // sum every worker observes is deterministic across runs.
+                e.contribs_f.sort_by(|a, b| a.total_cmp(b));
+                e.total_f = e.contribs_f.iter().sum();
                 self.cv.notify_all();
             }
         }
@@ -449,6 +458,42 @@ impl GrapeEngine {
         }
     }
 
+    /// Partitions into `k` fragments materialised in the given topology
+    /// layout ([`gs_graph::LayoutKind`]); algorithm results are identical
+    /// across layouts.
+    pub fn from_edges_with_layout(
+        n: usize,
+        edges: &[(VId, VId)],
+        k: usize,
+        layout: gs_graph::LayoutKind,
+    ) -> Self {
+        Self {
+            fragments: Fragment::partition_edges_with_layout(n, edges, k, layout),
+            recovery: None,
+        }
+    }
+
+    /// Partitions a weighted edge list with an explicit topology layout.
+    pub fn from_weighted_edges_with_layout(
+        n: usize,
+        edges: &[(VId, VId)],
+        weights: &[f64],
+        k: usize,
+        layout: gs_graph::LayoutKind,
+    ) -> Self {
+        Self {
+            fragments: Fragment::partition_weighted_with_layout(n, edges, Some(weights), k, layout),
+            recovery: None,
+        }
+    }
+
+    /// The topology layout the fragments were materialised in.
+    pub fn layout(&self) -> gs_graph::LayoutKind {
+        self.fragments
+            .first()
+            .map_or(gs_graph::LayoutKind::Csr, |f| f.layout())
+    }
+
     /// Arms checkpoint/restart recovery for the programs that support it.
     pub fn with_recovery(mut self, cfg: crate::recover::RecoveryConfig) -> Self {
         self.recovery = Some(cfg);
@@ -540,11 +585,12 @@ impl<'a, M: Payload> PregelContext<'a, M> {
     #[inline]
     pub fn send_to_out_neighbors(&mut self, local: u32, msg: M) {
         let frag = self.frag;
-        for &nbr in frag.out_neighbors(local) {
+        let out = &mut self.out;
+        frag.for_each_out(local, |nbr, _| {
             let g = frag.global(nbr.0 as u32);
             let to = frag.owner(g).index();
-            self.out.send(to, g, msg);
-        }
+            out.send(to, g, msg);
+        });
     }
 }
 

@@ -110,14 +110,15 @@ impl<'a> FlashContext<'a> {
         mut f: impl FnMut(u32, VId) -> Option<M>,
     ) -> Vec<(u32, M)> {
         let frag = self.frag;
+        let out = &mut self.out;
         for l in subset.iter() {
-            for &nbr in frag.out_neighbors(l) {
+            frag.for_each_out(l, |nbr, _| {
                 let g = frag.global(nbr.0 as u32);
                 if let Some(m) = f(l, g) {
                     let to = frag.owner(g).index();
-                    self.out.send(to, g, m);
+                    out.send(to, g, m);
                 }
-            }
+            });
         }
         self.deliver()
     }

@@ -5,11 +5,23 @@
 //! dense ids place inner vertices first (`0..inner_count`) and outer
 //! mirrors after, so per-vertex state is a flat array — the layout GRAPE's
 //! "highly optimized core operators for fragment management" rely on.
+//!
+//! Topology is held as a [`TopologyLayout`] (plain, sorted, or compressed
+//! CSR — see [`gs_graph::layout`]); algorithms traverse through the
+//! layout-agnostic [`Fragment::for_each_out`] / [`Fragment::for_each_in`]
+//! so every layout produces bit-identical results. The parallel
+//! per-fragment build uses a work-stealing task queue: with more fragments
+//! than cores (or skewed fragment sizes), idle workers steal pending
+//! builds instead of waiting on stragglers.
 
 use gs_graph::csr::Csr;
+use gs_graph::layout::{LayoutKind, TopologyLayout};
 use gs_graph::partition::{EdgeCutPartitioner, PartitionId};
-use gs_graph::VId;
+use gs_graph::{EId, VId};
+use gs_telemetry::counter;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One fragment of a partitioned (optionally weighted) graph.
 pub struct Fragment {
@@ -25,31 +37,56 @@ pub struct Fragment {
     g2l: HashMap<VId, u32>,
     /// Number of inner (owned) vertices.
     pub inner_count: usize,
-    /// Local CSR over local ids (edges sourced at inner vertices).
-    pub out: Csr,
-    /// Local reverse CSR (in-edges of local vertices, from local sources).
-    pub inn: Csr,
+    /// Local adjacency over local ids (edges sourced at inner vertices),
+    /// in the fragment's chosen layout.
+    pub out: TopologyLayout,
+    /// Local reverse adjacency (in-edges of local vertices, from local
+    /// sources) — the CSC transpose used by pull-mode traversal.
+    pub inn: TopologyLayout,
     /// Optional edge weights parallel to `out` edge ids.
     pub weights: Option<Vec<f64>>,
 }
 
 impl Fragment {
-    /// Partitions a global edge list into `k` fragments.
+    /// Partitions a global edge list into `k` fragments (plain CSR layout).
     pub fn partition_edges(n: usize, edges: &[(VId, VId)], k: usize) -> Vec<Fragment> {
         Self::partition_weighted(n, edges, None, k)
     }
 
-    /// Partitions with optional per-edge weights (parallel to `edges`).
-    ///
-    /// Routing is a single sequential pass (inner vertices in ascending
-    /// global order, edges and their weights in global order, keyed by the
-    /// source's owner); the per-fragment CSR/CSC construction then runs in
-    /// parallel, one thread per fragment.
+    /// Partitions with optional per-edge weights (plain CSR layout).
     pub fn partition_weighted(
         n: usize,
         edges: &[(VId, VId)],
         weights: Option<&[f64]>,
         k: usize,
+    ) -> Vec<Fragment> {
+        Self::partition_weighted_with_layout(n, edges, weights, k, LayoutKind::Csr)
+    }
+
+    /// Partitions into `k` fragments materialised in the given layout.
+    pub fn partition_edges_with_layout(
+        n: usize,
+        edges: &[(VId, VId)],
+        k: usize,
+        layout: LayoutKind,
+    ) -> Vec<Fragment> {
+        Self::partition_weighted_with_layout(n, edges, None, k, layout)
+    }
+
+    /// Partitions with optional per-edge weights (parallel to `edges`),
+    /// materialising topology in `layout`.
+    ///
+    /// Routing is a single sequential pass (inner vertices in ascending
+    /// global order, edges and their weights in global order, keyed by the
+    /// source's owner); the per-fragment CSR/CSC construction then runs on
+    /// a work-stealing pool of `min(k, cores)` threads — fragments are
+    /// tasks, so a straggler fragment no longer serialises the tail.
+    pub fn partition_weighted_with_layout(
+        n: usize,
+        edges: &[(VId, VId)],
+        weights: Option<&[f64]>,
+        k: usize,
+        layout: LayoutKind,
     ) -> Vec<Fragment> {
         let router = EdgeCutPartitioner::new(k);
         let mut inner: Vec<Vec<VId>> = vec![Vec::new(); k];
@@ -67,32 +104,59 @@ impl Fragment {
         }
         // one fragment's routed share: (index, owned vertices, edges, weights)
         type RoutedShare = (usize, Vec<VId>, Vec<(VId, VId)>, Option<Vec<f64>>);
-        let mut parts: Vec<RoutedShare> = inner
+        let parts: Vec<Mutex<Option<RoutedShare>>> = inner
             .into_iter()
             .zip(frag_edges)
             .zip(frag_weights)
             .enumerate()
-            .map(|(i, ((inn, e), w))| (i, inn, e, weights.is_some().then_some(w)))
+            .map(|(i, ((inn, e), w))| Mutex::new(Some((i, inn, e, weights.is_some().then_some(w)))))
             .collect();
-        let mut frags: Vec<Option<Fragment>> = (0..k).map(|_| None).collect();
+        let slots: Vec<Mutex<Option<Fragment>>> = (0..k).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let threads = k.min(
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        );
         crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(k);
-            for (i, inn, e, w) in parts.drain(..) {
-                handles.push(
-                    scope.spawn(move |_| Self::build(PartitionId(i as u32), router, n, inn, &e, w)),
-                );
-            }
-            for (slot, h) in frags.iter_mut().zip(handles) {
-                *slot = Some(h.join().expect("fragment build panicked"));
+            for _ in 0..threads.max(1) {
+                let parts = &parts;
+                let slots = &slots;
+                let next = &next;
+                scope.spawn(move |_| {
+                    let mut claimed = 0usize;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= k {
+                            break;
+                        }
+                        // beyond the first claim this thread is stealing
+                        // work another (busy) worker would otherwise own
+                        claimed += 1;
+                        if claimed > 1 {
+                            counter!("grape.steal.build_stolen");
+                        }
+                        let (idx, inn, e, w) =
+                            parts[i].lock().unwrap().take().expect("task claimed once");
+                        let frag =
+                            Self::build(PartitionId(idx as u32), router, n, inn, &e, w, layout);
+                        *slots[idx].lock().unwrap() = Some(frag);
+                    }
+                });
             }
         })
         .expect("fragment build scope");
-        frags.into_iter().map(|f| f.unwrap()).collect()
+        counter!("grape.steal.build_tasks"; k as u64);
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("fragment built"))
+            .collect()
     }
 
     /// Builds one fragment from its routed share: owned vertices (ascending
     /// global order), edges sourced at them (global order), and weights
     /// parallel to those edges.
+    #[allow(clippy::too_many_arguments)]
     fn build(
         id: PartitionId,
         router: EdgeCutPartitioner,
@@ -100,6 +164,7 @@ impl Fragment {
         inner: Vec<VId>,
         edges: &[(VId, VId)],
         weights: Option<Vec<f64>>,
+        layout: LayoutKind,
     ) -> Fragment {
         let mut outer: Vec<VId> = Vec::new();
         {
@@ -125,8 +190,8 @@ impl Fragment {
             .collect();
         // Csr::from_edges assigns edge id i to the i-th pushed pair, so the
         // routed weight vector is already in edge-id order.
-        let out = Csr::from_edges(l2g.len(), &local_edges);
-        let inn = out.transpose();
+        let out_csr = Csr::from_edges(l2g.len(), &local_edges);
+        let inn_csr = out_csr.transpose();
         Fragment {
             id,
             total_fragments: router.partition_count(),
@@ -135,10 +200,16 @@ impl Fragment {
             l2g,
             g2l,
             inner_count,
-            out,
-            inn,
+            out: TopologyLayout::build(layout, out_csr),
+            inn: TopologyLayout::build(layout, inn_csr),
             weights,
         }
+    }
+
+    /// Which topology layout this fragment materialised.
+    #[inline]
+    pub fn layout(&self) -> LayoutKind {
+        self.out.kind()
     }
 
     /// Local id of a global vertex, if present on this fragment.
@@ -171,16 +242,61 @@ impl Fragment {
         self.l2g.len()
     }
 
-    /// Out-neighbors (local ids) of a local vertex.
+    /// Out-degree of a local vertex (works on every layout).
+    #[inline]
+    pub fn out_degree(&self, l: u32) -> usize {
+        self.out.degree(VId(l as u64))
+    }
+
+    /// In-degree of a local vertex, counting in-edges from local sources.
+    #[inline]
+    pub fn in_degree(&self, l: u32) -> usize {
+        self.inn.degree(VId(l as u64))
+    }
+
+    /// Visits every out-edge `(neighbor local id, edge id)` of a local
+    /// vertex. This is the layout-agnostic traversal primitive: identical
+    /// visit order on every layout, so algorithm results are
+    /// layout-independent.
+    #[inline]
+    pub fn for_each_out<F: FnMut(VId, EId)>(&self, l: u32, f: F) {
+        self.out.for_each_adj(VId(l as u64), f);
+    }
+
+    /// Visits every in-edge `(source local id, edge id)` of a local vertex
+    /// (sources are local; in-edges from remote fragments live on those
+    /// fragments). Pull-mode traversal scans this.
+    #[inline]
+    pub fn for_each_in<F: FnMut(VId, EId)>(&self, l: u32, f: F) {
+        self.inn.for_each_adj(VId(l as u64), f);
+    }
+
+    /// Visits the in-edge *sources* (local ids, no edge ids) of a local
+    /// vertex until `f` returns `false` — pull-mode BFS's early-exit scan.
+    #[inline]
+    pub fn for_each_in_until<F: FnMut(VId) -> bool>(&self, l: u32, f: F) {
+        self.inn.scan_targets(VId(l as u64), f);
+    }
+
+    /// Out-neighbors (local ids) of a local vertex, as a zero-copy slice.
+    ///
+    /// Only available on slice-backed layouts; compressed fragments must
+    /// use [`Fragment::for_each_out`].
     #[inline]
     pub fn out_neighbors(&self, l: u32) -> &[VId] {
-        self.out.neighbors(VId(l as u64))
+        self.out
+            .adj_slices(VId(l as u64))
+            .expect("out_neighbors: compressed layout has no slices; use for_each_out")
+            .0
     }
 
     /// Edge ids parallel to [`Fragment::out_neighbors`] (index `weights`).
     #[inline]
-    pub fn out_edge_ids(&self, l: u32) -> &[gs_graph::EId] {
-        self.out.edge_ids(VId(l as u64))
+    pub fn out_edge_ids(&self, l: u32) -> &[EId] {
+        self.out
+            .adj_slices(VId(l as u64))
+            .expect("out_edge_ids: compressed layout has no slices; use for_each_out")
+            .1
     }
 
     /// Local edge count.
@@ -293,5 +409,46 @@ mod tests {
         assert_eq!(frags.len(), 1);
         assert_eq!(frags[0].inner_count, 10);
         assert_eq!(frags[0].local_count(), 10);
+    }
+
+    #[test]
+    fn layouts_produce_identical_fragments() {
+        let edges = ring(40);
+        let base = Fragment::partition_edges(40, &edges, 3);
+        for layout in [LayoutKind::SortedCsr, LayoutKind::CompressedCsr] {
+            let frags = Fragment::partition_edges_with_layout(40, &edges, 3, layout);
+            for (a, b) in base.iter().zip(&frags) {
+                assert_eq!(b.layout(), layout);
+                assert_eq!(a.inner_count, b.inner_count);
+                assert_eq!(a.l2g, b.l2g);
+                for l in 0..a.local_count() as u32 {
+                    assert_eq!(a.out_degree(l), b.out_degree(l));
+                    let mut want = Vec::new();
+                    a.for_each_out(l, |w, e| want.push((w, e)));
+                    let mut got = Vec::new();
+                    b.for_each_out(l, |w, e| got.push((w, e)));
+                    assert_eq!(want, got, "layout {layout} out-adj of {l}");
+                    let mut want_in = Vec::new();
+                    a.for_each_in(l, |w, e| want_in.push((w, e)));
+                    let mut got_in = Vec::new();
+                    b.for_each_in(l, |w, e| got_in.push((w, e)));
+                    assert_eq!(want_in, got_in, "layout {layout} in-adj of {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn many_fragments_on_few_threads_steal_work() {
+        // more fragments than any realistic core count: exercises the
+        // work-stealing claim loop
+        let edges = ring(256);
+        let frags = Fragment::partition_edges(256, &edges, 64);
+        assert_eq!(frags.len(), 64);
+        let inner_total: usize = frags.iter().map(|f| f.inner_count).sum();
+        assert_eq!(inner_total, 256);
+        for (i, f) in frags.iter().enumerate() {
+            assert_eq!(f.id.index(), i);
+        }
     }
 }

@@ -29,6 +29,7 @@ pub mod loader;
 pub mod messages;
 pub mod pie;
 pub mod recover;
+pub mod traversal;
 
 pub use engine::{
     run_pregel, ClusterAborted, CommHandle, GlobalSync, GrapeEngine, PregelContext, PregelProgram,
@@ -42,4 +43,8 @@ pub use messages::{MessageBlock, OutBuffers, Payload};
 pub use pie::{run_pie, PieContext, PieProgram};
 pub use recover::{
     run_pregel_recoverable, run_recoverable, CheckpointStore, PregelState, RecoveryConfig,
+};
+pub use traversal::{
+    bfs_direction_optimizing, bfs_with_policy, sssp_direction_optimizing, sssp_with_policy,
+    TraversalPolicy, TraversalReport,
 };

@@ -38,6 +38,10 @@ pub struct GrinProjection {
     /// Also insert the reverse of every edge (undirected analytics such as
     /// WCC over a directed store).
     pub symmetrize: bool,
+    /// Topology layout the fragments materialise
+    /// ([`gs_graph::LayoutKind::Csr`] by default). Algorithm results are
+    /// identical across layouts; only speed/footprint trade-offs change.
+    pub layout: gs_graph::LayoutKind,
 }
 
 impl GrinProjection {
@@ -57,6 +61,12 @@ impl GrinProjection {
     /// Returns the projection with [`GrinProjection::symmetrize`] set.
     pub fn symmetrized(mut self) -> Self {
         self.symmetrize = true;
+        self
+    }
+
+    /// Returns the projection with the fragment topology layout set.
+    pub fn with_layout(mut self, layout: gs_graph::LayoutKind) -> Self {
+        self.layout = layout;
         self
     }
 }
@@ -211,8 +221,14 @@ pub fn load_fragments(
     }
     counter!("grape.load.edges"; edges.len() as u64);
 
-    // 4. parallel fragment construction
-    let frags = Fragment::partition_weighted(space.total(), &edges, weights.as_deref(), fragments);
+    // 4. parallel (work-stealing) fragment construction
+    let frags = Fragment::partition_weighted_with_layout(
+        space.total(),
+        &edges,
+        weights.as_deref(),
+        fragments,
+        proj.layout,
+    );
     if gs_telemetry::enabled() {
         for f in &frags {
             counter!("grape.load.fragment_edges", frag = f.id.index(); f.edge_count() as u64);
@@ -316,6 +332,26 @@ mod tests {
             GrapeEngine::from_grin(&g, &GrinProjection::all().symmetrized(), 1).unwrap();
         let total: usize = engine.fragments.iter().map(|f| f.edge_count()).sum();
         assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn projection_layout_flows_into_fragments() {
+        use gs_graph::LayoutKind;
+        let g = MockGraph::new(4, &diamond_edges());
+        let base = GrapeEngine::from_grin(&g, &GrinProjection::all(), 2)
+            .unwrap()
+            .0;
+        assert_eq!(base.layout(), LayoutKind::Csr);
+        for layout in [LayoutKind::SortedCsr, LayoutKind::CompressedCsr] {
+            let proj = GrinProjection::all().with_layout(layout);
+            let (engine, _) = GrapeEngine::from_grin(&g, &proj, 2).unwrap();
+            assert_eq!(engine.layout(), layout);
+            assert_eq!(
+                algorithms::pagerank(&engine, 0.85, 10),
+                algorithms::pagerank(&base, 0.85, 10),
+                "layout {layout}"
+            );
+        }
     }
 
     #[test]

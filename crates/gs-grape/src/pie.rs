@@ -119,7 +119,7 @@ mod tests {
         while changed_any {
             changed_any = false;
             for l in 0..frag.inner_count as u32 {
-                for &nbr in frag.out_neighbors(l) {
+                frag.for_each_out(l, |nbr, _| {
                     let (a, b) = (l as usize, nbr.index());
                     let m = label[a].min(label[b]);
                     if label[a] != m {
@@ -132,7 +132,7 @@ mod tests {
                         touched[b] = true;
                         changed_any = true;
                     }
-                }
+                });
             }
         }
         (0..frag.local_count() as u32)

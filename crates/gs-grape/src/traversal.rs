@@ -1,0 +1,714 @@
+//! Direction-optimizing traversal core (Beamer-style BFS, Bellman-Ford
+//! SSSP) with work stealing across fragments.
+//!
+//! GRAPE's Pregel BFS pushes the frontier every superstep; on low-diameter
+//! graphs the middle supersteps touch nearly every edge while most targets
+//! are already visited. This module rebuilds the traversal loop on the
+//! layout-agnostic fragment API: each superstep it compares the frontier's
+//! edge mass against the remaining graph and switches between
+//!
+//! * **push** — expand the frontier's out-edges
+//!   ([`crate::fragment::Fragment::for_each_out`]), claiming unvisited
+//!   targets with a CAS, and
+//! * **pull** — scan *unvisited* vertices' in-edges over the CSC transpose
+//!   ([`crate::fragment::Fragment::for_each_in_until`]) with early exit at the first
+//!   frontier parent — the Gemini baseline's dense-mode design.
+//!
+//! Workers (one thread per fragment, the simulated cluster's shared-memory
+//! model) claim fixed-size chunks of their own fragment first and then
+//! steal chunks from straggling fragments, so a skewed partition no longer
+//! serialises a superstep on its slowest worker. Claims write the same
+//! value regardless of which worker wins (`level + 1`, or a monotone
+//! CAS-min for distances), so results are deterministic and bit-identical
+//! to the push-only and Pregel baselines.
+//!
+//! Telemetry: `grape.traversal.push_steps` / `grape.traversal.pull_steps`,
+//! `grape.steal.attempts` / `grape.steal.stolen`, and per-superstep
+//! straggler skew `grape.superstep.skew` (ns between fastest and slowest
+//! worker).
+
+use crate::engine::GrapeEngine;
+use gs_graph::VId;
+use gs_telemetry::counter;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+
+/// Frontier chunk size for the work-stealing claim loops.
+const CHUNK: usize = 1024;
+
+/// Push↔pull switch threshold: pull when the frontier's edge mass exceeds
+/// `m / ALPHA` (the Gemini baseline's dense-mode heuristic).
+const ALPHA: u64 = 20;
+
+/// Traversal direction policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraversalPolicy {
+    /// Switch push↔pull per superstep by frontier density (the default).
+    Auto,
+    /// Always push (the classic frontier-expansion baseline).
+    PushOnly,
+    /// Always pull (for differential testing of the pull path).
+    PullOnly,
+}
+
+/// What a direction-optimizing run did, for tests and bench reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraversalReport {
+    /// Supersteps executed in push mode.
+    pub push_steps: u64,
+    /// Supersteps executed in pull mode.
+    pub pull_steps: u64,
+    /// Chunks stolen from other fragments' queues.
+    pub chunks_stolen: u64,
+}
+
+/// Per-fragment chunk cursors: workers drain their own fragment's range,
+/// then steal chunks from the fragment with work remaining. Limits are
+/// reset by the coordinator between supersteps.
+struct ChunkPool {
+    cursors: Vec<AtomicUsize>,
+    limits: Vec<AtomicUsize>,
+}
+
+impl ChunkPool {
+    fn new(k: usize) -> ChunkPool {
+        ChunkPool {
+            cursors: (0..k).map(|_| AtomicUsize::new(0)).collect(),
+            limits: (0..k).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// Resets cursor + limit for fragment `i` (coordinator only, between
+    /// barriers).
+    fn reset(&self, i: usize, limit: usize) {
+        self.cursors[i].store(0, Ordering::Relaxed);
+        self.limits[i].store(limit, Ordering::Relaxed);
+    }
+
+    /// Claims the next chunk: own fragment first, then round-robin steal.
+    /// Returns `(fragment index, start, end)`; tallies steal telemetry
+    /// into `attempts`/`stolen`.
+    fn next(
+        &self,
+        me: usize,
+        attempts: &mut u64,
+        stolen: &mut u64,
+    ) -> Option<(usize, usize, usize)> {
+        let k = self.cursors.len();
+        for probe in 0..k {
+            let i = (me + probe) % k;
+            let limit = self.limits[i].load(Ordering::Relaxed);
+            if probe > 0 {
+                *attempts += 1;
+            }
+            loop {
+                let cur = self.cursors[i].load(Ordering::Relaxed);
+                if cur >= limit {
+                    break;
+                }
+                let end = (cur + CHUNK).min(limit);
+                if self.cursors[i]
+                    .compare_exchange(cur, end, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    if probe > 0 {
+                        *stolen += 1;
+                    }
+                    return Some((i, cur, end));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Mode word shared between workers (decided once per superstep by the
+/// coordinator so every worker takes the same branch).
+const MODE_PUSH: u64 = 0;
+const MODE_PULL: u64 = 1;
+
+fn decide_mode(policy: TraversalPolicy, frontier_edges: u64, frontier_size: u64, m: u64) -> u64 {
+    match policy {
+        TraversalPolicy::PushOnly => MODE_PUSH,
+        TraversalPolicy::PullOnly => MODE_PULL,
+        TraversalPolicy::Auto => {
+            if (frontier_edges + frontier_size).saturating_mul(ALPHA) > m {
+                MODE_PULL
+            } else {
+                MODE_PUSH
+            }
+        }
+    }
+}
+
+/// Direction-optimizing BFS: depths from `src` (u64::MAX when
+/// unreachable), indexed by global id. Bit-identical to the Pregel
+/// [`fn@crate::algorithms::bfs`] on every graph and layout.
+pub fn bfs_direction_optimizing(engine: &GrapeEngine, src: VId) -> Vec<u64> {
+    bfs_with_policy(engine, src, TraversalPolicy::Auto).0
+}
+
+/// BFS under an explicit direction policy, returning the mode/steal
+/// report alongside the depths.
+pub fn bfs_with_policy(
+    engine: &GrapeEngine,
+    src: VId,
+    policy: TraversalPolicy,
+) -> (Vec<u64>, TraversalReport) {
+    let n = engine.global_n();
+    if n == 0 {
+        return (Vec::new(), TraversalReport::default());
+    }
+    let k = engine.fragments.len();
+    let m: u64 = engine.fragments.iter().map(|f| f.edge_count() as u64).sum();
+    let depth: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    depth[src.index()].store(0, Ordering::Relaxed);
+
+    // per-fragment frontier of inner local ids at the current level
+    let frontiers: Vec<Mutex<Vec<u32>>> = engine
+        .fragments
+        .iter()
+        .map(|f| {
+            let mut fl = Vec::new();
+            if let Some(l) = f.local(src) {
+                if f.is_inner(l) {
+                    fl.push(l);
+                }
+            }
+            Mutex::new(fl)
+        })
+        .collect();
+    let init_edges: u64 = engine
+        .fragments
+        .iter()
+        .filter_map(|f| {
+            f.local(src)
+                .filter(|&l| f.is_inner(l))
+                .map(|l| f.out_degree(l) as u64)
+        })
+        .sum();
+
+    let pool = ChunkPool::new(k);
+    let mode = AtomicU64::new(decide_mode(policy, init_edges, 1, m));
+    let done = AtomicBool::new(false);
+    let next_size = AtomicU64::new(0);
+    let next_edges = AtomicU64::new(0);
+    let times: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
+    let push_steps = AtomicU64::new(0);
+    let pull_steps = AtomicU64::new(0);
+    let total_stolen = AtomicU64::new(0);
+    let barrier = Barrier::new(k);
+    // seed the chunk pool for level 0
+    for (i, f) in engine.fragments.iter().enumerate() {
+        let limit = if mode.load(Ordering::Relaxed) == MODE_PUSH {
+            frontiers[i].lock().unwrap().len()
+        } else {
+            f.local_count()
+        };
+        pool.reset(i, limit);
+    }
+
+    crossbeam::thread::scope(|scope| {
+        for me in 0..k {
+            let fragments = &engine.fragments;
+            let depth = &depth;
+            let frontiers = &frontiers;
+            let pool = &pool;
+            let mode = &mode;
+            let done = &done;
+            let next_size = &next_size;
+            let next_edges = &next_edges;
+            let times = &times;
+            let push_steps = &push_steps;
+            let pull_steps = &pull_steps;
+            let total_stolen = &total_stolen;
+            let barrier = &barrier;
+            scope.spawn(move |_| {
+                let my_frag = &fragments[me];
+                let mut level: u64 = 0;
+                let mut attempts = 0u64;
+                let mut stolen = 0u64;
+                loop {
+                    let t0 = Instant::now();
+                    let cur_mode = mode.load(Ordering::Relaxed);
+                    if cur_mode == MODE_PUSH {
+                        while let Some((fi, lo, hi)) = pool.next(me, &mut attempts, &mut stolen) {
+                            let f = &fragments[fi];
+                            let chunk: Vec<u32> = {
+                                let fl = frontiers[fi].lock().unwrap();
+                                fl[lo..hi].to_vec()
+                            };
+                            for &l in &chunk {
+                                f.for_each_out(l, |nbr, _| {
+                                    let g = f.global(nbr.0 as u32);
+                                    let _ = depth[g.index()].compare_exchange(
+                                        u64::MAX,
+                                        level + 1,
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    );
+                                });
+                            }
+                        }
+                    } else {
+                        // pull: every fragment scans the in-lists of ALL its
+                        // local vertices (mirrors included) — the union over
+                        // fragments covers every edge of the cut
+                        while let Some((fi, lo, hi)) = pool.next(me, &mut attempts, &mut stolen) {
+                            let f = &fragments[fi];
+                            for l in lo as u32..hi as u32 {
+                                let g = f.global(l);
+                                if depth[g.index()].load(Ordering::Relaxed) != u64::MAX {
+                                    continue;
+                                }
+                                let mut found = false;
+                                f.for_each_in_until(l, |u| {
+                                    if depth[f.global(u.0 as u32).index()].load(Ordering::Relaxed)
+                                        == level
+                                    {
+                                        found = true;
+                                        false
+                                    } else {
+                                        true
+                                    }
+                                });
+                                if found {
+                                    let _ = depth[g.index()].compare_exchange(
+                                        u64::MAX,
+                                        level + 1,
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    times[me].store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    barrier.wait();
+
+                    // rebuild own frontier for level+1 and its edge mass
+                    let mut fl = Vec::new();
+                    let mut fe = 0u64;
+                    for l in 0..my_frag.inner_count as u32 {
+                        if depth[my_frag.global(l).index()].load(Ordering::Relaxed) == level + 1 {
+                            fl.push(l);
+                            fe += my_frag.out_degree(l) as u64;
+                        }
+                    }
+                    next_size.fetch_add(fl.len() as u64, Ordering::Relaxed);
+                    next_edges.fetch_add(fe, Ordering::Relaxed);
+                    *frontiers[me].lock().unwrap() = fl;
+                    barrier.wait();
+
+                    // coordinator: record telemetry, decide the next mode,
+                    // reseed the chunk pool
+                    if me == 0 {
+                        let (mut min_t, mut max_t) = (u64::MAX, 0u64);
+                        for t in times {
+                            let v = t.load(Ordering::Relaxed);
+                            min_t = min_t.min(v);
+                            max_t = max_t.max(v);
+                        }
+                        counter!("grape.superstep.skew"; max_t.saturating_sub(min_t));
+                        if cur_mode == MODE_PUSH {
+                            push_steps.fetch_add(1, Ordering::Relaxed);
+                            counter!("grape.traversal.push_steps");
+                        } else {
+                            pull_steps.fetch_add(1, Ordering::Relaxed);
+                            counter!("grape.traversal.pull_steps");
+                        }
+                        let fs = next_size.swap(0, Ordering::Relaxed);
+                        let fe = next_edges.swap(0, Ordering::Relaxed);
+                        if fs == 0 {
+                            done.store(true, Ordering::Relaxed);
+                        } else {
+                            let next_mode = decide_mode(policy, fe, fs, m);
+                            mode.store(next_mode, Ordering::Relaxed);
+                            for (i, f) in fragments.iter().enumerate() {
+                                let limit = if next_mode == MODE_PUSH {
+                                    frontiers[i].lock().unwrap().len()
+                                } else {
+                                    f.local_count()
+                                };
+                                pool.reset(i, limit);
+                            }
+                        }
+                    }
+                    barrier.wait();
+                    if done.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    level += 1;
+                }
+                counter!("grape.steal.attempts"; attempts);
+                counter!("grape.steal.stolen"; stolen);
+                total_stolen.fetch_add(stolen, Ordering::Relaxed);
+            });
+        }
+    })
+    .expect("traversal scope");
+
+    let depths = depth
+        .into_iter()
+        .map(|d| d.into_inner())
+        .collect::<Vec<u64>>();
+    let report = TraversalReport {
+        push_steps: push_steps.into_inner(),
+        pull_steps: pull_steps.into_inner(),
+        chunks_stolen: total_stolen.into_inner(),
+    };
+    (depths, report)
+}
+
+/// CAS-min on an f64 stored as bits (non-negative floats order by bit
+/// pattern, and we only ever shrink). Returns whether we improved it.
+#[inline]
+fn atomic_min_f64(cell: &AtomicU64, val: f64) -> bool {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        if f64::from_bits(cur) <= val {
+            return false;
+        }
+        match cell.compare_exchange_weak(cur, val.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+/// Direction-optimizing SSSP: distances from `src` (f64::INFINITY when
+/// unreachable), indexed by global id. Bellman-Ford rounds; each round
+/// relaxes the vertices whose distance improved last round, pushing along
+/// out-edges or pulling over in-edges by the same density heuristic as
+/// BFS. Bit-identical to the Pregel [`fn@crate::algorithms::sssp`].
+pub fn sssp_direction_optimizing(engine: &GrapeEngine, src: VId) -> Vec<f64> {
+    sssp_with_policy(engine, src, TraversalPolicy::Auto).0
+}
+
+/// SSSP under an explicit direction policy, with the traversal report.
+pub fn sssp_with_policy(
+    engine: &GrapeEngine,
+    src: VId,
+    policy: TraversalPolicy,
+) -> (Vec<f64>, TraversalReport) {
+    let n = engine.global_n();
+    if n == 0 {
+        return (Vec::new(), TraversalReport::default());
+    }
+    let k = engine.fragments.len();
+    let m: u64 = engine.fragments.iter().map(|f| f.edge_count() as u64).sum();
+    let dist: Vec<AtomicU64> = (0..n)
+        .map(|_| AtomicU64::new(f64::INFINITY.to_bits()))
+        .collect();
+    dist[src.index()].store(0f64.to_bits(), Ordering::Relaxed);
+    // round stamp of the last improvement, u64::MAX = never
+    let stamp: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    stamp[src.index()].store(0, Ordering::Relaxed);
+
+    let actives: Vec<Mutex<Vec<u32>>> = engine
+        .fragments
+        .iter()
+        .map(|f| {
+            let mut a = Vec::new();
+            if let Some(l) = f.local(src) {
+                if f.is_inner(l) {
+                    a.push(l);
+                }
+            }
+            Mutex::new(a)
+        })
+        .collect();
+
+    let pool = ChunkPool::new(k);
+    let mode = AtomicU64::new(MODE_PUSH);
+    let done = AtomicBool::new(false);
+    let next_size = AtomicU64::new(0);
+    let next_edges = AtomicU64::new(0);
+    let times: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
+    let push_steps = AtomicU64::new(0);
+    let pull_steps = AtomicU64::new(0);
+    let total_stolen = AtomicU64::new(0);
+    let barrier = Barrier::new(k);
+    for (i, _) in engine.fragments.iter().enumerate() {
+        let limit = actives[i].lock().unwrap().len();
+        pool.reset(i, limit);
+    }
+    if policy == TraversalPolicy::PullOnly {
+        mode.store(MODE_PULL, Ordering::Relaxed);
+        for (i, f) in engine.fragments.iter().enumerate() {
+            pool.reset(i, f.local_count());
+        }
+    }
+
+    crossbeam::thread::scope(|scope| {
+        for me in 0..k {
+            let fragments = &engine.fragments;
+            let dist = &dist;
+            let stamp = &stamp;
+            let actives = &actives;
+            let pool = &pool;
+            let mode = &mode;
+            let done = &done;
+            let next_size = &next_size;
+            let next_edges = &next_edges;
+            let times = &times;
+            let push_steps = &push_steps;
+            let pull_steps = &pull_steps;
+            let total_stolen = &total_stolen;
+            let barrier = &barrier;
+            scope.spawn(move |_| {
+                let my_frag = &fragments[me];
+                let mut round: u64 = 0;
+                let mut attempts = 0u64;
+                let mut stolen = 0u64;
+                loop {
+                    let t0 = Instant::now();
+                    let cur_mode = mode.load(Ordering::Relaxed);
+                    if cur_mode == MODE_PUSH {
+                        while let Some((fi, lo, hi)) = pool.next(me, &mut attempts, &mut stolen) {
+                            let f = &fragments[fi];
+                            let ws = f.weights.as_ref().expect("sssp needs weighted fragments");
+                            let chunk: Vec<u32> = {
+                                let al = actives[fi].lock().unwrap();
+                                al[lo..hi].to_vec()
+                            };
+                            for &l in &chunk {
+                                let d = f64::from_bits(
+                                    dist[f.global(l).index()].load(Ordering::Relaxed),
+                                );
+                                f.for_each_out(l, |nbr, eid| {
+                                    let g = f.global(nbr.0 as u32);
+                                    let cand = d + ws[eid.index()];
+                                    if atomic_min_f64(&dist[g.index()], cand) {
+                                        stamp[g.index()].store(round + 1, Ordering::Relaxed);
+                                    }
+                                });
+                            }
+                        }
+                    } else {
+                        while let Some((fi, lo, hi)) = pool.next(me, &mut attempts, &mut stolen) {
+                            let f = &fragments[fi];
+                            let ws = f.weights.as_ref().expect("sssp needs weighted fragments");
+                            for l in lo as u32..hi as u32 {
+                                let g = f.global(l);
+                                let mut improved = false;
+                                f.for_each_in(l, |u, eid| {
+                                    let gu = f.global(u.0 as u32);
+                                    if stamp[gu.index()].load(Ordering::Relaxed) == round {
+                                        let du = f64::from_bits(
+                                            dist[gu.index()].load(Ordering::Relaxed),
+                                        );
+                                        if atomic_min_f64(&dist[g.index()], du + ws[eid.index()]) {
+                                            improved = true;
+                                        }
+                                    }
+                                });
+                                if improved {
+                                    stamp[g.index()].store(round + 1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    times[me].store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    barrier.wait();
+
+                    // vertices whose distance improved this round become
+                    // next round's active set (owners only)
+                    let mut al = Vec::new();
+                    let mut ae = 0u64;
+                    for l in 0..my_frag.inner_count as u32 {
+                        if stamp[my_frag.global(l).index()].load(Ordering::Relaxed) == round + 1 {
+                            al.push(l);
+                            ae += my_frag.out_degree(l) as u64;
+                        }
+                    }
+                    next_size.fetch_add(al.len() as u64, Ordering::Relaxed);
+                    next_edges.fetch_add(ae, Ordering::Relaxed);
+                    *actives[me].lock().unwrap() = al;
+                    barrier.wait();
+
+                    if me == 0 {
+                        let (mut min_t, mut max_t) = (u64::MAX, 0u64);
+                        for t in times {
+                            let v = t.load(Ordering::Relaxed);
+                            min_t = min_t.min(v);
+                            max_t = max_t.max(v);
+                        }
+                        counter!("grape.superstep.skew"; max_t.saturating_sub(min_t));
+                        if cur_mode == MODE_PUSH {
+                            push_steps.fetch_add(1, Ordering::Relaxed);
+                            counter!("grape.traversal.push_steps");
+                        } else {
+                            pull_steps.fetch_add(1, Ordering::Relaxed);
+                            counter!("grape.traversal.pull_steps");
+                        }
+                        let fs = next_size.swap(0, Ordering::Relaxed);
+                        let fe = next_edges.swap(0, Ordering::Relaxed);
+                        if fs == 0 {
+                            done.store(true, Ordering::Relaxed);
+                        } else {
+                            let next_mode = decide_mode(policy, fe, fs, m);
+                            mode.store(next_mode, Ordering::Relaxed);
+                            for (i, f) in fragments.iter().enumerate() {
+                                let limit = if next_mode == MODE_PUSH {
+                                    actives[i].lock().unwrap().len()
+                                } else {
+                                    f.local_count()
+                                };
+                                pool.reset(i, limit);
+                            }
+                        }
+                    }
+                    barrier.wait();
+                    if done.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    round += 1;
+                }
+                counter!("grape.steal.attempts"; attempts);
+                counter!("grape.steal.stolen"; stolen);
+                total_stolen.fetch_add(stolen, Ordering::Relaxed);
+            });
+        }
+    })
+    .expect("traversal scope");
+
+    let dists = dist
+        .into_iter()
+        .map(|d| f64::from_bits(d.into_inner()))
+        .collect::<Vec<f64>>();
+    let report = TraversalReport {
+        push_steps: push_steps.into_inner(),
+        pull_steps: pull_steps.into_inner(),
+        chunks_stolen: total_stolen.into_inner(),
+    };
+    (dists, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{bfs, reference, sssp};
+    use gs_graph::LayoutKind;
+    use rand::Rng;
+
+    fn random_graph(n: u64, m: usize, seed: u64) -> Vec<(VId, VId)> {
+        let mut rng = rand_pcg::Pcg64Mcg::new(seed as u128);
+        (0..m)
+            .map(|_| (VId(rng.gen_range(0..n)), VId(rng.gen_range(0..n))))
+            .collect()
+    }
+
+    #[test]
+    fn do_bfs_matches_pregel_bfs_all_policies() {
+        let edges = random_graph(200, 1600, 11);
+        for k in [1, 2, 4] {
+            let engine = GrapeEngine::from_edges(200, &edges, k);
+            let want = bfs(&engine, VId(0));
+            for policy in [
+                TraversalPolicy::Auto,
+                TraversalPolicy::PushOnly,
+                TraversalPolicy::PullOnly,
+            ] {
+                let (got, _) = bfs_with_policy(&engine, VId(0), policy);
+                assert_eq!(got, want, "k={k} policy={policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn do_bfs_handles_unreachable_and_chain() {
+        // long chain keeps the frontier sparse (push); plus an island
+        let mut edges: Vec<(VId, VId)> = (0..30).map(|i| (VId(i), VId(i + 1))).collect();
+        edges.push((VId(33), VId(34)));
+        let engine = GrapeEngine::from_edges(40, &edges, 3);
+        let (got, report) = bfs_with_policy(&engine, VId(0), TraversalPolicy::Auto);
+        let want = reference::bfs(40, &edges, VId(0));
+        assert_eq!(got, want);
+        assert!(report.push_steps > 0);
+    }
+
+    #[test]
+    fn do_bfs_engages_pull_on_dense_graphs() {
+        let edges = random_graph(300, 9000, 5);
+        let engine = GrapeEngine::from_edges(300, &edges, 4);
+        let (got, report) = bfs_with_policy(&engine, VId(0), TraversalPolicy::Auto);
+        assert_eq!(got, bfs(&engine, VId(0)));
+        assert!(
+            report.pull_steps > 0,
+            "dense graph should trigger pull: {report:?}"
+        );
+    }
+
+    #[test]
+    fn do_bfs_identical_across_layouts() {
+        let edges = random_graph(150, 1200, 21);
+        let base = {
+            let engine = GrapeEngine::from_edges(150, &edges, 3);
+            bfs_direction_optimizing(&engine, VId(3))
+        };
+        for layout in [LayoutKind::SortedCsr, LayoutKind::CompressedCsr] {
+            let engine = GrapeEngine::from_edges_with_layout(150, &edges, 3, layout);
+            assert_eq!(
+                bfs_direction_optimizing(&engine, VId(3)),
+                base,
+                "layout {layout}"
+            );
+        }
+    }
+
+    #[test]
+    fn do_sssp_matches_pregel_and_reference() {
+        let edges = random_graph(120, 900, 31);
+        let mut rng = rand_pcg::Pcg64Mcg::new(99);
+        let weights: Vec<f64> = (0..edges.len()).map(|_| rng.gen_range(0.1..4.0)).collect();
+        let want = reference::sssp(120, &edges, &weights, VId(0));
+        for k in [1, 3] {
+            let engine = GrapeEngine::from_weighted_edges(120, &edges, &weights, k);
+            let pregel = sssp(&engine, VId(0));
+            for policy in [
+                TraversalPolicy::Auto,
+                TraversalPolicy::PushOnly,
+                TraversalPolicy::PullOnly,
+            ] {
+                let (got, _) = sssp_with_policy(&engine, VId(0), policy);
+                assert_eq!(got, pregel, "k={k} policy={policy:?} vs pregel");
+                for (g, w) in got.iter().zip(&want) {
+                    assert!(
+                        (g - w).abs() < 1e-9 || (g.is_infinite() && w.is_infinite()),
+                        "{g} vs {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_identical_across_layouts() {
+        let edges = random_graph(100, 700, 41);
+        let mut rng = rand_pcg::Pcg64Mcg::new(7);
+        let weights: Vec<f64> = (0..edges.len()).map(|_| rng.gen_range(0.5..2.0)).collect();
+        let base = {
+            let engine = GrapeEngine::from_weighted_edges(100, &edges, &weights, 2);
+            sssp_direction_optimizing(&engine, VId(0))
+        };
+        for layout in [LayoutKind::SortedCsr, LayoutKind::CompressedCsr] {
+            let engine =
+                GrapeEngine::from_weighted_edges_with_layout(100, &edges, &weights, 2, layout);
+            let got = sssp_direction_optimizing(&engine, VId(0));
+            assert!(
+                got.iter()
+                    .zip(&base)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "layout {layout} differs"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let engine = GrapeEngine::from_edges(0, &[], 1);
+        assert!(bfs_direction_optimizing(&engine, VId(0)).is_empty());
+    }
+}

@@ -73,11 +73,14 @@ impl Csr {
         &self.targets
     }
 
-    /// Binary-searches for an edge `v -> w`; neighbor lists are sorted by
-    /// the builder, enabling O(log d) membership tests (used by triangle
-    /// counting / LCC and the pattern matcher).
+    /// Membership test for an edge `v -> w`; neighbor lists are sorted by
+    /// the builder, enabling O(log d) binary search (used by triangle
+    /// counting / LCC and the pattern matcher). Tiny adjacency lists
+    /// (below [`crate::layout::HAS_EDGE_BINARY_THRESHOLD`]) take a linear
+    /// pass instead — for short lists the branchy binary search loses to a
+    /// straight scan.
     pub fn has_edge(&self, v: VId, w: VId) -> bool {
-        self.neighbors(v).binary_search(&w).is_ok()
+        crate::layout::sorted_contains(self.neighbors(v), w)
     }
 
     /// Builds a CSR (and dense edge-id assignment) from an edge list.

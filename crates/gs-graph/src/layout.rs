@@ -1,0 +1,876 @@
+//! Pluggable topology layouts.
+//!
+//! Flex's thesis is that storage and engine bricks are swappable, but until
+//! this module the *shape of the brick itself* — adjacency topology — was a
+//! single concrete struct ([`Csr`]). [`GraphLayout`] makes topology a trait
+//! with three interchangeable implementations:
+//!
+//! * [`Csr`] — the existing plain compressed-sparse-row arrays; zero-copy
+//!   slice access, the default.
+//! * [`SortedCsr`] — CSR with *enforced* neighbor sortedness: O(log d)
+//!   binary-search [`GraphLayout::has_edge`] (with a linear fallback below
+//!   [`HAS_EDGE_BINARY_THRESHOLD`]) and galloping intersection for triangle
+//!   counting / LCC / pattern matching.
+//! * [`CompressedCsr`] — delta-varint encoded adjacency (reusing
+//!   [`crate::varint`]) for memory-bound scans; trades slice access for a
+//!   2–4× smaller footprint on sorted neighbor runs.
+//!
+//! Engines that need static dispatch on the hot path use the
+//! [`TopologyLayout`] enum; dynamic composition (flexbuild) goes through the
+//! object-safe [`GraphLayout`] trait. Every layout is observationally
+//! identical: same vertices, same `(neighbor, edge-id)` sequences in the same
+//! order, so algorithms produce bit-identical results regardless of layout.
+
+use crate::csr::Csr;
+use crate::ids::{EId, VId};
+use crate::varint;
+
+/// Adjacency lists shorter than this are scanned linearly even on sorted
+/// layouts: for tiny lists the branch-free linear pass beats binary search.
+pub const HAS_EDGE_BINARY_THRESHOLD: usize = 16;
+
+/// When one sorted list is at least this many times longer than the other,
+/// intersection switches from linear merge to galloping search.
+pub const GALLOP_RATIO: usize = 8;
+
+/// Which topology layout a store/fragment materialises. Selected through
+/// flexbuild's `Deployment` knob and reported via GRIN capabilities.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum LayoutKind {
+    /// Plain CSR arrays (offsets/targets/edge-ids), zero-copy slices.
+    #[default]
+    Csr,
+    /// CSR with enforced neighbor sortedness: binary-search membership and
+    /// galloping intersection.
+    SortedCsr,
+    /// Delta-varint compressed adjacency streams: smallest footprint,
+    /// decode-on-scan.
+    CompressedCsr,
+}
+
+impl LayoutKind {
+    /// All layouts, in benchmark/equivalence-sweep order.
+    pub const ALL: [LayoutKind; 3] = [
+        LayoutKind::Csr,
+        LayoutKind::SortedCsr,
+        LayoutKind::CompressedCsr,
+    ];
+
+    /// Stable name used in deployment manifests and bench reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LayoutKind::Csr => "csr",
+            LayoutKind::SortedCsr => "sorted_csr",
+            LayoutKind::CompressedCsr => "compressed_csr",
+        }
+    }
+
+    /// Parses a manifest name; `None` for unknown layouts.
+    pub fn from_name(s: &str) -> Option<LayoutKind> {
+        match s {
+            "csr" => Some(LayoutKind::Csr),
+            "sorted_csr" => Some(LayoutKind::SortedCsr),
+            "compressed_csr" => Some(LayoutKind::CompressedCsr),
+            _ => None,
+        }
+    }
+
+    /// Whether this layout guarantees sorted neighbor order (unlocking
+    /// binary-search membership and galloping intersection).
+    pub fn is_sorted(self) -> bool {
+        matches!(self, LayoutKind::SortedCsr | LayoutKind::CompressedCsr)
+    }
+
+    /// Whether adjacency is available as zero-copy slices.
+    pub fn has_slices(self) -> bool {
+        !matches!(self, LayoutKind::CompressedCsr)
+    }
+}
+
+impl std::fmt::Display for LayoutKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Object-safe topology abstraction. All implementations expose the same
+/// `(neighbor, edge-id)` sequences in the same order, so algorithm results
+/// are layout-independent bit-for-bit.
+pub trait GraphLayout: Send + Sync {
+    /// Which concrete layout this is.
+    fn kind(&self) -> LayoutKind;
+
+    /// Number of vertices.
+    fn vertex_count(&self) -> usize;
+
+    /// Number of edges.
+    fn edge_count(&self) -> usize;
+
+    /// Out-degree of `v`.
+    fn degree(&self, v: VId) -> usize;
+
+    /// Visits every `(neighbor, edge_id)` of `v` in layout order.
+    fn for_each_adj(&self, v: VId, f: &mut dyn FnMut(VId, EId));
+
+    /// Zero-copy adjacency slices, if the layout stores raw arrays.
+    /// Compressed layouts return `None`; callers fall back to
+    /// [`GraphLayout::copy_adj`] or [`GraphLayout::for_each_adj`].
+    fn adj_slices(&self, v: VId) -> Option<(&[VId], &[EId])>;
+
+    /// Decodes the adjacency of `v` into the provided buffers (cleared
+    /// first). Works on every layout; the slice-backed ones just copy.
+    fn copy_adj(&self, v: VId, nbrs: &mut Vec<VId>, eids: &mut Vec<EId>) {
+        nbrs.clear();
+        eids.clear();
+        self.for_each_adj(v, &mut |w, e| {
+            nbrs.push(w);
+            eids.push(e);
+        });
+    }
+
+    /// Visits neighbors of `v` (no edge ids) until `f` returns `false` —
+    /// the early-exit primitive pull-mode BFS relies on (a destination
+    /// stops scanning its in-list at the first visited source).
+    fn scan_targets(&self, v: VId, f: &mut dyn FnMut(VId) -> bool);
+
+    /// Membership test for edge `v -> w`.
+    fn has_edge(&self, v: VId, w: VId) -> bool;
+
+    /// Size of the intersection of the two adjacency lists — the inner loop
+    /// of triangle counting and clustering-coefficient kernels.
+    fn intersection_count(&self, a: VId, b: VId) -> usize;
+
+    /// Whether neighbor lists are guaranteed sorted.
+    fn is_sorted(&self) -> bool {
+        self.kind().is_sorted()
+    }
+
+    /// Approximate heap footprint in bytes (topology only), for the bench
+    /// memory column.
+    fn heap_bytes(&self) -> usize;
+}
+
+/// Counts common elements of two sorted slices by linear merge.
+pub fn merge_intersection_count(a: &[VId], b: &[VId]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Counts common elements when `small` is much shorter than `large`:
+/// for each element of `small`, gallop (exponential then binary search)
+/// through `large`. O(|small| · log |large|) instead of O(|small| + |large|).
+pub fn galloping_intersection_count(small: &[VId], large: &[VId]) -> usize {
+    let mut lo = 0usize;
+    let mut n = 0usize;
+    for &x in small {
+        // exponential probe from the last match position
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < large.len() && large[hi] < x {
+            lo = hi;
+            hi += step;
+            step <<= 1;
+        }
+        // include the probe's stopping index (where large[hi] >= x)
+        let hi = if hi < large.len() {
+            hi + 1
+        } else {
+            large.len()
+        };
+        match large[lo..hi].binary_search(&x) {
+            Ok(k) => {
+                n += 1;
+                lo += k + 1;
+            }
+            Err(k) => lo += k,
+        }
+        if lo >= large.len() {
+            break;
+        }
+    }
+    n
+}
+
+/// Intersection of two sorted slices, picking merge vs gallop by the size
+/// ratio ([`GALLOP_RATIO`]).
+pub fn sorted_intersection_count(a: &[VId], b: &[VId]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return 0;
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        galloping_intersection_count(small, large)
+    } else {
+        merge_intersection_count(small, large)
+    }
+}
+
+/// Sorted-slice membership with the tiny-list linear fallback.
+#[inline]
+pub fn sorted_contains(list: &[VId], w: VId) -> bool {
+    if list.len() < HAS_EDGE_BINARY_THRESHOLD {
+        list.contains(&w)
+    } else {
+        list.binary_search(&w).is_ok()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plain CSR
+// ---------------------------------------------------------------------------
+
+impl GraphLayout for Csr {
+    fn kind(&self) -> LayoutKind {
+        LayoutKind::Csr
+    }
+
+    fn vertex_count(&self) -> usize {
+        Csr::vertex_count(self)
+    }
+
+    fn edge_count(&self) -> usize {
+        Csr::edge_count(self)
+    }
+
+    fn degree(&self, v: VId) -> usize {
+        Csr::degree(self, v)
+    }
+
+    fn for_each_adj(&self, v: VId, f: &mut dyn FnMut(VId, EId)) {
+        for (w, e) in self.adj(v) {
+            f(w, e);
+        }
+    }
+
+    fn adj_slices(&self, v: VId) -> Option<(&[VId], &[EId])> {
+        Some((self.neighbors(v), self.edge_ids(v)))
+    }
+
+    fn scan_targets(&self, v: VId, f: &mut dyn FnMut(VId) -> bool) {
+        for &w in self.neighbors(v) {
+            if !f(w) {
+                return;
+            }
+        }
+    }
+
+    fn has_edge(&self, v: VId, w: VId) -> bool {
+        Csr::has_edge(self, v, w)
+    }
+
+    fn intersection_count(&self, a: VId, b: VId) -> usize {
+        // builder-produced CSRs happen to be sorted, but the plain layout
+        // does not *guarantee* it, so it conservatively merges; SortedCsr's
+        // enforced order is what unlocks the galloping strategy
+        merge_intersection_count(self.neighbors(a), self.neighbors(b))
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.offsets().len() * 8 + self.targets().len() * 8 + self.edge_count() * 8
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sorted CSR
+// ---------------------------------------------------------------------------
+
+/// CSR with *enforced* neighbor sortedness. [`Csr::from_parts`] leaves
+/// sortedness to the caller; this wrapper re-sorts on construction if any
+/// list is out of order, so binary-search membership and galloping
+/// intersection are always valid.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SortedCsr {
+    csr: Csr,
+}
+
+impl SortedCsr {
+    /// Wraps a CSR, sorting any out-of-order adjacency list (edge ids stay
+    /// aligned with their neighbors).
+    pub fn new(csr: Csr) -> SortedCsr {
+        let mut csr = csr;
+        let needs_sort = (0..csr.vertex_count()).any(|v| !csr.neighbors(VId(v as u64)).is_sorted());
+        if needs_sort {
+            let n = csr.vertex_count();
+            let mut edges = Vec::with_capacity(csr.edge_count());
+            let mut pairs: Vec<Vec<(VId, EId)>> = Vec::with_capacity(n);
+            for v in 0..n {
+                let mut adj: Vec<(VId, EId)> = csr.adj(VId(v as u64)).collect();
+                adj.sort_unstable_by_key(|p| p.0);
+                for &(w, _) in &adj {
+                    edges.push((VId(v as u64), w));
+                }
+                pairs.push(adj);
+            }
+            let mut offsets = vec![0u64; n + 1];
+            let mut targets = Vec::with_capacity(edges.len());
+            let mut edge_ids = Vec::with_capacity(edges.len());
+            for (v, adj) in pairs.into_iter().enumerate() {
+                offsets[v + 1] = offsets[v] + adj.len() as u64;
+                for (w, e) in adj {
+                    targets.push(w);
+                    edge_ids.push(e);
+                }
+            }
+            csr = Csr::from_parts(offsets, targets, edge_ids);
+        }
+        SortedCsr { csr }
+    }
+
+    /// The underlying (sorted) CSR.
+    #[inline]
+    pub fn as_csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Unwraps into the underlying CSR.
+    pub fn into_csr(self) -> Csr {
+        self.csr
+    }
+
+    /// Sorted neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VId) -> &[VId] {
+        self.csr.neighbors(v)
+    }
+}
+
+impl GraphLayout for SortedCsr {
+    fn kind(&self) -> LayoutKind {
+        LayoutKind::SortedCsr
+    }
+
+    fn vertex_count(&self) -> usize {
+        self.csr.vertex_count()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.csr.edge_count()
+    }
+
+    fn degree(&self, v: VId) -> usize {
+        self.csr.degree(v)
+    }
+
+    fn for_each_adj(&self, v: VId, f: &mut dyn FnMut(VId, EId)) {
+        for (w, e) in self.csr.adj(v) {
+            f(w, e);
+        }
+    }
+
+    fn adj_slices(&self, v: VId) -> Option<(&[VId], &[EId])> {
+        Some((self.csr.neighbors(v), self.csr.edge_ids(v)))
+    }
+
+    fn scan_targets(&self, v: VId, f: &mut dyn FnMut(VId) -> bool) {
+        for &w in self.csr.neighbors(v) {
+            if !f(w) {
+                return;
+            }
+        }
+    }
+
+    fn has_edge(&self, v: VId, w: VId) -> bool {
+        sorted_contains(self.csr.neighbors(v), w)
+    }
+
+    fn intersection_count(&self, a: VId, b: VId) -> usize {
+        sorted_intersection_count(self.csr.neighbors(a), self.csr.neighbors(b))
+    }
+
+    fn heap_bytes(&self) -> usize {
+        GraphLayout::heap_bytes(&self.csr)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compressed CSR
+// ---------------------------------------------------------------------------
+
+/// Delta-varint compressed adjacency. Per vertex the byte stream holds the
+/// degree, then neighbors delta-encoded (first absolute, rest zigzag deltas
+/// — sorted lists give dense 1-byte deltas), then edge ids zigzag
+/// delta-encoded against their predecessor. Decode-on-scan: no slice
+/// access, but the smallest footprint of the three layouts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CompressedCsr {
+    starts: Vec<u64>,
+    bytes: Vec<u8>,
+    edge_count: usize,
+}
+
+impl CompressedCsr {
+    /// Compresses a CSR; neighbor lists are sorted first so deltas are
+    /// non-negative and dense.
+    pub fn from_csr(csr: &Csr) -> CompressedCsr {
+        let sorted = SortedCsr::new(csr.clone());
+        let csr = sorted.as_csr();
+        let n = csr.vertex_count();
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut bytes = Vec::new();
+        starts.push(0u64);
+        for v in 0..n {
+            let vid = VId(v as u64);
+            let nbrs = csr.neighbors(vid);
+            let eids = csr.edge_ids(vid);
+            varint::encode_u64(nbrs.len() as u64, &mut bytes);
+            let mut prev = 0u64;
+            for (i, &w) in nbrs.iter().enumerate() {
+                if i == 0 {
+                    varint::encode_u64(w.0, &mut bytes);
+                } else {
+                    varint::encode_i64(w.0.wrapping_sub(prev) as i64, &mut bytes);
+                }
+                prev = w.0;
+            }
+            let mut prev_e = 0u64;
+            for (i, &e) in eids.iter().enumerate() {
+                if i == 0 {
+                    varint::encode_u64(e.0, &mut bytes);
+                } else {
+                    varint::encode_i64(e.0.wrapping_sub(prev_e) as i64, &mut bytes);
+                }
+                prev_e = e.0;
+            }
+            starts.push(bytes.len() as u64);
+        }
+        CompressedCsr {
+            starts,
+            bytes,
+            edge_count: csr.edge_count(),
+        }
+    }
+
+    /// Decompresses back into a plain (sorted) CSR.
+    pub fn to_csr(&self) -> Csr {
+        let n = self.vertex_count();
+        let mut offsets = vec![0u64; n + 1];
+        let mut targets = Vec::with_capacity(self.edge_count);
+        let mut edge_ids = Vec::with_capacity(self.edge_count);
+        for v in 0..n {
+            self.for_each_adj(VId(v as u64), &mut |w, e| {
+                targets.push(w);
+                edge_ids.push(e);
+            });
+            offsets[v + 1] = targets.len() as u64;
+        }
+        Csr::from_parts(offsets, targets, edge_ids)
+    }
+
+    /// Byte stream of vertex `v`.
+    #[inline]
+    fn stream(&self, v: VId) -> &[u8] {
+        &self.bytes[self.starts[v.index()] as usize..self.starts[v.index() + 1] as usize]
+    }
+
+    /// Decodes only the degree header of `v`.
+    #[inline]
+    fn decode_degree(&self, v: VId) -> (usize, usize) {
+        let s = self.stream(v);
+        if s.is_empty() {
+            return (0, 0);
+        }
+        let (d, n) = varint::decode_u64(s).expect("valid degree header");
+        (d as usize, n)
+    }
+
+    /// Visits neighbors only (no edge ids), with early exit when `f`
+    /// returns `false`. Sorted order makes this the membership fast path.
+    fn scan_neighbors(&self, v: VId, f: &mut dyn FnMut(VId) -> bool) {
+        let s = self.stream(v);
+        let (d, mut pos) = self.decode_degree(v);
+        let mut prev = 0u64;
+        for i in 0..d {
+            let w = if i == 0 {
+                let (w, n) = varint::decode_u64(&s[pos..]).expect("neighbor");
+                pos += n;
+                w
+            } else {
+                let (delta, n) = varint::decode_i64(&s[pos..]).expect("delta");
+                pos += n;
+                prev.wrapping_add(delta as u64)
+            };
+            prev = w;
+            if !f(VId(w)) {
+                return;
+            }
+        }
+    }
+}
+
+impl GraphLayout for CompressedCsr {
+    fn kind(&self) -> LayoutKind {
+        LayoutKind::CompressedCsr
+    }
+
+    fn vertex_count(&self) -> usize {
+        self.starts.len().saturating_sub(1)
+    }
+
+    fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    fn degree(&self, v: VId) -> usize {
+        self.decode_degree(v).0
+    }
+
+    fn for_each_adj(&self, v: VId, f: &mut dyn FnMut(VId, EId)) {
+        let s = self.stream(v);
+        let (d, mut pos) = self.decode_degree(v);
+        if d == 0 {
+            return;
+        }
+        let mut nbrs = [0u64; 64];
+        let mut spill: Vec<u64>;
+        let nbr_buf: &mut [u64] = if d <= 64 {
+            &mut nbrs[..d]
+        } else {
+            spill = vec![0u64; d];
+            &mut spill
+        };
+        let mut prev = 0u64;
+        for (i, slot) in nbr_buf.iter_mut().enumerate() {
+            let w = if i == 0 {
+                let (w, n) = varint::decode_u64(&s[pos..]).expect("neighbor");
+                pos += n;
+                w
+            } else {
+                let (delta, n) = varint::decode_i64(&s[pos..]).expect("delta");
+                pos += n;
+                prev.wrapping_add(delta as u64)
+            };
+            prev = w;
+            *slot = w;
+        }
+        let mut prev_e = 0u64;
+        for (i, &w) in nbr_buf.iter().enumerate() {
+            let e = if i == 0 {
+                let (e, n) = varint::decode_u64(&s[pos..]).expect("edge id");
+                pos += n;
+                e
+            } else {
+                let (delta, n) = varint::decode_i64(&s[pos..]).expect("edge delta");
+                pos += n;
+                prev_e.wrapping_add(delta as u64)
+            };
+            prev_e = e;
+            f(VId(w), EId(e));
+        }
+    }
+
+    fn adj_slices(&self, _v: VId) -> Option<(&[VId], &[EId])> {
+        None
+    }
+
+    fn scan_targets(&self, v: VId, f: &mut dyn FnMut(VId) -> bool) {
+        self.scan_neighbors(v, f);
+    }
+
+    fn has_edge(&self, v: VId, w: VId) -> bool {
+        let mut found = false;
+        self.scan_neighbors(v, &mut |x| {
+            if x == w {
+                found = true;
+                false
+            } else {
+                // sorted stream: stop once we've passed w
+                x < w
+            }
+        });
+        found
+    }
+
+    fn intersection_count(&self, a: VId, b: VId) -> usize {
+        let mut av = Vec::with_capacity(self.degree(a));
+        let mut bv = Vec::with_capacity(self.degree(b));
+        self.scan_neighbors(a, &mut |w| {
+            av.push(w);
+            true
+        });
+        self.scan_neighbors(b, &mut |w| {
+            bv.push(w);
+            true
+        });
+        sorted_intersection_count(&av, &bv)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.starts.len() * 8 + self.bytes.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static-dispatch wrapper
+// ---------------------------------------------------------------------------
+
+/// Enum over the three layouts for hot paths that want static dispatch
+/// (GRAPE fragments, Vineyard label CSRs). Everything delegates; the match
+/// compiles away under inlining.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologyLayout {
+    Csr(Csr),
+    Sorted(SortedCsr),
+    Compressed(CompressedCsr),
+}
+
+impl Default for TopologyLayout {
+    fn default() -> Self {
+        TopologyLayout::Csr(Csr::default())
+    }
+}
+
+impl TopologyLayout {
+    /// Materialises `csr` in the requested layout.
+    pub fn build(kind: LayoutKind, csr: Csr) -> TopologyLayout {
+        match kind {
+            LayoutKind::Csr => TopologyLayout::Csr(csr),
+            LayoutKind::SortedCsr => TopologyLayout::Sorted(SortedCsr::new(csr)),
+            LayoutKind::CompressedCsr => TopologyLayout::Compressed(CompressedCsr::from_csr(&csr)),
+        }
+    }
+
+    /// Which layout this is.
+    #[inline]
+    pub fn kind(&self) -> LayoutKind {
+        match self {
+            TopologyLayout::Csr(_) => LayoutKind::Csr,
+            TopologyLayout::Sorted(_) => LayoutKind::SortedCsr,
+            TopologyLayout::Compressed(_) => LayoutKind::CompressedCsr,
+        }
+    }
+
+    /// The trait object view (for capability-style composition).
+    #[inline]
+    pub fn as_layout(&self) -> &dyn GraphLayout {
+        match self {
+            TopologyLayout::Csr(c) => c,
+            TopologyLayout::Sorted(s) => s,
+            TopologyLayout::Compressed(c) => c,
+        }
+    }
+
+    /// Borrow the raw CSR when the layout stores one (`None` for
+    /// compressed).
+    #[inline]
+    pub fn as_csr(&self) -> Option<&Csr> {
+        match self {
+            TopologyLayout::Csr(c) => Some(c),
+            TopologyLayout::Sorted(s) => Some(s.as_csr()),
+            TopologyLayout::Compressed(_) => None,
+        }
+    }
+
+    /// Materialises a plain CSR regardless of layout (decompressing if
+    /// needed) — used for transposes and re-layout.
+    pub fn to_csr(&self) -> Csr {
+        match self {
+            TopologyLayout::Csr(c) => c.clone(),
+            TopologyLayout::Sorted(s) => s.as_csr().clone(),
+            TopologyLayout::Compressed(c) => c.to_csr(),
+        }
+    }
+
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.as_layout().vertex_count()
+    }
+
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.as_layout().edge_count()
+    }
+
+    #[inline]
+    pub fn degree(&self, v: VId) -> usize {
+        match self {
+            TopologyLayout::Csr(c) => c.degree(v),
+            TopologyLayout::Sorted(s) => s.as_csr().degree(v),
+            TopologyLayout::Compressed(c) => GraphLayout::degree(c, v),
+        }
+    }
+
+    /// Visits every `(neighbor, edge_id)` of `v` in layout order. Statically
+    /// dispatched; the closure is monomorphised per call site.
+    #[inline]
+    pub fn for_each_adj<F: FnMut(VId, EId)>(&self, v: VId, mut f: F) {
+        match self {
+            TopologyLayout::Csr(c) => {
+                for (w, e) in c.adj(v) {
+                    f(w, e);
+                }
+            }
+            TopologyLayout::Sorted(s) => {
+                for (w, e) in s.as_csr().adj(v) {
+                    f(w, e);
+                }
+            }
+            TopologyLayout::Compressed(c) => GraphLayout::for_each_adj(c, v, &mut f),
+        }
+    }
+
+    #[inline]
+    pub fn adj_slices(&self, v: VId) -> Option<(&[VId], &[EId])> {
+        self.as_layout().adj_slices(v)
+    }
+
+    /// Visits neighbors of `v` until `f` returns `false` (early exit).
+    #[inline]
+    pub fn scan_targets<F: FnMut(VId) -> bool>(&self, v: VId, mut f: F) {
+        self.as_layout().scan_targets(v, &mut f)
+    }
+
+    #[inline]
+    pub fn has_edge(&self, v: VId, w: VId) -> bool {
+        self.as_layout().has_edge(v, w)
+    }
+
+    #[inline]
+    pub fn intersection_count(&self, a: VId, b: VId) -> usize {
+        self.as_layout().intersection_count(a, b)
+    }
+
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.as_layout().heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_csr() -> Csr {
+        Csr::from_edges(
+            5,
+            &[
+                (VId(0), VId(2)),
+                (VId(0), VId(1)),
+                (VId(0), VId(4)),
+                (VId(1), VId(2)),
+                (VId(2), VId(0)),
+                (VId(2), VId(4)),
+                (VId(4), VId(0)),
+            ],
+        )
+    }
+
+    fn collect_adj(l: &dyn GraphLayout, v: VId) -> Vec<(VId, EId)> {
+        let mut out = Vec::new();
+        l.for_each_adj(v, &mut |w, e| out.push((w, e)));
+        out
+    }
+
+    #[test]
+    fn all_layouts_agree_with_plain_csr() {
+        let csr = sample_csr();
+        for kind in LayoutKind::ALL {
+            let layout = TopologyLayout::build(kind, csr.clone());
+            assert_eq!(layout.kind(), kind);
+            assert_eq!(layout.vertex_count(), csr.vertex_count());
+            assert_eq!(layout.edge_count(), csr.edge_count());
+            for v in 0..csr.vertex_count() {
+                let vid = VId(v as u64);
+                assert_eq!(layout.degree(vid), csr.degree(vid), "{kind} deg {v}");
+                let want: Vec<(VId, EId)> = csr.adj(vid).collect();
+                assert_eq!(collect_adj(layout.as_layout(), vid), want, "{kind} adj {v}");
+                for w in 0..csr.vertex_count() {
+                    let wid = VId(w as u64);
+                    assert_eq!(
+                        layout.has_edge(vid, wid),
+                        csr.has_edge(vid, wid),
+                        "{kind} has_edge {v}->{w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_round_trips() {
+        let csr = sample_csr();
+        let comp = CompressedCsr::from_csr(&csr);
+        assert_eq!(comp.to_csr(), csr);
+        assert!(
+            GraphLayout::heap_bytes(&comp) < GraphLayout::heap_bytes(&csr),
+            "compressed should be smaller: {} vs {}",
+            GraphLayout::heap_bytes(&comp),
+            GraphLayout::heap_bytes(&csr)
+        );
+    }
+
+    #[test]
+    fn sorted_csr_repairs_unsorted_parts() {
+        // from_parts with deliberately unsorted adjacency
+        let raw = Csr::from_parts(
+            vec![0, 3, 3],
+            vec![VId(9), VId(3), VId(7)],
+            vec![EId(0), EId(1), EId(2)],
+        );
+        let sorted = SortedCsr::new(raw);
+        assert_eq!(sorted.neighbors(VId(0)), &[VId(3), VId(7), VId(9)]);
+        // edge ids followed their neighbors
+        assert_eq!(sorted.as_csr().edge_ids(VId(0)), &[EId(1), EId(2), EId(0)]);
+        assert!(GraphLayout::has_edge(&sorted, VId(0), VId(7)));
+        assert!(!GraphLayout::has_edge(&sorted, VId(0), VId(8)));
+    }
+
+    #[test]
+    fn intersection_strategies_agree() {
+        let a: Vec<VId> = [1u64, 4, 9, 11, 30, 31, 77]
+            .iter()
+            .map(|&x| VId(x))
+            .collect();
+        let b: Vec<VId> = (0..200).map(|x| VId(x * 3)).collect();
+        let want = merge_intersection_count(&a, &b);
+        assert_eq!(galloping_intersection_count(&a, &b), want);
+        assert_eq!(sorted_intersection_count(&a, &b), want);
+        assert_eq!(sorted_intersection_count(&b, &a), want);
+        assert_eq!(sorted_intersection_count(&a, &[]), 0);
+        assert_eq!(sorted_intersection_count(&[], &b), 0);
+    }
+
+    #[test]
+    fn galloping_handles_duplicates_and_bounds() {
+        let a = [VId(5), VId(5), VId(6)];
+        let b = [VId(4), VId(5), VId(5), VId(6), VId(10)];
+        // duplicate-aware: each small element consumes at most one match
+        assert_eq!(galloping_intersection_count(&a, &b), 3);
+        let tail = [VId(100)];
+        assert_eq!(galloping_intersection_count(&tail, &b), 0);
+    }
+
+    #[test]
+    fn layout_kind_names_round_trip() {
+        for kind in LayoutKind::ALL {
+            assert_eq!(LayoutKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(LayoutKind::from_name("btree"), None);
+        assert!(LayoutKind::SortedCsr.is_sorted());
+        assert!(!LayoutKind::Csr.is_sorted());
+        assert!(!LayoutKind::CompressedCsr.has_slices());
+    }
+
+    #[test]
+    fn empty_and_isolated_vertices() {
+        let csr = Csr::from_edges(3, &[]);
+        for kind in LayoutKind::ALL {
+            let l = TopologyLayout::build(kind, csr.clone());
+            assert_eq!(l.vertex_count(), 3);
+            assert_eq!(l.edge_count(), 0);
+            assert_eq!(l.degree(VId(1)), 0);
+            assert!(!l.has_edge(VId(0), VId(1)));
+            assert_eq!(l.intersection_count(VId(0), VId(2)), 0);
+        }
+    }
+}

@@ -23,6 +23,7 @@ pub mod edgelist;
 pub mod error;
 pub mod ids;
 pub mod json;
+pub mod layout;
 pub mod partition;
 pub mod props;
 pub mod schema;
@@ -35,6 +36,7 @@ pub use edgelist::EdgeList;
 pub use error::{GraphError, Result};
 pub use ids::{EId, IdMap, LabelId, PropId, VId};
 pub use json::Json;
+pub use layout::{CompressedCsr, GraphLayout, LayoutKind, SortedCsr, TopologyLayout};
 pub use partition::{EdgeCutPartitioner, FragmentSpec, PartitionId};
 pub use props::{PropertyColumn, PropertyTable};
 pub use schema::{EdgeLabelDef, GraphSchema, PropertyDef, VertexLabelDef};

@@ -170,6 +170,54 @@ mod tests {
     }
 
     #[test]
+    fn pinned_layouts_match_lazy_adjacency() {
+        use gs_graph::LayoutKind;
+        use gs_grin::Capabilities;
+        let data = sample();
+        let dir = tmpdir("layouts");
+        write_archive(&dir, &data).unwrap();
+        let lazy = GraphArStore::open(&dir).unwrap();
+        assert_eq!(lazy.topology_layout(), LayoutKind::Csr);
+        for layout in [LayoutKind::SortedCsr, LayoutKind::CompressedCsr] {
+            let pinned = GraphArStore::open_with_layout(&dir, layout).unwrap();
+            assert_eq!(pinned.layout(), layout);
+            assert_eq!(pinned.topology_layout(), layout);
+            assert!(pinned
+                .capabilities()
+                .supports(Capabilities::SORTED_ADJACENCY));
+            for dir_ in [Direction::Out, Direction::In, Direction::Both] {
+                for v in (0..2000u64).step_by(173) {
+                    let v = VId(v);
+                    let mut want: Vec<_> = lazy.adjacent(v, LabelId(0), LabelId(0), dir_).collect();
+                    let mut got: Vec<_> =
+                        pinned.adjacent(v, LabelId(0), LabelId(0), dir_).collect();
+                    want.sort_by_key(|a| (a.nbr, a.edge));
+                    got.sort_by_key(|a| (a.nbr, a.edge));
+                    assert_eq!(got, want, "{layout} {dir_:?} {v:?}");
+                }
+            }
+            // bulk scans agree row for row
+            let mut rows_lazy = Vec::new();
+            lazy.scan_adjacency(LabelId(0), LabelId(0), Direction::Out, &mut |v, ns, es| {
+                rows_lazy.push((v, ns.to_vec(), es.to_vec()));
+            });
+            let mut rows_pinned = Vec::new();
+            pinned.scan_adjacency(LabelId(0), LabelId(0), Direction::Out, &mut |v, ns, es| {
+                rows_pinned.push((v, ns.to_vec(), es.to_vec()));
+            });
+            // lazy rows come out of unsorted chunk order; normalise
+            for (_, ns, es) in rows_lazy.iter_mut().chain(rows_pinned.iter_mut()) {
+                let mut pairs: Vec<_> = ns.iter().copied().zip(es.iter().copied()).collect();
+                pairs.sort_unstable();
+                *ns = pairs.iter().map(|&(n, _)| n).collect();
+                *es = pairs.iter().map(|&(_, e)| e).collect();
+            }
+            assert_eq!(rows_pinned, rows_lazy, "{layout}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn csv_round_trip() {
         let data = sample();
         let dir = tmpdir("csv");

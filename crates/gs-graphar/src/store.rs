@@ -9,6 +9,8 @@
 
 use crate::codec;
 use crate::format::{read_metadata, Metadata};
+use gs_graph::csr::Csr;
+use gs_graph::layout::{LayoutKind, TopologyLayout};
 use gs_grin::{
     AdjEntry, Capabilities, Direction, GraphError, GraphSchema, GrinGraph, LabelId, PropId, Result,
     VId, Value,
@@ -31,17 +33,39 @@ pub struct GraphArStore {
     dir: PathBuf,
     meta: Metadata,
     cache: Mutex<HashMap<ChunkKey, Arc<Chunk>>>,
+    /// Requested topology layout. `Csr` keeps the chunk-lazy default;
+    /// other layouts pin each edge label's topology in memory on first
+    /// touch (see [`GraphArStore::open_with_layout`]).
+    layout: LayoutKind,
+    /// Pinned per-(edge label, direction) topologies, built lazily.
+    topo: Mutex<HashMap<(LabelId, bool), Arc<TopologyLayout>>>,
 }
 
 impl GraphArStore {
-    /// Opens an archive directory.
+    /// Opens an archive directory with the default chunk-lazy layout.
     pub fn open(dir: &Path) -> Result<Self> {
+        Self::open_with_layout(dir, LayoutKind::Csr)
+    }
+
+    /// Opens an archive with an explicit topology layout. The default
+    /// (`Csr`) keeps GraphAr's O(working set) chunk-lazy adjacency; the
+    /// sorted/compressed layouts pin a [`TopologyLayout`] per edge label
+    /// in memory on first touch — trading footprint for the in-memory
+    /// fast path when an archive is used as a live analytics source.
+    pub fn open_with_layout(dir: &Path, layout: LayoutKind) -> Result<Self> {
         let meta = read_metadata(dir)?;
         Ok(Self {
             dir: dir.to_path_buf(),
             meta,
             cache: Mutex::new(HashMap::new()),
+            layout,
+            topo: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// The layout this store was opened with.
+    pub fn layout(&self) -> LayoutKind {
+        self.layout
     }
 
     /// Archive metadata.
@@ -107,17 +131,82 @@ impl GraphArStore {
             })
             .collect()
     }
+
+    /// Builds (or fetches) the pinned topology for one edge label and
+    /// direction by decoding every adjacency chunk once. Only used when the
+    /// store was opened with a non-default layout.
+    fn pinned_topology(&self, elabel: LabelId, out: bool) -> Arc<TopologyLayout> {
+        if let Some(t) = self.topo.lock().get(&(elabel, out)) {
+            return Arc::clone(t);
+        }
+        let ldef = &self.meta.schema.edge_labels()[elabel.index()];
+        let vlabel = if out { ldef.src } else { ldef.dst };
+        let n = self.vertex_count(vlabel);
+        let prefix = if out { "out" } else { "in" };
+        let base = format!("edge/l{}/{prefix}", elabel.index());
+        let mut offsets = vec![0u64; n + 1];
+        let mut targets: Vec<VId> = Vec::new();
+        let mut eids: Vec<gs_grin::EId> = Vec::new();
+        let nchunks = n.div_ceil(self.meta.vertex_chunk).max(1);
+        for k in 0..nchunks {
+            let offs = self.u64s(format!("{base}_offsets"), k);
+            let tgts = self.u64s(format!("{base}_targets"), k);
+            let ids = self.u64s(format!("{base}_eids"), k);
+            for local in 0..self.meta.vertex_chunk {
+                let v = k * self.meta.vertex_chunk + local;
+                if v >= n {
+                    break;
+                }
+                if local + 1 < offs.len() {
+                    let hi = (offs[local + 1] as usize).min(tgts.len()).min(ids.len());
+                    let lo = (offs[local] as usize).min(hi);
+                    targets.extend(tgts[lo..hi].iter().map(|&t| VId(t)));
+                    eids.extend(ids[lo..hi].iter().map(|&e| gs_grin::EId(e)));
+                }
+                offsets[v + 1] = targets.len() as u64;
+            }
+        }
+        let topo = Arc::new(TopologyLayout::build(
+            self.layout,
+            Csr::from_parts(offsets, targets, eids),
+        ));
+        self.topo
+            .lock()
+            .entry((elabel, out))
+            .or_insert(topo)
+            .clone()
+    }
+
+    /// Adjacency through the pinned topology (non-default layouts only).
+    fn pinned_adjacency(&self, v: VId, elabel: LabelId, out: bool) -> Vec<AdjEntry> {
+        let topo = self.pinned_topology(elabel, out);
+        if v.index() >= topo.vertex_count() {
+            return Vec::new();
+        }
+        let mut entries = Vec::with_capacity(topo.degree(v));
+        topo.for_each_adj(v, |nbr, edge| entries.push(AdjEntry { nbr, edge }));
+        entries
+    }
 }
 
 impl GrinGraph for GraphArStore {
     fn capabilities(&self) -> Capabilities {
-        Capabilities::of(&[
+        let base = Capabilities::of(&[
             Capabilities::VERTEX_LIST_ITER,
             Capabilities::ADJ_LIST_ITER,
             Capabilities::IN_ADJACENCY,
             Capabilities::PROPERTY,
             Capabilities::INDEX_EXTERNAL_ID,
-        ])
+        ]);
+        // Pinned layouts advertise their ordering/compression traits but
+        // GraphAr never offers borrowed adjacency arrays, so there is no
+        // ADJ_LIST_ARRAY to withdraw.
+        let (add, remove) = Capabilities::layout_masks(self.layout);
+        base.union(add).difference(remove)
+    }
+
+    fn topology_layout(&self) -> LayoutKind {
+        self.layout
     }
 
     fn schema(&self) -> &GraphSchema {
@@ -139,13 +228,25 @@ impl GrinGraph for GraphArStore {
         elabel: LabelId,
         dir: Direction,
     ) -> Box<dyn Iterator<Item = AdjEntry> + '_> {
-        let entries = match dir {
-            Direction::Out => self.adjacency(v, elabel, "out"),
-            Direction::In => self.adjacency(v, elabel, "in"),
-            Direction::Both => {
-                let mut o = self.adjacency(v, elabel, "out");
-                o.extend(self.adjacency(v, elabel, "in"));
-                o
+        let entries = if self.layout == LayoutKind::Csr {
+            match dir {
+                Direction::Out => self.adjacency(v, elabel, "out"),
+                Direction::In => self.adjacency(v, elabel, "in"),
+                Direction::Both => {
+                    let mut o = self.adjacency(v, elabel, "out");
+                    o.extend(self.adjacency(v, elabel, "in"));
+                    o
+                }
+            }
+        } else {
+            match dir {
+                Direction::Out => self.pinned_adjacency(v, elabel, true),
+                Direction::In => self.pinned_adjacency(v, elabel, false),
+                Direction::Both => {
+                    let mut o = self.pinned_adjacency(v, elabel, true);
+                    o.extend(self.pinned_adjacency(v, elabel, false));
+                    o
+                }
             }
         };
         Box::new(entries.into_iter())
@@ -168,6 +269,25 @@ impl GrinGraph for GraphArStore {
             Direction::Both => return gs_grin::scan_via_iterators(self, vlabel, elabel, dir, f),
         };
         let n = self.vertex_count(vlabel);
+        if self.layout != LayoutKind::Csr {
+            // Pinned-topology bulk path: decode once, then serve every
+            // vertex from memory.
+            let topo = self.pinned_topology(elabel, matches!(dir, Direction::Out));
+            let mut nbrs = Vec::new();
+            let mut eids = Vec::new();
+            for v in 0..n as u64 {
+                let v = VId(v);
+                if v.index() >= topo.vertex_count() {
+                    f(v, &[], &[]);
+                } else if let Some((ns, es)) = topo.adj_slices(v) {
+                    f(v, ns, es);
+                } else {
+                    topo.as_layout().copy_adj(v, &mut nbrs, &mut eids);
+                    f(v, &nbrs, &eids);
+                }
+            }
+            return true;
+        }
         let base = format!("edge/l{}/{prefix}", elabel.index());
         let nchunks = n.div_ceil(self.meta.vertex_chunk).max(1);
         for k in 0..nchunks {

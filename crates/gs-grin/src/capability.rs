@@ -52,6 +52,14 @@ impl Capabilities {
     /// Mutations are supported on the underlying store.
     pub const MUTABLE: Capabilities = Capabilities(1 << 13);
 
+    // -- layout category --
+    /// Adjacency lists are guaranteed sorted by neighbor id: binary-search
+    /// membership and galloping intersection are valid.
+    pub const SORTED_ADJACENCY: Capabilities = Capabilities(1 << 14);
+    /// Topology is stored delta-varint compressed: no slice access, but
+    /// the smallest memory footprint (decode-on-scan).
+    pub const COMPRESSED_TOPOLOGY: Capabilities = Capabilities(1 << 15);
+
     /// Empty capability set.
     pub const fn empty() -> Self {
         Capabilities(0)
@@ -77,7 +85,7 @@ impl Capabilities {
     }
 
     /// Every flag paired with its name, for diagnostics.
-    const NAMES: [(Capabilities, &'static str); 14] = [
+    const NAMES: [(Capabilities, &'static str); 16] = [
         (Capabilities::VERTEX_LIST_ARRAY, "VERTEX_LIST_ARRAY"),
         (Capabilities::VERTEX_LIST_ITER, "VERTEX_LIST_ITER"),
         (Capabilities::ADJ_LIST_ARRAY, "ADJ_LIST_ARRAY"),
@@ -92,7 +100,44 @@ impl Capabilities {
         (Capabilities::PREDICATE_PUSHDOWN, "PREDICATE_PUSHDOWN"),
         (Capabilities::MVCC, "MVCC"),
         (Capabilities::MUTABLE, "MUTABLE"),
+        (Capabilities::SORTED_ADJACENCY, "SORTED_ADJACENCY"),
+        (Capabilities::COMPRESSED_TOPOLOGY, "COMPRESSED_TOPOLOGY"),
     ];
+
+    /// Capability flags implied by materialising topology in `kind`:
+    /// sorted layouts report [`Capabilities::SORTED_ADJACENCY`], compressed
+    /// layouts additionally report [`Capabilities::COMPRESSED_TOPOLOGY`]
+    /// (and, lacking slices, must NOT report
+    /// [`Capabilities::ADJ_LIST_ARRAY`] — see
+    /// [`Capabilities::layout_masks`]).
+    pub fn of_layout(kind: gs_graph::LayoutKind) -> Capabilities {
+        match kind {
+            gs_graph::LayoutKind::Csr => Capabilities::empty(),
+            gs_graph::LayoutKind::SortedCsr => Capabilities::SORTED_ADJACENCY,
+            gs_graph::LayoutKind::CompressedCsr => {
+                Capabilities::SORTED_ADJACENCY | Capabilities::COMPRESSED_TOPOLOGY
+            }
+        }
+    }
+
+    /// `(add, remove)` capability adjustment for a backend whose base
+    /// capability set assumes plain CSR: layouts without slice access lose
+    /// `ADJ_LIST_ARRAY`, sorted layouts gain the layout flags.
+    pub fn layout_masks(kind: gs_graph::LayoutKind) -> (Capabilities, Capabilities) {
+        let add = Capabilities::of_layout(kind);
+        let remove = if kind.has_slices() {
+            Capabilities::empty()
+        } else {
+            Capabilities::ADJ_LIST_ARRAY
+        };
+        (add, remove)
+    }
+
+    /// Removes every flag in `other` from this set.
+    #[must_use]
+    pub const fn difference(self, other: Capabilities) -> Capabilities {
+        Capabilities(self.0 & !other.0)
+    }
 
     /// Names of the flags in `needed` that this set lacks.
     pub fn missing_names(self, needed: Capabilities) -> Vec<String> {
@@ -198,6 +243,29 @@ mod tests {
         let c = Capabilities::ADJ_LIST_ITER | Capabilities::PROPERTY;
         assert!(c.require(Capabilities::ADJ_LIST_ITER).is_ok());
         assert!(c.require(Capabilities::empty()).is_ok());
+    }
+
+    #[test]
+    fn layout_capability_mapping() {
+        use gs_graph::LayoutKind;
+        assert_eq!(
+            Capabilities::of_layout(LayoutKind::Csr),
+            Capabilities::empty()
+        );
+        assert!(
+            Capabilities::of_layout(LayoutKind::SortedCsr).supports(Capabilities::SORTED_ADJACENCY)
+        );
+        let comp = Capabilities::of_layout(LayoutKind::CompressedCsr);
+        assert!(comp.supports(Capabilities::SORTED_ADJACENCY | Capabilities::COMPRESSED_TOPOLOGY));
+        // compressed loses slice access
+        let (add, remove) = Capabilities::layout_masks(LayoutKind::CompressedCsr);
+        let base = Capabilities::ADJ_LIST_ARRAY | Capabilities::ADJ_LIST_ITER;
+        let adjusted = base.difference(remove).union(add);
+        assert!(!adjusted.supports(Capabilities::ADJ_LIST_ARRAY));
+        assert!(adjusted.supports(Capabilities::ADJ_LIST_ITER));
+        // plain/sorted keep slices
+        let (_, remove) = Capabilities::layout_masks(LayoutKind::SortedCsr);
+        assert_eq!(remove, Capabilities::empty());
     }
 
     #[test]

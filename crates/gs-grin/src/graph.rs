@@ -69,6 +69,14 @@ pub trait GrinGraph: Send + Sync {
     /// Advertised capability set.
     fn capabilities(&self) -> Capabilities;
 
+    /// Which [`gs_graph::LayoutKind`] the backend materialised its
+    /// topology in. Plain CSR by default; backends built with a different
+    /// layout override this and adjust [`GrinGraph::capabilities`]
+    /// accordingly ([`Capabilities::layout_masks`]).
+    fn topology_layout(&self) -> gs_graph::LayoutKind {
+        gs_graph::LayoutKind::Csr
+    }
+
     /// Graph schema (labels + properties).
     fn schema(&self) -> &GraphSchema;
 

@@ -25,5 +25,6 @@ pub use predicate::{CmpOp, EdgePredicate, PropPredicate};
 
 // Re-export the substrate so engine crates can depend on gs-grin alone.
 pub use gs_graph::{
-    EId, GraphError, GraphSchema, LabelId, PropId, PropertyGraphData, Result, VId, Value, ValueType,
+    EId, GraphError, GraphLayout, GraphSchema, LabelId, LayoutKind, PropId, PropertyGraphData,
+    Result, TopologyLayout, VId, Value, ValueType,
 };

@@ -18,6 +18,7 @@
 use gs_graph::csr::Csr;
 use gs_graph::data::PropertyGraphData;
 use gs_graph::ids::IdMap;
+use gs_graph::layout::{LayoutKind, TopologyLayout};
 use gs_graph::props::PropertyTable;
 use gs_graph::value::GroupKey;
 use gs_grin::{
@@ -35,10 +36,13 @@ pub struct VineyardGraph {
     vprops: Vec<PropertyTable>,
     /// Per-edge-label property tables (rows indexed by EId).
     eprops: Vec<PropertyTable>,
-    /// Per-edge-label CSR over the source label's internal ids.
-    out_csr: Vec<Csr>,
-    /// Per-edge-label CSC over the destination label's internal ids.
-    in_csr: Vec<Csr>,
+    /// Per-edge-label out-topology over the source label's internal ids,
+    /// materialised in the configured [`LayoutKind`].
+    out_csr: Vec<TopologyLayout>,
+    /// Per-edge-label in-topology (CSC) over the destination label's ids.
+    in_csr: Vec<TopologyLayout>,
+    /// The topology layout every edge label is stored in.
+    layout: LayoutKind,
     /// Hash property indexes: (vertex label, prop) → value → vertices.
     prop_index: HashMap<(LabelId, PropId), HashMap<GroupKey, Vec<VId>>>,
 }
@@ -48,6 +52,14 @@ impl VineyardGraph {
     /// validated; edges referencing unknown vertices are an error (Vineyard
     /// is immutable, so the full vertex set must be present at build time).
     pub fn build(data: &PropertyGraphData) -> Result<Self> {
+        Self::build_with_layout(data, LayoutKind::Csr)
+    }
+
+    /// [`VineyardGraph::build`] with an explicit topology layout — the
+    /// flexbuild `layout` deployment knob lands here. Adjacency *contents*
+    /// are identical across layouts; only representation (and therefore the
+    /// advertised [`Capabilities`]) changes.
+    pub fn build_with_layout(data: &PropertyGraphData, layout: LayoutKind) -> Result<Self> {
         data.validate()?;
         let schema = data.schema.clone();
         let nvl = schema.vertex_label_count();
@@ -73,8 +85,8 @@ impl VineyardGraph {
         }
 
         let mut eprops: Vec<PropertyTable> = Vec::with_capacity(nel);
-        let mut out_csr: Vec<Csr> = Vec::with_capacity(nel);
-        let mut in_csr: Vec<Csr> = Vec::with_capacity(nel);
+        let mut out_csr: Vec<TopologyLayout> = Vec::with_capacity(nel);
+        let mut in_csr: Vec<TopologyLayout> = Vec::with_capacity(nel);
         for (ldef, batch) in schema.edge_labels().iter().zip(&data.edges) {
             let defs: Vec<(String, _)> = ldef
                 .properties
@@ -101,8 +113,8 @@ impl VineyardGraph {
             // CSC needs dst-label sizing; transpose() keeps edge ids but its
             // vertex domain is the same as csr's. Build explicitly instead.
             let csc = transpose_sized(&csr, id_maps[ldef.dst.index()].len());
-            out_csr.push(csr);
-            in_csr.push(csc);
+            out_csr.push(TopologyLayout::build(layout, csr));
+            in_csr.push(TopologyLayout::build(layout, csc));
             eprops.push(table);
         }
 
@@ -113,8 +125,15 @@ impl VineyardGraph {
             eprops,
             out_csr,
             in_csr,
+            layout,
             prop_index: HashMap::new(),
         })
+    }
+
+    /// The topology layout this store was built with.
+    #[inline]
+    pub fn layout(&self) -> LayoutKind {
+        self.layout
     }
 
     /// Builds a hash index on `(label, prop)` enabling O(1)
@@ -135,21 +154,32 @@ impl VineyardGraph {
 
     /// Out-neighbors of `v` under `elabel` — direct slice access, static
     /// dispatch. The "tightly coupled" path original GraphScope used.
+    /// Panics for compressed layouts, which have no borrowable slices; the
+    /// GRIN iterator/visitor paths work for every layout.
     #[inline]
     pub fn out_neighbors(&self, elabel: LabelId, v: VId) -> &[VId] {
-        self.out_csr[elabel.index()].neighbors(v)
+        self.out_csr[elabel.index()]
+            .adj_slices(v)
+            .expect("native slice API requires an uncompressed layout")
+            .0
     }
 
     /// In-neighbors of `v` under `elabel`.
     #[inline]
     pub fn in_neighbors(&self, elabel: LabelId, v: VId) -> &[VId] {
-        self.in_csr[elabel.index()].neighbors(v)
+        self.in_csr[elabel.index()]
+            .adj_slices(v)
+            .expect("native slice API requires an uncompressed layout")
+            .0
     }
 
     /// Out edge ids parallel to [`VineyardGraph::out_neighbors`].
     #[inline]
     pub fn out_edge_ids(&self, elabel: LabelId, v: VId) -> &[gs_grin::EId] {
-        self.out_csr[elabel.index()].edge_ids(v)
+        self.out_csr[elabel.index()]
+            .adj_slices(v)
+            .expect("native slice API requires an uncompressed layout")
+            .1
     }
 
     /// O(1) out-degree.
@@ -202,7 +232,7 @@ fn transpose_sized(csr: &Csr, dst_n: usize) -> Csr {
 
 impl GrinGraph for VineyardGraph {
     fn capabilities(&self) -> Capabilities {
-        Capabilities::of(&[
+        let base = Capabilities::of(&[
             Capabilities::VERTEX_LIST_ARRAY,
             Capabilities::VERTEX_LIST_ITER,
             Capabilities::ADJ_LIST_ARRAY,
@@ -214,7 +244,16 @@ impl GrinGraph for VineyardGraph {
             Capabilities::INDEX_INTERNAL_ID,
             Capabilities::INDEX_PROPERTY,
             Capabilities::PREDICATE_PUSHDOWN,
-        ])
+        ]);
+        // The layout decides what the adjacency arrays can advertise: a
+        // compressed topology has no borrowable slices, so ADJ_LIST_ARRAY
+        // is withdrawn and consumers fall back to iterators/visitors.
+        let (add, remove) = Capabilities::layout_masks(self.layout);
+        base.union(add).difference(remove)
+    }
+
+    fn topology_layout(&self) -> LayoutKind {
+        self.layout
     }
 
     fn schema(&self) -> &GraphSchema {
@@ -261,13 +300,12 @@ impl GrinGraph for VineyardGraph {
     ) {
         // Array-like fast path: no iterator boxing, one virtual call per
         // scan — this is what keeps GRIN's overhead within the paper's 8%.
-        let mut visit = |csr: &Csr| {
-            if v.index() >= csr.vertex_count() {
+        // Compressed layouts decode inline instead of borrowing slices.
+        let mut visit = |topo: &TopologyLayout| {
+            if v.index() >= topo.vertex_count() {
                 return;
             }
-            for (&nbr, &edge) in csr.neighbors(v).iter().zip(csr.edge_ids(v)) {
-                f(AdjEntry { nbr, edge });
-            }
+            topo.for_each_adj(v, |nbr, edge| f(AdjEntry { nbr, edge }));
         };
         match dir {
             Direction::Out => visit(&self.out_csr[elabel.index()]),
@@ -286,15 +324,16 @@ impl GrinGraph for VineyardGraph {
         elabel: LabelId,
         dir: Direction,
     ) -> Option<(&[VId], &[gs_grin::EId])> {
-        let csr = match dir {
+        let topo = match dir {
             Direction::Out => &self.out_csr[elabel.index()],
             Direction::In => &self.in_csr[elabel.index()],
             Direction::Both => return None,
         };
-        if v.index() >= csr.vertex_count() {
+        if v.index() >= topo.vertex_count() {
             return Some((&[], &[]));
         }
-        Some((csr.neighbors(v), csr.edge_ids(v)))
+        // None for compressed layouts — callers take the iterator path.
+        topo.adj_slices(v)
     }
 
     fn vertex_range(&self, label: LabelId) -> Option<std::ops::Range<u64>> {
@@ -308,17 +347,24 @@ impl GrinGraph for VineyardGraph {
         dir: Direction,
         f: &mut gs_grin::AdjScanFn<'_>,
     ) -> bool {
-        let csr = match dir {
+        let topo = match dir {
             Direction::Out => &self.out_csr[elabel.index()],
             Direction::In => &self.in_csr[elabel.index()],
             Direction::Both => return gs_grin::scan_via_iterators(self, vlabel, elabel, dir, f),
         };
+        // Reused decode buffers keep the compressed path allocation-free
+        // past the first hub vertex.
+        let mut nbrs = Vec::new();
+        let mut eids = Vec::new();
         for v in 0..self.vertex_count(vlabel) as u64 {
             let v = VId(v);
-            if v.index() < csr.vertex_count() {
-                f(v, csr.neighbors(v), csr.edge_ids(v));
-            } else {
+            if v.index() >= topo.vertex_count() {
                 f(v, &[], &[]);
+            } else if let Some((ns, es)) = topo.adj_slices(v) {
+                f(v, ns, es);
+            } else {
+                topo.as_layout().copy_adj(v, &mut nbrs, &mut eids);
+                f(v, &nbrs, &eids);
             }
         }
         true
@@ -327,7 +373,7 @@ impl GrinGraph for VineyardGraph {
     fn degree(&self, v: VId, _vl: LabelId, elabel: LabelId, dir: Direction) -> usize {
         let out = &self.out_csr[elabel.index()];
         let inn = &self.in_csr[elabel.index()];
-        let deg = |c: &Csr| {
+        let deg = |c: &TopologyLayout| {
             if v.index() < c.vertex_count() {
                 c.degree(v)
             } else {
@@ -388,11 +434,18 @@ impl GrinGraph for VineyardGraph {
 
 /// Adjacency iteration that treats out-of-domain vertices as isolated
 /// (multi-label graphs may probe a vertex id past this label's CSR).
-fn safe_adj(csr: &Csr, v: VId) -> Box<dyn Iterator<Item = (VId, gs_grin::EId)> + '_> {
-    if v.index() < csr.vertex_count() {
-        Box::new(csr.adj(v))
+/// Slice-backed layouts iterate zero-copy; compressed ones decode into a
+/// temporary buffer.
+fn safe_adj(topo: &TopologyLayout, v: VId) -> Box<dyn Iterator<Item = (VId, gs_grin::EId)> + '_> {
+    if v.index() >= topo.vertex_count() {
+        return Box::new(std::iter::empty());
+    }
+    if let Some((nbrs, eids)) = topo.adj_slices(v) {
+        Box::new(nbrs.iter().copied().zip(eids.iter().copied()))
     } else {
-        Box::new(std::iter::empty())
+        let mut pairs = Vec::with_capacity(topo.degree(v));
+        topo.for_each_adj(v, |w, e| pairs.push((w, e)));
+        Box::new(pairs.into_iter())
     }
 }
 
@@ -531,6 +584,61 @@ mod tests {
             assert_eq!(eids, expect.iter().map(|a| a.edge).collect::<Vec<_>>());
         }
         assert_eq!(g.vertex_range(buyer), Some(0..2));
+    }
+
+    #[test]
+    fn layouts_serve_identical_adjacency() {
+        let (data, buyer, _, buy, knows) = buyers_graph();
+        let base = VineyardGraph::build(&data).unwrap();
+        assert_eq!(base.layout(), LayoutKind::Csr);
+        for layout in LayoutKind::ALL {
+            let g = VineyardGraph::build_with_layout(&data, layout).unwrap();
+            assert_eq!(g.topology_layout(), layout);
+            for elabel in [buy, knows] {
+                for dir in [Direction::Out, Direction::In, Direction::Both] {
+                    for v in 0..base.vertex_count(buyer) as u64 {
+                        let v = VId(v);
+                        let mut want: Vec<AdjEntry> =
+                            base.adjacent(v, buyer, elabel, dir).collect();
+                        let mut got: Vec<AdjEntry> = g.adjacent(v, buyer, elabel, dir).collect();
+                        want.sort_by_key(|a| (a.nbr, a.edge));
+                        got.sort_by_key(|a| (a.nbr, a.edge));
+                        assert_eq!(got, want, "{layout} {dir:?} v{v:?}");
+                        assert_eq!(
+                            g.degree(v, buyer, elabel, dir),
+                            base.degree(v, buyer, elabel, dir)
+                        );
+                        let mut visited = Vec::new();
+                        g.for_each_adjacent(v, buyer, elabel, dir, &mut |e| visited.push(e));
+                        visited.sort_by_key(|a| (a.nbr, a.edge));
+                        assert_eq!(visited, want, "{layout} visitor {dir:?}");
+                    }
+                }
+                // bulk scan stays available (decoding inline when compressed)
+                let mut rows = 0;
+                assert!(g.scan_adjacency(buyer, elabel, Direction::Out, &mut |_, _, _| rows += 1));
+                assert_eq!(rows, g.vertex_count(buyer));
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_layout_withdraws_array_capability() {
+        let (data, buyer, _, buy, _) = buyers_graph();
+        let g = VineyardGraph::build_with_layout(&data, LayoutKind::CompressedCsr).unwrap();
+        let caps = g.capabilities();
+        assert!(!caps.supports(Capabilities::ADJ_LIST_ARRAY));
+        assert!(caps.supports(Capabilities::COMPRESSED_TOPOLOGY | Capabilities::SORTED_ADJACENCY));
+        assert!(caps.supports(Capabilities::ADJ_LIST_ITER));
+        let a1 = g.internal_id(buyer, 100).unwrap();
+        assert_eq!(g.adjacent_slice(a1, buyer, buy, Direction::Out), None);
+
+        let sorted = VineyardGraph::build_with_layout(&data, LayoutKind::SortedCsr).unwrap();
+        let caps = sorted.capabilities();
+        assert!(caps.supports(Capabilities::ADJ_LIST_ARRAY | Capabilities::SORTED_ADJACENCY));
+        assert!(sorted
+            .adjacent_slice(a1, buyer, buy, Direction::Out)
+            .is_some());
     }
 
     #[test]
