@@ -92,12 +92,18 @@ impl PowerGraphEngine {
                                 0.0
                             };
                             let m = master_of[dst.index()];
-                            senders[m]
+                            // a closed channel means an accumulator died and
+                            // the scope is unwinding — exit, the join surfaces
+                            // the real panic
+                            if senders[m]
                                 .send(GasMsg::Gather(dst, Box::new(share)))
-                                .unwrap();
+                                .is_err()
+                            {
+                                return;
+                            }
                         }
                         for tx in &senders {
-                            tx.send(GasMsg::Done).unwrap();
+                            let _ = tx.send(GasMsg::Done);
                         }
                     });
                 }
@@ -108,7 +114,10 @@ impl PowerGraphEngine {
                     s.spawn(move |_| {
                         let mut done = 0;
                         while done < workers {
-                            match rx.recv().unwrap() {
+                            // disconnect = every sender died; stop instead of
+                            // panicking on top of their panic
+                            let Ok(msg) = rx.recv() else { break };
+                            match msg {
                                 GasMsg::Gather(v, share) => {
                                     *slot.entry(v).or_insert(0.0) += *share;
                                 }
@@ -149,20 +158,25 @@ impl PowerGraphEngine {
                             std::collections::HashSet::new();
                         for &(s_, d) in edges {
                             for v in [s_, d] {
-                                if master_of[v.index()] != w && mirrored.insert(v) {
-                                    senders[w].send(GasMsg::Sync(v, Box::new(0.0))).unwrap();
+                                if master_of[v.index()] != w
+                                    && mirrored.insert(v)
+                                    && senders[w].send(GasMsg::Sync(v, Box::new(0.0))).is_err()
+                                {
+                                    return;
                                 }
                             }
                         }
-                        senders[w].send(GasMsg::Done).unwrap();
+                        let _ = senders[w].send(GasMsg::Done);
                     });
                 }
                 for (_, rx) in &channels {
                     s.spawn(move |_| {
                         let mut done = 0;
                         while done < 1 {
-                            if let GasMsg::Done = rx.recv().unwrap() {
-                                done += 1
+                            match rx.recv() {
+                                Ok(GasMsg::Done) => done += 1,
+                                Ok(_) => {}
+                                Err(_) => break,
                             }
                         }
                     });
@@ -192,8 +206,10 @@ impl PowerGraphEngine {
                         frontier.iter().copied().collect();
                     s.spawn(move |_| {
                         for &(src_, dst) in edges {
-                            if frontier.contains(&src_) {
-                                tx.send((dst, Box::new(level + 1))).unwrap();
+                            if frontier.contains(&src_)
+                                && tx.send((dst, Box::new(level + 1))).is_err()
+                            {
+                                return;
                             }
                         }
                     });

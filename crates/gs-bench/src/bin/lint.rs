@@ -1,0 +1,14 @@
+//! Workspace source-invariant lint gate.
+//!
+//! ```text
+//! lint                    report; fail on deny-level findings
+//! lint --deny             also fail on warn-level findings (the CI bar)
+//! lint --write-registry   regenerate telemetry-registry.txt from DESIGN.md
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let deny = args.iter().any(|a| a == "--deny");
+    let write_registry = args.iter().any(|a| a == "--write-registry");
+    std::process::exit(gs_bench::lint::run(deny, write_registry));
+}

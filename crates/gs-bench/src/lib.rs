@@ -15,6 +15,7 @@ pub mod analytics;
 pub mod chaos;
 pub mod experiments;
 pub mod irlint;
+pub mod lint;
 pub mod sanitize;
 pub mod storm;
 pub mod util;

@@ -1,0 +1,145 @@
+//! `gs-bench lint` — run the gs-lint workspace invariant linter and
+//! print an irlint-style diagnostic table.
+//!
+//! The linter re-checks the stack's cross-cutting source contracts
+//! (tracked sync primitives, deterministic reductions, graceful channel
+//! failure, telemetry-name registry, feature-gate hygiene, injected
+//! clocks) against the workspace's own sources and manifests. See
+//! DESIGN.md §6g for the codes and the suppression story.
+
+use crate::util::TablePrinter;
+use gs_lint::{describe, format_registry, Level, LintConfig, ALL_CODES, REGISTRY_DUMP_FILE};
+use std::path::PathBuf;
+
+/// Walks up from the current directory to the workspace root (the
+/// directory holding both `Cargo.toml` and `crates/`).
+pub fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn level_str(level: Level) -> &'static str {
+    match level {
+        Level::Off => "off",
+        Level::Warn => "warn",
+        Level::Deny => "deny",
+    }
+}
+
+/// Runs the workspace lint. `deny` promotes warnings to failures (the CI
+/// bar); `write_registry` regenerates the machine-readable telemetry-name
+/// dump from DESIGN.md before linting. Returns the process exit code.
+pub fn run(deny: bool, write_registry: bool) -> i32 {
+    let Some(root) = find_workspace_root() else {
+        eprintln!("lint: could not locate the workspace root");
+        return 2;
+    };
+    let cfg = LintConfig::default();
+
+    if write_registry {
+        let design = match std::fs::read_to_string(root.join("DESIGN.md")) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("lint: cannot read DESIGN.md: {e}");
+                return 2;
+            }
+        };
+        let registry = gs_lint::TelemetryRegistry::from_design_md(&design);
+        let dump = format_registry(&registry);
+        if let Err(e) = std::fs::write(root.join(REGISTRY_DUMP_FILE), dump) {
+            eprintln!("lint: cannot write {REGISTRY_DUMP_FILE}: {e}");
+            return 2;
+        }
+        println!("wrote {} names to {REGISTRY_DUMP_FILE}", registry.len());
+    }
+
+    let report = match gs_lint::lint_workspace(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: workspace walk failed: {e}");
+            return 2;
+        }
+    };
+
+    let mut table = TablePrinter::new(&["code", "level", "location", "message"]);
+    for (f, level) in &report.findings {
+        table.row(vec![
+            f.code.to_string(),
+            level_str(*level).to_string(),
+            format!("{}:{}", f.file, f.line),
+            f.message.clone(),
+        ]);
+    }
+    for (file, line, msg) in &report.malformed_allows {
+        table.row(vec![
+            "allow".into(),
+            "deny".into(),
+            format!("{file}:{line}"),
+            format!("malformed suppression: {msg}"),
+        ]);
+    }
+    for (line, msg) in &report.baseline_errors {
+        table.row(vec![
+            "base".into(),
+            "deny".into(),
+            format!("{}:{line}", gs_lint::BASELINE_FILE),
+            format!("malformed baseline entry: {msg}"),
+        ]);
+    }
+    for e in &report.stale_baseline {
+        table.row(vec![
+            e.code.clone(),
+            "deny".into(),
+            format!("{}(baseline)", e.file),
+            format!(
+                "stale baseline entry (matches nothing): delete it — was: {}",
+                e.reason
+            ),
+        ]);
+    }
+    table.print();
+
+    println!(
+        "\n{} files scanned, {} registry names; {} deny, {} warn, {} suppressed \
+         ({} inline, {} baseline), {} hygiene error(s)",
+        report.files_scanned,
+        report.registry_size,
+        report.deny_count(),
+        report.warn_count(),
+        report.suppressed.len(),
+        report
+            .suppressed
+            .iter()
+            .filter(|s| s.mechanism == "inline")
+            .count(),
+        report
+            .suppressed
+            .iter()
+            .filter(|s| s.mechanism == "baseline")
+            .count(),
+        report.hygiene_errors(),
+    );
+    for code in ALL_CODES {
+        println!(
+            "  {code} [{}] {}",
+            level_str(cfg.level(code)),
+            describe(code)
+        );
+    }
+
+    let errors = report.error_count(deny);
+    if errors > 0 {
+        eprintln!("\nlint: {errors} blocking finding(s)");
+        1
+    } else {
+        println!("\nlint: clean");
+        0
+    }
+}

@@ -421,7 +421,11 @@ fn run_phase(
         if due > now {
             std::thread::sleep(due - now);
         }
-        tx.send((idx, due.max(start))).expect("dispatch");
+        if tx.send((idx, due.max(start))).is_err() {
+            // a worker died and its panic will surface at join — stop
+            // dispatching instead of panicking over the closed channel
+            break;
+        }
     }
     drop(tx);
     for h in handles {

@@ -18,10 +18,10 @@ use gs_graph::csr::Csr;
 use gs_graph::layout::{LayoutKind, TopologyLayout};
 use gs_graph::partition::{EdgeCutPartitioner, PartitionId};
 use gs_graph::{EId, VId};
+use gs_sanitizer::TrackedMutex;
 use gs_telemetry::counter;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// One fragment of a partitioned (optionally weighted) graph.
 pub struct Fragment {
@@ -104,14 +104,21 @@ impl Fragment {
         }
         // one fragment's routed share: (index, owned vertices, edges, weights)
         type RoutedShare = (usize, Vec<VId>, Vec<(VId, VId)>, Option<Vec<f64>>);
-        let parts: Vec<Mutex<Option<RoutedShare>>> = inner
+        let parts: Vec<TrackedMutex<Option<RoutedShare>>> = inner
             .into_iter()
             .zip(frag_edges)
             .zip(frag_weights)
             .enumerate()
-            .map(|(i, ((inn, e), w))| Mutex::new(Some((i, inn, e, weights.is_some().then_some(w)))))
+            .map(|(i, ((inn, e), w))| {
+                TrackedMutex::new(
+                    "grape.fragment.part",
+                    Some((i, inn, e, weights.is_some().then_some(w))),
+                )
+            })
             .collect();
-        let slots: Vec<Mutex<Option<Fragment>>> = (0..k).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<TrackedMutex<Option<Fragment>>> = (0..k)
+            .map(|_| TrackedMutex::new("grape.fragment.slot", None))
+            .collect();
         let next = AtomicUsize::new(0);
         let threads = k.min(
             std::thread::available_parallelism()
@@ -136,11 +143,10 @@ impl Fragment {
                         if claimed > 1 {
                             counter!("grape.steal.build_stolen");
                         }
-                        let (idx, inn, e, w) =
-                            parts[i].lock().unwrap().take().expect("task claimed once");
+                        let (idx, inn, e, w) = parts[i].lock().take().expect("task claimed once");
                         let frag =
                             Self::build(PartitionId(idx as u32), router, n, inn, &e, w, layout);
-                        *slots[idx].lock().unwrap() = Some(frag);
+                        *slots[idx].lock() = Some(frag);
                     }
                 });
             }
@@ -149,7 +155,7 @@ impl Fragment {
         counter!("grape.steal.build_tasks"; k as u64);
         slots
             .into_iter()
-            .map(|s| s.into_inner().unwrap().expect("fragment built"))
+            .map(|s| s.into_inner().expect("fragment built"))
             .collect()
     }
 

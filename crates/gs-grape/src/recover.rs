@@ -27,10 +27,11 @@ use crate::engine::{pregel_step, ClusterAborted, CommHandle, GrapeEngine, Pregel
 use crate::fragment::Fragment;
 use crate::messages::OutBuffers;
 use gs_graph::VId;
+use gs_sanitizer::TrackedMutex;
 use gs_telemetry::counter;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Tuning for recoverable runs.
@@ -92,7 +93,7 @@ struct StoreInner<S> {
 /// restore-into-a-fresh-engine test), modelling a checkpoint that survives
 /// a full process replacement.
 pub struct CheckpointStore<S> {
-    inner: Mutex<StoreInner<S>>,
+    inner: TrackedMutex<StoreInner<S>>,
 }
 
 impl<S> Default for CheckpointStore<S> {
@@ -104,17 +105,21 @@ impl<S> Default for CheckpointStore<S> {
 impl<S> CheckpointStore<S> {
     pub fn new() -> Self {
         Self {
-            inner: Mutex::new(StoreInner {
-                staged: HashMap::new(),
-                committed: None,
-            }),
+            inner: TrackedMutex::new(
+                "grape.recover.checkpoint_store",
+                StoreInner {
+                    staged: HashMap::new(),
+                    committed: None,
+                },
+            ),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, StoreInner<S>> {
-        // a chaos-killed worker may die holding the lock; staged state is
-        // overwritten wholesale so the data stays valid
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock(&self) -> impl std::ops::DerefMut<Target = StoreInner<S>> + '_ {
+        // the tracked mutex is non-poisoning: a chaos-killed worker may die
+        // holding it, and staged state is overwritten wholesale so the data
+        // stays valid across that
+        self.inner.lock()
     }
 
     /// Stages fragment `frag`'s snapshot for the checkpoint at `step`.

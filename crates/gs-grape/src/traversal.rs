@@ -29,9 +29,9 @@
 
 use crate::engine::GrapeEngine;
 use gs_graph::VId;
+use gs_sanitizer::{TrackedBarrier, TrackedMutex};
 use gs_telemetry::counter;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
 /// Frontier chunk size for the work-stealing claim loops.
@@ -166,7 +166,7 @@ pub fn bfs_with_policy(
     depth[src.index()].store(0, Ordering::Relaxed);
 
     // per-fragment frontier of inner local ids at the current level
-    let frontiers: Vec<Mutex<Vec<u32>>> = engine
+    let frontiers: Vec<TrackedMutex<Vec<u32>>> = engine
         .fragments
         .iter()
         .map(|f| {
@@ -176,7 +176,7 @@ pub fn bfs_with_policy(
                     fl.push(l);
                 }
             }
-            Mutex::new(fl)
+            TrackedMutex::new("grape.traversal.frontier", fl)
         })
         .collect();
     let init_edges: u64 = engine
@@ -198,11 +198,11 @@ pub fn bfs_with_policy(
     let push_steps = AtomicU64::new(0);
     let pull_steps = AtomicU64::new(0);
     let total_stolen = AtomicU64::new(0);
-    let barrier = Barrier::new(k);
+    let barrier = TrackedBarrier::new("grape.traversal.superstep", k);
     // seed the chunk pool for level 0
     for (i, f) in engine.fragments.iter().enumerate() {
         let limit = if mode.load(Ordering::Relaxed) == MODE_PUSH {
-            frontiers[i].lock().unwrap().len()
+            frontiers[i].lock().len()
         } else {
             f.local_count()
         };
@@ -236,7 +236,7 @@ pub fn bfs_with_policy(
                         while let Some((fi, lo, hi)) = pool.next(me, &mut attempts, &mut stolen) {
                             let f = &fragments[fi];
                             let chunk: Vec<u32> = {
-                                let fl = frontiers[fi].lock().unwrap();
+                                let fl = frontiers[fi].lock();
                                 fl[lo..hi].to_vec()
                             };
                             for &l in &chunk {
@@ -298,7 +298,7 @@ pub fn bfs_with_policy(
                     }
                     next_size.fetch_add(fl.len() as u64, Ordering::Relaxed);
                     next_edges.fetch_add(fe, Ordering::Relaxed);
-                    *frontiers[me].lock().unwrap() = fl;
+                    *frontiers[me].lock() = fl;
                     barrier.wait();
 
                     // coordinator: record telemetry, decide the next mode,
@@ -327,7 +327,7 @@ pub fn bfs_with_policy(
                             mode.store(next_mode, Ordering::Relaxed);
                             for (i, f) in fragments.iter().enumerate() {
                                 let limit = if next_mode == MODE_PUSH {
-                                    frontiers[i].lock().unwrap().len()
+                                    frontiers[i].lock().len()
                                 } else {
                                     f.local_count()
                                 };
@@ -406,7 +406,7 @@ pub fn sssp_with_policy(
     let stamp: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
     stamp[src.index()].store(0, Ordering::Relaxed);
 
-    let actives: Vec<Mutex<Vec<u32>>> = engine
+    let actives: Vec<TrackedMutex<Vec<u32>>> = engine
         .fragments
         .iter()
         .map(|f| {
@@ -416,7 +416,7 @@ pub fn sssp_with_policy(
                     a.push(l);
                 }
             }
-            Mutex::new(a)
+            TrackedMutex::new("grape.traversal.active", a)
         })
         .collect();
 
@@ -429,9 +429,9 @@ pub fn sssp_with_policy(
     let push_steps = AtomicU64::new(0);
     let pull_steps = AtomicU64::new(0);
     let total_stolen = AtomicU64::new(0);
-    let barrier = Barrier::new(k);
+    let barrier = TrackedBarrier::new("grape.traversal.superstep", k);
     for (i, _) in engine.fragments.iter().enumerate() {
-        let limit = actives[i].lock().unwrap().len();
+        let limit = actives[i].lock().len();
         pool.reset(i, limit);
     }
     if policy == TraversalPolicy::PullOnly {
@@ -470,7 +470,7 @@ pub fn sssp_with_policy(
                             let f = &fragments[fi];
                             let ws = f.weights.as_ref().expect("sssp needs weighted fragments");
                             let chunk: Vec<u32> = {
-                                let al = actives[fi].lock().unwrap();
+                                let al = actives[fi].lock();
                                 al[lo..hi].to_vec()
                             };
                             for &l in &chunk {
@@ -525,7 +525,7 @@ pub fn sssp_with_policy(
                     }
                     next_size.fetch_add(al.len() as u64, Ordering::Relaxed);
                     next_edges.fetch_add(ae, Ordering::Relaxed);
-                    *actives[me].lock().unwrap() = al;
+                    *actives[me].lock() = al;
                     barrier.wait();
 
                     if me == 0 {
@@ -552,7 +552,7 @@ pub fn sssp_with_policy(
                             mode.store(next_mode, Ordering::Relaxed);
                             for (i, f) in fragments.iter().enumerate() {
                                 let limit = if next_mode == MODE_PUSH {
-                                    actives[i].lock().unwrap().len()
+                                    actives[i].lock().len()
                                 } else {
                                     f.local_count()
                                 };

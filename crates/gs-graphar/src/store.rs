@@ -15,7 +15,7 @@ use gs_grin::{
     AdjEntry, Capabilities, Direction, GraphError, GraphSchema, GrinGraph, LabelId, PropId, Result,
     VId, Value,
 };
-use parking_lot::Mutex;
+use gs_sanitizer::TrackedMutex;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -32,13 +32,13 @@ enum Chunk {
 pub struct GraphArStore {
     dir: PathBuf,
     meta: Metadata,
-    cache: Mutex<HashMap<ChunkKey, Arc<Chunk>>>,
+    cache: TrackedMutex<HashMap<ChunkKey, Arc<Chunk>>>,
     /// Requested topology layout. `Csr` keeps the chunk-lazy default;
     /// other layouts pin each edge label's topology in memory on first
     /// touch (see [`GraphArStore::open_with_layout`]).
     layout: LayoutKind,
     /// Pinned per-(edge label, direction) topologies, built lazily.
-    topo: Mutex<HashMap<(LabelId, bool), Arc<TopologyLayout>>>,
+    topo: TrackedMutex<HashMap<(LabelId, bool), Arc<TopologyLayout>>>,
 }
 
 impl GraphArStore {
@@ -57,9 +57,9 @@ impl GraphArStore {
         Ok(Self {
             dir: dir.to_path_buf(),
             meta,
-            cache: Mutex::new(HashMap::new()),
+            cache: TrackedMutex::new("graphar.chunk_cache", HashMap::new()),
             layout,
-            topo: Mutex::new(HashMap::new()),
+            topo: TrackedMutex::new("graphar.topo_cache", HashMap::new()),
         })
     }
 

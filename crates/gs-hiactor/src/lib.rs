@@ -276,7 +276,7 @@ impl Default for ServiceConfig {
 pub struct QueryService {
     runtime: Arc<HiActorRuntime>,
     procedures: SharedCell<HashMap<String, ProcEntry>>,
-    breakers: parking_lot::Mutex<HashMap<String, CircuitBreaker>>,
+    breakers: gs_sanitizer::TrackedMutex<HashMap<String, CircuitBreaker>>,
     config: ServiceConfig,
     verify: gs_ir::VerifyLevel,
 }
@@ -287,7 +287,7 @@ impl QueryService {
         Self {
             runtime: Arc::new(HiActorRuntime::new(shards)),
             procedures: SharedCell::new("hiactor.procedures", HashMap::new()),
-            breakers: parking_lot::Mutex::new(HashMap::new()),
+            breakers: gs_sanitizer::TrackedMutex::new("hiactor.breakers", HashMap::new()),
             config: ServiceConfig::default(),
             verify: gs_ir::VerifyLevel::default(),
         }

@@ -1,0 +1,469 @@
+//! A small Rust lexer: enough token fidelity for source-level lints.
+//!
+//! This is not a compiler frontend — it produces a flat token stream with
+//! line numbers plus a side list of comments (for `// gs-lint: allow(...)`
+//! suppressions). What it must get *right*, because the lints pattern-match
+//! on identifiers and string literals, is everything that could make a
+//! naive scanner misread where code ends and text begins:
+//!
+//! * raw strings `r"…"` / `r#"…"#` (any hash depth) and their byte forms,
+//! * nested block comments `/* /* */ */`,
+//! * lifetimes (`'a`) vs char literals (`'a'`, `'\''`, `'\u{1F600}'`),
+//! * numeric literals (`1.0e-3`, `0xFF_u64`, `0..n` stays three tokens).
+
+/// What kind of token this is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, `r#type`).
+    Ident,
+    /// A lifetime such as `'a` (without the quote).
+    Lifetime,
+    /// String literal (cooked, raw, or byte); `text` is the body without
+    /// quotes/hashes and without unescaping.
+    Str,
+    /// Character or byte literal; `text` is the body without quotes.
+    Char,
+    /// Numeric literal, suffix included.
+    Num,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// A line comment's 1-based line and body (text after `//`), or a block
+/// comment's starting line and full body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Lexer output: the token stream and the comments that were skipped.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Unterminated constructs consume to end of input
+/// rather than erroring: the linter must degrade gracefully on any file
+/// the real compiler would reject anyway.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Lexed {
+        while let Some(&b) = self.src.get(self.pos) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' if self.raw_or_byte_prefix() => {}
+                b'"' => self.string(self.pos),
+                b'\'' => self.quote(),
+                b if b.is_ascii_digit() => self.number(),
+                b if is_ident_start(b) => self.ident(),
+                _ => {
+                    self.push(TokKind::Punct, (b as char).to_string(), self.line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    /// Advances past `n` bytes, counting newlines.
+    fn advance(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.src.get(self.pos) == Some(&b'\n') {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos + 2;
+        let mut end = start;
+        while end < self.src.len() && self.src[end] != b'\n' {
+            end += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.out.comments.push(Comment {
+            line: self.line,
+            text,
+        });
+        self.pos = end;
+    }
+
+    /// Block comment with nesting, per the Rust reference.
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos + 2;
+        self.advance(2);
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.advance(2);
+            } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.advance(2);
+            } else {
+                self.advance(1);
+            }
+        }
+        let end = self.pos.saturating_sub(2).max(start);
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`, and raw
+    /// identifiers `r#ident`. Returns true if it consumed something;
+    /// false means the leading `r`/`b` is an ordinary identifier start.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let b0 = self.src[self.pos];
+        // b'x' byte char
+        if b0 == b'b' && self.peek(1) == Some(b'\'') {
+            self.pos += 1; // skip the b; quote() handles the rest as a char
+            self.quote_char();
+            return true;
+        }
+        // b"..." byte string
+        if b0 == b'b' && self.peek(1) == Some(b'"') {
+            self.pos += 1;
+            self.string(self.pos);
+            return true;
+        }
+        // raw forms: r" r# br" br#
+        let (hash_at, is_raw) = match (b0, self.peek(1)) {
+            (b'r', Some(b'"')) | (b'r', Some(b'#')) => (1, true),
+            (b'b', Some(b'r')) if matches!(self.peek(2), Some(b'"') | Some(b'#')) => (2, true),
+            _ => (0, false),
+        };
+        if !is_raw {
+            return false;
+        }
+        let mut hashes = 0usize;
+        let mut i = self.pos + hash_at;
+        while self.src.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        if self.src.get(i) != Some(&b'"') {
+            // r#ident — a raw identifier, not a string
+            if hashes == 1
+                && b0 == b'r'
+                && self.src.get(i).map(|&b| is_ident_start(b)) == Some(true)
+            {
+                let line = self.line;
+                self.pos = i;
+                let start = self.pos;
+                while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                    self.pos += 1;
+                }
+                let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                self.push(TokKind::Ident, text, line);
+                return true;
+            }
+            return false;
+        }
+        // raw string: scan for `"` followed by `hashes` hashes
+        let line = self.line;
+        self.advance(i + 1 - self.pos); // past opening quote
+        let body_start = self.pos;
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'"') => {
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if self.peek(1 + h) != Some(b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        let body =
+                            String::from_utf8_lossy(&self.src[body_start..self.pos]).into_owned();
+                        self.advance(1 + hashes);
+                        self.push(TokKind::Str, body, line);
+                        return true;
+                    }
+                    self.advance(1);
+                }
+                _ => self.advance(1),
+            }
+        }
+        let body = String::from_utf8_lossy(&self.src[body_start..self.pos]).into_owned();
+        self.push(TokKind::Str, body, line);
+        true
+    }
+
+    /// Cooked string starting at the opening quote (`self.pos` is `"`).
+    fn string(&mut self, _open: usize) {
+        let line = self.line;
+        self.advance(1);
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.advance(2),
+                b'"' => break,
+                _ => self.advance(1),
+            }
+        }
+        let body = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.advance(1); // closing quote (or EOF no-op)
+        self.push(TokKind::Str, body, line);
+    }
+
+    /// `'` — lifetime or char literal. A lifetime is `'ident` NOT followed
+    /// by a closing `'`; everything else is a char literal.
+    fn quote(&mut self) {
+        // lifetime lookahead: 'ident not followed by '
+        if self
+            .peek(1)
+            .map(|b| is_ident_start(b) && b != b'\'')
+            .unwrap_or(false)
+        {
+            let mut i = self.pos + 1;
+            while self.src.get(i).map(|&b| is_ident_continue(b)) == Some(true) {
+                i += 1;
+            }
+            if self.src.get(i) != Some(&b'\'') {
+                let line = self.line;
+                let text = String::from_utf8_lossy(&self.src[self.pos + 1..i]).into_owned();
+                self.pos = i;
+                self.push(TokKind::Lifetime, text, line);
+                return;
+            }
+        }
+        self.quote_char();
+    }
+
+    /// Char literal starting at `'` (escapes included).
+    fn quote_char(&mut self) {
+        let line = self.line;
+        self.advance(1);
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.advance(2),
+                b'\'' => break,
+                _ => self.advance(1),
+            }
+        }
+        let body = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.advance(1);
+        self.push(TokKind::Char, body, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        // integer part (covers 0x/0o/0b prefixes via the alnum loop)
+        while self
+            .peek(0)
+            .map(|b| b.is_ascii_alphanumeric() || b == b'_')
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        // fraction: a dot followed by a digit (so `0..n` is untouched)
+        if self.peek(0) == Some(b'.') && self.peek(1).map(|b| b.is_ascii_digit()).unwrap_or(false) {
+            self.pos += 1;
+            while self
+                .peek(0)
+                .map(|b| b.is_ascii_alphanumeric() || b == b'_')
+                .unwrap_or(false)
+            {
+                self.pos += 1;
+            }
+        }
+        // exponent sign: `1e-3` — the alnum loop stops at `-`
+        if matches!(
+            self.src.get(self.pos.wrapping_sub(1)),
+            Some(b'e') | Some(b'E')
+        ) && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+            && self.peek(1).map(|b| b.is_ascii_digit()).unwrap_or(false)
+        {
+            self.pos += 1;
+            while self
+                .peek(0)
+                .map(|b| b.is_ascii_alphanumeric() || b == b'_')
+                .unwrap_or(false)
+            {
+                self.pos += 1;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Num, text, line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.peek(0).map(is_ident_continue).unwrap_or(false) {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a.b(c);");
+        assert_eq!(toks[0], (TokKind::Ident, "let".into()));
+        assert_eq!(toks[3], (TokKind::Ident, "a".into()));
+        assert_eq!(toks[4], (TokKind::Punct, ".".into()));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let toks = kinds(r####"let s = r#"has "quotes" inside"#;"####);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t == r#"has "quotes" inside"#));
+        let toks = kinds("let s = r\"plain raw\";");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t == "plain raw"));
+        // double-hash raw string containing a single-hash terminator-lookalike
+        let toks = kinds("r##\"inner \"# still going\"##");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t == "inner \"# still going"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert_eq!(toks[1], (TokKind::Ident, "type".into()));
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped_whole() {
+        let lexed = lex("a /* outer /* inner */ still comment */ b");
+        let idents: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(idents, ["a", "b"]);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let q = '\\''; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2, "two 'a lifetimes: {toks:?}");
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(chars.len(), 2, "char 'a' and escaped quote: {toks:?}");
+    }
+
+    #[test]
+    fn unicode_escape_in_char() {
+        let toks = kinds(r"let c = '\u{1F600}';");
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Char));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("for i in 0..n {}");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "0"));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokKind::Punct && t == ".")
+                .count(),
+            2
+        );
+        let toks = kinds("let x = 1.5e-3f64 + 0xFF_u64;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Num && t == "1.5e-3f64"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Num && t == "0xFF_u64"));
+    }
+
+    #[test]
+    fn line_comments_captured_with_lines() {
+        let lexed = lex("x\n// gs-lint: allow(L001 because reasons)\ny");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("allow(L001"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"let a = b"bytes"; let c = b'x';"#);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Str && t == "bytes"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "x"));
+    }
+
+    #[test]
+    fn multiline_string_tracks_lines() {
+        let lexed = lex("let s = \"a\nb\";\nlet t = 1;");
+        let num = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Num)
+            .unwrap();
+        assert_eq!(num.line, 3);
+    }
+}

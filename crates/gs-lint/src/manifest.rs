@@ -1,0 +1,183 @@
+//! A tiny Cargo.toml reader: just enough TOML for feature-gate hygiene.
+//!
+//! gs-lint has no crates.io access, so it reads manifests with a
+//! line-oriented subset parser: `[section]` headers, `key = "string"`,
+//! `key = [ "array", "of", "strings" ]` (single- or multi-line, with
+//! comments), dotted keys (`gs-sanitizer.workspace = true`), and inline
+//! tables (`{ path = "..", optional = true }`). Everything the workspace's
+//! own manifests actually use — and nothing more.
+
+use std::collections::BTreeMap;
+
+/// The subset of a Cargo.toml the lints need.
+#[derive(Debug, Default, Clone)]
+pub struct Manifest {
+    /// `[package] name`.
+    pub package_name: Option<String>,
+    /// Keys of `[dependencies]` (dep names, dotted keys collapsed).
+    pub dependencies: Vec<String>,
+    /// Keys of `[dev-dependencies]`.
+    pub dev_dependencies: Vec<String>,
+    /// `[features]`: name → forwarded entries (`"gs-sanitizer/sanitize"`).
+    pub features: BTreeMap<String, Vec<String>>,
+}
+
+impl Manifest {
+    /// True if `feature` is declared in `[features]`.
+    pub fn declares_feature(&self, feature: &str) -> bool {
+        self.features.contains_key(feature)
+    }
+
+    /// True if `[features] feature` forwards `entry` (exact match).
+    pub fn forwards(&self, feature: &str, entry: &str) -> bool {
+        self.features
+            .get(feature)
+            .map(|v| v.iter().any(|e| e == entry))
+            .unwrap_or(false)
+    }
+}
+
+/// Strips a trailing `#` comment that is not inside a string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Extracts all `"quoted"` strings from a snippet.
+fn quoted_strings(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = s;
+    while let Some(start) = rest.find('"') {
+        let tail = &rest[start + 1..];
+        match tail.find('"') {
+            Some(end) => {
+                out.push(tail[..end].to_string());
+                rest = &tail[end + 1..];
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Parses manifest text. Unknown constructs are skipped, not errors.
+pub fn parse(text: &str) -> Manifest {
+    let mut m = Manifest::default();
+    let mut section = String::new();
+    let mut lines = text.lines().peekable();
+    while let Some(raw) = lines.next() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line
+                .trim_matches(|c| c == '[' || c == ']')
+                .trim()
+                .to_string();
+            // `[dependencies.foo]` long-form dep tables
+            if let Some(dep) = section.strip_prefix("dependencies.") {
+                m.dependencies.push(dep.to_string());
+            }
+            if let Some(dep) = section.strip_prefix("dev-dependencies.") {
+                m.dev_dependencies.push(dep.to_string());
+            }
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let key_full = line[..eq].trim();
+        // dotted keys: `gs-sanitizer.workspace = true` → dep "gs-sanitizer"
+        let key = key_full
+            .split('.')
+            .next()
+            .unwrap_or(key_full)
+            .trim_matches('"');
+        let mut value = line[eq + 1..].trim().to_string();
+        // multi-line arrays: keep consuming until brackets balance
+        while value.matches('[').count() > value.matches(']').count() {
+            match lines.next() {
+                Some(next) => {
+                    value.push(' ');
+                    value.push_str(strip_comment(next).trim());
+                }
+                None => break,
+            }
+        }
+        match section.as_str() {
+            "package" if key == "name" => {
+                m.package_name = quoted_strings(&value).into_iter().next();
+            }
+            "dependencies" => m.dependencies.push(key.to_string()),
+            "dev-dependencies" => m.dev_dependencies.push(key.to_string()),
+            "features" => {
+                m.features.insert(key.to_string(), quoted_strings(&value));
+            }
+            _ => {}
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+[package]
+name = "gs-example" # trailing comment
+version.workspace = true
+
+[dependencies]
+gs-sanitizer.workspace = true
+gs-telemetry = { path = "../gs-telemetry" }
+parking_lot.workspace = true
+
+[dev-dependencies]
+proptest.workspace = true
+
+[features]
+# forwards instrumentation downward
+sanitize = [
+    "gs-sanitizer/sanitize",  # the defining crate
+    "gs-telemetry/sanitize",
+]
+chaos = ["gs-chaos/chaos"]
+empty = []
+"#;
+
+    #[test]
+    fn parses_the_workspace_manifest_shape() {
+        let m = parse(SAMPLE);
+        assert_eq!(m.package_name.as_deref(), Some("gs-example"));
+        assert_eq!(
+            m.dependencies,
+            vec!["gs-sanitizer", "gs-telemetry", "parking_lot"]
+        );
+        assert_eq!(m.dev_dependencies, vec!["proptest"]);
+        assert!(m.declares_feature("sanitize"));
+        assert!(m.forwards("sanitize", "gs-sanitizer/sanitize"));
+        assert!(m.forwards("sanitize", "gs-telemetry/sanitize"));
+        assert!(m.forwards("chaos", "gs-chaos/chaos"));
+        assert!(!m.forwards("sanitize", "gs-grape/sanitize"));
+        assert_eq!(m.features["empty"], Vec::<String>::new());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let m = parse("[package]\nname = \"has#hash\"\n");
+        assert_eq!(m.package_name.as_deref(), Some("has#hash"));
+    }
+
+    #[test]
+    fn long_form_dep_tables() {
+        let m = parse("[dependencies.gs-graph]\npath = \"../gs-graph\"\n");
+        assert_eq!(m.dependencies, vec!["gs-graph"]);
+    }
+}

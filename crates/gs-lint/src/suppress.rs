@@ -1,0 +1,309 @@
+//! Suppressions: inline `// gs-lint: allow(Lxxx reason)` comments and the
+//! committed baseline file.
+//!
+//! Both mechanisms require a written justification — an allow without a
+//! reason does not suppress anything. Inline allows apply to findings of
+//! the named code on the comment's own line or the line directly below
+//! (so both trailing and preceding-line comments work). The baseline file
+//! keys findings by `(code, file, normalized snippet, occurrence)` so
+//! entries survive unrelated line drift, and stale entries (matching
+//! nothing) are themselves reported — a baseline can only shrink honestly.
+
+use crate::diag::{normalize_snippet, Finding, ALL_CODES};
+use crate::lexer::Comment;
+use std::collections::HashMap;
+
+/// One parsed inline allow.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InlineAllow {
+    pub code: &'static str,
+    pub line: u32,
+    pub reason: String,
+}
+
+/// Parses every well-formed `gs-lint: allow(Lxxx reason)` in `comments`.
+/// Malformed allows (unknown code, empty reason) are returned separately
+/// so the caller can surface them instead of silently ignoring them.
+pub fn parse_inline_allows(comments: &[Comment]) -> (Vec<InlineAllow>, Vec<(u32, String)>) {
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    for c in comments {
+        // doc comments (`///`, `//!`) are documentation, not suppressions —
+        // they may legitimately describe the allow syntax itself
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let mut rest = c.text.as_str();
+        while let Some(at) = rest.find("gs-lint:") {
+            rest = &rest[at + "gs-lint:".len()..];
+            let trimmed = rest.trim_start();
+            let Some(args) = trimmed.strip_prefix("allow(") else {
+                malformed.push((c.line, "expected `allow(...)` after `gs-lint:`".into()));
+                continue;
+            };
+            let Some(close) = args.find(')') else {
+                malformed.push((c.line, "unclosed `allow(`".into()));
+                continue;
+            };
+            let body = &args[..close];
+            rest = &args[close + 1..];
+            let (code_str, reason) = match body.split_once([' ', ':', ',']) {
+                Some((code, reason)) => (code.trim(), reason.trim()),
+                None => (body.trim(), ""),
+            };
+            let Some(code) = ALL_CODES.iter().find(|c| **c == code_str) else {
+                malformed.push((c.line, format!("unknown code `{code_str}` in allow")));
+                continue;
+            };
+            if reason.is_empty() {
+                malformed.push((
+                    c.line,
+                    format!("allow({code}) without a justification does not suppress"),
+                ));
+                continue;
+            }
+            allows.push(InlineAllow {
+                code,
+                line: c.line,
+                reason: reason.to_string(),
+            });
+        }
+    }
+    (allows, malformed)
+}
+
+/// Returns the allow covering `finding`, if any. An allow on line N
+/// covers findings on N (trailing comment) and N+1 (preceding comment).
+pub fn matching_allow<'a>(allows: &'a [InlineAllow], finding: &Finding) -> Option<&'a InlineAllow> {
+    allows
+        .iter()
+        .find(|a| a.code == finding.code && (a.line == finding.line || a.line + 1 == finding.line))
+}
+
+/// One committed baseline entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub code: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 0-based occurrence index among identical (code, file, snippet).
+    pub occurrence: u32,
+    /// Whitespace-normalized offending line.
+    pub snippet: String,
+    /// Why this finding is acceptable.
+    pub reason: String,
+}
+
+/// Parses the baseline format: tab-separated
+/// `CODE<TAB>path<TAB>occurrence<TAB>snippet<TAB>reason`, with `#`
+/// comment lines and blank lines ignored. Malformed lines are returned
+/// as errors with their 1-based line numbers.
+pub fn parse_baseline(text: &str) -> (Vec<BaselineEntry>, Vec<(u32, String)>) {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i as u32 + 1;
+        let line = raw.trim_end();
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 5 {
+            errors.push((
+                line_no,
+                format!("expected 5 tab-separated fields, got {}", fields.len()),
+            ));
+            continue;
+        }
+        let Ok(occurrence) = fields[2].parse::<u32>() else {
+            errors.push((line_no, format!("bad occurrence index `{}`", fields[2])));
+            continue;
+        };
+        if !ALL_CODES.contains(&fields[0]) {
+            errors.push((line_no, format!("unknown code `{}`", fields[0])));
+            continue;
+        }
+        if fields[4].trim().is_empty() {
+            errors.push((line_no, "baseline entry without a justification".into()));
+            continue;
+        }
+        entries.push(BaselineEntry {
+            code: fields[0].to_string(),
+            file: fields[1].to_string(),
+            occurrence,
+            snippet: normalize_snippet(fields[3]),
+            reason: fields[4].trim().to_string(),
+        });
+    }
+    (entries, errors)
+}
+
+/// Renders entries back into the committed format (round-trips with
+/// [`parse_baseline`]).
+pub fn format_baseline(entries: &[BaselineEntry]) -> String {
+    let mut out = String::from(
+        "# gs-lint baseline: justified, pre-existing findings.\n\
+         # CODE\tfile\toccurrence\tsnippet\treason\n",
+    );
+    for e in entries {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\n",
+            e.code, e.file, e.occurrence, e.snippet, e.reason
+        ));
+    }
+    out
+}
+
+/// Splits `findings` into (kept, suppressed-with-reason) against the
+/// baseline, and reports entries that matched nothing as stale.
+pub fn apply_baseline(
+    findings: Vec<Finding>,
+    baseline: &[BaselineEntry],
+) -> (Vec<Finding>, Vec<(Finding, String)>, Vec<BaselineEntry>) {
+    // occurrence counters per (code, file, snippet)
+    let mut seen: HashMap<(String, String, String), u32> = HashMap::new();
+    let mut used = vec![false; baseline.len()];
+    let mut kept = Vec::new();
+    let mut suppressed = Vec::new();
+    for f in findings {
+        let key = (f.code.to_string(), f.file.clone(), f.snippet.clone());
+        let occ = {
+            let c = seen.entry(key).or_insert(0);
+            let v = *c;
+            *c += 1;
+            v
+        };
+        let hit = baseline.iter().enumerate().find(|(_, e)| {
+            e.code == f.code && e.file == f.file && e.snippet == f.snippet && e.occurrence == occ
+        });
+        match hit {
+            Some((i, e)) => {
+                used[i] = true;
+                suppressed.push((f, e.reason.clone()));
+            }
+            None => kept.push(f),
+        }
+    }
+    let stale = baseline
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    (kept, suppressed, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::L001;
+
+    fn finding(code: &'static str, file: &str, line: u32, snippet: &str) -> Finding {
+        Finding {
+            code,
+            file: file.into(),
+            line,
+            message: "m".into(),
+            snippet: normalize_snippet(snippet),
+        }
+    }
+
+    #[test]
+    fn inline_allow_parses_and_matches_both_placements() {
+        let comments = vec![Comment {
+            line: 10,
+            text: " gs-lint: allow(L001 init-only lock, single-threaded)".into(),
+        }];
+        let (allows, malformed) = parse_inline_allows(&comments);
+        assert!(malformed.is_empty());
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].code, "L001");
+        assert_eq!(allows[0].reason, "init-only lock, single-threaded");
+        // trailing (same line) and preceding (next line) both covered
+        assert!(matching_allow(&allows, &finding(L001, "f", 10, "x")).is_some());
+        assert!(matching_allow(&allows, &finding(L001, "f", 11, "x")).is_some());
+        assert!(matching_allow(&allows, &finding(L001, "f", 12, "x")).is_none());
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed_and_does_not_suppress() {
+        let comments = vec![Comment {
+            line: 3,
+            text: "gs-lint: allow(L003)".into(),
+        }];
+        let (allows, malformed) = parse_inline_allows(&comments);
+        assert!(allows.is_empty());
+        assert_eq!(malformed.len(), 1);
+        assert!(malformed[0].1.contains("justification"));
+    }
+
+    #[test]
+    fn allow_with_unknown_code_is_malformed() {
+        let comments = vec![Comment {
+            line: 1,
+            text: "gs-lint: allow(L999 whatever)".into(),
+        }];
+        let (allows, malformed) = parse_inline_allows(&comments);
+        assert!(allows.is_empty());
+        assert_eq!(malformed.len(), 1);
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let entries = vec![
+            BaselineEntry {
+                code: "L001".into(),
+                file: "crates/x/src/lib.rs".into(),
+                occurrence: 0,
+                snippet: "static GLOBAL: OnceLock<parking_lot::Mutex<Registry>> = …".into(),
+                reason: "recording substrate for the sanitizer itself".into(),
+            },
+            BaselineEntry {
+                code: "L006".into(),
+                file: "crates/y/src/z.rs".into(),
+                occurrence: 2,
+                snippet: "let t = Instant::now();".into(),
+                reason: "diagnostic-only; value never reaches replayed state".into(),
+            },
+        ];
+        let (parsed, errors) = parse_baseline(&format_baseline(&entries));
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn baseline_rejects_missing_reason_and_bad_code() {
+        let text = "L001\tf.rs\t0\tsnippet\t\nL999\tf.rs\t0\tsnippet\treason\n";
+        let (entries, errors) = parse_baseline(text);
+        assert!(entries.is_empty());
+        assert_eq!(errors.len(), 2);
+    }
+
+    #[test]
+    fn apply_baseline_suppresses_by_occurrence_and_reports_stale() {
+        let f1 = finding(L001, "a.rs", 5, "use std::sync::Mutex;");
+        let f2 = finding(L001, "a.rs", 9, "use std::sync::Mutex;");
+        let baseline = vec![
+            BaselineEntry {
+                code: "L001".into(),
+                file: "a.rs".into(),
+                occurrence: 1,
+                snippet: "use std::sync::Mutex;".into(),
+                reason: "second one is init-only".into(),
+            },
+            BaselineEntry {
+                code: "L001".into(),
+                file: "gone.rs".into(),
+                occurrence: 0,
+                snippet: "whatever".into(),
+                reason: "stale".into(),
+            },
+        ];
+        let (kept, suppressed, stale) = apply_baseline(vec![f1.clone(), f2.clone()], &baseline);
+        assert_eq!(kept, vec![f1]);
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(suppressed[0].0, f2);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].file, "gone.rs");
+    }
+}

@@ -1,0 +1,171 @@
+//! Workspace discovery: which files and manifests get linted.
+//!
+//! The walker mirrors the cargo layout: the root package plus every
+//! crate under `crates/`, each contributing `src/` (production code) and
+//! `tests/`, `benches/`, `examples/` (test-ish code, exempt from most
+//! lints). `vendor/` sources are external API shims and are never linted,
+//! but their manifests are still parsed so feature-forwarding checks know
+//! which vendored crates declare `sanitize`/`chaos`.
+
+use crate::manifest::{self, Manifest};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One `.rs` file to lint.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    pub abs_path: PathBuf,
+    /// Owning crate's package name.
+    pub crate_name: String,
+    /// Under `tests/`, `benches/`, or `examples/`.
+    pub is_test_file: bool,
+}
+
+/// One workspace crate (root package included).
+#[derive(Debug)]
+pub struct CrateInfo {
+    pub name: String,
+    /// Workspace-relative Cargo.toml path.
+    pub manifest_rel: String,
+    pub manifest: Manifest,
+    /// 1-based line of the `[features]` header (1 if absent).
+    pub features_line: u32,
+}
+
+/// Everything discovery found.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    pub crates: Vec<CrateInfo>,
+    /// Manifests of vendored crates (sources are not linted).
+    pub vendor: Vec<Manifest>,
+}
+
+impl Workspace {
+    /// feature name → set of package names (workspace + vendor) that
+    /// declare it in `[features]`.
+    pub fn feature_declarers(&self) -> BTreeMap<String, BTreeSet<String>> {
+        let mut map: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let all = self
+            .crates
+            .iter()
+            .map(|c| &c.manifest)
+            .chain(self.vendor.iter());
+        for m in all {
+            if let Some(name) = &m.package_name {
+                for feature in m.features.keys() {
+                    map.entry(feature.clone()).or_default().insert(name.clone());
+                }
+            }
+        }
+        map
+    }
+}
+
+fn features_line_of(text: &str) -> u32 {
+    text.lines()
+        .position(|l| l.trim() == "[features]")
+        .map(|i| i as u32 + 1)
+        .unwrap_or(1)
+}
+
+fn collect_rs(dir: &Path, rel: &str, crate_name: &str, testish: bool, out: &mut Vec<SourceFile>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()).map(String::from) else {
+            continue;
+        };
+        let child_rel = format!("{rel}/{name}");
+        if path.is_dir() {
+            collect_rs(&path, &child_rel, crate_name, testish, out);
+        } else if name.ends_with(".rs") {
+            out.push(SourceFile {
+                rel_path: child_rel,
+                abs_path: path,
+                crate_name: crate_name.to_string(),
+                is_test_file: testish,
+            });
+        }
+    }
+}
+
+/// (dir name, is test-ish) pairs scanned inside each crate.
+const CRATE_DIRS: [(&str, bool); 4] = [
+    ("src", false),
+    ("tests", true),
+    ("benches", true),
+    ("examples", true),
+];
+
+fn load_crate(root: &Path, dir_rel: &str, out: &mut Workspace) -> io::Result<()> {
+    let dir = if dir_rel.is_empty() {
+        root.to_path_buf()
+    } else {
+        root.join(dir_rel)
+    };
+    let manifest_path = dir.join("Cargo.toml");
+    let Ok(text) = fs::read_to_string(&manifest_path) else {
+        return Ok(());
+    };
+    let m = manifest::parse(&text);
+    let Some(name) = m.package_name.clone() else {
+        return Ok(()); // virtual manifest without a package
+    };
+    let manifest_rel = if dir_rel.is_empty() {
+        "Cargo.toml".to_string()
+    } else {
+        format!("{dir_rel}/Cargo.toml")
+    };
+    for (sub, testish) in CRATE_DIRS {
+        let sub_rel = if dir_rel.is_empty() {
+            sub.to_string()
+        } else {
+            format!("{dir_rel}/{sub}")
+        };
+        collect_rs(&dir.join(sub), &sub_rel, &name, testish, &mut out.files);
+    }
+    out.crates.push(CrateInfo {
+        name,
+        manifest_rel,
+        manifest: m,
+        features_line: features_line_of(&text),
+    });
+    Ok(())
+}
+
+/// Walks the workspace at `root`: root package, `crates/*`, and vendor
+/// manifests. Files are returned sorted by path for deterministic output.
+pub fn discover(root: &Path) -> io::Result<Workspace> {
+    let mut ws = Workspace::default();
+    load_crate(root, "", &mut ws)?;
+    for sub in ["crates", "vendor"] {
+        let Ok(entries) = fs::read_dir(root.join(sub)) else {
+            continue;
+        };
+        let mut names: Vec<String> = entries
+            .flatten()
+            .filter(|e| e.path().is_dir())
+            .filter_map(|e| e.file_name().to_str().map(String::from))
+            .collect();
+        names.sort();
+        for name in names {
+            if sub == "crates" {
+                load_crate(root, &format!("crates/{name}"), &mut ws)?;
+            } else {
+                let path = root.join(sub).join(&name).join("Cargo.toml");
+                if let Ok(text) = fs::read_to_string(&path) {
+                    ws.vendor.push(manifest::parse(&text));
+                }
+            }
+        }
+    }
+    ws.files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(ws)
+}

@@ -97,7 +97,7 @@ pub struct AdmissionController {
     config: AdmissionConfig,
     inflight: Arc<AtomicUsize>,
     tenants: SharedCell<HashMap<String, Arc<AtomicUsize>>>,
-    breaker: parking_lot::Mutex<CircuitBreaker>,
+    breaker: gs_sanitizer::TrackedMutex<CircuitBreaker>,
     admitted: AtomicU64,
     shed: [AtomicU64; 3],
     breaker_rejections: AtomicU64,
@@ -123,7 +123,7 @@ impl AdmissionController {
             config,
             inflight: Arc::new(AtomicUsize::new(0)),
             tenants: SharedCell::new("serve.tenants", HashMap::new()),
-            breaker: parking_lot::Mutex::new(breaker),
+            breaker: gs_sanitizer::TrackedMutex::new("serve.breaker", breaker),
             admitted: AtomicU64::new(0),
             shed: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
             breaker_rejections: AtomicU64::new(0),

@@ -142,7 +142,7 @@ impl Server {
             server: Arc::clone(self),
             tenant: tenant.to_string(),
             priority,
-            statements: parking_lot::Mutex::new(Vec::new()),
+            statements: gs_sanitizer::TrackedMutex::new("serve.statements", Vec::new()),
         }
     }
 
@@ -263,7 +263,7 @@ pub struct Session {
     server: Arc<Server>,
     tenant: String,
     priority: Priority,
-    statements: parking_lot::Mutex<Vec<Arc<PlanEntry>>>,
+    statements: gs_sanitizer::TrackedMutex<Vec<Arc<PlanEntry>>>,
 }
 
 impl Session {
