@@ -1,0 +1,514 @@
+//! `gs-bench costcheck` — estimator quality and soundness for the
+//! `gs_ir::cost` static analysis (BENCH_cost.json).
+//!
+//! Runs the full irlint corpus (20 SNB BI plans, the §8 fraud/cyber
+//! application queries, the quickstart pair) through the cost analysis
+//! *and* the reference engine: every plan is costed with a catalog built
+//! over its own dataset, executed with [`gs_ir::exec::execute_traced`]
+//! recording actual per-operator cardinalities, and diffed:
+//!
+//! * **q-error** `max(est/actual, actual/est)` per operator, with
+//!   p50/p90/p99/max percentiles written to `BENCH_cost.json` — estimator
+//!   quality is a tracked number, not a vibe;
+//! * **soundness** — every actual must fall inside the predicted
+//!   `[lo, hi]` interval (a violation is a bug in the analysis, not a bad
+//!   estimate, and fails the run);
+//! * **pathological plans** — hand-built cross-product / expansion-blowup
+//!   / memory-hog plans must fire `C001`/`C002`/`C003` respectively,
+//!   while the clean corpus must fire none.
+
+use crate::util::TablePrinter;
+use gs_graph::json::Json;
+use gs_graph::schema::GraphSchema;
+use gs_graph::{PropertyGraphData, Value};
+use gs_ir::cost::{
+    cost_physical, CostBudget, CostReport, C_CROSS_PRODUCT, C_EXPANSION_BLOWUP, C_MEMORY_BUDGET,
+};
+use gs_ir::exec::execute_traced;
+use gs_ir::expr::{BinOp, Expr};
+use gs_ir::physical::{ExpandOut, PhysicalOp, PhysicalPlan};
+use gs_ir::verify::Severity;
+use gs_ir::{LogicalPlan, Record};
+use gs_optimizer::{GlogueCatalog, Optimizer};
+use gs_vineyard::VineyardGraph;
+use std::collections::HashMap;
+
+/// Per-operator estimate/actual pair for one query.
+#[derive(Clone, Debug)]
+pub struct OpRow {
+    pub op: &'static str,
+    pub est: f64,
+    pub lo: f64,
+    pub hi: f64,
+    pub actual: u64,
+    /// `max(est/actual, actual/est)`; `None` when either side is zero.
+    pub q_error: Option<f64>,
+    /// Whether `actual` fell inside `[lo, hi]`.
+    pub sound: bool,
+}
+
+/// One costed + executed corpus query.
+pub struct QueryCost {
+    pub query: String,
+    pub ops: Vec<OpRow>,
+    /// C-errors the analysis raised on this (clean-corpus) plan.
+    pub errors: usize,
+    /// Ops whose actual cardinality escaped the predicted interval.
+    pub violations: usize,
+}
+
+/// One pathological plan and whether its expected C-code fired.
+pub struct PathologicalCheck {
+    pub name: &'static str,
+    pub expected: &'static str,
+    pub fired: bool,
+}
+
+/// The whole costcheck outcome.
+pub struct CostcheckReport {
+    pub queries: Vec<QueryCost>,
+    pub pathological: Vec<PathologicalCheck>,
+    pub q_p50: f64,
+    pub q_p90: f64,
+    pub q_p99: f64,
+    pub q_max: f64,
+    pub q_samples: usize,
+}
+
+impl CostcheckReport {
+    pub fn clean_errors(&self) -> usize {
+        self.queries.iter().map(|q| q.errors).sum()
+    }
+
+    pub fn soundness_violations(&self) -> usize {
+        self.queries.iter().map(|q| q.violations).sum()
+    }
+
+    pub fn pathological_missed(&self) -> usize {
+        self.pathological.iter().filter(|p| !p.fired).count()
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("bench", Json::str("costcheck")),
+            ("queries", Json::Int(self.queries.len() as i64)),
+            (
+                "ops",
+                Json::Int(self.queries.iter().map(|q| q.ops.len() as i64).sum()),
+            ),
+            (
+                "q_error",
+                Json::obj([
+                    ("p50", Json::Float(self.q_p50)),
+                    ("p90", Json::Float(self.q_p90)),
+                    ("p99", Json::Float(self.q_p99)),
+                    ("max", Json::Float(self.q_max)),
+                    ("samples", Json::Int(self.q_samples as i64)),
+                ]),
+            ),
+            (
+                "soundness_violations",
+                Json::Int(self.soundness_violations() as i64),
+            ),
+            ("clean_errors", Json::Int(self.clean_errors() as i64)),
+            (
+                "pathological",
+                Json::arr(self.pathological.iter().map(|p| {
+                    Json::obj([
+                        ("name", Json::str(p.name)),
+                        ("expected", Json::str(p.expected)),
+                        ("fired", Json::Bool(p.fired)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+/// One dataset: an executable store plus the logical plans run over it.
+struct Dataset {
+    store: VineyardGraph,
+    schema: GraphSchema,
+    plans: Vec<(String, LogicalPlan)>,
+}
+
+fn datasets() -> Vec<Dataset> {
+    let mut out = Vec::new();
+
+    // ---- LDBC SNB BI 1..=20 ------------------------------------------
+    let snb = gs_datagen::snb::generate(&gs_datagen::snb::SnbConfig::lite(10));
+    let params = gs_flex::snb::BiParams::default();
+    let mut plans = Vec::new();
+    for n in 1..=gs_flex::snb::BI_COUNT {
+        if let Ok(plan) = gs_flex::snb::bi_plan(n, &snb.data.schema, &snb.labels, &params) {
+            plans.push((format!("BI{n}"), plan));
+        }
+    }
+    out.push(Dataset {
+        store: VineyardGraph::build(&snb.data).expect("snb store"),
+        schema: snb.data.schema.clone(),
+        plans,
+    });
+
+    // ---- §8 fraud detection (Cypher frontend) ------------------------
+    let fraud = gs_datagen::apps::fraud_graph(20, 10, 40, 0, 7);
+    let fraud_q = "MATCH (v:Account {id: 0})-[b1:BUY]->(:Item)<-[b2:BUY]-(s:Account) \
+                   WHERE s.id IN $SEEDS AND b1.date - b2.date < 3 AND b2.date - b1.date < 3 \
+                   WITH v, COUNT(s) AS cnt1 \
+                   MATCH (v)-[:KNOWS]-(f:Account), (f)-[b3:BUY]->(:Item)<-[b4:BUY]-(s2:Account) \
+                   WHERE s2.id IN $SEEDS \
+                   WITH v, cnt1, COUNT(s2) AS cnt2 \
+                   WHERE 2 * cnt1 + 1 * cnt2 > 3 \
+                   RETURN v";
+    let mut fraud_params = HashMap::new();
+    fraud_params.insert(
+        "SEEDS".to_string(),
+        Value::List(vec![Value::Int(1), Value::Int(2)]),
+    );
+    let fraud_plan =
+        gs_lang::parse_cypher(fraud_q, &fraud.data.schema, &fraud_params).expect("fraud parses");
+    out.push(Dataset {
+        store: VineyardGraph::build(&fraud.data).expect("fraud store"),
+        schema: fraud.data.schema.clone(),
+        plans: vec![("fraud-cypher".into(), fraud_plan)],
+    });
+
+    // ---- §8 cyber monitoring (Gremlin frontend) ----------------------
+    let cyber = gs_datagen::apps::cyber_graph(4, 1, 1);
+    let cyber_q = "g.V().hasLabel('Host').out('RUNS').out('CONNECTS').dedup()";
+    let cyber_plan = gs_lang::parse_gremlin(cyber_q, &cyber.data.schema).expect("cyber parses");
+    out.push(Dataset {
+        store: VineyardGraph::build(&cyber.data).expect("cyber store"),
+        schema: cyber.data.schema.clone(),
+        plans: vec![("cyber-gremlin".into(), cyber_plan)],
+    });
+
+    // ---- quickstart example (both frontends) -------------------------
+    let (data, schema) = quickstart_data();
+    let cypher = "MATCH (a:Person {name: 'ann'})-[:KNOWS]-(f:Person)-[:BUY]->(i:Item) \
+                  RETURN f.name AS friend, i.price AS price ORDER BY price DESC LIMIT 10";
+    let gremlin =
+        "g.V().hasLabel('Person').has('name', 'ann').out('KNOWS').out('BUY').values('price')";
+    out.push(Dataset {
+        store: VineyardGraph::build(&data).expect("quickstart store"),
+        schema: schema.clone(),
+        plans: vec![
+            (
+                "quickstart-cypher".into(),
+                gs_lang::parse_cypher(cypher, &schema, &HashMap::new()).expect("cypher parses"),
+            ),
+            (
+                "quickstart-gremlin".into(),
+                gs_lang::parse_gremlin(gremlin, &schema).expect("gremlin parses"),
+            ),
+        ],
+    });
+
+    out
+}
+
+/// The graph from `examples/quickstart.rs`, rebuilt so its queries can be
+/// executed here without running the example.
+fn quickstart_data() -> (PropertyGraphData, GraphSchema) {
+    use gs_graph::value::ValueType;
+    let mut schema = GraphSchema::new();
+    let person = schema.add_vertex_label(
+        "Person",
+        &[("name", ValueType::Str), ("age", ValueType::Int)],
+    );
+    let item = schema.add_vertex_label("Item", &[("price", ValueType::Float)]);
+    let knows = schema.add_edge_label("KNOWS", person, person, &[]);
+    let buy = schema.add_edge_label("BUY", person, item, &[("date", ValueType::Date)]);
+    let mut data = PropertyGraphData::new(schema.clone());
+    for (id, name, age) in [(1u64, "ann", 34i64), (2, "bob", 28), (3, "cho", 45)] {
+        data.add_vertex(person, id, vec![Value::Str(name.into()), Value::Int(age)]);
+    }
+    for (id, price) in [(10u64, 9.99f64), (11, 199.0), (12, 3.5)] {
+        data.add_vertex(item, id, vec![Value::Float(price)]);
+    }
+    data.add_edge(knows, 1, 2, vec![]);
+    data.add_edge(knows, 2, 1, vec![]);
+    data.add_edge(knows, 2, 3, vec![]);
+    data.add_edge(knows, 3, 2, vec![]);
+    data.add_edge(buy, 2, 10, vec![Value::Date(15000)]);
+    data.add_edge(buy, 2, 11, vec![Value::Date(15001)]);
+    data.add_edge(buy, 3, 12, vec![Value::Date(15002)]);
+    (data, schema)
+}
+
+fn cost_and_execute(
+    name: &str,
+    plan: &LogicalPlan,
+    store: &VineyardGraph,
+    catalog: &GlogueCatalog,
+) -> gs_graph::Result<QueryCost> {
+    let optimizer = Optimizer::new(catalog.clone());
+    let physical = optimizer.optimize(plan)?;
+    let stats = catalog.to_cost_stats();
+    let cost = cost_physical(&physical, Some(&stats), &CostBudget::default());
+    let (_, actuals): (Vec<Record>, Vec<u64>) = execute_traced(&physical, store)?;
+    let mut ops = Vec::with_capacity(actuals.len());
+    for (i, (op, actual)) in physical.ops.iter().zip(&actuals).enumerate() {
+        let oc = &cost.per_op[i];
+        let a = *actual as f64;
+        let q_error = if oc.est_rows > 0.0 && a > 0.0 {
+            Some((oc.est_rows / a).max(a / oc.est_rows))
+        } else {
+            None
+        };
+        ops.push(OpRow {
+            op: op.name(),
+            est: oc.est_rows,
+            lo: oc.interval.lo,
+            hi: oc.interval.hi,
+            actual: *actual,
+            q_error,
+            sound: oc.interval.contains(a),
+        });
+    }
+    let violations = ops.iter().filter(|o| !o.sound).count();
+    Ok(QueryCost {
+        query: name.to_string(),
+        errors: cost
+            .report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count(),
+        violations,
+        ops,
+    })
+}
+
+/// Pathological plans: each must trip exactly its code under a tight
+/// budget. Costed against the quickstart catalog (statistics present, so
+/// the errors come from the plan shape, not from missing stats).
+fn pathological(catalog: &GlogueCatalog) -> Vec<PathologicalCheck> {
+    let stats = catalog.to_cost_stats();
+    let person = gs_graph::LabelId(0);
+    let knows = gs_graph::LabelId(0);
+    let scan = || PhysicalOp::Scan {
+        label: person,
+        predicate: None,
+        index_lookup: None,
+    };
+    let expand = |src| PhysicalOp::Expand {
+        src_col: src,
+        src_label: person,
+        elabel: knows,
+        dir: gs_grin::Direction::Both,
+        predicate: None,
+        out: ExpandOut::VertexFused { label: person },
+    };
+    let plan = |ops: Vec<PhysicalOp>| PhysicalPlan {
+        ops,
+        layout: gs_ir::Layout::new(),
+    };
+    let check = |name, expected, report: CostReport| PathologicalCheck {
+        name,
+        expected,
+        fired: report.has_code(expected),
+    };
+    vec![
+        // two unconnected scans — a predicate touching only one side
+        // must NOT count as connecting
+        check(
+            "cross-product",
+            C_CROSS_PRODUCT,
+            cost_physical(
+                &plan(vec![
+                    scan(),
+                    scan(),
+                    PhysicalOp::Select {
+                        predicate: Expr::bin(
+                            BinOp::Ne,
+                            Expr::VertexId {
+                                col: 1,
+                                label: person,
+                            },
+                            Expr::Const(Value::Int(0)),
+                        ),
+                    },
+                ]),
+                Some(&stats),
+                &CostBudget::default(),
+            ),
+        ),
+        // unbounded multi-hop expansion against a tight row budget
+        check(
+            "expansion-blowup",
+            C_EXPANSION_BLOWUP,
+            cost_physical(
+                &plan(vec![
+                    scan(),
+                    expand(0),
+                    expand(1),
+                    expand(2),
+                    expand(3),
+                    expand(4),
+                    expand(5),
+                ]),
+                Some(&stats),
+                &CostBudget {
+                    max_rows: 50.0,
+                    ..CostBudget::default()
+                },
+            ),
+        ),
+        // a full scan against a one-kilobyte memory budget
+        check(
+            "memory-hog",
+            C_MEMORY_BUDGET,
+            cost_physical(
+                &plan(vec![scan(), expand(0)]),
+                Some(&stats),
+                &CostBudget {
+                    max_memory_bytes: 64,
+                    ..CostBudget::default()
+                },
+            ),
+        ),
+    ]
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 1.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs the whole costcheck corpus.
+pub fn run() -> CostcheckReport {
+    let mut queries = Vec::new();
+    let mut quickstart_catalog = None;
+    for ds in datasets() {
+        let catalog = GlogueCatalog::build(&ds.store, 128);
+        for (name, plan) in &ds.plans {
+            match cost_and_execute(name, plan, &ds.store, &catalog) {
+                Ok(q) => queries.push(q),
+                Err(e) => {
+                    eprintln!("costcheck: {name} failed to optimize or execute: {e}");
+                    queries.push(QueryCost {
+                        query: name.clone(),
+                        ops: Vec::new(),
+                        errors: 1,
+                        violations: 0,
+                    });
+                }
+            }
+        }
+        // quickstart is last; its catalog feeds the pathological plans
+        quickstart_catalog = Some(catalog);
+        let _ = &ds.schema;
+    }
+    let pathological = pathological(&quickstart_catalog.expect("at least one dataset"));
+
+    let mut q_errors: Vec<f64> = queries
+        .iter()
+        .flat_map(|q| q.ops.iter().filter_map(|o| o.q_error))
+        .collect();
+    q_errors.sort_by(f64::total_cmp);
+    CostcheckReport {
+        q_p50: percentile(&q_errors, 0.50),
+        q_p90: percentile(&q_errors, 0.90),
+        q_p99: percentile(&q_errors, 0.99),
+        q_max: q_errors.last().copied().unwrap_or(1.0),
+        q_samples: q_errors.len(),
+        queries,
+        pathological,
+    }
+}
+
+/// CLI entry (`gs-bench costcheck`): runs, writes `BENCH_cost.json`,
+/// prints the per-query table, and enforces the `--deny` gate (C-errors
+/// in the clean corpus, soundness violations, or a pathological plan
+/// whose code did not fire). Returns the process exit code.
+pub fn run_cli(deny: bool, out_path: &str) -> i32 {
+    let report = run();
+    std::fs::write(out_path, report.to_json().render()).expect("write BENCH_cost.json");
+
+    let mut table = TablePrinter::new(&["query", "ops", "est rows", "actual", "max q", "sound"]);
+    for q in &report.queries {
+        let max_q = q
+            .ops
+            .iter()
+            .filter_map(|o| o.q_error)
+            .fold(1.0f64, f64::max);
+        let (est, actual) = q.ops.last().map(|o| (o.est, o.actual)).unwrap_or((0.0, 0));
+        table.row(vec![
+            q.query.clone(),
+            q.ops.len().to_string(),
+            format!("{est:.1}"),
+            actual.to_string(),
+            format!("{max_q:.1}"),
+            if q.violations == 0 { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    for p in &report.pathological {
+        table.row(vec![
+            p.name.to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            p.expected.to_string(),
+            if p.fired { "fired" } else { "MISSED" }.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\ncostcheck: {} queries, {} op samples, q-error p50 {:.2} p90 {:.2} p99 {:.2} max {:.2}; \
+         {} clean-corpus error(s), {} soundness violation(s), {} pathological missed",
+        report.queries.len(),
+        report.q_samples,
+        report.q_p50,
+        report.q_p90,
+        report.q_p99,
+        report.q_max,
+        report.clean_errors(),
+        report.soundness_violations(),
+        report.pathological_missed(),
+    );
+    let blocking =
+        report.clean_errors() + report.soundness_violations() + report.pathological_missed();
+    if deny && blocking > 0 {
+        eprintln!("costcheck: {blocking} blocking finding(s)");
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance gate: the clean corpus stays C-error-free, every
+    /// actual cardinality falls inside its predicted interval, and each
+    /// pathological plan fires exactly its code.
+    #[test]
+    fn corpus_is_clean_and_sound() {
+        let report = run();
+        assert!(
+            report.queries.len() >= 24,
+            "corpus size: {}",
+            report.queries.len()
+        );
+        for q in &report.queries {
+            assert_eq!(q.errors, 0, "{} raised C-errors", q.query);
+            for o in &q.ops {
+                assert!(
+                    o.sound,
+                    "{}: {} actual {} outside [{}, {}]",
+                    q.query, o.op, o.actual, o.lo, o.hi
+                );
+            }
+        }
+        for p in &report.pathological {
+            assert!(p.fired, "{} did not fire {}", p.name, p.expected);
+        }
+        assert!(report.q_samples > 0);
+        assert!(report.q_p50 >= 1.0 && report.q_p50 <= report.q_max);
+    }
+}

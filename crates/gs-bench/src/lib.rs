@@ -13,6 +13,7 @@
 
 pub mod analytics;
 pub mod chaos;
+pub mod costcheck;
 pub mod experiments;
 pub mod irlint;
 pub mod lint;

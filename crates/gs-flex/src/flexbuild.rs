@@ -200,6 +200,11 @@ pub struct Deployment {
     /// trade build time or decode cost for faster intersections or a
     /// smaller footprint). Results are identical across layouts.
     pub layout: LayoutKind,
+    /// Memory budget (bytes) for static plan costing (`gs_ir::cost`):
+    /// plans whose estimated peak intermediate size exceeds it are
+    /// flagged `C003` and shed by a serving configuration's cost gate.
+    /// `None` (the default) means the stack-wide default budget.
+    pub cost_budget: Option<u64>,
 }
 
 impl Deployment {
@@ -209,9 +214,37 @@ impl Deployment {
         self
     }
 
+    /// Returns the deployment with the static-cost memory budget set.
+    pub fn with_cost_budget(mut self, bytes: u64) -> Self {
+        self.cost_budget = Some(bytes);
+        self
+    }
+
+    /// The deployment's plan-cost budget for `gs_ir::cost` checks —
+    /// defaults everywhere except the memory ceiling, which comes from
+    /// the manifest's `cost_budget` knob when set.
+    pub fn plan_cost_budget(&self) -> gs_ir::cost::CostBudget {
+        match self.cost_budget {
+            Some(bytes) => gs_ir::cost::CostBudget::with_memory(bytes),
+            None => gs_ir::cost::CostBudget::default(),
+        }
+    }
+
+    /// `ANALYZE` — builds a GLogue statistics catalog over any configured
+    /// GRIN store, so serving and optimization can be fed real statistics
+    /// (`Optimizer::new(deployment.analyze(&store, n))`) instead of
+    /// ad-hoc catalogs built inside the optimizer.
+    pub fn analyze(
+        &self,
+        store: &dyn gs_grin::GrinGraph,
+        sample_per_label: usize,
+    ) -> gs_optimizer::GlogueCatalog {
+        gs_optimizer::GlogueCatalog::build(store, sample_per_label)
+    }
+
     /// Encodes the manifest as JSON (components by paper number).
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("name", Json::str(&self.name)),
             (
                 "components",
@@ -225,7 +258,11 @@ impl Deployment {
                 }),
             ),
             ("layout", Json::str(self.layout.name())),
-        ])
+        ];
+        if let Some(bytes) = self.cost_budget {
+            fields.push(("cost_budget", Json::Int(bytes as i64)));
+        }
+        Json::obj(fields)
     }
 
     /// Instantiates the deployment's query engine behind the unified
@@ -399,6 +436,13 @@ impl Deployment {
             }
             Err(_) => LayoutKind::default(),
         };
+        // manifests written before the cost knob existed have no budget
+        let cost_budget = match doc.field("cost_budget") {
+            Ok(j) => Some(j.as_u64().ok_or_else(|| {
+                GraphError::Corrupt(format!("deployment: cost_budget not an integer: {j:?}"))
+            })?),
+            Err(_) => None,
+        };
         Ok(Deployment {
             name: doc
                 .field("name")?
@@ -408,6 +452,7 @@ impl Deployment {
             components,
             target,
             layout,
+            cost_budget,
         })
     }
 }
@@ -592,6 +637,7 @@ impl FlexBuild {
             components: set,
             target,
             layout: LayoutKind::default(),
+            cost_budget: None,
         })
     }
 
@@ -821,6 +867,7 @@ mod tests {
                 .collect(),
             target: DeployTarget::ClusterImage,
             layout: LayoutKind::default(),
+            cost_budget: None,
         };
         let Err(err) = d.serving_engine(EngineChoice::HiActor, 2, gs_ir::VerifyLevel::Deny) else {
             panic!("expected error");
@@ -862,6 +909,42 @@ mod tests {
         // unknown layout names are corrupt, not silently csr
         let bad = json.replace("sorted_csr", "btree");
         assert!(Deployment::from_json(&Json::parse(&bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn cost_budget_knob_round_trips_and_defaults() {
+        let d = FlexBuild::fraud_oltp_preset()
+            .unwrap()
+            .with_cost_budget(512 << 20);
+        let json = d.to_json().render();
+        let back = Deployment::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.cost_budget, Some(512 << 20));
+        assert_eq!(d, back);
+        assert_eq!(back.plan_cost_budget().max_memory_bytes, 512 << 20);
+        // manifests without the knob parse with no budget → defaults
+        let legacy = json.replace(",\"cost_budget\":536870912", "");
+        assert!(!legacy.contains("cost_budget"), "{legacy}");
+        let old = Deployment::from_json(&Json::parse(&legacy).unwrap()).unwrap();
+        assert_eq!(old.cost_budget, None);
+        assert_eq!(old.plan_cost_budget(), gs_ir::cost::CostBudget::default());
+        // non-integer budgets are corrupt, not silently defaulted
+        let bad = json.replace("536870912", "\"lots\"");
+        assert!(Deployment::from_json(&Json::parse(&bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn analyze_builds_a_catalog_over_any_store() {
+        let d = FlexBuild::fraud_oltp_preset().unwrap();
+        let store = gs_grin::graph::mock::MockGraph::new(
+            5,
+            &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (3, 4, 1.0)],
+        );
+        let catalog = d.analyze(&store, 10);
+        assert_eq!(catalog.vertex_counts, vec![5]);
+        assert_eq!(catalog.edge_stats[0].count, 4);
+        assert_eq!(catalog.edge_stats[0].max_out_degree, 3);
+        // deterministic: ANALYZE twice → identical catalogs
+        assert_eq!(catalog, d.analyze(&store, 10));
     }
 
     #[test]

@@ -1,0 +1,1185 @@
+//! Static cost analysis: abstract interpretation over GraphIR.
+//!
+//! The third member of the static-analysis family after `gs-ir::verify`
+//! (plans, §6b) and `gs-lint` (sources, §6g): an abstract interpreter
+//! that pushes a *cardinality interval* `[lo, hi]` and a point estimate
+//! through every operator of a [`LogicalPlan`] or [`PhysicalPlan`],
+//! together with the record width, so that every plan carries
+//! machine-checked cardinality and memory bounds before a single tuple
+//! flows (the GOpt idea of choosing plans by estimated intermediate
+//! result size, made an engine-independent analysis).
+//!
+//! * The **estimate** uses [`CostStats`] (label counts, per-edge-label
+//!   average degrees, sampled distinct values — the GLogue catalog's
+//!   numbers) and the usual selectivity heuristics.
+//! * The **interval** is sound: `lo` and `hi` bound the true operator
+//!   output for *any* data distribution consistent with the statistics
+//!   (scans are exact, expansions are bounded by recorded max degrees,
+//!   everything downstream of a predicate keeps `lo = 0`). Without
+//!   statistics the analysis falls back to conservative bounds
+//!   (`hi = ∞`) and says so.
+//!
+//! Findings are irlint-style [`Diagnostic`]s with stable codes under the
+//! same Off/Warn/Deny [`VerifyLevel`] discipline:
+//!
+//! * `C001` — cross-product scan with no connecting predicate anywhere
+//!   downstream;
+//! * `C002` — estimated rows blow past the configured expansion budget
+//!   (unbounded multi-hop expansion);
+//! * `C003` — estimated peak memory exceeds the deployment budget;
+//! * `C301` — no / incomplete statistics, bounds are conservative;
+//! * `C302` — low-confidence estimate (a defaulted selectivity or
+//!   distinct count fed the numbers);
+//! * `C303` — a rewrite rule increased estimated cost (emitted by
+//!   `gs-optimizer`, attributed to the rule).
+//!
+//! Consumers: `gs-optimizer` checks each RBO rule cost-non-increasing
+//! and ranks rules by estimated benefit; `gs-serve` sheds or demotes
+//! statically over-budget prepared statements before they reach an
+//! engine; `gs-bench costcheck` tracks estimator quality (q-error
+//! percentiles) against actual per-operator cardinalities.
+
+use crate::expr::{BinOp, Expr};
+use crate::logical::{LogicalOp, LogicalPlan, ProjectItem};
+use crate::pattern::Pattern;
+use crate::physical::{ExpandOut, PhysicalOp, PhysicalPlan};
+use crate::record::ColumnKind;
+use crate::verify::{Diagnostic, Severity, VerifyLevel, VerifyReport};
+use gs_graph::{LabelId, PropId, Result};
+use gs_grin::Direction;
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------
+// Diagnostic codes
+// ---------------------------------------------------------------------
+
+/// Cross-product scan with no connecting predicate downstream.
+pub const C_CROSS_PRODUCT: &str = "C001";
+/// Estimated rows exceed the expansion budget (multi-hop blowup).
+pub const C_EXPANSION_BLOWUP: &str = "C002";
+/// Estimated peak memory exceeds the deployment budget.
+pub const C_MEMORY_BUDGET: &str = "C003";
+/// Statistics missing or incomplete; bounds are conservative.
+pub const W_NO_STATISTICS: &str = "C301";
+/// A defaulted selectivity / distinct count fed the estimate.
+pub const W_LOW_CONFIDENCE: &str = "C302";
+/// A rewrite rule increased the estimated plan cost.
+pub const W_COST_INCREASE: &str = "C303";
+
+/// Assumed bytes per record column (a [`gs_graph::Value`] plus `Vec`
+/// bookkeeping) for memory-bound estimation.
+pub const VALUE_BYTES: f64 = 48.0;
+
+/// Label cardinality assumed when no statistics are available.
+const DEFAULT_LABEL_COUNT: f64 = 1_000.0;
+/// Expansion fan-out assumed when no statistics are available.
+const DEFAULT_FANOUT: f64 = 10.0;
+/// Distinct-value count assumed when a property was never sampled.
+const DEFAULT_DISTINCT: u64 = 10;
+
+// ---------------------------------------------------------------------
+// Cardinality intervals
+// ---------------------------------------------------------------------
+
+/// A sound cardinality interval: the true operator output row count lies
+/// in `[lo, hi]` (with `hi = ∞` when no finite bound is known).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CardInterval {
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl CardInterval {
+    /// The exact interval `[n, n]`.
+    pub fn exact(n: f64) -> Self {
+        Self { lo: n, hi: n }
+    }
+
+    /// `[0, hi]` — anything a predicate may leave behind.
+    pub fn at_most(hi: f64) -> Self {
+        Self { lo: 0.0, hi }
+    }
+
+    /// Whether `n` falls inside the interval (the soundness property).
+    pub fn contains(&self, n: f64) -> bool {
+        n >= self.lo && n <= self.hi
+    }
+
+    /// Interval width ratio used as a confidence proxy (∞ when unbounded).
+    pub fn spread(&self) -> f64 {
+        if self.lo > 0.0 {
+            self.hi / self.lo
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------
+
+/// Per-edge-label statistics as the cost model consumes them. Average
+/// degrees drive estimates; max degrees drive the sound `hi` bounds.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EdgeCostStats {
+    pub count: u64,
+    pub avg_out_degree: f64,
+    pub avg_in_degree: f64,
+    pub max_out_degree: u64,
+    pub max_in_degree: u64,
+}
+
+/// The statistics a cost analysis runs against — a dependency-free
+/// mirror of `gs-optimizer`'s GLogue catalog (which converts into this;
+/// `gs-ir` cannot depend on the optimizer crate).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CostStats {
+    /// Vertex count per vertex label (indexed by label id).
+    pub vertex_counts: Vec<u64>,
+    /// Edge statistics per edge label (indexed by label id).
+    pub edge_stats: Vec<EdgeCostStats>,
+    /// Sampled distinct-value counts: (vertex label, prop) → estimate.
+    /// Ordered map so any iteration over it is deterministic.
+    pub distinct_values: BTreeMap<(u16, u16), u64>,
+}
+
+impl CostStats {
+    /// Cardinality of a vertex label (`None` when outside the stats).
+    pub fn label_count(&self, l: LabelId) -> Option<f64> {
+        self.vertex_counts.get(l.index()).map(|&n| n as f64)
+    }
+
+    fn distinct(&self, label: LabelId, prop: PropId) -> Option<u64> {
+        self.distinct_values.get(&(label.0, prop.0)).copied()
+    }
+
+    /// Average expansion fan-out of `elabel` in `dir`.
+    pub fn fanout_avg(&self, elabel: LabelId, dir: Direction) -> Option<f64> {
+        let s = self.edge_stats.get(elabel.index())?;
+        Some(match dir {
+            Direction::Out => s.avg_out_degree,
+            Direction::In => s.avg_in_degree,
+            Direction::Both => s.avg_out_degree + s.avg_in_degree,
+        })
+    }
+
+    /// Max expansion fan-out of `elabel` in `dir` — the sound per-row
+    /// bound on expansion output.
+    pub fn fanout_max(&self, elabel: LabelId, dir: Direction) -> Option<f64> {
+        let s = self.edge_stats.get(elabel.index())?;
+        Some(match dir {
+            Direction::Out => s.max_out_degree as f64,
+            Direction::In => s.max_in_degree as f64,
+            Direction::Both => (s.max_out_degree + s.max_in_degree) as f64,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Budgets
+// ---------------------------------------------------------------------
+
+/// The budgets the C-codes are checked against.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostBudget {
+    /// Estimated rows past which `C002` fires (expansion blowup).
+    pub max_rows: f64,
+    /// Estimated peak bytes past which `C003` fires (deployment memory).
+    pub max_memory_bytes: u64,
+}
+
+impl Default for CostBudget {
+    fn default() -> Self {
+        Self {
+            max_rows: 1e8,
+            max_memory_bytes: 4 << 30, // 4 GiB
+        }
+    }
+}
+
+impl CostBudget {
+    /// A budget with the memory ceiling set (the deployment knob).
+    pub fn with_memory(bytes: u64) -> Self {
+        Self {
+            max_memory_bytes: bytes,
+            ..Self::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------
+
+/// Cost of one operator's *output*.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpCost {
+    /// Point estimate of output rows.
+    pub est_rows: f64,
+    /// Sound output-row interval.
+    pub interval: CardInterval,
+    /// Record width (columns) flowing out of the op.
+    pub width: usize,
+    /// Estimated bytes to materialise this op's output.
+    pub est_bytes: f64,
+}
+
+/// The outcome of a cost analysis over one plan.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CostReport {
+    /// One entry per plan operator, in plan order.
+    pub per_op: Vec<OpCost>,
+    /// Sum of estimated intermediate sizes — the paper's plan cost, the
+    /// number rewrite rules are compared on.
+    pub total_est_rows: f64,
+    /// Estimated rows out of the final operator.
+    pub output_est_rows: f64,
+    /// Estimated peak materialised bytes across the plan.
+    pub peak_est_bytes: f64,
+    /// C-coded diagnostics (errors C0xx, warnings C3xx).
+    pub report: VerifyReport,
+}
+
+impl CostReport {
+    /// Whether a diagnostic with `code` was emitted.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.report.has_code(code)
+    }
+
+    /// Whether the plan's static bounds exceed `budget`.
+    pub fn over_budget(&self, budget: &CostBudget) -> bool {
+        self.output_est_rows > budget.max_rows
+            || self.total_est_rows > budget.max_rows
+            || self.peak_est_bytes > budget.max_memory_bytes as f64
+    }
+}
+
+/// Applies a [`VerifyLevel`] to a cost report at a boundary, recording
+/// `ir.cost.*` telemetry. Only `Deny` + C-errors rejects.
+pub fn enforce_cost(cost: &CostReport, level: VerifyLevel, context: &str) -> Result<()> {
+    if level == VerifyLevel::Off {
+        return Ok(());
+    }
+    gs_telemetry::counter!("ir.cost.plans", at = context; 1);
+    gs_telemetry::counter!("ir.cost.errors", at = context; cost.report.error_count() as u64);
+    gs_telemetry::counter!("ir.cost.warnings", at = context; cost.report.warning_count() as u64);
+    if level == VerifyLevel::Deny && cost.report.error_count() > 0 {
+        gs_telemetry::counter!("ir.cost.denied", at = context; 1);
+        return cost.report.check(context);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// The abstract interpreter
+// ---------------------------------------------------------------------
+
+struct CostChecker<'a> {
+    stats: Option<&'a CostStats>,
+    budget: &'a CostBudget,
+    diags: Vec<Diagnostic>,
+    /// Number of estimates that fell back to a default (drives C302).
+    defaults_used: usize,
+    /// Set once C002 has fired (one report per plan, at the first blowup).
+    blowup_reported: bool,
+}
+
+impl<'a> CostChecker<'a> {
+    fn new(stats: Option<&'a CostStats>, budget: &'a CostBudget) -> Self {
+        Self {
+            stats,
+            budget,
+            diags: Vec::new(),
+            defaults_used: 0,
+            blowup_reported: false,
+        }
+    }
+
+    fn emit(&mut self, code: &'static str, severity: Severity, op: Option<usize>, msg: String) {
+        self.diags.push(Diagnostic {
+            code,
+            severity,
+            op_index: op,
+            rule: None,
+            message: msg,
+        });
+    }
+
+    /// `(count, known)` — `known = false` means the estimate is a
+    /// default and no finite upper bound may be derived from it.
+    fn label_count(&mut self, l: LabelId, op: Option<usize>) -> (f64, bool) {
+        match self.stats.and_then(|s| s.label_count(l)) {
+            Some(n) => (n, true),
+            None => {
+                if self.stats.is_some() {
+                    self.emit(
+                        W_NO_STATISTICS,
+                        Severity::Warning,
+                        op,
+                        format!("no cardinality statistics for vertex label {l:?}"),
+                    );
+                }
+                (DEFAULT_LABEL_COUNT, false)
+            }
+        }
+    }
+
+    fn fanout(&mut self, elabel: LabelId, dir: Direction, op: Option<usize>) -> (f64, f64) {
+        match self
+            .stats
+            .and_then(|s| Some((s.fanout_avg(elabel, dir)?, s.fanout_max(elabel, dir)?)))
+        {
+            Some((avg, max)) => (avg, max),
+            None => {
+                if self.stats.is_some() {
+                    self.emit(
+                        W_NO_STATISTICS,
+                        Severity::Warning,
+                        op,
+                        format!("no degree statistics for edge label {elabel:?}"),
+                    );
+                }
+                (DEFAULT_FANOUT, f64::INFINITY)
+            }
+        }
+    }
+
+    /// Estimated selectivity (0..=1) of a predicate. Labels ride inside
+    /// `VertexProp`/`VertexId`/`EdgeProp`, so no layout is needed.
+    fn selectivity(&mut self, pred: &Expr) -> f64 {
+        match pred {
+            Expr::Binary { op, lhs, rhs } => match op {
+                BinOp::And => self.selectivity(lhs) * self.selectivity(rhs),
+                BinOp::Or => (self.selectivity(lhs) + self.selectivity(rhs)).min(1.0),
+                BinOp::Eq => match &**lhs {
+                    Expr::VertexProp { label, prop, .. } => {
+                        match self.stats.and_then(|s| s.distinct(*label, *prop)) {
+                            Some(d) => 1.0 / d.max(1) as f64,
+                            None => {
+                                self.defaults_used += 1;
+                                1.0 / DEFAULT_DISTINCT as f64
+                            }
+                        }
+                    }
+                    Expr::VertexId { label, .. } => {
+                        match self.stats.and_then(|s| s.label_count(*label)) {
+                            Some(n) => 1.0 / n.max(1.0),
+                            None => {
+                                self.defaults_used += 1;
+                                1.0 / DEFAULT_LABEL_COUNT
+                            }
+                        }
+                    }
+                    _ => {
+                        self.defaults_used += 1;
+                        0.1
+                    }
+                },
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 0.33,
+                BinOp::Ne => 0.9,
+                _ => {
+                    self.defaults_used += 1;
+                    0.5
+                }
+            },
+            Expr::Not(e) => (1.0 - self.selectivity(e)).clamp(0.0, 1.0),
+            Expr::In { expr, list } => {
+                if let Expr::VertexId { label, .. } = &**expr {
+                    if let Some(n) = self.stats.and_then(|s| s.label_count(*label)) {
+                        return (list.len() as f64 / n.max(1.0)).min(1.0);
+                    }
+                }
+                self.defaults_used += 1;
+                (list.len() as f64 / DEFAULT_LABEL_COUNT).min(1.0)
+            }
+            Expr::Const(gs_graph::Value::Bool(b)) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            _ => {
+                self.defaults_used += 1;
+                0.5
+            }
+        }
+    }
+
+    /// Records one op's output cost, checking the C002/C003 budgets.
+    fn step(
+        &mut self,
+        per_op: &mut Vec<OpCost>,
+        op_index: usize,
+        expands: bool,
+        est_rows: f64,
+        interval: CardInterval,
+        width: usize,
+    ) -> (f64, CardInterval) {
+        let est_rows = est_rows.clamp(interval.lo, interval.hi.max(interval.lo));
+        let est_bytes = est_rows * width.max(1) as f64 * VALUE_BYTES;
+        if expands && !self.blowup_reported && est_rows > self.budget.max_rows {
+            self.blowup_reported = true;
+            self.emit(
+                C_EXPANSION_BLOWUP,
+                Severity::Error,
+                Some(op_index),
+                format!(
+                    "estimated {est_rows:.0} rows exceed the expansion budget of {:.0}",
+                    self.budget.max_rows
+                ),
+            );
+        }
+        per_op.push(OpCost {
+            est_rows,
+            interval,
+            width,
+            est_bytes,
+        });
+        (est_rows, interval)
+    }
+
+    fn finish(mut self, per_op: Vec<OpCost>) -> CostReport {
+        if self.stats.is_none() {
+            self.emit(
+                W_NO_STATISTICS,
+                Severity::Warning,
+                None,
+                "no statistics catalog; bounds are conservative capability-derived defaults".into(),
+            );
+        } else if self.defaults_used > 0 {
+            self.emit(
+                W_LOW_CONFIDENCE,
+                Severity::Warning,
+                None,
+                format!(
+                    "{} low-confidence estimate(s): defaulted selectivity or distinct count",
+                    self.defaults_used
+                ),
+            );
+        }
+        let peak = per_op.iter().map(|c| c.est_bytes).fold(0.0, f64::max);
+        if peak > self.budget.max_memory_bytes as f64 {
+            let at = per_op
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.est_bytes.total_cmp(&b.est_bytes))
+                .map(|(i, _)| i);
+            self.diags.push(Diagnostic {
+                code: C_MEMORY_BUDGET,
+                severity: Severity::Error,
+                op_index: at,
+                rule: None,
+                message: format!(
+                    "estimated peak memory {:.0} bytes exceeds the budget of {} bytes",
+                    peak, self.budget.max_memory_bytes
+                ),
+            });
+        }
+        let total: f64 = per_op.iter().map(|c| c.est_rows).sum();
+        let output = per_op.last().map(|c| c.est_rows).unwrap_or(0.0);
+        CostReport {
+            total_est_rows: total,
+            output_est_rows: output,
+            peak_est_bytes: peak,
+            per_op,
+            report: VerifyReport {
+                diagnostics: self.diags,
+            },
+        }
+    }
+}
+
+/// Columns referenced by an expression.
+fn expr_columns(e: &Expr, out: &mut Vec<usize>) {
+    match e {
+        Expr::Column(c) => out.push(*c),
+        Expr::VertexProp { col, .. } | Expr::EdgeProp { col, .. } | Expr::VertexId { col, .. } => {
+            out.push(*col)
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            expr_columns(lhs, out);
+            expr_columns(rhs, out);
+        }
+        Expr::Not(inner) => expr_columns(inner, out),
+        Expr::In { expr, .. } => expr_columns(expr, out),
+        Expr::Const(_) => {}
+    }
+}
+
+/// Does any op after `start` connect the columns below `boundary` to the
+/// columns at/above it (a predicate or intersection spanning both sides)?
+fn physically_connected(ops: &[PhysicalOp], start: usize, boundary: usize) -> bool {
+    ops[start..].iter().any(|op| match op {
+        PhysicalOp::Select { predicate } => {
+            let mut cols = Vec::new();
+            expr_columns(predicate, &mut cols);
+            cols.iter().any(|&c| c >= boundary) && cols.iter().any(|&c| c < boundary)
+        }
+        PhysicalOp::ExpandIntersect {
+            src_col, dst_col, ..
+        } => (*src_col < boundary) != (*dst_col < boundary),
+        _ => false,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Physical analysis
+// ---------------------------------------------------------------------
+
+/// Runs the abstract interpreter over a physical plan.
+pub fn cost_physical(
+    plan: &PhysicalPlan,
+    stats: Option<&CostStats>,
+    budget: &CostBudget,
+) -> CostReport {
+    let mut ck = CostChecker::new(stats, budget);
+    let mut per_op = Vec::with_capacity(plan.ops.len());
+    // execution starts from one empty record
+    let mut est = 1.0f64;
+    let mut iv = CardInterval::exact(1.0);
+    let mut kinds: Vec<ColumnKind> = Vec::new();
+
+    for (i, op) in plan.ops.iter().enumerate() {
+        match op {
+            PhysicalOp::Scan {
+                label,
+                predicate,
+                index_lookup,
+            } => {
+                let (n, known) = ck.label_count(*label, Some(i));
+                if !kinds.is_empty() && !physically_connected(&plan.ops, i + 1, kinds.len()) {
+                    ck.emit(
+                        C_CROSS_PRODUCT,
+                        Severity::Error,
+                        Some(i),
+                        format!(
+                            "scan of label {label:?} cross-products {} bound column(s) with no \
+                             connecting predicate downstream",
+                            kinds.len()
+                        ),
+                    );
+                }
+                let sel = match (index_lookup, predicate) {
+                    (Some((prop, _)), _) => {
+                        let d = stats
+                            .and_then(|s| s.distinct(*label, *prop))
+                            .unwrap_or(DEFAULT_DISTINCT);
+                        // residual predicate may filter further, but the
+                        // index lookup already bounds the estimate
+                        1.0 / d.max(1) as f64
+                    }
+                    (None, Some(p)) => ck.selectivity(p),
+                    (None, None) => 1.0,
+                };
+                let exact = known && predicate.is_none() && index_lookup.is_none();
+                let next = CardInterval {
+                    lo: if exact { iv.lo * n } else { 0.0 },
+                    hi: if known { iv.hi * n } else { f64::INFINITY },
+                };
+                kinds.push(ColumnKind::Vertex(*label));
+                (est, iv) = ck.step(&mut per_op, i, true, est * n * sel, next, kinds.len());
+            }
+            PhysicalOp::Expand {
+                elabel,
+                dir,
+                predicate,
+                out,
+                ..
+            } => {
+                let (avg, max) = ck.fanout(*elabel, *dir, Some(i));
+                let sel = predicate.as_ref().map(|p| ck.selectivity(p)).unwrap_or(1.0);
+                let next = CardInterval::at_most(iv.hi * max);
+                kinds.push(match out {
+                    ExpandOut::Edge => ColumnKind::Edge(*elabel),
+                    ExpandOut::VertexFused { label } => ColumnKind::Vertex(*label),
+                });
+                (est, iv) = ck.step(&mut per_op, i, true, est * avg * sel, next, kinds.len());
+            }
+            PhysicalOp::GetVertex {
+                label, predicate, ..
+            } => {
+                let sel = predicate.as_ref().map(|p| ck.selectivity(p)).unwrap_or(1.0);
+                let next = if predicate.is_none() {
+                    iv // exactly one endpoint per edge
+                } else {
+                    CardInterval::at_most(iv.hi)
+                };
+                kinds.push(ColumnKind::Vertex(*label));
+                (est, iv) = ck.step(&mut per_op, i, false, est * sel, next, kinds.len());
+            }
+            PhysicalOp::ExpandIntersect {
+                elabel,
+                dir,
+                dst_col,
+                bind_edge,
+                predicate,
+                ..
+            } => {
+                let (avg, max) = ck.fanout(*elabel, *dir, Some(i));
+                let n_dst = match kinds.get(*dst_col) {
+                    Some(ColumnKind::Vertex(l)) => ck.label_count(*l, Some(i)).0,
+                    _ => DEFAULT_LABEL_COUNT,
+                };
+                // probability an elabel edge closes onto the one bound dst
+                let close = (avg / n_dst.max(1.0)).min(1.0);
+                let sel = predicate.as_ref().map(|p| ck.selectivity(p)).unwrap_or(1.0);
+                let hi = if *bind_edge { iv.hi * max } else { iv.hi };
+                if *bind_edge {
+                    kinds.push(ColumnKind::Edge(*elabel));
+                }
+                (est, iv) = ck.step(
+                    &mut per_op,
+                    i,
+                    true,
+                    est * close * sel,
+                    CardInterval::at_most(hi),
+                    kinds.len(),
+                );
+            }
+            PhysicalOp::Select { predicate } => {
+                let sel = ck.selectivity(predicate);
+                (est, iv) = ck.step(
+                    &mut per_op,
+                    i,
+                    false,
+                    est * sel,
+                    CardInterval::at_most(iv.hi),
+                    kinds.len(),
+                );
+            }
+            PhysicalOp::Project { items } => {
+                let mut next_kinds = Vec::with_capacity(items.len());
+                for (it, _) in items {
+                    next_kinds.push(match it {
+                        ProjectItem::Expr(Expr::Column(c)) => {
+                            kinds.get(*c).cloned().unwrap_or(ColumnKind::Scalar)
+                        }
+                        _ => ColumnKind::Scalar,
+                    });
+                }
+                let n_aggs = items
+                    .iter()
+                    .filter(|(it, _)| matches!(it, ProjectItem::Agg(..)))
+                    .count();
+                let (next_est, next_iv) = project_cardinality(est, iv, n_aggs, items.len());
+                kinds = next_kinds;
+                (est, iv) = ck.step(&mut per_op, i, false, next_est, next_iv, kinds.len());
+            }
+            PhysicalOp::Order { limit, .. } => {
+                let next = match limit {
+                    Some(n) => CardInterval {
+                        lo: iv.lo.min(*n as f64),
+                        hi: iv.hi.min(*n as f64),
+                    },
+                    None => iv,
+                };
+                let next_est = limit.map(|n| est.min(n as f64)).unwrap_or(est);
+                (est, iv) = ck.step(&mut per_op, i, false, next_est, next, kinds.len());
+            }
+            PhysicalOp::Dedup { .. } => {
+                let next = CardInterval {
+                    lo: if iv.lo > 0.0 { 1.0 } else { 0.0 },
+                    hi: iv.hi,
+                };
+                (est, iv) = ck.step(&mut per_op, i, false, est, next, kinds.len());
+            }
+            PhysicalOp::Limit { n } => {
+                let next = CardInterval {
+                    lo: iv.lo.min(*n as f64),
+                    hi: iv.hi.min(*n as f64),
+                };
+                (est, iv) = ck.step(&mut per_op, i, false, est.min(*n as f64), next, kinds.len());
+            }
+        }
+    }
+    ck.finish(per_op)
+}
+
+/// Output cardinality of a projection: keyless all-aggregate projections
+/// produce exactly one row (even on empty input); grouped aggregation
+/// produces between one group (when input is non-empty) and one per row;
+/// plain projections are 1:1.
+fn project_cardinality(
+    est: f64,
+    iv: CardInterval,
+    n_aggs: usize,
+    n_items: usize,
+) -> (f64, CardInterval) {
+    if n_aggs == 0 {
+        return (est, iv);
+    }
+    if n_aggs == n_items {
+        return (1.0, CardInterval::exact(1.0));
+    }
+    // grouped: #groups ≤ #rows; at least one group when input non-empty
+    let lo = if iv.lo > 0.0 { 1.0 } else { 0.0 };
+    (
+        est.max(1.0).sqrt().max(1.0).min(est.max(1.0)),
+        CardInterval { lo, hi: iv.hi },
+    )
+}
+
+// ---------------------------------------------------------------------
+// Logical analysis
+// ---------------------------------------------------------------------
+
+/// Does any op after `start` connect old columns (below `boundary` in the
+/// layout) to the new one — the logical-plan cross-product check.
+fn logically_connected(ops: &[LogicalOp], start: usize, boundary: usize) -> bool {
+    ops[start..].iter().any(|op| match op {
+        LogicalOp::Select { predicate } => {
+            let mut cols = Vec::new();
+            expr_columns(predicate, &mut cols);
+            cols.iter().any(|&c| c >= boundary) && cols.iter().any(|&c| c < boundary)
+        }
+        _ => false,
+    })
+}
+
+/// Runs the abstract interpreter over a logical plan.
+pub fn cost_logical(
+    plan: &LogicalPlan,
+    stats: Option<&CostStats>,
+    budget: &CostBudget,
+) -> CostReport {
+    let mut ck = CostChecker::new(stats, budget);
+    let mut per_op = Vec::with_capacity(plan.ops.len());
+    let mut est = 1.0f64;
+    let mut iv = CardInterval::exact(1.0);
+
+    for (i, op) in plan.ops.iter().enumerate() {
+        let width_before = plan.layouts.get(i).map(|l| l.width()).unwrap_or_default();
+        let width = plan
+            .layouts
+            .get(i + 1)
+            .map(|l| l.width())
+            .unwrap_or(width_before);
+        match op {
+            LogicalOp::ScanVertex {
+                label, predicate, ..
+            } => {
+                let (n, known) = ck.label_count(*label, Some(i));
+                if width_before > 0 && !logically_connected(&plan.ops, i + 1, width_before) {
+                    ck.emit(
+                        C_CROSS_PRODUCT,
+                        Severity::Error,
+                        Some(i),
+                        format!(
+                            "scan of label {label:?} cross-products {width_before} bound \
+                             column(s) with no connecting predicate downstream"
+                        ),
+                    );
+                }
+                let sel = predicate.as_ref().map(|p| ck.selectivity(p)).unwrap_or(1.0);
+                let next = CardInterval {
+                    lo: if known && predicate.is_none() {
+                        iv.lo * n
+                    } else {
+                        0.0
+                    },
+                    hi: if known { iv.hi * n } else { f64::INFINITY },
+                };
+                (est, iv) = ck.step(&mut per_op, i, true, est * n * sel, next, width);
+            }
+            LogicalOp::ExpandEdge {
+                elabel,
+                dir,
+                predicate,
+                ..
+            } => {
+                let (avg, max) = ck.fanout(*elabel, *dir, Some(i));
+                let sel = predicate.as_ref().map(|p| ck.selectivity(p)).unwrap_or(1.0);
+                (est, iv) = ck.step(
+                    &mut per_op,
+                    i,
+                    true,
+                    est * avg * sel,
+                    CardInterval::at_most(iv.hi * max),
+                    width,
+                );
+            }
+            LogicalOp::GetVertex { predicate, .. } => {
+                let sel = predicate.as_ref().map(|p| ck.selectivity(p)).unwrap_or(1.0);
+                let next = if predicate.is_none() {
+                    iv
+                } else {
+                    CardInterval::at_most(iv.hi)
+                };
+                (est, iv) = ck.step(&mut per_op, i, false, est * sel, next, width);
+            }
+            LogicalOp::Match { pattern } => {
+                let (m_est, m_hi) = ck.pattern_cost(pattern, i);
+                (est, iv) = ck.step(
+                    &mut per_op,
+                    i,
+                    true,
+                    est * m_est,
+                    CardInterval::at_most(iv.hi * m_hi),
+                    width,
+                );
+            }
+            LogicalOp::Select { predicate } => {
+                let sel = ck.selectivity(predicate);
+                (est, iv) = ck.step(
+                    &mut per_op,
+                    i,
+                    false,
+                    est * sel,
+                    CardInterval::at_most(iv.hi),
+                    width,
+                );
+            }
+            LogicalOp::Project { items } => {
+                let n_aggs = items
+                    .iter()
+                    .filter(|(it, _)| matches!(it, ProjectItem::Agg(..)))
+                    .count();
+                let (next_est, next_iv) = project_cardinality(est, iv, n_aggs, items.len());
+                (est, iv) = ck.step(&mut per_op, i, false, next_est, next_iv, width);
+            }
+            LogicalOp::Order { limit, .. } => {
+                let next = match limit {
+                    Some(n) => CardInterval {
+                        lo: iv.lo.min(*n as f64),
+                        hi: iv.hi.min(*n as f64),
+                    },
+                    None => iv,
+                };
+                let next_est = limit.map(|n| est.min(n as f64)).unwrap_or(est);
+                (est, iv) = ck.step(&mut per_op, i, false, next_est, next, width);
+            }
+            LogicalOp::Dedup { .. } => {
+                let next = CardInterval {
+                    lo: if iv.lo > 0.0 { 1.0 } else { 0.0 },
+                    hi: iv.hi,
+                };
+                (est, iv) = ck.step(&mut per_op, i, false, est, next, width);
+            }
+            LogicalOp::Limit { n } => {
+                let next = CardInterval {
+                    lo: iv.lo.min(*n as f64),
+                    hi: iv.hi.min(*n as f64),
+                };
+                (est, iv) = ck.step(&mut per_op, i, false, est.min(*n as f64), next, width);
+            }
+        }
+    }
+    ck.finish(per_op)
+}
+
+impl CostChecker<'_> {
+    /// `(estimated rows, sound upper bound)` for a whole `Match` pattern,
+    /// simulated vertex-by-vertex in declaration order (order only moves
+    /// the intermediate sizes, not the output cardinality).
+    fn pattern_cost(&mut self, pattern: &Pattern, op: usize) -> (f64, f64) {
+        let n = pattern.vertices.len();
+        let mut est = 1.0f64;
+        let mut hi = 1.0f64;
+        let mut visited = vec![false; n];
+        let mut edge_done = vec![false; pattern.edges.len()];
+        for vi in 0..n {
+            let pv = &pattern.vertices[vi];
+            let sel = pv
+                .predicate
+                .as_ref()
+                .map(|p| self.selectivity(p))
+                .unwrap_or(1.0);
+            let conn = pattern
+                .incident(vi)
+                .into_iter()
+                .find(|&(ei, _, other)| !edge_done[ei] && visited[other]);
+            match conn {
+                None => {
+                    // anchor (or disconnected component): scan
+                    let (count, known) = self.label_count(pv.label, Some(op));
+                    est *= count * sel;
+                    hi *= if known { count } else { f64::INFINITY };
+                }
+                Some((ei, dir_from_vi, _)) => {
+                    let pe = &pattern.edges[ei];
+                    let dir = match dir_from_vi {
+                        Direction::Out => Direction::In,
+                        Direction::In => Direction::Out,
+                        Direction::Both => Direction::Both,
+                    };
+                    let (avg, max) = self.fanout(pe.label, dir, Some(op));
+                    let esel = pe
+                        .predicate
+                        .as_ref()
+                        .map(|p| self.selectivity(p))
+                        .unwrap_or(1.0);
+                    est *= avg * sel * esel;
+                    hi *= max;
+                    edge_done[ei] = true;
+                }
+            }
+            visited[vi] = true;
+            // closing edges only filter (each closes onto one bound vertex)
+            for (ej, _, other) in pattern.incident(vi) {
+                if edge_done[ej] || !visited[other] {
+                    continue;
+                }
+                let pe = &pattern.edges[ej];
+                let (avg, _) = self.fanout(pe.label, Direction::Out, Some(op));
+                let n_other = self.label_count(pattern.vertices[other].label, Some(op)).0;
+                est *= (avg / n_other.max(1.0)).min(1.0);
+                edge_done[ej] = true;
+            }
+        }
+        (est, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{ColumnKind, Layout};
+    use gs_graph::Value;
+
+    const V: LabelId = LabelId(0);
+    const E: LabelId = LabelId(0);
+
+    fn stats() -> CostStats {
+        CostStats {
+            vertex_counts: vec![100],
+            edge_stats: vec![EdgeCostStats {
+                count: 400,
+                avg_out_degree: 4.0,
+                avg_in_degree: 4.0,
+                max_out_degree: 12,
+                max_in_degree: 9,
+            }],
+            distinct_values: [((0u16, 0u16), 50u64)].into_iter().collect(),
+        }
+    }
+
+    fn scan() -> PhysicalOp {
+        PhysicalOp::Scan {
+            label: V,
+            predicate: None,
+            index_lookup: None,
+        }
+    }
+
+    fn expand() -> PhysicalOp {
+        PhysicalOp::Expand {
+            src_col: 0,
+            src_label: V,
+            elabel: E,
+            dir: Direction::Out,
+            predicate: None,
+            out: ExpandOut::VertexFused { label: V },
+        }
+    }
+
+    fn plan(ops: Vec<PhysicalOp>) -> PhysicalPlan {
+        PhysicalPlan {
+            ops,
+            layout: Layout::new(),
+        }
+    }
+
+    #[test]
+    fn scan_is_exact_with_statistics() {
+        let s = stats();
+        let c = cost_physical(&plan(vec![scan()]), Some(&s), &CostBudget::default());
+        assert_eq!(c.per_op[0].interval, CardInterval::exact(100.0));
+        assert_eq!(c.output_est_rows, 100.0);
+        assert!(c.report.is_clean(), "{}", c.report.render());
+    }
+
+    #[test]
+    fn expansion_bounds_use_max_degree() {
+        let s = stats();
+        let c = cost_physical(
+            &plan(vec![scan(), expand()]),
+            Some(&s),
+            &CostBudget::default(),
+        );
+        let e = &c.per_op[1];
+        assert_eq!(e.interval.lo, 0.0);
+        assert_eq!(e.interval.hi, 100.0 * 12.0);
+        assert!((e.est_rows - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn c001_cross_product_without_connecting_predicate() {
+        let s = stats();
+        let c = cost_physical(
+            &plan(vec![scan(), scan()]),
+            Some(&s),
+            &CostBudget::default(),
+        );
+        assert!(c.has_code(C_CROSS_PRODUCT), "{}", c.report.render());
+        assert_eq!(c.report.error_count(), 1);
+        // a connecting predicate downstream silences it
+        let connected = plan(vec![
+            scan(),
+            scan(),
+            PhysicalOp::Select {
+                predicate: Expr::bin(
+                    BinOp::Eq,
+                    Expr::VertexId { col: 0, label: V },
+                    Expr::VertexId { col: 1, label: V },
+                ),
+            },
+        ]);
+        let c = cost_physical(&connected, Some(&s), &CostBudget::default());
+        assert!(!c.has_code(C_CROSS_PRODUCT), "{}", c.report.render());
+    }
+
+    #[test]
+    fn c002_expansion_blowup_past_budget() {
+        let s = stats();
+        let budget = CostBudget {
+            max_rows: 1_000.0,
+            ..CostBudget::default()
+        };
+        let c = cost_physical(
+            &plan(vec![scan(), expand(), expand(), expand()]),
+            Some(&s),
+            &budget,
+        );
+        assert!(c.has_code(C_EXPANSION_BLOWUP), "{}", c.report.render());
+        // reported once, at the first op crossing the budget
+        assert_eq!(
+            c.report
+                .diagnostics
+                .iter()
+                .filter(|d| d.code == C_EXPANSION_BLOWUP)
+                .count(),
+            1
+        );
+        let generous = cost_physical(
+            &plan(vec![scan(), expand()]),
+            Some(&s),
+            &CostBudget::default(),
+        );
+        assert!(!generous.has_code(C_EXPANSION_BLOWUP));
+    }
+
+    #[test]
+    fn c003_memory_budget() {
+        let s = stats();
+        let budget = CostBudget {
+            max_memory_bytes: 1_000,
+            ..CostBudget::default()
+        };
+        let c = cost_physical(&plan(vec![scan()]), Some(&s), &budget);
+        assert!(c.has_code(C_MEMORY_BUDGET), "{}", c.report.render());
+        assert!(c.peak_est_bytes > 1_000.0);
+    }
+
+    #[test]
+    fn c301_without_statistics() {
+        let c = cost_physical(&plan(vec![scan()]), None, &CostBudget::default());
+        assert!(c.has_code(W_NO_STATISTICS), "{}", c.report.render());
+        assert_eq!(c.report.error_count(), 0);
+        // unbounded: hi is infinite but lo stays sound
+        assert!(c.per_op[0].interval.hi.is_infinite());
+    }
+
+    #[test]
+    fn c301_for_label_outside_statistics() {
+        let s = stats();
+        let p = plan(vec![PhysicalOp::Scan {
+            label: LabelId(7),
+            predicate: None,
+            index_lookup: None,
+        }]);
+        let c = cost_physical(&p, Some(&s), &CostBudget::default());
+        assert!(c.has_code(W_NO_STATISTICS), "{}", c.report.render());
+    }
+
+    #[test]
+    fn c302_on_defaulted_selectivity() {
+        let s = stats();
+        let p = plan(vec![
+            scan(),
+            PhysicalOp::Select {
+                // property not in distinct_values → defaulted distinct
+                predicate: Expr::bin(
+                    BinOp::Eq,
+                    Expr::VertexProp {
+                        col: 0,
+                        label: V,
+                        prop: PropId(3),
+                    },
+                    Expr::Const(Value::Int(1)),
+                ),
+            },
+        ]);
+        let c = cost_physical(&p, Some(&s), &CostBudget::default());
+        assert!(c.has_code(W_LOW_CONFIDENCE), "{}", c.report.render());
+    }
+
+    #[test]
+    fn limit_clamps_and_projection_aggregates() {
+        let s = stats();
+        let p = plan(vec![
+            scan(),
+            PhysicalOp::Limit { n: 7 },
+            PhysicalOp::Project {
+                items: vec![(
+                    ProjectItem::Agg(crate::expr::AggFunc::Count, Expr::Column(0)),
+                    "n".into(),
+                )],
+            },
+        ]);
+        let c = cost_physical(&p, Some(&s), &CostBudget::default());
+        assert_eq!(c.per_op[1].interval, CardInterval { lo: 7.0, hi: 7.0 });
+        // keyless aggregate: exactly one row, even over empty input
+        assert_eq!(c.per_op[2].interval, CardInterval::exact(1.0));
+    }
+
+    #[test]
+    fn logical_and_physical_agree_on_simple_chain() {
+        let s = stats();
+        let mut l0 = Layout::new();
+        l0.push("v", ColumnKind::Vertex(V)).unwrap();
+        let lp = LogicalPlan {
+            ops: vec![LogicalOp::ScanVertex {
+                alias: "v".into(),
+                label: V,
+                predicate: None,
+            }],
+            layouts: vec![Layout::new(), l0],
+        };
+        let cl = cost_logical(&lp, Some(&s), &CostBudget::default());
+        let cp = cost_physical(&plan(vec![scan()]), Some(&s), &CostBudget::default());
+        assert_eq!(cl.output_est_rows, cp.output_est_rows);
+        assert_eq!(cl.per_op[0].interval, cp.per_op[0].interval);
+    }
+
+    #[test]
+    fn enforce_denies_only_errors() {
+        let s = stats();
+        let cross = cost_physical(
+            &plan(vec![scan(), scan()]),
+            Some(&s),
+            &CostBudget::default(),
+        );
+        assert!(enforce_cost(&cross, VerifyLevel::Warn, "test").is_ok());
+        assert!(enforce_cost(&cross, VerifyLevel::Deny, "test").is_err());
+        let clean = cost_physical(&plan(vec![scan()]), Some(&s), &CostBudget::default());
+        assert!(enforce_cost(&clean, VerifyLevel::Deny, "test").is_ok());
+        assert!(enforce_cost(&cross, VerifyLevel::Off, "test").is_ok());
+    }
+
+    #[test]
+    fn over_budget_reflects_output_and_memory() {
+        let s = stats();
+        let c = cost_physical(&plan(vec![scan()]), Some(&s), &CostBudget::default());
+        assert!(!c.over_budget(&CostBudget::default()));
+        assert!(c.over_budget(&CostBudget {
+            max_rows: 10.0,
+            ..CostBudget::default()
+        }));
+        assert!(c.over_budget(&CostBudget {
+            max_memory_bytes: 16,
+            ..CostBudget::default()
+        }));
+    }
+}

@@ -31,6 +31,26 @@ pub fn execute(plan: &PhysicalPlan, graph: &dyn GrinGraph) -> Result<Vec<Record>
     Ok(records)
 }
 
+/// Like [`execute`], but also returns the actual output cardinality of
+/// every operator (in plan order), recording each under the
+/// `ir.cost.actual_rows` counter. `gs-bench costcheck` diffs these
+/// actuals against the static estimates from [`crate::cost`] to track
+/// estimator quality (q-error), and the soundness property test checks
+/// each actual falls inside the predicted `[lo, hi]` interval.
+pub fn execute_traced(
+    plan: &PhysicalPlan,
+    graph: &dyn GrinGraph,
+) -> Result<(Vec<Record>, Vec<u64>)> {
+    let mut records: Vec<Record> = vec![Record::new()];
+    let mut actuals = Vec::with_capacity(plan.ops.len());
+    for op in &plan.ops {
+        records = apply(op, records, graph)?;
+        gs_telemetry::counter!("ir.cost.actual_rows", op = op.name(); records.len() as u64);
+        actuals.push(records.len() as u64);
+    }
+    Ok((records, actuals))
+}
+
 /// Applies one operator to a batch (shared by the reference executor and by
 /// Gaia's per-worker pipelines).
 pub fn apply(op: &PhysicalOp, input: Vec<Record>, graph: &dyn GrinGraph) -> Result<Vec<Record>> {

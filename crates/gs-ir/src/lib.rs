@@ -20,6 +20,7 @@
 //!   runtimes and are differential-tested against it.
 
 pub mod builder;
+pub mod cost;
 pub mod engine;
 pub mod exec;
 pub mod expr;
@@ -30,6 +31,10 @@ pub mod record;
 pub mod verify;
 
 pub use builder::PlanBuilder;
+pub use cost::{
+    cost_logical, cost_physical, enforce_cost, CardInterval, CostBudget, CostReport, CostStats,
+    EdgeCostStats, OpCost,
+};
 pub use engine::{PreparedQuery, QueryEngine, ReferenceEngine, VerifyOnce};
 pub use expr::{AggFunc, BinOp, Expr};
 pub use logical::{LogicalOp, LogicalPlan};

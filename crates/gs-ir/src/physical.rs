@@ -188,6 +188,22 @@ impl PhysicalOp {
                 }
         )
     }
+
+    /// Stable lowercase operator name, used as the `op` telemetry field
+    /// on `ir.cost.actual_rows` and in costcheck reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysicalOp::Scan { .. } => "scan",
+            PhysicalOp::Expand { .. } => "expand",
+            PhysicalOp::GetVertex { .. } => "get_vertex",
+            PhysicalOp::ExpandIntersect { .. } => "expand_intersect",
+            PhysicalOp::Select { .. } => "select",
+            PhysicalOp::Project { .. } => "project",
+            PhysicalOp::Order { .. } => "order",
+            PhysicalOp::Dedup { .. } => "dedup",
+            PhysicalOp::Limit { .. } => "limit",
+        }
+    }
 }
 
 /// A physical plan with its output layout.

@@ -10,36 +10,66 @@
 
 use gs_graph::{LabelId, PropId};
 use gs_grin::{Direction, GrinGraph};
+use gs_ir::cost::{CostStats, EdgeCostStats};
 use gs_ir::expr::{BinOp, Expr};
 use gs_ir::Pattern;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+/// Seed used by [`GlogueCatalog::build`]; `build_seeded` takes any.
+pub const DEFAULT_SAMPLE_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// splitmix64 — the dependency-free PRNG step used for sampling, so two
+/// builds over the same graph are bit-identical for the same seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// Per-edge-label statistics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct EdgeStats {
     pub count: u64,
     /// Average out-degree over *source-label* vertices.
     pub avg_out_degree: f64,
     /// Average in-degree over *destination-label* vertices.
     pub avg_in_degree: f64,
+    /// Maximum out-degree over source-label vertices (sound expansion
+    /// bound for `gs-ir::cost`).
+    pub max_out_degree: u64,
+    /// Maximum in-degree over destination-label vertices.
+    pub max_in_degree: u64,
 }
 
 /// The statistics catalog.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct GlogueCatalog {
     /// Vertex count per label.
     pub vertex_counts: Vec<u64>,
     /// Edge stats per edge label.
     pub edge_stats: Vec<EdgeStats>,
     /// Sampled distinct-value counts: (vertex label, prop) → estimated
-    /// number of distinct values.
-    pub distinct_values: HashMap<(u16, u16), u64>,
+    /// number of distinct values. Ordered map so accumulation and any
+    /// later iteration are independent of hash order (gs-lint L002).
+    pub distinct_values: BTreeMap<(u16, u16), u64>,
 }
 
 impl GlogueCatalog {
     /// Builds the catalog by scanning counts and sampling up to
-    /// `sample_per_label` vertices per label for property statistics.
+    /// `sample_per_label` vertices per label for property statistics,
+    /// with the default sampling seed. Deterministic: two builds over the
+    /// same graph are equal.
     pub fn build(graph: &dyn GrinGraph, sample_per_label: usize) -> Self {
+        Self::build_seeded(graph, sample_per_label, DEFAULT_SAMPLE_SEED)
+    }
+
+    /// [`build`](Self::build) with an explicit sampling seed. Sample
+    /// positions come from a seeded splitmix64 stream over the label's
+    /// id range — never from map iteration order — so the result is a
+    /// pure function of `(graph, sample_per_label, seed)`.
+    pub fn build_seeded(graph: &dyn GrinGraph, sample_per_label: usize, seed: u64) -> Self {
         let schema = graph.schema();
         let vertex_counts: Vec<u64> = schema
             .vertex_labels()
@@ -53,22 +83,41 @@ impl GlogueCatalog {
                 let m = graph.edge_count(l.id) as u64;
                 let src_n = graph.vertex_count(l.src).max(1) as f64;
                 let dst_n = graph.vertex_count(l.dst).max(1) as f64;
+                let max_out = graph
+                    .vertices(l.src)
+                    .map(|v| graph.degree(v, l.src, l.id, Direction::Out))
+                    .max()
+                    .unwrap_or(0) as u64;
+                let max_in = graph
+                    .vertices(l.dst)
+                    .map(|v| graph.degree(v, l.dst, l.id, Direction::In))
+                    .max()
+                    .unwrap_or(0) as u64;
                 EdgeStats {
                     count: m,
                     avg_out_degree: m as f64 / src_n,
                     avg_in_degree: m as f64 / dst_n,
+                    max_out_degree: max_out,
+                    max_in_degree: max_in,
                 }
             })
             .collect();
-        let mut distinct_values = HashMap::new();
+        let mut distinct_values = BTreeMap::new();
         for l in schema.vertex_labels() {
             let n = graph.vertex_count(l.id);
-            let step = (n / sample_per_label.max(1)).max(1);
+            if n == 0 {
+                continue;
+            }
+            let samples = sample_per_label.max(1).min(n);
             for p in &l.properties {
-                let mut seen = std::collections::HashSet::new();
+                // per-(label, prop) stream so adding a property never
+                // shifts the samples drawn for another
+                let mut rng = seed ^ ((l.id.0 as u64) << 32) ^ (p.id.0 as u64);
+                let mut seen = std::collections::BTreeSet::new();
                 let mut sampled = 0u64;
-                for i in (0..n).step_by(step) {
-                    let v = graph.vertex_property(l.id, gs_graph::VId(i as u64), p.id);
+                for _ in 0..samples {
+                    let i = splitmix64(&mut rng) % n as u64;
+                    let v = graph.vertex_property(l.id, gs_graph::VId(i), p.id);
                     if !v.is_null() {
                         seen.insert(format!("{v}"));
                     }
@@ -87,6 +136,26 @@ impl GlogueCatalog {
             vertex_counts,
             edge_stats,
             distinct_values,
+        }
+    }
+
+    /// Converts into the dependency-free statistics form `gs-ir::cost`
+    /// consumes (gs-ir cannot depend on this crate).
+    pub fn to_cost_stats(&self) -> CostStats {
+        CostStats {
+            vertex_counts: self.vertex_counts.clone(),
+            edge_stats: self
+                .edge_stats
+                .iter()
+                .map(|s| EdgeCostStats {
+                    count: s.count,
+                    avg_out_degree: s.avg_out_degree,
+                    avg_in_degree: s.avg_in_degree,
+                    max_out_degree: s.max_out_degree,
+                    max_in_degree: s.max_in_degree,
+                })
+                .collect(),
+            distinct_values: self.distinct_values.clone(),
         }
     }
 
@@ -147,6 +216,57 @@ impl GlogueCatalog {
     }
 }
 
+fn vertex_base_cost(pattern: &Pattern, catalog: &GlogueCatalog, vi: usize) -> f64 {
+    let pv = &pattern.vertices[vi];
+    let sel = pv
+        .predicate
+        .as_ref()
+        .map(|p| catalog.vertex_selectivity(pv.label, p))
+        .unwrap_or(1.0);
+    catalog.label_count(pv.label) * sel
+}
+
+/// Estimated cost of visiting a pattern in a given `order`: the sum of
+/// intermediate frontier sizes, exactly the objective [`cbo_order`]
+/// greedily minimises step by step (the paper's plan cost). Shared by the
+/// greedy-vs-exhaustive comparison test.
+pub fn order_cost(pattern: &Pattern, order: &[usize], catalog: &GlogueCatalog) -> f64 {
+    let mut visited = vec![false; pattern.vertices.len()];
+    let mut frontier = 1.0f64;
+    let mut total = 0.0f64;
+    for &vi in order {
+        let sel = pattern.vertices[vi]
+            .predicate
+            .as_ref()
+            .map(|p| catalog.vertex_selectivity(pattern.vertices[vi].label, p))
+            .unwrap_or(1.0);
+        // cheapest edge connecting vi to the visited frontier, if any
+        let fanout = pattern
+            .incident(vi)
+            .into_iter()
+            .filter(|&(_, _, other)| visited[other])
+            .map(|(ei, dir_from_vi, _)| {
+                let dir = match dir_from_vi {
+                    Direction::Out => Direction::In,
+                    Direction::In => Direction::Out,
+                    Direction::Both => Direction::Both,
+                };
+                catalog
+                    .expansion_factor(pattern.edges[ei].label, dir)
+                    .max(0.01)
+            })
+            .min_by(f64::total_cmp);
+        frontier = match fanout {
+            Some(f) => (frontier * f * sel).max(1.0),
+            // disconnected (or anchor): cross-product with a fresh scan
+            None => (frontier * vertex_base_cost(pattern, catalog, vi).max(1.0)).max(1.0),
+        };
+        visited[vi] = true;
+        total += frontier;
+    }
+    total
+}
+
 /// Picks a pattern visit order by greedy cost minimisation: the anchor is
 /// the vertex with the smallest (cardinality × selectivity); each step
 /// extends with the incident edge minimising the running intermediate size;
@@ -157,15 +277,7 @@ pub fn cbo_order(pattern: &Pattern, catalog: &GlogueCatalog) -> Vec<usize> {
     if n == 0 {
         return Vec::new();
     }
-    let base_cost = |vi: usize| {
-        let pv = &pattern.vertices[vi];
-        let sel = pv
-            .predicate
-            .as_ref()
-            .map(|p| catalog.vertex_selectivity(pv.label, p))
-            .unwrap_or(1.0);
-        catalog.label_count(pv.label) * sel
-    };
+    let base_cost = |vi: usize| vertex_base_cost(pattern, catalog, vi);
     let anchor = (0..n)
         .min_by(|&a, &b| base_cost(a).partial_cmp(&base_cost(b)).unwrap())
         .unwrap();
@@ -291,6 +403,123 @@ mod tests {
         );
         let order = cbo_order(&p, &c);
         assert_eq!(order, vec![b, a], "anchor should be the selective vertex");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        // same graph, two builds → bit-identical catalogs; a different
+        // seed may differ only in the sampled distinct counts
+        let edges: Vec<(u64, u64, f64)> = (1..100).map(|i| (0u64, i, 1.0)).collect();
+        let mut g = MockGraph::new(100, &edges);
+        for i in 0..100 {
+            g.set_tag(gs_graph::VId(i), (i % 7) as i64);
+        }
+        let a = GlogueCatalog::build(&g, 50);
+        let b = GlogueCatalog::build(&g, 50);
+        assert_eq!(a, b);
+        let c = GlogueCatalog::build_seeded(&g, 50, 1);
+        let d = GlogueCatalog::build_seeded(&g, 50, 1);
+        assert_eq!(c, d);
+        assert_eq!(a.vertex_counts, c.vertex_counts);
+        assert_eq!(a.edge_stats, c.edge_stats);
+    }
+
+    #[test]
+    fn catalog_records_max_degrees() {
+        let c = catalog();
+        // star: the hub has out-degree 99, every spoke in-degree 1
+        assert_eq!(c.edge_stats[0].max_out_degree, 99);
+        assert_eq!(c.edge_stats[0].max_in_degree, 1);
+        let cs = c.to_cost_stats();
+        assert_eq!(cs.edge_stats[0].max_out_degree, 99);
+        assert_eq!(cs.vertex_counts, c.vertex_counts);
+    }
+
+    fn permutations(n: usize) -> Vec<Vec<usize>> {
+        if n == 0 {
+            return vec![Vec::new()];
+        }
+        let mut out = Vec::new();
+        for p in permutations(n - 1) {
+            for i in 0..=p.len() {
+                let mut q = p.clone();
+                q.insert(i, n - 1);
+                out.push(q);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn greedy_order_is_near_optimal_on_small_patterns() {
+        let c = catalog();
+        let selective = |p: &mut Pattern, v: usize| {
+            p.and_vertex_predicate(
+                v,
+                Expr::bin(
+                    BinOp::Eq,
+                    Expr::VertexId {
+                        col: 0,
+                        label: LabelId(0),
+                    },
+                    Expr::Const(Value::Int(7)),
+                ),
+            )
+        };
+        // a small zoo of ≤4-vertex patterns: chain, triangle, star, square
+        let mut patterns = Vec::new();
+        let mut chain = Pattern::new();
+        let (a, b, d) = (
+            chain.add_vertex("a", LabelId(0)),
+            chain.add_vertex("b", LabelId(0)),
+            chain.add_vertex("c", LabelId(0)),
+        );
+        chain.add_edge(None, LabelId(0), a, b);
+        chain.add_edge(None, LabelId(0), b, d);
+        selective(&mut chain, d);
+        patterns.push(chain);
+        let mut tri = Pattern::new();
+        let (a, b, d) = (
+            tri.add_vertex("a", LabelId(0)),
+            tri.add_vertex("b", LabelId(0)),
+            tri.add_vertex("c", LabelId(0)),
+        );
+        tri.add_edge(None, LabelId(0), a, b);
+        tri.add_edge(None, LabelId(0), b, d);
+        tri.add_edge(None, LabelId(0), a, d);
+        patterns.push(tri);
+        let mut star = Pattern::new();
+        let hub = star.add_vertex("h", LabelId(0));
+        for name in ["x", "y", "z"] {
+            let v = star.add_vertex(name, LabelId(0));
+            star.add_edge(None, LabelId(0), hub, v);
+        }
+        selective(&mut star, hub);
+        patterns.push(star);
+        let mut square = Pattern::new();
+        let vs: Vec<usize> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| square.add_vertex(n, LabelId(0)))
+            .collect();
+        for i in 0..4 {
+            square.add_edge(None, LabelId(0), vs[i], vs[(i + 1) % 4]);
+        }
+        selective(&mut square, vs[2]);
+        patterns.push(square);
+
+        for p in &patterns {
+            let greedy = cbo_order(p, &c);
+            let greedy_cost = order_cost(p, &greedy, &c);
+            let best = permutations(p.vertices.len())
+                .iter()
+                .map(|o| order_cost(p, o, &c))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                greedy_cost <= 2.0 * best,
+                "greedy {greedy_cost} vs optimal {best} on {:?}",
+                p.vertices.iter().map(|v| &v.alias).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

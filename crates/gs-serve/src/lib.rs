@@ -19,11 +19,16 @@
 //! * **Admission control** ([`admission`]): per-tenant quotas and a
 //!   priority shed ladder over the PR 5 circuit breaker — under overload
 //!   the service sheds (`Overloaded`) instead of collapsing.
+//! * **Static cost gate** ([`CostGate`]): every prepared statement
+//!   carries its `gs_ir::cost` bounds; a statement whose *static*
+//!   estimate exceeds the (per-tenant) budget is shed or demoted to
+//!   [`Priority::Low`] **before** the admission ladder — abusive queries
+//!   are rejected from the plan alone, never executed.
 //!
 //! Telemetry rows: `serve.admitted`, `serve.shed{reason,priority}`,
-//! `serve.breaker.rejected`, `serve.plan_cache.{hit,miss}`,
-//! `serve.result_cache.{hit,miss}`, `serve.exec_ns{cache}`,
-//! `serve.sessions`.
+//! `serve.breaker.rejected`, `serve.cost.demoted`,
+//! `serve.plan_cache.{hit,miss}`, `serve.result_cache.{hit,miss}`,
+//! `serve.exec_ns{cache}`, `serve.sessions`.
 
 pub mod admission;
 pub mod cache;
@@ -31,6 +36,7 @@ pub mod store;
 
 pub use admission::{AdmissionConfig, AdmissionController, Priority, TenantQuota};
 pub use cache::LruCache;
+pub use gs_ir::cost::CostBudget;
 pub use store::{GartServeStore, ServeStore, StaticServeStore};
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -38,11 +44,52 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gs_graph::{GraphError, Result, Value};
+use gs_ir::cost::{cost_physical, CostReport, CostStats};
 use gs_ir::{PreparedQuery, QueryEngine, Record};
 use gs_lang::{CompiledQuery, Frontend};
 use gs_optimizer::Optimizer;
 use gs_telemetry::{counter, observe};
 use std::collections::HashMap;
+
+/// What to do with a statement whose static cost bound exceeds the
+/// tenant's budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostAction {
+    /// Reject with `Overloaded` before the admission ladder — the query
+    /// never reaches an engine.
+    Shed,
+    /// Let it run, but demoted to [`Priority::Low`] so the watermark
+    /// ladder sheds it first under load.
+    Demote,
+}
+
+/// The static-cost rung of the admission ladder: prepared statements are
+/// costed once at compile time (`gs_ir::cost`) and checked against a
+/// budget at every execution.
+#[derive(Clone, Debug)]
+pub struct CostGate {
+    /// Budget applied to tenants without an override.
+    pub budget: CostBudget,
+    /// Per-tenant budget overrides.
+    pub tenants: HashMap<String, CostBudget>,
+    pub action: CostAction,
+}
+
+impl Default for CostGate {
+    fn default() -> Self {
+        Self {
+            budget: CostBudget::default(),
+            tenants: HashMap::new(),
+            action: CostAction::Shed,
+        }
+    }
+}
+
+impl CostGate {
+    fn budget_for(&self, tenant: &str) -> &CostBudget {
+        self.tenants.get(tenant).unwrap_or(&self.budget)
+    }
+}
 
 /// Server tuning knobs.
 pub struct ServeConfig {
@@ -57,6 +104,9 @@ pub struct ServeConfig {
     pub cache_results: bool,
     /// Admission ladder tuning.
     pub admission: AdmissionConfig,
+    /// Static-cost admission gate (`None` = no gating; plans are still
+    /// costed so the bounds show up in diagnostics).
+    pub cost: Option<CostGate>,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +117,7 @@ impl Default for ServeConfig {
             cache_plans: true,
             cache_results: true,
             admission: AdmissionConfig::default(),
+            cost: None,
         }
     }
 }
@@ -75,6 +126,10 @@ impl Default for ServeConfig {
 struct PlanEntry {
     compiled: CompiledQuery,
     prepared: Box<dyn PreparedQuery>,
+    /// Static cost bounds of the physical plan, computed once at
+    /// compile time with the optimizer's statistics (conservative
+    /// defaults without a catalog).
+    cost: CostReport,
 }
 
 /// A counter snapshot for tests and the storm harness.
@@ -91,6 +146,8 @@ pub struct ServerStats {
     pub shed_normal: u64,
     pub shed_high: u64,
     pub breaker_rejections: u64,
+    pub cost_shed: u64,
+    pub cost_demoted: u64,
     pub executed: u64,
     pub errors: u64,
     pub sessions: u64,
@@ -107,6 +164,11 @@ pub struct Server {
     plans: LruCache<(u64, u64), Arc<PlanEntry>>,
     results: LruCache<(u64, u64), Arc<Vec<Record>>>,
     admission: AdmissionController,
+    /// Statistics for static plan costing, snapshotted from the
+    /// optimizer's catalog at construction.
+    cost_stats: Option<CostStats>,
+    cost_shed: AtomicU64,
+    cost_demoted: AtomicU64,
     executed: AtomicU64,
     errors: AtomicU64,
     sessions: AtomicU64,
@@ -120,14 +182,29 @@ impl Server {
         store: Box<dyn ServeStore>,
         config: ServeConfig,
     ) -> Self {
+        Self::with_optimizer(engine, store, config, Optimizer::rbo_only())
+    }
+
+    /// A server with an explicit optimizer — pass `Optimizer::new(catalog)`
+    /// to give the static cost gate real statistics (otherwise it runs on
+    /// conservative defaults).
+    pub fn with_optimizer(
+        engine: Box<dyn QueryEngine>,
+        store: Box<dyn ServeStore>,
+        config: ServeConfig,
+        optimizer: Optimizer,
+    ) -> Self {
         Self {
             plans: LruCache::new("serve.plan_cache", config.plan_cache_capacity),
             results: LruCache::new("serve.result_cache", config.result_cache_capacity),
             admission: AdmissionController::new(config.admission.clone()),
+            cost_stats: optimizer.catalog.as_ref().map(|c| c.to_cost_stats()),
             engine,
             store,
-            optimizer: Optimizer::rbo_only(),
+            optimizer,
             config,
+            cost_shed: AtomicU64::new(0),
+            cost_demoted: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             sessions: AtomicU64::new(0),
@@ -175,6 +252,8 @@ impl Server {
             shed_normal,
             shed_high,
             breaker_rejections,
+            cost_shed: self.cost_shed.load(Ordering::Relaxed),
+            cost_demoted: self.cost_demoted.load(Ordering::Relaxed),
             executed: self.executed.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             sessions: self.sessions.load(Ordering::Relaxed),
@@ -203,20 +282,56 @@ impl Server {
         }
         let compiled = frontend.compile_with(text, self.store.schema(), params, &self.optimizer)?;
         let prepared = self.engine.prepare(&compiled.physical)?;
-        let entry = Arc::new(PlanEntry { compiled, prepared });
+        let budget = self
+            .config
+            .cost
+            .as_ref()
+            .map(|g| g.budget)
+            .unwrap_or_default();
+        let cost = cost_physical(&compiled.physical, self.cost_stats.as_ref(), &budget);
+        let entry = Arc::new(PlanEntry {
+            compiled,
+            prepared,
+            cost,
+        });
         if self.config.cache_plans {
             self.plans.insert(key, Arc::clone(&entry));
         }
         Ok(entry)
     }
 
-    /// The execute-many half: admission ladder, result cache, engine.
+    /// The execute-many half: cost gate, admission ladder, result cache,
+    /// engine.
     fn run_entry(
         &self,
         tenant: &str,
         priority: Priority,
         entry: &PlanEntry,
     ) -> Result<Arc<Vec<Record>>> {
+        // static-cost rung: decided from the plan's compile-time bounds,
+        // before the dynamic ladder — a shed statement never executes
+        let mut priority = priority;
+        if let Some(gate) = &self.config.cost {
+            if entry.cost.over_budget(gate.budget_for(tenant)) {
+                match gate.action {
+                    CostAction::Shed => {
+                        self.cost_shed.fetch_add(1, Ordering::Relaxed);
+                        counter!("serve.shed", reason = "cost", priority = priority.name());
+                        return Err(GraphError::Overloaded {
+                            shard: 0,
+                            depth: entry.cost.total_est_rows as u64,
+                        });
+                    }
+                    CostAction::Demote => {
+                        if priority != Priority::Low {
+                            self.cost_demoted.fetch_add(1, Ordering::Relaxed);
+                            counter!("serve.cost.demoted");
+                            priority = Priority::Low;
+                        }
+                    }
+                }
+            }
+        }
         let guard = self.admission.admit(tenant, priority, Instant::now())?;
         // snapshot + its pinned version, atomically: results are cached
         // under exactly the version they were computed at

@@ -20,7 +20,10 @@ use gs_gart::GartStore;
 use gs_graph::{GraphError, Value};
 use gs_ir::{ReferenceEngine, VerifyLevel};
 use gs_lang::Frontend;
-use gs_serve::{AdmissionConfig, GartServeStore, Priority, ServeConfig, Server, TenantQuota};
+use gs_serve::{
+    AdmissionConfig, CostAction, CostBudget, CostGate, GartServeStore, Priority, ServeConfig,
+    Server, TenantQuota,
+};
 
 fn fraud_server(capacity: usize) -> (Arc<Server>, Arc<GartStore>, gs_datagen::apps::FraudWorkload) {
     let workload = fraud_graph(60, 20, 200, 50, 7);
@@ -198,6 +201,100 @@ fn tenant_quota_is_isolated_from_other_tenants() {
     let quiet = server.session("quiet", Priority::Low);
     assert!(quiet.query(Frontend::Cypher, DEG_QUERY, &params).is_ok());
     drop(held);
+}
+
+fn tiny_cost_gate(action: CostAction) -> CostGate {
+    CostGate {
+        budget: CostBudget {
+            max_rows: 1.0,
+            ..Default::default()
+        },
+        tenants: HashMap::new(),
+        action,
+    }
+}
+
+/// The static cost gate sheds an over-budget query from the *plan alone*:
+/// the engine never runs, so `executed` stays zero and no execution error
+/// is recorded — only a structured `Overloaded` and a `cost_shed` count.
+#[test]
+fn statically_over_budget_query_is_shed_before_any_engine_runs() {
+    let workload = fraud_graph(60, 20, 200, 50, 7);
+    let store = GartStore::from_data(&workload.data).expect("workload loads");
+    let config = ServeConfig {
+        cost: Some(tiny_cost_gate(CostAction::Shed)),
+        ..Default::default()
+    };
+    let server = Arc::new(Server::new(
+        Box::new(ReferenceEngine::with_verify(VerifyLevel::Deny)),
+        Box::new(GartServeStore::new(store)),
+        config,
+    ));
+    let params = HashMap::new();
+    let session = server.session("analytics", Priority::High);
+
+    let err = session
+        .query(Frontend::Cypher, DEG_QUERY, &params)
+        .expect_err("a one-row budget must reject the scan statically");
+    assert!(
+        matches!(err, GraphError::Overloaded { .. }),
+        "expected Overloaded, got {err:?}"
+    );
+
+    let stats = server.stats();
+    assert_eq!(stats.cost_shed, 1, "the gate must account for the shed");
+    assert_eq!(stats.executed, 0, "the query must never reach an engine");
+    assert_eq!(stats.errors, 0, "static shedding is not an execution error");
+    assert_eq!(stats.plan_misses, 1, "the plan itself is still compiled");
+}
+
+/// `Demote` keeps an over-budget query runnable, but at `Low` priority:
+/// under pressure it sheds at the low watermark like any other low query,
+/// and once pressure lifts it executes normally.
+#[test]
+fn demoted_over_budget_query_sheds_at_the_low_watermark() {
+    let workload = fraud_graph(60, 20, 200, 50, 7);
+    let store = GartStore::from_data(&workload.data).expect("workload loads");
+    let config = ServeConfig {
+        admission: AdmissionConfig {
+            capacity: 2,
+            default_quota: TenantQuota { max_inflight: 2 },
+            ..Default::default()
+        },
+        cost: Some(tiny_cost_gate(CostAction::Demote)),
+        ..Default::default()
+    };
+    let server = Arc::new(Server::new(
+        Box::new(ReferenceEngine::with_verify(VerifyLevel::Deny)),
+        Box::new(GartServeStore::new(store)),
+        config,
+    ));
+    let params = HashMap::new();
+    let high = server.session("analytics", Priority::High);
+
+    // half the slots busy: load 0.5 is exactly the low-priority watermark
+    let held = server
+        .admission()
+        .admit("background", Priority::High, Instant::now())
+        .unwrap();
+
+    let err = high
+        .query(Frontend::Cypher, DEG_QUERY, &params)
+        .expect_err("demoted to Low, the query must shed at the watermark");
+    assert!(matches!(err, GraphError::Overloaded { .. }));
+
+    let stats = server.stats();
+    assert_eq!(stats.cost_demoted, 1);
+    assert_eq!(stats.cost_shed, 0, "Demote must not hard-shed");
+    assert_eq!(stats.shed_low, 1, "the demoted query sheds as Low");
+    assert_eq!(stats.shed_high, 0);
+
+    // pressure released → the demoted query runs to completion
+    drop(held);
+    assert!(high.query(Frontend::Cypher, DEG_QUERY, &params).is_ok());
+    let stats = server.stats();
+    assert_eq!(stats.cost_demoted, 2, "still over budget, demoted again");
+    assert_eq!(stats.executed, 1);
 }
 
 /// Chaos-armed smoke: with shard faults injected under the HiActor
