@@ -1,0 +1,19 @@
+//! Crash/restart equivalence run over the durable-GART kill corpus.
+//!
+//! ```text
+//! durability            run the corpus; always exit 0
+//! durability --deny     fail on any equivalence violation (the CI bar)
+//! durability --seed N   pin the fault plan and workload shape (default 42)
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let deny = args.iter().any(|a| a == "--deny");
+    let mut seed = 42u64;
+    for w in args.windows(2) {
+        if w[0] == "--seed" {
+            seed = w[1].parse().expect("--seed takes an integer");
+        }
+    }
+    std::process::exit(gs_bench::durability::run(deny, seed));
+}

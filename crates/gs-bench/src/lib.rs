@@ -14,6 +14,7 @@
 pub mod analytics;
 pub mod chaos;
 pub mod costcheck;
+pub mod durability;
 pub mod experiments;
 pub mod irlint;
 pub mod lint;

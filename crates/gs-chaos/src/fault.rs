@@ -57,6 +57,14 @@ pub struct FaultPlan {
     /// faulted runs provably converge within a bounded number of
     /// restarts/retries; scheduled kills and shard faults are exempt.
     pub fault_budget: u64,
+    /// Kill the process (panic with [`ChaosUnwind`](crate::ChaosUnwind))
+    /// at the WAL's `n`-th durable write (0-based, counted across log
+    /// records *and* checkpoint chunks). Each entry fires once.
+    pub wal_kills: Vec<u64>,
+    /// When a scheduled WAL kill fires, first write a torn strict prefix
+    /// of the pending record (seed-derived length) — the page-cache tear a
+    /// real crash leaves — instead of killing cleanly between writes.
+    pub wal_torn: bool,
 }
 
 impl FaultPlan {
@@ -73,6 +81,8 @@ impl FaultPlan {
             slow_shards: Vec::new(),
             dead_shards: Vec::new(),
             fault_budget: 0,
+            wal_kills: Vec::new(),
+            wal_torn: false,
         }
     }
 
@@ -114,6 +124,20 @@ impl FaultPlan {
         self.fault_budget = n;
         self
     }
+
+    /// Schedules a one-shot process kill at the WAL's `write`-th durable
+    /// write (see [`FaultPlan::wal_kills`]).
+    pub fn wal_kill(mut self, write: u64) -> Self {
+        self.wal_kills.push(write);
+        self
+    }
+
+    /// Makes scheduled WAL kills tear the in-flight record (write a strict
+    /// prefix, then die) instead of killing between writes.
+    pub fn wal_torn_writes(mut self) -> Self {
+        self.wal_torn = true;
+        self
+    }
 }
 
 /// What the hooks injected during one [`with_chaos`](crate::with_chaos)
@@ -127,6 +151,8 @@ pub struct ChaosStats {
     pub storage_faults: u64,
     pub shard_delays: u64,
     pub shard_deaths: u64,
+    pub wal_kills: u64,
+    pub wal_torn_writes: u64,
 }
 
 impl ChaosStats {
@@ -139,6 +165,8 @@ impl ChaosStats {
             + self.storage_faults
             + self.shard_delays
             + self.shard_deaths
+            + self.wal_kills
+            + self.wal_torn_writes
     }
 
     /// Compact one-line rendering for report tables, listing only the
@@ -153,6 +181,8 @@ impl ChaosStats {
             (self.storage_faults, "storage"),
             (self.shard_delays, "slow-jobs"),
             (self.shard_deaths, "shard-deaths"),
+            (self.wal_kills, "wal-kills"),
+            (self.wal_torn_writes, "torn-writes"),
         ] {
             if n > 0 {
                 parts.push(format!("{n} {label}"));
@@ -164,6 +194,19 @@ impl ChaosStats {
             parts.join(", ")
         }
     }
+}
+
+/// The verdict for one durable WAL write (log record or checkpoint chunk).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalWriteFault {
+    /// Write the full buffer (the only verdict in pass-through builds).
+    Proceed,
+    /// Die (panic with [`ChaosUnwind`](crate::ChaosUnwind)) *before* the
+    /// write: the disk ends exactly at the previous record boundary.
+    Kill,
+    /// Write only the first `n` bytes (a strict prefix), then die: the
+    /// torn frame recovery must detect by length/checksum and discard.
+    Torn(usize),
 }
 
 /// The verdict for one outgoing exchange block.

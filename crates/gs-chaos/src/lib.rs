@@ -42,7 +42,7 @@ pub mod graph;
 pub mod retry;
 
 pub use breaker::{BreakerConfig, CircuitBreaker};
-pub use fault::{ChaosStats, FaultPlan, MessageFault};
+pub use fault::{ChaosStats, FaultPlan, MessageFault, WalWriteFault};
 pub use graph::ChaosGraph;
 pub use retry::{with_retries, RetryPolicy};
 
@@ -99,6 +99,7 @@ mod state {
     pub(super) struct PlanState {
         pub(super) plan: FaultPlan,
         kills_fired: Vec<AtomicBool>,
+        wal_kills_fired: Vec<AtomicBool>,
         /// Per-(stream, a, b) sequence counters; never reset, so restarted
         /// work draws fresh decisions.
         seqs: Mutex<HashMap<(u64, u64, u64), u64>>,
@@ -117,6 +118,8 @@ mod state {
         pub(super) storage_faults: AtomicU64,
         pub(super) shard_delays: AtomicU64,
         pub(super) shard_deaths: AtomicU64,
+        pub(super) wal_kills: AtomicU64,
+        pub(super) wal_torn_writes: AtomicU64,
     }
 
     impl PlanState {
@@ -124,6 +127,11 @@ mod state {
             Self {
                 kills_fired: plan
                     .worker_kills
+                    .iter()
+                    .map(|_| AtomicBool::new(false))
+                    .collect(),
+                wal_kills_fired: plan
+                    .wal_kills
                     .iter()
                     .map(|_| AtomicBool::new(false))
                     .collect(),
@@ -155,6 +163,11 @@ mod state {
         /// One-shot claim of scheduled kill entry `i`.
         pub(super) fn claim_kill(&self, i: usize) -> bool {
             !self.kills_fired[i].swap(true, Ordering::SeqCst)
+        }
+
+        /// One-shot claim of scheduled WAL-kill entry `i`.
+        pub(super) fn claim_wal_kill(&self, i: usize) -> bool {
+            !self.wal_kills_fired[i].swap(true, Ordering::SeqCst)
         }
 
         /// Burst accounting for storage faults: `true` to fault this read.
@@ -190,6 +203,8 @@ mod state {
                 storage_faults: s.storage_faults.load(Ordering::SeqCst),
                 shard_delays: s.shard_delays.load(Ordering::SeqCst),
                 shard_deaths: s.shard_deaths.load(Ordering::SeqCst),
+                wal_kills: s.wal_kills.load(Ordering::SeqCst),
+                wal_torn_writes: s.wal_torn_writes.load(Ordering::SeqCst),
             }
         }
     }
@@ -420,6 +435,43 @@ pub fn shard_should_die(shard: usize, jobs_done: u64) -> bool {
 #[inline(always)]
 pub fn shard_should_die(_shard: usize, _jobs_done: u64) -> bool {
     false
+}
+
+/// WAL seam: the verdict for durable write number `write` of `len` bytes
+/// (gs-gart calls this once per log record and per checkpoint chunk,
+/// with a store-global monotone counter). Unlike the panic hooks, the
+/// *caller* performs the kill: on [`WalWriteFault::Torn`] it must write
+/// exactly the returned prefix first, so the disk really ends mid-frame.
+/// The torn prefix length is a strict prefix derived from the plan seed.
+#[cfg(feature = "chaos")]
+pub fn wal_write_fault(write: u64, len: usize) -> WalWriteFault {
+    use std::sync::atomic::Ordering;
+    let Some(st) = state::current() else {
+        return WalWriteFault::Proceed;
+    };
+    for (i, &w) in st.plan.wal_kills.iter().enumerate() {
+        if w == write && st.claim_wal_kill(i) {
+            if st.plan.wal_torn && len > 1 {
+                st.stats.wal_torn_writes.fetch_add(1, Ordering::SeqCst);
+                gs_telemetry::counter!("chaos.wal_torn_writes");
+                let u = fault::unit(st.plan.seed, &[3, write, len as u64]);
+                // a strict prefix: at least 1 byte short, at least 1 written
+                let k = 1 + (u * (len - 1) as f64) as usize;
+                return WalWriteFault::Torn(k.min(len - 1));
+            }
+            st.stats.wal_kills.fetch_add(1, Ordering::SeqCst);
+            gs_telemetry::counter!("chaos.wal_kills");
+            return WalWriteFault::Kill;
+        }
+    }
+    WalWriteFault::Proceed
+}
+
+/// WAL seam (pass-through build): always writes through.
+#[cfg(not(feature = "chaos"))]
+#[inline(always)]
+pub fn wal_write_fault(_write: u64, _len: usize) -> WalWriteFault {
+    WalWriteFault::Proceed
 }
 
 #[cfg(test)]

@@ -128,6 +128,7 @@ impl Component {
                 Capabilities::INDEX_EXTERNAL_ID,
                 Capabilities::MVCC,
                 Capabilities::MUTABLE,
+                Capabilities::TRANSACTIONS,
             ])),
             Component::GraphAr => Some(Capabilities::of(&[
                 Capabilities::VERTEX_LIST_ITER,
@@ -205,6 +206,15 @@ pub struct Deployment {
     /// flagged `C003` and shed by a serving configuration's cost gate.
     /// `None` (the default) means the stack-wide default budget.
     pub cost_budget: Option<u64>,
+    /// WAL directory for the deployment's GART store. `None` (the
+    /// legacy default) composes an in-memory, non-durable store;
+    /// setting it makes [`Deployment::gart_store`] open a durable store
+    /// with write-ahead logging and replay-on-open crash recovery.
+    pub wal_dir: Option<String>,
+    /// WAL sync policy for a durable GART store — `Sync` (default)
+    /// fsyncs at every commit, `Buffered` trades a machine-crash suffix
+    /// for throughput. Only meaningful when `wal_dir` is set.
+    pub durability: gs_gart::Durability,
 }
 
 impl Deployment {
@@ -218,6 +228,52 @@ impl Deployment {
     pub fn with_cost_budget(mut self, bytes: u64) -> Self {
         self.cost_budget = Some(bytes);
         self
+    }
+
+    /// Returns the deployment with the durable-GART WAL directory set.
+    pub fn with_wal_dir(mut self, dir: impl Into<String>) -> Self {
+        self.wal_dir = Some(dir.into());
+        self
+    }
+
+    /// Returns the deployment with the WAL sync policy set.
+    pub fn with_durability(mut self, durability: gs_gart::Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// The GART durability configuration this deployment's knobs imply,
+    /// or `None` for the legacy in-memory composition.
+    pub fn durability_config(&self) -> Option<gs_gart::DurabilityConfig> {
+        self.wal_dir.as_ref().map(|dir| {
+            let mut cfg = gs_gart::DurabilityConfig::new(dir);
+            cfg.durability = self.durability;
+            cfg
+        })
+    }
+
+    /// Instantiates the deployment's GART store: durable (WAL +
+    /// replay-on-open) when `wal_dir` is configured, in-memory otherwise.
+    pub fn gart_store(
+        &self,
+        schema: gs_graph::schema::GraphSchema,
+    ) -> gs_graph::Result<std::sync::Arc<gs_gart::GartStore>> {
+        match self.durability_config() {
+            Some(cfg) => gs_gart::GartStore::open(schema, cfg),
+            None => Ok(gs_gart::GartStore::new(schema)),
+        }
+    }
+
+    /// The capabilities `component` offers *under this deployment's
+    /// knobs*: the static [`Component::storage_capabilities`], plus
+    /// `DURABLE` for the GART store when a `wal_dir` is configured.
+    pub fn storage_capabilities(&self, component: Component) -> Option<Capabilities> {
+        let caps = component.storage_capabilities()?;
+        if component == Component::Gart && self.wal_dir.is_some() {
+            Some(caps.union(Capabilities::DURABLE))
+        } else {
+            Some(caps)
+        }
     }
 
     /// The deployment's plan-cost budget for `gs_ir::cost` checks —
@@ -261,6 +317,16 @@ impl Deployment {
         ];
         if let Some(bytes) = self.cost_budget {
             fields.push(("cost_budget", Json::Int(bytes as i64)));
+        }
+        if let Some(dir) = &self.wal_dir {
+            fields.push(("wal_dir", Json::str(dir)));
+            fields.push((
+                "durability",
+                Json::str(match self.durability {
+                    gs_gart::Durability::Sync => "sync",
+                    gs_gart::Durability::Buffered => "buffered",
+                }),
+            ));
         }
         Json::obj(fields)
     }
@@ -443,6 +509,28 @@ impl Deployment {
             })?),
             Err(_) => None,
         };
+        // manifests written before the durability knobs existed compose
+        // the legacy in-memory store
+        let wal_dir = match doc.field("wal_dir") {
+            Ok(j) => Some(
+                j.as_str()
+                    .ok_or_else(|| GraphError::Corrupt("deployment: wal_dir not a string".into()))?
+                    .to_string(),
+            ),
+            Err(_) => None,
+        };
+        let durability = match doc.field("durability") {
+            Ok(j) => match j.as_str() {
+                Some("sync") => gs_gart::Durability::Sync,
+                Some("buffered") => gs_gart::Durability::Buffered,
+                other => {
+                    return Err(GraphError::Corrupt(format!(
+                        "deployment: unknown durability {other:?}"
+                    )))
+                }
+            },
+            Err(_) => gs_gart::Durability::Sync,
+        };
         Ok(Deployment {
             name: doc
                 .field("name")?
@@ -453,6 +541,8 @@ impl Deployment {
             target,
             layout,
             cost_budget,
+            wal_dir,
+            durability,
         })
     }
 }
@@ -638,6 +728,8 @@ impl FlexBuild {
             target,
             layout: LayoutKind::default(),
             cost_budget: None,
+            wal_dir: None,
+            durability: gs_gart::Durability::Sync,
         })
     }
 
@@ -693,6 +785,7 @@ impl FlexBuild {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gs_grin::GrinGraph;
     use Component::*;
 
     #[test]
@@ -868,6 +961,8 @@ mod tests {
             target: DeployTarget::ClusterImage,
             layout: LayoutKind::default(),
             cost_budget: None,
+            wal_dir: None,
+            durability: gs_gart::Durability::Sync,
         };
         let Err(err) = d.serving_engine(EngineChoice::HiActor, 2, gs_ir::VerifyLevel::Deny) else {
             panic!("expected error");
@@ -930,6 +1025,74 @@ mod tests {
         // non-integer budgets are corrupt, not silently defaulted
         let bad = json.replace("536870912", "\"lots\"");
         assert!(Deployment::from_json(&Json::parse(&bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn durability_knobs_round_trip_and_default_to_in_memory() {
+        let d = FlexBuild::fraud_oltp_preset()
+            .unwrap()
+            .with_wal_dir("/tmp/gart-wal")
+            .with_durability(gs_gart::Durability::Buffered);
+        let json = d.to_json().render();
+        let back = Deployment::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.wal_dir.as_deref(), Some("/tmp/gart-wal"));
+        assert_eq!(back.durability, gs_gart::Durability::Buffered);
+        assert_eq!(d, back);
+        let cfg = back.durability_config().unwrap();
+        assert_eq!(cfg.dir, std::path::Path::new("/tmp/gart-wal"));
+        assert_eq!(cfg.durability, gs_gart::Durability::Buffered);
+        // manifests without the knobs compose the legacy in-memory store
+        let legacy = json
+            .replace(",\"wal_dir\":\"/tmp/gart-wal\"", "")
+            .replace("\"durability\":\"buffered\",", "");
+        assert!(
+            !legacy.contains("wal_dir") && !legacy.contains("durability"),
+            "{legacy}"
+        );
+        let old = Deployment::from_json(&Json::parse(&legacy).unwrap()).unwrap();
+        assert_eq!(old.wal_dir, None);
+        assert_eq!(old.durability, gs_gart::Durability::Sync);
+        assert!(old.durability_config().is_none());
+        // unknown durability modes are corrupt, not silently sync
+        let bad = json.replace("\"buffered\"", "\"eventually\"");
+        assert!(Deployment::from_json(&Json::parse(&bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn durable_deployment_composes_a_store_that_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("gs-flex-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut schema = gs_graph::schema::GraphSchema::new();
+        let vl = schema.add_vertex_label("V", &[("x", gs_graph::ValueType::Int)]);
+        let d = FlexBuild::fraud_oltp_preset()
+            .unwrap()
+            .with_wal_dir(dir.to_str().unwrap());
+        // durable GART advertises the transactional capabilities
+        let caps = d.storage_capabilities(Gart).unwrap();
+        assert!(caps.supports(Capabilities::of(&[
+            Capabilities::TRANSACTIONS,
+            Capabilities::DURABLE,
+        ])));
+        // the legacy in-memory composition is transactional but not durable
+        let mem = FlexBuild::fraud_oltp_preset().unwrap();
+        let mem_caps = mem.storage_capabilities(Gart).unwrap();
+        assert!(mem_caps.supports(Capabilities::TRANSACTIONS));
+        assert!(!mem_caps.supports(Capabilities::DURABLE));
+        {
+            let store = d.gart_store(schema.clone()).unwrap();
+            store
+                .add_vertex(vl, 7, vec![gs_grin::Value::Int(7)])
+                .unwrap();
+            store.commit();
+        }
+        let store = d.gart_store(schema).unwrap();
+        let snap = store.snapshot();
+        assert!(
+            snap.internal_id(vl, 7).is_some(),
+            "commit must survive reopen"
+        );
+        assert!(snap.capabilities().supports(Capabilities::DURABLE));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! # gs-gart — dynamic in-memory graph store with MVCC
+//! # gs-gart — transactional dynamic graph store with MVCC and a WAL
 //!
 //! GART (paper §4.2) accommodates dynamic graphs: "GART always provides
 //! consistent snapshots of graph data (identified by a version), and it
@@ -16,10 +16,32 @@
 //! LiveGraph baseline in `gs-baselines` pays per-entry version checks and
 //! block pointer chasing.
 //!
+//! On top of the versioned store sit **snapshot-isolation transactions**
+//! ([`GartStore::begin`] → [`GartTxn`]): every write carries its
+//! transaction id, commit flips one slot in a transaction-status table
+//! (O(1) regardless of write-set size), and conflicting writers lose
+//! first-writer-wins (see the `txn` module docs). The legacy
+//! `add_*`/`commit` API is an auto-commit layer over the same machinery,
+//! so snapshots, views, freezes, and engines run unchanged.
+//!
+//! Opened with a [`DurabilityConfig`], the store also keeps a
+//! **write-ahead log** with checksummed frames, group commit, and fuzzy
+//! checkpoints ([`GartStore::open`]); reopening after a crash replays
+//! committed transactions and discards uncommitted ones, yielding state
+//! bit-identical to the committed prefix (the `wal` and `recovery`
+//! module docs describe the protocol).
+//!
 //! Concurrency model: single writer / many readers. Writers stage mutations
-//! at `committed_version + 1` and publish with [`GartStore::commit`];
-//! readers obtain a [`GartSnapshot`] pinned to a committed version and are
-//! never blocked by the writer for more than a segment append.
+//! inside a transaction and publish at commit; readers obtain a
+//! [`GartSnapshot`] pinned to a committed version and are never blocked by
+//! the writer for more than a segment append.
+
+mod recovery;
+mod txn;
+mod wal;
+
+pub use txn::GartTxn;
+pub use wal::{Durability, DurabilityConfig};
 
 use gs_graph::csr::Csr;
 use gs_graph::data::PropertyGraphData;
@@ -30,19 +52,27 @@ use gs_grin::{
     AdjEntry, Capabilities, Direction, GraphError, GraphSchema, GrinGraph, LabelId, PropId, Result,
     VId, Value,
 };
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use txn::{LockState, TxnCore, Vis, WriteKey, NEVER, NO_XID};
+use wal::{Rec, Wal};
 
 /// A snapshot version number.
 pub type Version = u64;
 
 /// One adjacency entry (24 bytes).
 #[derive(Clone, Copy, Debug, Default)]
-struct Entry {
-    nbr: VId,
-    eid: gs_grin::EId,
-    created: Version,
+pub(crate) struct Entry {
+    pub(crate) nbr: VId,
+    pub(crate) eid: gs_grin::EId,
+    /// Creation mark: a committed version, or `TXN_TAG | xid` while the
+    /// writing transaction is in flight (resolved through the status
+    /// table until commit-time stamping rewrites it).
+    pub(crate) created: Version,
 }
 
 /// Per-vertex region descriptor into the shared entry pool.
@@ -52,7 +82,9 @@ struct VertexMeta {
     len: u32,
     cap: u32,
     /// Version fence: every entry in the region was created at or before
-    /// this version.
+    /// this version. Tagged (uncommitted) marks compare greater than any
+    /// real version, so a region with pending writes fails the fence and
+    /// falls to the checked path automatically.
     max_created: Version,
     has_tombstone: bool,
 }
@@ -65,16 +97,16 @@ struct VertexMeta {
 /// close to static CSR (Fig. 7c) while staying writable — the LiveGraph
 /// baseline pays per-entry version checks and block pointer chasing instead.
 #[derive(Clone, Debug, Default)]
-struct AdjPool {
+pub(crate) struct AdjPool {
     entries: Vec<Entry>,
     meta: Vec<VertexMeta>,
-    /// Tombstones: vertex -> (edge id, deletion version). Rare; fenced scans
+    /// Tombstones: vertex -> (edge id, deletion mark). Rare; fenced scans
     /// skip the lookup entirely for tombstone-free vertices.
-    tombstones: std::collections::HashMap<u32, Vec<(gs_grin::EId, Version)>>,
+    tombstones: HashMap<u32, Vec<(gs_grin::EId, Version)>>,
 }
 
 impl AdjPool {
-    fn ensure(&mut self, v: usize) {
+    pub(crate) fn ensure(&mut self, v: usize) {
         if self.meta.len() <= v {
             self.meta.resize(v + 1, VertexMeta::default());
         }
@@ -82,7 +114,7 @@ impl AdjPool {
 
     /// Grows a vertex's region to exactly `cap` slots (bulk loading and
     /// copy-on-grow share this relocation).
-    fn reserve_exact(&mut self, v: usize, cap: u32) {
+    pub(crate) fn reserve_exact(&mut self, v: usize, cap: u32) {
         self.ensure(v);
         let m = self.meta[v];
         if m.cap >= cap {
@@ -98,7 +130,7 @@ impl AdjPool {
         m.cap = cap;
     }
 
-    fn push(&mut self, v: usize, nbr: VId, eid: gs_grin::EId, version: Version) {
+    pub(crate) fn push(&mut self, v: usize, nbr: VId, eid: gs_grin::EId, mark: Version) {
         self.ensure(v);
         let m = self.meta[v];
         if m.len == m.cap {
@@ -108,25 +140,107 @@ impl AdjPool {
         self.entries[(m.start + m.len) as usize] = Entry {
             nbr,
             eid,
-            created: version,
+            created: mark,
         };
         m.len += 1;
-        m.max_created = m.max_created.max(version);
+        m.max_created = m.max_created.max(mark);
     }
 
-    fn add_tombstone(&mut self, v: usize, eid: gs_grin::EId, version: Version) {
+    pub(crate) fn add_tombstone(&mut self, v: usize, eid: gs_grin::EId, mark: Version) {
         self.ensure(v);
         self.meta[v].has_tombstone = true;
         self.tombstones
             .entry(v as u32)
             .or_default()
-            .push((eid, version));
+            .push((eid, mark));
     }
 
-    /// Visits live entries of `v` at `version`; the version fence lets
-    /// fully-old, tombstone-free regions scan raw.
+    /// Commit-time hint stamping: rewrites `tag` marks (entries and
+    /// tombstones) in `v`'s region to the commit `version` and recomputes
+    /// the fence, restoring the raw-scan fast path for later snapshots.
+    pub(crate) fn stamp(&mut self, v: usize, tag: Version, version: Version) {
+        let Some(&m) = self.meta.get(v) else { return };
+        let (start, len) = (m.start as usize, m.len as usize);
+        for e in &mut self.entries[start..start + len] {
+            if e.created == tag {
+                e.created = version;
+            }
+        }
+        self.meta[v].max_created = self.entries[start..start + len]
+            .iter()
+            .map(|e| e.created)
+            .max()
+            .unwrap_or(0);
+        if let Some(t) = self.tombstones.get_mut(&(v as u32)) {
+            for tomb in t.iter_mut() {
+                if tomb.1 == tag {
+                    tomb.1 = version;
+                }
+            }
+        }
+    }
+
+    /// Abort-side physical removal of `tag`-marked entries: the region is
+    /// compacted in place, vacated slots scrubbed, and the fence
+    /// recomputed. Idempotent — a second call finds nothing to remove.
+    pub(crate) fn unstage(&mut self, v: usize, tag: Version) {
+        let Some(&m) = self.meta.get(v) else { return };
+        let (start, len) = (m.start as usize, m.len as usize);
+        let mut w = start;
+        for r in start..start + len {
+            let e = self.entries[r];
+            if e.created != tag {
+                self.entries[w] = e;
+                w += 1;
+            }
+        }
+        for slot in &mut self.entries[w..start + len] {
+            *slot = Entry::default();
+        }
+        self.meta[v].len = (w - start) as u32;
+        self.meta[v].max_created = self.entries[start..w]
+            .iter()
+            .map(|e| e.created)
+            .max()
+            .unwrap_or(0);
+    }
+
+    /// Abort-side removal of one `tag`-marked tombstone.
+    pub(crate) fn untomb(&mut self, v: usize, eid: gs_grin::EId, tag: Version) {
+        if let Some(t) = self.tombstones.get_mut(&(v as u32)) {
+            if let Some(p) = t.iter().rposition(|&(te, tv)| te == eid && tv == tag) {
+                t.remove(p);
+            }
+            if t.is_empty() {
+                self.tombstones.remove(&(v as u32));
+                if let Some(m) = self.meta.get_mut(v) {
+                    m.has_tombstone = false;
+                }
+            }
+        }
+    }
+
+    /// Raw region contents for checkpoint encoding (no visibility
+    /// filtering — marks are resolved by the caller).
+    pub(crate) fn raw_region(&self, v: usize) -> (&[Entry], &[(gs_grin::EId, Version)]) {
+        let Some(&m) = self.meta.get(v) else {
+            return (&[], &[]);
+        };
+        let entries = &self.entries[m.start as usize..(m.start + m.len) as usize];
+        let tombs = self
+            .tombstones
+            .get(&(v as u32))
+            .map(|t| t.as_slice())
+            .unwrap_or(&[]);
+        (entries, tombs)
+    }
+
+    /// Visits live entries of `v` under the visibility context; the
+    /// version fence lets fully-old, tombstone-free regions scan raw
+    /// (deleted-neighbour filtering only arms when the neighbour label
+    /// has ever seen a vertex deletion, so the fast path survives).
     #[inline]
-    fn for_each<F: FnMut(VId, gs_grin::EId)>(&self, v: usize, version: Version, f: &mut F) {
+    pub(crate) fn for_each<F: FnMut(VId, gs_grin::EId)>(&self, v: usize, vis: &Vis<'_>, f: &mut F) {
         // cached telemetry handles: this runs once per vertex in every scan,
         // so the enabled-check must stay one relaxed load
         static FENCE_SKIPS: gs_telemetry::StaticCounter =
@@ -137,8 +251,8 @@ impl AdjPool {
             gs_telemetry::StaticCounter::new("gart.tombstone_scans");
         let Some(&m) = self.meta.get(v) else { return };
         let slice = &self.entries[m.start as usize..(m.start + m.len) as usize];
-        if !m.has_tombstone {
-            if m.max_created <= version {
+        if !m.has_tombstone && vis.nbr_deleted.is_none() {
+            if m.max_created <= vis.version {
                 // every entry predates the snapshot: no per-edge check
                 FENCE_SKIPS.add(1);
                 for e in slice {
@@ -147,9 +261,16 @@ impl AdjPool {
             } else {
                 VERSION_CHECK_SCANS.add(1);
                 for e in slice {
-                    if e.created <= version {
+                    if vis.sees(e.created) {
                         f(e.nbr, e.eid);
                     }
+                }
+            }
+        } else if !m.has_tombstone {
+            VERSION_CHECK_SCANS.add(1);
+            for e in slice {
+                if vis.sees(e.created) && vis.nbr_live(e.nbr) {
+                    f(e.nbr, e.eid);
                 }
             }
         } else {
@@ -157,72 +278,249 @@ impl AdjPool {
             let tombs = self.tombstones.get(&(v as u32));
             for e in slice {
                 let deleted = tombs
-                    .map(|t| t.iter().any(|&(te, tv)| te == e.eid && tv <= version))
+                    .map(|t| t.iter().any(|&(te, tv)| te == e.eid && vis.sees(tv)))
                     .unwrap_or(false);
-                if e.created <= version && !deleted {
+                if vis.sees(e.created) && !deleted && vis.nbr_live(e.nbr) {
                     f(e.nbr, e.eid);
                 }
             }
         }
     }
 
-    fn vertex_count(&self) -> usize {
+    pub(crate) fn vertex_count(&self) -> usize {
         self.meta.len()
     }
 }
 
 #[derive(Default)]
-struct Inner {
+pub(crate) struct Inner {
     /// Per vertex label.
-    id_maps: Vec<IdMap>,
-    vprops: Vec<PropertyTable>,
-    vertex_created: Vec<Vec<Version>>,
+    pub(crate) id_maps: Vec<IdMap>,
+    pub(crate) vprops: Vec<PropertyTable>,
+    pub(crate) vertex_created: Vec<Vec<Version>>,
+    /// Deletion marks per vertex slot ([`txn::NEVER`] = live).
+    pub(crate) vertex_deleted: Vec<Vec<Version>>,
+    /// Whether any vertex of this label was ever deleted — gates the
+    /// neighbour-deletion filter so labels without deletions keep the
+    /// fence fast path.
+    pub(crate) deleted_any: Vec<bool>,
+    /// Displaced slots for deleted-then-re-added external ids: older
+    /// snapshots resolve the external id through this chain.
+    pub(crate) shadow: Vec<HashMap<u64, Vec<VId>>>,
     /// Per edge label: pooled out-/in-adjacency.
-    adj_out: Vec<AdjPool>,
-    adj_in: Vec<AdjPool>,
-    eprops: Vec<PropertyTable>,
-    edge_counts: Vec<u64>,
+    pub(crate) adj_out: Vec<AdjPool>,
+    pub(crate) adj_in: Vec<AdjPool>,
+    pub(crate) eprops: Vec<PropertyTable>,
+    pub(crate) edge_counts: Vec<u64>,
+    /// Transaction machinery (see the `txn` module).
+    pub(crate) tst: txn::Tst,
+    pub(crate) locks: HashMap<WriteKey, LockState>,
+    pub(crate) active_txns: u64,
 }
+
+impl Inner {
+    /// Builds a read-visibility context; `nbr_label` arms deleted-vertex
+    /// filtering for adjacency scans whose neighbours carry that label.
+    pub(crate) fn vis(&self, version: Version, xid: u64, nbr_label: Option<LabelId>) -> Vis<'_> {
+        let nbr_deleted = nbr_label.and_then(|l| {
+            self.deleted_any[l.index()].then(|| self.vertex_deleted[l.index()].as_slice())
+        });
+        Vis {
+            version,
+            xid,
+            tst: &self.tst,
+            nbr_deleted,
+        }
+    }
+
+    /// Whether vertex slot `i` of label `li` is created-and-not-deleted
+    /// for a reader at `(version, xid)`.
+    pub(crate) fn vertex_visible(&self, li: usize, i: usize, version: Version, xid: u64) -> bool {
+        let Some(&c) = self.vertex_created[li].get(i) else {
+            return false;
+        };
+        if !self.tst.visible(c, version, xid) {
+            return false;
+        }
+        let d = self.vertex_deleted[li].get(i).copied().unwrap_or(NEVER);
+        !self.tst.visible(d, version, xid)
+    }
+}
+
+/// An empty [`Inner`] shaped for `schema` (shared by [`GartStore::new`]
+/// and checkpoint decoding).
+pub(crate) fn fresh_inner(schema: &GraphSchema) -> Inner {
+    let nvl = schema.vertex_label_count();
+    let nel = schema.edge_label_count();
+    let mut inner = Inner::default();
+    for l in schema.vertex_labels() {
+        let defs: Vec<(String, _)> = l
+            .properties
+            .iter()
+            .map(|p| (p.name.clone(), p.value_type))
+            .collect();
+        inner
+            .vprops
+            .push(PropertyTable::new(&defs).expect("schema-derived columns"));
+    }
+    inner.id_maps = (0..nvl).map(|_| IdMap::new()).collect();
+    inner.vertex_created = (0..nvl).map(|_| Vec::new()).collect();
+    inner.vertex_deleted = (0..nvl).map(|_| Vec::new()).collect();
+    inner.deleted_any = vec![false; nvl];
+    inner.shadow = (0..nvl).map(|_| HashMap::new()).collect();
+    for l in schema.edge_labels() {
+        let defs: Vec<(String, _)> = l
+            .properties
+            .iter()
+            .map(|p| (p.name.clone(), p.value_type))
+            .collect();
+        inner
+            .eprops
+            .push(PropertyTable::new(&defs).expect("schema-derived columns"));
+    }
+    inner.adj_out = (0..nel).map(|_| AdjPool::default()).collect();
+    inner.adj_in = (0..nel).map(|_| AdjPool::default()).collect();
+    inner.edge_counts = vec![0; nel];
+    inner
+}
+
+fn io_err(e: std::io::Error) -> GraphError {
+    GraphError::Io(e.to_string())
+}
+
+/// Best-effort directory fsync so a rename is durable before we depend
+/// on it (recovery tolerates either outcome of the rename, so a failed
+/// dir sync degrades durability, not correctness).
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Verifies the `[len: u64][crc32: u32][payload]` checkpoint envelope.
+fn checkpoint_payload(bytes: &[u8]) -> Result<&[u8]> {
+    if bytes.len() < 12 {
+        return Err(GraphError::Corrupt("checkpoint file too short".into()));
+    }
+    let len = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if bytes.len() != 12 + len {
+        return Err(GraphError::Corrupt("checkpoint length mismatch".into()));
+    }
+    let payload = &bytes[12..];
+    if wal::crc32(payload) != crc {
+        return Err(GraphError::Corrupt("checkpoint checksum mismatch".into()));
+    }
+    Ok(payload)
+}
+
+const CKPT_CHUNK: usize = 1 << 16;
 
 /// The dynamic MVCC graph store.
 pub struct GartStore {
     schema: GraphSchema,
-    inner: RwLock<Inner>,
+    pub(crate) inner: RwLock<Inner>,
     committed: AtomicU64,
+    /// The auto-commit transaction backing the legacy `add_*` API: begun
+    /// lazily at the first staged write, committed by [`GartStore::commit`].
+    implicit: Mutex<Option<TxnCore>>,
+    pub(crate) wal: Option<Mutex<Wal>>,
+    cfg: Option<DurabilityConfig>,
+    commits_since: AtomicU64,
+    /// Test knob: skip commit-time hint stamping so reads exercise the
+    /// pure status-table visibility path.
+    lazy_stamping: AtomicBool,
 }
 
 impl GartStore {
-    /// Creates an empty store over a schema.
-    pub fn new(schema: GraphSchema) -> Arc<Self> {
-        let nvl = schema.vertex_label_count();
-        let nel = schema.edge_label_count();
-        let mut inner = Inner::default();
-        for l in schema.vertex_labels() {
-            let defs: Vec<(String, _)> = l
-                .properties
-                .iter()
-                .map(|p| (p.name.clone(), p.value_type))
-                .collect();
-            inner.vprops.push(PropertyTable::new(&defs).unwrap());
-        }
-        inner.id_maps = (0..nvl).map(|_| IdMap::new()).collect();
-        inner.vertex_created = (0..nvl).map(|_| Vec::new()).collect();
-        for l in schema.edge_labels() {
-            let defs: Vec<(String, _)> = l
-                .properties
-                .iter()
-                .map(|p| (p.name.clone(), p.value_type))
-                .collect();
-            inner.eprops.push(PropertyTable::new(&defs).unwrap());
-        }
-        inner.adj_out = (0..nel).map(|_| AdjPool::default()).collect();
-        inner.adj_in = (0..nel).map(|_| AdjPool::default()).collect();
-        inner.edge_counts = vec![0; nel];
+    fn construct(
+        schema: GraphSchema,
+        inner: Inner,
+        committed: Version,
+        wal: Option<Wal>,
+        cfg: Option<DurabilityConfig>,
+    ) -> Arc<Self> {
         Arc::new(Self {
             schema,
             inner: RwLock::new(inner),
-            committed: AtomicU64::new(0),
+            committed: AtomicU64::new(committed),
+            implicit: Mutex::new(None),
+            wal: wal.map(Mutex::new),
+            cfg,
+            commits_since: AtomicU64::new(0),
+            lazy_stamping: AtomicBool::new(false),
         })
+    }
+
+    /// Creates an empty in-memory store over a schema (no durability).
+    pub fn new(schema: GraphSchema) -> Arc<Self> {
+        let inner = fresh_inner(&schema);
+        Self::construct(schema, inner, 0, None, None)
+    }
+
+    /// Opens (or creates) a durable store rooted at `cfg.dir`: loads the
+    /// latest checkpoint if present, replays the write-ahead log —
+    /// redoing committed transactions, discarding uncommitted ones,
+    /// truncating a torn tail — and leaves the log open for appending.
+    /// Recovered state is bit-identical to the pre-crash committed state.
+    pub fn open(schema: GraphSchema, cfg: DurabilityConfig) -> Result<Arc<Self>> {
+        fs::create_dir_all(&cfg.dir).map_err(io_err)?;
+        // interrupted checkpoint/rotation leftovers are never valid state
+        for leftover in ["checkpoint.tmp", "wal.tmp"] {
+            let p = cfg.dir.join(leftover);
+            if p.exists() {
+                let _ = fs::remove_file(&p);
+            }
+        }
+        let ckpt = cfg.dir.join("checkpoint.snap");
+        let (mut inner, mut committed) = if ckpt.exists() {
+            let bytes = fs::read(&ckpt).map_err(io_err)?;
+            let (g, v, _next_xid) = recovery::decode_inner(checkpoint_payload(&bytes)?, &schema)?;
+            (g, v)
+        } else {
+            (fresh_inner(&schema), 0)
+        };
+        let wal_path = cfg.dir.join("wal.log");
+        let mut need_checkpoint = false;
+        if wal_path.exists() {
+            let bytes = fs::read(&wal_path).map_err(io_err)?;
+            if !bytes.is_empty() {
+                let rep = recovery::replay_wal(&bytes, &mut inner, &schema, committed)?;
+                committed = rep.committed;
+                if rep.torn {
+                    let f = fs::OpenOptions::new()
+                        .write(true)
+                        .open(&wal_path)
+                        .map_err(io_err)?;
+                    f.set_len(rep.valid_len as u64).map_err(io_err)?;
+                    f.sync_data().map_err(io_err)?;
+                }
+                // anything beyond the bare header: fold it into a fresh
+                // checkpoint so log growth is bounded by crash frequency
+                need_checkpoint = rep.records > 1 || rep.torn;
+            }
+        }
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&wal_path)
+            .map_err(io_err)?;
+        let empty = file.metadata().map(|m| m.len() == 0).unwrap_or(true);
+        let mut log = Wal::new(file, wal_path, cfg.durability);
+        if empty {
+            log.append(&Rec::Header {
+                format: wal::WAL_FORMAT,
+                base_version: committed,
+                first_xid: inner.tst.next_xid(),
+                schema_fp: wal::schema_fingerprint(&schema),
+            })?;
+            log.sync()?;
+        }
+        let store = Self::construct(schema, inner, committed, Some(log), Some(cfg));
+        if need_checkpoint {
+            store.checkpoint()?;
+        }
+        Ok(store)
     }
 
     /// Builds a store pre-loaded from an interchange payload, committed at
@@ -242,8 +540,8 @@ impl GartStore {
             let mut g = store.inner.write();
             for (li, batch) in data.edges.iter().enumerate() {
                 let ldef = data.schema.edge_label(batch.label)?;
-                let mut out_deg: std::collections::HashMap<u32, u32> = Default::default();
-                let mut in_deg: std::collections::HashMap<u32, u32> = Default::default();
+                let mut out_deg: HashMap<u32, u32> = Default::default();
+                let mut in_deg: HashMap<u32, u32> = Default::default();
                 for &(s, d) in &batch.endpoints {
                     let si = g.id_maps[ldef.src.index()]
                         .internal(s)
@@ -279,12 +577,12 @@ impl GartStore {
         Ok(store)
     }
 
-    /// The latest committed version.
     /// The fixed schema this store was created over.
     pub fn schema(&self) -> &GraphSchema {
         &self.schema
     }
 
+    /// The latest committed version.
     pub fn committed_version(&self) -> Version {
         self.committed.load(Ordering::Acquire)
     }
@@ -294,27 +592,85 @@ impl GartStore {
         self.committed_version() + 1
     }
 
+    /// Whether this store persists commits to a write-ahead log.
+    pub fn durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    // -----------------------------------------------------------------
+    // Explicit transactions
+    // -----------------------------------------------------------------
+
+    /// Begins a snapshot-isolation read/write transaction pinned to the
+    /// current committed version.
+    pub fn begin(self: &Arc<Self>) -> GartTxn {
+        let mut g = self.inner.write();
+        let xid = g.tst.begin();
+        g.active_txns += 1;
+        gs_telemetry::counter!("gart.txn.begins");
+        let begin = self.committed.load(Ordering::Acquire);
+        drop(g);
+        GartTxn::new(Arc::clone(self), TxnCore::new(xid, begin))
+    }
+
+    // -----------------------------------------------------------------
+    // Legacy auto-commit layer: `add_*` stage into one implicit
+    // transaction that `commit()` publishes.
+    // -----------------------------------------------------------------
+
+    fn with_implicit<R>(
+        &self,
+        f: impl FnOnce(&GartStore, &mut Inner, &mut TxnCore) -> Result<R>,
+    ) -> Result<R> {
+        let mut imp = self.implicit.lock();
+        let mut g = self.inner.write();
+        if imp.is_none() {
+            let xid = g.tst.begin();
+            g.active_txns += 1;
+            gs_telemetry::counter!("gart.txn.begins");
+            *imp = Some(TxnCore::new(xid, self.committed.load(Ordering::Acquire)));
+        }
+        f(
+            self,
+            &mut g,
+            imp.as_mut().expect("implicit txn just ensured"),
+        )
+    }
+
     /// Publishes all staged writes; returns the new committed version.
+    /// Panics on a WAL write failure — durable stores should prefer
+    /// [`GartStore::try_commit`].
     pub fn commit(&self) -> Version {
-        self.committed.fetch_add(1, Ordering::AcqRel) + 1
+        self.try_commit().expect("gart commit failed")
+    }
+
+    /// Publishes all staged writes (an empty commit still consumes a
+    /// version, matching the historical `commit` contract).
+    pub fn try_commit(&self) -> Result<Version> {
+        let core = {
+            let mut imp = self.implicit.lock();
+            match imp.take() {
+                Some(core) => core,
+                None => {
+                    let mut g = self.inner.write();
+                    let xid = g.tst.begin();
+                    g.active_txns += 1;
+                    gs_telemetry::counter!("gart.txn.begins");
+                    TxnCore::new(xid, self.committed.load(Ordering::Acquire))
+                }
+            }
+        };
+        self.commit_core(core, true)
     }
 
     /// Stages a vertex insertion (visible after the next [`GartStore::commit`]).
     pub fn add_vertex(&self, label: LabelId, external: u64, props: Vec<Value>) -> Result<VId> {
-        let wv = self.write_version();
-        let mut g = self.inner.write();
-        if g.id_maps[label.index()].internal(external).is_some() {
-            return Err(GraphError::Schema(format!(
-                "vertex {external} already exists in label {label:?}"
-            )));
-        }
-        let v = g.id_maps[label.index()].get_or_insert(external);
-        g.vprops[label.index()].push_row(&props)?;
-        g.vertex_created[label.index()].push(wv);
-        Ok(v)
+        self.with_implicit(|s, g, core| txn::op_add_vertex(s, g, core, label, external, &props))
     }
 
-    /// Stages an edge insertion between existing vertices (by external id).
+    /// Stages an edge insertion between endpoints that must exist (and be
+    /// visible) at the write version; unknown endpoints yield a
+    /// structured [`GraphError::NotFound`] instead of dangling adjacency.
     pub fn add_edge(
         &self,
         label: LabelId,
@@ -322,80 +678,251 @@ impl GartStore {
         dst_ext: u64,
         props: Vec<Value>,
     ) -> Result<gs_grin::EId> {
-        let wv = self.write_version();
-        let ldef = self.schema.edge_label(label)?.clone();
-        let mut g = self.inner.write();
-        let s = g.id_maps[ldef.src.index()]
-            .internal(src_ext)
-            .ok_or_else(|| GraphError::NotFound(format!("edge src {src_ext}")))?;
-        let d = g.id_maps[ldef.dst.index()]
-            .internal(dst_ext)
-            .ok_or_else(|| GraphError::NotFound(format!("edge dst {dst_ext}")))?;
-        let eid = gs_grin::EId(g.edge_counts[label.index()]);
-        g.edge_counts[label.index()] += 1;
-        g.eprops[label.index()].push_row(&props)?;
-        g.adj_out[label.index()].push(s.index(), d, eid, wv);
-        g.adj_in[label.index()].push(d.index(), s, eid, wv);
-        Ok(eid)
+        self.with_implicit(|s, g, core| {
+            txn::op_add_edge(s, g, core, label, src_ext, dst_ext, &props)
+        })
     }
 
     /// Stages a batch of edge insertions under a single write-lock
     /// acquisition (group commit — the ingestion pattern real deployments
-    /// use to keep writers from convoying with readers). Returns how many
-    /// edges were staged; unknown endpoints abort the batch.
+    /// use to keep writers from convoying with readers). The batch is
+    /// atomic: the first invalid endpoint rolls the whole batch back and
+    /// nothing is staged or logged.
     pub fn add_edges(&self, label: LabelId, edges: &[(u64, u64, Vec<Value>)]) -> Result<usize> {
-        let wv = self.write_version();
-        let ldef = self.schema.edge_label(label)?.clone();
-        let mut g = self.inner.write();
-        for (src_ext, dst_ext, props) in edges {
-            let s = g.id_maps[ldef.src.index()]
-                .internal(*src_ext)
-                .ok_or_else(|| GraphError::NotFound(format!("edge src {src_ext}")))?;
-            let d = g.id_maps[ldef.dst.index()]
-                .internal(*dst_ext)
-                .ok_or_else(|| GraphError::NotFound(format!("edge dst {dst_ext}")))?;
-            let eid = gs_grin::EId(g.edge_counts[label.index()]);
-            g.edge_counts[label.index()] += 1;
-            g.eprops[label.index()].push_row(props)?;
-            g.adj_out[label.index()].push(s.index(), d, eid, wv);
-            g.adj_in[label.index()].push(d.index(), s, eid, wv);
-        }
-        Ok(edges.len())
+        self.with_implicit(|s, g, core| txn::op_add_edges(s, g, core, label, edges))
     }
 
     /// Stages an edge deletion (tombstone) by endpoint external ids; removes
     /// the first live matching edge. Returns whether an edge was found.
     pub fn delete_edge(&self, label: LabelId, src_ext: u64, dst_ext: u64) -> Result<bool> {
-        let wv = self.write_version();
-        let snapshot_v = self.committed_version();
-        let ldef = self.schema.edge_label(label)?.clone();
-        let mut g = self.inner.write();
-        let (Some(s), Some(d)) = (
-            g.id_maps[ldef.src.index()].internal(src_ext),
-            g.id_maps[ldef.dst.index()].internal(dst_ext),
-        ) else {
-            return Ok(false);
-        };
-        let mut victim = None;
-        g.adj_out[label.index()].for_each(s.index(), snapshot_v, &mut |nbr, eid| {
-            if nbr == d && victim.is_none() {
-                victim = Some(eid);
+        self.with_implicit(|s, g, core| txn::op_delete_edge(s, g, core, label, src_ext, dst_ext))
+    }
+
+    /// Stages a vertex deletion (tombstone): from the commit version on,
+    /// the vertex disappears from scans and every adjacency entry of
+    /// either direction pointing at it is filtered out; snapshots pinned
+    /// before the commit keep seeing both. The external id may be
+    /// re-added later (the old slot moves to a shadow chain so old
+    /// snapshots still resolve it). Returns whether the vertex existed.
+    pub fn delete_vertex(&self, label: LabelId, external: u64) -> Result<bool> {
+        self.with_implicit(|s, g, core| txn::op_delete_vertex(s, g, core, label, external))
+    }
+
+    // -----------------------------------------------------------------
+    // Transaction completion (shared by explicit and implicit paths)
+    // -----------------------------------------------------------------
+
+    fn finish_txn(g: &mut Inner) {
+        g.active_txns -= 1;
+        if g.active_txns == 0 {
+            // quiescent: no snapshot-predating writer can conflict with
+            // anything recorded here any more
+            g.locks.clear();
+        }
+    }
+
+    pub(crate) fn commit_core(&self, mut core: TxnCore, always_bump: bool) -> Result<Version> {
+        let version = {
+            let mut g = self.inner.write();
+            if core.undo.is_empty() && !core.begin_logged && !always_bump {
+                // read-only transaction: nothing to publish or log
+                g.tst.commit(core.xid, core.begin);
+                txn::release_locks(&mut g, &core, None);
+                Self::finish_txn(&mut g);
+                gs_telemetry::counter!("gart.txn.commits");
+                return Ok(core.begin);
             }
-        });
-        let Some(eid) = victim else {
+            let version = self.committed.load(Ordering::Acquire) + 1;
+            if let Some(walm) = &self.wal {
+                let mut w = walm.lock();
+                let logged = (|| -> Result<()> {
+                    if !core.begin_logged {
+                        w.append(&Rec::Begin {
+                            xid: core.xid,
+                            begin: core.begin,
+                        })?;
+                        core.begin_logged = true;
+                    }
+                    // the commit record + sync is the durability point:
+                    // after this, crash recovery redoes the transaction
+                    w.append(&Rec::Commit {
+                        xid: core.xid,
+                        version,
+                    })?;
+                    if w.durability == Durability::Sync {
+                        w.sync()?;
+                    }
+                    Ok(())
+                })();
+                if let Err(e) = logged {
+                    drop(w);
+                    txn::undo_to(&mut g, &mut core, 0);
+                    g.tst.abort(core.xid);
+                    txn::release_locks(&mut g, &core, None);
+                    Self::finish_txn(&mut g);
+                    gs_telemetry::counter!("gart.txn.aborts");
+                    return Err(e);
+                }
+            }
+            g.tst.commit(core.xid, version);
+            if !self.lazy_stamping.load(Ordering::Relaxed) {
+                txn::stamp_txn(&mut g, &core, version);
+            }
+            txn::release_locks(&mut g, &core, Some(version));
+            Self::finish_txn(&mut g);
+            self.committed.store(version, Ordering::Release);
+            gs_telemetry::counter!("gart.txn.commits");
+            version
+        };
+        self.maybe_checkpoint();
+        Ok(version)
+    }
+
+    pub(crate) fn abort_core(&self, mut core: TxnCore) {
+        let mut g = self.inner.write();
+        txn::undo_to(&mut g, &mut core, 0);
+        g.tst.abort(core.xid);
+        txn::release_locks(&mut g, &core, None);
+        Self::finish_txn(&mut g);
+        gs_telemetry::counter!("gart.txn.aborts");
+        if core.begin_logged {
+            if let Some(walm) = &self.wal {
+                // best-effort: replay discards the txn either way, the
+                // abort record just spares it the end-of-log undo pass
+                let _ = walm.lock().append(&Rec::Abort { xid: core.xid });
+            }
+        }
+    }
+
+    pub(crate) fn has_wal(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Appends one op record, lazily preceding it with the transaction's
+    /// `Begin` (transactions that never write are never logged).
+    pub(crate) fn log_op(&self, core: &mut TxnCore, rec: &Rec) -> Result<()> {
+        let walm = self.wal.as_ref().expect("log_op requires a WAL");
+        let mut w = walm.lock();
+        if !core.begin_logged {
+            w.append(&Rec::Begin {
+                xid: core.xid,
+                begin: core.begin,
+            })?;
+            core.begin_logged = true;
+        }
+        w.append(rec)
+    }
+
+    // -----------------------------------------------------------------
+    // Checkpoints
+    // -----------------------------------------------------------------
+
+    /// Writes a checkpoint image and rotates the log. Checkpoints are
+    /// *quiescent*: if any transaction (explicit or implicit) is in
+    /// flight the call is deferred and returns `Ok(false)`. The image is
+    /// written to `checkpoint.tmp`, synced, renamed over
+    /// `checkpoint.snap`, and only then is the log rotated — a crash
+    /// between those steps leaves the new image plus the old log, which
+    /// replay handles by skipping records the image already contains.
+    pub fn checkpoint(&self) -> Result<bool> {
+        let (Some(cfg), Some(walm)) = (&self.cfg, &self.wal) else {
             return Ok(false);
         };
-        g.adj_out[label.index()].add_tombstone(s.index(), eid, wv);
-        g.adj_in[label.index()].add_tombstone(d.index(), eid, wv);
+        let imp = self.implicit.lock();
+        let mut g = self.inner.write();
+        if imp.is_some() || g.active_txns > 0 {
+            return Ok(false);
+        }
+        let committed = self.committed.load(Ordering::Acquire);
+        let next_xid = g.tst.next_xid();
+        let payload = recovery::encode_inner(&g, &self.schema, committed, next_xid)?;
+        let mut w = walm.lock();
+        let tmp = cfg.dir.join("checkpoint.tmp");
+        let mut f = fs::File::create(&tmp).map_err(io_err)?;
+        let mut envelope = Vec::with_capacity(12);
+        envelope.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        envelope.extend_from_slice(&wal::crc32(&payload).to_le_bytes());
+        // chunked through the same fault seam as log records so a kill
+        // sweep covers every durable write the store performs
+        wal::durable_write(&mut f, &mut w.writes, &envelope)?;
+        for chunk in payload.chunks(CKPT_CHUNK) {
+            wal::durable_write(&mut f, &mut w.writes, chunk)?;
+        }
+        f.sync_data().map_err(io_err)?;
+        drop(f);
+        fs::rename(&tmp, cfg.dir.join("checkpoint.snap")).map_err(io_err)?;
+        sync_dir(&cfg.dir);
+        // rotate: fresh log whose header names the image's xid horizon
+        let wal_tmp = cfg.dir.join("wal.tmp");
+        let mut nf = fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&wal_tmp)
+            .map_err(io_err)?;
+        let header = wal::encode_frame(&Rec::Header {
+            format: wal::WAL_FORMAT,
+            base_version: committed,
+            first_xid: next_xid,
+            schema_fp: wal::schema_fingerprint(&self.schema),
+        })?;
+        wal::durable_write(&mut nf, &mut w.writes, &header)?;
+        nf.sync_data().map_err(io_err)?;
+        fs::rename(&wal_tmp, w.path.clone()).map_err(io_err)?;
+        sync_dir(&cfg.dir);
+        w.replace_file(nf);
+        g.tst.compact();
+        self.commits_since.store(0, Ordering::Relaxed);
+        gs_telemetry::counter!("gart.wal.checkpoints");
         Ok(true)
     }
+
+    fn maybe_checkpoint(&self) {
+        let Some(cfg) = &self.cfg else { return };
+        if cfg.checkpoint_every == 0 {
+            return;
+        }
+        let n = self.commits_since.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= cfg.checkpoint_every {
+            // deferred silently when transactions are in flight; the
+            // counter keeps growing so the next commit retries
+            let _ = self.checkpoint();
+        }
+    }
+
+    /// Durable writes performed so far this process lifetime (log records
+    /// and checkpoint chunks) — the coordinate space of chaos kill plans.
+    pub fn wal_writes(&self) -> u64 {
+        self.wal.as_ref().map_or(0, |w| w.lock().writes)
+    }
+
+    /// Log records appended to the current log file.
+    pub fn wal_records(&self) -> u64 {
+        self.wal.as_ref().map_or(0, |w| w.lock().records)
+    }
+
+    /// Test knob: disable commit-time hint stamping so visibility runs
+    /// purely through the transaction-status table.
+    #[doc(hidden)]
+    pub fn set_lazy_stamping(&self, lazy: bool) {
+        self.lazy_stamping.store(lazy, Ordering::Relaxed);
+    }
+
+    // -----------------------------------------------------------------
+    // Reads
+    // -----------------------------------------------------------------
 
     /// Runs a closure under a single read guard with a [`GartView`] —
     /// the stored-procedure fast path: one lock acquisition per procedure
     /// instead of one per traversal step.
     pub fn with_view<R>(&self, version: Version, f: impl FnOnce(&GartView<'_>) -> R) -> R {
         let g = self.inner.read();
-        f(&GartView { inner: &g, version })
+        f(&GartView {
+            inner: &g,
+            schema: &self.schema,
+            version,
+            xid: NO_XID,
+        })
     }
 
     /// A consistent read snapshot at the latest committed version.
@@ -420,40 +947,54 @@ impl GartStore {
         version: Version,
         f: &mut F,
     ) {
+        let Ok(ldef) = self.schema.edge_label(label) else {
+            return;
+        };
+        let (sl, dl) = (ldef.src, ldef.dst);
         let g = self.inner.read();
         let pool = &g.adj_out[label.index()];
+        let vis = g.vis(version, NO_XID, Some(dl));
         for s in 0..pool.vertex_count() {
+            if !g.vertex_visible(sl.index(), s, version, NO_XID) {
+                continue;
+            }
             let src = VId(s as u64);
-            pool.for_each(s, version, &mut |nbr, eid| f(src, nbr, eid));
+            pool.for_each(s, &vis, &mut |nbr, eid| f(src, nbr, eid));
         }
     }
 }
 
 /// A borrowed, single-lock read view used by stored procedures (see
-/// [`GartStore::with_view`]).
+/// [`GartStore::with_view`]) and transactional reads
+/// ([`GartTxn::with_view`], where it also sees the transaction's own
+/// staged writes).
 pub struct GartView<'a> {
-    inner: &'a Inner,
-    version: Version,
+    pub(crate) inner: &'a Inner,
+    pub(crate) schema: &'a GraphSchema,
+    pub(crate) version: Version,
+    pub(crate) xid: u64,
 }
 
 impl<'a> GartView<'a> {
     /// Internal id of an external vertex id (if visible at this version).
     pub fn internal_id(&self, label: LabelId, external: u64) -> Option<VId> {
-        let v = self.inner.id_maps[label.index()].internal(external)?;
-        (self.inner.vertex_created[label.index()][v.index()] <= self.version).then_some(v)
+        txn::resolve_visible_vertex(self.inner, label, external, self.version, self.xid)
     }
 
     /// External id of an internal vertex.
     pub fn external_id(&self, label: LabelId, v: VId) -> Option<u64> {
-        let created = &self.inner.vertex_created[label.index()];
-        if v.index() < created.len() && created[v.index()] <= self.version {
+        if self
+            .inner
+            .vertex_visible(label.index(), v.index(), self.version, self.xid)
+        {
             self.inner.id_maps[label.index()].external(v)
         } else {
             None
         }
     }
 
-    /// Visits live out-/in-neighbours of `v` under one already-held guard.
+    /// Visits live out-/in-neighbours of `v` under one already-held guard
+    /// (entries pointing at deleted vertices are filtered).
     pub fn for_each_adjacent<F: FnMut(VId, gs_grin::EId)>(
         &self,
         v: VId,
@@ -461,15 +1002,25 @@ impl<'a> GartView<'a> {
         dir: Direction,
         f: &mut F,
     ) {
-        match dir {
-            Direction::Out => {
-                self.inner.adj_out[elabel.index()].for_each(v.index(), self.version, f)
-            }
-            Direction::In => self.inner.adj_in[elabel.index()].for_each(v.index(), self.version, f),
-            Direction::Both => {
-                self.inner.adj_out[elabel.index()].for_each(v.index(), self.version, f);
-                self.inner.adj_in[elabel.index()].for_each(v.index(), self.version, f);
-            }
+        let Ok(ldef) = self.schema.edge_label(elabel) else {
+            return;
+        };
+        let (sl, dl) = (ldef.src, ldef.dst);
+        if matches!(dir, Direction::Out | Direction::Both)
+            && self
+                .inner
+                .vertex_visible(sl.index(), v.index(), self.version, self.xid)
+        {
+            let vis = self.inner.vis(self.version, self.xid, Some(dl));
+            self.inner.adj_out[elabel.index()].for_each(v.index(), &vis, f);
+        }
+        if matches!(dir, Direction::In | Direction::Both)
+            && self
+                .inner
+                .vertex_visible(dl.index(), v.index(), self.version, self.xid)
+        {
+            let vis = self.inner.vis(self.version, self.xid, Some(sl));
+            self.inner.adj_in[elabel.index()].for_each(v.index(), &vis, f);
         }
     }
 
@@ -485,8 +1036,10 @@ impl<'a> GartView<'a> {
 
     /// Vertex property (Null when invisible at this version).
     pub fn vertex_property(&self, label: LabelId, v: VId, prop: PropId) -> Value {
-        let created = &self.inner.vertex_created[label.index()];
-        if v.index() < created.len() && created[v.index()] <= self.version {
+        if self
+            .inner
+            .vertex_visible(label.index(), v.index(), self.version, self.xid)
+        {
             self.inner.vprops[label.index()].get(v.index(), prop)
         } else {
             Value::Null
@@ -509,21 +1062,12 @@ impl GartSnapshot {
     }
 
     fn collect_adj(&self, v: VId, elabel: LabelId, dir: Direction) -> Vec<AdjEntry> {
-        let g = self.store.inner.read();
         let mut out = Vec::new();
-        let mut push = |nbr: VId, edge: gs_grin::EId| out.push(AdjEntry { nbr, edge });
-        match dir {
-            Direction::Out => {
-                g.adj_out[elabel.index()].for_each(v.index(), self.version, &mut push);
-            }
-            Direction::In => {
-                g.adj_in[elabel.index()].for_each(v.index(), self.version, &mut push);
-            }
-            Direction::Both => {
-                g.adj_out[elabel.index()].for_each(v.index(), self.version, &mut push);
-                g.adj_in[elabel.index()].for_each(v.index(), self.version, &mut push);
-            }
-        }
+        self.store.with_view(self.version, |view| {
+            view.for_each_adjacent(v, elabel, dir, &mut |nbr, edge| {
+                out.push(AdjEntry { nbr, edge })
+            })
+        });
         out
     }
 
@@ -541,16 +1085,21 @@ impl GartSnapshot {
         let mut in_topo = Vec::with_capacity(nel);
         for (li, ldef) in self.store.schema.edge_labels().iter().enumerate() {
             // Domains span the label's full internal-id space; vertices
-            // created after this version simply freeze with degree 0.
+            // created after this version (or deleted before it) simply
+            // freeze with degree 0.
             let src_n = g.vertex_created[ldef.src.index()].len();
             let dst_n = g.vertex_created[ldef.dst.index()].len();
+            let out_vis = g.vis(self.version, NO_XID, Some(ldef.dst));
+            let src_live = |i: usize| g.vertex_visible(ldef.src.index(), i, self.version, NO_XID);
             out_topo.push(TopologyLayout::build(
                 layout,
-                freeze_pool(&g.adj_out[li], src_n, self.version),
+                freeze_pool(&g.adj_out[li], src_n, &out_vis, &src_live),
             ));
+            let in_vis = g.vis(self.version, NO_XID, Some(ldef.src));
+            let dst_live = |i: usize| g.vertex_visible(ldef.dst.index(), i, self.version, NO_XID);
             in_topo.push(TopologyLayout::build(
                 layout,
-                freeze_pool(&g.adj_in[li], dst_n, self.version),
+                freeze_pool(&g.adj_in[li], dst_n, &in_vis, &dst_live),
             ));
         }
         FrozenGart {
@@ -563,14 +1112,18 @@ impl GartSnapshot {
     }
 }
 
-/// Materialises the live entries of a pooled adjacency at `version` as a
-/// static CSR, preserving edge ids.
-fn freeze_pool(pool: &AdjPool, n: usize, version: Version) -> Csr {
+/// Materialises the live entries of a pooled adjacency under `vis` as a
+/// static CSR, preserving edge ids; invisible source vertices freeze with
+/// degree 0.
+fn freeze_pool(pool: &AdjPool, n: usize, vis: &Vis<'_>, src_live: &dyn Fn(usize) -> bool) -> Csr {
     let scanned = n.min(pool.vertex_count());
     let mut offsets = vec![0u64; n + 1];
     for v in 0..scanned {
+        if !src_live(v) {
+            continue;
+        }
         let mut d = 0u64;
-        pool.for_each(v, version, &mut |_, _| d += 1);
+        pool.for_each(v, vis, &mut |_, _| d += 1);
         offsets[v + 1] = d;
     }
     for i in 1..offsets.len() {
@@ -580,7 +1133,10 @@ fn freeze_pool(pool: &AdjPool, n: usize, version: Version) -> Csr {
     let mut targets = Vec::with_capacity(m);
     let mut eids = Vec::with_capacity(m);
     for v in 0..scanned {
-        pool.for_each(v, version, &mut |nbr, eid| {
+        if !src_live(v) {
+            continue;
+        }
+        pool.for_each(v, vis, &mut |nbr, eid| {
             targets.push(nbr);
             eids.push(eid);
         });
@@ -648,9 +1204,8 @@ impl GrinGraph for FrozenGart {
 
     fn vertex_count(&self, label: LabelId) -> usize {
         let g = self.store.inner.read();
-        g.vertex_created[label.index()]
-            .iter()
-            .filter(|&&cv| cv <= self.version)
+        (0..g.vertex_created[label.index()].len())
+            .filter(|&i| g.vertex_visible(label.index(), i, self.version, NO_XID))
             .count()
     }
 
@@ -660,11 +1215,9 @@ impl GrinGraph for FrozenGart {
 
     fn vertices(&self, label: LabelId) -> Box<dyn Iterator<Item = VId> + '_> {
         let g = self.store.inner.read();
-        let v: Vec<VId> = g.vertex_created[label.index()]
-            .iter()
-            .enumerate()
-            .filter(|(_, &cv)| cv <= self.version)
-            .map(|(i, _)| VId(i as u64))
+        let v: Vec<VId> = (0..g.vertex_created[label.index()].len())
+            .filter(|&i| g.vertex_visible(label.index(), i, self.version, NO_XID))
+            .map(|i| VId(i as u64))
             .collect();
         Box::new(v.into_iter())
     }
@@ -757,9 +1310,8 @@ impl GrinGraph for FrozenGart {
         };
         let visible: Vec<bool> = {
             let g = self.store.inner.read();
-            g.vertex_created[vlabel.index()]
-                .iter()
-                .map(|&cv| cv <= self.version)
+            (0..g.vertex_created[vlabel.index()].len())
+                .map(|i| g.vertex_visible(vlabel.index(), i, self.version, NO_XID))
                 .collect()
         };
         let mut nbrs = Vec::new();
@@ -823,7 +1375,7 @@ fn frozen_adj(topo: &TopologyLayout, v: VId) -> Box<dyn Iterator<Item = AdjEntry
 
 impl GrinGraph for GartSnapshot {
     fn capabilities(&self) -> Capabilities {
-        Capabilities::of(&[
+        let base = Capabilities::of(&[
             Capabilities::VERTEX_LIST_ITER,
             Capabilities::ADJ_LIST_ITER,
             Capabilities::IN_ADJACENCY,
@@ -832,7 +1384,13 @@ impl GrinGraph for GartSnapshot {
             Capabilities::INDEX_INTERNAL_ID,
             Capabilities::MVCC,
             Capabilities::MUTABLE,
-        ])
+            Capabilities::TRANSACTIONS,
+        ]);
+        if self.store.durable() {
+            base.union(Capabilities::of(&[Capabilities::DURABLE]))
+        } else {
+            base
+        }
     }
 
     fn schema(&self) -> &GraphSchema {
@@ -841,9 +1399,8 @@ impl GrinGraph for GartSnapshot {
 
     fn vertex_count(&self, label: LabelId) -> usize {
         let g = self.store.inner.read();
-        g.vertex_created[label.index()]
-            .iter()
-            .filter(|&&cv| cv <= self.version)
+        (0..g.vertex_created[label.index()].len())
+            .filter(|&i| g.vertex_visible(label.index(), i, self.version, NO_XID))
             .count()
     }
 
@@ -857,11 +1414,9 @@ impl GrinGraph for GartSnapshot {
 
     fn vertices(&self, label: LabelId) -> Box<dyn Iterator<Item = VId> + '_> {
         let g = self.store.inner.read();
-        let v: Vec<VId> = g.vertex_created[label.index()]
-            .iter()
-            .enumerate()
-            .filter(|(_, &cv)| cv <= self.version)
-            .map(|(i, _)| VId(i as u64))
+        let v: Vec<VId> = (0..g.vertex_created[label.index()].len())
+            .filter(|&i| g.vertex_visible(label.index(), i, self.version, NO_XID))
+            .map(|i| VId(i as u64))
             .collect();
         Box::new(v.into_iter())
     }
@@ -884,18 +1439,9 @@ impl GrinGraph for GartSnapshot {
         dir: Direction,
         f: &mut dyn FnMut(AdjEntry),
     ) {
-        let g = self.store.inner.read();
-        let mut push = |nbr: VId, edge: gs_grin::EId| f(AdjEntry { nbr, edge });
-        match dir {
-            Direction::Out => {
-                g.adj_out[elabel.index()].for_each(v.index(), self.version, &mut push)
-            }
-            Direction::In => g.adj_in[elabel.index()].for_each(v.index(), self.version, &mut push),
-            Direction::Both => {
-                g.adj_out[elabel.index()].for_each(v.index(), self.version, &mut push);
-                g.adj_in[elabel.index()].for_each(v.index(), self.version, &mut push);
-            }
-        }
+        self.store.with_view(self.version, |view| {
+            view.for_each_adjacent(v, elabel, dir, &mut |nbr, edge| f(AdjEntry { nbr, edge }))
+        })
     }
 
     fn scan_adjacency(
@@ -908,11 +1454,17 @@ impl GrinGraph for GartSnapshot {
         // GART's bulk path: one read-lock acquisition for the whole label
         // scan over the pooled near-CSR regions, instead of one lock (and
         // one Vec allocation) per vertex through the iterator fallback.
+        let Ok(ldef) = self.store.schema.edge_label(elabel) else {
+            return false;
+        };
+        let (sl, dl) = (ldef.src, ldef.dst);
         let g = self.store.inner.read();
+        let out_vis = g.vis(self.version, NO_XID, Some(dl));
+        let in_vis = g.vis(self.version, NO_XID, Some(sl));
         let mut nbrs: Vec<VId> = Vec::new();
         let mut eids: Vec<gs_grin::EId> = Vec::new();
-        for (i, &cv) in g.vertex_created[vlabel.index()].iter().enumerate() {
-            if cv > self.version {
+        for i in 0..g.vertex_created[vlabel.index()].len() {
+            if !g.vertex_visible(vlabel.index(), i, self.version, NO_XID) {
                 continue;
             }
             nbrs.clear();
@@ -923,13 +1475,11 @@ impl GrinGraph for GartSnapshot {
                     eids.push(eid);
                 };
                 match dir {
-                    Direction::Out => {
-                        g.adj_out[elabel.index()].for_each(i, self.version, &mut push)
-                    }
-                    Direction::In => g.adj_in[elabel.index()].for_each(i, self.version, &mut push),
+                    Direction::Out => g.adj_out[elabel.index()].for_each(i, &out_vis, &mut push),
+                    Direction::In => g.adj_in[elabel.index()].for_each(i, &in_vis, &mut push),
                     Direction::Both => {
-                        g.adj_out[elabel.index()].for_each(i, self.version, &mut push);
-                        g.adj_in[elabel.index()].for_each(i, self.version, &mut push);
+                        g.adj_out[elabel.index()].for_each(i, &out_vis, &mut push);
+                        g.adj_in[elabel.index()].for_each(i, &in_vis, &mut push);
                     }
                 }
             }
@@ -939,38 +1489,23 @@ impl GrinGraph for GartSnapshot {
     }
 
     fn vertex_property(&self, label: LabelId, v: VId, prop: PropId) -> Value {
-        let g = self.store.inner.read();
-        let created = &g.vertex_created[label.index()];
-        if v.index() < created.len() && created[v.index()] <= self.version {
-            g.vprops[label.index()].get(v.index(), prop)
-        } else {
-            Value::Null
-        }
+        self.store
+            .with_view(self.version, |view| view.vertex_property(label, v, prop))
     }
 
     fn edge_property(&self, label: LabelId, e: gs_grin::EId, prop: PropId) -> Value {
-        let g = self.store.inner.read();
-        if e.index() < g.eprops[label.index()].row_count() {
-            g.eprops[label.index()].get(e.index(), prop)
-        } else {
-            Value::Null
-        }
+        self.store
+            .with_view(self.version, |view| view.edge_property(label, e, prop))
     }
 
     fn internal_id(&self, label: LabelId, external: u64) -> Option<VId> {
-        let g = self.store.inner.read();
-        let v = g.id_maps[label.index()].internal(external)?;
-        (g.vertex_created[label.index()][v.index()] <= self.version).then_some(v)
+        self.store
+            .with_view(self.version, |view| view.internal_id(label, external))
     }
 
     fn external_id(&self, label: LabelId, v: VId) -> Option<u64> {
-        let g = self.store.inner.read();
-        let created = &g.vertex_created[label.index()];
-        if v.index() < created.len() && created[v.index()] <= self.version {
-            g.id_maps[label.index()].external(v)
-        } else {
-            None
-        }
+        self.store
+            .with_view(self.version, |view| view.external_id(label, v))
     }
 }
 

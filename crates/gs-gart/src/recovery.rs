@@ -1,0 +1,389 @@
+//! Crash recovery: checkpoint image codec and WAL replay.
+//!
+//! Replay re-executes every logged transaction through the *same*
+//! op-application functions the live write path uses — including
+//! transactions that later abort, whose edge-id and property-row
+//! allocations are redone and then undone exactly as they were live. That
+//! full re-execution is what makes recovered state bit-identical to the
+//! pre-crash committed state (id holes included), which in turn lets the
+//! durability corpus compare scans byte for byte.
+//!
+//! A checkpoint is a serialised image of the committed store taken at a
+//! transaction-quiescent point. The log is rotated immediately after the
+//! image is renamed into place; if the process dies between those two
+//! steps, recovery sees the new image plus the *old* log and relies on
+//! the skip rule — every record whose xid predates the image's
+//! `next_xid` is already folded into the image and is ignored.
+
+use crate::txn::{self, Tst, TxnCore};
+use crate::wal::{self, Cursor, Frame, Rec};
+use crate::{Inner, Version};
+use gs_graph::ids::IdMap;
+use gs_grin::{EId, GraphError, GraphSchema, LabelId, Result, VId};
+use std::collections::HashMap;
+
+const CKPT_MAGIC: &[u8; 8] = b"GSGARTCP";
+const CKPT_FORMAT: u32 = 1;
+
+// ---------------------------------------------------------------------
+// Checkpoint image codec
+// ---------------------------------------------------------------------
+
+/// Serialises the committed state of `g`. Tagged marks are resolved
+/// through the status table (committed tags become their commit version),
+/// so the image is valid even when hint stamping is lazy. Must be called
+/// at a quiescent point (no transaction in flight).
+pub(crate) fn encode_inner(
+    g: &Inner,
+    schema: &GraphSchema,
+    committed: Version,
+    next_xid: u64,
+) -> Result<Vec<u8>> {
+    let mut b = Vec::with_capacity(4096);
+    b.extend_from_slice(CKPT_MAGIC);
+    b.extend_from_slice(&CKPT_FORMAT.to_le_bytes());
+    b.extend_from_slice(&wal::schema_fingerprint(schema).to_le_bytes());
+    b.extend_from_slice(&committed.to_le_bytes());
+    b.extend_from_slice(&next_xid.to_le_bytes());
+    let resolve = |m: Version| g.tst.resolve(m);
+    for li in 0..schema.vertex_label_count() {
+        let map = &g.id_maps[li];
+        let n = map.len();
+        b.extend_from_slice(&(n as u64).to_le_bytes());
+        for i in 0..n {
+            b.extend_from_slice(&map.external(VId(i as u64)).unwrap_or(0).to_le_bytes());
+        }
+        let fwd: Vec<(u64, VId)> = map.forward_iter().collect();
+        b.extend_from_slice(&(fwd.len() as u64).to_le_bytes());
+        for (ext, v) in fwd {
+            b.extend_from_slice(&ext.to_le_bytes());
+            b.extend_from_slice(&v.0.to_le_bytes());
+        }
+        for &c in &g.vertex_created[li] {
+            b.extend_from_slice(&resolve(c).to_le_bytes());
+        }
+        for &d in &g.vertex_deleted[li] {
+            b.extend_from_slice(&resolve(d).to_le_bytes());
+        }
+        b.extend_from_slice(&(g.shadow[li].len() as u64).to_le_bytes());
+        for (ext, chain) in &g.shadow[li] {
+            b.extend_from_slice(&ext.to_le_bytes());
+            b.extend_from_slice(&(chain.len() as u64).to_le_bytes());
+            for v in chain {
+                b.extend_from_slice(&v.0.to_le_bytes());
+            }
+        }
+        encode_table(&mut b, &g.vprops[li])?;
+    }
+    for li in 0..schema.edge_label_count() {
+        b.extend_from_slice(&g.edge_counts[li].to_le_bytes());
+        encode_table(&mut b, &g.eprops[li])?;
+        encode_pool(&mut b, &g.adj_out[li], &resolve);
+        encode_pool(&mut b, &g.adj_in[li], &resolve);
+    }
+    Ok(b)
+}
+
+fn encode_table(b: &mut Vec<u8>, t: &gs_graph::props::PropertyTable) -> Result<()> {
+    b.extend_from_slice(&(t.row_count() as u64).to_le_bytes());
+    for row in 0..t.row_count() {
+        for col in 0..t.column_count() {
+            wal::encode_value(b, &t.get(row, gs_grin::PropId(col as u16)))?;
+        }
+    }
+    Ok(())
+}
+
+fn encode_pool(b: &mut Vec<u8>, pool: &crate::AdjPool, resolve: &dyn Fn(Version) -> Version) {
+    let n = pool.vertex_count();
+    b.extend_from_slice(&(n as u64).to_le_bytes());
+    for v in 0..n {
+        let (entries, tombs) = pool.raw_region(v);
+        b.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        for e in entries {
+            b.extend_from_slice(&e.nbr.0.to_le_bytes());
+            b.extend_from_slice(&e.eid.0.to_le_bytes());
+            b.extend_from_slice(&resolve(e.created).to_le_bytes());
+        }
+        b.extend_from_slice(&(tombs.len() as u32).to_le_bytes());
+        for &(eid, tv) in tombs {
+            b.extend_from_slice(&eid.0.to_le_bytes());
+            b.extend_from_slice(&resolve(tv).to_le_bytes());
+        }
+    }
+}
+
+/// Decodes a checkpoint image into a fresh `Inner`; returns the image's
+/// committed version and next xid. The status table starts compacted at
+/// `next_xid`.
+pub(crate) fn decode_inner(bytes: &[u8], schema: &GraphSchema) -> Result<(Inner, Version, u64)> {
+    let mut c = Cursor { buf: bytes, pos: 0 };
+    if c.take(8)? != CKPT_MAGIC {
+        return Err(GraphError::Corrupt("bad checkpoint magic".into()));
+    }
+    if c.u32()? != CKPT_FORMAT {
+        return Err(GraphError::Corrupt("unknown checkpoint format".into()));
+    }
+    if c.u64()? != wal::schema_fingerprint(schema) {
+        return Err(GraphError::Corrupt(
+            "checkpoint was written under a different schema".into(),
+        ));
+    }
+    let committed = c.u64()?;
+    let next_xid = c.u64()?;
+    let mut g = crate::fresh_inner(schema);
+    g.tst = Tst::with_base(next_xid);
+    for li in 0..schema.vertex_label_count() {
+        let n = c.u64()? as usize;
+        let mut reverse = Vec::with_capacity(n);
+        for _ in 0..n {
+            reverse.push(c.u64()?);
+        }
+        let nf = c.u64()? as usize;
+        let mut fwd = Vec::with_capacity(nf);
+        for _ in 0..nf {
+            let ext = c.u64()?;
+            let v = VId(c.u64()?);
+            if v.index() >= n {
+                return Err(GraphError::Corrupt("forward slot out of range".into()));
+            }
+            fwd.push((ext, v));
+        }
+        g.id_maps[li] = IdMap::from_parts(reverse, fwd);
+        g.vertex_created[li] = (0..n).map(|_| c.u64()).collect::<Result<_>>()?;
+        g.vertex_deleted[li] = (0..n).map(|_| c.u64()).collect::<Result<_>>()?;
+        g.deleted_any[li] = g.vertex_deleted[li].iter().any(|&d| d != txn::NEVER);
+        let ns = c.u64()? as usize;
+        for _ in 0..ns {
+            let ext = c.u64()?;
+            let len = c.u64()? as usize;
+            let mut chain = Vec::with_capacity(len);
+            for _ in 0..len {
+                chain.push(VId(c.u64()?));
+            }
+            g.shadow[li].insert(ext, chain);
+        }
+        decode_table(&mut c, &mut g.vprops[li])?;
+    }
+    for li in 0..schema.edge_label_count() {
+        g.edge_counts[li] = c.u64()?;
+        decode_table(&mut c, &mut g.eprops[li])?;
+        g.adj_out[li] = decode_pool(&mut c)?;
+        g.adj_in[li] = decode_pool(&mut c)?;
+    }
+    if c.pos != bytes.len() {
+        return Err(GraphError::Corrupt("trailing bytes in checkpoint".into()));
+    }
+    Ok((g, committed, next_xid))
+}
+
+fn decode_table(c: &mut Cursor<'_>, t: &mut gs_graph::props::PropertyTable) -> Result<()> {
+    let rows = c.u64()? as usize;
+    let cols = t.column_count();
+    let mut row = Vec::with_capacity(cols);
+    for _ in 0..rows {
+        row.clear();
+        for _ in 0..cols {
+            row.push(wal::decode_value(c)?);
+        }
+        t.push_row(&row)?;
+    }
+    Ok(())
+}
+
+fn decode_pool(c: &mut Cursor<'_>) -> Result<crate::AdjPool> {
+    let n = c.u64()? as usize;
+    let mut pool = crate::AdjPool::default();
+    if n > 0 {
+        pool.ensure(n - 1);
+    }
+    for v in 0..n {
+        let len = c.u32()?;
+        pool.reserve_exact(v, len);
+        for _ in 0..len {
+            let nbr = VId(c.u64()?);
+            let eid = EId(c.u64()?);
+            let created = c.u64()?;
+            pool.push(v, nbr, eid, created);
+        }
+        let nt = c.u32()?;
+        for _ in 0..nt {
+            let eid = EId(c.u64()?);
+            let tv = c.u64()?;
+            pool.add_tombstone(v, eid, tv);
+        }
+    }
+    Ok(pool)
+}
+
+// ---------------------------------------------------------------------
+// WAL replay
+// ---------------------------------------------------------------------
+
+/// What one replay pass did.
+pub(crate) struct Replay {
+    /// Highest committed version after replay.
+    pub committed: Version,
+    /// Complete records processed (header included).
+    pub records: u64,
+    /// Transactions redone to completion.
+    pub recovered: u64,
+    /// Transactions discarded (no commit record by end of log).
+    pub discarded: u64,
+    /// Byte length of the valid prefix; shorter than the file when a
+    /// torn tail was detected.
+    pub valid_len: usize,
+    pub torn: bool,
+}
+
+/// Replays `bytes` (the log file) into `g`. `g.tst.base` carries the
+/// checkpoint's `next_xid`; records below it are skipped. Returns the
+/// outcome; the caller truncates the file to `valid_len` if `torn`.
+pub(crate) fn replay_wal(
+    bytes: &[u8],
+    g: &mut Inner,
+    schema: &GraphSchema,
+    base_committed: Version,
+) -> Result<Replay> {
+    let mut rep = Replay {
+        committed: base_committed,
+        records: 0,
+        recovered: 0,
+        discarded: 0,
+        valid_len: 0,
+        torn: false,
+    };
+    let mut active: HashMap<u64, TxnCore> = HashMap::new();
+    let mut pos = 0usize;
+    let mut saw_header = false;
+    loop {
+        let rec = match wal::parse_frame(bytes, pos) {
+            Frame::Eof => break,
+            Frame::Torn => {
+                rep.torn = true;
+                gs_telemetry::counter!("gart.recovery.torn_tails");
+                break;
+            }
+            Frame::Ok(rec, next) => {
+                pos = next;
+                rec
+            }
+        };
+        rep.valid_len = pos;
+        rep.records += 1;
+        if !saw_header {
+            let Rec::Header {
+                format,
+                first_xid,
+                schema_fp,
+                ..
+            } = rec
+            else {
+                return Err(GraphError::Corrupt(
+                    "log does not start with a header".into(),
+                ));
+            };
+            if format != wal::WAL_FORMAT {
+                return Err(GraphError::Corrupt(format!("unknown WAL format {format}")));
+            }
+            if schema_fp != wal::schema_fingerprint(schema) {
+                return Err(GraphError::Corrupt(
+                    "log was written under a different schema".into(),
+                ));
+            }
+            if first_xid > g.tst.base {
+                return Err(GraphError::Corrupt(
+                    "log continues a checkpoint that is missing".into(),
+                ));
+            }
+            saw_header = true;
+            continue;
+        }
+        let xid = match rec {
+            Rec::Header { .. } => {
+                return Err(GraphError::Corrupt("duplicate header record".into()))
+            }
+            Rec::Begin { xid, .. }
+            | Rec::AddVertex { xid, .. }
+            | Rec::AddEdge { xid, .. }
+            | Rec::DelEdge { xid, .. }
+            | Rec::DelVertex { xid, .. }
+            | Rec::Commit { xid, .. }
+            | Rec::Abort { xid } => xid,
+        };
+        if xid < g.tst.base {
+            // already folded into the checkpoint image (the crash window
+            // between checkpoint rename and log rotation)
+            continue;
+        }
+        let missing = || GraphError::Corrupt(format!("record for unknown txn {xid}"));
+        match rec {
+            Rec::Header { .. } => unreachable!("matched above"),
+            Rec::Begin { xid, begin } => {
+                g.tst.ensure(xid);
+                active.insert(xid, TxnCore::new(xid, begin));
+            }
+            Rec::AddVertex {
+                label,
+                external,
+                props,
+                ..
+            } => {
+                let core = active.get_mut(&xid).ok_or_else(missing)?;
+                txn::apply_add_vertex(g, core, LabelId(label), external, &props)?;
+            }
+            Rec::AddEdge {
+                label,
+                src_ext,
+                dst_ext,
+                props,
+                ..
+            } => {
+                let ldef = schema.edge_label(LabelId(label))?;
+                let (sl, dl) = (ldef.src, ldef.dst);
+                let core = active.get_mut(&xid).ok_or_else(missing)?;
+                txn::apply_add_edge(g, core, LabelId(label), sl, dl, src_ext, dst_ext, &props)?;
+            }
+            Rec::DelEdge {
+                label,
+                src,
+                dst,
+                eid,
+                ..
+            } => {
+                let core = active.get_mut(&xid).ok_or_else(missing)?;
+                txn::apply_del_edge_resolved(g, core, LabelId(label), VId(src), VId(dst), EId(eid));
+            }
+            Rec::DelVertex { label, idx, .. } => {
+                let core = active.get_mut(&xid).ok_or_else(missing)?;
+                txn::apply_del_vertex_resolved(g, core, LabelId(label), VId(idx));
+            }
+            Rec::Commit { xid, version } => {
+                let core = active.remove(&xid).ok_or_else(missing)?;
+                g.tst.commit(xid, version);
+                txn::stamp_txn(g, &core, version);
+                rep.committed = rep.committed.max(version);
+                rep.recovered += 1;
+            }
+            Rec::Abort { xid } => {
+                let mut core = active.remove(&xid).ok_or_else(missing)?;
+                txn::undo_to(g, &mut core, 0);
+                g.tst.abort(xid);
+            }
+        }
+    }
+    // transactions with no completion record by end of log never
+    // acknowledged a commit: discard them exactly as an abort would
+    let mut leftovers: Vec<u64> = active.keys().copied().collect();
+    leftovers.sort_unstable();
+    for xid in leftovers {
+        let mut core = active.remove(&xid).expect("key just listed");
+        txn::undo_to(g, &mut core, 0);
+        g.tst.abort(xid);
+        rep.discarded += 1;
+    }
+    gs_telemetry::counter!("gart.recovery.replayed_records"; rep.records);
+    gs_telemetry::counter!("gart.recovery.recovered_txns"; rep.recovered);
+    gs_telemetry::counter!("gart.recovery.discarded_txns"; rep.discarded);
+    Ok(rep)
+}

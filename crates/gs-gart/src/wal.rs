@@ -1,0 +1,681 @@
+//! Write-ahead log for the GART store.
+//!
+//! Every record is a length+checksum-framed byte string:
+//! `[len: u32 LE][crc32(payload): u32 LE][payload]`. The payload's first
+//! byte is an opcode. Mutations are logged *after* they apply in memory
+//! (apply-then-log inside the writer critical section, so file order is
+//! apply order); the commit record plus an `fsync` is the durability
+//! point, and one sync covers every record written since the previous
+//! one (group commit). Recovery reads the log in order, re-executes
+//! every transaction through the same op-application functions, and
+//! discards transactions with no commit record — a torn tail is detected
+//! by the length/checksum frame and truncated.
+//!
+//! Fault injection: each durable write (log record or checkpoint chunk)
+//! passes its sequence number through [`gs_chaos::wal_write_fault`],
+//! which can kill the process between any two writes or tear the write
+//! in half first. The sequence counter is shared between the log and
+//! checkpoint files so a kill sweep covers checkpointing too.
+
+use gs_grin::{GraphError, Result, Value};
+use std::fs::File;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// When the log is forced to disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Durability {
+    /// Records reach the OS on every write but `fsync` is never issued;
+    /// a machine crash may lose a suffix of commits (never a prefix).
+    Buffered,
+    /// Every commit record is followed by `fsync` before the commit is
+    /// acknowledged — the classic durability point.
+    Sync,
+}
+
+/// Configuration for a durable [`GartStore`](crate::GartStore): the WAL
+/// directory, the sync policy, and how many commits may accumulate
+/// before an automatic checkpoint is attempted.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    pub dir: PathBuf,
+    pub durability: Durability,
+    /// `0` disables automatic checkpoints; explicit
+    /// [`GartStore::checkpoint`](crate::GartStore::checkpoint) calls
+    /// still work.
+    pub checkpoint_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Synchronous durability, no automatic checkpoints.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            durability: Durability::Sync,
+            checkpoint_every: 0,
+        }
+    }
+
+    pub fn buffered(mut self) -> Self {
+        self.durability = Durability::Buffered;
+        self
+    }
+
+    pub fn checkpoint_every(mut self, commits: u64) -> Self {
+        self.checkpoint_every = commits;
+        self
+    }
+}
+
+/// The on-disk WAL format version.
+pub(crate) const WAL_FORMAT: u32 = 1;
+
+const OP_BEGIN: u8 = 0;
+const OP_ADD_VERTEX: u8 = 1;
+const OP_ADD_EDGE: u8 = 2;
+const OP_DEL_EDGE: u8 = 3;
+const OP_DEL_VERTEX: u8 = 4;
+const OP_COMMIT: u8 = 5;
+const OP_ABORT: u8 = 6;
+const OP_HEADER: u8 = 255;
+
+/// One parsed log record.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Rec {
+    /// First record of every log file.
+    Header {
+        format: u32,
+        base_version: u64,
+        first_xid: u64,
+        schema_fp: u64,
+    },
+    Begin {
+        xid: u64,
+        begin: u64,
+    },
+    AddVertex {
+        xid: u64,
+        label: u16,
+        external: u64,
+        props: Vec<Value>,
+    },
+    AddEdge {
+        xid: u64,
+        label: u16,
+        src_ext: u64,
+        dst_ext: u64,
+        props: Vec<Value>,
+    },
+    /// Deletion with the victim pre-resolved (internal endpoint slots +
+    /// edge id) so replay never re-runs victim selection.
+    DelEdge {
+        xid: u64,
+        label: u16,
+        src: u64,
+        dst: u64,
+        eid: u64,
+    },
+    DelVertex {
+        xid: u64,
+        label: u16,
+        external: u64,
+        idx: u64,
+    },
+    Commit {
+        xid: u64,
+        version: u64,
+    },
+    Abort {
+        xid: u64,
+    },
+}
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE), table-driven, const-initialised
+// ---------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = (c >> 8) ^ CRC_TABLE[((c ^ b as u32) & 0xff) as usize];
+    }
+    !c
+}
+
+/// FNV-1a fingerprint of the schema's canonical JSON, stored in every
+/// log/checkpoint header so recovery refuses a mismatched schema.
+pub(crate) fn schema_fingerprint(schema: &gs_grin::GraphSchema) -> u64 {
+    let text = schema.to_json().render();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Value and record codecs
+// ---------------------------------------------------------------------
+
+const V_NULL: u8 = 0;
+const V_BOOL: u8 = 1;
+const V_INT: u8 = 2;
+const V_FLOAT: u8 = 3;
+const V_STR: u8 = 4;
+const V_DATE: u8 = 5;
+const V_LIST: u8 = 6;
+
+pub(crate) fn encode_value(buf: &mut Vec<u8>, v: &Value) -> Result<()> {
+    match v {
+        Value::Null => buf.push(V_NULL),
+        Value::Bool(b) => {
+            buf.push(V_BOOL);
+            buf.push(*b as u8);
+        }
+        Value::Int(i) => {
+            buf.push(V_INT);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            buf.push(V_FLOAT);
+            buf.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(V_STR);
+            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            buf.extend_from_slice(s.as_bytes());
+        }
+        Value::Date(d) => {
+            buf.push(V_DATE);
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+        Value::List(items) => {
+            buf.push(V_LIST);
+            buf.extend_from_slice(&(items.len() as u16).to_le_bytes());
+            for it in items {
+                encode_value(buf, it)?;
+            }
+        }
+        Value::Vertex(..) | Value::Edge(..) | Value::Path(..) => {
+            return Err(GraphError::Unsupported(
+                "graph-reference values are not storable properties".into(),
+            ))
+        }
+    }
+    Ok(())
+}
+
+pub(crate) struct Cursor<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(GraphError::Corrupt("truncated WAL record payload".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+pub(crate) fn decode_value(c: &mut Cursor<'_>) -> Result<Value> {
+    Ok(match c.u8()? {
+        V_NULL => Value::Null,
+        V_BOOL => Value::Bool(c.u8()? != 0),
+        V_INT => Value::Int(c.u64()? as i64),
+        V_FLOAT => Value::Float(f64::from_bits(c.u64()?)),
+        V_STR => {
+            let n = c.u32()? as usize;
+            let bytes = c.take(n)?;
+            Value::Str(
+                String::from_utf8(bytes.to_vec())
+                    .map_err(|_| GraphError::Corrupt("non-UTF-8 string in WAL record".into()))?,
+            )
+        }
+        V_DATE => Value::Date(c.u64()? as i64),
+        V_LIST => {
+            let n = c.u16()? as usize;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(decode_value(c)?);
+            }
+            Value::List(items)
+        }
+        t => return Err(GraphError::Corrupt(format!("unknown value tag {t}"))),
+    })
+}
+
+fn encode_props(buf: &mut Vec<u8>, props: &[Value]) -> Result<()> {
+    buf.extend_from_slice(&(props.len() as u16).to_le_bytes());
+    for p in props {
+        encode_value(buf, p)?;
+    }
+    Ok(())
+}
+
+fn decode_props(c: &mut Cursor<'_>) -> Result<Vec<Value>> {
+    let n = c.u16()? as usize;
+    let mut props = Vec::with_capacity(n);
+    for _ in 0..n {
+        props.push(decode_value(c)?);
+    }
+    Ok(props)
+}
+
+impl Rec {
+    pub(crate) fn encode_payload(&self) -> Result<Vec<u8>> {
+        let mut b = Vec::with_capacity(32);
+        match self {
+            Rec::Header {
+                format,
+                base_version,
+                first_xid,
+                schema_fp,
+            } => {
+                b.push(OP_HEADER);
+                b.extend_from_slice(&format.to_le_bytes());
+                b.extend_from_slice(&base_version.to_le_bytes());
+                b.extend_from_slice(&first_xid.to_le_bytes());
+                b.extend_from_slice(&schema_fp.to_le_bytes());
+            }
+            Rec::Begin { xid, begin } => {
+                b.push(OP_BEGIN);
+                b.extend_from_slice(&xid.to_le_bytes());
+                b.extend_from_slice(&begin.to_le_bytes());
+            }
+            Rec::AddVertex {
+                xid,
+                label,
+                external,
+                props,
+            } => {
+                b.push(OP_ADD_VERTEX);
+                b.extend_from_slice(&xid.to_le_bytes());
+                b.extend_from_slice(&label.to_le_bytes());
+                b.extend_from_slice(&external.to_le_bytes());
+                encode_props(&mut b, props)?;
+            }
+            Rec::AddEdge {
+                xid,
+                label,
+                src_ext,
+                dst_ext,
+                props,
+            } => {
+                b.push(OP_ADD_EDGE);
+                b.extend_from_slice(&xid.to_le_bytes());
+                b.extend_from_slice(&label.to_le_bytes());
+                b.extend_from_slice(&src_ext.to_le_bytes());
+                b.extend_from_slice(&dst_ext.to_le_bytes());
+                encode_props(&mut b, props)?;
+            }
+            Rec::DelEdge {
+                xid,
+                label,
+                src,
+                dst,
+                eid,
+            } => {
+                b.push(OP_DEL_EDGE);
+                b.extend_from_slice(&xid.to_le_bytes());
+                b.extend_from_slice(&label.to_le_bytes());
+                b.extend_from_slice(&src.to_le_bytes());
+                b.extend_from_slice(&dst.to_le_bytes());
+                b.extend_from_slice(&eid.to_le_bytes());
+            }
+            Rec::DelVertex {
+                xid,
+                label,
+                external,
+                idx,
+            } => {
+                b.push(OP_DEL_VERTEX);
+                b.extend_from_slice(&xid.to_le_bytes());
+                b.extend_from_slice(&label.to_le_bytes());
+                b.extend_from_slice(&external.to_le_bytes());
+                b.extend_from_slice(&idx.to_le_bytes());
+            }
+            Rec::Commit { xid, version } => {
+                b.push(OP_COMMIT);
+                b.extend_from_slice(&xid.to_le_bytes());
+                b.extend_from_slice(&version.to_le_bytes());
+            }
+            Rec::Abort { xid } => {
+                b.push(OP_ABORT);
+                b.extend_from_slice(&xid.to_le_bytes());
+            }
+        }
+        Ok(b)
+    }
+
+    pub(crate) fn decode_payload(payload: &[u8]) -> Result<Rec> {
+        let mut c = Cursor {
+            buf: payload,
+            pos: 0,
+        };
+        let rec = match c.u8()? {
+            OP_HEADER => Rec::Header {
+                format: c.u32()?,
+                base_version: c.u64()?,
+                first_xid: c.u64()?,
+                schema_fp: c.u64()?,
+            },
+            OP_BEGIN => Rec::Begin {
+                xid: c.u64()?,
+                begin: c.u64()?,
+            },
+            OP_ADD_VERTEX => Rec::AddVertex {
+                xid: c.u64()?,
+                label: c.u16()?,
+                external: c.u64()?,
+                props: decode_props(&mut c)?,
+            },
+            OP_ADD_EDGE => Rec::AddEdge {
+                xid: c.u64()?,
+                label: c.u16()?,
+                src_ext: c.u64()?,
+                dst_ext: c.u64()?,
+                props: decode_props(&mut c)?,
+            },
+            OP_DEL_EDGE => Rec::DelEdge {
+                xid: c.u64()?,
+                label: c.u16()?,
+                src: c.u64()?,
+                dst: c.u64()?,
+                eid: c.u64()?,
+            },
+            OP_DEL_VERTEX => Rec::DelVertex {
+                xid: c.u64()?,
+                label: c.u16()?,
+                external: c.u64()?,
+                idx: c.u64()?,
+            },
+            OP_COMMIT => Rec::Commit {
+                xid: c.u64()?,
+                version: c.u64()?,
+            },
+            OP_ABORT => Rec::Abort { xid: c.u64()? },
+            op => return Err(GraphError::Corrupt(format!("unknown WAL opcode {op}"))),
+        };
+        if c.pos != payload.len() {
+            return Err(GraphError::Corrupt("trailing bytes in WAL record".into()));
+        }
+        Ok(rec)
+    }
+}
+
+/// Frames a payload as `[len][crc][payload]`.
+pub(crate) fn encode_frame(rec: &Rec) -> Result<Vec<u8>> {
+    let payload = rec.encode_payload()?;
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    Ok(frame)
+}
+
+/// The result of pulling one frame off a byte stream.
+pub(crate) enum Frame {
+    /// A valid record and the offset just past it.
+    Ok(Rec, usize),
+    /// Clean end of stream.
+    Eof,
+    /// Torn or corrupt frame starting at this offset — recovery
+    /// truncates here.
+    Torn,
+}
+
+/// Parses the frame at `pos`; never panics on arbitrary bytes.
+pub(crate) fn parse_frame(bytes: &[u8], pos: usize) -> Frame {
+    if pos == bytes.len() {
+        return Frame::Eof;
+    }
+    if pos + 8 > bytes.len() {
+        return Frame::Torn;
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+    if len > (1 << 30) || pos + 8 + len > bytes.len() {
+        return Frame::Torn;
+    }
+    let payload = &bytes[pos + 8..pos + 8 + len];
+    if crc32(payload) != crc {
+        return Frame::Torn;
+    }
+    match Rec::decode_payload(payload) {
+        Ok(rec) => Frame::Ok(rec, pos + 8 + len),
+        Err(_) => Frame::Torn,
+    }
+}
+
+// ---------------------------------------------------------------------
+// The writer
+// ---------------------------------------------------------------------
+
+/// Appender over the active log file. `writes` is the durable-write
+/// sequence number fed to the chaos hook; it is shared with checkpoint
+/// chunk writes so kill plans can target any durable write the store
+/// ever performs.
+pub(crate) struct Wal {
+    pub(crate) file: File,
+    pub(crate) path: PathBuf,
+    pub(crate) durability: Durability,
+    pub(crate) writes: u64,
+    pub(crate) records: u64,
+    dirty: bool,
+}
+
+static WAL_RECORDS: gs_telemetry::StaticCounter =
+    gs_telemetry::StaticCounter::new("gart.wal.records");
+static WAL_BYTES: gs_telemetry::StaticCounter = gs_telemetry::StaticCounter::new("gart.wal.bytes");
+static WAL_SYNCS: gs_telemetry::StaticCounter = gs_telemetry::StaticCounter::new("gart.wal.syncs");
+
+impl Wal {
+    pub(crate) fn new(file: File, path: PathBuf, durability: Durability) -> Self {
+        Self {
+            file,
+            path,
+            durability,
+            writes: 0,
+            records: 0,
+            dirty: false,
+        }
+    }
+
+    /// Appends one framed record (no sync). The chaos hook may kill the
+    /// process before the write or after a torn prefix of it.
+    pub(crate) fn append(&mut self, rec: &Rec) -> Result<()> {
+        let frame = encode_frame(rec)?;
+        durable_write(&mut self.file, &mut self.writes, &frame)?;
+        self.records += 1;
+        self.dirty = true;
+        WAL_RECORDS.add(1);
+        WAL_BYTES.add(frame.len() as u64);
+        Ok(())
+    }
+
+    /// Forces everything appended so far to disk (the durability point;
+    /// one call covers all records since the previous sync).
+    pub(crate) fn sync(&mut self) -> Result<()> {
+        if !self.dirty {
+            return Ok(());
+        }
+        // gs-lint: allow(L006 fsync latency is telemetry-only wall time, never control flow)
+        let started = std::time::Instant::now();
+        self.file
+            .sync_data()
+            .map_err(|e| GraphError::Io(e.to_string()))?;
+        self.dirty = false;
+        WAL_SYNCS.add(1);
+        gs_telemetry::observe!("gart.wal.sync_micros"; started.elapsed().as_micros() as u64);
+        Ok(())
+    }
+
+    /// Swaps in a freshly-rotated log file (already containing a synced
+    /// header) after a checkpoint renamed it over the old log.
+    pub(crate) fn replace_file(&mut self, file: File) {
+        self.file = file;
+        self.records = 0;
+        self.dirty = false;
+    }
+}
+
+/// One durable write through the chaos seam. On a `Kill` verdict the
+/// process dies *before* the write; on `Torn(k)` exactly `k` bytes are
+/// written and synced first, leaving a mid-frame tear on disk.
+pub(crate) fn durable_write(file: &mut File, seq: &mut u64, bytes: &[u8]) -> Result<()> {
+    let n = *seq;
+    *seq += 1;
+    match gs_chaos::wal_write_fault(n, bytes.len()) {
+        gs_chaos::WalWriteFault::Proceed => file
+            .write_all(bytes)
+            .map_err(|e| GraphError::Io(e.to_string())),
+        gs_chaos::WalWriteFault::Kill => std::panic::panic_any(gs_chaos::ChaosUnwind("wal-kill")),
+        gs_chaos::WalWriteFault::Torn(k) => {
+            let _ = file.write_all(&bytes[..k.min(bytes.len())]);
+            let _ = file.sync_data();
+            std::panic::panic_any(gs_chaos::ChaosUnwind("wal-torn"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC32 of "123456789"
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let recs = [
+            Rec::Header {
+                format: WAL_FORMAT,
+                base_version: 7,
+                first_xid: 3,
+                schema_fp: 0xdead_beef,
+            },
+            Rec::Begin { xid: 9, begin: 4 },
+            Rec::AddVertex {
+                xid: 9,
+                label: 1,
+                external: 42,
+                props: vec![
+                    Value::Int(-5),
+                    Value::Str("hi".into()),
+                    Value::Null,
+                    Value::Float(1.5),
+                    Value::Bool(true),
+                    Value::Date(19000),
+                    Value::List(vec![Value::Int(1), Value::Int(2)]),
+                ],
+            },
+            Rec::AddEdge {
+                xid: 9,
+                label: 0,
+                src_ext: 1,
+                dst_ext: 2,
+                props: vec![],
+            },
+            Rec::DelEdge {
+                xid: 9,
+                label: 0,
+                src: 0,
+                dst: 1,
+                eid: 17,
+            },
+            Rec::DelVertex {
+                xid: 9,
+                label: 1,
+                external: 42,
+                idx: 3,
+            },
+            Rec::Commit { xid: 9, version: 5 },
+            Rec::Abort { xid: 10 },
+        ];
+        let mut bytes = Vec::new();
+        for r in &recs {
+            bytes.extend_from_slice(&encode_frame(r).unwrap());
+        }
+        let mut pos = 0;
+        let mut parsed = Vec::new();
+        loop {
+            match parse_frame(&bytes, pos) {
+                Frame::Ok(rec, next) => {
+                    parsed.push(rec);
+                    pos = next;
+                }
+                Frame::Eof => break,
+                Frame::Torn => panic!("clean stream must not tear"),
+            }
+        }
+        assert_eq!(parsed, recs);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_not_misparsed() {
+        let good = encode_frame(&Rec::Commit { xid: 1, version: 1 }).unwrap();
+        let torn = encode_frame(&Rec::Abort { xid: 2 }).unwrap();
+        for cut in 1..torn.len() {
+            let mut bytes = good.clone();
+            bytes.extend_from_slice(&torn[..cut]);
+            let Frame::Ok(_, next) = parse_frame(&bytes, 0) else {
+                panic!("first frame intact");
+            };
+            assert!(
+                matches!(parse_frame(&bytes, next), Frame::Torn),
+                "cut at {cut} must read as torn"
+            );
+        }
+        // flipping a payload bit breaks the checksum
+        let mut bytes = good;
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        assert!(matches!(parse_frame(&bytes, 0), Frame::Torn));
+    }
+}

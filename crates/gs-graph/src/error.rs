@@ -37,6 +37,10 @@ pub enum GraphError {
     /// The target is temporarily unavailable (dead shard, open circuit
     /// breaker); retrying later may succeed.
     Unavailable(String),
+    /// Two transactions wrote the same entity: under first-writer-wins
+    /// conflict detection the later writer receives this and must abort
+    /// (retrying in a fresh transaction may succeed).
+    TxnConflict(String),
 }
 
 impl fmt::Display for GraphError {
@@ -58,6 +62,7 @@ impl fmt::Display for GraphError {
             }
             GraphError::Timeout(m) => write!(f, "deadline exceeded: {m}"),
             GraphError::Unavailable(m) => write!(f, "unavailable: {m}"),
+            GraphError::TxnConflict(m) => write!(f, "transaction conflict: {m}"),
         }
     }
 }

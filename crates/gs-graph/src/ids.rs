@@ -154,6 +154,44 @@ impl IdMap {
             .enumerate()
             .map(|(i, &ext)| (ext, VId(i as u64)))
     }
+
+    /// Unmaps `external` from the forward direction, returning the slot it
+    /// pointed at. The reverse array keeps the external id so dense internal
+    /// slots stay resolvable (MVCC stores need old snapshots to keep
+    /// answering `external(v)` for slots whose mapping moved on).
+    pub fn remove(&mut self, external: u64) -> Option<VId> {
+        self.forward.remove(&external)
+    }
+
+    /// Re-points `external` at an existing slot (the inverse of
+    /// [`IdMap::remove`], used to undo a removal or a remap). The slot must
+    /// already exist in the reverse array.
+    pub fn reassign(&mut self, external: u64, v: VId) {
+        debug_assert!(v.index() < self.reverse.len());
+        self.forward.insert(external, v);
+    }
+
+    /// Iterates the *forward* mapping in arbitrary order. Unlike
+    /// [`IdMap::iter`], this reflects removals and remaps, so it is the
+    /// right source for serialising a map whose slots have churned.
+    pub fn forward_iter(&self) -> impl Iterator<Item = (u64, VId)> + '_ {
+        self.forward.iter().map(|(&e, &v)| (e, v))
+    }
+
+    /// Rebuilds a map from a serialised reverse array and forward pairs
+    /// (which need not cover every reverse slot — removed externals keep
+    /// their dense slot but lose their forward entry).
+    pub fn from_parts(reverse: Vec<u64>, forward: impl IntoIterator<Item = (u64, VId)>) -> Self {
+        let mut m = Self {
+            forward: HashMap::new(),
+            reverse,
+        };
+        for (ext, v) in forward {
+            debug_assert!(v.index() < m.reverse.len());
+            m.forward.insert(ext, v);
+        }
+        m
+    }
 }
 
 #[cfg(test)]

@@ -60,6 +60,14 @@ impl Capabilities {
     /// the smallest memory footprint (decode-on-scan).
     pub const COMPRESSED_TOPOLOGY: Capabilities = Capabilities(1 << 15);
 
+    // -- transactional category --
+    /// Committed writes are logged to durable storage and survive a
+    /// process kill (write-ahead log with replay-on-open).
+    pub const DURABLE: Capabilities = Capabilities(1 << 16);
+    /// Multi-operation transactions with snapshot-isolation semantics:
+    /// begin/commit/abort, first-writer-wins conflict detection.
+    pub const TRANSACTIONS: Capabilities = Capabilities(1 << 17);
+
     /// Empty capability set.
     pub const fn empty() -> Self {
         Capabilities(0)
@@ -85,7 +93,7 @@ impl Capabilities {
     }
 
     /// Every flag paired with its name, for diagnostics.
-    const NAMES: [(Capabilities, &'static str); 16] = [
+    const NAMES: [(Capabilities, &'static str); 18] = [
         (Capabilities::VERTEX_LIST_ARRAY, "VERTEX_LIST_ARRAY"),
         (Capabilities::VERTEX_LIST_ITER, "VERTEX_LIST_ITER"),
         (Capabilities::ADJ_LIST_ARRAY, "ADJ_LIST_ARRAY"),
@@ -102,6 +110,8 @@ impl Capabilities {
         (Capabilities::MUTABLE, "MUTABLE"),
         (Capabilities::SORTED_ADJACENCY, "SORTED_ADJACENCY"),
         (Capabilities::COMPRESSED_TOPOLOGY, "COMPRESSED_TOPOLOGY"),
+        (Capabilities::DURABLE, "DURABLE"),
+        (Capabilities::TRANSACTIONS, "TRANSACTIONS"),
     ];
 
     /// Capability flags implied by materialising topology in `kind`:

@@ -87,9 +87,17 @@ impl Default for LintConfig {
             ]
             .map(String::from)
             .to_vec(),
-            deterministic_paths: ["crates/gs-grape/src/recover.rs", "crates/gs-chaos/src"]
-                .map(String::from)
-                .to_vec(),
+            deterministic_paths: [
+                "crates/gs-grape/src/recover.rs",
+                "crates/gs-chaos/src",
+                // WAL replay and crash recovery must be a pure function of
+                // the bytes on disk — wall-clock reads there break the
+                // kill-anywhere equivalence the durability bench asserts.
+                "crates/gs-gart/src/wal.rs",
+                "crates/gs-gart/src/recovery.rs",
+            ]
+            .map(String::from)
+            .to_vec(),
         }
     }
 }

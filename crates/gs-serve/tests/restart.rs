@@ -1,0 +1,105 @@
+//! Serving over a durable GART store across a restart: the data version
+//! the result cache is keyed by *is* the store's committed version, so
+//! recovery hands a restarted server the exact version the crashed one
+//! was serving — pre-restart cache keys stay semantically valid, and the
+//! first post-restart commit bumps the version and invalidates them.
+
+use gs_gart::{DurabilityConfig, GartStore};
+use gs_graph::schema::GraphSchema;
+use gs_graph::ValueType;
+use gs_grin::Value;
+use gs_serve::{GartServeStore, Priority, ServeConfig, ServeStore, Server};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn schema() -> (GraphSchema, gs_grin::LabelId) {
+    let mut s = GraphSchema::new();
+    let vl = s.add_vertex_label("Account", &[("id", ValueType::Int)]);
+    (s, vl)
+}
+
+fn tmpdir() -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gs-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn open(dir: &PathBuf) -> (Arc<GartStore>, gs_grin::LabelId) {
+    let (s, vl) = schema();
+    (GartStore::open(s, DurabilityConfig::new(dir)).unwrap(), vl)
+}
+
+fn server(store: &Arc<GartStore>) -> Arc<Server> {
+    Arc::new(Server::new(
+        Box::new(gs_ir::ReferenceEngine::default()),
+        Box::new(GartServeStore::new(Arc::clone(store))),
+        ServeConfig::default(),
+    ))
+}
+
+#[test]
+fn data_version_survives_restart_and_post_restart_commits_invalidate() {
+    let dir = tmpdir();
+    let (store, vl) = open(&dir);
+    for i in 1..=3 {
+        store.add_vertex(vl, i, vec![Value::Int(i as i64)]).unwrap();
+    }
+    store.commit();
+
+    let params: HashMap<String, Value> = HashMap::new();
+    let text = "MATCH (v:Account {id: 2}) RETURN v";
+
+    let srv = server(&store);
+    let session = srv.session("tenant-a", Priority::Normal);
+    let rows = session
+        .query(gs_lang::Frontend::Cypher, text, &params)
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    // identical re-execution at the same version is a result-cache hit
+    session
+        .query(gs_lang::Frontend::Cypher, text, &params)
+        .unwrap();
+    assert_eq!(srv.stats().result_hits, 1);
+    let served_version = GartServeStore::new(Arc::clone(&store)).data_version();
+    assert_eq!(served_version, 1);
+
+    // restart: drop the serving stack, recover the store from disk
+    drop(session);
+    drop(srv);
+    drop(store);
+    let (store, vl) = open(&dir);
+    let facade = GartServeStore::new(Arc::clone(&store));
+    assert_eq!(
+        facade.data_version(),
+        served_version,
+        "recovery must hand the restarted server the committed version"
+    );
+
+    // a fresh server over the recovered store serves identical rows
+    let srv = server(&store);
+    let session = srv.session("tenant-a", Priority::Normal);
+    let recovered = session
+        .query(gs_lang::Frontend::Cypher, text, &params)
+        .unwrap();
+    assert_eq!(*recovered, *rows);
+    let before = srv.stats();
+
+    // the first post-restart commit bumps the version: the cached result
+    // silently stops matching and the query re-executes
+    store.add_vertex(vl, 4, vec![Value::Int(4)]).unwrap();
+    store.commit();
+    assert_eq!(facade.data_version(), served_version + 1);
+    session
+        .query(gs_lang::Frontend::Cypher, text, &params)
+        .unwrap();
+    let after = srv.stats();
+    assert_eq!(
+        after.result_misses,
+        before.result_misses + 1,
+        "post-restart commit must invalidate the cached result"
+    );
+    assert_eq!(after.result_hits, before.result_hits);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
